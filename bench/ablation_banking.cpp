@@ -1,0 +1,58 @@
+// Ablation E11: sensitivity to the IM bank-mapping granularity — the one
+// substrate parameter the paper does not specify and that our model had to
+// choose (DESIGN.md §3). Sweeps the interleave line length (plus pure
+// block mapping) for both designs across all benchmarks.
+//
+// Expected shape: the baseline's throughput depends strongly on the
+// mapping (diverged cores spread across banks in proportion to line
+// granularity), while the synchronized design is almost insensitive —
+// lockstep cores always hit one bank with a single broadcast access.
+// This is why the technique also *simplifies* the memory system design.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace ulpsync;
+  const util::CliArgs args(argc, argv);
+  kernels::BenchmarkParams params;
+  params.samples = static_cast<unsigned>(args.get_int("samples", 128));
+
+  std::printf("Ablation: IM bank-mapping granularity (N=%u)\n\n", params.samples);
+  util::Table table({"benchmark", "IM mapping", "ops/cycle w/o",
+                     "ops/cycle with", "speedup"});
+
+  for (auto kind : kernels::kAllBenchmarks) {
+    kernels::Benchmark benchmark(kind, params);
+    for (unsigned line : {4u, 8u, 16u, 32u, 64u, 0u /* block */}) {
+      double ipc[2] = {0, 0};
+      std::uint64_t cycles[2] = {0, 0};
+      for (const bool with_sync : {false, true}) {
+        auto config = benchmark.platform_config(with_sync);
+        config.im_line_slots = line;
+        sim::Platform platform(config);
+        platform.load_program(benchmark.program(with_sync));
+        benchmark.load_inputs(platform);
+        const auto result = platform.run(500'000'000);
+        if (!result.ok() || !benchmark.verify(platform).empty()) {
+          std::fprintf(stderr, "failed: line=%u\n", line);
+          return 1;
+        }
+        const auto useful = kernels::Benchmark::useful_ops(
+            platform.counters(), platform.sync_stats());
+        ipc[with_sync] = static_cast<double>(useful) /
+                         static_cast<double>(platform.counters().cycles);
+        cycles[with_sync] = platform.counters().cycles;
+      }
+      table.add_row({std::string(kernels::benchmark_name(kind)),
+                     line == 0 ? "block" : std::to_string(line) + "-instr lines",
+                     util::Table::num(ipc[0]), util::Table::num(ipc[1]),
+                     util::Table::num(static_cast<double>(cycles[0]) /
+                                      static_cast<double>(cycles[1])) + "x"});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  bench::maybe_write_csv(args, table);
+  return 0;
+}

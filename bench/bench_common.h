@@ -1,0 +1,65 @@
+#pragma once
+
+/// Shared helpers for the benchmark harnesses: run all three reference
+/// benchmarks on both designs and characterize them for the power model.
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "kernels/benchmark.h"
+#include "power/model.h"
+#include "power/scaling.h"
+#include "power/sweep.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace ulpsync::bench {
+
+struct DesignRun {
+  kernels::BenchmarkRun run;
+  power::DesignCharacterization character;
+};
+
+struct BenchmarkPair {
+  kernels::BenchmarkKind kind;
+  DesignRun baseline;      ///< "w/o synchronizer"
+  DesignRun synchronized_; ///< "with synchronizer"
+};
+
+inline DesignRun run_design(const kernels::Benchmark& benchmark,
+                            bool with_synchronizer) {
+  DesignRun out;
+  out.run = kernels::run_benchmark(benchmark, with_synchronizer);
+  if (!out.run.verify_error.empty()) {
+    throw std::runtime_error(std::string(benchmark.name()) +
+                             " verification failed: " + out.run.verify_error);
+  }
+  const power::EnergyParams energy = with_synchronizer
+                                         ? power::EnergyParams::synchronized()
+                                         : power::EnergyParams::baseline();
+  out.character = power::characterize(energy, out.run.counters,
+                                      out.run.sync_stats, out.run.useful_ops);
+  return out;
+}
+
+inline BenchmarkPair run_pair(kernels::BenchmarkKind kind,
+                              const kernels::BenchmarkParams& params) {
+  kernels::Benchmark benchmark(kind, params);
+  BenchmarkPair pair{kind, run_design(benchmark, false),
+                     run_design(benchmark, true)};
+  return pair;
+}
+
+/// Writes the table to `--csv <path>` when requested (for re-plotting).
+inline void maybe_write_csv(const util::CliArgs& args,
+                            const util::Table& table) {
+  if (!args.has("csv")) return;
+  const std::string path = args.get("csv", "out.csv");
+  std::ofstream file(path);
+  file << table.to_csv();
+  std::printf("CSV written to %s\n", path.c_str());
+}
+
+}  // namespace ulpsync::bench

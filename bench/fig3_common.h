@@ -1,0 +1,97 @@
+#pragma once
+
+/// Shared implementation of the Fig. 3 reproductions: total power vs
+/// workload (MOps/s) under voltage scaling, for one benchmark, both
+/// designs. Prints the log-log series the paper plots, the curve endpoints
+/// (maximum workload at nominal voltage), and the power saving at the
+/// workload the paper highlights.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace ulpsync::bench {
+
+struct Fig3Reference {
+  double highlight_mops;   ///< workload the paper annotates
+  double paper_saving_pct; ///< paper's saving at that workload
+  double paper_wo_max_mops, paper_wo_max_mw;
+  double paper_with_max_mops, paper_with_max_mw;
+};
+
+inline int run_fig3(kernels::BenchmarkKind kind, const Fig3Reference& ref,
+                    int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  kernels::BenchmarkParams params;
+  params.samples = static_cast<unsigned>(args.get_int("samples", 192));
+
+  const auto pair = run_pair(kind, params);
+  const power::VoltageScaling scaling{power::VoltageParams{}};
+  const power::WorkloadSweep sweep_wo(pair.baseline.character, scaling);
+  const power::WorkloadSweep sweep_with(pair.synchronized_.character, scaling);
+
+  std::printf("Fig. 3 reproduction (%s): total power vs workload, voltage scaling\n\n",
+              std::string(kernels::benchmark_name(kind)).c_str());
+
+  util::Table table({"MOps/s", "P w/o (mW)", "V w/o", "P with (mW)", "V with",
+                     "saving"});
+  for (const auto& point : sweep_wo.curve(1.0, 4)) {
+    std::vector<std::string> row = {util::Table::num(point.mops, 1),
+                                    util::Table::num(point.breakdown.total_mw(), 3),
+                                    util::Table::num(point.voltage, 2)};
+    if (const auto with = sweep_with.at(point.mops)) {
+      const double saving =
+          1.0 - with->breakdown.total_mw() / point.breakdown.total_mw();
+      row.push_back(util::Table::num(with->breakdown.total_mw(), 3));
+      row.push_back(util::Table::num(with->voltage, 2));
+      row.push_back(util::Table::num(100.0 * saving, 1) + "%");
+    } else {
+      row.insert(row.end(), {"-", "-", "-"});
+    }
+    table.add_row(row);
+  }
+  // Beyond the baseline's endpoint, only the synchronized design runs.
+  for (const auto& point : sweep_with.curve(sweep_wo.max_mops() * 1.1, 4)) {
+    table.add_row({util::Table::num(point.mops, 1), "infeasible", "-",
+                   util::Table::num(point.breakdown.total_mw(), 3),
+                   util::Table::num(point.voltage, 2), "-"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  maybe_write_csv(args, table);
+
+  const auto wo_max = sweep_wo.at(sweep_wo.max_mops());
+  const auto with_max = sweep_with.at(sweep_with.max_mops());
+  std::printf("Curve endpoints (max workload @ nominal voltage):\n");
+  std::printf("  w/o : measured %.0f MOps/s @ %.2f mW   (paper %.0f MOps/s @ %.2f mW)\n",
+              wo_max->mops, wo_max->breakdown.total_mw(), ref.paper_wo_max_mops,
+              ref.paper_wo_max_mw);
+  std::printf("  with: measured %.0f MOps/s @ %.2f mW   (paper %.0f MOps/s @ %.2f mW)\n\n",
+              with_max->mops, with_max->breakdown.total_mw(),
+              ref.paper_with_max_mops, ref.paper_with_max_mw);
+
+  const auto wo_at = sweep_wo.at(ref.highlight_mops);
+  const auto with_at = sweep_with.at(ref.highlight_mops);
+  if (wo_at && with_at) {
+    const double saving =
+        100.0 * (1.0 - with_at->breakdown.total_mw() / wo_at->breakdown.total_mw());
+    std::printf("Power saving at the paper's highlighted %.0f MOps/s:\n",
+                ref.highlight_mops);
+    std::printf("  measured %.0f%%   (paper: up to %.0f%%)\n", saving,
+                ref.paper_saving_pct);
+  } else {
+    std::printf("Highlighted workload %.0f MOps/s infeasible for the baseline;\n"
+                "nearest feasible comparison at %.0f MOps/s\n",
+                ref.highlight_mops, sweep_wo.max_mops());
+    const auto wo_near = sweep_wo.at(sweep_wo.max_mops());
+    const auto with_near = sweep_with.at(sweep_wo.max_mops());
+    if (wo_near && with_near) {
+      std::printf("  measured %.0f%%   (paper: up to %.0f%%)\n",
+                  100.0 * (1.0 - with_near->breakdown.total_mw() /
+                                     wo_near->breakdown.total_mw()),
+                  ref.paper_saving_pct);
+    }
+  }
+  return 0;
+}
+
+}  // namespace ulpsync::bench

@@ -1,0 +1,99 @@
+// E9: google-benchmark microbenchmarks of the simulator substrate itself —
+// platform tick rate under lockstep / diverged / synchronizing workloads,
+// assembler throughput, and the instrumentation pass.
+
+#include <benchmark/benchmark.h>
+
+#include "asm/assembler.h"
+#include "core/instrument.h"
+#include "kernels/benchmark.h"
+#include "kernels/sources.h"
+#include "sim/platform.h"
+
+namespace {
+
+using namespace ulpsync;
+
+const assembler::Program& lockstep_program() {
+  static const auto program = [] {
+    std::string source = "start:\n";
+    for (int i = 0; i < 32; ++i) source += "  addi r1, r1, 1\n";
+    source += "  bra start\n";
+    return assembler::assemble(source).program;
+  }();
+  return program;
+}
+
+const assembler::Program& diverged_program() {
+  static const auto program = assembler::assemble(R"(
+      csrr r1, #0
+      movi r2, 0
+  loop:
+      add  r2, r2, r1
+      andi r3, r2, 7
+      cmpi r3, 4
+      blt  low
+      addi r2, r2, 3
+  low:
+      bra  loop
+  )").program;
+  return program;
+}
+
+void BM_PlatformTickLockstep(benchmark::State& state) {
+  sim::Platform platform(sim::PlatformConfig::with_synchronizer());
+  platform.load_program(lockstep_program());
+  for (auto _ : state) platform.tick();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          platform.config().num_cores);
+}
+BENCHMARK(BM_PlatformTickLockstep);
+
+void BM_PlatformTickDiverged(benchmark::State& state) {
+  sim::Platform platform(sim::PlatformConfig::without_synchronizer());
+  platform.load_program(diverged_program());
+  for (auto _ : state) platform.tick();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          platform.config().num_cores);
+}
+BENCHMARK(BM_PlatformTickDiverged);
+
+void BM_FullBenchmarkRun(benchmark::State& state) {
+  kernels::BenchmarkParams params;
+  params.samples = 32;
+  kernels::Benchmark benchmark(kernels::BenchmarkKind::kSqrt32, params);
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    const auto run = kernels::run_benchmark(benchmark, state.range(0) != 0);
+    cycles += run.counters.cycles;
+    benchmark::DoNotOptimize(run.counters.cycles);
+  }
+  state.counters["sim_cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FullBenchmarkRun)->Arg(0)->Arg(1);
+
+void BM_Assembler(benchmark::State& state) {
+  const std::string source = kernels::mrpfltr_source(true);
+  for (auto _ : state) {
+    auto result = assembler::assemble(source);
+    benchmark::DoNotOptimize(result.program.image.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(source.size()));
+}
+BENCHMARK(BM_Assembler);
+
+void BM_AutoInstrument(benchmark::State& state) {
+  const auto program =
+      assembler::assemble(kernels::mrpdln_source(false)).program;
+  for (auto _ : state) {
+    auto result = core::auto_instrument(program, core::InstrumentOptions{});
+    benchmark::DoNotOptimize(result.program.code.data());
+  }
+}
+BENCHMARK(BM_AutoInstrument);
+
+}  // namespace
+
+BENCHMARK_MAIN();

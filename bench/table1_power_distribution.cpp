@@ -1,0 +1,98 @@
+// Reproduces Table I: dynamic power distribution of both designs while
+// running the reference benchmarks at 8 MOps/s and 1.2 V.
+//
+// The paper reports, per component, the range across the three benchmarks;
+// this harness prints the per-benchmark values, the measured min..max
+// range, and the paper's range side by side.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace ulpsync;
+
+struct PaperRange {
+  const char* component;
+  double wo_lo, wo_hi;      // w/o synchronizer
+  double with_lo, with_hi;  // with synchronizer
+};
+
+// Table I of the paper (mW at 8 MOps/s, 1.2 V).
+constexpr PaperRange kPaper[] = {
+    {"Total (dynamic)", 0.64, 0.94, 0.47, 0.58},
+    {"Cores", 0.14, 0.14, 0.16, 0.16},
+    {"IM", 0.20, 0.36, 0.09, 0.15},
+    {"DM", 0.05, 0.08, 0.06, 0.08},
+    {"D-Xbar", 0.06, 0.06, 0.05, 0.05},
+    {"I-Xbar", 0.03, 0.03, 0.02, 0.02},
+    {"Synchronizer", 0.0, 0.0, 0.01, 0.01},
+    {"Clock Tree", 0.09, 0.16, 0.05, 0.08},
+};
+
+double component_value(const power::PowerBreakdown& b, unsigned row) {
+  switch (row) {
+    case 0: return b.dynamic_mw();
+    case 1: return b.cores_mw;
+    case 2: return b.im_mw;
+    case 3: return b.dm_mw;
+    case 4: return b.dxbar_mw;
+    case 5: return b.ixbar_mw;
+    case 6: return b.synchronizer_mw;
+    case 7: return b.clock_tree_mw;
+  }
+  return 0.0;
+}
+
+std::string range(double lo, double hi) {
+  if (lo == hi) return util::Table::num(lo, 2);
+  return util::Table::num(lo, 2) + " .. " + util::Table::num(hi, 2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  kernels::BenchmarkParams params;
+  params.samples = static_cast<unsigned>(args.get_int("samples", 256));
+  const double workload_mops = args.get_double("mops", 8.0);
+
+  std::printf("Table I reproduction: dynamic power distribution at %.1f MOps/s, 1.2 V\n\n",
+              workload_mops);
+
+  std::vector<bench::BenchmarkPair> pairs;
+  for (auto kind : kernels::kAllBenchmarks)
+    pairs.push_back(bench::run_pair(kind, params));
+
+  // Power at the fixed workload: f = W / (ops/cycle) at nominal voltage.
+  auto breakdown_for = [&](const bench::DesignRun& design) {
+    const double f_mhz = workload_mops / design.character.ops_per_cycle;
+    return power::breakdown_at(design.character.energy, f_mhz,
+                               /*dynamic_scale=*/1.0, /*leakage_mw=*/0.0);
+  };
+
+  for (int with_sync = 0; with_sync <= 1; ++with_sync) {
+    std::printf("--- %s ---\n", with_sync ? "with synchronizer" : "w/o synchronizer");
+    util::Table table({"Component", "MRPFLTR (mW)", "SQRT32 (mW)", "MRPDLN (mW)",
+                       "measured range", "paper range"});
+    for (unsigned row = 0; row < 8; ++row) {
+      std::vector<std::string> cells = {kPaper[row].component};
+      double lo = 1e99, hi = -1e99;
+      for (const auto& pair : pairs) {
+        const auto& design = with_sync ? pair.synchronized_ : pair.baseline;
+        const double value = component_value(breakdown_for(design), row);
+        cells.push_back(util::Table::num(value, 3));
+        lo = std::min(lo, value);
+        hi = std::max(hi, value);
+      }
+      cells.push_back(range(lo, hi));
+      cells.push_back(with_sync ? range(kPaper[row].with_lo, kPaper[row].with_hi)
+                                : range(kPaper[row].wo_lo, kPaper[row].wo_hi));
+      table.add_row(cells);
+    }
+    std::printf("%s\n", table.to_string().c_str());
+  }
+  return 0;
+}

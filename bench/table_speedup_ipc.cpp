@@ -1,0 +1,60 @@
+// Reproduces the Section V-B performance claims:
+//  * speed-up of up to 2.4x from resynchronization,
+//  * 2.5..4.0 Ops/cycle with the synchronizer vs 1.1..2.0 without,
+//  * the implied Fig. 3 maximum workloads at the 83.3 MHz nominal clock.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace ulpsync;
+  const util::CliArgs args(argc, argv);
+  kernels::BenchmarkParams params;
+  params.samples = static_cast<unsigned>(args.get_int("samples", 256));
+
+  // Paper values decoded from Fig. 3 endpoints (max MOps / 83.33 MHz).
+  struct Paper {
+    double ipc_wo, ipc_with;
+  };
+  const Paper paper[3] = {{1.07, 2.53}, {1.87, 3.48}, {2.00, 4.03}};
+
+  std::printf("Section V-B reproduction: speed-up and Ops/cycle (N=%u samples/channel)\n\n",
+              params.samples);
+  util::Table table({"Benchmark", "ops/cycle w/o", "paper w/o", "ops/cycle with",
+                     "paper with", "speedup", "paper speedup", "cycles w/o",
+                     "cycles with"});
+
+  const power::VoltageScaling scaling{power::VoltageParams{}};
+  unsigned row = 0;
+  for (auto kind : kernels::kAllBenchmarks) {
+    const auto pair = bench::run_pair(kind, params);
+    const double ipc_wo = pair.baseline.character.ops_per_cycle;
+    const double ipc_with = pair.synchronized_.character.ops_per_cycle;
+    const double speedup = static_cast<double>(pair.baseline.run.counters.cycles) /
+                           static_cast<double>(pair.synchronized_.run.counters.cycles);
+    table.add_row({std::string(kernels::benchmark_name(kind)),
+                   util::Table::num(ipc_wo), util::Table::num(paper[row].ipc_wo),
+                   util::Table::num(ipc_with), util::Table::num(paper[row].ipc_with),
+                   util::Table::num(speedup) + "x",
+                   util::Table::num(paper[row].ipc_with / paper[row].ipc_wo) + "x",
+                   std::to_string(pair.baseline.run.counters.cycles),
+                   std::to_string(pair.synchronized_.run.counters.cycles)});
+    ++row;
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  bench::maybe_write_csv(args, table);
+  std::printf("Implied maximum workloads at %.1f MHz (Fig. 3 endpoints):\n",
+              scaling.nominal_fmax_mhz());
+  std::printf("  paper: MRPFLTR 89 -> 211, SQRT32 156 -> 290, MRPDLN 167 -> 336 MOps/s\n");
+  row = 0;
+  for (auto kind : kernels::kAllBenchmarks) {
+    const auto pair = bench::run_pair(kind, params);
+    std::printf("  %-8s: %.0f -> %.0f MOps/s\n",
+                std::string(kernels::benchmark_name(kind)).c_str(),
+                pair.baseline.character.ops_per_cycle * scaling.nominal_fmax_mhz(),
+                pair.synchronized_.character.ops_per_cycle * scaling.nominal_fmax_mhz());
+    ++row;
+  }
+  return 0;
+}

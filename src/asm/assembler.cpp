@@ -1,0 +1,581 @@
+#include "asm/assembler.h"
+
+#include <cassert>
+#include <cctype>
+#include <cstdio>
+#include <optional>
+#include <sstream>
+
+namespace ulpsync::assembler {
+
+namespace {
+
+using isa::Format;
+using isa::Instruction;
+using isa::Opcode;
+
+std::string to_lower(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s)
+    out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  return out;
+}
+
+/// A lexical token. Punctuation tokens hold their single character in
+/// `text`; word tokens hold identifiers, numbers, directives.
+struct Token {
+  std::string text;
+  bool is_punct = false;
+};
+
+/// Splits one logical line into tokens. Commas, brackets, '#', '+', '-'
+/// are punctuation; everything else groups into words. Comments (';' or
+/// "//") terminate the scan.
+std::vector<Token> tokenize_line(std::string_view line) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (c == ';' || (c == '/' && i + 1 < line.size() && line[i + 1] == '/')) break;
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == ',' || c == '[' || c == ']' || c == '#' || c == '+' || c == '-' ||
+        c == ':') {
+      tokens.push_back({std::string(1, c), true});
+      ++i;
+      continue;
+    }
+    std::size_t start = i;
+    while (i < line.size()) {
+      const char w = line[i];
+      if (std::isspace(static_cast<unsigned char>(w)) || w == ',' || w == '[' ||
+          w == ']' || w == '#' || w == '+' || w == '-' || w == ':' || w == ';')
+        break;
+      ++i;
+    }
+    tokens.push_back({std::string(line.substr(start, i - start)), false});
+  }
+  return tokens;
+}
+
+std::optional<std::uint8_t> parse_register(std::string_view text) {
+  if (text.size() < 2 || text.size() > 3) return std::nullopt;
+  if (text[0] != 'r' && text[0] != 'R') return std::nullopt;
+  unsigned value = 0;
+  for (char c : text.substr(1)) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return std::nullopt;
+    value = value * 10 + static_cast<unsigned>(c - '0');
+  }
+  if (value >= isa::kNumRegisters) return std::nullopt;
+  return static_cast<std::uint8_t>(value);
+}
+
+std::optional<std::int64_t> parse_number(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  int base = 10;
+  std::size_t pos = 0;
+  if (text.size() > 2 && text[0] == '0' && (text[1] == 'x' || text[1] == 'X')) {
+    base = 16;
+    pos = 2;
+  } else if (text.size() > 2 && text[0] == '0' &&
+             (text[1] == 'b' || text[1] == 'B')) {
+    base = 2;
+    pos = 2;
+  }
+  std::int64_t value = 0;
+  bool any = false;
+  for (; pos < text.size(); ++pos) {
+    const char c = text[pos];
+    int digit = -1;
+    if (std::isdigit(static_cast<unsigned char>(c))) digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = 10 + (c - 'a');
+    else if (c >= 'A' && c <= 'F') digit = 10 + (c - 'A');
+    if (digit < 0 || digit >= base) return std::nullopt;
+    value = value * base + digit;
+    if (value > 0x7FFFFFFFLL) return std::nullopt;
+    any = true;
+  }
+  if (!any) return std::nullopt;
+  return value;
+}
+
+/// An operand expression captured in pass 1 and evaluated in pass 2 (when
+/// all label addresses are known).
+struct Expr {
+  // Terms are (sign, symbol-or-number) pairs.
+  struct Term {
+    int sign = 1;
+    bool is_number = false;
+    std::int64_t number = 0;
+    std::string symbol;
+  };
+  std::vector<Term> terms;
+};
+
+/// One statement awaiting encoding.
+struct PendingInstr {
+  int line = 0;
+  std::uint32_t address = 0;
+  Opcode op = Opcode::kHalt;
+  std::uint8_t rd = 0, ra = 0, rb = 0;
+  Expr imm;          // empty => immediate 0
+  bool relative = false;  // conditional branch/BRA: encode target - (pc+1)
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view source) : source_(source) {}
+
+  AssembleResult run() {
+    first_pass();
+    second_pass();
+    return std::move(result_);
+  }
+
+ private:
+  void error(int line, std::string message) {
+    result_.errors.push_back({line, std::move(message)});
+  }
+
+  void first_pass() {
+    std::istringstream stream{std::string(source_)};
+    std::string raw;
+    int line_no = 0;
+    bool origin_set = false;
+    while (std::getline(stream, raw)) {
+      ++line_no;
+      auto tokens = tokenize_line(raw);
+      std::size_t pos = 0;
+      // Leading labels: IDENT ':'
+      while (pos + 1 < tokens.size() && !tokens[pos].is_punct &&
+             tokens[pos + 1].text == ":") {
+        const std::string label = to_lower(tokens[pos].text);
+        if (parse_register(label) || parse_number(label)) {
+          error(line_no, "invalid label name '" + tokens[pos].text + "'");
+        } else if (!result_.program.labels.emplace(label, location_).second) {
+          error(line_no, "duplicate label '" + tokens[pos].text + "'");
+        }
+        pos += 2;
+      }
+      if (pos >= tokens.size()) continue;
+      const std::string head = to_lower(tokens[pos].text);
+      if (head == ".org") {
+        auto value = parse_expr_now(tokens, pos + 1, line_no);
+        if (value) {
+          if (origin_set || !pending_.empty()) {
+            error(line_no, ".org must appear before any instruction");
+          } else {
+            location_ = static_cast<std::uint32_t>(*value);
+            result_.program.origin = location_;
+            origin_set = true;
+          }
+        }
+        continue;
+      }
+      if (head == ".equ") {
+        parse_equ(tokens, pos + 1, line_no);
+        continue;
+      }
+      if (head.size() > 1 && head[0] == '.') {
+        error(line_no, "unknown directive '" + head + "'");
+        continue;
+      }
+      parse_instruction(tokens, pos, line_no);
+    }
+  }
+
+  /// Evaluates an expression that must be resolvable during pass 1
+  /// (directive operands: numbers and already-defined .equ symbols).
+  std::optional<std::int64_t> parse_expr_now(const std::vector<Token>& tokens,
+                                             std::size_t pos, int line_no) {
+    Expr expr;
+    if (!collect_expr(tokens, pos, line_no, expr)) return std::nullopt;
+    return evaluate(expr, line_no, /*allow_labels=*/false);
+  }
+
+  void parse_equ(const std::vector<Token>& tokens, std::size_t pos, int line_no) {
+    if (pos >= tokens.size() || tokens[pos].is_punct) {
+      error(line_no, ".equ requires a symbol name");
+      return;
+    }
+    const std::string name = to_lower(tokens[pos].text);
+    ++pos;
+    if (pos < tokens.size() && tokens[pos].text == ",") ++pos;
+    Expr expr;
+    if (!collect_expr(tokens, pos, line_no, expr)) return;
+    const auto value = evaluate(expr, line_no, /*allow_labels=*/false);
+    if (!value) return;
+    if (!constants_.emplace(name, *value).second)
+      error(line_no, "duplicate .equ symbol '" + name + "'");
+  }
+
+  /// Collects a (+/- separated) expression starting at `pos`, consuming to
+  /// the end of the operand (',' or ']' or end of line).
+  bool collect_expr(const std::vector<Token>& tokens, std::size_t& pos,
+                    int line_no, Expr& out) {
+    int sign = 1;
+    bool expect_term = true;
+    bool any = false;
+    while (pos < tokens.size()) {
+      const Token& tok = tokens[pos];
+      if (tok.text == "," || tok.text == "]") break;
+      if (tok.text == "+") {
+        if (expect_term && any) {
+          error(line_no, "misplaced '+' in expression");
+          return false;
+        }
+        expect_term = true;
+        ++pos;
+        continue;
+      }
+      if (tok.text == "-") {
+        sign = expect_term ? -sign : -1;
+        expect_term = true;
+        ++pos;
+        continue;
+      }
+      if (tok.is_punct) {
+        error(line_no, "unexpected '" + tok.text + "' in expression");
+        return false;
+      }
+      Expr::Term term;
+      term.sign = sign;
+      const std::string word = to_lower(tok.text);
+      if (auto num = parse_number(word)) {
+        term.is_number = true;
+        term.number = *num;
+      } else {
+        term.symbol = word;
+      }
+      out.terms.push_back(std::move(term));
+      sign = 1;
+      expect_term = false;
+      any = true;
+      ++pos;
+    }
+    if (!any || expect_term) {
+      error(line_no, "expected expression");
+      return false;
+    }
+    return true;
+  }
+
+  std::optional<std::int64_t> evaluate(const Expr& expr, int line_no,
+                                       bool allow_labels) {
+    std::int64_t value = 0;
+    for (const auto& term : expr.terms) {
+      std::int64_t term_value = 0;
+      if (term.is_number) {
+        term_value = term.number;
+      } else if (auto it = constants_.find(term.symbol); it != constants_.end()) {
+        term_value = it->second;
+      } else if (allow_labels) {
+        auto label = result_.program.labels.find(term.symbol);
+        if (label == result_.program.labels.end()) {
+          error(line_no, "undefined symbol '" + term.symbol + "'");
+          return std::nullopt;
+        }
+        term_value = label->second;
+      } else {
+        error(line_no, "symbol '" + term.symbol + "' not defined at this point");
+        return std::nullopt;
+      }
+      value += term.sign * term_value;
+    }
+    return value;
+  }
+
+  bool expect_punct(const std::vector<Token>& tokens, std::size_t& pos,
+                    std::string_view what, int line_no) {
+    if (pos >= tokens.size() || tokens[pos].text != what) {
+      error(line_no, "expected '" + std::string(what) + "'");
+      return false;
+    }
+    ++pos;
+    return true;
+  }
+
+  std::optional<std::uint8_t> expect_register(const std::vector<Token>& tokens,
+                                              std::size_t& pos, int line_no) {
+    if (pos < tokens.size() && !tokens[pos].is_punct) {
+      if (auto reg = parse_register(tokens[pos].text)) {
+        ++pos;
+        return reg;
+      }
+    }
+    error(line_no, "expected register");
+    return std::nullopt;
+  }
+
+  void skip_comma(const std::vector<Token>& tokens, std::size_t& pos) {
+    if (pos < tokens.size() && tokens[pos].text == ",") ++pos;
+  }
+
+  void parse_instruction(const std::vector<Token>& tokens, std::size_t pos,
+                         int line_no) {
+    const std::string mnemonic = to_lower(tokens[pos].text);
+    ++pos;
+
+    PendingInstr instr;
+    instr.line = line_no;
+    instr.address = location_;
+
+    // Pseudo-instructions expand to ADD forms.
+    if (mnemonic == "nop") {
+      instr.op = Opcode::kAdd;
+      finish(instr, tokens, pos, line_no, /*want_end=*/true);
+      return;
+    }
+    if (mnemonic == "mov") {
+      instr.op = Opcode::kAdd;
+      auto rd = expect_register(tokens, pos, line_no);
+      skip_comma(tokens, pos);
+      auto ra = expect_register(tokens, pos, line_no);
+      if (!rd || !ra) return;
+      instr.rd = *rd;
+      instr.ra = *ra;
+      finish(instr, tokens, pos, line_no, /*want_end=*/true);
+      return;
+    }
+
+    const auto op = isa::opcode_from_mnemonic(mnemonic);
+    if (!op) {
+      error(line_no, "unknown mnemonic '" + mnemonic + "'");
+      return;
+    }
+    instr.op = *op;
+    const Format fmt = isa::opcode_info(*op).format;
+    switch (fmt) {
+      case Format::kR: {
+        auto rd = expect_register(tokens, pos, line_no);
+        skip_comma(tokens, pos);
+        auto ra = expect_register(tokens, pos, line_no);
+        skip_comma(tokens, pos);
+        auto rb = expect_register(tokens, pos, line_no);
+        if (!rd || !ra || !rb) return;
+        instr.rd = *rd; instr.ra = *ra; instr.rb = *rb;
+        break;
+      }
+      case Format::kI: {
+        auto rd = expect_register(tokens, pos, line_no);
+        if (!rd) return;
+        instr.rd = *rd;
+        skip_comma(tokens, pos);
+        if (instr.op == Opcode::kLd) {
+          if (!expect_punct(tokens, pos, "[", line_no)) return;
+          auto ra = expect_register(tokens, pos, line_no);
+          if (!ra) return;
+          instr.ra = *ra;
+          if (pos < tokens.size() && tokens[pos].text != "]") {
+            if (!collect_expr(tokens, pos, line_no, instr.imm)) return;
+          }
+          if (!expect_punct(tokens, pos, "]", line_no)) return;
+        } else {
+          auto ra = expect_register(tokens, pos, line_no);
+          if (!ra) return;
+          instr.ra = *ra;
+          skip_comma(tokens, pos);
+          if (!collect_expr(tokens, pos, line_no, instr.imm)) return;
+        }
+        break;
+      }
+      case Format::kSt: {
+        if (!expect_punct(tokens, pos, "[", line_no)) return;
+        auto ra = expect_register(tokens, pos, line_no);
+        if (!ra) return;
+        instr.ra = *ra;
+        if (pos < tokens.size() && tokens[pos].text != "]") {
+          if (!collect_expr(tokens, pos, line_no, instr.imm)) return;
+        }
+        if (!expect_punct(tokens, pos, "]", line_no)) return;
+        skip_comma(tokens, pos);
+        auto rd = expect_register(tokens, pos, line_no);
+        if (!rd) return;
+        instr.rd = *rd;
+        break;
+      }
+      case Format::kRr: {
+        auto ra = expect_register(tokens, pos, line_no);
+        skip_comma(tokens, pos);
+        auto rb = expect_register(tokens, pos, line_no);
+        if (!ra || !rb) return;
+        instr.ra = *ra; instr.rb = *rb;
+        break;
+      }
+      case Format::kRi: {
+        auto ra = expect_register(tokens, pos, line_no);
+        if (!ra) return;
+        instr.ra = *ra;
+        skip_comma(tokens, pos);
+        if (!collect_expr(tokens, pos, line_no, instr.imm)) return;
+        break;
+      }
+      case Format::kI16: {
+        auto rd = expect_register(tokens, pos, line_no);
+        if (!rd) return;
+        instr.rd = *rd;
+        skip_comma(tokens, pos);
+        if (!collect_expr(tokens, pos, line_no, instr.imm)) return;
+        break;
+      }
+      case Format::kX: {
+        auto rd = expect_register(tokens, pos, line_no);
+        if (!rd) return;
+        instr.rd = *rd;
+        skip_comma(tokens, pos);
+        if (!expect_punct(tokens, pos, "[", line_no)) return;
+        auto ra = expect_register(tokens, pos, line_no);
+        if (!ra) return;
+        instr.ra = *ra;
+        if (!expect_punct(tokens, pos, "+", line_no)) return;
+        auto rb = expect_register(tokens, pos, line_no);
+        if (!rb) return;
+        instr.rb = *rb;
+        if (!expect_punct(tokens, pos, "]", line_no)) return;
+        break;
+      }
+      case Format::kB: {
+        instr.relative = true;
+        if (!collect_expr(tokens, pos, line_no, instr.imm)) return;
+        break;
+      }
+      case Format::kJal: {
+        auto rd = expect_register(tokens, pos, line_no);
+        if (!rd) return;
+        instr.rd = *rd;
+        skip_comma(tokens, pos);
+        if (!collect_expr(tokens, pos, line_no, instr.imm)) return;
+        break;
+      }
+      case Format::kJr: {
+        auto ra = expect_register(tokens, pos, line_no);
+        if (!ra) return;
+        instr.ra = *ra;
+        break;
+      }
+      case Format::kCsrR: {
+        auto rd = expect_register(tokens, pos, line_no);
+        if (!rd) return;
+        instr.rd = *rd;
+        skip_comma(tokens, pos);
+        if (pos < tokens.size() && tokens[pos].text == "#") ++pos;
+        if (!collect_expr(tokens, pos, line_no, instr.imm)) return;
+        break;
+      }
+      case Format::kCsrW: {
+        if (pos < tokens.size() && tokens[pos].text == "#") ++pos;
+        if (!collect_expr(tokens, pos, line_no, instr.imm)) return;
+        skip_comma(tokens, pos);
+        auto ra = expect_register(tokens, pos, line_no);
+        if (!ra) return;
+        instr.ra = *ra;
+        break;
+      }
+      case Format::kSync: {
+        if (pos < tokens.size() && tokens[pos].text == "#") ++pos;
+        if (!collect_expr(tokens, pos, line_no, instr.imm)) return;
+        break;
+      }
+      case Format::kN:
+        break;
+    }
+    finish(instr, tokens, pos, line_no, /*want_end=*/true);
+  }
+
+  void finish(PendingInstr& instr, const std::vector<Token>& tokens,
+              std::size_t pos, int line_no, bool want_end) {
+    if (want_end && pos < tokens.size()) {
+      error(line_no, "trailing tokens after instruction");
+      return;
+    }
+    pending_.push_back(std::move(instr));
+    ++location_;
+  }
+
+  void second_pass() {
+    if (!result_.errors.empty()) return;
+    auto& program = result_.program;
+    program.code.reserve(pending_.size());
+    program.image.reserve(pending_.size());
+    for (const auto& pi : pending_) {
+      Instruction out;
+      out.op = pi.op;
+      out.rd = pi.rd;
+      out.ra = pi.ra;
+      out.rb = pi.rb;
+      std::int64_t imm = 0;
+      if (!pi.imm.terms.empty()) {
+        const auto value = evaluate(pi.imm, pi.line, /*allow_labels=*/true);
+        if (!value) continue;
+        imm = *value;
+      }
+      if (pi.relative) {
+        // Branch displacement from the fall-through PC.
+        imm -= static_cast<std::int64_t>(pi.address) + 1;
+      }
+      if (pi.op == Opcode::kMovi) {
+        // MOVI loads a raw 16-bit pattern; accept signed [-32768, 65535].
+        if (imm < -0x8000 || imm > 0xFFFF) {
+          error(pi.line, "movi immediate out of 16-bit range");
+          continue;
+        }
+        imm &= 0xFFFF;
+      }
+      out.imm = static_cast<std::int32_t>(imm);
+      const auto encoded = isa::encode(out);
+      if (!encoded) {
+        error(pi.line, "operand out of range for '" +
+                           std::string(isa::opcode_info(pi.op).mnemonic) + "'");
+        continue;
+      }
+      program.code.push_back(out);
+      program.image.push_back(*encoded);
+    }
+  }
+
+  std::string_view source_;
+  AssembleResult result_;
+  std::map<std::string, std::int64_t, std::less<>> constants_;
+  std::vector<PendingInstr> pending_;
+  std::uint32_t location_ = 0;
+};
+
+}  // namespace
+
+std::string AssembleResult::error_text() const {
+  std::ostringstream out;
+  for (const auto& err : errors)
+    out << "line " << err.line << ": " << err.message << '\n';
+  return out.str();
+}
+
+AssembleResult assemble(std::string_view source) {
+  return Parser(source).run();
+}
+
+std::string listing(const Program& program) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < program.code.size(); ++i) {
+    const std::uint32_t address = program.origin + static_cast<std::uint32_t>(i);
+    char head[32];
+    std::snprintf(head, sizeof head, "%04x  %08x  ", address, program.image[i]);
+    out << head << isa::disassemble(program.code[i]) << '\n';
+  }
+  return out.str();
+}
+
+std::vector<std::uint32_t> reencode(const std::vector<isa::Instruction>& code) {
+  std::vector<std::uint32_t> image;
+  image.reserve(code.size());
+  for (const auto& instr : code) {
+    const auto word = isa::encode(instr);
+    assert(word && "rewritten instruction must be encodable");
+    image.push_back(*word);
+  }
+  return image;
+}
+
+}  // namespace ulpsync::assembler

@@ -1,0 +1,75 @@
+#pragma once
+
+/// Two-pass assembler for TR16 assembly source.
+///
+/// Syntax overview (one statement per line):
+///
+///     ; comment, also '//' comments
+///     .org 0                ; set the location counter (instruction slots)
+///     .equ BUF_BASE, 0x100  ; define a constant symbol
+///     loop:                 ; label (also "loop: add r1, r1, r2")
+///         movi  r1, 512
+///         ld    r2, [r3+BUF_BASE+4]
+///         cmp   r2, r1
+///         blt   loop        ; branch targets are labels
+///         sinc  #2          ; ISE literals use '#'
+///         halt
+///
+/// Operands: registers `r0`..`r15` (case-insensitive); immediate expressions
+/// are sums/differences of decimal/hex literals, `.equ` symbols and labels
+/// (a label evaluates to its absolute instruction address). Conditional
+/// branches and BRA encode the *relative* offset to the target; `jal`
+/// encodes the absolute address.
+///
+/// Pseudo-instructions: `nop` (= add r0,r0,r0), `mov rd, ra` (= add rd,ra,r0).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "isa/isa.h"
+
+namespace ulpsync::assembler {
+
+/// One diagnostics entry, 1-based source line.
+struct SourceError {
+  int line = 0;
+  std::string message;
+};
+
+/// Assembled program: decoded instructions plus the encoded image, both
+/// indexed from `origin` (instruction slots in IM).
+struct Program {
+  std::uint32_t origin = 0;
+  std::vector<isa::Instruction> code;
+  std::vector<std::uint32_t> image;
+  std::map<std::string, std::uint32_t, std::less<>> labels;
+
+  [[nodiscard]] std::size_t size() const { return code.size(); }
+};
+
+struct AssembleResult {
+  Program program;
+  std::vector<SourceError> errors;
+
+  [[nodiscard]] bool ok() const { return errors.empty(); }
+  /// All diagnostics joined as "line N: message" lines (for test output).
+  [[nodiscard]] std::string error_text() const;
+};
+
+/// Assembles TR16 source text. On error, `program` is unspecified.
+[[nodiscard]] AssembleResult assemble(std::string_view source);
+
+/// Renders an address/encoding/disassembly listing of a program, e.g. for
+/// debugging kernels:  `0042  0c46a003  add r3, r1, r2`.
+[[nodiscard]] std::string listing(const Program& program);
+
+/// Re-encodes a decoded instruction sequence into an image. Used by the
+/// instrumentation pass after it rewrites a program. Aborts (assert) on
+/// encoding failure since rewritten instructions must stay encodable.
+[[nodiscard]] std::vector<std::uint32_t> reencode(
+    const std::vector<isa::Instruction>& code);
+
+}  // namespace ulpsync::assembler

@@ -1,0 +1,468 @@
+#include "core/cfg.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+namespace ulpsync::core {
+
+namespace {
+
+using isa::Instruction;
+using isa::Opcode;
+
+/// Successor instruction indices of `code[i]` (program-relative). JAL is
+/// treated as fall-through (the call returns); JR and HALT terminate.
+std::vector<std::uint32_t> instr_successors(const std::vector<Instruction>& code,
+                                            std::uint32_t i,
+                                            std::uint32_t origin) {
+  const Instruction& instr = code[i];
+  std::vector<std::uint32_t> out;
+  auto push = [&](std::int64_t target) {
+    if (target >= 0 && target < static_cast<std::int64_t>(code.size()))
+      out.push_back(static_cast<std::uint32_t>(target));
+  };
+  if (isa::is_conditional_branch(instr.op)) {
+    push(static_cast<std::int64_t>(i) + 1);
+    push(static_cast<std::int64_t>(i) + 1 + instr.imm);
+  } else if (instr.op == Opcode::kBra) {
+    push(static_cast<std::int64_t>(i) + 1 + instr.imm);
+  } else if (instr.op == Opcode::kJal) {
+    push(static_cast<std::int64_t>(i) + 1);  // call treated as fall-through
+  } else if (instr.op == Opcode::kJr || instr.op == Opcode::kHalt) {
+    // no successors
+  } else {
+    push(static_cast<std::int64_t>(i) + 1);
+  }
+  (void)origin;
+  return out;
+}
+
+/// Register/flag divergence state: bit r set = register r may differ across
+/// cores; bit 16 = flags may differ.
+using VaryState = std::uint32_t;
+constexpr VaryState kFlagsBit = 1u << 16;
+
+bool reg_varying(VaryState s, unsigned r) {
+  return r != 0 && ((s >> r) & 1u) != 0;
+}
+
+VaryState set_reg(VaryState s, unsigned r, bool varying) {
+  if (r == 0) return s;
+  return varying ? (s | (1u << r)) : (s & ~(1u << r));
+}
+
+/// Applies one instruction's transfer function. `callee_writes` is used at
+/// JAL sites: every register the callee may write becomes varying (a
+/// conservative call summary).
+VaryState transfer(const Instruction& instr, VaryState s,
+                   std::uint32_t callee_writes) {
+  const bool a = reg_varying(s, instr.ra);
+  const bool b = reg_varying(s, instr.rb);
+  switch (instr.op) {
+    case Opcode::kAdd: case Opcode::kSub: case Opcode::kAnd: case Opcode::kOr:
+    case Opcode::kXor: case Opcode::kSll: case Opcode::kSrl: case Opcode::kSra:
+    case Opcode::kMul: case Opcode::kMulh:
+      return set_reg(s, instr.rd, a || b);
+    case Opcode::kAddi: case Opcode::kAndi: case Opcode::kOri:
+    case Opcode::kXori: case Opcode::kSlli: case Opcode::kSrli:
+    case Opcode::kSrai:
+      return set_reg(s, instr.rd, a);
+    case Opcode::kMovi:
+      return set_reg(s, instr.rd, false);
+    case Opcode::kCmp:
+      return (a || b) ? (s | kFlagsBit) : (s & ~kFlagsBit);
+    case Opcode::kCmpi:
+      return a ? (s | kFlagsBit) : (s & ~kFlagsBit);
+    case Opcode::kLd:
+      // A load from a uniform address reads the same shared word on every
+      // core (per-core aliasing through stores is not modeled; see header).
+      return set_reg(s, instr.rd, a);
+    case Opcode::kLdx:
+      return set_reg(s, instr.rd, a || b);
+    case Opcode::kCsrr:
+      switch (static_cast<isa::Csr>(instr.imm)) {
+        case isa::Csr::kCoreId: return set_reg(s, instr.rd, true);
+        default: return set_reg(s, instr.rd, false);
+      }
+    case Opcode::kJal: {
+      VaryState out = set_reg(s, instr.rd, false);
+      for (unsigned r = 1; r < isa::kNumRegisters; ++r) {
+        if ((callee_writes >> r) & 1u) out = set_reg(out, r, true);
+      }
+      return out | (callee_writes & kFlagsBit ? kFlagsBit : 0u);
+    }
+    default:
+      return s;  // stores, branches, CSRW, SINC/SDEC, SLEEP, HALT
+  }
+}
+
+/// Registers (and flags) an instruction may write, as a VaryState mask.
+std::uint32_t written_mask(const Instruction& instr) {
+  switch (instr.op) {
+    case Opcode::kAdd: case Opcode::kSub: case Opcode::kAnd: case Opcode::kOr:
+    case Opcode::kXor: case Opcode::kSll: case Opcode::kSrl: case Opcode::kSra:
+    case Opcode::kMul: case Opcode::kMulh: case Opcode::kAddi:
+    case Opcode::kAndi: case Opcode::kOri: case Opcode::kXori:
+    case Opcode::kSlli: case Opcode::kSrli: case Opcode::kSrai:
+    case Opcode::kMovi: case Opcode::kLd: case Opcode::kLdx:
+    case Opcode::kCsrr: case Opcode::kJal:
+      return instr.rd == 0 ? 0u : (1u << instr.rd);
+    case Opcode::kCmp: case Opcode::kCmpi:
+      return kFlagsBit;
+    default:
+      return 0u;
+  }
+}
+
+struct FunctionBuilder {
+  std::uint32_t entry = 0;
+  std::set<std::uint32_t> reachable;
+  std::vector<std::uint32_t> call_sites;  ///< JAL instruction indices
+};
+
+}  // namespace
+
+bool FunctionCfg::Loop::contains(std::uint32_t block) const {
+  return std::binary_search(body.begin(), body.end(), block);
+}
+
+bool FunctionCfg::dominates(std::uint32_t a, std::uint32_t b) const {
+  std::uint32_t walk = b;
+  for (;;) {
+    if (walk == a) return true;
+    if (walk == 0) return a == 0;
+    walk = idom[walk];
+  }
+}
+
+bool FunctionCfg::post_dominates(std::uint32_t a, std::uint32_t b) const {
+  const auto virtual_exit = static_cast<std::uint32_t>(blocks.size());
+  std::uint32_t walk = b;
+  while (walk != virtual_exit && walk != kNoPostDom) {
+    if (walk == a) return true;
+    walk = ipdom[walk];
+  }
+  return false;
+}
+
+std::uint32_t FunctionCfg::block_of(std::uint32_t instr) const {
+  for (std::uint32_t b = 0; b < blocks.size(); ++b) {
+    if (instr >= blocks[b].begin && instr < blocks[b].end) return b;
+  }
+  return 0xFFFFFFFF;
+}
+
+namespace {
+
+/// Cooper-Harvey-Kennedy iterative dominance on an explicit edge list.
+/// `preds[n]` lists predecessors of node n; node `root` is the start.
+/// Returns idom array (idom[root] = root; unreachable nodes = 0xFFFFFFFF).
+std::vector<std::uint32_t> compute_idom(
+    std::uint32_t num_nodes, std::uint32_t root,
+    const std::vector<std::vector<std::uint32_t>>& preds,
+    const std::vector<std::vector<std::uint32_t>>& succs) {
+  constexpr std::uint32_t kUndef = 0xFFFFFFFF;
+  // Reverse post-order from root.
+  std::vector<std::uint32_t> rpo;
+  std::vector<std::uint8_t> state(num_nodes, 0);
+  std::vector<std::uint32_t> stack = {root};
+  std::vector<std::uint32_t> post;
+  // Iterative DFS producing postorder.
+  std::vector<std::pair<std::uint32_t, std::size_t>> dfs;
+  dfs.emplace_back(root, 0);
+  state[root] = 1;
+  while (!dfs.empty()) {
+    auto& [node, edge] = dfs.back();
+    if (edge < succs[node].size()) {
+      const std::uint32_t next = succs[node][edge++];
+      if (state[next] == 0) {
+        state[next] = 1;
+        dfs.emplace_back(next, 0);
+      }
+    } else {
+      post.push_back(node);
+      dfs.pop_back();
+    }
+  }
+  rpo.assign(post.rbegin(), post.rend());
+  std::vector<std::uint32_t> rpo_number(num_nodes, kUndef);
+  for (std::uint32_t i = 0; i < rpo.size(); ++i) rpo_number[rpo[i]] = i;
+
+  std::vector<std::uint32_t> idom(num_nodes, kUndef);
+  idom[root] = root;
+  auto intersect = [&](std::uint32_t a, std::uint32_t b) {
+    while (a != b) {
+      while (rpo_number[a] > rpo_number[b]) a = idom[a];
+      while (rpo_number[b] > rpo_number[a]) b = idom[b];
+    }
+    return a;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::uint32_t node : rpo) {
+      if (node == root) continue;
+      std::uint32_t new_idom = kUndef;
+      for (std::uint32_t p : preds[node]) {
+        if (idom[p] == kUndef) continue;
+        new_idom = (new_idom == kUndef) ? p : intersect(p, new_idom);
+      }
+      if (new_idom != kUndef && idom[node] != new_idom) {
+        idom[node] = new_idom;
+        changed = true;
+      }
+    }
+  }
+  return idom;
+}
+
+}  // namespace
+
+ProgramCfg analyze_program(const std::vector<isa::Instruction>& code,
+                           std::uint32_t origin) {
+  ProgramCfg result;
+  if (code.empty()) {
+    result.error = "empty program";
+    return result;
+  }
+
+  // --- discover function entries: program entry + JAL targets ---
+  std::set<std::uint32_t> entries = {0};
+  for (std::uint32_t i = 0; i < code.size(); ++i) {
+    if (code[i].op == Opcode::kJal) {
+      const std::int64_t target =
+          static_cast<std::int64_t>(code[i].imm) - origin;
+      if (target < 0 || target >= static_cast<std::int64_t>(code.size())) {
+        result.error = "JAL target out of program range";
+        return result;
+      }
+      entries.insert(static_cast<std::uint32_t>(target));
+    }
+  }
+
+  // --- per-function reachability ---
+  std::vector<FunctionBuilder> builders;
+  for (std::uint32_t entry : entries) {
+    FunctionBuilder fb;
+    fb.entry = entry;
+    std::vector<std::uint32_t> work = {entry};
+    while (!work.empty()) {
+      const std::uint32_t i = work.back();
+      work.pop_back();
+      if (!fb.reachable.insert(i).second) continue;
+      if (code[i].op == Opcode::kJal) fb.call_sites.push_back(i);
+      for (std::uint32_t next : instr_successors(code, i, origin))
+        work.push_back(next);
+    }
+    builders.push_back(std::move(fb));
+  }
+
+  // --- interprocedural divergence analysis ---
+  // Call summaries: registers a function may write (transitively).
+  std::map<std::uint32_t, std::uint32_t> fn_writes;  // entry -> mask
+  for (const auto& fb : builders) {
+    std::uint32_t mask = 0;
+    for (std::uint32_t i : fb.reachable) mask |= written_mask(code[i]);
+    fn_writes[fb.entry] = mask;
+  }
+  // Transitive closure over calls.
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (const auto& fb : builders) {
+      std::uint32_t mask = fn_writes[fb.entry];
+      for (std::uint32_t call : fb.call_sites) {
+        const auto callee = static_cast<std::uint32_t>(
+            static_cast<std::int64_t>(code[call].imm) - origin);
+        mask |= fn_writes[callee];
+      }
+      if (mask != fn_writes[fb.entry]) {
+        fn_writes[fb.entry] = mask;
+        changed = true;
+      }
+    }
+  }
+
+  // Entry states: program entry starts uniform (registers reset to zero);
+  // subroutine entries join the states at their call sites.
+  std::map<std::uint32_t, VaryState> entry_state;
+  for (const auto& fb : builders) entry_state[fb.entry] = 0;
+
+  // Per-instruction IN state, iterated to a global fixed point.
+  std::vector<VaryState> in_state(code.size(), 0);
+  std::vector<bool> in_valid(code.size(), false);
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (const auto& fb : builders) {
+      // Seed the entry.
+      if (!in_valid[fb.entry] || in_state[fb.entry] != (in_state[fb.entry] | entry_state[fb.entry])) {
+        in_state[fb.entry] |= entry_state[fb.entry];
+        in_valid[fb.entry] = true;
+      }
+      // Iterate instructions of this function (worklist over reachable set).
+      std::vector<std::uint32_t> work(fb.reachable.begin(), fb.reachable.end());
+      std::size_t guard = 0;
+      const std::size_t guard_limit = fb.reachable.size() * 40 + 64;
+      while (!work.empty() && guard++ < guard_limit * 8) {
+        const std::uint32_t i = work.back();
+        work.pop_back();
+        if (!in_valid[i]) continue;
+        std::uint32_t callee_writes = 0;
+        if (code[i].op == Opcode::kJal) {
+          const auto callee = static_cast<std::uint32_t>(
+              static_cast<std::int64_t>(code[i].imm) - origin);
+          callee_writes = fn_writes[callee];
+          // Propagate the state before the call into the callee entry.
+          const VaryState joined = entry_state[callee] | in_state[i];
+          if (joined != entry_state[callee]) {
+            entry_state[callee] = joined;
+            changed = true;
+          }
+        }
+        const VaryState out = transfer(code[i], in_state[i], callee_writes);
+        for (std::uint32_t next : instr_successors(code, i, origin)) {
+          const VaryState joined = in_valid[next] ? (in_state[next] | out) : out;
+          if (!in_valid[next] || joined != in_state[next]) {
+            in_state[next] = joined;
+            in_valid[next] = true;
+            work.push_back(next);
+          }
+        }
+      }
+    }
+  }
+
+  // --- build per-function block CFGs + analyses ---
+  for (const auto& fb : builders) {
+    FunctionCfg fn;
+    fn.entry_instr = fb.entry;
+
+    // Leaders: entry, targets of control flow, instruction after control flow.
+    std::set<std::uint32_t> leaders = {fb.entry};
+    for (std::uint32_t i : fb.reachable) {
+      const auto succs = instr_successors(code, i, origin);
+      if (isa::is_control_flow(code[i].op) || succs.empty() ||
+          (succs.size() == 1 && succs[0] != i + 1)) {
+        for (std::uint32_t t : succs) leaders.insert(t);
+        if (fb.reachable.count(i + 1)) leaders.insert(i + 1);
+      }
+    }
+    // Blocks: maximal runs of consecutive reachable instructions.
+    std::vector<std::uint32_t> sorted(fb.reachable.begin(), fb.reachable.end());
+    std::map<std::uint32_t, std::uint32_t> block_of_instr;
+    for (std::size_t k = 0; k < sorted.size();) {
+      const std::uint32_t begin = sorted[k];
+      std::uint32_t end = begin;
+      for (;;) {
+        end += 1;
+        ++k;
+        const bool next_is_consecutive = k < sorted.size() && sorted[k] == end;
+        const bool terminator =
+            instr_successors(code, end - 1, origin).size() != 1 ||
+            instr_successors(code, end - 1, origin)[0] != end;
+        if (!next_is_consecutive || terminator || leaders.count(end)) break;
+      }
+      BasicBlock block;
+      block.begin = begin;
+      block.end = end;
+      for (std::uint32_t i = begin; i < end; ++i)
+        block_of_instr[i] = static_cast<std::uint32_t>(fn.blocks.size());
+      fn.blocks.push_back(block);
+    }
+    // Make blocks[0] the entry block.
+    const std::uint32_t entry_block = block_of_instr.at(fb.entry);
+    if (entry_block != 0) {
+      std::swap(fn.blocks[0], fn.blocks[entry_block]);
+      block_of_instr.clear();
+      for (std::uint32_t b = 0; b < fn.blocks.size(); ++b) {
+        for (std::uint32_t i = fn.blocks[b].begin; i < fn.blocks[b].end; ++i)
+          block_of_instr[i] = b;
+      }
+    }
+    // Edges.
+    for (std::uint32_t b = 0; b < fn.blocks.size(); ++b) {
+      for (std::uint32_t t :
+           instr_successors(code, fn.blocks[b].last_instr(), origin)) {
+        const std::uint32_t tb = block_of_instr.at(t);
+        fn.blocks[b].successors.push_back(tb);
+        fn.blocks[tb].predecessors.push_back(b);
+      }
+    }
+
+    // Dominators.
+    {
+      std::vector<std::vector<std::uint32_t>> preds(fn.blocks.size());
+      std::vector<std::vector<std::uint32_t>> succs(fn.blocks.size());
+      for (std::uint32_t b = 0; b < fn.blocks.size(); ++b) {
+        preds[b] = fn.blocks[b].predecessors;
+        succs[b] = fn.blocks[b].successors;
+      }
+      fn.idom = compute_idom(static_cast<std::uint32_t>(fn.blocks.size()), 0,
+                             preds, succs);
+    }
+    // Post-dominators with a virtual exit node.
+    {
+      const auto n = static_cast<std::uint32_t>(fn.blocks.size());
+      std::vector<std::vector<std::uint32_t>> preds(n + 1), succs(n + 1);
+      for (std::uint32_t b = 0; b < n; ++b) {
+        // Reversed edges.
+        for (std::uint32_t s : fn.blocks[b].successors) {
+          preds[b].push_back(s);   // reversed-pred = original successor
+          succs[s].push_back(b);
+        }
+        if (fn.blocks[b].successors.empty()) {
+          preds[b].push_back(n);   // exit block -> virtual exit
+          succs[n].push_back(b);
+        }
+      }
+      fn.ipdom = compute_idom(n + 1, n, preds, succs);
+      fn.ipdom.resize(n);  // drop the virtual node's own entry
+      for (auto& v : fn.ipdom)
+        if (v == 0xFFFFFFFF) v = FunctionCfg::kNoPostDom;
+    }
+
+    // Natural loops from back edges.
+    for (std::uint32_t b = 0; b < fn.blocks.size(); ++b) {
+      for (std::uint32_t h : fn.blocks[b].successors) {
+        if (!fn.dominates(h, b)) continue;
+        // Merge into an existing loop with the same header if present.
+        FunctionCfg::Loop* loop = nullptr;
+        for (auto& l : fn.loops)
+          if (l.header == h) loop = &l;
+        if (loop == nullptr) {
+          fn.loops.push_back({});
+          loop = &fn.loops.back();
+          loop->header = h;
+          loop->body = {h};
+        }
+        loop->back_edge_srcs.push_back(b);
+        // Reverse reachability from b without passing h.
+        std::vector<std::uint32_t> work = {b};
+        std::set<std::uint32_t> seen(loop->body.begin(), loop->body.end());
+        while (!work.empty()) {
+          const std::uint32_t node = work.back();
+          work.pop_back();
+          if (!seen.insert(node).second) continue;
+          for (std::uint32_t p : fn.blocks[node].predecessors)
+            if (p != h) work.push_back(p);
+        }
+        loop->body.assign(seen.begin(), seen.end());
+        std::sort(loop->body.begin(), loop->body.end());
+      }
+    }
+
+    // Varying-branch classification.
+    fn.varying_branch.assign(code.size(), false);
+    for (std::uint32_t i : fb.reachable) {
+      if (isa::is_conditional_branch(code[i].op) && in_valid[i]) {
+        fn.varying_branch[i] = (in_state[i] & kFlagsBit) != 0;
+      }
+    }
+
+    result.functions.push_back(std::move(fn));
+  }
+  return result;
+}
+
+}  // namespace ulpsync::core

@@ -1,0 +1,359 @@
+#include "core/instrument.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "core/cfg.h"
+
+namespace ulpsync::core {
+
+namespace {
+
+using isa::Instruction;
+using isa::Opcode;
+
+/// One planned insertion: `instr` goes immediately before original
+/// instruction `point`. `landing_edges` lists source instruction indices of
+/// branches whose edge into `point` must execute the insertion; all other
+/// branches to `point` skip it (fall-through always executes insertions).
+struct Insertion {
+  std::uint32_t point = 0;
+  Instruction instr;
+  std::vector<std::uint32_t> landing_edges;
+  int order = 0;  ///< stable ordering of insertions at the same point
+};
+
+/// Planned region before rewriting.
+struct PlannedRegion {
+  InstrumentedRegion::Kind kind;
+  std::uint32_t checkin_point;
+  std::uint32_t checkout_point;
+  std::vector<std::uint32_t> checkin_landing;   ///< branch sources
+  std::vector<std::uint32_t> checkout_landing;
+};
+
+Instruction make_sync(Opcode op, unsigned index) {
+  Instruction instr;
+  instr.op = op;
+  instr.imm = static_cast<std::int32_t>(index);
+  return instr;
+}
+
+}  // namespace
+
+InstrumentResult auto_instrument(const assembler::Program& input,
+                                 const InstrumentOptions& options) {
+  InstrumentResult result;
+  const auto& code = input.code;
+  const ProgramCfg cfg = analyze_program(code, input.origin);
+  if (!cfg.ok()) {
+    result.error = cfg.error;
+    return result;
+  }
+
+  // Instruction indices targeted by any branch (used by balance guards).
+  std::set<std::uint32_t> branch_targets;
+  std::multimap<std::uint32_t, std::uint32_t> target_to_sources;
+  for (std::uint32_t i = 0; i < code.size(); ++i) {
+    if (isa::is_conditional_branch(code[i].op) || code[i].op == Opcode::kBra) {
+      const auto target =
+          static_cast<std::uint32_t>(static_cast<std::int64_t>(i) + 1 + code[i].imm);
+      branch_targets.insert(target);
+      target_to_sources.emplace(target, i);
+    }
+  }
+
+  std::vector<PlannedRegion> planned;
+
+  for (const FunctionCfg& fn : cfg.functions) {
+    // --- divergent loops first (their bodies suppress nested diamonds) ---
+    std::vector<const FunctionCfg::Loop*> divergent_loops;
+    if (options.instrument_loops) {
+      for (const auto& loop : fn.loops) {
+        // The loop is divergent when any back-edge or exit condition is a
+        // varying conditional branch.
+        bool divergent = false;
+        for (std::uint32_t b : loop.body) {
+          const std::uint32_t last = fn.blocks[b].last_instr();
+          if (!isa::is_conditional_branch(code[last].op) ||
+              !fn.varying_branch[last])
+            continue;
+          for (std::uint32_t s : fn.blocks[b].successors) {
+            const bool exits = !loop.contains(s);
+            const bool is_back_edge = (s == loop.header);
+            if (exits || is_back_edge) divergent = true;
+          }
+        }
+        if (!divergent) continue;
+
+        // Unique exit target outside the loop.
+        std::set<std::uint32_t> exit_targets;
+        std::vector<std::uint32_t> exit_branch_instrs;
+        for (std::uint32_t b : loop.body) {
+          for (std::uint32_t s : fn.blocks[b].successors) {
+            if (loop.contains(s)) continue;
+            exit_targets.insert(fn.blocks[s].begin);
+            exit_branch_instrs.push_back(fn.blocks[b].last_instr());
+          }
+        }
+        if (exit_targets.size() != 1) {
+          result.skipped.push_back("loop at block " +
+                                   std::to_string(loop.header) +
+                                   ": multiple exit targets");
+          continue;
+        }
+        const std::uint32_t exit_point = *exit_targets.begin();
+
+        // The exit target must only be reachable from the loop (otherwise
+        // check-outs would not balance check-ins).
+        const std::uint32_t exit_block = fn.block_of(exit_point);
+        bool balanced = true;
+        for (std::uint32_t p : fn.blocks[exit_block].predecessors) {
+          if (!loop.contains(p)) balanced = false;
+        }
+        if (!balanced) {
+          result.skipped.push_back("loop at block " +
+                                   std::to_string(loop.header) +
+                                   ": exit reachable from outside");
+          continue;
+        }
+
+        // Entry: every non-back-edge predecessor of the header must be the
+        // physical fall-through (so the pre-header SINC is executed on
+        // entry only; back edges are remapped to skip it).
+        const std::uint32_t header_instr = fn.blocks[loop.header].begin;
+        bool fallthrough_entry = true;
+        for (std::uint32_t p : fn.blocks[loop.header].predecessors) {
+          if (loop.contains(p)) continue;  // back edge or inner edge
+          if (fn.blocks[p].end != header_instr) fallthrough_entry = false;
+          const std::uint32_t last = fn.blocks[p].last_instr();
+          if (isa::is_control_flow(code[last].op)) fallthrough_entry = false;
+        }
+        if (!fallthrough_entry) {
+          result.skipped.push_back("loop at block " +
+                                   std::to_string(loop.header) +
+                                   ": entry is not fall-through");
+          continue;
+        }
+
+        PlannedRegion region;
+        region.kind = InstrumentedRegion::Kind::kLoop;
+        region.checkin_point = header_instr;  // entered by fall-through only
+        region.checkout_point = exit_point;
+        region.checkout_landing = exit_branch_instrs;
+        planned.push_back(std::move(region));
+        divergent_loops.push_back(&loop);
+      }
+    }
+
+    // --- forward conditionals (if/else diamonds) ---
+    if (!options.instrument_conditionals) continue;
+    for (std::uint32_t b = 0; b < fn.blocks.size(); ++b) {
+      const std::uint32_t branch_instr = fn.blocks[b].last_instr();
+      if (!isa::is_conditional_branch(code[branch_instr].op)) continue;
+      if (!fn.varying_branch[branch_instr]) continue;
+
+      // Skip branches that control a loop back edge or exit: those belong
+      // to the loop rule.
+      bool is_loop_branch = false;
+      for (const auto& loop : fn.loops) {
+        if (!loop.contains(b)) continue;
+        for (std::uint32_t s : fn.blocks[b].successors) {
+          if (s == loop.header || !loop.contains(s)) is_loop_branch = true;
+        }
+      }
+      if (is_loop_branch) continue;
+
+      // Skip diamonds inside an instrumented divergent loop: lockstep is
+      // already lost there until the loop's check-out.
+      bool inside_divergent_loop = false;
+      for (const auto* loop : divergent_loops) {
+        if (loop->contains(b)) inside_divergent_loop = true;
+      }
+      if (inside_divergent_loop) {
+        result.skipped.push_back("conditional at " +
+                                 std::to_string(branch_instr) +
+                                 ": inside divergent loop");
+        continue;
+      }
+
+      const std::uint32_t join = fn.ipdom[b];
+      if (join == FunctionCfg::kNoPostDom ||
+          join >= fn.blocks.size()) {  // only rejoins at function exit
+        result.skipped.push_back("conditional at " +
+                                 std::to_string(branch_instr) + ": no join");
+        continue;
+      }
+      // Balance guards: the branch block must dominate the join and every
+      // predecessor of the join; no jumps directly at the branch
+      // instruction; no back edges from the region into the branch block.
+      if (!fn.dominates(b, join)) {
+        result.skipped.push_back("conditional at " +
+                                 std::to_string(branch_instr) +
+                                 ": does not dominate join");
+        continue;
+      }
+      bool preds_ok = true;
+      for (std::uint32_t p : fn.blocks[join].predecessors) {
+        if (!fn.dominates(b, p)) preds_ok = false;
+      }
+      if (!preds_ok) {
+        result.skipped.push_back("conditional at " +
+                                 std::to_string(branch_instr) +
+                                 ": join reachable from outside");
+        continue;
+      }
+      if (branch_targets.count(branch_instr) != 0) {
+        result.skipped.push_back("conditional at " +
+                                 std::to_string(branch_instr) +
+                                 ": jump lands on branch instruction");
+        continue;
+      }
+      // Region nodes: dominated by b, post-dominated by join, not join.
+      bool back_edge_into_branch = false;
+      for (std::uint32_t n = 0; n < fn.blocks.size(); ++n) {
+        if (n == b || !fn.dominates(b, n) || !fn.post_dominates(join, n) ||
+            n == join)
+          continue;
+        for (std::uint32_t s : fn.blocks[n].successors) {
+          if (s == b) back_edge_into_branch = true;
+        }
+      }
+      if (back_edge_into_branch) {
+        result.skipped.push_back("conditional at " +
+                                 std::to_string(branch_instr) +
+                                 ": cycle inside region");
+        continue;
+      }
+
+      PlannedRegion region;
+      region.kind = InstrumentedRegion::Kind::kConditional;
+      region.checkin_point = branch_instr;
+      region.checkout_point = fn.blocks[join].begin;
+      // Every branch edge into the join must land on the SDEC (guards above
+      // ensured all of them come from inside the region).
+      for (auto [it, end] = target_to_sources.equal_range(region.checkout_point);
+           it != end; ++it) {
+        region.checkout_landing.push_back(it->second);
+      }
+      planned.push_back(std::move(region));
+    }
+  }
+
+  if (planned.size() > options.max_sync_points) {
+    std::ostringstream err;
+    err << "program needs " << planned.size() << " sync points, only "
+        << options.max_sync_points << " available";
+    result.error = err.str();
+    return result;
+  }
+
+  // Deduplicate: a region might be discovered in two overlapping function
+  // bodies; keep one instance per (checkin, checkout) pair.
+  {
+    std::set<std::pair<std::uint32_t, std::uint32_t>> seen;
+    std::vector<PlannedRegion> unique;
+    for (auto& region : planned) {
+      if (seen.emplace(region.checkin_point, region.checkout_point).second)
+        unique.push_back(std::move(region));
+    }
+    planned = std::move(unique);
+  }
+
+  // --- build insertions ---
+  std::vector<Insertion> insertions;
+  for (std::size_t r = 0; r < planned.size(); ++r) {
+    const auto& region = planned[r];
+    const unsigned index = static_cast<unsigned>(r);
+    Insertion checkin;
+    checkin.point = region.checkin_point;
+    checkin.instr = make_sync(Opcode::kSinc, index);
+    checkin.landing_edges = region.checkin_landing;
+    checkin.order = static_cast<int>(r);
+    Insertion checkout;
+    checkout.point = region.checkout_point;
+    checkout.instr = make_sync(Opcode::kSdec, index);
+    checkout.landing_edges = region.checkout_landing;
+    checkout.order = static_cast<int>(r);
+    insertions.push_back(std::move(checkin));
+    insertions.push_back(std::move(checkout));
+
+    InstrumentedRegion record;
+    record.kind = region.kind;
+    record.sync_index = index;
+    record.checkin_before = region.checkin_point;
+    record.checkout_before = region.checkout_point;
+    result.regions.push_back(record);
+  }
+
+  // Group insertions by point, stable order.
+  std::stable_sort(insertions.begin(), insertions.end(),
+                   [](const Insertion& a, const Insertion& b) {
+                     if (a.point != b.point) return a.point < b.point;
+                     return a.order < b.order;
+                   });
+
+  // Insertion counts before each point.
+  std::vector<std::uint32_t> inserted_before(code.size() + 1, 0);
+  for (const auto& ins : insertions) inserted_before[ins.point] += 1;
+  std::vector<std::uint32_t> cumulative(code.size() + 1, 0);
+  for (std::size_t i = 1; i <= code.size(); ++i)
+    cumulative[i] = cumulative[i - 1] + inserted_before[i - 1];
+
+  // new position of original instruction i (after its insertions):
+  auto new_pos = [&](std::uint32_t i) { return i + cumulative[i] + inserted_before[i]; };
+  // new position of the first insertion at point i:
+  auto insertion_start = [&](std::uint32_t i) { return i + cumulative[i]; };
+
+  // Landing map: branch source -> should land on insertions at its target?
+  std::set<std::uint32_t> landing_sources_by_target_key;  // (target<<32)|src
+  std::set<std::uint64_t> landing;
+  for (const auto& ins : insertions) {
+    for (std::uint32_t src : ins.landing_edges) {
+      landing.insert((static_cast<std::uint64_t>(ins.point) << 32) | src);
+    }
+  }
+  (void)landing_sources_by_target_key;
+
+  // --- rewrite ---
+  assembler::Program out;
+  out.origin = input.origin;
+  out.code.reserve(code.size() + insertions.size());
+  std::size_t next_insertion = 0;
+  for (std::uint32_t i = 0; i < code.size(); ++i) {
+    while (next_insertion < insertions.size() &&
+           insertions[next_insertion].point == i) {
+      out.code.push_back(insertions[next_insertion].instr);
+      ++next_insertion;
+    }
+    Instruction instr = code[i];
+    if (isa::is_conditional_branch(instr.op) || instr.op == Opcode::kBra) {
+      const auto target = static_cast<std::uint32_t>(
+          static_cast<std::int64_t>(i) + 1 + instr.imm);
+      const bool lands_on_insertion =
+          landing.count((static_cast<std::uint64_t>(target) << 32) | i) != 0;
+      const std::uint32_t new_target =
+          lands_on_insertion ? insertion_start(target) : new_pos(target);
+      instr.imm = static_cast<std::int32_t>(static_cast<std::int64_t>(new_target) -
+                                            (static_cast<std::int64_t>(new_pos(i)) + 1));
+    } else if (instr.op == Opcode::kJal) {
+      const auto target = static_cast<std::uint32_t>(
+          static_cast<std::int64_t>(instr.imm) - input.origin);
+      instr.imm = static_cast<std::int32_t>(input.origin + new_pos(target));
+    }
+    out.code.push_back(instr);
+  }
+  // Remap labels (diagnostics only; land after insertions).
+  for (const auto& [label, addr] : input.labels) {
+    const std::uint32_t rel = addr - input.origin;
+    out.labels[label] =
+        input.origin + (rel < code.size() ? new_pos(rel) : rel + cumulative[code.size()]);
+  }
+  out.image = assembler::reencode(out.code);
+  result.program = std::move(out);
+  return result;
+}
+
+}  // namespace ulpsync::core

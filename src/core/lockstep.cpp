@@ -1,0 +1,43 @@
+#include "core/lockstep.h"
+
+#include <set>
+
+namespace ulpsync::core {
+
+double LockstepAnalyzer::Metrics::mean_pc_groups() const {
+  std::uint64_t cycles = 0;
+  std::uint64_t weighted = 0;
+  for (std::size_t groups = 1; groups < pc_group_histogram.size(); ++groups) {
+    cycles += pc_group_histogram[groups];
+    weighted += groups * pc_group_histogram[groups];
+  }
+  return cycles == 0 ? 0.0
+                     : static_cast<double>(weighted) / static_cast<double>(cycles);
+}
+
+void LockstepAnalyzer::attach(sim::Platform& platform) {
+  platform.set_observer([this](const sim::Platform& p) { observe(p); });
+}
+
+void LockstepAnalyzer::observe(const sim::Platform& platform) {
+  metrics_.observed_cycles += 1;
+  std::set<std::uint32_t> pcs;
+  unsigned live = 0;
+  unsigned ready = 0;
+  for (unsigned c = 0; c < platform.config().num_cores; ++c) {
+    const sim::CoreStatus status = platform.core_status(c);
+    if (status == sim::CoreStatus::kHalted || status == sim::CoreStatus::kTrapped)
+      continue;
+    if (status != sim::CoreStatus::kSleeping) ++live;
+    if (status == sim::CoreStatus::kReady) {
+      ++ready;
+      pcs.insert(platform.core_pc(c));
+    }
+  }
+  const std::size_t groups = pcs.size() > 8 ? 8 : pcs.size();
+  metrics_.pc_group_histogram[groups] += 1;
+  if (ready >= 2 && ready == live && groups == 1)
+    metrics_.full_lockstep_cycles += 1;
+}
+
+}  // namespace ulpsync::core

@@ -1,0 +1,97 @@
+#include "core/synchronizer.h"
+
+#include <cassert>
+
+namespace ulpsync::core {
+
+namespace {
+
+unsigned popcount16(std::uint16_t v) {
+  unsigned count = 0;
+  while (v != 0) {
+    v = static_cast<std::uint16_t>(v & (v - 1));
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+Synchronizer::Synchronizer(DataMemoryPort& dm, unsigned num_cores)
+    : dm_(dm), num_cores_(num_cores) {
+  assert(num_cores_ >= 1 && num_cores_ <= 8);
+}
+
+Synchronizer::CycleEvents Synchronizer::begin_cycle() {
+  CycleEvents events;
+  if (inflight_.active) {
+    // Write phase of the RMW started last cycle: apply the merged update.
+    CheckpointWord word = CheckpointWord::unpack(dm_.read_word(inflight_.addr));
+    const unsigned ins = popcount16(inflight_.checkin_mask);
+    const unsigned outs = popcount16(inflight_.checkout_mask);
+    word.flags = static_cast<std::uint8_t>(word.flags | inflight_.checkin_mask);
+    // The counter saturates at 15 (4-bit field); well-formed programs on
+    // <=8 cores never exceed 8.
+    const int counter = static_cast<int>(word.counter) + static_cast<int>(ins) -
+                        static_cast<int>(outs);
+    word.counter = static_cast<std::uint8_t>(counter < 0 ? 0 : (counter > 15 ? 15 : counter));
+
+    if (outs > 0 && word.counter == 0) {
+      // All expected cores reached the check-out point: wake every core
+      // whose identity flag is set and clear the checkpoint word.
+      events.wake_mask = word.flags;
+      stats_.wakeup_events += 1;
+      stats_.wakeups_delivered += popcount16(word.flags);
+      dm_.write_word(inflight_.addr, 0);
+    } else {
+      dm_.write_word(inflight_.addr, word.pack());
+    }
+    stats_.dm_accesses += 1;  // the write access
+
+    events.completed_checkin_mask = inflight_.checkin_mask;
+    events.completed_checkout_mask = inflight_.checkout_mask;
+    inflight_ = {};
+  }
+  accepting_ = true;
+  return events;
+}
+
+bool Synchronizer::submit(unsigned core, std::uint32_t addr, bool is_checkout) {
+  assert(accepting_ && "submit() outside begin_cycle()/finish_cycle()");
+  assert(core < num_cores_);
+  if (inflight_.active) {
+    if (inflight_.addr != addr) return false;  // bank/word locked
+    // Merge with the RMW starting this cycle.
+    stats_.merged_requests += 1;
+  } else {
+    inflight_.active = true;
+    inflight_.addr = addr;
+  }
+  const auto bit = static_cast<std::uint16_t>(1u << core);
+  if (is_checkout) {
+    inflight_.checkout_mask = static_cast<std::uint16_t>(inflight_.checkout_mask | bit);
+    stats_.checkouts += 1;
+  } else {
+    inflight_.checkin_mask = static_cast<std::uint16_t>(inflight_.checkin_mask | bit);
+    stats_.checkins += 1;
+  }
+  return true;
+}
+
+void Synchronizer::finish_cycle() {
+  accepting_ = false;
+  if (!inflight_.active) return;
+  // Read phase: one DM access regardless of how many requests merged.
+  stats_.rmw_ops += 1;
+  stats_.dm_accesses += 1;
+  const unsigned width = popcount16(static_cast<std::uint16_t>(
+      inflight_.checkin_mask | inflight_.checkout_mask));
+  if (width > stats_.max_merge_width) stats_.max_merge_width = width;
+}
+
+int Synchronizer::locked_bank() const {
+  if (!inflight_.active) return -1;
+  return static_cast<int>(dm_.bank_of(inflight_.addr));
+}
+
+}  // namespace ulpsync::core

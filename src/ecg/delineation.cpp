@@ -1,0 +1,58 @@
+#include "ecg/delineation.h"
+
+namespace ulpsync::ecg {
+
+std::vector<std::int16_t> mmd(const std::vector<std::int16_t>& x,
+                              unsigned scale) {
+  const auto n = static_cast<std::ptrdiff_t>(x.size());
+  const auto s = static_cast<std::ptrdiff_t>(scale);
+  std::vector<std::int16_t> out(x.size());
+  for (std::ptrdiff_t i = 0; i < n; ++i) {
+    const std::ptrdiff_t lo = i - s < 0 ? 0 : i - s;
+    const std::ptrdiff_t hi = i + s > n - 1 ? n - 1 : i + s;
+    std::int16_t mn = x[static_cast<std::size_t>(lo)];
+    std::int16_t mx = mn;
+    for (std::ptrdiff_t j = lo + 1; j <= hi; ++j) {
+      const std::int16_t v = x[static_cast<std::size_t>(j)];
+      if (v < mn) mn = v;
+      if (v > mx) mx = v;
+    }
+    // 16-bit wrap arithmetic, matching the TR16 ALU.
+    out[static_cast<std::size_t>(i)] = static_cast<std::int16_t>(
+        static_cast<std::int16_t>(mx + mn) -
+        static_cast<std::int16_t>(2 * x[static_cast<std::size_t>(i)]));
+  }
+  return out;
+}
+
+std::vector<std::int16_t> combined_mmd(const std::vector<std::int16_t>& x,
+                                       const DelineationParams& params) {
+  const auto fine = mmd(x, params.scale_small);
+  const auto coarse = mmd(x, params.scale_large);
+  std::vector<std::int16_t> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = static_cast<std::int16_t>(
+        static_cast<std::int16_t>(fine[i] + coarse[i]) >> 1);
+  }
+  return out;
+}
+
+std::vector<std::uint16_t> delineate(const std::vector<std::int16_t>& x,
+                                     const DelineationParams& params) {
+  const auto c = combined_mmd(x, params);
+  std::vector<std::uint16_t> detections;
+  if (c.size() < 3) return detections;
+  const std::int16_t neg_threshold = static_cast<std::int16_t>(-params.threshold);
+  std::size_t i = 1;
+  while (i + 1 < c.size()) {
+    if (c[i] < neg_threshold && c[i] <= c[i - 1] && c[i] < c[i + 1]) {
+      detections.push_back(static_cast<std::uint16_t>(i));
+      i += params.refractory;
+    } else {
+      i += 1;
+    }
+  }
+  return detections;
+}
+
+}  // namespace ulpsync::ecg

@@ -1,0 +1,40 @@
+#pragma once
+
+/// Golden reference of the MRPDLN benchmark: ECG delineation with
+/// multi-scale morphological derivatives (Sun, Chan, Krishnan 2005,
+/// ref. [11]).
+///
+/// The multiscale morphological derivative at scale s is
+///   mmd_s(x)[i] = max(x[i-s..i+s]) + min(x[i-s..i+s]) - 2*x[i]
+/// (windows clamped at the edges). At a sharp peak the MMD is strongly
+/// negative, so QRS complexes are detected as local minima of the combined
+/// two-scale response below a negative threshold, with a refractory period
+/// to suppress double detections.
+
+#include <cstdint>
+#include <vector>
+
+namespace ulpsync::ecg {
+
+struct DelineationParams {
+  unsigned scale_small = 3;   ///< fine scale (samples)
+  unsigned scale_large = 9;   ///< coarse scale (samples)
+  std::int16_t threshold = 400;  ///< detection threshold (positive magnitude)
+  unsigned refractory = 50;   ///< samples skipped after a detection (200 ms)
+};
+
+/// Multiscale morphological derivative at one scale; 16-bit wrap arithmetic.
+[[nodiscard]] std::vector<std::int16_t> mmd(const std::vector<std::int16_t>& x,
+                                            unsigned scale);
+
+/// Combined response c = (mmd_small + mmd_large) >> 1 (arithmetic shift).
+[[nodiscard]] std::vector<std::int16_t> combined_mmd(
+    const std::vector<std::int16_t>& x, const DelineationParams& params);
+
+/// Detected fiducial sample indices:
+/// scan i = 1 .. N-2; record i when c[i] < -threshold, c[i] <= c[i-1] and
+/// c[i] < c[i+1]; then skip `refractory` samples.
+[[nodiscard]] std::vector<std::uint16_t> delineate(
+    const std::vector<std::int16_t>& x, const DelineationParams& params);
+
+}  // namespace ulpsync::ecg

@@ -1,0 +1,90 @@
+#include "ecg/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace ulpsync::ecg {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// One Gaussian wave: amplitude (relative to R), center offset from the R
+/// peak in seconds, and width (sigma) in seconds.
+struct Wave {
+  double amplitude;
+  double center_s;
+  double sigma_s;
+};
+
+constexpr Wave kWaves[] = {
+    {0.16, -0.200, 0.040},   // P
+    {-0.12, -0.042, 0.012},  // Q
+    {1.00, 0.000, 0.018},    // R
+    {-0.26, 0.036, 0.014},   // S
+    {0.32, 0.250, 0.065},    // T
+};
+
+}  // namespace
+
+std::vector<std::int16_t> generate_channel(const GeneratorParams& params,
+                                           unsigned channel,
+                                           std::size_t num_samples) {
+  // Per-channel deterministic stream.
+  util::Rng rng(params.seed * 0x1000193u + channel * 0x9E3779B9u + 7u);
+
+  // Lead-dependent morphology: gain and small per-wave modulation.
+  const double gain = 0.75 + 0.06 * channel;
+  double wave_gain[5];
+  for (int w = 0; w < 5; ++w)
+    wave_gain[w] = 1.0 + 0.10 * rng.next_double() - 0.05;
+  const double wander_phase = 2.0 * kPi * rng.next_double();
+
+  // Pre-compute beat centers covering the window (plus margins).
+  const double mean_rr_s = 60.0 / params.heart_rate_bpm;
+  const double duration_s =
+      static_cast<double>(num_samples) / params.sample_rate_hz;
+  std::vector<double> beat_centers;
+  double t = 0.3 * mean_rr_s;
+  while (t < duration_s + mean_rr_s) {
+    beat_centers.push_back(t);
+    const double jitter =
+        1.0 + params.rr_jitter_fraction * (2.0 * rng.next_double() - 1.0);
+    t += mean_rr_s * jitter;
+  }
+
+  std::vector<std::int16_t> samples(num_samples);
+  for (std::size_t i = 0; i < num_samples; ++i) {
+    const double ts = static_cast<double>(i) / params.sample_rate_hz;
+    double value = 0.0;
+    for (double center : beat_centers) {
+      const double dt = ts - center;
+      if (dt < -0.5 || dt > 0.6) continue;  // outside this beat's support
+      for (int w = 0; w < 5; ++w) {
+        const double z = (dt - kWaves[w].center_s) / kWaves[w].sigma_s;
+        value += kWaves[w].amplitude * wave_gain[w] * std::exp(-0.5 * z * z);
+      }
+    }
+    value *= gain * params.amplitude_lsb;
+    value += params.baseline_wander_lsb *
+             std::sin(2.0 * kPi * params.baseline_wander_hz * ts + wander_phase);
+    value += params.noise_lsb * rng.next_gaussian();
+    const double clamped = std::clamp(value, -32768.0, 32767.0);
+    samples[i] = static_cast<std::int16_t>(std::lround(clamped));
+  }
+  return samples;
+}
+
+std::vector<std::vector<std::int16_t>> generate_channels(
+    const GeneratorParams& params, unsigned num_channels,
+    std::size_t num_samples) {
+  std::vector<std::vector<std::int16_t>> channels;
+  channels.reserve(num_channels);
+  for (unsigned c = 0; c < num_channels; ++c)
+    channels.push_back(generate_channel(params, c, num_samples));
+  return channels;
+}
+
+}  // namespace ulpsync::ecg

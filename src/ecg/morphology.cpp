@@ -1,0 +1,67 @@
+#include "ecg/morphology.h"
+
+#include <cassert>
+
+namespace ulpsync::ecg {
+
+namespace {
+
+enum class WindowOp { kMin, kMax };
+
+Samples slide(const Samples& x, unsigned se_length, WindowOp op) {
+  assert(se_length % 2 == 1 && se_length >= 1);
+  const auto n = static_cast<std::ptrdiff_t>(x.size());
+  const std::ptrdiff_t h = (se_length - 1) / 2;
+  Samples out(x.size());
+  for (std::ptrdiff_t i = 0; i < n; ++i) {
+    const std::ptrdiff_t lo = i - h < 0 ? 0 : i - h;
+    const std::ptrdiff_t hi = i + h > n - 1 ? n - 1 : i + h;
+    std::int16_t m = x[static_cast<std::size_t>(lo)];
+    for (std::ptrdiff_t j = lo + 1; j <= hi; ++j) {
+      const std::int16_t v = x[static_cast<std::size_t>(j)];
+      if (op == WindowOp::kMin ? (v < m) : (v > m)) m = v;
+    }
+    out[static_cast<std::size_t>(i)] = m;
+  }
+  return out;
+}
+
+}  // namespace
+
+Samples erode(const Samples& x, unsigned se_length) {
+  return slide(x, se_length, WindowOp::kMin);
+}
+
+Samples dilate(const Samples& x, unsigned se_length) {
+  return slide(x, se_length, WindowOp::kMax);
+}
+
+Samples opening(const Samples& x, unsigned se_length) {
+  return dilate(erode(x, se_length), se_length);
+}
+
+Samples closing(const Samples& x, unsigned se_length) {
+  return erode(dilate(x, se_length), se_length);
+}
+
+Samples mrpfltr(const Samples& x, unsigned se_baseline, unsigned se_noise) {
+  const Samples open_b = opening(x, se_baseline);
+  const Samples close_b = closing(x, se_baseline);
+  Samples detrended(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    // 16-bit wrap-around arithmetic, matching the TR16 ALU.
+    const auto baseline = static_cast<std::int16_t>(
+        static_cast<std::int16_t>(open_b[i] + close_b[i]) >> 1);
+    detrended[i] = static_cast<std::int16_t>(x[i] - baseline);
+  }
+  const Samples open_n = opening(detrended, se_noise);
+  const Samples close_n = closing(detrended, se_noise);
+  Samples out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = static_cast<std::int16_t>(
+        static_cast<std::int16_t>(open_n[i] + close_n[i]) >> 1);
+  }
+  return out;
+}
+
+}  // namespace ulpsync::ecg

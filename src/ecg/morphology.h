@@ -1,0 +1,40 @@
+#pragma once
+
+/// Golden (host-side) integer reference of the morphological operators used
+/// by the MRPFLTR benchmark — baseline-wander correction and noise
+/// suppression by morphological filtering (Sun et al. 2002, ref. [10]).
+///
+/// These functions define the bit-exact contract the TR16 assembly kernels
+/// must meet: flat structuring elements with window clamping at the array
+/// edges, 16-bit wrap-around arithmetic, and arithmetic-shift halving.
+/// Integration tests compare kernel output word-for-word against them.
+
+#include <cstdint>
+#include <vector>
+
+namespace ulpsync::ecg {
+
+using Samples = std::vector<std::int16_t>;
+
+/// Sliding-window minimum with a flat structuring element of odd length
+/// `se_length`; the window [i-h, i+h] (h = (se_length-1)/2) is clamped to
+/// the array bounds.
+[[nodiscard]] Samples erode(const Samples& x, unsigned se_length);
+
+/// Sliding-window maximum, same windowing rules.
+[[nodiscard]] Samples dilate(const Samples& x, unsigned se_length);
+
+/// opening = dilate(erode(x)), closing = erode(dilate(x)).
+[[nodiscard]] Samples opening(const Samples& x, unsigned se_length);
+[[nodiscard]] Samples closing(const Samples& x, unsigned se_length);
+
+/// Full MRPFLTR pipeline:
+///   baseline b  = (opening_L1(x) + closing_L1(x)) >> 1
+///   detrended d = x - b
+///   output y    = (opening_L2(d) + closing_L2(d)) >> 1
+/// `se_baseline` (L1) spans more than a QRS complex; `se_noise` (L2) is a
+/// short element that suppresses spike noise.
+[[nodiscard]] Samples mrpfltr(const Samples& x, unsigned se_baseline,
+                              unsigned se_noise);
+
+}  // namespace ulpsync::ecg

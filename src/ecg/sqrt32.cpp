@@ -1,0 +1,46 @@
+#include "ecg/sqrt32.h"
+
+#include <cassert>
+
+namespace ulpsync::ecg {
+
+std::uint16_t isqrt32(std::uint32_t m) {
+  std::uint32_t root = 0;
+  std::uint32_t rem = 0;
+  for (int i = 0; i < 16; ++i) {
+    rem = (rem << 2) | (m >> 30);
+    m <<= 2;
+    root <<= 1;
+    const std::uint32_t test = (root << 1) | 1;
+    if (rem >= test) {
+      rem -= test;
+      root |= 1;
+    }
+  }
+  return static_cast<std::uint16_t>(root);
+}
+
+std::vector<std::uint32_t> sum_of_squares(
+    const std::vector<std::vector<std::int16_t>>& leads) {
+  assert(!leads.empty());
+  const std::size_t n = leads.front().size();
+  std::vector<std::uint32_t> out(n, 0);
+  for (const auto& lead : leads) {
+    assert(lead.size() == n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::int32_t v = lead[i];
+      out[i] += static_cast<std::uint32_t>(v * v);
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint16_t> rms_combine(
+    const std::vector<std::vector<std::int16_t>>& leads) {
+  const auto squares = sum_of_squares(leads);
+  std::vector<std::uint16_t> out(squares.size());
+  for (std::size_t i = 0; i < squares.size(); ++i) out[i] = isqrt32(squares[i]);
+  return out;
+}
+
+}  // namespace ulpsync::ecg

@@ -1,0 +1,27 @@
+#pragma once
+
+/// Golden reference of the SQRT32 benchmark: Rolfe's non-restoring integer
+/// square root (ref. [12]), used for multi-lead ECG combination
+/// (root-mean-square across leads).
+
+#include <cstdint>
+#include <vector>
+
+namespace ulpsync::ecg {
+
+/// floor(sqrt(m)) for a full 32-bit radicand, by the non-restoring
+/// digit-by-digit method: 16 iterations, one conditional subtract each —
+/// the data-dependent branch that desynchronizes the cores.
+[[nodiscard]] std::uint16_t isqrt32(std::uint32_t m);
+
+/// Sum of squared lead samples at each instant:
+/// s[i] = sum_l x_l[i]^2 (unsigned 32-bit; callers keep |x| small enough
+/// that 8 leads cannot overflow).
+[[nodiscard]] std::vector<std::uint32_t> sum_of_squares(
+    const std::vector<std::vector<std::int16_t>>& leads);
+
+/// RMS-combined stream: y[i] = isqrt32(s[i]).
+[[nodiscard]] std::vector<std::uint16_t> rms_combine(
+    const std::vector<std::vector<std::int16_t>>& leads);
+
+}  // namespace ulpsync::ecg

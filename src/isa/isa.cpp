@@ -1,0 +1,262 @@
+#include "isa/isa.h"
+
+#include <array>
+#include <cctype>
+#include <sstream>
+
+namespace ulpsync::isa {
+
+namespace {
+
+constexpr std::array<OpcodeInfo, kNumOpcodes> kOpcodeTable = {{
+    {"add", Format::kR},    {"sub", Format::kR},   {"and", Format::kR},
+    {"or", Format::kR},     {"xor", Format::kR},   {"sll", Format::kR},
+    {"srl", Format::kR},    {"sra", Format::kR},   {"mul", Format::kR},
+    {"mulh", Format::kR},   {"addi", Format::kI},  {"andi", Format::kI},
+    {"ori", Format::kI},    {"xori", Format::kI},  {"slli", Format::kI},
+    {"srli", Format::kI},   {"srai", Format::kI},  {"cmp", Format::kRr},
+    {"cmpi", Format::kRi},  {"movi", Format::kI16},{"ld", Format::kI},
+    {"st", Format::kSt},    {"ldx", Format::kX},   {"stx", Format::kX},
+    {"beq", Format::kB},    {"bne", Format::kB},   {"blt", Format::kB},
+    {"bge", Format::kB},    {"bltu", Format::kB},  {"bgeu", Format::kB},
+    {"bra", Format::kB},    {"jal", Format::kJal}, {"jr", Format::kJr},
+    {"csrr", Format::kCsrR},{"csrw", Format::kCsrW},{"sinc", Format::kSync},
+    {"sdec", Format::kSync},{"sleep", Format::kN}, {"halt", Format::kN},
+}};
+
+bool uses_rd(Format f) {
+  switch (f) {
+    case Format::kR:
+    case Format::kI:
+    case Format::kSt:
+    case Format::kI16:
+    case Format::kX:
+    case Format::kJal:
+    case Format::kCsrR:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool uses_ra(Format f) {
+  switch (f) {
+    case Format::kR:
+    case Format::kI:
+    case Format::kSt:
+    case Format::kRr:
+    case Format::kRi:
+    case Format::kX:
+    case Format::kJr:
+    case Format::kCsrW:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool uses_rb(Format f) {
+  return f == Format::kR || f == Format::kRr || f == Format::kX;
+}
+
+bool uses_imm14(Format f) {
+  switch (f) {
+    case Format::kI:
+    case Format::kSt:
+    case Format::kRi:
+    case Format::kB:
+    case Format::kJal:
+    case Format::kCsrR:
+    case Format::kCsrW:
+    case Format::kSync:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+const OpcodeInfo& opcode_info(Opcode op) {
+  return kOpcodeTable[static_cast<std::size_t>(op)];
+}
+
+std::optional<Opcode> opcode_from_mnemonic(std::string_view mnemonic) {
+  std::string lowered;
+  lowered.reserve(mnemonic.size());
+  for (char c : mnemonic)
+    lowered.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  for (unsigned i = 0; i < kNumOpcodes; ++i) {
+    if (kOpcodeTable[i].mnemonic == lowered) return static_cast<Opcode>(i);
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint32_t> encode(const Instruction& instr) {
+  const auto op_index = static_cast<std::uint32_t>(instr.op);
+  if (op_index >= kNumOpcodes) return std::nullopt;
+  const Format fmt = opcode_info(instr.op).format;
+
+  if (instr.rd >= kNumRegisters || instr.ra >= kNumRegisters ||
+      instr.rb >= kNumRegisters) {
+    return std::nullopt;
+  }
+
+  // Fields a format does not encode must be zero (strict encoding keeps
+  // the decode round-trip exact).
+  if (!uses_rd(fmt) && instr.rd != 0) return std::nullopt;
+  if (!uses_ra(fmt) && instr.ra != 0) return std::nullopt;
+  if (!uses_rb(fmt) && instr.rb != 0) return std::nullopt;
+
+  std::uint32_t word = op_index << 26;
+  if (fmt == Format::kI16) {
+    if (instr.imm < 0 || instr.imm > 0xFFFF) return std::nullopt;
+    word |= static_cast<std::uint32_t>(instr.rd) << 22;
+    word |= static_cast<std::uint32_t>(instr.imm) << 6;
+    return word;
+  }
+
+  if (uses_imm14(fmt)) {
+    if (instr.imm < kImm14Min || instr.imm > kImm14Max) return std::nullopt;
+  } else if (instr.imm != 0) {
+    return std::nullopt;
+  }
+  if (fmt == Format::kCsrR || fmt == Format::kCsrW) {
+    if (instr.imm < 0 || instr.imm >= static_cast<std::int32_t>(kNumCsrs))
+      return std::nullopt;
+  }
+
+  word |= static_cast<std::uint32_t>(instr.rd) << 22;
+  word |= static_cast<std::uint32_t>(instr.ra) << 18;
+  word |= static_cast<std::uint32_t>(instr.rb) << 14;
+  word |= static_cast<std::uint32_t>(instr.imm) & 0x3FFFu;
+  return word;
+}
+
+std::optional<Instruction> decode(std::uint32_t word) {
+  const std::uint32_t op_index = word >> 26;
+  if (op_index >= kNumOpcodes) return std::nullopt;
+
+  Instruction instr;
+  instr.op = static_cast<Opcode>(op_index);
+  const Format fmt = opcode_info(instr.op).format;
+  instr.rd = static_cast<std::uint8_t>((word >> 22) & 0xF);
+
+  if (fmt == Format::kI16) {
+    instr.imm = static_cast<std::int32_t>((word >> 6) & 0xFFFF);
+    return instr;
+  }
+
+  instr.ra = static_cast<std::uint8_t>((word >> 18) & 0xF);
+  instr.rb = static_cast<std::uint8_t>((word >> 14) & 0xF);
+  if (uses_imm14(fmt)) {
+    std::int32_t imm = static_cast<std::int32_t>(word & 0x3FFF);
+    if (imm & 0x2000) imm -= 1 << 14;  // sign-extend
+    instr.imm = imm;
+  }
+  return instr;
+}
+
+std::string disassemble(const Instruction& instr) {
+  const OpcodeInfo& info = opcode_info(instr.op);
+  std::ostringstream out;
+  out << info.mnemonic;
+  auto reg = [](std::uint8_t r) { return "r" + std::to_string(r); };
+  switch (info.format) {
+    case Format::kR:
+      out << ' ' << reg(instr.rd) << ", " << reg(instr.ra) << ", " << reg(instr.rb);
+      break;
+    case Format::kI:
+      if (instr.op == Opcode::kLd) {
+        out << ' ' << reg(instr.rd) << ", [" << reg(instr.ra)
+            << (instr.imm >= 0 ? "+" : "") << instr.imm << ']';
+      } else {
+        out << ' ' << reg(instr.rd) << ", " << reg(instr.ra) << ", " << instr.imm;
+      }
+      break;
+    case Format::kSt:
+      out << " [" << reg(instr.ra) << (instr.imm >= 0 ? "+" : "") << instr.imm
+          << "], " << reg(instr.rd);
+      break;
+    case Format::kRr:
+      out << ' ' << reg(instr.ra) << ", " << reg(instr.rb);
+      break;
+    case Format::kRi:
+      out << ' ' << reg(instr.ra) << ", " << instr.imm;
+      break;
+    case Format::kI16:
+      out << ' ' << reg(instr.rd) << ", " << instr.imm;
+      break;
+    case Format::kX:
+      out << ' ' << reg(instr.rd) << ", [" << reg(instr.ra) << '+' << reg(instr.rb) << ']';
+      break;
+    case Format::kB:
+      out << ' ' << (instr.imm >= 0 ? "+" : "") << instr.imm;
+      break;
+    case Format::kJal:
+      out << ' ' << reg(instr.rd) << ", " << instr.imm;
+      break;
+    case Format::kJr:
+      out << ' ' << reg(instr.ra);
+      break;
+    case Format::kCsrR:
+      out << ' ' << reg(instr.rd) << ", #" << instr.imm;
+      break;
+    case Format::kCsrW:
+      out << " #" << instr.imm << ", " << reg(instr.ra);
+      break;
+    case Format::kSync:
+      out << " #" << instr.imm;
+      break;
+    case Format::kN:
+      break;
+  }
+  return out.str();
+}
+
+bool accesses_data_memory(Opcode op) {
+  switch (op) {
+    case Opcode::kLd:
+    case Opcode::kSt:
+    case Opcode::kLdx:
+    case Opcode::kStx:
+    case Opcode::kSinc:
+    case Opcode::kSdec:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_control_flow(Opcode op) {
+  switch (op) {
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBge:
+    case Opcode::kBltu:
+    case Opcode::kBgeu:
+    case Opcode::kBra:
+    case Opcode::kJal:
+    case Opcode::kJr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_conditional_branch(Opcode op) {
+  switch (op) {
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBge:
+    case Opcode::kBltu:
+    case Opcode::kBgeu:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace ulpsync::isa

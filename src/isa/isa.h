@@ -1,0 +1,131 @@
+#pragma once
+
+/// TR16: the 16-bit RISC instruction set of the simulated ULP cores.
+///
+/// TR16 models the custom 16-bit RISC cores of the paper's platform
+/// (TamaRISC-class), including the paper's instruction-set extension:
+///   * SINC #k  -- barrier check-in at synchronization point k
+///   * SDEC #k  -- barrier check-out at point k, then sleep until wake-up
+///   * RSYNC    -- core control register holding the base DM address of the
+///                 synchronization array (CSR 2)
+/// plus interrupt/sleep support (`SLEEP`, wake-up events) as required by
+/// Section III of the paper.
+///
+/// Architectural state per core: 16 general 16-bit registers (r0 is
+/// hard-wired to zero), a program counter in instruction units, four flags
+/// (Z, N, C, V) written only by CMP/CMPI, and the CSRs listed below.
+///
+/// Instructions occupy one IM slot each (the physical IM stores 24-bit
+/// words; the simulator keeps a decoded 32-bit container, see `encode`).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ulpsync::isa {
+
+/// Number of general-purpose registers. r0 reads as zero; writes to r0 are
+/// discarded.
+inline constexpr unsigned kNumRegisters = 16;
+
+/// Control/status registers.
+enum class Csr : std::uint8_t {
+  kCoreId = 0,    ///< read-only: this core's index [0, num_cores)
+  kNumCores = 1,  ///< read-only: number of cores in the platform
+  kRsync = 2,     ///< read-write: base DM address of the sync-point array
+};
+inline constexpr unsigned kNumCsrs = 3;
+
+enum class Opcode : std::uint8_t {
+  // ALU, register-register.
+  kAdd, kSub, kAnd, kOr, kXor, kSll, kSrl, kSra, kMul, kMulh,
+  // ALU, register-immediate (signed 14-bit immediate).
+  kAddi, kAndi, kOri, kXori, kSlli, kSrli, kSrai,
+  // Flag-setting compares (the only flag writers).
+  kCmp, kCmpi,
+  // 16-bit immediate load.
+  kMovi,
+  // Data memory (word addressed). LD/ST use base+offset, LDX/STX base+index.
+  kLd, kSt, kLdx, kStx,
+  // Control flow. Conditional branches and BRA are PC-relative; JAL is
+  // absolute (assembler-resolved); JR jumps to a register.
+  kBeq, kBne, kBlt, kBge, kBltu, kBgeu, kBra, kJal, kJr,
+  // CSR access.
+  kCsrr, kCsrw,
+  // The paper's ISE plus sleep/halt.
+  kSinc, kSdec, kSleep, kHalt,
+};
+inline constexpr unsigned kNumOpcodes = static_cast<unsigned>(Opcode::kHalt) + 1;
+
+/// Encoding/operand format of an opcode.
+enum class Format : std::uint8_t {
+  kR,    ///< op rd, ra, rb
+  kI,    ///< op rd, ra, imm14      (ALU-imm, LD)
+  kSt,   ///< op [ra+imm14], rd     (ST; rd carries the store data)
+  kRr,   ///< op ra, rb             (CMP)
+  kRi,   ///< op ra, imm14          (CMPI)
+  kI16,  ///< op rd, imm16          (MOVI)
+  kX,    ///< op rd, [ra+rb]        (LDX/STX; rd is dest or store data)
+  kB,    ///< op imm14              (relative branch / BRA)
+  kJal,  ///< op rd, imm14          (absolute jump-and-link)
+  kJr,   ///< op ra
+  kCsrR, ///< op rd, #csr
+  kCsrW, ///< op #csr, ra
+  kSync, ///< op #imm14             (SINC/SDEC literal = sync point index)
+  kN,    ///< op                    (SLEEP, HALT)
+};
+
+/// Decoded instruction. `imm` is sign-extended for 14-bit forms and
+/// zero-extended for MOVI's 16-bit form (it loads a raw 16-bit pattern).
+struct Instruction {
+  Opcode op = Opcode::kHalt;
+  std::uint8_t rd = 0;
+  std::uint8_t ra = 0;
+  std::uint8_t rb = 0;
+  std::int32_t imm = 0;
+
+  friend bool operator==(const Instruction&, const Instruction&) = default;
+};
+
+/// Static description of an opcode.
+struct OpcodeInfo {
+  std::string_view mnemonic;
+  Format format;
+};
+
+/// Lookup table entry for `op`.
+[[nodiscard]] const OpcodeInfo& opcode_info(Opcode op);
+
+/// Finds an opcode by case-insensitive mnemonic.
+[[nodiscard]] std::optional<Opcode> opcode_from_mnemonic(std::string_view mnemonic);
+
+/// Signed range of the 14-bit immediate field.
+inline constexpr std::int32_t kImm14Min = -(1 << 13);
+inline constexpr std::int32_t kImm14Max = (1 << 13) - 1;
+
+/// Packs an instruction into its 32-bit simulator container:
+/// op[31:26] rd[25:22] ra[21:18] rb[17:14] imm14[13:0], with MOVI using
+/// imm16 at [21:6]. Returns std::nullopt when a field is out of range
+/// (register index, immediate width, CSR index, sync literal).
+[[nodiscard]] std::optional<std::uint32_t> encode(const Instruction& instr);
+
+/// Inverse of `encode`. Returns std::nullopt for invalid opcode bits.
+[[nodiscard]] std::optional<Instruction> decode(std::uint32_t word);
+
+/// Human-readable rendering, e.g. "add r3, r1, r2" or "ld r4, [r2+16]".
+/// Branch targets print as signed relative offsets.
+[[nodiscard]] std::string disassemble(const Instruction& instr);
+
+/// True for opcodes that read or write data memory (LD/ST/LDX/STX and the
+/// ISE check-in/check-out, which perform a DM read-modify-write).
+[[nodiscard]] bool accesses_data_memory(Opcode op);
+
+/// True for control-flow opcodes (anything that may redirect the PC).
+[[nodiscard]] bool is_control_flow(Opcode op);
+
+/// True for the conditional branches (data-dependent control flow, the
+/// trigger for the paper's check-in/check-out instrumentation).
+[[nodiscard]] bool is_conditional_branch(Opcode op);
+
+}  // namespace ulpsync::isa

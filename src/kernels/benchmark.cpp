@@ -1,0 +1,213 @@
+#include "kernels/benchmark.h"
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+#include "ecg/delineation.h"
+#include "ecg/morphology.h"
+#include "ecg/sqrt32.h"
+#include "kernels/memmap.h"
+#include "kernels/sources.h"
+
+namespace ulpsync::kernels {
+
+namespace {
+
+assembler::Program assemble_or_throw(const std::string& source,
+                                     std::string_view what) {
+  auto result = assembler::assemble(source);
+  if (!result.ok()) {
+    throw std::runtime_error("kernel assembly failed for " + std::string(what) +
+                             ":\n" + result.error_text());
+  }
+  return std::move(result.program);
+}
+
+std::string kernel_source(BenchmarkKind kind, bool instrumented) {
+  switch (kind) {
+    case BenchmarkKind::kMrpfltr: return mrpfltr_source(instrumented);
+    case BenchmarkKind::kSqrt32:  return sqrt32_source(instrumented);
+    case BenchmarkKind::kMrpdln:  return mrpdln_source(instrumented);
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string_view benchmark_name(BenchmarkKind kind) {
+  switch (kind) {
+    case BenchmarkKind::kMrpfltr: return "MRPFLTR";
+    case BenchmarkKind::kSqrt32:  return "SQRT32";
+    case BenchmarkKind::kMrpdln:  return "MRPDLN";
+  }
+  return "?";
+}
+
+Benchmark::Benchmark(BenchmarkKind kind, const BenchmarkParams& params)
+    : kind_(kind),
+      params_(params),
+      plain_(assemble_or_throw(kernel_source(kind, false), benchmark_name(kind))),
+      instrumented_(assemble_or_throw(kernel_source(kind, true),
+                                      benchmark_name(kind))) {
+  assert(params_.num_channels >= 1 && params_.num_channels <= 8);
+  assert(params_.samples >= 4 && params_.samples <= kMaxSamples);
+
+  if (kind_ == BenchmarkKind::kSqrt32) {
+    // The RMS-combination use case: 8 leads over the whole record; core c
+    // processes the slice [c*N, (c+1)*N) of the combined stream.
+    const std::size_t total =
+        static_cast<std::size_t>(params_.num_channels) * params_.samples;
+    const auto leads = ecg::generate_channels(params_.generator, 8, total);
+    radicands_ = ecg::sum_of_squares(leads);
+  }
+}
+
+std::vector<std::int16_t> Benchmark::channel_input(unsigned channel) const {
+  return ecg::generate_channel(params_.generator, channel, params_.samples);
+}
+
+void Benchmark::load_inputs(sim::Platform& platform) const {
+  const std::uint32_t params_at = kParamBase;
+  platform.dm_write(params_at + kParamN,
+                    static_cast<std::uint16_t>(params_.samples));
+  platform.dm_write(params_at + kParamL1Half,
+                    static_cast<std::uint16_t>(params_.l1_half));
+  platform.dm_write(params_at + kParamL2Half,
+                    static_cast<std::uint16_t>(params_.l2_half));
+  platform.dm_write(params_at + kParamScaleSmall,
+                    static_cast<std::uint16_t>(params_.scale_small));
+  platform.dm_write(params_at + kParamScaleLarge,
+                    static_cast<std::uint16_t>(params_.scale_large));
+  platform.dm_write(params_at + kParamThreshold,
+                    static_cast<std::uint16_t>(params_.threshold));
+  platform.dm_write(params_at + kParamRefractory,
+                    static_cast<std::uint16_t>(params_.refractory));
+  for (unsigned c = 0; c < 8; ++c) {
+    platform.dm_write(
+        kPerCoreParamBase + c,
+        static_cast<std::uint16_t>(params_.per_core_threshold_delta[c]));
+  }
+
+  for (unsigned c = 0; c < params_.num_channels; ++c) {
+    const std::uint32_t base = channel_base(c);
+    if (kind_ == BenchmarkKind::kSqrt32) {
+      for (unsigned i = 0; i < params_.samples; ++i) {
+        const std::uint32_t value =
+            radicands_[static_cast<std::size_t>(c) * params_.samples + i];
+        platform.dm_write(base + kChanIn + i,
+                          static_cast<std::uint16_t>(value & 0xFFFF));
+        platform.dm_write(base + kChanBufA + i,
+                          static_cast<std::uint16_t>(value >> 16));
+      }
+    } else {
+      const auto samples = channel_input(c);
+      for (unsigned i = 0; i < params_.samples; ++i) {
+        platform.dm_write(base + kChanIn + i,
+                          static_cast<std::uint16_t>(samples[i]));
+      }
+    }
+  }
+}
+
+std::string Benchmark::verify(const sim::Platform& platform) const {
+  std::ostringstream err;
+  for (unsigned c = 0; c < params_.num_channels; ++c) {
+    const std::uint32_t base = channel_base(c);
+    switch (kind_) {
+      case BenchmarkKind::kMrpfltr: {
+        const auto expected =
+            ecg::mrpfltr(channel_input(c), 2 * params_.l1_half + 1,
+                         2 * params_.l2_half + 1);
+        for (unsigned i = 0; i < params_.samples; ++i) {
+          const auto got =
+              static_cast<std::int16_t>(platform.dm_read(base + kChanOut + i));
+          if (got != expected[i]) {
+            err << "MRPFLTR channel " << c << " sample " << i << ": got " << got
+                << ", expected " << expected[i];
+            return err.str();
+          }
+        }
+        break;
+      }
+      case BenchmarkKind::kSqrt32: {
+        for (unsigned i = 0; i < params_.samples; ++i) {
+          const std::uint32_t radicand =
+              radicands_[static_cast<std::size_t>(c) * params_.samples + i];
+          const std::uint16_t expected = ecg::isqrt32(radicand);
+          const std::uint16_t got = platform.dm_read(base + kChanOut + i);
+          if (got != expected) {
+            err << "SQRT32 channel " << c << " sample " << i << ": got " << got
+                << ", expected " << expected << " (radicand " << radicand << ")";
+            return err.str();
+          }
+        }
+        break;
+      }
+      case BenchmarkKind::kMrpdln: {
+        ecg::DelineationParams dp;
+        dp.scale_small = params_.scale_small;
+        dp.scale_large = params_.scale_large;
+        dp.threshold = static_cast<std::int16_t>(
+            params_.threshold + params_.per_core_threshold_delta[c]);
+        dp.refractory = params_.refractory;
+        const auto expected = ecg::delineate(channel_input(c), dp);
+        const std::uint16_t count = platform.dm_read(base + kChanOut);
+        if (count != expected.size()) {
+          err << "MRPDLN channel " << c << ": got " << count
+              << " detections, expected " << expected.size();
+          return err.str();
+        }
+        for (std::size_t i = 0; i < expected.size(); ++i) {
+          const std::uint16_t got =
+              platform.dm_read(base + kChanOut + 1 + static_cast<std::uint32_t>(i));
+          if (got != expected[i]) {
+            err << "MRPDLN channel " << c << " detection " << i << ": got "
+                << got << ", expected " << expected[i];
+            return err.str();
+          }
+        }
+        // Shared result slot must hold the same count.
+        const std::uint16_t shared = platform.dm_read(kResultBase + c);
+        if (shared != expected.size()) {
+          err << "MRPDLN channel " << c << ": shared result slot " << shared
+              << ", expected " << expected.size();
+          return err.str();
+        }
+        break;
+      }
+    }
+  }
+  return {};
+}
+
+std::uint64_t Benchmark::useful_ops(const sim::EventCounters& counters,
+                                    const core::SynchronizerStats& sync_stats) {
+  return counters.retired_ops - sync_stats.checkins - sync_stats.checkouts;
+}
+
+sim::PlatformConfig Benchmark::platform_config(bool with_synchronizer) const {
+  sim::PlatformConfig config = with_synchronizer
+                                   ? sim::PlatformConfig::with_synchronizer()
+                                   : sim::PlatformConfig::without_synchronizer();
+  config.num_cores = params_.num_channels;
+  return config;
+}
+
+BenchmarkRun run_benchmark(const Benchmark& benchmark, bool with_synchronizer,
+                           std::uint64_t max_cycles) {
+  sim::Platform platform(benchmark.platform_config(with_synchronizer));
+  platform.load_program(benchmark.program(/*instrumented=*/with_synchronizer));
+  benchmark.load_inputs(platform);
+
+  BenchmarkRun run;
+  run.result = platform.run(max_cycles);
+  run.counters = platform.counters();
+  run.sync_stats = platform.sync_stats();
+  run.useful_ops = Benchmark::useful_ops(run.counters, run.sync_stats);
+  run.verify_error = run.result.ok() ? benchmark.verify(platform)
+                                     : run.result.to_string();
+  return run;
+}
+
+}  // namespace ulpsync::kernels

@@ -1,0 +1,104 @@
+#pragma once
+
+/// Host-side orchestration of the three reference benchmarks: assembling
+/// the kernels, pre-loading channel data into the platform's data memory,
+/// running both designs, and verifying the outputs bit-for-bit against the
+/// golden C++ references in `src/ecg`.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "asm/assembler.h"
+#include "ecg/generator.h"
+#include "sim/config.h"
+#include "sim/counters.h"
+#include "sim/platform.h"
+
+namespace ulpsync::kernels {
+
+enum class BenchmarkKind { kMrpfltr, kSqrt32, kMrpdln };
+
+[[nodiscard]] std::string_view benchmark_name(BenchmarkKind kind);
+inline constexpr std::array<BenchmarkKind, 3> kAllBenchmarks = {
+    BenchmarkKind::kMrpfltr, BenchmarkKind::kSqrt32, BenchmarkKind::kMrpdln};
+
+struct BenchmarkParams {
+  unsigned num_channels = 8;  ///< one core per channel
+  unsigned samples = 256;     ///< N per channel (<= kMaxSamples)
+
+  // MRPFLTR structuring elements (half-windows; SE length = 2h+1).
+  unsigned l1_half = 7;
+  unsigned l2_half = 2;
+
+  // MRPDLN delineation.
+  unsigned scale_small = 3;
+  unsigned scale_large = 9;
+  std::int16_t threshold = 400;
+  unsigned refractory = 50;
+  /// Per-channel threshold adjustment (exercises the D-Xbar policy).
+  std::array<std::int16_t, 8> per_core_threshold_delta{};
+
+  ecg::GeneratorParams generator{};
+};
+
+class Benchmark {
+ public:
+  Benchmark(BenchmarkKind kind, const BenchmarkParams& params);
+
+  [[nodiscard]] BenchmarkKind kind() const { return kind_; }
+  [[nodiscard]] std::string_view name() const { return benchmark_name(kind_); }
+  [[nodiscard]] const BenchmarkParams& params() const { return params_; }
+
+  /// The assembled kernel; `instrumented` selects the variant with
+  /// check-in/check-out synchronization points.
+  [[nodiscard]] const assembler::Program& program(bool instrumented) const {
+    return instrumented ? instrumented_ : plain_;
+  }
+
+  /// Writes the parameter block and every channel's input into DM.
+  void load_inputs(sim::Platform& platform) const;
+
+  /// Compares the platform's DM output regions against the golden
+  /// reference. Returns an empty string on success, else a description of
+  /// the first mismatch.
+  [[nodiscard]] std::string verify(const sim::Platform& platform) const;
+
+  /// Application-level operation count: retired instructions minus the
+  /// synchronization overhead (SINC/SDEC). Identical for both designs on
+  /// the same inputs, which makes iso-workload power comparisons valid.
+  [[nodiscard]] static std::uint64_t useful_ops(
+      const sim::EventCounters& counters,
+      const core::SynchronizerStats& sync_stats);
+
+  /// Platform configuration matching this benchmark (core count).
+  [[nodiscard]] sim::PlatformConfig platform_config(bool with_synchronizer) const;
+
+ private:
+  [[nodiscard]] std::vector<std::int16_t> channel_input(unsigned channel) const;
+
+  BenchmarkKind kind_;
+  BenchmarkParams params_;
+  assembler::Program plain_;
+  assembler::Program instrumented_;
+  /// SQRT32 only: per-channel 32-bit radicands (sum of squares).
+  std::vector<std::uint32_t> radicands_;
+};
+
+/// Convenience: run `benchmark` on a fresh platform of the given design and
+/// return the result. Asserts the run halts and verifies outputs unless
+/// `skip_verify`.
+struct BenchmarkRun {
+  sim::RunResult result;
+  sim::EventCounters counters;
+  core::SynchronizerStats sync_stats;
+  std::uint64_t useful_ops = 0;
+  std::string verify_error;  ///< empty on success
+};
+[[nodiscard]] BenchmarkRun run_benchmark(const Benchmark& benchmark,
+                                         bool with_synchronizer,
+                                         std::uint64_t max_cycles = 100'000'000);
+
+}  // namespace ulpsync::kernels

@@ -1,0 +1,54 @@
+#pragma once
+
+/// Data-memory layout shared by all benchmark kernels and their host-side
+/// loaders. The DM has 16 block-mapped banks of 2048 words:
+///
+///   bank 0  : sync-point array, parameter block, per-core parameter array
+///   bank 1  : shared result block (per-core slots -> D-Xbar conflicts)
+///   bank 2+c: private channel memory of core c (input / buffers / output)
+///
+/// Keeping each core's working set in a private bank means lockstep loads
+/// proceed in parallel without conflicts, while the shared structures in
+/// banks 0-1 exercise broadcast reads (same address) and the enhanced
+/// D-Xbar policy (same PC, different addresses).
+
+#include <cstdint>
+
+namespace ulpsync::kernels {
+
+// --- bank 0: synchronization + parameters ---
+inline constexpr std::uint16_t kSyncBase = 0x0000;   ///< 64 checkpoint words
+inline constexpr std::uint16_t kParamBase = 0x0040;
+
+/// Parameter block offsets (absolute address = kParamBase + offset).
+inline constexpr std::uint16_t kParamN = 0;         ///< samples per channel
+inline constexpr std::uint16_t kParamL1Half = 1;    ///< (L1-1)/2, baseline SE
+inline constexpr std::uint16_t kParamL2Half = 2;    ///< (L2-1)/2, noise SE
+inline constexpr std::uint16_t kParamScaleSmall = 3;
+inline constexpr std::uint16_t kParamScaleLarge = 4;
+inline constexpr std::uint16_t kParamThreshold = 5; ///< positive magnitude
+inline constexpr std::uint16_t kParamRefractory = 6;
+
+/// Per-core parameter array (8 words): per-channel threshold adjustment,
+/// loaded with LDX [base + core_id] — same PC, different addresses, one
+/// bank: the access pattern the enhanced D-Xbar policy exists for.
+inline constexpr std::uint16_t kPerCoreParamBase = 0x0050;
+
+// --- bank 1: shared results ---
+inline constexpr std::uint16_t kResultBase = 0x0800; ///< result[core_id]
+
+// --- banks 2..9: per-core channel memory ---
+inline constexpr std::uint16_t kChannelStride = 2048;
+inline constexpr std::uint16_t channel_base(unsigned core) {
+  return static_cast<std::uint16_t>((2u + core) * kChannelStride);
+}
+
+/// Offsets inside a channel bank (N <= 512 samples per buffer).
+inline constexpr std::uint16_t kChanIn = 0;     ///< input (SQRT32: low words)
+inline constexpr std::uint16_t kChanBufA = 512; ///< scratch (SQRT32: high words)
+inline constexpr std::uint16_t kChanBufB = 1024;
+inline constexpr std::uint16_t kChanOut = 1536; ///< kernel output
+
+inline constexpr unsigned kMaxSamples = 512;
+
+}  // namespace ulpsync::kernels

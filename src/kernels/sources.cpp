@@ -1,0 +1,394 @@
+#include "kernels/sources.h"
+
+#include <sstream>
+
+namespace ulpsync::kernels {
+
+namespace {
+
+/// Common prologue: compute the core's private channel-bank base in r3 and
+/// load N into r2. All parameter loads hit the same address on every core
+/// and are served by one broadcast DM read.
+constexpr std::string_view kPrologue = R"(
+.equ PARAM_N,  0x40
+.equ PARAM_L1H, 0x41
+.equ PARAM_L2H, 0x42
+.equ PARAM_SS, 0x43
+.equ PARAM_SL, 0x44
+.equ PARAM_TH, 0x45
+.equ PARAM_RF, 0x46
+.equ PERCORE,  0x50
+.equ RESULT,   0x800
+
+start:
+    csrr r1, #0          ; core id
+    addi r4, r1, 2
+    movi r5, 11
+    sll  r3, r4, r5      ; r3 = channel base = (2 + id) << 11
+    ld   r2, [r0+PARAM_N]
+)";
+
+constexpr std::string_view kMrpfltr = R"(
+; ======================= MRPFLTR =========================
+; stage 1: baseline b = (opening_L1(x) + closing_L1(x)) >> 1, d = x - b
+; stage 2: y = (opening_L2(d) + closing_L2(d)) >> 1
+    ld   r6, [r0+PARAM_L1H]
+    mov  r4, r3          ; src = x @in
+    addi r5, r3, 512
+    jal  r7, erode       ; bufA = erode(x)
+    addi r4, r3, 512
+    addi r5, r3, 1024
+    jal  r7, dilate      ; bufB = opening
+    mov  r4, r3
+    addi r5, r3, 512
+    jal  r7, dilate      ; bufA = dilate(x)
+    addi r4, r3, 512
+    addi r5, r3, 1536
+    jal  r7, erode       ; out  = closing
+; d[i] = x[i] - ((opening[i] + closing[i]) >> 1)  -> bufA
+    movi r8, 0
+    addi r9, r3, 1024
+    addi r10, r3, 1536
+    mov  r11, r3
+    addi r12, r3, 512
+detrend:
+    cmp  r8, r2
+    bge  detrend_done
+    ldx  r13, [r9+r8]
+    ldx  r14, [r10+r8]
+    add  r13, r13, r14
+    srai r13, r13, 1
+    ldx  r14, [r11+r8]
+    sub  r13, r14, r13
+    stx  r13, [r12+r8]
+    addi r8, r8, 1
+    bra  detrend
+detrend_done:
+; stage 2 on d @bufA
+    ld   r6, [r0+PARAM_L2H]
+    addi r4, r3, 512
+    addi r5, r3, 1024
+    jal  r7, erode       ; bufB = erode(d)
+    addi r4, r3, 1024
+    addi r5, r3, 1536
+    jal  r7, dilate      ; out  = opening2
+    addi r4, r3, 512
+    addi r5, r3, 1024
+    jal  r7, dilate      ; bufB = dilate(d)
+    addi r4, r3, 1024
+    mov  r5, r3
+    jal  r7, erode       ; in   = closing2
+; y[i] = (opening2[i] + closing2[i]) >> 1 -> out
+    movi r8, 0
+    addi r9, r3, 1536
+    mov  r10, r3
+combine:
+    cmp  r8, r2
+    bge  combine_done
+    ldx  r13, [r9+r8]
+    ldx  r14, [r10+r8]
+    add  r13, r13, r14
+    srai r13, r13, 1
+    stx  r13, [r9+r8]
+    addi r8, r8, 1
+    bra  combine
+combine_done:
+    halt
+
+; ---- erode: dst[i] = min(src[i-h .. i+h]), window clamped ----
+; args: r4=src r5=dst r6=h r2=N link=r7; scratch r8-r13
+erode:
+    movi r8, 0
+er_outer:
+    cmp  r8, r2
+    bge  er_done
+    sub  r9, r8, r6
+    cmpi r9, 0
+    bge  er_lo_ok
+    movi r9, 0
+er_lo_ok:
+    add  r10, r8, r6
+    cmp  r10, r2
+    blt  er_hi_ok
+    addi r10, r2, -1
+er_hi_ok:
+; One region per output sample (Listing 1 at the window level): the
+; min-update branches diverge inside, the check-out re-aligns the cores.
+    !sync sinc #0
+    ldx  r11, [r4+r9]
+    addi r13, r9, 1
+er_inner:
+    cmp  r10, r13
+    blt  er_inner_done
+    ldx  r12, [r4+r13]
+    cmp  r12, r11
+    bge  er_skip
+    mov  r11, r12
+er_skip:
+    addi r13, r13, 1
+    bra  er_inner
+er_inner_done:
+    !sync sdec #0
+    stx  r11, [r5+r8]
+    addi r8, r8, 1
+    bra  er_outer
+er_done:
+    jr   r7
+
+; ---- dilate: dst[i] = max(src[i-h .. i+h]), window clamped ----
+dilate:
+    movi r8, 0
+di_outer:
+    cmp  r8, r2
+    bge  di_done
+    sub  r9, r8, r6
+    cmpi r9, 0
+    bge  di_lo_ok
+    movi r9, 0
+di_lo_ok:
+    add  r10, r8, r6
+    cmp  r10, r2
+    blt  di_hi_ok
+    addi r10, r2, -1
+di_hi_ok:
+    !sync sinc #1
+    ldx  r11, [r4+r9]
+    addi r13, r9, 1
+di_inner:
+    cmp  r10, r13
+    blt  di_inner_done
+    ldx  r12, [r4+r13]
+    cmp  r11, r12
+    bge  di_skip
+    mov  r11, r12
+di_skip:
+    addi r13, r13, 1
+    bra  di_inner
+di_inner_done:
+    !sync sdec #1
+    stx  r11, [r5+r8]
+    addi r8, r8, 1
+    bra  di_outer
+di_done:
+    jr   r7
+)";
+
+constexpr std::string_view kSqrt32 = R"(
+; ======================= SQRT32 ==========================
+; out[i] = floor(sqrt(in_hi[i]:in_lo[i])), non-restoring method:
+; 16 iterations of shift / conditional-subtract (the data-dependent branch).
+    addi r7, r3, 512     ; high-word base
+    addi r14, r3, 1536   ; output base
+    movi r4, 0           ; i
+sample_loop:
+    cmp  r4, r2
+    bge  done
+    ldx  r5, [r3+r4]     ; m_lo
+    ldx  r6, [r7+r4]     ; m_hi
+; One region per sample: the 16 conditional-subtract branches diverge
+; inside, the check-out re-aligns the cores for the next sample.
+    !sync sinc #0
+    movi r8, 0           ; root
+    movi r9, 0           ; rem_hi
+    movi r10, 0          ; rem_lo
+    movi r11, 16         ; bit iterations
+bit_loop:
+    srli r12, r6, 14     ; top 2 bits of m
+    slli r9, r9, 2       ; rem <<= 2 (two-word)
+    srli r13, r10, 14
+    or   r9, r9, r13
+    slli r10, r10, 2
+    or   r10, r10, r12   ; rem |= top2
+    slli r6, r6, 2       ; m <<= 2 (two-word)
+    srli r13, r5, 14
+    or   r6, r6, r13
+    slli r5, r5, 2
+    slli r8, r8, 1       ; root <<= 1
+    srli r12, r8, 15     ; test_hi  (test = 2*root + 1, 17 bits)
+    slli r13, r8, 1
+    ori  r13, r13, 1     ; test_lo
+    cmp  r9, r12         ; rem_hi vs test_hi (unsigned)
+    bltu no_sub
+    bne  do_sub
+    cmp  r10, r13        ; equal highs: compare lows
+    bltu no_sub
+do_sub:
+    cmp  r10, r13        ; carry = no borrow
+    sub  r10, r10, r13
+    sub  r9, r9, r12
+    bgeu no_borrow
+    addi r9, r9, -1
+no_borrow:
+    ori  r8, r8, 1       ; root |= 1
+no_sub:
+    addi r11, r11, -1
+    cmpi r11, 0
+    bne  bit_loop
+    !sync sdec #0
+    stx  r8, [r14+r4]
+    addi r4, r4, 1
+    bra  sample_loop
+done:
+    halt
+)";
+
+constexpr std::string_view kMrpdln = R"(
+; ======================= MRPDLN ==========================
+; c = (mmd_small(x) + mmd_large(x)) >> 1; detect local minima of c below
+; -threshold with a refractory skip; out[0] = count, out[1..] = indices.
+    ld   r6, [r0+PARAM_SS]
+    mov  r4, r3
+    addi r5, r3, 512
+    jal  r7, mmd         ; bufA = fine-scale mmd
+    ld   r6, [r0+PARAM_SL]
+    mov  r4, r3
+    addi r5, r3, 1024
+    jal  r7, mmd         ; bufB = coarse-scale mmd
+; combine -> bufA
+    movi r8, 0
+    addi r9, r3, 512
+    addi r10, r3, 1024
+comb:
+    cmp  r8, r2
+    bge  comb_done
+    ldx  r13, [r9+r8]
+    ldx  r14, [r10+r8]
+    add  r13, r13, r14
+    srai r13, r13, 1
+    stx  r13, [r9+r8]
+    addi r8, r8, 1
+    bra  comb
+comb_done:
+; per-channel threshold = PARAM_TH + percore[id]; the LDX below hits a
+; different address on every core within one shared bank: the conflict the
+; enhanced D-Xbar policy resolves while preserving lockstep.
+    ld   r13, [r0+PARAM_TH]
+    movi r14, PERCORE
+    ldx  r12, [r14+r1]
+    add  r13, r13, r12
+    sub  r14, r0, r13    ; r14 = -(threshold + delta)
+    ld   r15, [r0+PARAM_RF]
+; detection scan over c @bufA (data-dependent trip count: one region)
+    addi r4, r3, 512
+    addi r10, r3, 1536   ; out base
+    movi r9, 0           ; count
+    addi r5, r2, -1      ; N-1
+    movi r8, 1           ; i
+    !sync sinc #2
+det_loop:
+    cmp  r8, r5
+    bge  det_done
+    ldx  r11, [r4+r8]
+    cmp  r11, r14
+    bge  det_next        ; c[i] >= -thr
+    addi r13, r8, -1
+    ldx  r12, [r4+r13]
+    cmp  r12, r11
+    blt  det_next        ; c[i-1] < c[i]
+    addi r13, r8, 1
+    ldx  r12, [r4+r13]
+    cmp  r11, r12
+    bge  det_next        ; c[i] >= c[i+1]
+    addi r9, r9, 1
+    stx  r8, [r10+r9]
+    add  r8, r8, r15     ; refractory skip
+    bra  det_loop
+det_next:
+    addi r8, r8, 1
+    bra  det_loop
+det_done:
+    !sync sdec #2
+    stx  r9, [r10+r0]    ; out[0] = detection count
+; shared per-core result slot (same PC, different addresses, one bank).
+    movi r12, RESULT
+    stx  r9, [r12+r1]
+    halt
+
+; ---- mmd: dst[i] = (max + min over [i-s, i+s]) - 2*src[i] ----
+; args: r4=src r5=dst r6=scale r2=N link=r7; scratch r8-r15
+mmd:
+    movi r8, 0
+mm_outer:
+    cmp  r8, r2
+    bge  mm_done
+    sub  r9, r8, r6
+    cmpi r9, 0
+    bge  mm_lo_ok
+    movi r9, 0
+mm_lo_ok:
+    add  r10, r8, r6
+    cmp  r10, r2
+    blt  mm_hi_ok
+    addi r10, r2, -1
+mm_hi_ok:
+; One coarse region per output sample: the window loop's min/max updates
+; diverge inside, the check-out re-aligns the cores for the next sample.
+    !sync sinc #0
+    ldx  r11, [r4+r9]    ; mn
+    mov  r13, r11        ; mx
+    addi r14, r9, 1      ; j
+mm_inner:
+    cmp  r10, r14
+    blt  mm_inner_done
+    ldx  r12, [r4+r14]
+    cmp  r12, r11
+    bge  mm_no_mn
+    mov  r11, r12
+mm_no_mn:
+    cmp  r13, r12
+    bge  mm_no_mx
+    mov  r13, r12
+mm_no_mx:
+    addi r14, r14, 1
+    bra  mm_inner
+mm_inner_done:
+    !sync sdec #0
+    add  r15, r13, r11
+    ldx  r12, [r4+r8]
+    sub  r15, r15, r12
+    sub  r15, r15, r12
+    stx  r15, [r5+r8]
+    addi r8, r8, 1
+    bra  mm_outer
+mm_done:
+    jr   r7
+)";
+
+}  // namespace
+
+std::string preprocess_sync_markers(std::string_view source, bool instrumented) {
+  std::istringstream in{std::string(source)};
+  std::ostringstream out;
+  std::string line;
+  constexpr std::string_view kMarker = "!sync ";
+  while (std::getline(in, line)) {
+    const std::size_t first = line.find_first_not_of(" \t");
+    if (first != std::string::npos &&
+        line.compare(first, kMarker.size(), kMarker) == 0) {
+      if (instrumented) {
+        out << line.substr(0, first) << line.substr(first + kMarker.size())
+            << '\n';
+      }
+      continue;
+    }
+    out << line << '\n';
+  }
+  return out.str();
+}
+
+std::string mrpfltr_source(bool instrumented) {
+  return preprocess_sync_markers(
+      std::string(kPrologue) + std::string(kMrpfltr), instrumented);
+}
+
+std::string sqrt32_source(bool instrumented) {
+  return preprocess_sync_markers(std::string(kPrologue) + std::string(kSqrt32),
+                                 instrumented);
+}
+
+std::string mrpdln_source(bool instrumented) {
+  return preprocess_sync_markers(std::string(kPrologue) + std::string(kMrpdln),
+                                 instrumented);
+}
+
+}  // namespace ulpsync::kernels

@@ -1,0 +1,34 @@
+#pragma once
+
+/// TR16 assembly source of the three reference benchmarks (paper Section
+/// II). Each generator returns the program text either *plain* (the
+/// baseline design runs uninstrumented code) or *instrumented* with the
+/// paper's check-in/check-out synchronization points.
+///
+/// In the source text, lines starting with the marker `!sync ` are the
+/// manually inserted synchronization pragmas of Section IV-C: they are kept
+/// (marker stripped) in the instrumented variant and dropped in the plain
+/// variant, so both variants are generated from a single source of truth.
+
+#include <string>
+#include <string_view>
+
+namespace ulpsync::kernels {
+
+/// Strips or keeps `!sync `-marked lines. Exposed for tests.
+[[nodiscard]] std::string preprocess_sync_markers(std::string_view source,
+                                                  bool instrumented);
+
+/// MRPFLTR: baseline-wander correction + noise suppression by morphological
+/// filtering (opening/closing averages at two structuring-element scales).
+[[nodiscard]] std::string mrpfltr_source(bool instrumented);
+
+/// SQRT32: Rolfe's non-restoring 32-bit integer square root over a stream
+/// of sum-of-squares words (multi-lead RMS combination).
+[[nodiscard]] std::string sqrt32_source(bool instrumented);
+
+/// MRPDLN: ECG delineation by multiscale morphological derivatives plus a
+/// threshold/refractory detection scan.
+[[nodiscard]] std::string mrpdln_source(bool instrumented);
+
+}  // namespace ulpsync::kernels

@@ -1,0 +1,53 @@
+#include "power/model.h"
+
+namespace ulpsync::power {
+
+EnergyPerCycle energy_per_cycle(const EnergyParams& params,
+                                const sim::EventCounters& counters,
+                                const core::SynchronizerStats& sync_stats) {
+  EnergyPerCycle energy;
+  if (counters.cycles == 0) return energy;
+  const auto cycles = static_cast<double>(counters.cycles);
+
+  const auto useful_ops = static_cast<double>(
+      counters.retired_ops - sync_stats.checkins - sync_stats.checkouts);
+  energy.cores_pj = params.core_op_pj * useful_ops / cycles;
+  energy.im_pj =
+      params.im_access_pj * static_cast<double>(counters.im_bank_accesses) / cycles;
+  // DM banks are accessed both through the D-Xbar and by the synchronizer's
+  // read-modify-writes (the paper's "<10% DM access increase").
+  energy.dm_pj = params.dm_access_pj *
+                 static_cast<double>(counters.dm_bank_accesses +
+                                     sync_stats.dm_accesses) /
+                 cycles;
+  energy.dxbar_pj =
+      params.dxbar_access_pj * static_cast<double>(counters.dm_bank_accesses) / cycles;
+  energy.ixbar_pj =
+      (params.ixbar_bank_pj * static_cast<double>(counters.im_bank_accesses) +
+       params.ixbar_deliver_pj *
+           static_cast<double>(counters.im_fetches_delivered)) /
+      cycles;
+  energy.synchronizer_pj =
+      params.sync_idle_pj +
+      params.sync_rmw_pj * static_cast<double>(sync_stats.rmw_ops) / cycles;
+  energy.clock_tree_pj = params.clock_tree_pj;
+  return energy;
+}
+
+PowerBreakdown breakdown_at(const EnergyPerCycle& energy, double f_mhz,
+                            double dynamic_scale, double leakage_mw) {
+  // pJ * MHz = microwatt; divide by 1000 for mW.
+  const double scale = f_mhz * dynamic_scale / 1000.0;
+  PowerBreakdown breakdown;
+  breakdown.cores_mw = energy.cores_pj * scale;
+  breakdown.im_mw = energy.im_pj * scale;
+  breakdown.dm_mw = energy.dm_pj * scale;
+  breakdown.dxbar_mw = energy.dxbar_pj * scale;
+  breakdown.ixbar_mw = energy.ixbar_pj * scale;
+  breakdown.synchronizer_mw = energy.synchronizer_pj * scale;
+  breakdown.clock_tree_mw = energy.clock_tree_pj * scale;
+  breakdown.leakage_mw = leakage_mw;
+  return breakdown;
+}
+
+}  // namespace ulpsync::power

@@ -1,0 +1,99 @@
+#pragma once
+
+/// Event-energy power model, calibrated against the paper's Table I.
+///
+/// The authors measured component powers by simulating a fully routed 90 nm
+/// netlist with back-annotated toggling. We do not have that netlist; per
+/// the substitution rule we charge a fixed energy to each architectural
+/// event the simulator counts (bank accesses, active core cycles, crossbar
+/// transactions, synchronizer RMWs, clock ticks) and *calibrate* the
+/// per-event energies so that the 8 MOps/s @ 1.2 V operating point lands
+/// inside every row range of Table I. The paper's conclusions rest on the
+/// relative event counts between the two designs, which our simulator
+/// reproduces directly; the calibration only anchors the absolute scale.
+///
+/// Component power at frequency f (MHz) and supply V:
+///   P = (energy-per-cycle [pJ] * f [MHz]) * (V/Vnom)^2  [nW -> mW]
+
+#include "core/synchronizer.h"
+#include "sim/counters.h"
+
+namespace ulpsync::power {
+
+/// Per-event energies in picojoules at the nominal 1.2 V.
+struct EnergyParams {
+  /// Core datapath energy per executed application instruction. Idle but
+  /// clocked cycles are negligible (operand isolation); SINC/SDEC energy is
+  /// accounted under the synchronizer and DM components.
+  double core_op_pj = 17.5;
+  double im_access_pj = 40.0;    ///< per IM bank read (broadcast = one)
+  double dm_access_pj = 40.0;    ///< per DM bank access (incl. sync RMW)
+  double dxbar_access_pj = 37.0; ///< D-Xbar routing per DM bank access
+  double ixbar_bank_pj = 2.0;    ///< I-Xbar per IM bank access
+  double ixbar_deliver_pj = 1.5; ///< I-Xbar fan-out per delivered fetch
+  double sync_rmw_pj = 10.0;     ///< synchronizer per merged RMW
+  double sync_idle_pj = 2.0;     ///< synchronizer per cycle (present at all)
+  double clock_tree_pj = 20.0;   ///< clock tree per cycle
+
+  /// Baseline design of [4] (no synchronizer block, no ISE).
+  [[nodiscard]] static EnergyParams baseline() {
+    EnergyParams p;
+    p.sync_rmw_pj = 0.0;
+    p.sync_idle_pj = 0.0;
+    return p;
+  }
+  /// Improved design: ISE makes the cores slightly more expensive
+  /// (Table I: 0.14 mW -> 0.16 mW) and adds the synchronizer block.
+  [[nodiscard]] static EnergyParams synchronized() {
+    EnergyParams p;
+    p.core_op_pj = 20.0;
+    return p;
+  }
+};
+
+/// Per-component power in mW (Table I rows).
+struct PowerBreakdown {
+  double cores_mw = 0.0;
+  double im_mw = 0.0;
+  double dm_mw = 0.0;
+  double dxbar_mw = 0.0;
+  double ixbar_mw = 0.0;
+  double synchronizer_mw = 0.0;
+  double clock_tree_mw = 0.0;
+  double leakage_mw = 0.0;
+
+  [[nodiscard]] double dynamic_mw() const {
+    return cores_mw + im_mw + dm_mw + dxbar_mw + ixbar_mw + synchronizer_mw +
+           clock_tree_mw;
+  }
+  [[nodiscard]] double total_mw() const { return dynamic_mw() + leakage_mw; }
+};
+
+/// Per-component energy per cycle (pJ) for a finished run.
+struct EnergyPerCycle {
+  double cores_pj = 0.0;
+  double im_pj = 0.0;
+  double dm_pj = 0.0;
+  double dxbar_pj = 0.0;
+  double ixbar_pj = 0.0;
+  double synchronizer_pj = 0.0;
+  double clock_tree_pj = 0.0;
+
+  [[nodiscard]] double total_pj() const {
+    return cores_pj + im_pj + dm_pj + dxbar_pj + ixbar_pj + synchronizer_pj +
+           clock_tree_pj;
+  }
+};
+
+/// Derives per-cycle component energies from a run's event counters.
+[[nodiscard]] EnergyPerCycle energy_per_cycle(
+    const EnergyParams& params, const sim::EventCounters& counters,
+    const core::SynchronizerStats& sync_stats);
+
+/// Scales per-cycle energies to a power breakdown at (f, V).
+/// `dynamic_scale` is (V/Vnom)^2; `leakage_mw` is added verbatim.
+[[nodiscard]] PowerBreakdown breakdown_at(const EnergyPerCycle& energy,
+                                          double f_mhz, double dynamic_scale,
+                                          double leakage_mw);
+
+}  // namespace ulpsync::power

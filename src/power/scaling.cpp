@@ -1,0 +1,39 @@
+#include "power/scaling.h"
+
+#include <cmath>
+
+namespace ulpsync::power {
+
+double VoltageScaling::fmax_mhz(double v) const {
+  const double vth = params_.threshold_v;
+  if (v <= vth) return 0.0;
+  const double nom = params_.nominal_v;
+  const double shape_nom = nom / std::pow(nom - vth, params_.alpha);
+  const double shape_v = v / std::pow(v - vth, params_.alpha);
+  const double delay_ns = params_.critical_path_ns * shape_v / shape_nom;
+  return 1000.0 / delay_ns;
+}
+
+std::optional<double> VoltageScaling::min_voltage_for(double f_mhz) const {
+  if (f_mhz <= 0.0) return params_.threshold_v;
+  if (f_mhz > nominal_fmax_mhz() * (1.0 + 1e-9)) return std::nullopt;
+  // fmax is monotonically increasing in v on (vth, nominal]: bisect.
+  double lo = params_.threshold_v + 1e-6;
+  double hi = params_.nominal_v;
+  for (int iter = 0; iter < 80; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (fmax_mhz(mid) >= f_mhz) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+double VoltageScaling::leakage_mw(double v) const {
+  const double ratio = v / params_.nominal_v;
+  return params_.leakage_nominal_mw * ratio * ratio * ratio;
+}
+
+}  // namespace ulpsync::power

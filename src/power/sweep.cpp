@@ -1,0 +1,48 @@
+#include "power/sweep.h"
+
+#include <cmath>
+
+namespace ulpsync::power {
+
+DesignCharacterization characterize(const EnergyParams& params,
+                                    const sim::EventCounters& counters,
+                                    const core::SynchronizerStats& sync_stats,
+                                    std::uint64_t useful_ops) {
+  DesignCharacterization design;
+  design.energy = energy_per_cycle(params, counters, sync_stats);
+  design.ops_per_cycle =
+      counters.cycles == 0
+          ? 0.0
+          : static_cast<double>(useful_ops) / static_cast<double>(counters.cycles);
+  return design;
+}
+
+std::optional<OperatingPoint> WorkloadSweep::at(double mops) const {
+  if (design_.ops_per_cycle <= 0.0) return std::nullopt;
+  const double f_mhz = mops / design_.ops_per_cycle;
+  const auto voltage = scaling_.min_voltage_for(f_mhz);
+  if (!voltage) return std::nullopt;
+  OperatingPoint point;
+  point.mops = mops;
+  point.f_mhz = f_mhz;
+  point.voltage = *voltage;
+  point.breakdown =
+      breakdown_at(design_.energy, f_mhz, scaling_.dynamic_scale(*voltage),
+                   scaling_.leakage_mw(*voltage));
+  return point;
+}
+
+std::vector<OperatingPoint> WorkloadSweep::curve(
+    double from_mops, unsigned points_per_decade) const {
+  std::vector<OperatingPoint> points;
+  const double limit = max_mops();
+  if (from_mops <= 0.0 || limit <= from_mops) return points;
+  const double step = std::pow(10.0, 1.0 / points_per_decade);
+  for (double w = from_mops; w < limit; w *= step) {
+    if (auto point = at(w)) points.push_back(*point);
+  }
+  if (auto endpoint = at(limit)) points.push_back(*endpoint);
+  return points;
+}
+
+}  // namespace ulpsync::power

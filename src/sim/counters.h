@@ -1,0 +1,66 @@
+#pragma once
+
+/// Event counters collected by the platform simulation. Every quantity the
+/// power model charges energy for — and every statistic quoted in the
+/// paper's evaluation (IM/DM bank accesses, stalls, lockstep residency,
+/// Ops/cycle) — is a counter here.
+
+#include <array>
+#include <cstdint>
+
+namespace ulpsync::sim {
+
+struct EventCounters {
+  static constexpr unsigned kMaxCores = 8;
+
+  std::uint64_t cycles = 0;
+
+  // --- instruction side ---
+  std::uint64_t im_bank_accesses = 0;    ///< physical bank reads (broadcast = 1)
+  std::uint64_t im_fetches_delivered = 0;///< instructions delivered to cores
+  std::uint64_t im_broadcast_groups = 0; ///< served fetch groups with >1 core
+  std::uint64_t fetch_conflict_cycles = 0; ///< bank-cycles with losing fetchers
+
+  // --- data side ---
+  std::uint64_t dm_bank_accesses = 0;    ///< D-Xbar accesses (sync RMW
+                                         ///< accesses are in SynchronizerStats)
+  std::uint64_t dm_requests_granted = 0; ///< core requests completed
+  std::uint64_t dm_broadcast_reads = 0;  ///< grants serving >1 core at once
+  std::uint64_t dm_conflict_cycles = 0;  ///< bank-cycles with losing requesters
+  std::uint64_t policy_hold_events = 0;  ///< enhanced D-Xbar group stalls
+
+  // --- execution ---
+  std::uint64_t retired_ops = 0;
+  std::uint64_t core_active_cycles = 0;      ///< clocked core-cycles
+  std::uint64_t core_fetch_stall_cycles = 0; ///< gated: lost IM arbitration
+  std::uint64_t core_mem_stall_cycles = 0;   ///< gated: lost DM arbitration/hold
+  std::uint64_t core_sync_stall_cycles = 0;  ///< gated: sync word locked
+  std::uint64_t core_sleep_cycles = 0;       ///< sleeping (check-out wait)
+  std::uint64_t core_branch_bubble_cycles = 0; ///< clocked: taken-branch bubble
+  std::uint64_t core_wakeup_ramp_cycles = 0;   ///< gated: post-wake clock ramp
+
+  // --- lockstep ---
+  std::uint64_t lockstep_cycles = 0;  ///< all fetching cores shared one PC
+  std::uint64_t fetch_cycles = 0;     ///< cycles with >=1 fetch request
+  std::uint64_t divergence_events = 0;///< lockstep -> non-lockstep transitions
+
+  std::array<std::uint64_t, kMaxCores> per_core_retired{};
+  std::array<std::uint64_t, kMaxCores> per_core_active{};
+  std::array<std::uint64_t, kMaxCores> per_core_sleep{};
+
+  /// Aggregate instructions per cycle over the whole run (the paper's
+  /// "Ops per clock cycle").
+  [[nodiscard]] double ops_per_cycle() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(retired_ops) / static_cast<double>(cycles);
+  }
+
+  /// Fraction of delivered fetches that came from a broadcast group.
+  [[nodiscard]] double broadcast_fetch_fraction() const {
+    if (im_fetches_delivered == 0) return 0.0;
+    return 1.0 - static_cast<double>(im_bank_accesses) /
+                     static_cast<double>(im_fetches_delivered);
+  }
+};
+
+}  // namespace ulpsync::sim

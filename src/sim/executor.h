@@ -1,0 +1,82 @@
+#pragma once
+
+/// Architectural execution semantics of a single TR16 core, independent of
+/// platform timing. The platform fetches and arbitrates; `execute` performs
+/// register/flag updates and classifies the instruction's external effect
+/// (memory access, sync request, sleep, halt). Loads are completed by the
+/// platform once the D-Xbar grants them (`complete_load`).
+
+#include <array>
+#include <cstdint>
+
+#include "isa/isa.h"
+
+namespace ulpsync::sim {
+
+struct Flags {
+  bool z = false;  ///< zero
+  bool n = false;  ///< negative (bit 15 of the difference)
+  bool c = false;  ///< carry = no borrow (unsigned ra >= rb)
+  bool v = false;  ///< signed overflow
+};
+
+/// Architectural state of one core.
+struct CoreArchState {
+  std::array<std::uint16_t, isa::kNumRegisters> regs{};
+  Flags flags;
+  std::uint32_t pc = 0;       ///< instruction slot index
+  std::uint16_t rsync = 0;    ///< CSR 2: sync array base (DM words)
+  std::uint16_t core_id = 0;  ///< CSR 0
+  std::uint16_t num_cores = 8;///< CSR 1
+
+  [[nodiscard]] std::uint16_t reg(unsigned r) const {
+    return r == 0 ? 0 : regs[r];
+  }
+  void set_reg(unsigned r, std::uint16_t value) {
+    if (r != 0) regs[r] = value;
+  }
+};
+
+enum class ExecAction : std::uint8_t {
+  kAdvance,   ///< completed; continue at `next_pc`
+  kMemLoad,   ///< needs a DM read of `mem_addr` into `load_reg`
+  kMemStore,  ///< needs a DM write of `store_data` to `mem_addr`
+  kSync,      ///< SINC/SDEC request at `mem_addr`
+  kSleep,     ///< SLEEP: gate the core until a wake-up event
+  kHalt,      ///< HALT
+  kTrap,      ///< architectural fault
+};
+
+enum class TrapKind : std::uint8_t {
+  kNone,
+  kInvalidCsr,          ///< CSR index out of range or write to a RO CSR
+  kNegativeSyncIndex,   ///< SINC/SDEC literal < 0
+  kDmOutOfRange,        ///< raised by the platform on a bad address
+  kImOutOfRange,        ///< raised by the platform on a bad PC
+  kSyncWithoutHardware, ///< SINC/SDEC with the synchronizer feature absent
+};
+
+struct ExecResult {
+  ExecAction action = ExecAction::kAdvance;
+  TrapKind trap = TrapKind::kNone;
+  std::uint32_t next_pc = 0;
+  std::uint32_t mem_addr = 0;       ///< DM word address
+  std::uint16_t store_data = 0;
+  std::uint8_t load_reg = 0;
+  bool sync_is_checkout = false;
+};
+
+/// Executes one decoded instruction against `state`. Register and flag
+/// side effects are applied immediately; memory/sync effects are returned
+/// for the platform to arbitrate. `state.pc` is NOT modified here — the
+/// platform sets it to `next_pc` when the instruction retires.
+[[nodiscard]] ExecResult execute(CoreArchState& state,
+                                 const isa::Instruction& instr);
+
+/// Writes back a granted load.
+inline void complete_load(CoreArchState& state, std::uint8_t reg,
+                          std::uint16_t value) {
+  state.set_reg(reg, value);
+}
+
+}  // namespace ulpsync::sim

@@ -1,0 +1,28 @@
+#include "sim/memory.h"
+
+#include <cassert>
+
+namespace ulpsync::sim {
+
+BankedMemory::BankedMemory(unsigned banks, unsigned words_per_bank)
+    : banks_(banks),
+      words_per_bank_(words_per_bank),
+      words_(static_cast<std::size_t>(banks) * words_per_bank, 0) {
+  assert(banks_ > 0 && words_per_bank_ > 0);
+}
+
+std::uint16_t BankedMemory::read(std::uint32_t addr) const {
+  assert(in_range(addr));
+  return words_[addr];
+}
+
+void BankedMemory::write(std::uint32_t addr, std::uint16_t value) {
+  assert(in_range(addr));
+  words_[addr] = value;
+}
+
+void BankedMemory::clear() {
+  words_.assign(words_.size(), 0);
+}
+
+}  // namespace ulpsync::sim

@@ -1,0 +1,37 @@
+#pragma once
+
+/// Banked 16-bit data memory with block bank mapping (bank = addr / words
+/// per bank), matching the paper's 16-bank shared DM.
+
+#include <cstdint>
+#include <vector>
+
+namespace ulpsync::sim {
+
+class BankedMemory {
+ public:
+  BankedMemory(unsigned banks, unsigned words_per_bank);
+
+  [[nodiscard]] unsigned banks() const { return banks_; }
+  [[nodiscard]] unsigned words_per_bank() const { return words_per_bank_; }
+  [[nodiscard]] std::uint32_t size() const {
+    return static_cast<std::uint32_t>(words_.size());
+  }
+  [[nodiscard]] bool in_range(std::uint32_t addr) const { return addr < size(); }
+  [[nodiscard]] unsigned bank_of(std::uint32_t addr) const {
+    return addr / words_per_bank_;
+  }
+
+  [[nodiscard]] std::uint16_t read(std::uint32_t addr) const;
+  void write(std::uint32_t addr, std::uint16_t value);
+
+  /// Zero-fills the whole memory.
+  void clear();
+
+ private:
+  unsigned banks_;
+  unsigned words_per_bank_;
+  std::vector<std::uint16_t> words_;
+};
+
+}  // namespace ulpsync::sim

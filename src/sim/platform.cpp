@@ -1,0 +1,669 @@
+#include "sim/platform.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <sstream>
+
+namespace ulpsync::sim {
+
+namespace {
+
+constexpr isa::Instruction kHaltInstr{isa::Opcode::kHalt, 0, 0, 0, 0};
+
+}  // namespace
+
+std::string_view to_string(CoreStatus status) {
+  switch (status) {
+    case CoreStatus::kReady:      return "ready";
+    case CoreStatus::kMemWait:    return "mem-wait";
+    case CoreStatus::kPolicyHold: return "policy-hold";
+    case CoreStatus::kSyncWait:   return "sync-wait";
+    case CoreStatus::kSyncBusy:   return "sync-busy";
+    case CoreStatus::kSleeping:   return "sleeping";
+    case CoreStatus::kHalted:     return "halted";
+    case CoreStatus::kTrapped:    return "trapped";
+  }
+  return "?";
+}
+
+std::string RunResult::to_string() const {
+  std::ostringstream out;
+  switch (status) {
+    case Status::kAllHalted: out << "all halted"; break;
+    case Status::kMaxCycles: out << "max cycles reached"; break;
+    case Status::kAllAsleep: out << "all cores asleep (deadlock without an external wake-up)"; break;
+    case Status::kTrap:
+      out << "trap on core " << trap_core << " at pc " << trap_pc << " (kind "
+          << static_cast<int>(trap) << ")";
+      break;
+  }
+  out << " after " << cycles << " cycles";
+  return out.str();
+}
+
+Platform::Platform(const PlatformConfig& config)
+    : config_(config),
+      im_code_(config.im_slots(), kHaltInstr),
+      dm_(config.dm_banks, config.dm_bank_words),
+      dm_port_(dm_),
+      synchronizer_(dm_port_, config.num_cores),
+      cores_(config.num_cores),
+      policy_groups_(config.dm_banks),
+      active_this_cycle_(config.num_cores, false) {
+  assert(config.num_cores >= 1 && config.num_cores <= EventCounters::kMaxCores);
+  reset();
+}
+
+void Platform::load_program(const assembler::Program& program) {
+  assert(program.origin + program.code.size() <= im_code_.size());
+  std::fill(im_code_.begin(), im_code_.end(), kHaltInstr);
+  std::copy(program.code.begin(), program.code.end(),
+            im_code_.begin() + program.origin);
+  program_begin_ = program.origin;
+  program_end_ = program.origin + static_cast<std::uint32_t>(program.code.size());
+  reset();
+}
+
+void Platform::reset(bool clear_dm) {
+  for (unsigned i = 0; i < cores_.size(); ++i) {
+    CoreRuntime& core = cores_[i];
+    core = CoreRuntime{};
+    core.arch.core_id = static_cast<std::uint16_t>(i);
+    core.arch.num_cores = static_cast<std::uint16_t>(config_.num_cores);
+    core.arch.rsync = config_.sync_array_base;
+    core.arch.pc = program_begin_;
+    core.ramp_cycles = i * config_.start_stagger_cycles;
+  }
+  for (auto& group : policy_groups_) group = PolicyGroup{};
+  counters_ = EventCounters{};
+  synchronizer_.reset_stats();
+  pending_stop_.reset();
+  was_lockstep_ = true;
+  if (clear_dm) dm_.clear();
+}
+
+std::uint16_t Platform::dm_read(std::uint32_t addr) const { return dm_.read(addr); }
+
+void Platform::dm_write(std::uint32_t addr, std::uint16_t value) {
+  dm_.write(addr, value);
+}
+
+void Platform::dm_write_block(std::uint32_t addr,
+                              std::span<const std::uint16_t> words) {
+  for (std::size_t i = 0; i < words.size(); ++i)
+    dm_.write(addr + static_cast<std::uint32_t>(i), words[i]);
+}
+
+std::vector<std::uint16_t> Platform::dm_read_block(std::uint32_t addr,
+                                                   std::size_t count) const {
+  std::vector<std::uint16_t> out(count);
+  for (std::size_t i = 0; i < count; ++i)
+    out[i] = dm_.read(addr + static_cast<std::uint32_t>(i));
+  return out;
+}
+
+const core::SynchronizerStats& Platform::sync_stats() const {
+  return synchronizer_.stats();
+}
+
+CoreStatus Platform::core_status(unsigned core) const {
+  return cores_[core].status;
+}
+
+std::uint32_t Platform::core_pc(unsigned core) const { return cores_[core].arch.pc; }
+
+std::uint16_t Platform::core_reg(unsigned core, unsigned reg) const {
+  return cores_[core].arch.reg(reg);
+}
+
+void Platform::interrupt(unsigned core) {
+  CoreRuntime& c = cores_[core];
+  if (c.status != CoreStatus::kSleeping) return;
+  c.status = CoreStatus::kReady;
+  c.stall_age = 0;
+  c.ramp_cycles = config_.wakeup_penalty;
+}
+
+void Platform::interrupt_all() {
+  for (unsigned i = 0; i < cores_.size(); ++i) interrupt(i);
+}
+
+bool Platform::all_halted() const {
+  return std::all_of(cores_.begin(), cores_.end(), [](const CoreRuntime& c) {
+    return c.status == CoreStatus::kHalted;
+  });
+}
+
+void Platform::trap(unsigned core, TrapKind kind) {
+  cores_[core].status = CoreStatus::kTrapped;
+  if (!pending_stop_) {
+    RunResult stop;
+    stop.status = RunResult::Status::kTrap;
+    stop.trap_core = core;
+    stop.trap = kind;
+    stop.trap_pc = cores_[core].arch.pc;
+    pending_stop_ = stop;
+  }
+}
+
+void Platform::retire(unsigned core, std::uint32_t next_pc) {
+  CoreRuntime& c = cores_[core];
+  c.arch.pc = next_pc;
+  c.status = CoreStatus::kReady;
+  c.stall_age = 0;
+  counters_.retired_ops += 1;
+  counters_.per_core_retired[core] += 1;
+  active_this_cycle_[core] = true;
+}
+
+void Platform::grant_load(unsigned core, std::uint16_t value) {
+  complete_load(cores_[core].arch, cores_[core].load_reg, value);
+}
+
+void Platform::retire_mem(unsigned core) {
+  retire(core, cores_[core].mem_next_pc);
+  cores_[core].load_latched = false;
+  // The granted access occupied the execute phase; pad to base CPI.
+  cores_[core].bubble_cycles = config_.base_cpi - 1;
+}
+
+// Phase 1: synchronizer write phase — completions and wake-ups.
+void Platform::phase_sync_writeback() {
+  const auto events = synchronizer_.begin_cycle();
+  for (unsigned i = 0; i < cores_.size(); ++i) {
+    const auto bit = static_cast<std::uint16_t>(1u << i);
+    if (events.completed_checkin_mask & bit) {
+      assert(cores_[i].status == CoreStatus::kSyncBusy);
+      retire(i, cores_[i].sync_next_pc);
+    } else if (events.completed_checkout_mask & bit) {
+      assert(cores_[i].status == CoreStatus::kSyncBusy);
+      retire(i, cores_[i].sync_next_pc);
+      cores_[i].status = CoreStatus::kSleeping;
+    }
+  }
+  for (unsigned i = 0; i < cores_.size(); ++i) {
+    const auto bit = static_cast<std::uint16_t>(1u << i);
+    if ((events.wake_mask & bit) && cores_[i].status == CoreStatus::kSleeping) {
+      cores_[i].status = CoreStatus::kReady;
+      cores_[i].stall_age = 0;
+      cores_[i].ramp_cycles = config_.wakeup_penalty;
+    }
+  }
+}
+
+// Phase 2+3: I-Xbar arbitration and execution of the served instructions.
+void Platform::phase_fetch_and_execute() {
+  fetch_winners_.clear();
+
+  // Collect fetch requests per IM bank.
+  struct Fetcher {
+    unsigned core;
+    std::uint32_t pc;
+  };
+  std::map<unsigned, std::vector<Fetcher>> by_bank;
+  unsigned total_fetchers = 0;
+  bool all_same_pc = true;
+  std::uint32_t first_pc = 0;
+  unsigned eligible = 0;  // non-halted, non-sleeping cores
+
+  for (unsigned i = 0; i < cores_.size(); ++i) {
+    CoreRuntime& c = cores_[i];
+    if (c.status != CoreStatus::kHalted && c.status != CoreStatus::kSleeping &&
+        c.status != CoreStatus::kTrapped) {
+      ++eligible;
+    }
+    if (c.status != CoreStatus::kReady) continue;
+    if (c.bubble_cycles > 0) {
+      // Squashed-fetch slot after a taken branch; the core stays clocked.
+      c.bubble_cycles -= 1;
+      active_this_cycle_[i] = true;
+      counters_.core_branch_bubble_cycles += 1;
+      continue;
+    }
+    if (c.ramp_cycles > 0) {
+      // Clock-gate release after a wake-up; the core is still gated.
+      c.ramp_cycles -= 1;
+      counters_.core_wakeup_ramp_cycles += 1;
+      continue;
+    }
+    const std::uint32_t pc = c.arch.pc;
+    if (pc < program_begin_ || pc >= program_end_) {
+      trap(i, TrapKind::kImOutOfRange);
+      continue;
+    }
+    if (total_fetchers == 0) first_pc = pc;
+    all_same_pc = all_same_pc && (pc == first_pc);
+    ++total_fetchers;
+    const unsigned bank = config_.im_line_slots == 0
+                              ? pc / config_.im_bank_slots
+                              : (pc / config_.im_line_slots) % config_.im_banks;
+    by_bank[bank].push_back({i, pc});
+  }
+
+  if (total_fetchers > 0) counters_.fetch_cycles += 1;
+  const bool lockstep =
+      total_fetchers >= 2 && all_same_pc && total_fetchers == eligible;
+  if (lockstep) counters_.lockstep_cycles += 1;
+  if (was_lockstep_ && !lockstep && total_fetchers >= 2)
+    counters_.divergence_events += 1;
+  was_lockstep_ = lockstep || total_fetchers < 2;
+
+  for (auto& [bank, fetchers] : by_bank) {
+    (void)bank;
+    // Choose the winning address. Fixed priority (the paper's "served in
+    // sequence"): the lowest-indexed requester; oldest-first for ablation.
+    // With broadcasting, every requester of that address is served by the
+    // single bank read.
+    const Fetcher* winner = &fetchers.front();
+    if (config_.arbitration == ArbitrationPolicy::kOldestFirst) {
+      for (const Fetcher& f : fetchers) {
+        if (cores_[f.core].stall_age > cores_[winner->core].stall_age)
+          winner = &f;
+      }
+    } else if (config_.arbitration == ArbitrationPolicy::kRoundRobin) {
+      auto rr_rank = [&](unsigned core) {
+        return (core + config_.num_cores -
+                rr_pointer_ % config_.num_cores) % config_.num_cores;
+      };
+      for (const Fetcher& f : fetchers) {
+        if (rr_rank(f.core) < rr_rank(winner->core)) winner = &f;
+      }
+    }
+    const std::uint32_t win_pc = winner->pc;
+
+    // Broadcast eligibility: with per-core PC comparators any same-address
+    // subset shares the read; the baseline broadcasts only when the whole
+    // group coincides.
+    bool group_uniform = true;
+    for (const Fetcher& f : fetchers) group_uniform &= (f.pc == win_pc);
+    const bool allow_group_serve =
+        config_.im_fetch_broadcast &&
+        (config_.features.ixbar_partial_broadcast || group_uniform);
+
+    unsigned served = 0;
+    bool first_served = true;
+    for (const Fetcher& f : fetchers) {
+      const bool serve = (f.pc == win_pc) && (allow_group_serve || first_served);
+      if (serve) {
+        fetch_winners_.push_back(f.core);
+        cores_[f.core].stall_age = 0;
+        ++served;
+        first_served = false;
+      } else {
+        cores_[f.core].stall_age += 1;
+        counters_.core_fetch_stall_cycles += 1;
+      }
+    }
+    counters_.im_bank_accesses += 1;
+    counters_.im_fetches_delivered += served;
+    if (served > 1) counters_.im_broadcast_groups += 1;
+    if (served < fetchers.size()) counters_.fetch_conflict_cycles += 1;
+  }
+
+  // Execute the served instructions.
+  sync_submitters_.clear();
+  for (unsigned core_index : fetch_winners_) {
+    CoreRuntime& c = cores_[core_index];
+    const isa::Instruction& instr = im_code_[c.arch.pc];
+    const ExecResult result = execute(c.arch, instr);
+    active_this_cycle_[core_index] = true;
+
+    switch (result.action) {
+      case ExecAction::kAdvance: {
+        // Taken redirects (branches, JAL, JR) squash the fetch in flight.
+        const bool redirect = result.next_pc != c.arch.pc + 1;
+        retire(core_index, result.next_pc);
+        c.bubble_cycles = config_.base_cpi - 1 +
+                          (redirect ? config_.branch_taken_penalty : 0);
+        break;
+      }
+      case ExecAction::kTrap:
+        trap(core_index, result.trap);
+        break;
+      case ExecAction::kHalt:
+        counters_.retired_ops += 1;
+        counters_.per_core_retired[core_index] += 1;
+        c.status = CoreStatus::kHalted;
+        break;
+      case ExecAction::kSleep:
+        counters_.retired_ops += 1;
+        counters_.per_core_retired[core_index] += 1;
+        c.arch.pc = result.next_pc;
+        c.status = CoreStatus::kSleeping;
+        break;
+      case ExecAction::kMemLoad:
+      case ExecAction::kMemStore:
+        if (!dm_.in_range(result.mem_addr)) {
+          trap(core_index, TrapKind::kDmOutOfRange);
+          break;
+        }
+        c.mem_is_store = (result.action == ExecAction::kMemStore);
+        c.mem_addr = result.mem_addr;
+        c.store_data = result.store_data;
+        c.load_reg = result.load_reg;
+        c.mem_next_pc = result.next_pc;
+        c.load_latched = false;
+        c.status = CoreStatus::kMemWait;  // arbitrated this same cycle below
+        break;
+      case ExecAction::kSync:
+        if (!config_.features.hardware_synchronizer) {
+          trap(core_index, TrapKind::kSyncWithoutHardware);
+          break;
+        }
+        if (!dm_.in_range(result.mem_addr)) {
+          trap(core_index, TrapKind::kDmOutOfRange);
+          break;
+        }
+        c.sync_is_checkout = result.sync_is_checkout;
+        c.sync_addr = result.mem_addr;
+        c.sync_next_pc = result.next_pc;
+        c.status = CoreStatus::kSyncWait;  // submitted this same cycle below
+        break;
+    }
+  }
+}
+
+// Phase 4: submit new and waiting SINC/SDEC requests to the synchronizer.
+void Platform::phase_sync_submit() {
+  for (unsigned i = 0; i < cores_.size(); ++i) {
+    CoreRuntime& c = cores_[i];
+    if (c.status != CoreStatus::kSyncWait) continue;
+    if (synchronizer_.submit(i, c.sync_addr, c.sync_is_checkout)) {
+      c.status = CoreStatus::kSyncBusy;
+      c.stall_age = 0;
+      active_this_cycle_[i] = true;  // read phase of the RMW
+    } else {
+      c.stall_age += 1;
+      counters_.core_sync_stall_cycles += 1;
+    }
+  }
+  synchronizer_.finish_cycle();
+}
+
+// Phase 5: D-Xbar arbitration (ordinary data accesses).
+void Platform::phase_dxbar() {
+  dm_requesters_.clear();
+  for (unsigned i = 0; i < cores_.size(); ++i) {
+    if (cores_[i].status == CoreStatus::kMemWait) dm_requesters_.push_back(i);
+  }
+
+  // Group requesters by DM bank.
+  std::map<unsigned, std::vector<unsigned>> by_bank;
+  for (unsigned core_index : dm_requesters_)
+    by_bank[dm_.bank_of(cores_[core_index].mem_addr)].push_back(core_index);
+
+  const int locked_bank = synchronizer_.locked_bank();
+
+  // First, progress active policy groups (their banks are reserved).
+  for (unsigned bank = 0; bank < policy_groups_.size(); ++bank) {
+    PolicyGroup& group = policy_groups_[bank];
+    if (!group.active) continue;
+    if (static_cast<int>(bank) == locked_bank) {
+      // Synchronizer owns the bank this cycle; group members keep waiting.
+      continue;
+    }
+    // Serve the next address: the unserved member with the lowest index.
+    unsigned leader = 0;
+    while (((group.unserved_mask >> leader) & 1u) == 0) ++leader;
+    const std::uint32_t addr = cores_[leader].mem_addr;
+    const bool leader_store = cores_[leader].mem_is_store;
+
+    std::uint16_t served_mask = 0;
+    for (unsigned i = leader; i < cores_.size(); ++i) {
+      if (((group.unserved_mask >> i) & 1u) == 0) continue;
+      const CoreRuntime& c = cores_[i];
+      if (c.mem_addr != addr) continue;
+      // Loads of one address broadcast together; stores serialize.
+      if (leader_store) {
+        if (i != leader) continue;
+      } else if (c.mem_is_store) {
+        continue;
+      }
+      served_mask = static_cast<std::uint16_t>(served_mask | (1u << i));
+    }
+
+    counters_.dm_bank_accesses += 1;
+    if (leader_store) {
+      dm_.write(addr, cores_[leader].store_data);
+    } else {
+      const std::uint16_t value = dm_.read(addr);
+      unsigned served_count = 0;
+      for (unsigned i = 0; i < cores_.size(); ++i) {
+        if ((served_mask >> i) & 1u) {
+          cores_[i].latched_load = value;
+          cores_[i].load_latched = true;
+          ++served_count;
+        }
+      }
+      if (served_count > 1) counters_.dm_broadcast_reads += 1;
+    }
+    for (unsigned i = 0; i < cores_.size(); ++i) {
+      if ((served_mask >> i) & 1u) {
+        counters_.dm_requests_granted += 1;
+        active_this_cycle_[i] = true;
+        cores_[i].status = CoreStatus::kPolicyHold;
+      }
+    }
+    group.unserved_mask = static_cast<std::uint16_t>(group.unserved_mask & ~served_mask);
+
+    if (group.unserved_mask == 0) {
+      // Whole group served: all members retire together, back in lockstep.
+      for (unsigned i = 0; i < cores_.size(); ++i) {
+        if ((group.member_mask >> i) & 1u) {
+          if (!cores_[i].mem_is_store && cores_[i].load_latched)
+            grant_load(i, cores_[i].latched_load);
+          retire_mem(i);
+        }
+      }
+      group = PolicyGroup{};
+    } else {
+      // Held members are clock gated while the rest of the group is served.
+      for (unsigned i = 0; i < cores_.size(); ++i) {
+        if (((group.member_mask >> i) & 1u) && !active_this_cycle_[i]) {
+          counters_.core_mem_stall_cycles += 1;
+          cores_[i].stall_age += 1;
+        }
+      }
+    }
+    // Non-member requesters to this bank stall this cycle.
+    if (auto it = by_bank.find(bank); it != by_bank.end()) {
+      for (unsigned core_index : it->second) {
+        if ((group.member_mask >> core_index) & 1u) continue;
+        if (cores_[core_index].status == CoreStatus::kMemWait) {
+          counters_.core_mem_stall_cycles += 1;
+          cores_[core_index].stall_age += 1;
+        }
+      }
+      by_bank.erase(it);
+    }
+  }
+
+  // Ordinary arbitration on the remaining banks.
+  for (auto& [bank, requesters] : by_bank) {
+    if (policy_groups_[bank].active) continue;  // handled above
+    if (static_cast<int>(bank) == locked_bank) {
+      for (unsigned core_index : requesters) {
+        counters_.core_mem_stall_cycles += 1;
+        cores_[core_index].stall_age += 1;
+      }
+      continue;
+    }
+
+    // Is this a conflict? A single address with only loads (broadcast), or a
+    // single requester, is conflict-free.
+    bool all_loads_same_addr = true;
+    const std::uint32_t addr0 = cores_[requesters.front()].mem_addr;
+    for (unsigned core_index : requesters) {
+      const CoreRuntime& c = cores_[core_index];
+      if (c.mem_is_store || c.mem_addr != addr0) all_loads_same_addr = false;
+    }
+    const bool conflict_free =
+        requesters.size() == 1 || (all_loads_same_addr && config_.dm_read_broadcast);
+
+    if (conflict_free) {
+      counters_.dm_bank_accesses += 1;
+      if (requesters.size() > 1) counters_.dm_broadcast_reads += 1;
+      if (cores_[requesters.front()].mem_is_store) {
+        dm_.write(addr0, cores_[requesters.front()].store_data);
+      }
+      std::uint16_t value = 0;
+      if (!cores_[requesters.front()].mem_is_store) value = dm_.read(addr0);
+      for (unsigned core_index : requesters) {
+        if (!cores_[core_index].mem_is_store) grant_load(core_index, value);
+        counters_.dm_requests_granted += 1;
+        retire_mem(core_index);
+      }
+      continue;
+    }
+
+    counters_.dm_conflict_cycles += 1;
+
+    // Enhanced D-Xbar policy: look for a synchronous group (equal PCs)
+    // among the conflicting requesters.
+    if (config_.features.dxbar_pc_policy) {
+      std::map<std::uint32_t, std::vector<unsigned>> by_pc;
+      for (unsigned core_index : requesters)
+        by_pc[cores_[core_index].arch.pc].push_back(core_index);
+      const std::vector<unsigned>* best = nullptr;
+      for (const auto& [pc, members] : by_pc) {
+        (void)pc;
+        if (members.size() < 2) continue;
+        if (best == nullptr || members.size() > best->size()) best = &members;
+      }
+      if (best != nullptr) {
+        PolicyGroup& group = policy_groups_[bank];
+        group.active = true;
+        group.pc = cores_[best->front()].arch.pc;
+        group.member_mask = 0;
+        for (unsigned core_index : *best)
+          group.member_mask =
+              static_cast<std::uint16_t>(group.member_mask | (1u << core_index));
+        group.unserved_mask = group.member_mask;
+        counters_.policy_hold_events += 1;
+        // Everyone (members and non-members) waits this cycle; service
+        // starts next cycle. This models the group-detection cycle.
+        for (unsigned core_index : requesters) {
+          counters_.core_mem_stall_cycles += 1;
+          cores_[core_index].stall_age += 1;
+        }
+        continue;
+      }
+    }
+
+    // Plain conflict service: grant the highest-priority requester together
+    // with any same-address load peers.
+    unsigned winner = requesters.front();
+    if (config_.arbitration == ArbitrationPolicy::kOldestFirst) {
+      for (unsigned core_index : requesters) {
+        if (cores_[core_index].stall_age > cores_[winner].stall_age)
+          winner = core_index;
+      }
+    } else if (config_.arbitration == ArbitrationPolicy::kRoundRobin) {
+      auto rr_rank = [&](unsigned core) {
+        return (core + config_.num_cores -
+                rr_pointer_ % config_.num_cores) % config_.num_cores;
+      };
+      for (unsigned core_index : requesters) {
+        if (rr_rank(core_index) < rr_rank(winner)) winner = core_index;
+      }
+    }
+    const std::uint32_t win_addr = cores_[winner].mem_addr;
+    const bool win_store = cores_[winner].mem_is_store;
+    counters_.dm_bank_accesses += 1;
+    std::uint16_t value = 0;
+    if (win_store) {
+      dm_.write(win_addr, cores_[winner].store_data);
+    } else {
+      value = dm_.read(win_addr);
+    }
+    unsigned served_count = 0;
+    for (unsigned core_index : requesters) {
+      CoreRuntime& c = cores_[core_index];
+      const bool serve = !win_store && config_.dm_read_broadcast
+                             ? (!c.mem_is_store && c.mem_addr == win_addr)
+                             : (core_index == winner);
+      if (serve) {
+        if (!c.mem_is_store) grant_load(core_index, value);
+        counters_.dm_requests_granted += 1;
+        retire_mem(core_index);
+        ++served_count;
+      } else {
+        counters_.core_mem_stall_cycles += 1;
+        c.stall_age += 1;
+      }
+    }
+    if (served_count > 1) counters_.dm_broadcast_reads += 1;
+  }
+}
+
+void Platform::tick() {
+  counters_.cycles += 1;
+  rr_pointer_ += 1;
+  std::fill(active_this_cycle_.begin(), active_this_cycle_.end(), false);
+
+  phase_sync_writeback();
+  // Cores still inside the RMW write phase are clocked.
+  for (unsigned i = 0; i < cores_.size(); ++i) {
+    if (cores_[i].status == CoreStatus::kSyncBusy) active_this_cycle_[i] = true;
+  }
+  phase_fetch_and_execute();
+  phase_sync_submit();
+  phase_dxbar();
+
+  // Cycle-level accounting.
+  for (unsigned i = 0; i < cores_.size(); ++i) {
+    if (cores_[i].status == CoreStatus::kSleeping) {
+      counters_.core_sleep_cycles += 1;
+      counters_.per_core_sleep[i] += 1;
+    }
+    if (active_this_cycle_[i]) {
+      counters_.core_active_cycles += 1;
+      counters_.per_core_active[i] += 1;
+    }
+  }
+
+  if (observer_) observer_(*this);
+}
+
+RunResult Platform::run(std::uint64_t max_cycles) {
+  RunResult result;
+  while (counters_.cycles < max_cycles) {
+    if (all_halted()) {
+      result.status = RunResult::Status::kAllHalted;
+      result.cycles = counters_.cycles;
+      return result;
+    }
+    // Deadlock: every live core is asleep and no wake-up can ever arrive.
+    bool any_progress_possible = synchronizer_.busy();
+    bool any_live = false;
+    for (const CoreRuntime& c : cores_) {
+      if (c.status == CoreStatus::kHalted || c.status == CoreStatus::kTrapped)
+        continue;
+      any_live = true;
+      if (c.status != CoreStatus::kSleeping) any_progress_possible = true;
+    }
+    if (pending_stop_) {
+      result = *pending_stop_;
+      result.cycles = counters_.cycles;
+      return result;
+    }
+    if (any_live && !any_progress_possible) {
+      result.status = RunResult::Status::kAllAsleep;
+      result.cycles = counters_.cycles;
+      return result;
+    }
+    if (!any_live) {
+      // Mixture of halted and trapped cores with no stop recorded.
+      result.status = RunResult::Status::kAllHalted;
+      result.cycles = counters_.cycles;
+      return result;
+    }
+    tick();
+  }
+  result.status = RunResult::Status::kMaxCycles;
+  result.cycles = counters_.cycles;
+  return result;
+}
+
+}  // namespace ulpsync::sim

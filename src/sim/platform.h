@@ -1,0 +1,210 @@
+#pragma once
+
+/// Cycle-level model of the paper's multi-core platform (Fig. 1): up to 8
+/// TR16 cores, a shared banked instruction memory behind a broadcasting
+/// I-Xbar, a shared banked data memory behind a broadcasting D-Xbar, and the
+/// hardware synchronizer.
+///
+/// Timing model (one `tick()` = one clock cycle):
+///  * Every non-stalled, non-sleeping core fetches one instruction per
+///    cycle. Fetches to the same IM bank at the SAME address are merged into
+///    one physical bank access delivered to all requesters (instruction
+///    broadcasting, [4]). Fetches to the same bank at DIFFERENT addresses
+///    are served one address per cycle; losing cores are stalled and clock
+///    gated — this is the IM conflict serialization that destroys the
+///    baseline's throughput once cores leave lockstep.
+///  * Data accesses are arbitrated per DM bank, one address per bank per
+///    cycle. Concurrent loads of the same address are broadcast. With the
+///    enhanced D-Xbar policy (Section IV), conflicting accesses by cores
+///    whose PCs are equal form a "policy group": members are served one
+///    address per cycle but retire only when the whole group has been
+///    served, so they leave the conflict in lockstep.
+///  * SINC/SDEC occupy the core for two cycles (the synchronizer's merged
+///    read-modify-write); SDEC then puts the core to sleep until the
+///    check-out counter reaches zero, at which point every flagged core is
+///    woken in the same cycle.
+///  * Stalled cores are clock gated; sleeping cores are gated more deeply.
+///    The event counters distinguish all of these states for the power
+///    model.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "asm/assembler.h"
+#include "core/synchronizer.h"
+#include "isa/isa.h"
+#include "sim/config.h"
+#include "sim/counters.h"
+#include "sim/executor.h"
+#include "sim/memory.h"
+
+namespace ulpsync::sim {
+
+enum class CoreStatus : std::uint8_t {
+  kReady,       ///< will fetch next cycle (or lost fetch arbitration)
+  kMemWait,     ///< pending DM access, not yet granted
+  kPolicyHold,  ///< served, held by the enhanced D-Xbar until group done
+  kSyncWait,    ///< SINC/SDEC waiting for the checkpoint word's lock
+  kSyncBusy,    ///< inside the 2-cycle synchronizer read-modify-write
+  kSleeping,    ///< checked out / SLEEP; waiting for a wake-up event
+  kHalted,
+  kTrapped,
+};
+
+[[nodiscard]] std::string_view to_string(CoreStatus status);
+
+struct RunResult {
+  enum class Status : std::uint8_t {
+    kAllHalted,  ///< every core executed HALT
+    kMaxCycles,  ///< cycle budget exhausted
+    /// Every live core is asleep and no synchronizer wake-up is in flight.
+    /// This is a deadlock unless the host delivers an external interrupt
+    /// (`Platform::interrupt_all`) — the duty-cycled streaming mode.
+    kAllAsleep,
+    kTrap,       ///< a core raised an architectural fault
+  };
+  Status status = Status::kAllHalted;
+  std::uint64_t cycles = 0;
+  // Valid when status == kTrap:
+  unsigned trap_core = 0;
+  TrapKind trap = TrapKind::kNone;
+  std::uint32_t trap_pc = 0;
+
+  [[nodiscard]] bool ok() const { return status == Status::kAllHalted; }
+  [[nodiscard]] std::string to_string() const;
+};
+
+class Platform {
+ public:
+  explicit Platform(const PlatformConfig& config);
+
+  /// Loads a program image into instruction memory and resets all cores to
+  /// the program origin. Data memory is left untouched (the host preloads
+  /// inputs via `dm_write`).
+  void load_program(const assembler::Program& program);
+
+  /// Resets cores (registers, flags, PC to program origin, status Ready)
+  /// and counters. Data memory content is preserved unless `clear_dm`.
+  void reset(bool clear_dm = false);
+
+  /// Runs until all cores halt, a trap/deadlock occurs, or `max_cycles`
+  /// elapse.
+  RunResult run(std::uint64_t max_cycles);
+
+  /// Advances exactly one clock cycle (for fine-grained tests).
+  void tick();
+
+  /// External wake-up event (interrupt line of one core): a sleeping core
+  /// resumes at the instruction after its SLEEP/SDEC. No effect on cores
+  /// that are not sleeping. This is how a sample-ready timer or radio event
+  /// re-starts a duty-cycled platform.
+  void interrupt(unsigned core);
+  /// Broadcast wake-up: interrupts every sleeping core in the same cycle,
+  /// so the group resumes in lockstep.
+  void interrupt_all();
+
+  // --- host access ---
+  [[nodiscard]] std::uint16_t dm_read(std::uint32_t addr) const;
+  void dm_write(std::uint32_t addr, std::uint16_t value);
+  void dm_write_block(std::uint32_t addr, std::span<const std::uint16_t> words);
+  [[nodiscard]] std::vector<std::uint16_t> dm_read_block(std::uint32_t addr,
+                                                         std::size_t count) const;
+
+  // --- introspection ---
+  [[nodiscard]] const PlatformConfig& config() const { return config_; }
+  [[nodiscard]] const EventCounters& counters() const { return counters_; }
+  [[nodiscard]] const core::SynchronizerStats& sync_stats() const;
+  [[nodiscard]] CoreStatus core_status(unsigned core) const;
+  [[nodiscard]] std::uint32_t core_pc(unsigned core) const;
+  [[nodiscard]] std::uint16_t core_reg(unsigned core, unsigned reg) const;
+  [[nodiscard]] bool all_halted() const;
+
+  /// Per-cycle observer invoked at the end of every tick (tracing, tests).
+  void set_observer(std::function<void(const Platform&)> observer) {
+    observer_ = std::move(observer);
+  }
+
+ private:
+  struct CoreRuntime {
+    CoreArchState arch;
+    CoreStatus status = CoreStatus::kReady;
+    std::uint64_t stall_age = 0;  ///< arbitration age (cycles waiting)
+    unsigned bubble_cycles = 0;   ///< clocked pipeline bubble (taken branch)
+    unsigned ramp_cycles = 0;     ///< gated wake-up ramp (after sleep)
+
+    // Pending DM access (kMemWait / kPolicyHold).
+    bool mem_is_store = false;
+    std::uint32_t mem_addr = 0;
+    std::uint16_t store_data = 0;
+    std::uint8_t load_reg = 0;
+    std::uint32_t mem_next_pc = 0;
+    bool load_latched = false;     ///< policy-held load already served
+    std::uint16_t latched_load = 0;
+
+    // Pending sync request (kSyncWait / kSyncBusy).
+    bool sync_is_checkout = false;
+    std::uint32_t sync_addr = 0;
+    std::uint32_t sync_next_pc = 0;
+  };
+
+  /// Enhanced D-Xbar group in progress on one DM bank.
+  struct PolicyGroup {
+    bool active = false;
+    std::uint32_t pc = 0;
+    std::uint16_t member_mask = 0;
+    std::uint16_t unserved_mask = 0;
+  };
+
+  class DmPort final : public core::DataMemoryPort {
+   public:
+    explicit DmPort(BankedMemory& dm) : dm_(dm) {}
+    std::uint16_t read_word(std::uint32_t addr) override { return dm_.read(addr); }
+    void write_word(std::uint32_t addr, std::uint16_t value) override {
+      dm_.write(addr, value);
+    }
+    [[nodiscard]] unsigned bank_of(std::uint32_t addr) const override {
+      return dm_.bank_of(addr);
+    }
+
+   private:
+    BankedMemory& dm_;
+  };
+
+  void trap(unsigned core, TrapKind kind);
+  void retire(unsigned core, std::uint32_t next_pc);
+  void retire_mem(unsigned core);
+  void grant_load(unsigned core, std::uint16_t value);
+
+  void phase_sync_writeback();
+  void phase_fetch_and_execute();
+  void phase_sync_submit();
+  void phase_dxbar();
+
+  PlatformConfig config_;
+  std::vector<isa::Instruction> im_code_;
+  std::uint32_t program_begin_ = 0;
+  std::uint32_t program_end_ = 0;
+  BankedMemory dm_;
+  DmPort dm_port_;
+  core::Synchronizer synchronizer_;
+  std::vector<CoreRuntime> cores_;
+  std::vector<PolicyGroup> policy_groups_;  // one per DM bank
+  EventCounters counters_;
+  std::function<void(const Platform&)> observer_;
+
+  std::optional<RunResult> pending_stop_;
+  bool was_lockstep_ = true;
+  unsigned rr_pointer_ = 0;  ///< round-robin arbitration pointer
+
+  // Per-tick scratch (members to avoid reallocation).
+  std::vector<unsigned> fetch_winners_;
+  std::vector<unsigned> sync_submitters_;
+  std::vector<unsigned> dm_requesters_;
+  std::vector<bool> active_this_cycle_;
+};
+
+}  // namespace ulpsync::sim

@@ -1,0 +1,84 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace ulpsync::sim {
+
+void TimelineTracer::attach(Platform& platform) {
+  platform.set_observer([this](const Platform& p) { observe(p); });
+}
+
+char TimelineTracer::symbol(CoreStatus status) {
+  switch (status) {
+    case CoreStatus::kReady:      return 'E';
+    case CoreStatus::kMemWait:    return 'm';
+    case CoreStatus::kPolicyHold: return 'm';
+    case CoreStatus::kSyncWait:   return '#';
+    case CoreStatus::kSyncBusy:   return '#';
+    case CoreStatus::kSleeping:   return 'z';
+    case CoreStatus::kHalted:     return 'H';
+    case CoreStatus::kTrapped:    return 'T';
+  }
+  return '?';
+}
+
+void TimelineTracer::observe(const Platform& platform) {
+  Snapshot snapshot;
+  snapshot.cycle = platform.counters().cycles;
+  snapshot.num_cores = platform.config().num_cores;
+  for (unsigned c = 0; c < snapshot.num_cores; ++c) {
+    snapshot.status[c] = platform.core_status(c);
+    snapshot.pc[c] = platform.core_pc(c);
+  }
+  history_.push_back(snapshot);
+  if (history_.size() > capacity_) history_.pop_front();
+}
+
+std::string TimelineTracer::timeline(std::size_t max_cycles) const {
+  if (history_.empty()) return "(no cycles recorded)\n";
+  const std::size_t count = std::min(max_cycles, history_.size());
+  const std::size_t first = history_.size() - count;
+  const unsigned cores = history_.back().num_cores;
+
+  std::ostringstream out;
+  // Cycle ruler, a tick every 10 lanes.
+  out << "cycle ";
+  for (std::size_t i = 0; i < count; ++i) {
+    if (i % 10 == 0) {
+      char label[16];
+      std::snprintf(label, sizeof label, "%-10llu",
+                    static_cast<unsigned long long>(history_[first + i].cycle));
+      out << label;
+      i += 9;
+    }
+  }
+  out << '\n';
+  for (unsigned c = 0; c < cores; ++c) {
+    out << "core" << c << ' ';
+    for (std::size_t i = 0; i < count; ++i)
+      out << symbol(history_[first + i].status[c]);
+    out << '\n';
+  }
+  out << "      E execute   m mem-stall   # sync   z sleep   H halted\n";
+  return out.str();
+}
+
+std::string TimelineTracer::window(std::size_t cycles) const {
+  const std::size_t count = std::min(cycles, history_.size());
+  const std::size_t first = history_.size() - count;
+  std::ostringstream out;
+  for (std::size_t i = first; i < history_.size(); ++i) {
+    const Snapshot& snapshot = history_[i];
+    out << "cycle " << snapshot.cycle << ":";
+    for (unsigned c = 0; c < snapshot.num_cores; ++c) {
+      out << "  [" << c << "] " << to_string(snapshot.status[c]) << "@"
+          << snapshot.pc[c];
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace ulpsync::sim

@@ -1,0 +1,63 @@
+#pragma once
+
+/// Execution tracing utilities.
+///
+/// `TimelineTracer` records a per-cycle snapshot of every core's status and
+/// PC and renders an ASCII timeline — the fastest way to *see* lockstep
+/// being lost and restored:
+///
+///     cycle 120        130        140
+///     core0 EEEEEEEEEE EEEE##EEEE zzzzEEEEEE
+///     core1 EEEEEEEEEE ....EEEEEE zzzzEEEEEE   E execute  . stall
+///     ...                                      z sleep    # sync
+///
+/// `window()` additionally renders a detailed per-cycle dump (status + PC +
+/// disassembly) for debugging kernels.
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "sim/platform.h"
+
+namespace ulpsync::sim {
+
+class TimelineTracer {
+ public:
+  /// Keeps the most recent `capacity` cycles.
+  explicit TimelineTracer(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  /// Registers as the platform observer. Replaces any previous observer.
+  void attach(Platform& platform);
+
+  /// One-character lane symbol per (cycle, core):
+  ///   E executing/clocked, . stalled (gated), z sleeping, # in a
+  ///   synchronizer RMW or waiting on a checkpoint lock, H halted,
+  ///   T trapped, m waiting on a DM conflict / policy hold.
+  [[nodiscard]] static char symbol(CoreStatus status);
+
+  /// Renders the most recent cycles (up to `max_cycles`) as an ASCII
+  /// timeline with a cycle ruler, one lane per core.
+  [[nodiscard]] std::string timeline(std::size_t max_cycles = 120) const;
+
+  /// Detailed dump of the last `cycles` snapshots: per core status and PC.
+  [[nodiscard]] std::string window(std::size_t cycles = 16) const;
+
+  [[nodiscard]] std::size_t recorded_cycles() const { return history_.size(); }
+  void clear() { history_.clear(); }
+
+ private:
+  struct Snapshot {
+    std::uint64_t cycle = 0;
+    std::array<CoreStatus, EventCounters::kMaxCores> status{};
+    std::array<std::uint32_t, EventCounters::kMaxCores> pc{};
+    unsigned num_cores = 0;
+  };
+
+  void observe(const Platform& platform);
+
+  std::size_t capacity_;
+  std::deque<Snapshot> history_;
+};
+
+}  // namespace ulpsync::sim

@@ -1,0 +1,99 @@
+#include "sim/vcd.h"
+
+namespace ulpsync::sim {
+
+namespace {
+
+/// VCD identifier for the n-th signal (printable ASCII from '!').
+std::string vcd_id(unsigned n) {
+  std::string id;
+  do {
+    id.push_back(static_cast<char>('!' + n % 94));
+    n /= 94;
+  } while (n != 0);
+  return id;
+}
+
+std::string binary(std::uint32_t value, unsigned bits) {
+  std::string out = "b";
+  bool significant = false;
+  for (int bit = static_cast<int>(bits) - 1; bit >= 0; --bit) {
+    const bool set = (value >> bit) & 1u;
+    if (set) significant = true;
+    if (significant || bit == 0) out.push_back(set ? '1' : '0');
+  }
+  return out;
+}
+
+// Signal index layout: core c status = 2c, core c pc = 2c+1, then
+// retired-ops delta at 2*num_cores.
+unsigned status_signal(unsigned core) { return 2 * core; }
+unsigned pc_signal(unsigned core) { return 2 * core + 1; }
+
+}  // namespace
+
+VcdWriter::VcdWriter(std::ostream& out, unsigned timescale_ns)
+    : out_(out), timescale_ns_(timescale_ns) {}
+
+void VcdWriter::attach(Platform& platform) {
+  platform.set_observer([this](const Platform& p) { observe(p); });
+}
+
+void VcdWriter::write_header(const Platform& platform) {
+  num_cores_ = platform.config().num_cores;
+  last_status_.assign(num_cores_, 0xFF);
+  last_pc_.assign(num_cores_, 0xFFFFFFFF);
+  out_ << "$date ulpsync simulation $end\n"
+       << "$version ulpsync VcdWriter $end\n"
+       << "$timescale " << timescale_ns_ << "ns $end\n"
+       << "$scope module platform $end\n";
+  for (unsigned c = 0; c < num_cores_; ++c) {
+    out_ << "$scope module core" << c << " $end\n"
+         << "$var wire 4 " << vcd_id(status_signal(c)) << " status $end\n"
+         << "$var wire 16 " << vcd_id(pc_signal(c)) << " pc $end\n"
+         << "$upscope $end\n";
+  }
+  out_ << "$var wire 8 " << vcd_id(2 * num_cores_) << " retired $end\n"
+       << "$upscope $end\n$enddefinitions $end\n";
+  header_written_ = true;
+}
+
+void VcdWriter::observe(const Platform& platform) {
+  if (!header_written_) write_header(platform);
+  const std::uint64_t cycle = platform.counters().cycles;
+  bool stamped = false;
+  auto stamp = [&] {
+    if (!stamped) {
+      out_ << '#' << cycle << '\n';
+      stamped = true;
+    }
+  };
+  for (unsigned c = 0; c < num_cores_; ++c) {
+    const auto status = static_cast<std::uint8_t>(platform.core_status(c));
+    if (status != last_status_[c]) {
+      stamp();
+      out_ << binary(status, 4) << ' ' << vcd_id(status_signal(c)) << '\n';
+      last_status_[c] = status;
+    }
+    const std::uint32_t pc = platform.core_pc(c);
+    if (pc != last_pc_[c]) {
+      stamp();
+      out_ << binary(pc, 16) << ' ' << vcd_id(pc_signal(c)) << '\n';
+      last_pc_[c] = pc;
+    }
+  }
+  const std::uint64_t retired = platform.counters().retired_ops;
+  const auto delta = static_cast<std::uint32_t>(retired - last_retired_);
+  if (delta != 0 || cycle == 1) {
+    stamp();
+    out_ << binary(delta, 8) << ' ' << vcd_id(2 * num_cores_) << '\n';
+  }
+  last_retired_ = retired;
+  last_cycle_ = cycle;
+}
+
+void VcdWriter::finish() {
+  if (header_written_) out_ << '#' << (last_cycle_ + 1) << '\n';
+}
+
+}  // namespace ulpsync::sim

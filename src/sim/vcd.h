@@ -1,0 +1,49 @@
+#pragma once
+
+/// Value-change-dump (VCD) export of a platform run, viewable in GTKWave or
+/// any other waveform viewer. One signal group per core (status + PC) plus
+/// platform-level counters (retired ops, IM bank accesses per cycle). The
+/// writer samples through the platform observer, so attaching it is enough:
+///
+///     std::ofstream file("run.vcd");
+///     sim::VcdWriter vcd(file);
+///     vcd.attach(platform);
+///     platform.run(...);
+///     vcd.finish();
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/platform.h"
+
+namespace ulpsync::sim {
+
+class VcdWriter {
+ public:
+  /// `timescale_ns` is the nominal clock period used for the VCD timescale.
+  explicit VcdWriter(std::ostream& out, unsigned timescale_ns = 12);
+
+  /// Registers as the platform observer (replaces any previous observer)
+  /// and emits the VCD header on the first observed cycle.
+  void attach(Platform& platform);
+
+  /// Flushes the final timestamp. Safe to call multiple times.
+  void finish();
+
+ private:
+  void write_header(const Platform& platform);
+  void observe(const Platform& platform);
+
+  std::ostream& out_;
+  unsigned timescale_ns_;
+  bool header_written_ = false;
+  unsigned num_cores_ = 0;
+  std::vector<std::uint8_t> last_status_;
+  std::vector<std::uint32_t> last_pc_;
+  std::uint64_t last_retired_ = 0;
+  std::uint64_t last_cycle_ = 0;
+};
+
+}  // namespace ulpsync::sim

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ulpsync::util {
+
+/// Minimal command-line flag parser for the bench/example binaries.
+///
+/// Accepts `--name=value`, `--name value`, and bare `--flag` (value "1").
+/// Unknown positional arguments are kept in order and queryable.
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const;
+  [[nodiscard]] long get_int(const std::string& name, long fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ulpsync::util

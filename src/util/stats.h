@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ulpsync::util {
+
+/// Streaming summary statistics (Welford's algorithm for mean/variance).
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile of a sample set with linear interpolation between ranks.
+/// `q` in [0, 100]. Returns 0 for an empty sample.
+[[nodiscard]] double percentile(std::vector<double> samples, double q);
+
+/// Relative error |measured - reference| / |reference| (0 when both are 0).
+[[nodiscard]] double relative_error(double measured, double reference);
+
+/// Geometric mean of strictly positive values; 0 for an empty input.
+[[nodiscard]] double geometric_mean(const std::vector<double>& values);
+
+}  // namespace ulpsync::util

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ulpsync::util {
+
+/// Console table with aligned columns, used by the benchmark harnesses to
+/// print paper-vs-measured rows. Also serializes to CSV so results can be
+/// post-processed (e.g. re-plotting Fig. 3).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; the row is padded/truncated to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double value, int precision = 2);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with ASCII column alignment and a header rule.
+  [[nodiscard]] std::string to_string() const;
+
+  /// RFC-4180-ish CSV (quotes cells containing separators).
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ulpsync::util

@@ -1,0 +1,254 @@
+// Unit tests for the two-pass TR16 assembler: syntax, labels, expressions,
+// directives, pseudo-instructions, diagnostics, and the listing generator.
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.h"
+
+namespace ulpsync::assembler {
+namespace {
+
+using isa::Opcode;
+
+Program assemble_ok(std::string_view source) {
+  auto result = assemble(source);
+  EXPECT_TRUE(result.ok()) << result.error_text();
+  return std::move(result.program);
+}
+
+std::string first_error(std::string_view source) {
+  const auto result = assemble(source);
+  EXPECT_FALSE(result.ok());
+  return result.errors.empty() ? "" : result.errors.front().message;
+}
+
+TEST(Assembler, EmptySourceYieldsEmptyProgram) {
+  const auto program = assemble_ok("\n ; just a comment\n // another\n");
+  EXPECT_EQ(program.size(), 0u);
+}
+
+TEST(Assembler, EncodesEveryOperandForm) {
+  const auto program = assemble_ok(R"(
+      add  r1, r2, r3
+      addi r1, r2, -5
+      ld   r4, [r2+10]
+      ld   r4, [r2]
+      st   [r2+3], r5
+      st   [r2], r5
+      ldx  r6, [r2+r3]
+      stx  r6, [r2+r3]
+      cmp  r1, r2
+      cmpi r1, 100
+      movi r7, 0x1FF
+      jr   r7
+      csrr r1, #2
+      csrw #2, r1
+      sinc #4
+      sdec #4
+      sleep
+      halt
+  )");
+  EXPECT_EQ(program.size(), 18u);
+  EXPECT_EQ(program.code[0].op, Opcode::kAdd);
+  EXPECT_EQ(program.code[1].imm, -5);
+  EXPECT_EQ(program.code[2].imm, 10);
+  EXPECT_EQ(program.code[3].imm, 0);
+  EXPECT_EQ(program.code[4].rd, 5);
+  EXPECT_EQ(program.code[6].op, Opcode::kLdx);
+  EXPECT_EQ(program.code[10].imm, 0x1FF);
+  EXPECT_EQ(program.code[14].op, Opcode::kSinc);
+  EXPECT_EQ(program.code[14].imm, 4);
+}
+
+TEST(Assembler, LabelsResolveForwardAndBackward) {
+  const auto program = assemble_ok(R"(
+  top:
+      addi r1, r1, 1
+      beq  done
+      bra  top
+  done:
+      halt
+  )");
+  // beq at address 1 -> done at 3: offset = 3 - 2 = 1.
+  EXPECT_EQ(program.code[1].imm, 1);
+  // bra at address 2 -> top at 0: offset = 0 - 3 = -3.
+  EXPECT_EQ(program.code[2].imm, -3);
+  EXPECT_EQ(program.labels.at("top"), 0u);
+  EXPECT_EQ(program.labels.at("done"), 3u);
+}
+
+TEST(Assembler, LabelOnSameLineAsInstruction) {
+  const auto program = assemble_ok("entry: halt\n");
+  EXPECT_EQ(program.labels.at("entry"), 0u);
+  EXPECT_EQ(program.size(), 1u);
+}
+
+TEST(Assembler, MultipleLabelsOnOneAddress) {
+  const auto program = assemble_ok("a: b: halt\n");
+  EXPECT_EQ(program.labels.at("a"), 0u);
+  EXPECT_EQ(program.labels.at("b"), 0u);
+}
+
+TEST(Assembler, JalEncodesAbsoluteTarget) {
+  const auto program = assemble_ok(R"(
+      jal r7, func
+      halt
+  func:
+      jr r7
+  )");
+  EXPECT_EQ(program.code[0].imm, 2);
+}
+
+TEST(Assembler, EquConstantsAndExpressions) {
+  const auto program = assemble_ok(R"(
+  .equ BASE, 0x100
+  .equ OFFSET, 8
+      ld r1, [r2+BASE+OFFSET]
+      ld r1, [r2+BASE-OFFSET]
+      movi r3, BASE+1
+  )");
+  EXPECT_EQ(program.code[0].imm, 0x108);
+  EXPECT_EQ(program.code[1].imm, 0xF8);
+  EXPECT_EQ(program.code[2].imm, 0x101);
+}
+
+TEST(Assembler, LabelsUsableInMoviExpressions) {
+  const auto program = assemble_ok(R"(
+      movi r1, target
+      jr   r1
+      halt
+  target:
+      halt
+  )");
+  EXPECT_EQ(program.code[0].imm, 3);
+}
+
+TEST(Assembler, OrgSetsOrigin) {
+  const auto program = assemble_ok(R"(
+  .org 0x20
+  here:
+      bra here
+  )");
+  EXPECT_EQ(program.origin, 0x20u);
+  EXPECT_EQ(program.labels.at("here"), 0x20u);
+  EXPECT_EQ(program.code[0].imm, -1);
+}
+
+TEST(Assembler, PseudoInstructions) {
+  const auto program = assemble_ok(R"(
+      nop
+      mov r5, r6
+  )");
+  EXPECT_EQ(program.code[0], (isa::Instruction{Opcode::kAdd, 0, 0, 0, 0}));
+  EXPECT_EQ(program.code[1], (isa::Instruction{Opcode::kAdd, 5, 6, 0, 0}));
+}
+
+TEST(Assembler, NumericLiteralBases) {
+  const auto program = assemble_ok(R"(
+      movi r1, 0x10
+      movi r2, 0b101
+      movi r3, 42
+  )");
+  EXPECT_EQ(program.code[0].imm, 16);
+  EXPECT_EQ(program.code[1].imm, 5);
+  EXPECT_EQ(program.code[2].imm, 42);
+}
+
+TEST(Assembler, MoviAcceptsNegativeAsRawPattern) {
+  const auto program = assemble_ok("movi r1, -1\nmovi r2, -32768\n");
+  EXPECT_EQ(program.code[0].imm, 0xFFFF);
+  EXPECT_EQ(program.code[1].imm, 0x8000);
+}
+
+TEST(Assembler, CaseInsensitiveMnemonicsAndRegisters) {
+  const auto program = assemble_ok("ADD R1, r2, R3\nHALT\n");
+  EXPECT_EQ(program.code[0].op, Opcode::kAdd);
+}
+
+TEST(AssemblerErrors, UnknownMnemonic) {
+  EXPECT_NE(first_error("frobnicate r1, r2\n").find("unknown mnemonic"),
+            std::string::npos);
+}
+
+TEST(AssemblerErrors, DuplicateLabel) {
+  EXPECT_NE(first_error("x: nop\nx: nop\n").find("duplicate label"),
+            std::string::npos);
+}
+
+TEST(AssemblerErrors, UndefinedSymbol) {
+  EXPECT_NE(first_error("beq nowhere\n").find("undefined symbol"),
+            std::string::npos);
+}
+
+TEST(AssemblerErrors, BranchOutOfRange) {
+  std::string source = "start: nop\n";
+  for (int i = 0; i < 9000; ++i) source += "nop\n";
+  source += "bra start\n";
+  EXPECT_NE(first_error(source).find("out of range"), std::string::npos);
+}
+
+TEST(AssemblerErrors, ImmediateOutOfRange) {
+  EXPECT_NE(first_error("addi r1, r2, 9000\n").find("out of range"),
+            std::string::npos);
+  EXPECT_NE(first_error("movi r1, 70000\n").find("16-bit range"),
+            std::string::npos);
+}
+
+TEST(AssemblerErrors, MissingOperands) {
+  EXPECT_FALSE(assemble("add r1, r2\n").ok());
+  EXPECT_FALSE(assemble("ld r1, r2\n").ok());
+  EXPECT_FALSE(assemble("st [r2+1]\n").ok());
+}
+
+TEST(AssemblerErrors, TrailingTokens) {
+  EXPECT_NE(first_error("halt r1\n").find("trailing"), std::string::npos);
+}
+
+TEST(AssemblerErrors, BadRegisterName) {
+  EXPECT_FALSE(assemble("add r1, r2, r16\n").ok());
+  EXPECT_FALSE(assemble("add r1, r2, x3\n").ok());
+}
+
+TEST(AssemblerErrors, OrgAfterInstructionRejected) {
+  EXPECT_NE(first_error("nop\n.org 16\n").find(".org"), std::string::npos);
+}
+
+TEST(AssemblerErrors, ReportsLineNumbers) {
+  const auto result = assemble("nop\nnop\nbogus\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.errors.front().line, 3);
+}
+
+TEST(AssemblerErrors, CollectsMultipleErrors) {
+  const auto result = assemble("bogus1\nbogus2\n");
+  EXPECT_EQ(result.errors.size(), 2u);
+}
+
+TEST(Assembler, ListingShowsAddressEncodingAndText) {
+  const auto program = assemble_ok(".org 2\nadd r3, r1, r2\n");
+  const std::string text = listing(program);
+  EXPECT_NE(text.find("0002"), std::string::npos);
+  EXPECT_NE(text.find("add r3, r1, r2"), std::string::npos);
+}
+
+TEST(Assembler, ReencodeMatchesOriginalImage) {
+  const auto program = assemble_ok(R"(
+      movi r1, 100
+  loop:
+      addi r1, r1, -1
+      cmpi r1, 0
+      bne  loop
+      halt
+  )");
+  EXPECT_EQ(reencode(program.code), program.image);
+}
+
+TEST(Assembler, ImageDecodesBackToCode) {
+  const auto program = assemble_ok("ld r4, [r2+10]\nst [r2+3], r5\nhalt\n");
+  for (std::size_t i = 0; i < program.size(); ++i) {
+    EXPECT_EQ(*isa::decode(program.image[i]), program.code[i]);
+  }
+}
+
+}  // namespace
+}  // namespace ulpsync::assembler

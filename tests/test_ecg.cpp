@@ -1,0 +1,251 @@
+// Tests for the ECG substrate: generator determinism and morphology,
+// golden morphological operators (with algebraic property sweeps),
+// multiscale derivatives, delineation, and the integer square root.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "ecg/delineation.h"
+#include "ecg/generator.h"
+#include "ecg/morphology.h"
+#include "ecg/sqrt32.h"
+#include "util/rng.h"
+
+namespace ulpsync::ecg {
+namespace {
+
+GeneratorParams default_params() { return {}; }
+
+TEST(Generator, DeterministicPerSeedAndChannel) {
+  const auto a = generate_channel(default_params(), 2, 500);
+  const auto b = generate_channel(default_params(), 2, 500);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Generator, ChannelsDiffer) {
+  const auto a = generate_channel(default_params(), 0, 500);
+  const auto b = generate_channel(default_params(), 1, 500);
+  EXPECT_NE(a, b);
+}
+
+TEST(Generator, SeedsDiffer) {
+  auto params = default_params();
+  params.seed = 1;
+  const auto a = generate_channel(params, 0, 200);
+  params.seed = 2;
+  EXPECT_NE(a, generate_channel(params, 0, 200));
+}
+
+TEST(Generator, AmplitudeWithinSaneRange) {
+  const auto samples = generate_channel(default_params(), 3, 2000);
+  std::int16_t max_abs = 0;
+  for (auto v : samples)
+    max_abs = std::max<std::int16_t>(max_abs, static_cast<std::int16_t>(std::abs(v)));
+  EXPECT_GT(max_abs, 300) << "R waves should be visible";
+  EXPECT_LT(max_abs, 4000) << "no overflow-prone swings";
+}
+
+TEST(Generator, ContainsPeriodicBeats) {
+  auto params = default_params();
+  params.noise_lsb = 0.0;
+  params.baseline_wander_lsb = 0.0;
+  const auto samples = generate_channel(params, 0, 1000);  // 4 s @ 250 Hz
+  // Count prominent positive peaks (R waves) with a crude threshold scan.
+  int peaks = 0;
+  for (std::size_t i = 1; i + 1 < samples.size(); ++i) {
+    if (samples[i] > 500 && samples[i] >= samples[i - 1] &&
+        samples[i] > samples[i + 1]) {
+      ++peaks;
+      i += 100;  // refractory
+    }
+  }
+  EXPECT_GE(peaks, 3);
+  EXPECT_LE(peaks, 7);
+}
+
+TEST(Generator, MultiChannelConvenience) {
+  const auto channels = generate_channels(default_params(), 4, 100);
+  ASSERT_EQ(channels.size(), 4u);
+  for (const auto& channel : channels) EXPECT_EQ(channel.size(), 100u);
+}
+
+// --- morphology ---
+
+Samples ramp_with_spike() {
+  Samples x;
+  for (int i = 0; i < 32; ++i) x.push_back(static_cast<std::int16_t>(i * 10));
+  x[10] = 500;  // positive spike
+  x[20] = -300; // negative spike
+  return x;
+}
+
+TEST(Morphology, ErodeIsWindowMinimum) {
+  const Samples x = {5, 1, 7, 3, 9};
+  const auto out = erode(x, 3);
+  const Samples expected = {1, 1, 1, 3, 3};
+  EXPECT_EQ(out, expected);
+}
+
+TEST(Morphology, DilateIsWindowMaximum) {
+  const Samples x = {5, 1, 7, 3, 9};
+  const auto out = dilate(x, 3);
+  const Samples expected = {5, 7, 7, 9, 9};
+  EXPECT_EQ(out, expected);
+}
+
+TEST(Morphology, SeLengthOneIsIdentity) {
+  const auto x = ramp_with_spike();
+  EXPECT_EQ(erode(x, 1), x);
+  EXPECT_EQ(dilate(x, 1), x);
+}
+
+class MorphologyProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MorphologyProperty, OrderingAndIdempotence) {
+  const unsigned se = GetParam();
+  util::Rng rng(se * 1000 + 5);
+  Samples x(200);
+  for (auto& v : x)
+    v = static_cast<std::int16_t>(rng.next_in_range(-2000, 2000));
+
+  const auto eroded = erode(x, se);
+  const auto dilated = dilate(x, se);
+  const auto opened = opening(x, se);
+  const auto closed = closing(x, se);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    // Anti-extensivity / extensivity.
+    EXPECT_LE(eroded[i], x[i]);
+    EXPECT_GE(dilated[i], x[i]);
+    EXPECT_LE(opened[i], x[i]) << "opening is anti-extensive";
+    EXPECT_GE(closed[i], x[i]) << "closing is extensive";
+    EXPECT_LE(eroded[i], opened[i]);
+    EXPECT_GE(dilated[i], closed[i]);
+  }
+  // Idempotence of opening/closing with a flat SE.
+  EXPECT_EQ(opening(opened, se), opened);
+  EXPECT_EQ(closing(closed, se), closed);
+  // Duality: erode(-x) == -dilate(x).
+  Samples negated(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    negated[i] = static_cast<std::int16_t>(-x[i]);
+  const auto eroded_neg = erode(negated, se);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_EQ(eroded_neg[i], static_cast<std::int16_t>(-dilated[i]));
+}
+
+INSTANTIATE_TEST_SUITE_P(SeSweep, MorphologyProperty,
+                         ::testing::Values(1u, 3u, 5u, 9u, 15u, 25u, 31u));
+
+TEST(Morphology, MrpfltrRemovesBaselineWander) {
+  auto params = default_params();
+  params.noise_lsb = 0.0;
+  params.baseline_wander_lsb = 600.0;
+  const auto x = generate_channel(params, 0, 500);
+  const auto y = mrpfltr(x, 31, 5);
+  // The output should be roughly zero-centered despite the huge wander.
+  double mean = 0.0;
+  for (auto v : y) mean += v;
+  mean /= static_cast<double>(y.size());
+  EXPECT_LT(std::abs(mean), 60.0);
+}
+
+TEST(Morphology, MrpfltrSuppressesSpikes) {
+  Samples x(64, 0);
+  x[30] = 1000;  // isolated spike, narrower than the noise SE
+  const auto y = mrpfltr(x, 15, 5);
+  for (auto v : y) EXPECT_LT(std::abs(v), 300);
+}
+
+// --- multiscale morphological derivative / delineation ---
+
+TEST(Mmd, ZeroOnConstantSignal) {
+  const std::vector<std::int16_t> x(50, 123);
+  for (auto v : mmd(x, 4)) EXPECT_EQ(v, 0);
+}
+
+TEST(Mmd, StronglyNegativeAtSharpPeak) {
+  std::vector<std::int16_t> x(41, 0);
+  x[20] = 1000;
+  const auto d = mmd(x, 5);
+  EXPECT_LT(d[20], -900);
+  EXPECT_GE(d[5], 0);
+}
+
+TEST(Mmd, PositiveInsideNotch) {
+  std::vector<std::int16_t> x(41, 0);
+  x[20] = -800;
+  const auto d = mmd(x, 5);
+  EXPECT_GT(d[20], 700);
+}
+
+TEST(Delineation, FindsTheBeats) {
+  auto params = default_params();
+  params.noise_lsb = 5.0;
+  const auto x = generate_channel(params, 0, 1500);  // 6 s @ 250 Hz -> ~7 beats
+  const auto detections = delineate(x, DelineationParams{});
+  EXPECT_GE(detections.size(), 5u);
+  EXPECT_LE(detections.size(), 9u);
+  // Detections are separated by at least the refractory period.
+  for (std::size_t i = 1; i < detections.size(); ++i)
+    EXPECT_GE(detections[i] - detections[i - 1], 50u);
+}
+
+TEST(Delineation, ThresholdControlsSensitivity) {
+  const auto x = generate_channel(default_params(), 0, 1500);
+  DelineationParams lax;
+  lax.threshold = 100;
+  DelineationParams strict;
+  strict.threshold = 2000;
+  EXPECT_GE(delineate(x, lax).size(), delineate(x, strict).size());
+}
+
+TEST(Delineation, EmptyAndTinyInputs) {
+  EXPECT_TRUE(delineate({}, DelineationParams{}).empty());
+  EXPECT_TRUE(delineate({1, 2}, DelineationParams{}).empty());
+}
+
+// --- integer square root ---
+
+TEST(Isqrt32, ExactSquares) {
+  for (std::uint32_t r : {0u, 1u, 2u, 255u, 256u, 4000u, 65535u}) {
+    EXPECT_EQ(isqrt32(r * r), r);
+  }
+}
+
+TEST(Isqrt32, EdgeValues) {
+  EXPECT_EQ(isqrt32(0), 0);
+  EXPECT_EQ(isqrt32(1), 1);
+  EXPECT_EQ(isqrt32(2), 1);
+  EXPECT_EQ(isqrt32(3), 1);
+  EXPECT_EQ(isqrt32(4), 2);
+  EXPECT_EQ(isqrt32(0xFFFFFFFFu), 0xFFFF);
+}
+
+TEST(Isqrt32, FloorPropertyOverRandomInputs) {
+  util::Rng rng(99);
+  for (int trial = 0; trial < 20'000; ++trial) {
+    const auto m = static_cast<std::uint32_t>(rng.next_u64());
+    const std::uint64_t root = isqrt32(m);
+    EXPECT_LE(root * root, m);
+    EXPECT_GT((root + 1) * (root + 1), static_cast<std::uint64_t>(m));
+  }
+}
+
+TEST(SumOfSquares, AccumulatesAcrossLeads) {
+  const std::vector<std::vector<std::int16_t>> leads = {{3, -4}, {4, 0}};
+  const auto s = sum_of_squares(leads);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0], 25u);
+  EXPECT_EQ(s[1], 16u);
+}
+
+TEST(RmsCombine, MatchesIsqrtOfSum) {
+  const std::vector<std::vector<std::int16_t>> leads = {{300, -400}, {400, 300}};
+  const auto y = rms_combine(leads);
+  EXPECT_EQ(y[0], 500);
+  EXPECT_EQ(y[1], 500);
+}
+
+}  // namespace
+}  // namespace ulpsync::ecg

@@ -1,0 +1,284 @@
+// Unit tests for the single-core execution semantics: ALU operations,
+// 16-bit wrap-around, flags, branches, CSRs, memory/sync actions, traps.
+
+#include <gtest/gtest.h>
+
+#include "sim/executor.h"
+#include "util/rng.h"
+
+namespace ulpsync::sim {
+namespace {
+
+using isa::Instruction;
+using isa::Opcode;
+
+CoreArchState make_state() {
+  CoreArchState state;
+  state.pc = 10;
+  state.core_id = 3;
+  state.num_cores = 8;
+  state.rsync = 0x20;
+  return state;
+}
+
+ExecResult run(CoreArchState& state, Opcode op, unsigned rd, unsigned ra,
+               unsigned rb, std::int32_t imm = 0) {
+  Instruction instr;
+  instr.op = op;
+  instr.rd = static_cast<std::uint8_t>(rd);
+  instr.ra = static_cast<std::uint8_t>(ra);
+  instr.rb = static_cast<std::uint8_t>(rb);
+  instr.imm = imm;
+  return execute(state, instr);
+}
+
+TEST(Executor, R0ReadsZeroAndIgnoresWrites) {
+  auto state = make_state();
+  state.regs[0] = 0xDEAD;  // even if forced, reg() must return 0
+  EXPECT_EQ(state.reg(0), 0);
+  run(state, Opcode::kMovi, 0, 0, 0, 42);
+  EXPECT_EQ(state.reg(0), 0);
+}
+
+TEST(Executor, AddSubWrapAround) {
+  auto state = make_state();
+  state.set_reg(1, 0xFFFF);
+  state.set_reg(2, 1);
+  run(state, Opcode::kAdd, 3, 1, 2);
+  EXPECT_EQ(state.reg(3), 0);
+  state.set_reg(4, 0);
+  run(state, Opcode::kSub, 5, 4, 2);
+  EXPECT_EQ(state.reg(5), 0xFFFF);
+}
+
+TEST(Executor, LogicOperations) {
+  auto state = make_state();
+  state.set_reg(1, 0xF0F0);
+  state.set_reg(2, 0x0FF0);
+  run(state, Opcode::kAnd, 3, 1, 2);
+  EXPECT_EQ(state.reg(3), 0x00F0);
+  run(state, Opcode::kOr, 3, 1, 2);
+  EXPECT_EQ(state.reg(3), 0xFFF0);
+  run(state, Opcode::kXor, 3, 1, 2);
+  EXPECT_EQ(state.reg(3), 0xFF00);
+}
+
+TEST(Executor, ShiftsMaskAmountToFourBits) {
+  auto state = make_state();
+  state.set_reg(1, 0x8001);
+  state.set_reg(2, 17);  // & 15 == 1
+  run(state, Opcode::kSll, 3, 1, 2);
+  EXPECT_EQ(state.reg(3), 0x0002);
+  run(state, Opcode::kSrl, 3, 1, 2);
+  EXPECT_EQ(state.reg(3), 0x4000);
+  run(state, Opcode::kSra, 3, 1, 2);
+  EXPECT_EQ(state.reg(3), 0xC000);  // arithmetic: sign fills
+}
+
+TEST(Executor, ShiftImmediates) {
+  auto state = make_state();
+  state.set_reg(1, 0xFF00);
+  run(state, Opcode::kSlli, 3, 1, 0, 4);
+  EXPECT_EQ(state.reg(3), 0xF000);
+  run(state, Opcode::kSrli, 3, 1, 0, 4);
+  EXPECT_EQ(state.reg(3), 0x0FF0);
+  run(state, Opcode::kSrai, 3, 1, 0, 4);
+  EXPECT_EQ(state.reg(3), 0xFFF0);
+}
+
+TEST(Executor, MulProducesLowAndHighHalves) {
+  auto state = make_state();
+  state.set_reg(1, static_cast<std::uint16_t>(-300));
+  state.set_reg(2, 200);
+  run(state, Opcode::kMul, 3, 1, 2);
+  run(state, Opcode::kMulh, 4, 1, 2);
+  const std::int32_t product = -300 * 200;
+  EXPECT_EQ(state.reg(3), static_cast<std::uint16_t>(product & 0xFFFF));
+  EXPECT_EQ(state.reg(4),
+            static_cast<std::uint16_t>(static_cast<std::uint32_t>(product) >> 16));
+}
+
+TEST(Executor, AluImmediatesSignExtend) {
+  auto state = make_state();
+  state.set_reg(1, 10);
+  run(state, Opcode::kAddi, 2, 1, 0, -3);
+  EXPECT_EQ(state.reg(2), 7);
+  state.set_reg(1, 0xFFFF);
+  run(state, Opcode::kAndi, 2, 1, 0, -16);  // mask 0xFFF0
+  EXPECT_EQ(state.reg(2), 0xFFF0);
+}
+
+struct CompareCase {
+  std::uint16_t a, b;
+  bool z, n, c, v;
+  bool lt_signed, lt_unsigned;
+};
+
+class ExecutorCompare : public ::testing::TestWithParam<CompareCase> {};
+
+TEST_P(ExecutorCompare, FlagsMatchReference) {
+  const auto& cs = GetParam();
+  auto state = make_state();
+  state.set_reg(1, cs.a);
+  state.set_reg(2, cs.b);
+  run(state, Opcode::kCmp, 0, 1, 2);
+  EXPECT_EQ(state.flags.z, cs.z) << cs.a << " vs " << cs.b;
+  EXPECT_EQ(state.flags.n, cs.n);
+  EXPECT_EQ(state.flags.c, cs.c);
+  EXPECT_EQ(state.flags.v, cs.v);
+  // Branch semantics must agree with two's-complement comparisons.
+  auto taken = [&](Opcode op) {
+    auto fresh = state;
+    const auto result = run(fresh, op, 0, 0, 0, 5);
+    return result.next_pc != fresh.pc + 1;
+  };
+  EXPECT_EQ(taken(Opcode::kBlt), cs.lt_signed);
+  EXPECT_EQ(taken(Opcode::kBge), !cs.lt_signed);
+  EXPECT_EQ(taken(Opcode::kBltu), cs.lt_unsigned);
+  EXPECT_EQ(taken(Opcode::kBgeu), !cs.lt_unsigned);
+  EXPECT_EQ(taken(Opcode::kBeq), cs.z);
+  EXPECT_EQ(taken(Opcode::kBne), !cs.z);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CompareMatrix, ExecutorCompare,
+    ::testing::Values(
+        CompareCase{5, 5, true, false, true, false, false, false},
+        CompareCase{3, 5, false, true, false, false, true, true},
+        CompareCase{5, 3, false, false, true, false, false, false},
+        CompareCase{0x8000, 1, false, false, true, true, true, false},
+        CompareCase{1, 0x8000, false, true, false, true, false, true},
+        CompareCase{0xFFFF, 1, false, true, true, false, true, false},
+        CompareCase{1, 0xFFFF, false, false, false, false, false, true},
+        CompareCase{0x8000, 0x8000, true, false, true, false, false, false},
+        CompareCase{0, 0xFFFF, false, false, false, false, false, true},
+        CompareCase{0x7FFF, 0xFFFF, false, true, false, true, false, true}));
+
+TEST(Executor, CompareAgreesWithInt16OverRandomPairs) {
+  util::Rng rng(77);
+  for (int trial = 0; trial < 5000; ++trial) {
+    const auto a = static_cast<std::uint16_t>(rng.next_below(0x10000));
+    const auto b = static_cast<std::uint16_t>(rng.next_below(0x10000));
+    auto state = make_state();
+    state.set_reg(1, a);
+    state.set_reg(2, b);
+    run(state, Opcode::kCmp, 0, 1, 2);
+    const bool lt_signed =
+        static_cast<std::int16_t>(a) < static_cast<std::int16_t>(b);
+    EXPECT_EQ(state.flags.n != state.flags.v, lt_signed);
+    EXPECT_EQ(!state.flags.c, a < b);
+    EXPECT_EQ(state.flags.z, a == b);
+  }
+}
+
+TEST(Executor, CmpiComparesAgainstSignExtendedImmediate) {
+  auto state = make_state();
+  state.set_reg(1, 0xFFFE);  // -2
+  run(state, Opcode::kCmpi, 0, 1, 0, -2);
+  EXPECT_TRUE(state.flags.z);
+  run(state, Opcode::kCmpi, 0, 1, 0, 0);
+  EXPECT_TRUE(state.flags.n != state.flags.v);  // -2 < 0 signed
+}
+
+TEST(Executor, BranchTargetArithmetic) {
+  auto state = make_state();
+  const auto result = run(state, Opcode::kBra, 0, 0, 0, -4);
+  EXPECT_EQ(result.next_pc, 10u + 1 - 4);
+}
+
+TEST(Executor, JalLinksAndJumpsAbsolute) {
+  auto state = make_state();
+  const auto result = run(state, Opcode::kJal, 7, 0, 0, 100);
+  EXPECT_EQ(state.reg(7), 11);
+  EXPECT_EQ(result.next_pc, 100u);
+}
+
+TEST(Executor, JrJumpsToRegister) {
+  auto state = make_state();
+  state.set_reg(5, 321);
+  EXPECT_EQ(run(state, Opcode::kJr, 0, 5, 0).next_pc, 321u);
+}
+
+TEST(Executor, CsrReads) {
+  auto state = make_state();
+  run(state, Opcode::kCsrr, 1, 0, 0, 0);
+  EXPECT_EQ(state.reg(1), 3);  // core id
+  run(state, Opcode::kCsrr, 1, 0, 0, 1);
+  EXPECT_EQ(state.reg(1), 8);  // num cores
+  run(state, Opcode::kCsrr, 1, 0, 0, 2);
+  EXPECT_EQ(state.reg(1), 0x20);  // rsync
+}
+
+TEST(Executor, CsrWriteRsyncOnly) {
+  auto state = make_state();
+  state.set_reg(1, 0x40);
+  EXPECT_EQ(run(state, Opcode::kCsrw, 0, 1, 0, 2).action, ExecAction::kAdvance);
+  EXPECT_EQ(state.rsync, 0x40);
+  const auto bad = run(state, Opcode::kCsrw, 0, 1, 0, 0);
+  EXPECT_EQ(bad.action, ExecAction::kTrap);
+  EXPECT_EQ(bad.trap, TrapKind::kInvalidCsr);
+}
+
+TEST(Executor, LoadStoreComputeEffectiveAddresses) {
+  auto state = make_state();
+  state.set_reg(2, 0x100);
+  state.set_reg(3, 5);
+  auto load = run(state, Opcode::kLd, 4, 2, 0, 8);
+  EXPECT_EQ(load.action, ExecAction::kMemLoad);
+  EXPECT_EQ(load.mem_addr, 0x108u);
+  EXPECT_EQ(load.load_reg, 4);
+  state.set_reg(6, 77);
+  auto store = run(state, Opcode::kStx, 6, 2, 3);
+  EXPECT_EQ(store.action, ExecAction::kMemStore);
+  EXPECT_EQ(store.mem_addr, 0x105u);
+  EXPECT_EQ(store.store_data, 77);
+}
+
+TEST(Executor, SyncOpsTargetRsyncPlusLiteral) {
+  auto state = make_state();
+  auto checkin = run(state, Opcode::kSinc, 0, 0, 0, 3);
+  EXPECT_EQ(checkin.action, ExecAction::kSync);
+  EXPECT_EQ(checkin.mem_addr, 0x23u);
+  EXPECT_FALSE(checkin.sync_is_checkout);
+  auto checkout = run(state, Opcode::kSdec, 0, 0, 0, 3);
+  EXPECT_TRUE(checkout.sync_is_checkout);
+}
+
+TEST(Executor, NegativeSyncIndexTraps) {
+  auto state = make_state();
+  const auto result = run(state, Opcode::kSinc, 0, 0, 0, -1);
+  EXPECT_EQ(result.action, ExecAction::kTrap);
+  EXPECT_EQ(result.trap, TrapKind::kNegativeSyncIndex);
+}
+
+TEST(Executor, SleepAndHaltActions) {
+  auto state = make_state();
+  EXPECT_EQ(run(state, Opcode::kSleep, 0, 0, 0).action, ExecAction::kSleep);
+  EXPECT_EQ(run(state, Opcode::kHalt, 0, 0, 0).action, ExecAction::kHalt);
+}
+
+TEST(Executor, CompleteLoadWritesBack) {
+  auto state = make_state();
+  complete_load(state, 5, 0xBEEF);
+  EXPECT_EQ(state.reg(5), 0xBEEF);
+  complete_load(state, 0, 0xBEEF);
+  EXPECT_EQ(state.reg(0), 0);
+}
+
+TEST(Executor, FlagsUntouchedByNonCompareOps) {
+  auto state = make_state();
+  state.set_reg(1, 1);
+  state.set_reg(2, 2);
+  run(state, Opcode::kCmp, 0, 1, 2);
+  const Flags before = state.flags;
+  run(state, Opcode::kAdd, 3, 1, 2);
+  run(state, Opcode::kMovi, 4, 0, 0, 9);
+  run(state, Opcode::kSinc, 0, 0, 0, 1);
+  EXPECT_EQ(state.flags.z, before.z);
+  EXPECT_EQ(state.flags.n, before.n);
+  EXPECT_EQ(state.flags.c, before.c);
+  EXPECT_EQ(state.flags.v, before.v);
+}
+
+}  // namespace
+}  // namespace ulpsync::sim

@@ -1,0 +1,463 @@
+// Tests for the control-flow analysis and the automatic synchronization-
+// point insertion pass (the paper's "automated during compilation" future
+// work): CFG construction, dominators, loops, divergence analysis, balanced
+// placement, and end-to-end equivalence of auto-instrumented kernels.
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.h"
+#include "core/cfg.h"
+#include "core/instrument.h"
+#include "kernels/benchmark.h"
+#include "sim/platform.h"
+
+namespace ulpsync::core {
+namespace {
+
+assembler::Program compile(std::string_view source) {
+  auto result = assembler::assemble(source);
+  EXPECT_TRUE(result.ok()) << result.error_text();
+  return std::move(result.program);
+}
+
+unsigned count_op(const assembler::Program& program, isa::Opcode op) {
+  unsigned count = 0;
+  for (const auto& instr : program.code) count += (instr.op == op);
+  return count;
+}
+
+TEST(Cfg, StraightLineIsOneBlock) {
+  const auto program = compile("movi r1, 1\nmovi r2, 2\nhalt\n");
+  const auto cfg = analyze_program(program.code, 0);
+  ASSERT_TRUE(cfg.ok()) << cfg.error;
+  ASSERT_EQ(cfg.functions.size(), 1u);
+  EXPECT_EQ(cfg.functions[0].blocks.size(), 1u);
+  EXPECT_TRUE(cfg.functions[0].loops.empty());
+}
+
+TEST(Cfg, DiamondHasFourBlocksAndJoinPostDominates) {
+  const auto program = compile(R"(
+      cmpi r1, 0
+      beq  else_arm
+      movi r2, 1
+      bra  join
+  else_arm:
+      movi r2, 2
+  join:
+      halt
+  )");
+  const auto cfg = analyze_program(program.code, 0);
+  ASSERT_TRUE(cfg.ok());
+  const auto& fn = cfg.functions[0];
+  EXPECT_EQ(fn.blocks.size(), 4u);
+  const auto branch_block = fn.block_of(1);
+  const auto join_block = fn.block_of(5);
+  EXPECT_EQ(fn.ipdom[branch_block], join_block);
+  EXPECT_TRUE(fn.dominates(branch_block, join_block));
+  EXPECT_TRUE(fn.post_dominates(join_block, branch_block));
+}
+
+TEST(Cfg, LoopDetection) {
+  const auto program = compile(R"(
+      movi r1, 10
+  head:
+      addi r1, r1, -1
+      cmpi r1, 0
+      bne  head
+      halt
+  )");
+  const auto cfg = analyze_program(program.code, 0);
+  ASSERT_TRUE(cfg.ok());
+  const auto& fn = cfg.functions[0];
+  ASSERT_EQ(fn.loops.size(), 1u);
+  EXPECT_EQ(fn.loops[0].header, fn.block_of(1));
+  EXPECT_TRUE(fn.loops[0].contains(fn.block_of(3)));
+}
+
+TEST(Cfg, FunctionsDiscoveredFromJalTargets) {
+  const auto program = compile(R"(
+      jal r7, func
+      halt
+  func:
+      jr r7
+  )");
+  const auto cfg = analyze_program(program.code, 0);
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(cfg.functions.size(), 2u);
+}
+
+TEST(Divergence, CoreIdDerivedBranchIsVarying) {
+  const auto program = compile(R"(
+      csrr r1, #0
+      cmpi r1, 3
+      blt  low
+      movi r2, 1
+  low:
+      halt
+  )");
+  const auto cfg = analyze_program(program.code, 0);
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_TRUE(cfg.functions[0].varying_branch[2]);
+}
+
+TEST(Divergence, ConstantLoopCounterIsUniform) {
+  const auto program = compile(R"(
+      movi r1, 8
+  head:
+      addi r1, r1, -1
+      cmpi r1, 0
+      bne  head
+      halt
+  )");
+  const auto cfg = analyze_program(program.code, 0);
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_FALSE(cfg.functions[0].varying_branch[3]);
+}
+
+TEST(Divergence, UniformAddressLoadIsUniform) {
+  // A load from a constant address reads the same shared word everywhere.
+  const auto program = compile(R"(
+      ld   r1, [r0+0x40]
+      cmpi r1, 5
+      blt  out
+      movi r2, 1
+  out:
+      halt
+  )");
+  const auto cfg = analyze_program(program.code, 0);
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_FALSE(cfg.functions[0].varying_branch[2]);
+}
+
+TEST(Divergence, CoreIdIndexedLoadIsVarying) {
+  const auto program = compile(R"(
+      csrr r1, #0
+      movi r2, 0x100
+      ldx  r3, [r2+r1]
+      cmpi r3, 5
+      blt  out
+      movi r4, 1
+  out:
+      halt
+  )");
+  const auto cfg = analyze_program(program.code, 0);
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_TRUE(cfg.functions[0].varying_branch[4]);
+}
+
+TEST(AutoInstrument, WrapsVaryingDiamond) {
+  const auto program = compile(R"(
+      csrr r1, #0
+      cmpi r1, 4
+      blt  low
+      movi r2, 1
+      bra  join
+  low:
+      movi r2, 2
+  join:
+      movi r3, 3
+      halt
+  )");
+  const auto result = auto_instrument(program, InstrumentOptions{});
+  ASSERT_TRUE(result.ok()) << result.error;
+  ASSERT_EQ(result.regions.size(), 1u);
+  EXPECT_EQ(result.regions[0].kind, InstrumentedRegion::Kind::kConditional);
+  EXPECT_EQ(count_op(result.program, isa::Opcode::kSinc), 1u);
+  EXPECT_EQ(count_op(result.program, isa::Opcode::kSdec), 1u);
+  // SINC must precede the conditional branch.
+  std::size_t sinc_at = 0, branch_at = 0;
+  for (std::size_t i = 0; i < result.program.code.size(); ++i) {
+    if (result.program.code[i].op == isa::Opcode::kSinc) sinc_at = i;
+    if (result.program.code[i].op == isa::Opcode::kBlt) branch_at = i;
+  }
+  EXPECT_EQ(sinc_at + 1, branch_at);
+}
+
+TEST(AutoInstrument, LeavesUniformCodeAlone) {
+  const auto program = compile(R"(
+      movi r1, 8
+  head:
+      addi r1, r1, -1
+      cmpi r1, 0
+      bne  head
+      halt
+  )");
+  const auto result = auto_instrument(program, InstrumentOptions{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.regions.empty());
+  EXPECT_EQ(result.program.code.size(), program.code.size());
+}
+
+TEST(AutoInstrument, WrapsDataDependentLoop) {
+  // Loop trip count depends on per-core data -> pre-header SINC, exit SDEC.
+  const auto program = compile(R"(
+      csrr r1, #0
+      addi r2, r1, 1
+  head:
+      addi r2, r2, -1
+      cmpi r2, 0
+      bne  head
+      movi r3, 1
+      halt
+  )");
+  const auto result = auto_instrument(program, InstrumentOptions{});
+  ASSERT_TRUE(result.ok()) << result.error;
+  ASSERT_EQ(result.regions.size(), 1u);
+  EXPECT_EQ(result.regions[0].kind, InstrumentedRegion::Kind::kLoop);
+}
+
+struct AutoRunCase {
+  const char* name;
+  kernels::BenchmarkKind kind;
+};
+
+class AutoInstrumentKernels : public ::testing::TestWithParam<AutoRunCase> {};
+
+TEST_P(AutoInstrumentKernels, AutoInstrumentedKernelStillComputesCorrectly) {
+  // The strongest property: take the *plain* kernel, let the pass insert
+  // check-ins/check-outs automatically, run it on the synchronized design,
+  // and verify the outputs are still bit-exact (balanced regions, no
+  // deadlock) while lockstep improves versus the baseline.
+  kernels::BenchmarkParams params;
+  params.samples = 48;
+  kernels::Benchmark benchmark(GetParam().kind, params);
+
+  const auto instrumented = auto_instrument(benchmark.program(false),
+                                            InstrumentOptions{});
+  ASSERT_TRUE(instrumented.ok()) << instrumented.error;
+  EXPECT_FALSE(instrumented.regions.empty());
+
+  sim::Platform platform(benchmark.platform_config(true));
+  platform.load_program(instrumented.program);
+  benchmark.load_inputs(platform);
+  const auto run = platform.run(100'000'000);
+  ASSERT_TRUE(run.ok()) << run.to_string();
+  EXPECT_EQ(benchmark.verify(platform), "");
+
+  // And it must beat the baseline design running the plain kernel.
+  const auto baseline = kernels::run_benchmark(benchmark, false);
+  EXPECT_LT(platform.counters().cycles, baseline.counters.cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, AutoInstrumentKernels,
+    ::testing::Values(AutoRunCase{"mrpfltr", kernels::BenchmarkKind::kMrpfltr},
+                      AutoRunCase{"sqrt32", kernels::BenchmarkKind::kSqrt32},
+                      AutoRunCase{"mrpdln", kernels::BenchmarkKind::kMrpdln}),
+    [](const auto& param_info) { return std::string(param_info.param.name); });
+
+TEST(AutoInstrument, SyncOpsBalanceDynamically) {
+  kernels::BenchmarkParams params;
+  params.samples = 32;
+  kernels::Benchmark benchmark(kernels::BenchmarkKind::kSqrt32, params);
+  const auto instrumented = auto_instrument(benchmark.program(false),
+                                            InstrumentOptions{});
+  ASSERT_TRUE(instrumented.ok());
+  sim::Platform platform(benchmark.platform_config(true));
+  platform.load_program(instrumented.program);
+  benchmark.load_inputs(platform);
+  ASSERT_TRUE(platform.run(100'000'000).ok());
+  EXPECT_EQ(platform.sync_stats().checkins, platform.sync_stats().checkouts);
+}
+
+TEST(AutoInstrument, RespectsMaxSyncPoints) {
+  kernels::BenchmarkParams params;
+  params.samples = 16;
+  kernels::Benchmark benchmark(kernels::BenchmarkKind::kMrpdln, params);
+  InstrumentOptions options;
+  options.max_sync_points = 0;
+  const auto result = auto_instrument(benchmark.program(false), options);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(AutoInstrument, OptionsDisableCategories) {
+  const auto program = compile(R"(
+      csrr r1, #0
+      cmpi r1, 4
+      blt  low
+      movi r2, 1
+      bra  join
+  low:
+      movi r2, 2
+  join:
+      halt
+  )");
+  InstrumentOptions options;
+  options.instrument_conditionals = false;
+  const auto result = auto_instrument(program, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.regions.empty());
+}
+
+TEST(AutoInstrumentGuards, SkipsJoinReachableFromOutside) {
+  // The "join" is also the target of a jump from before the diamond, so a
+  // check-out there would not balance: the pass must skip it.
+  const auto program = compile(R"(
+      csrr r1, #0
+      cmpi r1, 6
+      bge  join          ; outside path straight to the join
+      cmpi r1, 4
+      blt  low
+      movi r2, 1
+      bra  join
+  low:
+      movi r2, 2
+  join:
+      halt
+  )");
+  const auto result = auto_instrument(program, InstrumentOptions{});
+  ASSERT_TRUE(result.ok());
+  // The OUTER diamond (bge at 2) dominates the join and every predecessor,
+  // so it is balanced and instrumented. The INNER diamond (blt at 4) shares
+  // the same join without dominating its predecessors: it must be skipped.
+  ASSERT_EQ(result.regions.size(), 1u);
+  EXPECT_EQ(result.regions[0].checkin_before, 2u);
+  EXPECT_EQ(result.regions[0].checkout_before, 8u);
+  ASSERT_FALSE(result.skipped.empty());
+
+  // Dynamic balance check: run it; every check-in must be checked out.
+  sim::Platform platform(sim::PlatformConfig::with_synchronizer());
+  platform.load_program(result.program);
+  ASSERT_TRUE(platform.run(10'000).ok());
+  EXPECT_EQ(platform.sync_stats().checkins, 8u);
+  EXPECT_EQ(platform.sync_stats().checkouts, 8u);
+}
+
+TEST(AutoInstrumentGuards, SkipsLoopWithMultipleExitTargets) {
+  const auto program = compile(R"(
+      csrr r1, #0
+      addi r2, r1, 3
+  head:
+      addi r2, r2, -1
+      cmpi r2, 0
+      beq  exit_a
+      cmpi r2, 10
+      bge  exit_b
+      bra  head
+  exit_a:
+      movi r3, 1
+      halt
+  exit_b:
+      movi r3, 2
+      halt
+  )");
+  const auto result = auto_instrument(program, InstrumentOptions{});
+  ASSERT_TRUE(result.ok());
+  for (const auto& region : result.regions)
+    EXPECT_NE(region.kind, InstrumentedRegion::Kind::kLoop);
+  bool noted = false;
+  for (const auto& note : result.skipped)
+    noted |= note.find("multiple exit") != std::string::npos;
+  EXPECT_TRUE(noted);
+}
+
+TEST(AutoInstrumentGuards, SkippedProgramStillRunsCorrectly) {
+  // Even when every candidate is skipped, the rewritten program must be
+  // the identity and still execute fine on the synchronized design.
+  const auto program = compile(R"(
+      csrr r1, #0
+      cmpi r1, 6
+      bge  join
+      cmpi r1, 4
+      blt  join
+      movi r2, 1
+  join:
+      movi r3, 0x900
+      stx  r1, [r3+r1]
+      halt
+  )");
+  const auto result = auto_instrument(program, InstrumentOptions{});
+  ASSERT_TRUE(result.ok());
+
+  sim::PlatformConfig config;
+  config.start_stagger_cycles = 0;
+  sim::Platform platform(config);
+  platform.load_program(result.program);
+  ASSERT_TRUE(platform.run(10'000).ok());
+  for (unsigned c = 0; c < 8; ++c) EXPECT_EQ(platform.dm_read(0x900 + c), c);
+}
+
+TEST(AutoInstrumentGuards, NestedUniformLoopWithVaryingDiamond) {
+  // A varying diamond inside a uniform double loop: the diamond alone is
+  // instrumented, and balance must hold across all iterations.
+  const auto program = compile(R"(
+      csrr r1, #0
+      movi r6, 0
+      movi r4, 3
+  outer:
+      movi r5, 4
+  inner:
+      add  r7, r4, r5
+      and  r7, r7, r1
+      cmpi r7, 1
+      blt  even
+      addi r6, r6, 1
+  even:
+      addi r5, r5, -1
+      cmpi r5, 0
+      bne  inner
+      addi r4, r4, -1
+      cmpi r4, 0
+      bne  outer
+      movi r3, 0x920
+      stx  r6, [r3+r1]
+      halt
+  )");
+  const auto instrumented = auto_instrument(program, InstrumentOptions{});
+  ASSERT_TRUE(instrumented.ok()) << instrumented.error;
+  ASSERT_EQ(instrumented.regions.size(), 1u);
+
+  // Reference run (plain, baseline) vs instrumented (synchronized).
+  sim::PlatformConfig base_config = sim::PlatformConfig::without_synchronizer();
+  base_config.start_stagger_cycles = 0;
+  sim::Platform reference(base_config);
+  reference.load_program(program);
+  ASSERT_TRUE(reference.run(100'000).ok());
+
+  sim::Platform platform(sim::PlatformConfig::with_synchronizer());
+  platform.load_program(instrumented.program);
+  ASSERT_TRUE(platform.run(100'000).ok());
+  for (unsigned c = 0; c < 8; ++c)
+    EXPECT_EQ(platform.dm_read(0x920 + c), reference.dm_read(0x920 + c)) << c;
+  EXPECT_EQ(platform.sync_stats().checkins, platform.sync_stats().checkouts);
+  EXPECT_EQ(platform.sync_stats().checkins, 8u * 3 * 4)
+      << "one check-in per core per inner iteration";
+}
+
+TEST(AutoInstrument, BranchTargetsRemappedCorrectly) {
+  // A backward uniform loop surrounding a varying diamond: after insertion
+  // the loop must still iterate the same number of times.
+  const auto program = compile(R"(
+      csrr r1, #0
+      movi r2, 5
+      movi r3, 0
+  head:
+      cmp  r1, r2
+      bge  skip
+      addi r3, r3, 1
+  skip:
+      addi r2, r2, -1
+      cmpi r2, 0
+      bne  head
+      movi r4, 0x900
+      stx  r3, [r4+r1]
+      halt
+  )");
+  const auto instrumented = auto_instrument(program, InstrumentOptions{});
+  ASSERT_TRUE(instrumented.ok()) << instrumented.error;
+
+  sim::PlatformConfig config;
+  config.start_stagger_cycles = 0;
+  sim::Platform platform(config);
+  platform.load_program(instrumented.program);
+  const auto run = platform.run(100'000);
+  ASSERT_TRUE(run.ok()) << run.to_string();
+  // Core c increments r3 while c < r2 as r2 runs 5,4,3,2,1:
+  // core 0 -> 5 iterations pass the test, core 4 -> 1, core 7 -> 0.
+  EXPECT_EQ(platform.dm_read(0x900 + 0), 5);
+  EXPECT_EQ(platform.dm_read(0x900 + 4), 1);
+  EXPECT_EQ(platform.dm_read(0x900 + 7), 0);
+}
+
+}  // namespace
+}  // namespace ulpsync::core

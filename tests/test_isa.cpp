@@ -1,0 +1,188 @@
+// Unit tests for the TR16 ISA: encoding, decoding, field validation,
+// disassembly, and classification helpers.
+
+#include <gtest/gtest.h>
+
+#include "isa/isa.h"
+#include "util/rng.h"
+
+namespace ulpsync::isa {
+namespace {
+
+TEST(IsaTables, EveryOpcodeHasUniqueMnemonic) {
+  for (unsigned i = 0; i < kNumOpcodes; ++i) {
+    for (unsigned j = i + 1; j < kNumOpcodes; ++j) {
+      EXPECT_NE(opcode_info(static_cast<Opcode>(i)).mnemonic,
+                opcode_info(static_cast<Opcode>(j)).mnemonic);
+    }
+  }
+}
+
+TEST(IsaTables, MnemonicLookupRoundTrips) {
+  for (unsigned i = 0; i < kNumOpcodes; ++i) {
+    const auto op = static_cast<Opcode>(i);
+    const auto found = opcode_from_mnemonic(opcode_info(op).mnemonic);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(*found, op);
+  }
+}
+
+TEST(IsaTables, MnemonicLookupIsCaseInsensitive) {
+  EXPECT_EQ(opcode_from_mnemonic("ADD"), Opcode::kAdd);
+  EXPECT_EQ(opcode_from_mnemonic("SiNc"), Opcode::kSinc);
+  EXPECT_EQ(opcode_from_mnemonic("nonsense"), std::nullopt);
+  EXPECT_EQ(opcode_from_mnemonic(""), std::nullopt);
+}
+
+TEST(IsaEncoding, RegisterFieldsRoundTrip) {
+  Instruction instr{Opcode::kAdd, 3, 7, 15, 0};
+  const auto word = encode(instr);
+  ASSERT_TRUE(word.has_value());
+  const auto back = decode(*word);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, instr);
+}
+
+TEST(IsaEncoding, Imm14SignedRange) {
+  Instruction instr{Opcode::kAddi, 1, 2, 0, kImm14Max};
+  EXPECT_TRUE(encode(instr).has_value());
+  instr.imm = kImm14Min;
+  EXPECT_TRUE(encode(instr).has_value());
+  instr.imm = kImm14Max + 1;
+  EXPECT_FALSE(encode(instr).has_value());
+  instr.imm = kImm14Min - 1;
+  EXPECT_FALSE(encode(instr).has_value());
+}
+
+TEST(IsaEncoding, NegativeImmediatesSignExtend) {
+  Instruction instr{Opcode::kAddi, 1, 2, 0, -1};
+  const auto word = encode(instr);
+  ASSERT_TRUE(word.has_value());
+  EXPECT_EQ(decode(*word)->imm, -1);
+  instr.imm = -4096;
+  EXPECT_EQ(decode(*encode(instr))->imm, -4096);
+}
+
+TEST(IsaEncoding, Movi16BitImmediate) {
+  Instruction instr{Opcode::kMovi, 5, 0, 0, 0xFFFF};
+  const auto word = encode(instr);
+  ASSERT_TRUE(word.has_value());
+  EXPECT_EQ(decode(*word)->imm, 0xFFFF);
+  instr.imm = 0x10000;
+  EXPECT_FALSE(encode(instr).has_value());
+  instr.imm = -1;
+  EXPECT_FALSE(encode(instr).has_value());
+}
+
+TEST(IsaEncoding, RejectsOutOfRangeRegisters) {
+  Instruction instr{Opcode::kAdd, 16, 0, 0, 0};
+  EXPECT_FALSE(encode(instr).has_value());
+}
+
+TEST(IsaEncoding, RejectsInvalidCsrIndex) {
+  Instruction instr{Opcode::kCsrr, 1, 0, 0, 3};
+  EXPECT_FALSE(encode(instr).has_value());
+  instr.imm = -1;
+  EXPECT_FALSE(encode(instr).has_value());
+  instr.imm = 2;
+  EXPECT_TRUE(encode(instr).has_value());
+}
+
+TEST(IsaEncoding, RejectsStrayImmediateOnRegisterForms) {
+  Instruction instr{Opcode::kAdd, 1, 2, 3, 5};
+  EXPECT_FALSE(encode(instr).has_value());
+}
+
+TEST(IsaEncoding, DecodeRejectsInvalidOpcodeBits) {
+  EXPECT_FALSE(decode(0xFFFFFFFFu).has_value());
+  EXPECT_FALSE(decode(static_cast<std::uint32_t>(kNumOpcodes) << 26).has_value());
+}
+
+TEST(IsaEncoding, RandomInstructionsRoundTrip) {
+  util::Rng rng(123);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Instruction instr;
+    instr.op = static_cast<Opcode>(rng.next_below(kNumOpcodes));
+    const Format fmt = opcode_info(instr.op).format;
+    instr.rd = static_cast<std::uint8_t>(rng.next_below(16));
+    instr.ra = static_cast<std::uint8_t>(rng.next_below(16));
+    instr.rb = static_cast<std::uint8_t>(rng.next_below(16));
+    switch (fmt) {
+      case Format::kI16:
+        instr.imm = static_cast<std::int32_t>(rng.next_below(0x10000));
+        break;
+      case Format::kCsrR:
+      case Format::kCsrW:
+        instr.imm = static_cast<std::int32_t>(rng.next_below(kNumCsrs));
+        break;
+      case Format::kI:
+      case Format::kSt:
+      case Format::kRi:
+      case Format::kB:
+      case Format::kJal:
+      case Format::kSync:
+        instr.imm = rng.next_in_range(kImm14Min, kImm14Max);
+        break;
+      default:
+        instr.imm = 0;
+    }
+    // Zero out fields the format does not encode so equality holds.
+    if (fmt == Format::kI16) { instr.ra = 0; instr.rb = 0; }
+    if (fmt == Format::kB || fmt == Format::kSync || fmt == Format::kN)
+      { instr.rd = 0; instr.ra = 0; instr.rb = 0; }
+    if (fmt == Format::kRr) instr.rd = 0;
+    if (fmt == Format::kRi) { instr.rd = 0; instr.rb = 0; }
+    if (fmt == Format::kJr) { instr.rd = 0; instr.rb = 0; }
+    if (fmt == Format::kCsrR) { instr.ra = 0; instr.rb = 0; }
+    if (fmt == Format::kCsrW) { instr.rd = 0; instr.rb = 0; }
+    if (fmt == Format::kI || fmt == Format::kSt) instr.rb = 0;
+    if (fmt == Format::kJal) { instr.ra = 0; instr.rb = 0; }
+    const auto word = encode(instr);
+    ASSERT_TRUE(word.has_value()) << disassemble(instr);
+    EXPECT_EQ(*decode(*word), instr) << disassemble(instr);
+  }
+}
+
+TEST(IsaDisassembly, RendersRepresentativeForms) {
+  EXPECT_EQ(disassemble({Opcode::kAdd, 3, 1, 2, 0}), "add r3, r1, r2");
+  EXPECT_EQ(disassemble({Opcode::kLd, 4, 2, 0, 16}), "ld r4, [r2+16]");
+  EXPECT_EQ(disassemble({Opcode::kLd, 4, 2, 0, -3}), "ld r4, [r2-3]");
+  EXPECT_EQ(disassemble({Opcode::kSt, 5, 2, 0, 7}), "st [r2+7], r5");
+  EXPECT_EQ(disassemble({Opcode::kMovi, 1, 0, 0, 512}), "movi r1, 512");
+  EXPECT_EQ(disassemble({Opcode::kBne, 0, 0, 0, -4}), "bne -4");
+  EXPECT_EQ(disassemble({Opcode::kSinc, 0, 0, 0, 3}), "sinc #3");
+  EXPECT_EQ(disassemble({Opcode::kHalt, 0, 0, 0, 0}), "halt");
+  EXPECT_EQ(disassemble({Opcode::kLdx, 1, 2, 3, 0}), "ldx r1, [r2+r3]");
+  EXPECT_EQ(disassemble({Opcode::kCsrr, 1, 0, 0, 0}), "csrr r1, #0");
+  EXPECT_EQ(disassemble({Opcode::kJr, 0, 7, 0, 0}), "jr r7");
+}
+
+TEST(IsaClassification, DataMemoryOpcodes) {
+  EXPECT_TRUE(accesses_data_memory(Opcode::kLd));
+  EXPECT_TRUE(accesses_data_memory(Opcode::kStx));
+  EXPECT_TRUE(accesses_data_memory(Opcode::kSinc));
+  EXPECT_TRUE(accesses_data_memory(Opcode::kSdec));
+  EXPECT_FALSE(accesses_data_memory(Opcode::kAdd));
+  EXPECT_FALSE(accesses_data_memory(Opcode::kCsrr));
+}
+
+TEST(IsaClassification, ControlFlowOpcodes) {
+  EXPECT_TRUE(is_control_flow(Opcode::kBeq));
+  EXPECT_TRUE(is_control_flow(Opcode::kBra));
+  EXPECT_TRUE(is_control_flow(Opcode::kJal));
+  EXPECT_TRUE(is_control_flow(Opcode::kJr));
+  EXPECT_FALSE(is_control_flow(Opcode::kHalt));
+  EXPECT_FALSE(is_control_flow(Opcode::kSdec));
+}
+
+TEST(IsaClassification, ConditionalBranches) {
+  for (auto op : {Opcode::kBeq, Opcode::kBne, Opcode::kBlt, Opcode::kBge,
+                  Opcode::kBltu, Opcode::kBgeu}) {
+    EXPECT_TRUE(is_conditional_branch(op));
+  }
+  EXPECT_FALSE(is_conditional_branch(Opcode::kBra));
+  EXPECT_FALSE(is_conditional_branch(Opcode::kJal));
+}
+
+}  // namespace
+}  // namespace ulpsync::isa

@@ -1,0 +1,274 @@
+// Integration tests: the three TR16 benchmark kernels, on both platform
+// designs, verified bit-for-bit against the golden C++ references, plus the
+// cross-design invariants the paper's technique must satisfy.
+
+#include <gtest/gtest.h>
+
+#include "core/lockstep.h"
+#include "kernels/benchmark.h"
+#include "kernels/memmap.h"
+#include "ecg/sqrt32.h"
+#include "kernels/sources.h"
+
+namespace ulpsync::kernels {
+namespace {
+
+struct KernelCase {
+  BenchmarkKind kind;
+  unsigned samples;
+  std::uint64_t seed;
+};
+
+void PrintTo(const KernelCase& c, std::ostream* os) {
+  *os << benchmark_name(c.kind) << "/N" << c.samples << "/seed" << c.seed;
+}
+
+class KernelMatrix : public ::testing::TestWithParam<KernelCase> {};
+
+TEST_P(KernelMatrix, BothDesignsMatchGolden) {
+  const auto& param = GetParam();
+  BenchmarkParams params;
+  params.samples = param.samples;
+  params.generator.seed = param.seed;
+  Benchmark benchmark(param.kind, params);
+
+  const auto baseline = run_benchmark(benchmark, false);
+  ASSERT_TRUE(baseline.result.ok()) << baseline.result.to_string();
+  EXPECT_EQ(baseline.verify_error, "");
+
+  const auto synced = run_benchmark(benchmark, true);
+  ASSERT_TRUE(synced.result.ok()) << synced.result.to_string();
+  EXPECT_EQ(synced.verify_error, "");
+
+  // Synchronization must not change the computation.
+  EXPECT_EQ(baseline.useful_ops, synced.useful_ops);
+  // It must restore lockstep: strictly fewer cycles and fewer IM accesses.
+  EXPECT_LT(synced.counters.cycles, baseline.counters.cycles);
+  EXPECT_LT(synced.counters.im_bank_accesses,
+            baseline.counters.im_bank_accesses);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, KernelMatrix,
+    ::testing::Values(KernelCase{BenchmarkKind::kMrpfltr, 64, 42},
+                      KernelCase{BenchmarkKind::kMrpfltr, 96, 7},
+                      KernelCase{BenchmarkKind::kSqrt32, 64, 42},
+                      KernelCase{BenchmarkKind::kSqrt32, 96, 7},
+                      KernelCase{BenchmarkKind::kSqrt32, 48, 1234},
+                      KernelCase{BenchmarkKind::kMrpdln, 128, 42},
+                      KernelCase{BenchmarkKind::kMrpdln, 192, 7}));
+
+TEST(Kernels, SourcesAssembleInBothVariants) {
+  for (auto kind : kAllBenchmarks) {
+    BenchmarkParams params;
+    params.samples = 16;
+    EXPECT_NO_THROW({ Benchmark benchmark(kind, params); })
+        << benchmark_name(kind);
+  }
+}
+
+TEST(Kernels, InstrumentedVariantContainsSyncOps) {
+  for (auto kind : kAllBenchmarks) {
+    BenchmarkParams params;
+    params.samples = 16;
+    Benchmark benchmark(kind, params);
+    auto count_sync = [](const assembler::Program& program) {
+      unsigned count = 0;
+      for (const auto& instr : program.code) {
+        count += (instr.op == isa::Opcode::kSinc || instr.op == isa::Opcode::kSdec);
+      }
+      return count;
+    };
+    EXPECT_EQ(count_sync(benchmark.program(false)), 0u) << benchmark_name(kind);
+    EXPECT_GE(count_sync(benchmark.program(true)), 2u) << benchmark_name(kind);
+  }
+}
+
+TEST(Kernels, PreprocessorKeepsOrStripsMarkedLines) {
+  const std::string_view source = "  add r1, r2, r3\n  !sync sinc #0\nhalt\n";
+  const auto plain = preprocess_sync_markers(source, false);
+  EXPECT_EQ(plain.find("sinc"), std::string::npos);
+  const auto instrumented = preprocess_sync_markers(source, true);
+  EXPECT_NE(instrumented.find("  sinc #0"), std::string::npos);
+  EXPECT_EQ(instrumented.find("!sync"), std::string::npos);
+}
+
+TEST(Kernels, SyncOpsBalanceExactly) {
+  // Every SINC must be matched by an SDEC execution: the synchronizer
+  // statistics count the dynamic totals.
+  BenchmarkParams params;
+  params.samples = 48;
+  for (auto kind : kAllBenchmarks) {
+    Benchmark benchmark(kind, params);
+    const auto run = run_benchmark(benchmark, true);
+    ASSERT_TRUE(run.result.ok());
+    EXPECT_EQ(run.sync_stats.checkins, run.sync_stats.checkouts)
+        << benchmark_name(kind);
+    EXPECT_GT(run.sync_stats.wakeup_events, 0u);
+  }
+}
+
+TEST(Kernels, LockstepResidencyImprovesWithSynchronizer) {
+  BenchmarkParams params;
+  params.samples = 48;
+  for (auto kind : kAllBenchmarks) {
+    Benchmark benchmark(kind, params);
+    double fraction[2];
+    for (const bool with_sync : {false, true}) {
+      sim::Platform platform(benchmark.platform_config(with_sync));
+      platform.load_program(benchmark.program(with_sync));
+      benchmark.load_inputs(platform);
+      core::LockstepAnalyzer analyzer;
+      analyzer.attach(platform);
+      ASSERT_TRUE(platform.run(50'000'000).ok());
+      fraction[with_sync] = analyzer.metrics().lockstep_fraction();
+    }
+    EXPECT_GT(fraction[1], 2.0 * fraction[0]) << benchmark_name(kind);
+  }
+}
+
+TEST(Kernels, BroadcastFetchFractionHighWithSync) {
+  BenchmarkParams params;
+  params.samples = 48;
+  Benchmark benchmark(BenchmarkKind::kMrpfltr, params);
+  const auto run = run_benchmark(benchmark, true);
+  ASSERT_TRUE(run.result.ok());
+  EXPECT_GT(run.counters.broadcast_fetch_fraction(), 0.5);
+}
+
+TEST(Kernels, MrpdlnHonorsPerChannelThresholds) {
+  BenchmarkParams params;
+  params.samples = 192;
+  params.per_core_threshold_delta = {0, 50, -50, 100, 0, 25, -25, 200};
+  Benchmark benchmark(BenchmarkKind::kMrpdln, params);
+  const auto run = run_benchmark(benchmark, true);
+  ASSERT_TRUE(run.result.ok());
+  EXPECT_EQ(run.verify_error, "") << run.verify_error;
+}
+
+TEST(Kernels, MrpdlnWritesSharedResultSlots) {
+  BenchmarkParams params;
+  params.samples = 192;
+  Benchmark benchmark(BenchmarkKind::kMrpdln, params);
+  sim::Platform platform(benchmark.platform_config(true));
+  platform.load_program(benchmark.program(true));
+  benchmark.load_inputs(platform);
+  ASSERT_TRUE(platform.run(50'000'000).ok());
+  // The per-core result slots land in one bank -> the enhanced D-Xbar
+  // policy must have fired at least for those stores.
+  EXPECT_GT(platform.counters().policy_hold_events, 0u);
+}
+
+TEST(Kernels, FewerChannelsFewerCores) {
+  for (unsigned channels : {1u, 2u, 4u}) {
+    BenchmarkParams params;
+    params.samples = 32;
+    params.num_channels = channels;
+    Benchmark benchmark(BenchmarkKind::kSqrt32, params);
+    const auto run = run_benchmark(benchmark, true);
+    ASSERT_TRUE(run.result.ok()) << channels;
+    EXPECT_EQ(run.verify_error, "") << channels;
+  }
+}
+
+TEST(Kernels, UsefulOpsExcludeSyncInstructions) {
+  BenchmarkParams params;
+  params.samples = 32;
+  Benchmark benchmark(BenchmarkKind::kSqrt32, params);
+  const auto run = run_benchmark(benchmark, true);
+  ASSERT_TRUE(run.result.ok());
+  EXPECT_EQ(run.useful_ops + run.sync_stats.checkins + run.sync_stats.checkouts,
+            run.counters.retired_ops);
+}
+
+TEST(KernelsEdge, MaximumBufferSize) {
+  BenchmarkParams params;
+  params.samples = 512;  // fills the per-core bank layout exactly
+  Benchmark benchmark(BenchmarkKind::kSqrt32, params);
+  const auto run = run_benchmark(benchmark, true, 500'000'000);
+  ASSERT_TRUE(run.result.ok());
+  EXPECT_EQ(run.verify_error, "");
+}
+
+TEST(KernelsEdge, MinimalStructuringElements) {
+  BenchmarkParams params;
+  params.samples = 32;
+  params.l1_half = 1;
+  params.l2_half = 1;
+  Benchmark benchmark(BenchmarkKind::kMrpfltr, params);
+  const auto run = run_benchmark(benchmark, true);
+  ASSERT_TRUE(run.result.ok());
+  EXPECT_EQ(run.verify_error, "");
+}
+
+TEST(KernelsEdge, WindowsLargerThanSignal) {
+  // SE half-window larger than the buffer: every window clamps to the
+  // whole array on both the golden and the assembly side.
+  BenchmarkParams params;
+  params.samples = 16;
+  params.l1_half = 20;
+  params.l2_half = 2;
+  Benchmark benchmark(BenchmarkKind::kMrpfltr, params);
+  const auto run = run_benchmark(benchmark, true);
+  ASSERT_TRUE(run.result.ok());
+  EXPECT_EQ(run.verify_error, "");
+}
+
+TEST(KernelsEdge, Sqrt32ExtremeRadicands) {
+  // Host-injected extremes: zero, one, and the 32-bit maximum must survive
+  // the multiword assembly path.
+  BenchmarkParams params;
+  params.samples = 8;
+  Benchmark benchmark(BenchmarkKind::kSqrt32, params);
+  sim::Platform platform(benchmark.platform_config(true));
+  platform.load_program(benchmark.program(true));
+  benchmark.load_inputs(platform);
+  const std::uint32_t extremes[] = {0u, 1u, 3u, 4u, 0xFFFFu, 0x10000u,
+                                    0xFFFE0001u, 0xFFFFFFFFu};
+  for (unsigned c = 0; c < 8; ++c) {
+    for (unsigned i = 0; i < 8; ++i) {
+      platform.dm_write(channel_base(c) + kChanIn + i,
+                        static_cast<std::uint16_t>(extremes[i] & 0xFFFF));
+      platform.dm_write(channel_base(c) + kChanBufA + i,
+                        static_cast<std::uint16_t>(extremes[i] >> 16));
+    }
+  }
+  ASSERT_TRUE(platform.run(10'000'000).ok());
+  for (unsigned c = 0; c < 8; ++c) {
+    for (unsigned i = 0; i < 8; ++i) {
+      EXPECT_EQ(platform.dm_read(channel_base(c) + kChanOut + i),
+                ecg::isqrt32(extremes[i]))
+          << "radicand " << extremes[i];
+    }
+  }
+}
+
+TEST(KernelsEdge, MrpdlnZeroAndHugeThresholds) {
+  BenchmarkParams params;
+  params.samples = 128;
+  params.threshold = 1;  // hyper-sensitive: many detections, list bounded
+  Benchmark sensitive(BenchmarkKind::kMrpdln, params);
+  auto run = run_benchmark(sensitive, true);
+  ASSERT_TRUE(run.result.ok());
+  EXPECT_EQ(run.verify_error, "");
+
+  params.threshold = 30000;  // nothing detected
+  Benchmark deaf(BenchmarkKind::kMrpdln, params);
+  run = run_benchmark(deaf, true);
+  ASSERT_TRUE(run.result.ok());
+  EXPECT_EQ(run.verify_error, "");
+}
+
+TEST(Kernels, DeterministicAcrossRuns) {
+  BenchmarkParams params;
+  params.samples = 48;
+  Benchmark benchmark(BenchmarkKind::kMrpdln, params);
+  const auto a = run_benchmark(benchmark, true);
+  const auto b = run_benchmark(benchmark, true);
+  EXPECT_EQ(a.counters.cycles, b.counters.cycles);
+  EXPECT_EQ(a.counters.im_bank_accesses, b.counters.im_bank_accesses);
+  EXPECT_EQ(a.useful_ops, b.useful_ops);
+}
+
+}  // namespace
+}  // namespace ulpsync::kernels

@@ -1,0 +1,43 @@
+// Unit tests for the banked data memory.
+
+#include <gtest/gtest.h>
+
+#include "sim/memory.h"
+
+namespace ulpsync::sim {
+namespace {
+
+TEST(BankedMemory, SizeAndBankMapping) {
+  BankedMemory memory(16, 2048);
+  EXPECT_EQ(memory.size(), 32768u);
+  EXPECT_EQ(memory.banks(), 16u);
+  EXPECT_EQ(memory.bank_of(0), 0u);
+  EXPECT_EQ(memory.bank_of(2047), 0u);
+  EXPECT_EQ(memory.bank_of(2048), 1u);
+  EXPECT_EQ(memory.bank_of(32767), 15u);
+}
+
+TEST(BankedMemory, ReadWriteRoundTrip) {
+  BankedMemory memory(4, 8);
+  memory.write(0, 0xDEAD);
+  memory.write(31, 0xBEEF);
+  EXPECT_EQ(memory.read(0), 0xDEAD);
+  EXPECT_EQ(memory.read(31), 0xBEEF);
+  EXPECT_EQ(memory.read(15), 0);
+}
+
+TEST(BankedMemory, InRange) {
+  BankedMemory memory(2, 4);
+  EXPECT_TRUE(memory.in_range(7));
+  EXPECT_FALSE(memory.in_range(8));
+}
+
+TEST(BankedMemory, ClearZeroes) {
+  BankedMemory memory(2, 4);
+  memory.write(3, 77);
+  memory.clear();
+  EXPECT_EQ(memory.read(3), 0);
+}
+
+}  // namespace
+}  // namespace ulpsync::sim

@@ -1,0 +1,462 @@
+// Timing-level tests of the multi-core platform: fetch broadcast and
+// serialization, DM arbitration and broadcast, the enhanced D-Xbar policy,
+// check-in/check-out timing, sleep/wake, traps, deadlock detection, and
+// counter bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "asm/assembler.h"
+#include "core/lockstep.h"
+#include "sim/platform.h"
+
+namespace ulpsync::sim {
+namespace {
+
+assembler::Program compile(std::string_view source) {
+  auto result = assembler::assemble(source);
+  EXPECT_TRUE(result.ok()) << result.error_text();
+  return std::move(result.program);
+}
+
+PlatformConfig bare_config(bool with_sync = true) {
+  auto config = with_sync ? PlatformConfig::with_synchronizer()
+                          : PlatformConfig::without_synchronizer();
+  config.start_stagger_cycles = 0;  // deterministic common start
+  return config;
+}
+
+TEST(PlatformTiming, SingleCoreRunsAtBaseCpi) {
+  auto config = bare_config();
+  config.num_cores = 1;
+  Platform platform(config);
+  platform.load_program(compile(R"(
+      movi r1, 1
+      movi r2, 2
+      movi r3, 3
+      movi r4, 4
+      halt
+  )"));
+  const auto result = platform.run(100);
+  EXPECT_TRUE(result.ok());
+  // 4 movi at CPI 2 plus the halt fetch.
+  EXPECT_EQ(platform.counters().retired_ops, 5u);
+  EXPECT_NEAR(static_cast<double>(result.cycles), 9.0, 1.0);
+}
+
+TEST(PlatformTiming, LockstepFetchesBroadcastAsOneAccess) {
+  Platform platform(bare_config());
+  platform.load_program(compile(R"(
+      movi r1, 1
+      movi r2, 2
+      movi r3, 3
+      halt
+  )"));
+  const auto result = platform.run(100);
+  EXPECT_TRUE(result.ok());
+  const auto& counters = platform.counters();
+  // 8 cores in lockstep: every fetch group is one bank access.
+  EXPECT_EQ(counters.im_fetches_delivered, 8u * 4);
+  EXPECT_EQ(counters.im_bank_accesses, 4u);
+  EXPECT_EQ(counters.im_broadcast_groups, 4u);
+  EXPECT_GT(counters.lockstep_cycles, 0u);
+}
+
+TEST(PlatformTiming, StaggeredStartPreventsInitialLockstep) {
+  auto config = bare_config(false);
+  config.start_stagger_cycles = 3;
+  Platform platform(config);
+  platform.load_program(compile(R"(
+      movi r1, 1
+      movi r2, 2
+      halt
+  )"));
+  const auto result = platform.run(200);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(platform.counters().im_broadcast_groups, 0u)
+      << "staggered baseline cores never coincide in this straight-line code";
+  EXPECT_EQ(platform.counters().im_fetches_delivered, 8u * 3);
+}
+
+TEST(PlatformTiming, DivergedFetchesSerializeOnOneBank) {
+  // All cores branch on their own id: core 0 takes the branch, the others
+  // fall through -- groups must serialize (all code is in IM bank 0).
+  auto config = bare_config(false);
+  Platform platform(config);
+  platform.load_program(compile(R"(
+      csrr r1, #0
+      cmpi r1, 0
+      beq  zero_path
+      movi r2, 1
+      movi r3, 1
+      halt
+  zero_path:
+      movi r2, 2
+      movi r3, 2
+      halt
+  )"));
+  const auto result = platform.run(300);
+  EXPECT_TRUE(result.ok());
+  EXPECT_GT(platform.counters().fetch_conflict_cycles, 0u);
+  EXPECT_GT(platform.counters().core_fetch_stall_cycles, 0u);
+  EXPECT_EQ(platform.core_reg(0, 2), 2);
+  EXPECT_EQ(platform.core_reg(1, 2), 1);
+}
+
+TEST(PlatformTiming, SameAddressLoadsBroadcastOnDm) {
+  Platform platform(bare_config());
+  platform.dm_write(100, 0x1234);
+  platform.load_program(compile(R"(
+      ld r1, [r0+100]
+      halt
+  )"));
+  const auto result = platform.run(100);
+  EXPECT_TRUE(result.ok());
+  for (unsigned c = 0; c < 8; ++c) EXPECT_EQ(platform.core_reg(c, 1), 0x1234);
+  EXPECT_EQ(platform.counters().dm_bank_accesses, 1u);
+  EXPECT_EQ(platform.counters().dm_broadcast_reads, 1u);
+  EXPECT_EQ(platform.counters().dm_requests_granted, 8u);
+}
+
+TEST(PlatformTiming, DifferentAddressSameBankSerializes) {
+  // Each core stores to result slot id (addresses 0x800+id, one bank).
+  Platform platform(bare_config());
+  platform.load_program(compile(R"(
+      csrr r1, #0
+      movi r2, 0x800
+      stx  r1, [r2+r1]
+      halt
+  )"));
+  const auto result = platform.run(200);
+  EXPECT_TRUE(result.ok());
+  for (unsigned c = 0; c < 8; ++c) EXPECT_EQ(platform.dm_read(0x800 + c), c);
+  EXPECT_GE(platform.counters().dm_bank_accesses, 8u);
+  EXPECT_GT(platform.counters().dm_conflict_cycles, 0u);
+}
+
+TEST(PlatformPolicy, DxbarPolicyKeepsConflictingCoresInLockstep) {
+  // With the enhanced policy, the eight same-PC stores above must finish
+  // together: afterwards all cores fetch the next instruction in the same
+  // cycle (observable as a broadcast on the instruction after the store).
+  for (const bool policy : {false, true}) {
+    auto config = bare_config();
+    config.features.dxbar_pc_policy = policy;
+    Platform platform(config);
+    platform.load_program(compile(R"(
+        csrr r1, #0
+        movi r2, 0x800
+        stx  r1, [r2+r1]
+        movi r3, 7
+        movi r4, 9
+        halt
+    )"));
+    const auto result = platform.run(300);
+    EXPECT_TRUE(result.ok());
+    const auto& counters = platform.counters();
+    if (policy) {
+      EXPECT_GT(counters.policy_hold_events, 0u);
+      // The three instructions after the store broadcast as full groups.
+      EXPECT_GE(counters.im_broadcast_groups, 5u);
+      // All cores retire the store in the same cycle -> no core ran ahead:
+      // every fetch after the conflict is a broadcast, so unicast fetches
+      // only stem from the code before the store.
+      EXPECT_EQ(counters.im_bank_accesses,
+                counters.im_broadcast_groups +
+                    (counters.im_fetches_delivered -
+                     8 * counters.im_broadcast_groups));
+    } else {
+      EXPECT_EQ(counters.policy_hold_events, 0u);
+    }
+  }
+}
+
+TEST(PlatformSync, CheckInCheckOutTakesTwoCyclesWhenMerged) {
+  Platform platform(bare_config());
+  platform.load_program(compile(R"(
+      sinc #0
+      sdec #0
+      halt
+  )"));
+  const auto result = platform.run(100);
+  EXPECT_TRUE(result.ok());
+  const auto& stats = platform.sync_stats();
+  EXPECT_EQ(stats.checkins, 8u);
+  EXPECT_EQ(stats.checkouts, 8u);
+  EXPECT_EQ(stats.rmw_ops, 2u) << "one merged RMW per phase";
+  EXPECT_EQ(stats.dm_accesses, 4u);
+  EXPECT_EQ(stats.wakeup_events, 1u);
+  EXPECT_EQ(stats.wakeups_delivered, 8u);
+  EXPECT_EQ(platform.dm_read(0), 0) << "checkpoint word cleared after wake";
+}
+
+TEST(PlatformSync, RegionResynchronizesDivergedCores) {
+  // Cores diverge on a data-dependent branch, then re-align at the
+  // check-out; the code after the region must broadcast as one group.
+  auto config = bare_config();
+  Platform platform(config);
+  platform.load_program(compile(R"(
+      csrr r1, #0
+      sinc #0
+      cmpi r1, 4
+      blt  low
+      movi r2, 10
+      movi r3, 11
+      bra  join
+  low:
+      movi r2, 20
+  join:
+      sdec #0
+      movi r4, 1
+      movi r5, 2
+      movi r6, 3
+      halt
+  )"));
+  core::LockstepAnalyzer analyzer;
+  analyzer.attach(platform);
+  const auto result = platform.run(300);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(platform.core_reg(0, 2), 20);
+  EXPECT_EQ(platform.core_reg(7, 2), 10);
+  // After the wake-up, the tail (movi r4/r5/r6, halt) is fetched in
+  // lockstep: at least those 4 broadcast groups must appear.
+  EXPECT_GE(platform.counters().im_broadcast_groups, 4u);
+  EXPECT_EQ(platform.sync_stats().wakeup_events, 1u);
+}
+
+TEST(PlatformSync, SincWithoutHardwareTraps) {
+  Platform platform(bare_config(false));
+  platform.load_program(compile("sinc #0\nhalt\n"));
+  const auto result = platform.run(100);
+  EXPECT_EQ(result.status, RunResult::Status::kTrap);
+  EXPECT_EQ(result.trap, TrapKind::kSyncWithoutHardware);
+}
+
+TEST(PlatformSync, UnbalancedCheckoutDeadlocks) {
+  // SDEC without matching check-ins by the others: the core sleeps forever.
+  auto config = bare_config();
+  config.num_cores = 2;
+  Platform platform(config);
+  platform.load_program(compile(R"(
+      csrr r1, #0
+      cmpi r1, 0
+      bne  other
+      sinc #0
+      sinc #1
+      sdec #1
+      halt
+  other:
+      sinc #1
+      sdec #0
+      halt
+  )"));
+  const auto result = platform.run(10'000);
+  EXPECT_EQ(result.status, RunResult::Status::kAllAsleep);
+}
+
+TEST(PlatformTraps, DmOutOfRange) {
+  Platform platform(bare_config());
+  platform.load_program(compile(R"(
+      movi r1, 0x8000
+      ld   r2, [r1]
+      halt
+  )"));
+  const auto result = platform.run(100);
+  EXPECT_EQ(result.status, RunResult::Status::kTrap);
+  EXPECT_EQ(result.trap, TrapKind::kDmOutOfRange);
+}
+
+TEST(PlatformTraps, RunawayPcTraps) {
+  Platform platform(bare_config());
+  platform.load_program(compile(R"(
+      movi r1, 3000
+      jr   r1
+  )"));
+  const auto result = platform.run(100);
+  EXPECT_EQ(result.status, RunResult::Status::kTrap);
+  EXPECT_EQ(result.trap, TrapKind::kImOutOfRange);
+}
+
+TEST(PlatformTraps, PlainSleepWithNoWakeDeadlocks) {
+  Platform platform(bare_config());
+  platform.load_program(compile("sleep\nhalt\n"));
+  const auto result = platform.run(1000);
+  EXPECT_EQ(result.status, RunResult::Status::kAllAsleep);
+}
+
+TEST(PlatformRun, MaxCyclesStopsTheRun) {
+  Platform platform(bare_config());
+  platform.load_program(compile("spin: bra spin\n"));
+  const auto result = platform.run(50);
+  EXPECT_EQ(result.status, RunResult::Status::kMaxCycles);
+  EXPECT_EQ(result.cycles, 50u);
+}
+
+TEST(PlatformRun, ResetPreservesDmUnlessCleared) {
+  Platform platform(bare_config());
+  platform.load_program(compile("halt\n"));
+  platform.dm_write(500, 0xAAAA);
+  platform.run(10);
+  platform.reset();
+  EXPECT_EQ(platform.dm_read(500), 0xAAAA);
+  EXPECT_EQ(platform.counters().cycles, 0u);
+  EXPECT_EQ(platform.core_pc(0), 0u);
+  platform.reset(/*clear_dm=*/true);
+  EXPECT_EQ(platform.dm_read(500), 0);
+}
+
+TEST(PlatformRun, BlockDmAccessors) {
+  Platform platform(bare_config());
+  const std::vector<std::uint16_t> data = {1, 2, 3, 4, 5};
+  platform.dm_write_block(100, data);
+  EXPECT_EQ(platform.dm_read_block(100, 5), data);
+}
+
+TEST(PlatformRun, ObserverSeesEveryCycle) {
+  Platform platform(bare_config());
+  platform.load_program(compile("movi r1, 1\nhalt\n"));
+  std::uint64_t observed = 0;
+  platform.set_observer([&](const Platform& p) {
+    ++observed;
+    EXPECT_EQ(p.counters().cycles, observed);
+  });
+  const auto result = platform.run(100);
+  EXPECT_EQ(observed, result.cycles);
+}
+
+TEST(PlatformCounters, PerCoreRetiredSumsToTotal) {
+  Platform platform(bare_config());
+  platform.load_program(compile(R"(
+      csrr r1, #0
+      cmpi r1, 3
+      blt  small
+      movi r2, 1
+      movi r2, 2
+      halt
+  small:
+      movi r2, 3
+      halt
+  )"));
+  EXPECT_TRUE(platform.run(1000).ok());
+  const auto& counters = platform.counters();
+  const std::uint64_t sum = std::accumulate(counters.per_core_retired.begin(),
+                                            counters.per_core_retired.end(),
+                                            std::uint64_t{0});
+  EXPECT_EQ(sum, counters.retired_ops);
+}
+
+TEST(PlatformCounters, TakenBranchCostsExtraBubble) {
+  auto config = bare_config();
+  config.num_cores = 1;
+  config.branch_taken_penalty = 2;
+  Platform taken(config);
+  taken.load_program(compile(R"(
+      bra  skip
+      nop
+  skip:
+      halt
+  )"));
+  const auto taken_result = taken.run(100);
+
+  // Reference executes the same number of cycles minus the redirect
+  // penalty: two retired instructions, no redirect.
+  Platform fall(config);
+  fall.load_program(compile("nop\nhalt\n"));
+  const auto fall_result = fall.run(100);
+  EXPECT_EQ(taken_result.cycles, fall_result.cycles + 2);
+  EXPECT_EQ(taken.counters().core_branch_bubble_cycles,
+            fall.counters().core_branch_bubble_cycles + 2);
+}
+
+TEST(PlatformCounters, HaltedPlatformReportsAllHalted) {
+  Platform platform(bare_config());
+  platform.load_program(compile("halt\n"));
+  EXPECT_FALSE(platform.all_halted());
+  EXPECT_TRUE(platform.run(100).ok());
+  EXPECT_TRUE(platform.all_halted());
+  for (unsigned c = 0; c < 8; ++c)
+    EXPECT_EQ(platform.core_status(c), CoreStatus::kHalted);
+}
+
+TEST(PlatformInterrupt, WakesSleepingCoresAndResumesAfterSleep) {
+  Platform platform(bare_config());
+  platform.load_program(compile(R"(
+      movi r1, 5
+      sleep
+      movi r2, 7
+      halt
+  )"));
+  auto result = platform.run(1000);
+  ASSERT_EQ(result.status, RunResult::Status::kAllAsleep);
+  EXPECT_EQ(platform.core_reg(0, 2), 0) << "not yet past the sleep";
+
+  platform.interrupt_all();
+  result = platform.run(1000);
+  EXPECT_TRUE(result.ok()) << result.to_string();
+  for (unsigned c = 0; c < 8; ++c) EXPECT_EQ(platform.core_reg(c, 2), 7);
+}
+
+TEST(PlatformInterrupt, BroadcastWakeRestoresLockstep) {
+  // Duty cycle: all cores sleep, one external event wakes them together —
+  // the tail must broadcast.
+  Platform platform(bare_config());
+  platform.load_program(compile(R"(
+      sleep
+      movi r2, 1
+      movi r3, 2
+      movi r4, 3
+      halt
+  )"));
+  ASSERT_EQ(platform.run(1000).status, RunResult::Status::kAllAsleep);
+  const auto broadcasts_before = platform.counters().im_broadcast_groups;
+  platform.interrupt_all();
+  ASSERT_TRUE(platform.run(1000).ok());
+  EXPECT_GE(platform.counters().im_broadcast_groups, broadcasts_before + 4);
+}
+
+TEST(PlatformInterrupt, SingleInterruptWakesOnlyThatCore) {
+  Platform platform(bare_config());
+  platform.load_program(compile(R"(
+      sleep
+      halt
+  )"));
+  ASSERT_EQ(platform.run(1000).status, RunResult::Status::kAllAsleep);
+  platform.interrupt(3);
+  ASSERT_EQ(platform.run(1000).status, RunResult::Status::kAllAsleep);
+  EXPECT_EQ(platform.core_status(3), CoreStatus::kHalted);
+  EXPECT_EQ(platform.core_status(0), CoreStatus::kSleeping);
+}
+
+TEST(PlatformInterrupt, InterruptOnRunningCoreIsNoOp) {
+  Platform platform(bare_config());
+  platform.load_program(compile("movi r1, 1\nhalt\n"));
+  platform.interrupt(0);  // nothing sleeps yet
+  EXPECT_TRUE(platform.run(100).ok());
+}
+
+TEST(PlatformConfigTest, FewerCoresRunIndependently) {
+  for (unsigned cores : {1u, 2u, 4u}) {
+    auto config = bare_config();
+    config.num_cores = cores;
+    Platform platform(config);
+    platform.load_program(compile(R"(
+        csrr r1, #1
+        movi r2, 0x800
+        st   [r2], r1
+        halt
+    )"));
+    EXPECT_TRUE(platform.run(1000).ok());
+    EXPECT_EQ(platform.dm_read(0x800), cores);
+  }
+}
+
+TEST(PlatformConfigTest, BlockBankingSelectable) {
+  auto config = bare_config(false);
+  config.im_line_slots = 0;  // pure block mapping
+  Platform platform(config);
+  platform.load_program(compile("movi r1, 1\nhalt\n"));
+  EXPECT_TRUE(platform.run(100).ok());
+}
+
+}  // namespace
+}  // namespace ulpsync::sim

@@ -1,0 +1,210 @@
+// Unit tests for the power model: voltage/frequency scaling, per-event
+// energy accounting, breakdown arithmetic, and the workload sweep engine.
+
+#include <gtest/gtest.h>
+
+#include "kernels/benchmark.h"
+#include "power/model.h"
+#include "power/scaling.h"
+#include "power/sweep.h"
+
+namespace ulpsync::power {
+namespace {
+
+TEST(VoltageScaling, NominalFrequencyFromCriticalPath) {
+  VoltageScaling scaling{VoltageParams{}};
+  EXPECT_NEAR(scaling.nominal_fmax_mhz(), 83.33, 0.01);
+  EXPECT_NEAR(scaling.fmax_mhz(1.2), 83.33, 0.01);
+}
+
+TEST(VoltageScaling, FmaxMonotonicInVoltage) {
+  VoltageScaling scaling{VoltageParams{}};
+  double previous = 0.0;
+  for (double v = 0.55; v <= 1.2; v += 0.05) {
+    const double f = scaling.fmax_mhz(v);
+    EXPECT_GT(f, previous);
+    previous = f;
+  }
+}
+
+TEST(VoltageScaling, BelowThresholdNoFrequency) {
+  VoltageScaling scaling{VoltageParams{}};
+  EXPECT_EQ(scaling.fmax_mhz(0.5), 0.0);
+  EXPECT_EQ(scaling.fmax_mhz(0.3), 0.0);
+}
+
+TEST(VoltageScaling, MinVoltageInvertsFmax) {
+  VoltageScaling scaling{VoltageParams{}};
+  for (double f : {5.0, 20.0, 40.0, 60.0, 83.0}) {
+    const auto v = scaling.min_voltage_for(f);
+    ASSERT_TRUE(v.has_value()) << f;
+    EXPECT_GE(scaling.fmax_mhz(*v), f * 0.999);
+    // Just below, the frequency must no longer be achievable (tight bound).
+    EXPECT_LT(scaling.fmax_mhz(*v - 0.01), f);
+  }
+}
+
+TEST(VoltageScaling, OverNominalFrequencyInfeasible) {
+  VoltageScaling scaling{VoltageParams{}};
+  EXPECT_FALSE(scaling.min_voltage_for(90.0).has_value());
+  EXPECT_TRUE(scaling.min_voltage_for(83.0).has_value());
+}
+
+TEST(VoltageScaling, DynamicScaleIsQuadratic) {
+  VoltageScaling scaling{VoltageParams{}};
+  EXPECT_DOUBLE_EQ(scaling.dynamic_scale(1.2), 1.0);
+  EXPECT_DOUBLE_EQ(scaling.dynamic_scale(0.6), 0.25);
+}
+
+TEST(VoltageScaling, LeakageShrinksWithVoltage) {
+  VoltageScaling scaling{VoltageParams{}};
+  EXPECT_GT(scaling.leakage_mw(1.2), scaling.leakage_mw(0.8));
+  EXPECT_GT(scaling.leakage_mw(0.8), 0.0);
+}
+
+sim::EventCounters fake_counters() {
+  sim::EventCounters counters;
+  counters.cycles = 1000;
+  counters.retired_ops = 2000;
+  counters.core_active_cycles = 4000;
+  counters.im_bank_accesses = 500;
+  counters.im_fetches_delivered = 2000;
+  counters.dm_bank_accesses = 300;
+  return counters;
+}
+
+TEST(EnergyModel, ChargesEveryComponent) {
+  core::SynchronizerStats sync_stats;
+  sync_stats.rmw_ops = 100;
+  sync_stats.dm_accesses = 200;
+  const auto energy = energy_per_cycle(EnergyParams::synchronized(),
+                                       fake_counters(), sync_stats);
+  EXPECT_GT(energy.cores_pj, 0.0);
+  EXPECT_GT(energy.im_pj, 0.0);
+  EXPECT_GT(energy.dm_pj, 0.0);
+  EXPECT_GT(energy.dxbar_pj, 0.0);
+  EXPECT_GT(energy.ixbar_pj, 0.0);
+  EXPECT_GT(energy.synchronizer_pj, 0.0);
+  EXPECT_GT(energy.clock_tree_pj, 0.0);
+  EXPECT_NEAR(energy.total_pj(),
+              energy.cores_pj + energy.im_pj + energy.dm_pj + energy.dxbar_pj +
+                  energy.ixbar_pj + energy.synchronizer_pj + energy.clock_tree_pj,
+              1e-9);
+}
+
+TEST(EnergyModel, BaselineHasNoSynchronizerCost) {
+  const auto energy = energy_per_cycle(EnergyParams::baseline(),
+                                       fake_counters(), {});
+  EXPECT_EQ(energy.synchronizer_pj, 0.0);
+}
+
+TEST(EnergyModel, SyncDmAccessesChargedToDm) {
+  core::SynchronizerStats with_sync_traffic;
+  with_sync_traffic.dm_accesses = 300;  // as many again as the D-Xbar's
+  const auto base = energy_per_cycle(EnergyParams::baseline(), fake_counters(), {});
+  const auto more = energy_per_cycle(EnergyParams::baseline(), fake_counters(),
+                                     with_sync_traffic);
+  EXPECT_NEAR(more.dm_pj, 2.0 * base.dm_pj, 1e-9);
+}
+
+TEST(EnergyModel, BreakdownScalesWithFrequencyAndVoltage) {
+  EnergyPerCycle energy;
+  energy.cores_pj = 10.0;
+  energy.clock_tree_pj = 5.0;
+  const auto at_full = breakdown_at(energy, 80.0, 1.0, 0.1);
+  EXPECT_NEAR(at_full.cores_mw, 0.8, 1e-9);
+  EXPECT_NEAR(at_full.clock_tree_mw, 0.4, 1e-9);
+  EXPECT_NEAR(at_full.leakage_mw, 0.1, 1e-9);
+  EXPECT_NEAR(at_full.total_mw(), 1.3, 1e-9);
+  const auto scaled = breakdown_at(energy, 40.0, 0.25, 0.0);
+  EXPECT_NEAR(scaled.dynamic_mw(), at_full.dynamic_mw() / 8.0, 1e-9);
+}
+
+TEST(Sweep, MaxWorkloadIsIpcTimesNominalClock) {
+  DesignCharacterization design;
+  design.ops_per_cycle = 3.0;
+  design.energy.cores_pj = 10.0;
+  WorkloadSweep sweep(design, VoltageScaling{VoltageParams{}});
+  EXPECT_NEAR(sweep.max_mops(), 3.0 * 83.33, 0.1);
+}
+
+TEST(Sweep, PowerMonotoneInWorkload) {
+  DesignCharacterization design;
+  design.ops_per_cycle = 3.0;
+  design.energy.cores_pj = 10.0;
+  design.energy.clock_tree_pj = 16.0;
+  WorkloadSweep sweep(design, VoltageScaling{VoltageParams{}});
+  double previous = 0.0;
+  for (double w = 1.0; w < sweep.max_mops(); w *= 1.5) {
+    const auto point = sweep.at(w);
+    ASSERT_TRUE(point.has_value());
+    EXPECT_GT(point->breakdown.total_mw(), previous);
+    previous = point->breakdown.total_mw();
+  }
+}
+
+TEST(Sweep, InfeasibleBeyondMax) {
+  DesignCharacterization design;
+  design.ops_per_cycle = 2.0;
+  WorkloadSweep sweep(design, VoltageScaling{VoltageParams{}});
+  EXPECT_FALSE(sweep.at(sweep.max_mops() * 1.01).has_value());
+  EXPECT_TRUE(sweep.at(sweep.max_mops() * 0.99).has_value());
+}
+
+TEST(Sweep, CurveEndsAtMaxWorkload) {
+  DesignCharacterization design;
+  design.ops_per_cycle = 2.0;
+  design.energy.cores_pj = 10.0;
+  WorkloadSweep sweep(design, VoltageScaling{VoltageParams{}});
+  const auto curve = sweep.curve(1.0, 4);
+  ASSERT_FALSE(curve.empty());
+  EXPECT_NEAR(curve.back().mops, sweep.max_mops(), 0.01);
+  EXPECT_NEAR(curve.back().voltage, 1.2, 1e-6);
+}
+
+TEST(Sweep, LowerVoltageAtLowerWorkload) {
+  DesignCharacterization design;
+  design.ops_per_cycle = 2.0;
+  design.energy.cores_pj = 10.0;
+  WorkloadSweep sweep(design, VoltageScaling{VoltageParams{}});
+  const auto low = sweep.at(10.0);
+  const auto high = sweep.at(120.0);
+  ASSERT_TRUE(low && high);
+  EXPECT_LT(low->voltage, high->voltage);
+}
+
+TEST(Integration, SynchronizedDesignSavesPowerAtIsoWorkload) {
+  // End-to-end: run a real benchmark on both designs and compare power at a
+  // workload both can sustain — the paper's headline comparison.
+  kernels::BenchmarkParams params;
+  params.samples = 64;
+  kernels::Benchmark benchmark(kernels::BenchmarkKind::kMrpfltr, params);
+
+  const auto baseline = kernels::run_benchmark(benchmark, false);
+  const auto synced = kernels::run_benchmark(benchmark, true);
+  ASSERT_TRUE(baseline.result.ok() && synced.result.ok());
+
+  const VoltageScaling scaling{VoltageParams{}};
+  const WorkloadSweep sweep_wo(
+      characterize(EnergyParams::baseline(), baseline.counters,
+                   baseline.sync_stats, baseline.useful_ops),
+      scaling);
+  const WorkloadSweep sweep_with(
+      characterize(EnergyParams::synchronized(), synced.counters,
+                   synced.sync_stats, synced.useful_ops),
+      scaling);
+
+  const double workload = sweep_wo.max_mops() * 0.75;
+  const auto p_wo = sweep_wo.at(workload);
+  const auto p_with = sweep_with.at(workload);
+  ASSERT_TRUE(p_wo && p_with);
+  const double saving =
+      1.0 - p_with->breakdown.total_mw() / p_wo->breakdown.total_mw();
+  EXPECT_GT(saving, 0.30) << "paper reports 55-64% at the highlighted points";
+  EXPECT_LT(saving, 0.85);
+  // The synchronized design extends the feasible workload range (~2x).
+  EXPECT_GT(sweep_with.max_mops(), 1.5 * sweep_wo.max_mops());
+}
+
+}  // namespace
+}  // namespace ulpsync::power

@@ -1,0 +1,241 @@
+// Cross-cutting property suites:
+//  * ALU semantics differentially tested against a plain-C++ int16 model
+//    over random operand sweeps (parameterized per opcode);
+//  * assembler robustness fuzzing (random token soup must produce
+//    diagnostics, never crashes, and never a silently wrong program);
+//  * platform event-counter conservation laws on random workloads.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "asm/assembler.h"
+#include "sim/executor.h"
+#include "sim/platform.h"
+#include "util/rng.h"
+
+namespace ulpsync {
+namespace {
+
+// --- ALU differential sweep -------------------------------------------------
+
+using AluRef = std::uint16_t (*)(std::uint16_t, std::uint16_t);
+
+struct AluCase {
+  const char* name;
+  isa::Opcode op;
+  AluRef reference;
+};
+
+std::uint16_t ref_add(std::uint16_t a, std::uint16_t b) {
+  return static_cast<std::uint16_t>(a + b);
+}
+std::uint16_t ref_sub(std::uint16_t a, std::uint16_t b) {
+  return static_cast<std::uint16_t>(a - b);
+}
+std::uint16_t ref_and(std::uint16_t a, std::uint16_t b) {
+  return static_cast<std::uint16_t>(a & b);
+}
+std::uint16_t ref_or(std::uint16_t a, std::uint16_t b) {
+  return static_cast<std::uint16_t>(a | b);
+}
+std::uint16_t ref_xor(std::uint16_t a, std::uint16_t b) {
+  return static_cast<std::uint16_t>(a ^ b);
+}
+std::uint16_t ref_sll(std::uint16_t a, std::uint16_t b) {
+  return static_cast<std::uint16_t>(a << (b & 15));
+}
+std::uint16_t ref_srl(std::uint16_t a, std::uint16_t b) {
+  return static_cast<std::uint16_t>(a >> (b & 15));
+}
+std::uint16_t ref_sra(std::uint16_t a, std::uint16_t b) {
+  return static_cast<std::uint16_t>(static_cast<std::int16_t>(a) >> (b & 15));
+}
+std::uint16_t ref_mul(std::uint16_t a, std::uint16_t b) {
+  const std::int32_t p = static_cast<std::int16_t>(a) * static_cast<std::int16_t>(b);
+  return static_cast<std::uint16_t>(p & 0xFFFF);
+}
+std::uint16_t ref_mulh(std::uint16_t a, std::uint16_t b) {
+  const std::int32_t p = static_cast<std::int16_t>(a) * static_cast<std::int16_t>(b);
+  return static_cast<std::uint16_t>(static_cast<std::uint32_t>(p) >> 16);
+}
+
+class AluDifferential : public ::testing::TestWithParam<AluCase> {};
+
+TEST_P(AluDifferential, MatchesReferenceOverRandomOperands) {
+  const AluCase& alu = GetParam();
+  util::Rng rng(0xA11Bu ^ static_cast<std::uint64_t>(alu.op));
+  for (int trial = 0; trial < 4000; ++trial) {
+    const auto a = static_cast<std::uint16_t>(rng.next_below(0x10000));
+    const auto b = static_cast<std::uint16_t>(rng.next_below(0x10000));
+    sim::CoreArchState state;
+    state.set_reg(1, a);
+    state.set_reg(2, b);
+    isa::Instruction instr{alu.op, 3, 1, 2, 0};
+    (void)sim::execute(state, instr);
+    EXPECT_EQ(state.reg(3), alu.reference(a, b))
+        << alu.name << "(" << a << ", " << b << ")";
+  }
+}
+
+TEST_P(AluDifferential, EdgeOperandMatrix) {
+  const AluCase& alu = GetParam();
+  constexpr std::uint16_t kEdges[] = {0, 1, 2, 0x7FFF, 0x8000, 0x8001,
+                                      0xFFFE, 0xFFFF, 15, 16, 17};
+  for (std::uint16_t a : kEdges) {
+    for (std::uint16_t b : kEdges) {
+      sim::CoreArchState state;
+      state.set_reg(1, a);
+      state.set_reg(2, b);
+      isa::Instruction instr{alu.op, 3, 1, 2, 0};
+      (void)sim::execute(state, instr);
+      EXPECT_EQ(state.reg(3), alu.reference(a, b))
+          << alu.name << "(" << a << ", " << b << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBinaryOps, AluDifferential,
+    ::testing::Values(AluCase{"add", isa::Opcode::kAdd, ref_add},
+                      AluCase{"sub", isa::Opcode::kSub, ref_sub},
+                      AluCase{"and", isa::Opcode::kAnd, ref_and},
+                      AluCase{"or", isa::Opcode::kOr, ref_or},
+                      AluCase{"xor", isa::Opcode::kXor, ref_xor},
+                      AluCase{"sll", isa::Opcode::kSll, ref_sll},
+                      AluCase{"srl", isa::Opcode::kSrl, ref_srl},
+                      AluCase{"sra", isa::Opcode::kSra, ref_sra},
+                      AluCase{"mul", isa::Opcode::kMul, ref_mul},
+                      AluCase{"mulh", isa::Opcode::kMulh, ref_mulh}),
+    [](const auto& param_info) { return std::string(param_info.param.name); });
+
+// --- assembler fuzzing -------------------------------------------------------
+
+TEST(AssemblerFuzz, RandomTokenSoupNeverCrashes) {
+  util::Rng rng(0xF022);
+  const char* fragments[] = {"add",   "r1",    "r16",  ",",   "[",    "]",
+                             "#",     "0x",    "12",   "-",   "+",    ":",
+                             "label", ".equ",  ".org", "ld",  "st",   "beq",
+                             "movi",  "0b12",  "r",    "!!",  "65536"};
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string source;
+    const unsigned lines = 1 + static_cast<unsigned>(rng.next_below(8));
+    for (unsigned l = 0; l < lines; ++l) {
+      const unsigned tokens = static_cast<unsigned>(rng.next_below(7));
+      for (unsigned t = 0; t < tokens; ++t) {
+        source += fragments[rng.next_below(std::size(fragments))];
+        source += rng.next_below(3) == 0 ? "" : " ";
+      }
+      source += '\n';
+    }
+    const auto result = assembler::assemble(source);
+    // Either it assembles or it produces diagnostics — both are fine;
+    // the property is "no crash, and ok() implies a consistent program".
+    if (result.ok()) {
+      EXPECT_EQ(result.program.code.size(), result.program.image.size());
+    } else {
+      EXPECT_FALSE(result.errors.empty());
+    }
+  }
+}
+
+TEST(AssemblerFuzz, RandomValidProgramsRoundTripThroughEncoding) {
+  util::Rng rng(0x5EED);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string source;
+    const unsigned count = 1 + static_cast<unsigned>(rng.next_below(30));
+    for (unsigned i = 0; i < count; ++i) {
+      switch (rng.next_below(5)) {
+        case 0:
+          source += "add r" + std::to_string(rng.next_below(16)) + ", r" +
+                    std::to_string(rng.next_below(16)) + ", r" +
+                    std::to_string(rng.next_below(16)) + "\n";
+          break;
+        case 1:
+          source += "movi r" + std::to_string(rng.next_below(16)) + ", " +
+                    std::to_string(rng.next_below(0x10000)) + "\n";
+          break;
+        case 2:
+          source += "ld r" + std::to_string(rng.next_below(16)) + ", [r" +
+                    std::to_string(rng.next_below(16)) + "+" +
+                    std::to_string(rng.next_below(4096)) + "]\n";
+          break;
+        case 3:
+          source += "cmpi r" + std::to_string(rng.next_below(16)) + ", " +
+                    std::to_string(rng.next_in_range(-4096, 4095)) + "\n";
+          break;
+        default:
+          source += "nop\n";
+      }
+    }
+    source += "halt\n";
+    const auto result = assembler::assemble(source);
+    ASSERT_TRUE(result.ok()) << result.error_text() << source;
+    for (std::size_t i = 0; i < result.program.code.size(); ++i) {
+      EXPECT_EQ(*isa::decode(result.program.image[i]), result.program.code[i]);
+    }
+  }
+}
+
+// --- counter conservation laws ----------------------------------------------
+
+TEST(CounterConservation, FetchesDeliveredEqualRetiredOps) {
+  // Every delivered fetch retires exactly once (no speculation): on any
+  // completed run, retired ops == delivered fetches.
+  for (const bool with_sync : {false, true}) {
+    auto config = with_sync ? sim::PlatformConfig::with_synchronizer()
+                            : sim::PlatformConfig::without_synchronizer();
+    sim::Platform platform(config);
+    auto program = assembler::assemble(R"(
+        csrr r1, #0
+        movi r2, 30
+    loop:
+        andi r3, r2, 3
+        cmp  r3, r1
+        bne  skip
+        addi r4, r4, 1
+    skip:
+        addi r2, r2, -1
+        cmpi r2, 0
+        bne  loop
+        halt
+    )");
+    ASSERT_TRUE(program.ok());
+    platform.load_program(program.program);
+    ASSERT_TRUE(platform.run(100'000).ok());
+    const auto& counters = platform.counters();
+    EXPECT_EQ(counters.im_fetches_delivered, counters.retired_ops);
+    // Broadcast accounting: delivered >= accesses, equality iff no merge.
+    EXPECT_GE(counters.im_fetches_delivered, counters.im_bank_accesses);
+    // Active cycles can never exceed cores x cycles.
+    EXPECT_LE(counters.core_active_cycles,
+              counters.cycles * platform.config().num_cores);
+  }
+}
+
+TEST(CounterConservation, DmGrantsMatchExecutedMemOps) {
+  sim::Platform platform(sim::PlatformConfig::with_synchronizer());
+  auto program = assembler::assemble(R"(
+      csrr r1, #0
+      addi r4, r1, 2
+      movi r5, 11
+      sll  r3, r4, r5
+      movi r2, 16
+  loop:
+      ldx  r6, [r3+r2]
+      addi r6, r6, 1
+      stx  r6, [r3+r2]
+      addi r2, r2, -1
+      cmpi r2, 0
+      bne  loop
+      halt
+  )");
+  ASSERT_TRUE(program.ok());
+  platform.load_program(program.program);
+  ASSERT_TRUE(platform.run(100'000).ok());
+  // 16 iterations x (1 load + 1 store) x 8 cores.
+  EXPECT_EQ(platform.counters().dm_requests_granted, 16u * 2 * 8);
+}
+
+}  // namespace
+}  // namespace ulpsync

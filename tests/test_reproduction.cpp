@@ -1,0 +1,206 @@
+// Reproduction regression tests: pin the paper-facing results so that
+// refactoring the simulator or the kernels cannot silently break the
+// headline numbers. Tolerances are deliberately band-shaped (the paper's
+// own reporting granularity), not point values.
+
+#include <gtest/gtest.h>
+
+#include "kernels/benchmark.h"
+#include "power/model.h"
+#include "power/scaling.h"
+#include "power/sweep.h"
+
+namespace ulpsync {
+namespace {
+
+struct Characterized {
+  kernels::BenchmarkRun run;
+  power::DesignCharacterization character;
+};
+
+Characterized run_and_characterize(kernels::BenchmarkKind kind,
+                                   bool with_sync, unsigned samples = 192) {
+  kernels::BenchmarkParams params;
+  params.samples = samples;
+  kernels::Benchmark benchmark(kind, params);
+  Characterized out;
+  out.run = kernels::run_benchmark(benchmark, with_sync);
+  EXPECT_TRUE(out.run.result.ok());
+  EXPECT_EQ(out.run.verify_error, "");
+  out.character = power::characterize(
+      with_sync ? power::EnergyParams::synchronized()
+                : power::EnergyParams::baseline(),
+      out.run.counters, out.run.sync_stats, out.run.useful_ops);
+  return out;
+}
+
+class ReproductionBands
+    : public ::testing::TestWithParam<kernels::BenchmarkKind> {};
+
+TEST_P(ReproductionBands, OpsPerCycleWithinPaperBands) {
+  const auto baseline = run_and_characterize(GetParam(), false);
+  const auto synced = run_and_characterize(GetParam(), true);
+  // Paper Section V-B: 1.1..2.0 without, 2.5..4.0 with (we allow a little
+  // slack around the published bands).
+  EXPECT_GE(baseline.character.ops_per_cycle, 0.9);
+  EXPECT_LE(baseline.character.ops_per_cycle, 2.2);
+  EXPECT_GE(synced.character.ops_per_cycle, 2.5);
+  EXPECT_LE(synced.character.ops_per_cycle, 4.1);
+}
+
+TEST_P(ReproductionBands, SpeedupRoughlyTwoFold) {
+  const auto baseline = run_and_characterize(GetParam(), false);
+  const auto synced = run_and_characterize(GetParam(), true);
+  const double speedup = static_cast<double>(baseline.run.counters.cycles) /
+                         static_cast<double>(synced.run.counters.cycles);
+  // Paper: up to 2.4x; per-benchmark 1.86x..2.37x.
+  EXPECT_GE(speedup, 1.7);
+  EXPECT_LE(speedup, 2.7);
+}
+
+TEST_P(ReproductionBands, ImAccessReductionAtLeastPaperLevel) {
+  const auto baseline = run_and_characterize(GetParam(), false);
+  const auto synced = run_and_characterize(GetParam(), true);
+  const double per_op_wo =
+      static_cast<double>(baseline.run.counters.im_bank_accesses) /
+      static_cast<double>(baseline.run.useful_ops);
+  const double per_op_with =
+      static_cast<double>(synced.run.counters.im_bank_accesses) /
+      static_cast<double>(synced.run.useful_ops);
+  // Paper: up to 60% fewer IM accesses. Ours is at least that.
+  EXPECT_GE(1.0 - per_op_with / per_op_wo, 0.55);
+}
+
+TEST_P(ReproductionBands, SynchronizerUnderTwoPercentOfPower) {
+  const auto synced = run_and_characterize(GetParam(), true);
+  const auto& energy = synced.character.energy;
+  EXPECT_LT(energy.synchronizer_pj / energy.total_pj(), 0.02);
+}
+
+TEST_P(ReproductionBands, VoltageScaledSavingInPaperRange) {
+  const auto baseline = run_and_characterize(GetParam(), false);
+  const auto synced = run_and_characterize(GetParam(), true);
+  const power::VoltageScaling scaling{power::VoltageParams{}};
+  const power::WorkloadSweep sweep_wo(baseline.character, scaling);
+  const power::WorkloadSweep sweep_with(synced.character, scaling);
+  // Compare at the baseline's 75% point (inside both feasible ranges),
+  // mirroring the paper's highlighted workloads.
+  const double workload = sweep_wo.max_mops() * 0.75;
+  const auto p_wo = sweep_wo.at(workload);
+  const auto p_with = sweep_with.at(workload);
+  ASSERT_TRUE(p_wo && p_with);
+  const double saving =
+      1.0 - p_with->breakdown.total_mw() / p_wo->breakdown.total_mw();
+  // Paper: 55%..64% at the highlighted points.
+  EXPECT_GE(saving, 0.45);
+  EXPECT_LE(saving, 0.75);
+}
+
+TEST_P(ReproductionBands, MaxWorkloadRoughlyDoubles) {
+  const auto baseline = run_and_characterize(GetParam(), false);
+  const auto synced = run_and_characterize(GetParam(), true);
+  const power::VoltageScaling scaling{power::VoltageParams{}};
+  const double ratio = power::WorkloadSweep(synced.character, scaling).max_mops() /
+                       power::WorkloadSweep(baseline.character, scaling).max_mops();
+  // Fig. 3 endpoints: 211/89=2.4, 290/156=1.9, 336/167=2.0.
+  EXPECT_GE(ratio, 1.7);
+  EXPECT_LE(ratio, 2.7);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, ReproductionBands,
+                         ::testing::ValuesIn(kernels::kAllBenchmarks),
+                         [](const auto& param_info) {
+                           return std::string(kernels::benchmark_name(param_info.param));
+                         });
+
+TEST(ReproductionTable1, ComponentPowersAtEightMops) {
+  // Table I at 8 MOps/s, 1.2 V: per-component power ranges across the three
+  // benchmarks. We assert our measured values against slightly widened
+  // paper ranges (the DM/D-Xbar rows for SQRT32 are a documented deviation:
+  // our sqrt kernel is register-resident, see EXPERIMENTS.md).
+  struct Range { double lo, hi; };
+  const double workload = 8.0;
+
+  for (auto kind : kernels::kAllBenchmarks) {
+    const auto baseline = run_and_characterize(kind, false);
+    const auto synced = run_and_characterize(kind, true);
+    auto at_workload = [&](const Characterized& design) {
+      const double f = workload / design.character.ops_per_cycle;
+      return power::breakdown_at(design.character.energy, f, 1.0, 0.0);
+    };
+    const auto b_wo = at_workload(baseline);
+    const auto b_with = at_workload(synced);
+
+    // Cores: 0.14 / 0.16 mW (exact by calibration).
+    EXPECT_NEAR(b_wo.cores_mw, 0.14, 0.01);
+    EXPECT_NEAR(b_with.cores_mw, 0.16, 0.01);
+    // IM: 0.20..0.36 -> 0.09..0.15 (we allow 0.04 widening on the floor).
+    EXPECT_GE(b_wo.im_mw, 0.20);
+    EXPECT_LE(b_wo.im_mw, 0.36);
+    EXPECT_GE(b_with.im_mw, 0.05);
+    EXPECT_LE(b_with.im_mw, 0.15);
+    // Clock tree halves (paper: 2x saving).
+    EXPECT_GT(b_wo.clock_tree_mw / b_with.clock_tree_mw, 1.8);
+    // Totals: the paper's 0.64..0.94 -> 0.47..0.58 bands, widened low.
+    EXPECT_GE(b_wo.dynamic_mw(), 0.55);
+    EXPECT_LE(b_wo.dynamic_mw(), 0.94);
+    EXPECT_GE(b_with.dynamic_mw(), 0.30);
+    EXPECT_LE(b_with.dynamic_mw(), 0.58);
+    // Dynamic saving without voltage scaling: paper "up to 38%".
+    const double saving = 1.0 - b_with.dynamic_mw() / b_wo.dynamic_mw();
+    EXPECT_GE(saving, 0.25);
+    EXPECT_LE(saving, 0.50);
+  }
+}
+
+TEST(ReproductionDm, MorphologyKernelsDmIncreaseUnderTenPercent) {
+  for (auto kind : {kernels::BenchmarkKind::kMrpfltr,
+                    kernels::BenchmarkKind::kMrpdln}) {
+    const auto baseline = run_and_characterize(kind, false);
+    const auto synced = run_and_characterize(kind, true);
+    auto dm_per_op = [](const Characterized& design) {
+      return static_cast<double>(design.run.counters.dm_bank_accesses +
+                                 design.run.sync_stats.dm_accesses) /
+             static_cast<double>(design.run.useful_ops);
+    };
+    const double increase = dm_per_op(synced) / dm_per_op(baseline) - 1.0;
+    EXPECT_LT(increase, 0.10) << kernels::benchmark_name(kind);
+    EXPECT_GE(increase, 0.0) << kernels::benchmark_name(kind);
+  }
+}
+
+TEST(ReproductionFig3, EndpointPowersMatchPaperScale) {
+  // The Fig. 3 curve endpoints (max workload at 1.2 V): the paper reports
+  // 10.46..20.09 mW across benchmarks/designs; our absolute scale must sit
+  // in the same regime (it is calibrated via Table I, so this is a real
+  // cross-check, not a tautology).
+  const power::VoltageScaling scaling{power::VoltageParams{}};
+  for (auto kind : kernels::kAllBenchmarks) {
+    for (const bool with_sync : {false, true}) {
+      const auto design = run_and_characterize(kind, with_sync);
+      const power::WorkloadSweep sweep(design.character, scaling);
+      const auto endpoint = sweep.at(sweep.max_mops());
+      ASSERT_TRUE(endpoint.has_value());
+      EXPECT_GE(endpoint->breakdown.total_mw(), 7.0);
+      EXPECT_LE(endpoint->breakdown.total_mw(), 22.0);
+      EXPECT_NEAR(endpoint->voltage, 1.2, 1e-6);
+    }
+  }
+}
+
+TEST(ReproductionScaling, ResultsStableAcrossProblemSizes) {
+  // The bands must not be an artifact of one problem size.
+  for (unsigned samples : {96u, 160u, 256u}) {
+    const auto baseline =
+        run_and_characterize(kernels::BenchmarkKind::kSqrt32, false, samples);
+    const auto synced =
+        run_and_characterize(kernels::BenchmarkKind::kSqrt32, true, samples);
+    const double speedup = static_cast<double>(baseline.run.counters.cycles) /
+                           static_cast<double>(synced.run.counters.cycles);
+    EXPECT_GE(speedup, 1.7) << samples;
+    EXPECT_LE(speedup, 2.7) << samples;
+  }
+}
+
+}  // namespace
+}  // namespace ulpsync

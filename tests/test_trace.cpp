@@ -1,0 +1,82 @@
+// Tests for the timeline tracer.
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.h"
+#include "sim/platform.h"
+#include "sim/trace.h"
+
+namespace ulpsync::sim {
+namespace {
+
+assembler::Program compile(std::string_view source) {
+  auto result = assembler::assemble(source);
+  EXPECT_TRUE(result.ok()) << result.error_text();
+  return std::move(result.program);
+}
+
+TEST(TimelineTracer, SymbolsCoverEveryStatus) {
+  EXPECT_EQ(TimelineTracer::symbol(CoreStatus::kReady), 'E');
+  EXPECT_EQ(TimelineTracer::symbol(CoreStatus::kSleeping), 'z');
+  EXPECT_EQ(TimelineTracer::symbol(CoreStatus::kHalted), 'H');
+  EXPECT_EQ(TimelineTracer::symbol(CoreStatus::kSyncBusy), '#');
+  EXPECT_EQ(TimelineTracer::symbol(CoreStatus::kMemWait), 'm');
+}
+
+TEST(TimelineTracer, RecordsEveryCycleUpToCapacity) {
+  auto config = PlatformConfig::with_synchronizer();
+  config.start_stagger_cycles = 0;
+  Platform platform(config);
+  platform.load_program(compile("spin: bra spin\n"));
+  TimelineTracer tracer(32);
+  tracer.attach(platform);
+  platform.run(100);
+  EXPECT_EQ(tracer.recorded_cycles(), 32u) << "ring buffer caps history";
+}
+
+TEST(TimelineTracer, TimelineShowsLanesAndLegend) {
+  auto config = PlatformConfig::with_synchronizer();
+  config.start_stagger_cycles = 0;
+  config.num_cores = 2;
+  Platform platform(config);
+  platform.load_program(compile(R"(
+      movi r1, 1
+      sinc #0
+      sdec #0
+      halt
+  )"));
+  TimelineTracer tracer;
+  tracer.attach(platform);
+  ASSERT_TRUE(platform.run(100).ok());
+  const std::string timeline = tracer.timeline();
+  EXPECT_NE(timeline.find("core0"), std::string::npos);
+  EXPECT_NE(timeline.find("core1"), std::string::npos);
+  EXPECT_NE(timeline.find('#'), std::string::npos) << "sync activity visible";
+  EXPECT_NE(timeline.find('H'), std::string::npos) << "halt visible";
+  EXPECT_NE(timeline.find("E execute"), std::string::npos);
+}
+
+TEST(TimelineTracer, WindowDumpsStatusAndPc) {
+  auto config = PlatformConfig::with_synchronizer();
+  config.num_cores = 1;
+  config.start_stagger_cycles = 0;
+  Platform platform(config);
+  platform.load_program(compile("movi r1, 1\nhalt\n"));
+  TimelineTracer tracer;
+  tracer.attach(platform);
+  ASSERT_TRUE(platform.run(100).ok());
+  const std::string window = tracer.window(4);
+  EXPECT_NE(window.find("cycle"), std::string::npos);
+  EXPECT_NE(window.find("halted"), std::string::npos);
+}
+
+TEST(TimelineTracer, EmptyTraceRendersGracefully) {
+  TimelineTracer tracer;
+  EXPECT_NE(tracer.timeline().find("no cycles"), std::string::npos);
+  EXPECT_EQ(tracer.window(), "");
+  tracer.clear();
+  EXPECT_EQ(tracer.recorded_cycles(), 0u);
+}
+
+}  // namespace
+}  // namespace ulpsync::sim

@@ -1,0 +1,71 @@
+// ulps-asm: command-line TR16 assembler.
+//
+//   ulps-asm program.s                 assemble, print the listing
+//   ulps-asm program.s --hex out.hex   also write the image as hex words
+//   ulps-asm program.s --instrument    run the automatic sync-point pass
+//                                      first and list the result
+//
+// Exit code 0 on success, 1 on assembly errors (printed to stderr).
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "asm/assembler.h"
+#include "core/instrument.h"
+#include "util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace ulpsync;
+  const util::CliArgs args(argc, argv);
+  if (args.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: ulps-asm <source.s> [--hex <out.hex>] [--instrument]\n");
+    return 1;
+  }
+
+  std::ifstream file(args.positional().front());
+  if (!file) {
+    std::fprintf(stderr, "cannot open %s\n", args.positional().front().c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+
+  auto result = assembler::assemble(buffer.str());
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s", result.error_text().c_str());
+    return 1;
+  }
+  assembler::Program program = std::move(result.program);
+
+  if (args.has("instrument")) {
+    const auto instrumented =
+        core::auto_instrument(program, core::InstrumentOptions{});
+    if (!instrumented.ok()) {
+      std::fprintf(stderr, "instrumentation failed: %s\n",
+                   instrumented.error.c_str());
+      return 1;
+    }
+    std::printf("; auto-instrumentation inserted %zu region(s)\n",
+                instrumented.regions.size());
+    for (const auto& note : instrumented.skipped)
+      std::printf("; skipped: %s\n", note.c_str());
+    program = instrumented.program;
+  }
+
+  std::printf("%s", assembler::listing(program).c_str());
+  std::printf("; %zu instructions, origin 0x%04x\n", program.size(),
+              program.origin);
+
+  if (args.has("hex")) {
+    std::ofstream hex(args.get("hex", "out.hex"));
+    for (std::uint32_t word : program.image) {
+      char line[16];
+      std::snprintf(line, sizeof line, "%08x\n", word);
+      hex << line;
+    }
+    std::printf("; image written to %s\n", args.get("hex", "out.hex").c_str());
+  }
+  return 0;
+}
