@@ -1,80 +1,63 @@
 // Ablation E10: automatic vs manual synchronization-point insertion.
 // The paper inserted its pragmas manually and noted the process "can in
-// principle be automated during the compilation process" — this harness
-// runs our CFG-based pass (core/instrument.h) on the plain kernels and
-// compares region count, cycles, and Ops/cycle against the hand-placed
-// variant.
+// principle be automated during the compilation process" — the registry's
+// `.auto` workload variants run our CFG-based pass (core/instrument.h) on
+// the plain kernels; this harness compares region count, cycles, and
+// Ops/cycle against the hand-placed variant.
 
 #include <cstdio>
+#include <string>
 
-#include "bench_common.h"
-#include "core/instrument.h"
+#include "scenario/report.h"
 
 int main(int argc, char** argv) {
   using namespace ulpsync;
+  using namespace ulpsync::scenario;
   const util::CliArgs args(argc, argv);
-  kernels::BenchmarkParams params;
+  WorkloadParams params;
   params.samples = static_cast<unsigned>(args.get_int("samples", 128));
+
+  // Baseline + manual from the hand-instrumented workloads; the `.auto`
+  // variants only make sense on the synchronized design.
+  auto specs = Matrix()
+                   .workloads({"mrpfltr", "sqrt32", "mrpdln"})
+                   .base_params(params)
+                   .expand();
+  const auto auto_specs =
+      Matrix()
+          .workloads({"mrpfltr.auto", "sqrt32.auto", "mrpdln.auto"})
+          .design(DesignVariant::synchronized())
+          .base_params(params)
+          .expand();
+  specs.insert(specs.end(), auto_specs.begin(), auto_specs.end());
+
+  const Engine engine(Registry::builtins(), engine_options_from(args));
+  const auto records = engine.run(specs);
+  require_ok(records);
 
   std::printf("Ablation: automatic vs manual sync-point insertion (N=%u)\n\n",
               params.samples);
   util::Table table({"benchmark", "variant", "regions", "cycles", "ops/cycle",
                      "vs baseline"});
 
-  for (auto kind : kernels::kAllBenchmarks) {
-    kernels::Benchmark benchmark(kind, params);
-    const auto baseline = bench::run_design(benchmark, false);
-    const double baseline_cycles =
-        static_cast<double>(baseline.run.counters.cycles);
-
-    // Manual (the kernels' hand-inserted pragmas).
-    const auto manual = bench::run_design(benchmark, true);
-    auto count_regions = [](const assembler::Program& program) {
-      unsigned count = 0;
-      for (const auto& instr : program.code)
-        count += (instr.op == isa::Opcode::kSinc);
-      return count;
+  for (const char* workload : {"mrpfltr", "sqrt32", "mrpdln"}) {
+    const auto pair = find_pair(records, workload);
+    const RunRecord* automatic =
+        find(records, std::string(workload) + ".auto", true);
+    const double baseline_cycles = static_cast<double>(pair.baseline->cycles());
+    auto add_row = [&](const char* name, const char* variant,
+                       const RunRecord& record) {
+      table.add_row({name, variant, std::string(record.extra_value("sync_points")),
+                     std::to_string(record.cycles()),
+                     util::Table::num(record.ops_per_cycle),
+                     util::Table::num(baseline_cycles /
+                                      static_cast<double>(record.cycles())) + "x"});
     };
-    table.add_row({std::string(benchmark.name()), "manual",
-                   std::to_string(count_regions(benchmark.program(true))),
-                   std::to_string(manual.run.counters.cycles),
-                   util::Table::num(manual.character.ops_per_cycle),
-                   util::Table::num(baseline_cycles /
-                                    static_cast<double>(manual.run.counters.cycles)) + "x"});
-
-    // Automatic: instrument the plain kernel with the compiler pass.
-    const auto instrumented =
-        core::auto_instrument(benchmark.program(false), core::InstrumentOptions{});
-    if (!instrumented.ok()) {
-      std::fprintf(stderr, "auto-instrumentation failed: %s\n",
-                   instrumented.error.c_str());
-      return 1;
-    }
-    sim::Platform platform(benchmark.platform_config(true));
-    platform.load_program(instrumented.program);
-    benchmark.load_inputs(platform);
-    const auto result = platform.run(500'000'000);
-    if (!result.ok()) {
-      std::fprintf(stderr, "auto-instrumented run failed: %s\n",
-                   result.to_string().c_str());
-      return 1;
-    }
-    const auto verify_error = benchmark.verify(platform);
-    if (!verify_error.empty()) {
-      std::fprintf(stderr, "auto-instrumented outputs wrong: %s\n",
-                   verify_error.c_str());
-      return 1;
-    }
-    const auto& counters = platform.counters();
-    const auto useful =
-        kernels::Benchmark::useful_ops(counters, platform.sync_stats());
-    table.add_row({"", "automatic", std::to_string(instrumented.regions.size()),
-                   std::to_string(counters.cycles),
-                   util::Table::num(static_cast<double>(useful) /
-                                    static_cast<double>(counters.cycles)),
-                   util::Table::num(baseline_cycles /
-                                    static_cast<double>(counters.cycles)) + "x"});
+    add_row(workload, "manual", *pair.synced);
+    add_row("", "automatic", *automatic);
   }
   std::printf("%s\n", table.to_string().c_str());
+  maybe_write_csv(args, table);
+  maybe_write_records(args, records);
   return 0;
 }

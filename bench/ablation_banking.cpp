@@ -1,7 +1,8 @@
 // Ablation E11: sensitivity to the IM bank-mapping granularity — the one
 // substrate parameter the paper does not specify and that our model had to
-// choose (DESIGN.md §3). Sweeps the interleave line length (plus pure
-// block mapping) for both designs across all benchmarks.
+// choose. Sweeps the interleave line length (plus pure block mapping) for
+// both designs across all benchmarks: one Matrix with an im_line_slots
+// axis, 36 specs, embarrassingly parallel under --jobs.
 //
 // Expected shape: the baseline's throughput depends strongly on the
 // mapping (diverged cores spread across banks in proportion to line
@@ -10,49 +11,50 @@
 // This is why the technique also *simplifies* the memory system design.
 
 #include <cstdio>
+#include <string>
 
-#include "bench_common.h"
+#include "scenario/report.h"
 
 int main(int argc, char** argv) {
   using namespace ulpsync;
+  using namespace ulpsync::scenario;
   const util::CliArgs args(argc, argv);
-  kernels::BenchmarkParams params;
+  WorkloadParams params;
   params.samples = static_cast<unsigned>(args.get_int("samples", 128));
+
+  const Engine engine(Registry::builtins(), engine_options_from(args));
+  const auto records =
+      engine.run(Matrix()
+                     .workloads({"mrpfltr", "sqrt32", "mrpdln"})
+                     .im_line_slots({4, 8, 16, 32, 64, 0 /* block */})
+                     .base_params(params));
+  require_ok(records);
 
   std::printf("Ablation: IM bank-mapping granularity (N=%u)\n\n", params.samples);
   util::Table table({"benchmark", "IM mapping", "ops/cycle w/o",
                      "ops/cycle with", "speedup"});
 
-  for (auto kind : kernels::kAllBenchmarks) {
-    kernels::Benchmark benchmark(kind, params);
-    for (unsigned line : {4u, 8u, 16u, 32u, 64u, 0u /* block */}) {
-      double ipc[2] = {0, 0};
-      std::uint64_t cycles[2] = {0, 0};
-      for (const bool with_sync : {false, true}) {
-        auto config = benchmark.platform_config(with_sync);
-        config.im_line_slots = line;
-        sim::Platform platform(config);
-        platform.load_program(benchmark.program(with_sync));
-        benchmark.load_inputs(platform);
-        const auto result = platform.run(500'000'000);
-        if (!result.ok() || !benchmark.verify(platform).empty()) {
-          std::fprintf(stderr, "failed: line=%u\n", line);
-          return 1;
+  for (const char* workload : {"mrpfltr", "sqrt32", "mrpdln"}) {
+    for (unsigned line : {4u, 8u, 16u, 32u, 64u, 0u}) {
+      const RunRecord* wo = nullptr;
+      const RunRecord* with = nullptr;
+      for (const auto& record : records) {
+        if (record.spec.workload != workload ||
+            record.spec.im_line_slots != line) {
+          continue;
         }
-        const auto useful = kernels::Benchmark::useful_ops(
-            platform.counters(), platform.sync_stats());
-        ipc[with_sync] = static_cast<double>(useful) /
-                         static_cast<double>(platform.counters().cycles);
-        cycles[with_sync] = platform.counters().cycles;
+        (record.spec.with_synchronizer() ? with : wo) = &record;
       }
-      table.add_row({std::string(kernels::benchmark_name(kind)),
+      table.add_row({std::string(workload),
                      line == 0 ? "block" : std::to_string(line) + "-instr lines",
-                     util::Table::num(ipc[0]), util::Table::num(ipc[1]),
-                     util::Table::num(static_cast<double>(cycles[0]) /
-                                      static_cast<double>(cycles[1])) + "x"});
+                     util::Table::num(wo->ops_per_cycle),
+                     util::Table::num(with->ops_per_cycle),
+                     util::Table::num(static_cast<double>(wo->cycles()) /
+                                      static_cast<double>(with->cycles())) + "x"});
     }
   }
   std::printf("%s\n", table.to_string().c_str());
-  bench::maybe_write_csv(args, table);
+  maybe_write_csv(args, table);
+  maybe_write_records(args, records);
   return 0;
 }

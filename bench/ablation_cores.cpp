@@ -1,46 +1,57 @@
 // Ablation E8: core-count scaling (context of ref. [3], which compared
 // single- and multi-core ULP platforms). Runs SQRT32 on 1/2/4/8 cores for
-// both designs and reports throughput per cycle and energy per op — the
-// synchronization technique should matter more the more cores there are.
+// both designs — one Matrix with a core-count axis — and reports throughput
+// per cycle and energy per op; the synchronization technique should matter
+// more the more cores there are.
 
 #include <cstdio>
+#include <string>
 
-#include "bench_common.h"
+#include "scenario/report.h"
 
 int main(int argc, char** argv) {
   using namespace ulpsync;
+  using namespace ulpsync::scenario;
   const util::CliArgs args(argc, argv);
-  const unsigned samples = static_cast<unsigned>(args.get_int("samples", 128));
+  WorkloadParams params;
+  params.samples = static_cast<unsigned>(args.get_int("samples", 128));
 
-  std::printf("Ablation: core-count scaling, SQRT32, N=%u per channel\n\n", samples);
+  const Engine engine(Registry::builtins(), engine_options_from(args));
+  const auto records = engine.run(
+      Matrix().workload("sqrt32").num_cores({1, 2, 4, 8}).base_params(params));
+  require_ok(records);
+
+  std::printf("Ablation: core-count scaling, SQRT32, N=%u per channel\n\n",
+              params.samples);
   util::Table table({"cores", "ops/cycle w/o", "ops/cycle with", "speedup",
                      "pJ/op w/o", "pJ/op with", "saving"});
 
+  auto pj_per_op = [](const RunRecord& record) {
+    const double total_pj = record.energy.total_pj() *
+                            static_cast<double>(record.cycles());
+    return total_pj / static_cast<double>(record.useful_ops);
+  };
+
   for (unsigned cores : {1u, 2u, 4u, 8u}) {
-    kernels::BenchmarkParams params;
-    params.samples = samples;
-    params.num_channels = cores;
-    kernels::Benchmark benchmark(kernels::BenchmarkKind::kSqrt32, params);
-
-    const auto wo = bench::run_design(benchmark, false);
-    const auto with = bench::run_design(benchmark, true);
-
-    auto pj_per_op = [](const bench::DesignRun& design) {
-      const double total_pj = design.character.energy.total_pj() *
-                              static_cast<double>(design.run.counters.cycles);
-      return total_pj / static_cast<double>(design.run.useful_ops);
-    };
-    const double e_wo = pj_per_op(wo);
-    const double e_with = pj_per_op(with);
+    const RunRecord* wo = nullptr;
+    const RunRecord* with = nullptr;
+    for (const auto& record : records) {
+      if (record.spec.params.num_channels != cores) continue;
+      (record.spec.with_synchronizer() ? with : wo) = &record;
+    }
+    const double e_wo = pj_per_op(*wo);
+    const double e_with = pj_per_op(*with);
     table.add_row({std::to_string(cores),
-                   util::Table::num(wo.character.ops_per_cycle),
-                   util::Table::num(with.character.ops_per_cycle),
-                   util::Table::num(static_cast<double>(wo.run.counters.cycles) /
-                                    static_cast<double>(with.run.counters.cycles)) + "x",
+                   util::Table::num(wo->ops_per_cycle),
+                   util::Table::num(with->ops_per_cycle),
+                   util::Table::num(static_cast<double>(wo->cycles()) /
+                                    static_cast<double>(with->cycles())) + "x",
                    util::Table::num(e_wo, 1), util::Table::num(e_with, 1),
                    util::Table::num(100.0 * (1.0 - e_with / e_wo), 1) + "%"});
   }
   std::printf("%s\n", table.to_string().c_str());
+  maybe_write_csv(args, table);
+  maybe_write_records(args, records);
   std::printf("Expectation: on 1 core both designs coincide (nothing to\n"
               "synchronize); savings grow with the core count.\n");
   return 0;

@@ -2,79 +2,55 @@
 //   * check-in/check-out resynchronization (hardware synchronizer + ISE)
 //   * enhanced D-Xbar policy (PC-compare conflict stalls)
 //   * partial-group fetch broadcast (the I-Xbar PC comparators)
-// Runs every benchmark under the four feature combinations and reports
-// Ops/cycle, IM accesses per op, and lockstep residency.
+// Runs every benchmark under the four feature combinations — one Matrix
+// with a custom design axis — and reports Ops/cycle, IM accesses per op,
+// and lockstep residency.
 
 #include <cstdio>
+#include <string>
 
-#include "bench_common.h"
-#include "core/lockstep.h"
+#include "scenario/report.h"
 
 int main(int argc, char** argv) {
   using namespace ulpsync;
+  using namespace ulpsync::scenario;
   const util::CliArgs args(argc, argv);
-  kernels::BenchmarkParams params;
+  WorkloadParams params;
   params.samples = static_cast<unsigned>(args.get_int("samples", 128));
 
-  struct Variant {
-    const char* name;
-    bool synchronizer;
-    bool dxbar_policy;
-    bool partial_broadcast;
+  const std::vector<DesignVariant> variants = {
+      {"baseline ([4])", {false, false, false}},
+      {"+ partial broadcast", {false, false, true}},
+      {"+ check-in/out only", {true, false, true}},
+      {"+ D-Xbar policy (full)", {true, true, true}},
   };
-  const Variant variants[] = {
-      {"baseline ([4])", false, false, false},
-      {"+ partial broadcast", false, false, true},
-      {"+ check-in/out only", true, false, true},
-      {"+ D-Xbar policy (full)", true, true, true},
-  };
+
+  const Engine engine(Registry::builtins(), engine_options_from(args));
+  const auto records = engine.run(Matrix()
+                                      .workloads({"mrpfltr", "sqrt32", "mrpdln"})
+                                      .designs(variants)
+                                      .base_params(params));
+  require_ok(records);
 
   std::printf("Ablation: contribution of each mechanism (N=%u)\n\n", params.samples);
-  for (auto kind : kernels::kAllBenchmarks) {
-    kernels::Benchmark benchmark(kind, params);
-    std::printf("--- %s ---\n", std::string(benchmark.name()).c_str());
+  for (const char* workload : {"mrpfltr", "sqrt32", "mrpdln"}) {
+    std::printf("--- %s ---\n", workload);
     util::Table table({"variant", "ops/cycle", "cycles", "IM acc/op",
                        "lockstep", "speedup vs baseline"});
-    double baseline_cycles = 0.0;
+    const RunRecord* baseline = find_design(records, workload, variants[0].label);
     for (const auto& variant : variants) {
-      auto config = benchmark.platform_config(variant.synchronizer);
-      config.features.hardware_synchronizer = variant.synchronizer;
-      config.features.dxbar_pc_policy = variant.dxbar_policy;
-      config.features.ixbar_partial_broadcast = variant.partial_broadcast;
-
-      sim::Platform platform(config);
-      // Only designs with the synchronizer can run instrumented code.
-      platform.load_program(benchmark.program(variant.synchronizer));
-      benchmark.load_inputs(platform);
-      core::LockstepAnalyzer analyzer;
-      analyzer.attach(platform);
-      const auto result = platform.run(500'000'000);
-      if (!result.ok()) {
-        std::fprintf(stderr, "%s: %s\n", variant.name, result.to_string().c_str());
-        return 1;
-      }
-      const auto verify_error = benchmark.verify(platform);
-      if (!verify_error.empty()) {
-        std::fprintf(stderr, "%s: %s\n", variant.name, verify_error.c_str());
-        return 1;
-      }
-      const auto& counters = platform.counters();
-      const auto useful = kernels::Benchmark::useful_ops(counters,
-                                                         platform.sync_stats());
-      if (baseline_cycles == 0.0)
-        baseline_cycles = static_cast<double>(counters.cycles);
+      const RunRecord* record = find_design(records, workload, variant.label);
       table.add_row(
-          {variant.name,
-           util::Table::num(static_cast<double>(useful) /
-                            static_cast<double>(counters.cycles)),
-           std::to_string(counters.cycles),
-           util::Table::num(static_cast<double>(counters.im_bank_accesses) /
-                            static_cast<double>(useful), 3),
-           util::Table::num(100.0 * analyzer.metrics().lockstep_fraction(), 1) + "%",
-           util::Table::num(baseline_cycles /
-                            static_cast<double>(counters.cycles)) + "x"});
+          {variant.label, util::Table::num(record->ops_per_cycle),
+           std::to_string(record->cycles()),
+           util::Table::num(static_cast<double>(record->counters.im_bank_accesses) /
+                            static_cast<double>(record->useful_ops), 3),
+           util::Table::num(100.0 * record->lockstep_fraction, 1) + "%",
+           util::Table::num(static_cast<double>(baseline->cycles()) /
+                            static_cast<double>(record->cycles())) + "x"});
     }
     std::printf("%s\n", table.to_string().c_str());
   }
+  maybe_write_records(args, records);
   return 0;
 }

@@ -1,14 +1,18 @@
 #pragma once
 
-/// Shared implementation of the Fig. 3 reproductions: total power vs
-/// workload (MOps/s) under voltage scaling, for one benchmark, both
-/// designs. Prints the log-log series the paper plots, the curve endpoints
-/// (maximum workload at nominal voltage), and the power saving at the
-/// workload the paper highlights.
+/// Thin formatter for the Fig. 3 reproductions: total power vs workload
+/// (MOps/s) under voltage scaling, for one workload, both designs. The
+/// simulation itself is one two-spec Matrix through the sweep engine; this
+/// header only renders the log-log series, the curve endpoints and the
+/// power saving at the workload the paper highlights.
 
 #include <cstdio>
 
-#include "bench_common.h"
+#include "power/scaling.h"
+#include "power/sweep.h"
+#include "scenario/report.h"
+#include "util/cli.h"
+#include "util/table.h"
 
 namespace ulpsync::bench {
 
@@ -19,19 +23,25 @@ struct Fig3Reference {
   double paper_with_max_mops, paper_with_max_mw;
 };
 
-inline int run_fig3(kernels::BenchmarkKind kind, const Fig3Reference& ref,
+inline int run_fig3(std::string_view workload, const Fig3Reference& ref,
                     int argc, char** argv) {
+  using namespace ulpsync::scenario;
   const util::CliArgs args(argc, argv);
-  kernels::BenchmarkParams params;
+  WorkloadParams params;
   params.samples = static_cast<unsigned>(args.get_int("samples", 192));
 
-  const auto pair = run_pair(kind, params);
+  const Engine engine(Registry::builtins(), engine_options_from(args));
+  const auto records =
+      engine.run(Matrix().workload(std::string(workload)).base_params(params));
+  require_ok(records);
+  const auto pair = find_pair(records, workload);
+
   const power::VoltageScaling scaling{power::VoltageParams{}};
-  const power::WorkloadSweep sweep_wo(pair.baseline.character, scaling);
-  const power::WorkloadSweep sweep_with(pair.synchronized_.character, scaling);
+  const power::WorkloadSweep sweep_wo(characterization(*pair.baseline), scaling);
+  const power::WorkloadSweep sweep_with(characterization(*pair.synced), scaling);
 
   std::printf("Fig. 3 reproduction (%s): total power vs workload, voltage scaling\n\n",
-              std::string(kernels::benchmark_name(kind)).c_str());
+              std::string(workload).c_str());
 
   util::Table table({"MOps/s", "P w/o (mW)", "V w/o", "P with (mW)", "V with",
                      "saving"});

@@ -2,11 +2,11 @@
 // Paper: 64% saving at 89 MOps/s; endpoints 89 MOps/s @ 10.46 mW (w/o) and
 // 211 MOps/s @ 15.38 mW (with).
 
-#include "fig3_common.h"
+#include "fig3_report.h"
 
 int main(int argc, char** argv) {
   return ulpsync::bench::run_fig3(
-      ulpsync::kernels::BenchmarkKind::kMrpfltr,
+      "mrpfltr",
       {/*highlight_mops=*/89.0, /*paper_saving_pct=*/64.0,
        /*paper_wo_max=*/89.0, 10.46, /*paper_with_max=*/211.0, 15.38},
       argc, argv);

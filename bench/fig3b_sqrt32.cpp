@@ -2,11 +2,11 @@
 // Paper: 56% saving at 156 MOps/s; endpoints 156 MOps/s @ 12.61 mW (w/o)
 // and 290 MOps/s @ 18.27 mW (with).
 
-#include "fig3_common.h"
+#include "fig3_report.h"
 
 int main(int argc, char** argv) {
   return ulpsync::bench::run_fig3(
-      ulpsync::kernels::BenchmarkKind::kSqrt32,
+      "sqrt32",
       {/*highlight_mops=*/156.0, /*paper_saving_pct=*/56.0,
        /*paper_wo_max=*/156.0, 12.61, /*paper_with_max=*/290.0, 18.27},
       argc, argv);

@@ -2,11 +2,11 @@
 // Paper: 55% saving at 167 MOps/s; endpoints 167 MOps/s @ 13.93 mW (w/o)
 // and 336 MOps/s @ 20.09 mW (with).
 
-#include "fig3_common.h"
+#include "fig3_report.h"
 
 int main(int argc, char** argv) {
   return ulpsync::bench::run_fig3(
-      ulpsync::kernels::BenchmarkKind::kMrpdln,
+      "mrpdln",
       {/*highlight_mops=*/167.0, /*paper_saving_pct=*/55.0,
        /*paper_wo_max=*/167.0, 13.93, /*paper_with_max=*/336.0, 20.09},
       argc, argv);

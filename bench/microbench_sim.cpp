@@ -1,6 +1,7 @@
 // E9: google-benchmark microbenchmarks of the simulator substrate itself —
 // platform tick rate under lockstep / diverged / synchronizing workloads,
-// assembler throughput, and the instrumentation pass.
+// assembler throughput, the instrumentation pass, and the scenario sweep
+// engine's serial-vs-parallel wall clock.
 
 #include <benchmark/benchmark.h>
 
@@ -8,6 +9,7 @@
 #include "core/instrument.h"
 #include "kernels/benchmark.h"
 #include "kernels/sources.h"
+#include "scenario/engine.h"
 #include "sim/platform.h"
 
 namespace {
@@ -93,6 +95,27 @@ void BM_AutoInstrument(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AutoInstrument);
+
+// The sweep engine on a small but real matrix (2 workloads x 2 designs);
+// Arg is the job count, so 1-vs-N shows the parallel speed-up directly.
+void BM_EngineSweep(benchmark::State& state) {
+  scenario::WorkloadParams params;
+  params.samples = 32;
+  scenario::Matrix matrix;
+  matrix.workloads({"sqrt32", "clip8"}).base_params(params);
+  scenario::EngineOptions options;
+  options.jobs = static_cast<unsigned>(state.range(0));
+  const scenario::Engine engine(scenario::Registry::builtins(), options);
+  std::uint64_t sim_cycles = 0;
+  for (auto _ : state) {
+    const auto records = engine.run(matrix);
+    for (const auto& record : records) sim_cycles += record.cycles();
+    benchmark::DoNotOptimize(records.data());
+  }
+  state.counters["sim_cycles/s"] = benchmark::Counter(
+      static_cast<double>(sim_cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EngineSweep)->Arg(1)->Arg(2)->Arg(4);
 
 }  // namespace
 

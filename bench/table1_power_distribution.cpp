@@ -5,10 +5,12 @@
 // this harness prints the per-benchmark values, the measured min..max
 // range, and the paper's range side by side.
 
+#include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
-#include "bench_common.h"
+#include "scenario/report.h"
 
 namespace {
 
@@ -54,24 +56,19 @@ std::string range(double lo, double hi) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  using namespace ulpsync::scenario;
   const util::CliArgs args(argc, argv);
-  kernels::BenchmarkParams params;
+  WorkloadParams params;
   params.samples = static_cast<unsigned>(args.get_int("samples", 256));
   const double workload_mops = args.get_double("mops", 8.0);
 
+  const Engine engine(Registry::builtins(), engine_options_from(args));
+  const auto records = engine.run(
+      Matrix().workloads({"mrpfltr", "sqrt32", "mrpdln"}).base_params(params));
+  require_ok(records);
+
   std::printf("Table I reproduction: dynamic power distribution at %.1f MOps/s, 1.2 V\n\n",
               workload_mops);
-
-  std::vector<bench::BenchmarkPair> pairs;
-  for (auto kind : kernels::kAllBenchmarks)
-    pairs.push_back(bench::run_pair(kind, params));
-
-  // Power at the fixed workload: f = W / (ops/cycle) at nominal voltage.
-  auto breakdown_for = [&](const bench::DesignRun& design) {
-    const double f_mhz = workload_mops / design.character.ops_per_cycle;
-    return power::breakdown_at(design.character.energy, f_mhz,
-                               /*dynamic_scale=*/1.0, /*leakage_mw=*/0.0);
-  };
 
   for (int with_sync = 0; with_sync <= 1; ++with_sync) {
     std::printf("--- %s ---\n", with_sync ? "with synchronizer" : "w/o synchronizer");
@@ -80,9 +77,10 @@ int main(int argc, char** argv) {
     for (unsigned row = 0; row < 8; ++row) {
       std::vector<std::string> cells = {kPaper[row].component};
       double lo = 1e99, hi = -1e99;
-      for (const auto& pair : pairs) {
-        const auto& design = with_sync ? pair.synchronized_ : pair.baseline;
-        const double value = component_value(breakdown_for(design), row);
+      for (const char* workload : {"mrpfltr", "sqrt32", "mrpdln"}) {
+        const RunRecord* record = find(records, workload, with_sync != 0);
+        const double value =
+            component_value(breakdown_at_mops(*record, workload_mops), row);
         cells.push_back(util::Table::num(value, 3));
         lo = std::min(lo, value);
         hi = std::max(hi, value);
@@ -94,5 +92,6 @@ int main(int argc, char** argv) {
     }
     std::printf("%s\n", table.to_string().c_str());
   }
+  maybe_write_records(args, records);
   return 0;
 }

@@ -6,45 +6,48 @@
 //  * up to 38% dynamic power saving without voltage scaling.
 
 #include <cstdio>
+#include <string>
 
-#include "bench_common.h"
+#include "scenario/report.h"
 
 int main(int argc, char** argv) {
   using namespace ulpsync;
+  using namespace ulpsync::scenario;
   const util::CliArgs args(argc, argv);
-  kernels::BenchmarkParams params;
+  WorkloadParams params;
   params.samples = static_cast<unsigned>(args.get_int("samples", 192));
   const double workload_mops = args.get_double("mops", 8.0);
+
+  const Engine engine(Registry::builtins(), engine_options_from(args));
+  const auto records = engine.run(
+      Matrix().workloads({"mrpfltr", "sqrt32", "mrpdln"}).base_params(params));
+  require_ok(records);
 
   std::printf("Section V-B access statistics at %.1f MOps/s, 1.2 V\n\n", workload_mops);
   util::Table table({"Benchmark", "IM access reduction", "DM access increase",
                      "sync / total power", "clock-tree saving",
                      "dynamic saving (no V-scaling)"});
 
-  for (auto kind : kernels::kAllBenchmarks) {
-    const auto pair = bench::run_pair(kind, params);
-    const auto& wo = pair.baseline;
-    const auto& with = pair.synchronized_;
+  for (const char* workload : {"mrpfltr", "sqrt32", "mrpdln"}) {
+    const auto pair = find_pair(records, workload);
+    const auto& wo = *pair.baseline;
+    const auto& with = *pair.synced;
 
     // Access counts normalized per useful op (iso-workload comparison).
-    auto per_op = [](std::uint64_t count, const bench::DesignRun& design) {
-      return static_cast<double>(count) / static_cast<double>(design.run.useful_ops);
+    auto per_op = [](std::uint64_t count, const RunRecord& record) {
+      return static_cast<double>(count) / static_cast<double>(record.useful_ops);
     };
-    const double im_wo = per_op(wo.run.counters.im_bank_accesses, wo);
-    const double im_with = per_op(with.run.counters.im_bank_accesses, with);
-    const double dm_wo = per_op(wo.run.counters.dm_bank_accesses +
-                                    wo.run.sync_stats.dm_accesses, wo);
-    const double dm_with = per_op(with.run.counters.dm_bank_accesses +
-                                      with.run.sync_stats.dm_accesses, with);
+    const double im_wo = per_op(wo.counters.im_bank_accesses, wo);
+    const double im_with = per_op(with.counters.im_bank_accesses, with);
+    const double dm_wo = per_op(wo.counters.dm_bank_accesses +
+                                    wo.sync_stats.dm_accesses, wo);
+    const double dm_with = per_op(with.counters.dm_bank_accesses +
+                                      with.sync_stats.dm_accesses, with);
 
-    auto breakdown = [&](const bench::DesignRun& design) {
-      const double f_mhz = workload_mops / design.character.ops_per_cycle;
-      return power::breakdown_at(design.character.energy, f_mhz, 1.0, 0.0);
-    };
-    const auto b_wo = breakdown(wo);
-    const auto b_with = breakdown(with);
+    const auto b_wo = breakdown_at_mops(wo, workload_mops);
+    const auto b_with = breakdown_at_mops(with, workload_mops);
 
-    table.add_row({std::string(kernels::benchmark_name(kind)),
+    table.add_row({std::string(workload),
                    util::Table::num(100.0 * (1.0 - im_with / im_wo), 1) + "%",
                    util::Table::num(100.0 * (dm_with / dm_wo - 1.0), 1) + "%",
                    util::Table::num(100.0 * b_with.synchronizer_mw /
@@ -54,6 +57,8 @@ int main(int argc, char** argv) {
                                                        b_wo.dynamic_mw()), 1) + "%"});
   }
   std::printf("%s\n", table.to_string().c_str());
+  maybe_write_csv(args, table);
+  maybe_write_records(args, records);
   std::printf("Paper: up to 60%% IM reduction; < 10%% DM increase; synchronizer < 2%%\n"
               "of total power; 2x clock-tree saving; up to 38%% dynamic power saving.\n");
   return 0;

@@ -2,15 +2,33 @@
 //  * speed-up of up to 2.4x from resynchronization,
 //  * 2.5..4.0 Ops/cycle with the synchronizer vs 1.1..2.0 without,
 //  * the implied Fig. 3 maximum workloads at the 83.3 MHz nominal clock.
+//
+// One six-spec Matrix (3 workloads x 2 designs) through the sweep engine;
+// pass --jobs N to run the specs on N host threads (identical output).
 
+#include <cctype>
 #include <cstdio>
+#include <string>
 
-#include "bench_common.h"
+#include "power/scaling.h"
+#include "scenario/report.h"
+
+namespace {
+
+const char* const kWorkloads[3] = {"mrpfltr", "sqrt32", "mrpdln"};
+
+std::string display_name(std::string name) {
+  for (auto& c : name) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return name;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace ulpsync;
+  using namespace ulpsync::scenario;
   const util::CliArgs args(argc, argv);
-  kernels::BenchmarkParams params;
+  WorkloadParams params;
   params.samples = static_cast<unsigned>(args.get_int("samples", 256));
 
   // Paper values decoded from Fig. 3 endpoints (max MOps / 83.33 MHz).
@@ -19,6 +37,12 @@ int main(int argc, char** argv) {
   };
   const Paper paper[3] = {{1.07, 2.53}, {1.87, 3.48}, {2.00, 4.03}};
 
+  const Engine engine(Registry::builtins(), engine_options_from(args));
+  const auto records = engine.run(
+      Matrix().workloads({kWorkloads[0], kWorkloads[1], kWorkloads[2]})
+          .base_params(params));
+  require_ok(records);
+
   std::printf("Section V-B reproduction: speed-up and Ops/cycle (N=%u samples/channel)\n\n",
               params.samples);
   util::Table table({"Benchmark", "ops/cycle w/o", "paper w/o", "ops/cycle with",
@@ -26,35 +50,30 @@ int main(int argc, char** argv) {
                      "cycles with"});
 
   const power::VoltageScaling scaling{power::VoltageParams{}};
-  unsigned row = 0;
-  for (auto kind : kernels::kAllBenchmarks) {
-    const auto pair = bench::run_pair(kind, params);
-    const double ipc_wo = pair.baseline.character.ops_per_cycle;
-    const double ipc_with = pair.synchronized_.character.ops_per_cycle;
-    const double speedup = static_cast<double>(pair.baseline.run.counters.cycles) /
-                           static_cast<double>(pair.synchronized_.run.counters.cycles);
-    table.add_row({std::string(kernels::benchmark_name(kind)),
-                   util::Table::num(ipc_wo), util::Table::num(paper[row].ipc_wo),
-                   util::Table::num(ipc_with), util::Table::num(paper[row].ipc_with),
-                   util::Table::num(speedup) + "x",
+  for (unsigned row = 0; row < 3; ++row) {
+    const auto pair = find_pair(records, kWorkloads[row]);
+    table.add_row({display_name(kWorkloads[row]),
+                   util::Table::num(pair.baseline->ops_per_cycle),
+                   util::Table::num(paper[row].ipc_wo),
+                   util::Table::num(pair.synced->ops_per_cycle),
+                   util::Table::num(paper[row].ipc_with),
+                   util::Table::num(speedup(pair)) + "x",
                    util::Table::num(paper[row].ipc_with / paper[row].ipc_wo) + "x",
-                   std::to_string(pair.baseline.run.counters.cycles),
-                   std::to_string(pair.synchronized_.run.counters.cycles)});
-    ++row;
+                   std::to_string(pair.baseline->cycles()),
+                   std::to_string(pair.synced->cycles())});
   }
   std::printf("%s\n", table.to_string().c_str());
-  bench::maybe_write_csv(args, table);
+  maybe_write_csv(args, table);
+  maybe_write_records(args, records);
   std::printf("Implied maximum workloads at %.1f MHz (Fig. 3 endpoints):\n",
               scaling.nominal_fmax_mhz());
   std::printf("  paper: MRPFLTR 89 -> 211, SQRT32 156 -> 290, MRPDLN 167 -> 336 MOps/s\n");
-  row = 0;
-  for (auto kind : kernels::kAllBenchmarks) {
-    const auto pair = bench::run_pair(kind, params);
+  for (const auto* workload : kWorkloads) {
+    const auto pair = find_pair(records, workload);
     std::printf("  %-8s: %.0f -> %.0f MOps/s\n",
-                std::string(kernels::benchmark_name(kind)).c_str(),
-                pair.baseline.character.ops_per_cycle * scaling.nominal_fmax_mhz(),
-                pair.synchronized_.character.ops_per_cycle * scaling.nominal_fmax_mhz());
-    ++row;
+                display_name(workload).c_str(),
+                pair.baseline->ops_per_cycle * scaling.nominal_fmax_mhz(),
+                pair.synced->ops_per_cycle * scaling.nominal_fmax_mhz());
   }
   return 0;
 }

@@ -1,170 +1,65 @@
 // Writing your own kernel for the platform — and letting the automatic
 // instrumentation pass place the synchronization points for you.
 //
-// The kernel computes, per channel, a histogram-style activity measure:
-// counts of samples in four amplitude bands (a data-dependent cascade of
-// branches — exactly the control flow that destroys lockstep). We run the
-// *same source* three ways:
-//   1. baseline design, plain kernel
-//   2. synchronized design, kernel auto-instrumented by core/instrument
-//   3. synchronized design, hand-instrumented variant
-// and compare cycles and energy.
+// The "bandcount" workload (built into the registry) computes, per channel,
+// a histogram-style activity measure: counts of samples in four amplitude
+// bands — a data-dependent cascade of branches, exactly the control flow
+// that destroys lockstep. The same source runs three ways through one
+// engine sweep:
+//   1. baseline design, plain kernel            ("bandcount", w/o sync)
+//   2. synchronized design, hand-instrumented   ("bandcount", with sync)
+//   3. synchronized design, auto-instrumented   ("bandcount.auto")
+// and the engine verifies all three against the host-side histogram.
 
 #include <cstdio>
 #include <string>
 
-#include "asm/assembler.h"
-#include "core/instrument.h"
-#include "core/lockstep.h"
-#include "power/model.h"
-#include "sim/platform.h"
-#include "util/rng.h"
+#include "scenario/report.h"
 
-namespace {
+int main(int argc, char** argv) {
+  using namespace ulpsync;
+  using namespace ulpsync::scenario;
+  const util::CliArgs args(argc, argv);
+  WorkloadParams params;
+  params.samples = static_cast<unsigned>(args.get_int("samples", 96));
 
-using namespace ulpsync;
+  auto specs = Matrix().workload("bandcount").base_params(params).expand();
+  const auto auto_specs = Matrix()
+                              .workload("bandcount.auto")
+                              .design(DesignVariant::synchronized())
+                              .base_params(params)
+                              .expand();
+  specs.insert(specs.end(), auto_specs.begin(), auto_specs.end());
 
-constexpr unsigned kSamples = 96;
+  const Engine engine(Registry::builtins(), engine_options_from(args));
+  const auto records = engine.run(specs);
+  require_ok(records);
 
-// Plain kernel: each core scans its channel and counts samples in bands
-// (<100, <300, <800, rest) into out[0..3] of its private bank.
-constexpr std::string_view kPlain = R"(
-    csrr r1, #0
-    addi r4, r1, 2
-    movi r5, 11
-    sll  r3, r4, r5       ; channel base
-    movi r2, 96           ; N
-    addi r10, r3, 1536    ; out base (4 counters, zeroed by host)
-    movi r8, 0            ; i
-loop:
-    cmp  r8, r2
-    bge  done
-    ldx  r9, [r3+r8]
-    movi r11, 0           ; band index
-    cmpi r9, 100
-    blt  bump
-    movi r11, 1
-    cmpi r9, 300
-    blt  bump
-    movi r11, 2
-    cmpi r9, 800
-    blt  bump
-    movi r11, 3
-bump:
-    ldx  r12, [r10+r11]
-    addi r12, r12, 1
-    stx  r12, [r10+r11]
-    addi r8, r8, 1
-    bra  loop
-done:
-    halt
-)";
+  const RunRecord* base = find(records, "bandcount", false);
+  const RunRecord* hand = find(records, "bandcount", true);
+  const RunRecord* automatic = find(records, "bandcount.auto", true);
 
-sim::PlatformConfig config_for(bool with_sync) {
-  return with_sync ? sim::PlatformConfig::with_synchronizer()
-                   : sim::PlatformConfig::without_synchronizer();
-}
-
-void load_inputs(sim::Platform& platform) {
-  util::Rng rng(2024);
-  for (unsigned c = 0; c < 8; ++c) {
-    for (unsigned i = 0; i < kSamples; ++i) {
-      platform.dm_write((2 + c) * 2048 + i,
-                        static_cast<std::uint16_t>(rng.next_below(1200)));
-    }
-    for (unsigned b = 0; b < 4; ++b)
-      platform.dm_write((2 + c) * 2048 + 1536 + b, 0);
-  }
-}
-
-bool check_outputs(const sim::Platform& platform) {
-  util::Rng rng(2024);  // same stream as load_inputs
-  for (unsigned c = 0; c < 8; ++c) {
-    unsigned expected[4] = {0, 0, 0, 0};
-    for (unsigned i = 0; i < kSamples; ++i) {
-      const auto v = rng.next_below(1200);
-      expected[v < 100 ? 0 : v < 300 ? 1 : v < 800 ? 2 : 3]++;
-    }
-    for (unsigned b = 0; b < 4; ++b) {
-      if (platform.dm_read((2 + c) * 2048 + 1536 + b) != expected[b]) {
-        std::fprintf(stderr, "channel %u band %u mismatch\n", c, b);
-        return false;
-      }
-    }
-  }
-  return true;
-}
-
-struct Outcome {
-  std::uint64_t cycles;
-  double lockstep;
-};
-
-Outcome run_variant(const assembler::Program& program, bool with_sync) {
-  sim::Platform platform(config_for(with_sync));
-  platform.load_program(program);
-  load_inputs(platform);
-  core::LockstepAnalyzer analyzer;
-  analyzer.attach(platform);
-  const auto result = platform.run(10'000'000);
-  if (!result.ok() || !check_outputs(platform)) {
-    std::fprintf(stderr, "run failed: %s\n", result.to_string().c_str());
-    std::exit(1);
-  }
-  return {platform.counters().cycles, analyzer.metrics().lockstep_fraction()};
-}
-
-}  // namespace
-
-int main() {
-  const auto plain = assembler::assemble(kPlain);
-  if (!plain.ok()) {
-    std::fprintf(stderr, "%s", plain.error_text().c_str());
-    return 1;
-  }
-
-  // Hand-instrumented variant: one region around the banding cascade.
-  std::string manual_source(kPlain);
-  manual_source.replace(manual_source.find("    movi r11, 0"), 0,
-                        "    sinc #0\n");
-  manual_source.replace(manual_source.find("    addi r8, r8, 1"), 0,
-                        "    sdec #0\n");
-  const auto manual = assembler::assemble(manual_source);
-  if (!manual.ok()) {
-    std::fprintf(stderr, "%s", manual.error_text().c_str());
-    return 1;
-  }
-
-  // Automatic variant: the compiler pass decides.
-  const auto automatic = core::auto_instrument(plain.program,
-                                               core::InstrumentOptions{});
-  if (!automatic.ok()) {
-    std::fprintf(stderr, "auto-instrument: %s\n", automatic.error.c_str());
-    return 1;
-  }
-  std::printf("Auto-instrumentation placed %zu region(s)",
-              automatic.regions.size());
-  for (const auto& region : automatic.regions) {
-    std::printf(" [%s: check-in before %u, check-out before %u]",
-                region.kind == core::InstrumentedRegion::Kind::kLoop
-                    ? "loop" : "conditional",
-                region.checkin_before, region.checkout_before);
-  }
-  std::printf("\n\n");
-
-  const auto base = run_variant(plain.program, false);
-  const auto hand = run_variant(manual.program, true);
-  const auto autod = run_variant(automatic.program, true);
+  std::printf("Auto-instrumentation placed %s region(s); manual has %s.\n\n",
+              std::string(automatic->extra_value("sync_points")).c_str(),
+              std::string(hand->extra_value("sync_points")).c_str());
 
   std::printf("%-28s %10s %12s\n", "variant", "cycles", "lockstep");
-  std::printf("%-28s %10llu %11.1f%%\n", "baseline, plain",
-              static_cast<unsigned long long>(base.cycles), 100 * base.lockstep);
-  std::printf("%-28s %10llu %11.1f%%  (%.2fx)\n", "synchronized, manual",
-              static_cast<unsigned long long>(hand.cycles), 100 * hand.lockstep,
-              static_cast<double>(base.cycles) / static_cast<double>(hand.cycles));
-  std::printf("%-28s %10llu %11.1f%%  (%.2fx)\n", "synchronized, automatic",
-              static_cast<unsigned long long>(autod.cycles), 100 * autod.lockstep,
-              static_cast<double>(base.cycles) / static_cast<double>(autod.cycles));
-  std::printf("\nAll three variants produced identical histograms.\n");
+  auto line = [&](const char* name, const RunRecord& record) {
+    std::printf("%-28s %10llu %11.1f%%", name,
+                static_cast<unsigned long long>(record.cycles()),
+                100.0 * record.lockstep_fraction);
+    if (&record != base) {
+      std::printf("  (%.2fx)", static_cast<double>(base->cycles()) /
+                                   static_cast<double>(record.cycles()));
+    }
+    std::printf("\n");
+  };
+  line("baseline, plain", *base);
+  line("synchronized, manual", *hand);
+  line("synchronized, automatic", *automatic);
+
+  std::printf("\nAll three variants produced identical histograms "
+              "(channel 0 bands: %s).\n",
+              std::string(base->extra_value("bands.0")).c_str());
   return 0;
 }

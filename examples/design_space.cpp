@@ -1,86 +1,73 @@
-// Design-space exploration example: using the library as an architecture
-// evaluation tool. Sweeps core count, IM line interleaving, and the
-// feature set over one benchmark and prints a ranked table of energy per
-// operation at a fixed real-time workload — the kind of study [3] and [4]
-// performed when dimensioning the platform.
+// Design-space exploration example: using the scenario API as an
+// architecture evaluation tool. One Matrix sweeps core count, IM line
+// interleaving, and the design over one benchmark — 18 independent runs
+// that parallelize across host threads with --jobs — and the host ranks
+// the resulting records by energy at a fixed real-time workload, the kind
+// of study [3] and [4] performed when dimensioning the platform.
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
-#include "kernels/benchmark.h"
-#include "power/model.h"
 #include "power/scaling.h"
 #include "power/sweep.h"
-#include "util/cli.h"
-#include "util/table.h"
+#include "scenario/report.h"
 
 int main(int argc, char** argv) {
   using namespace ulpsync;
+  using namespace ulpsync::scenario;
   const util::CliArgs args(argc, argv);
-  const unsigned samples = static_cast<unsigned>(args.get_int("samples", 96));
+  WorkloadParams params;
+  params.samples = static_cast<unsigned>(args.get_int("samples", 96));
   const double workload_mops = args.get_double("mops", 20.0);
 
+  Matrix matrix;
+  matrix.workload("mrpdln")
+      .num_cores({2, 4, 8})
+      .im_line_slots({4, 16, 64})
+      .base_params(params);
+
+  const Engine engine(Registry::builtins(), engine_options_from(args));
+  const auto records = engine.run(matrix);
+  require_ok(records);
+
+  // Rank configurations by total power at the target workload under
+  // voltage scaling (infeasible points sort last).
+  const power::VoltageScaling scaling{power::VoltageParams{}};
   struct Point {
-    unsigned cores;
-    unsigned line;
-    bool with_sync;
-    double ops_per_cycle;
-    double mw;  // at the target workload, voltage-scaled (-1: infeasible)
+    const RunRecord* record;
+    double mw;  // -1: infeasible at the target workload
   };
   std::vector<Point> points;
-
-  const power::VoltageScaling scaling{power::VoltageParams{}};
-  for (unsigned cores : {2u, 4u, 8u}) {
-    for (unsigned line : {4u, 16u, 64u}) {
-      for (const bool with_sync : {false, true}) {
-        kernels::BenchmarkParams params;
-        params.samples = samples;
-        params.num_channels = cores;
-        kernels::Benchmark benchmark(kernels::BenchmarkKind::kMrpdln, params);
-        auto config = benchmark.platform_config(with_sync);
-        config.im_line_slots = line;
-        sim::Platform platform(config);
-        platform.load_program(benchmark.program(with_sync));
-        benchmark.load_inputs(platform);
-        const auto result = platform.run(500'000'000);
-        if (!result.ok() || !benchmark.verify(platform).empty()) {
-          std::fprintf(stderr, "configuration failed: cores=%u line=%u\n",
-                       cores, line);
-          return 1;
-        }
-        const auto useful = kernels::Benchmark::useful_ops(
-            platform.counters(), platform.sync_stats());
-        const auto character = power::characterize(
-            with_sync ? power::EnergyParams::synchronized()
-                      : power::EnergyParams::baseline(),
-            platform.counters(), platform.sync_stats(), useful);
-        const power::WorkloadSweep sweep(character, scaling);
-        const auto op = sweep.at(workload_mops);
-        points.push_back({cores, line, with_sync, character.ops_per_cycle,
-                          op ? op->breakdown.total_mw() : -1.0});
-      }
-    }
+  for (const auto& record : records) {
+    const power::WorkloadSweep sweep(characterization(record), scaling);
+    const auto op = sweep.at(workload_mops);
+    points.push_back({&record, op ? op->breakdown.total_mw() : -1.0});
   }
-
   std::sort(points.begin(), points.end(), [](const Point& a, const Point& b) {
     if ((a.mw < 0) != (b.mw < 0)) return b.mw < 0;
     return a.mw < b.mw;
   });
 
-  std::printf("Design-space exploration: MRPDLN, %.0f MOps/s real-time target\n\n",
-              workload_mops);
+  std::printf("Design-space exploration: MRPDLN, %.0f MOps/s real-time target "
+              "(%zu configurations)\n\n",
+              workload_mops, records.size());
   util::Table table({"rank", "cores", "IM line", "synchronizer", "ops/cycle",
                      "power (mW)"});
   unsigned rank = 1;
   for (const auto& point : points) {
-    table.add_row({std::to_string(rank++), std::to_string(point.cores),
-                   std::to_string(point.line),
-                   point.with_sync ? "yes" : "no",
-                   util::Table::num(point.ops_per_cycle),
+    const auto& spec = point.record->spec;
+    table.add_row({std::to_string(rank++),
+                   std::to_string(spec.params.num_channels),
+                   std::to_string(spec.im_line_slots.value_or(0)),
+                   spec.with_synchronizer() ? "yes" : "no",
+                   util::Table::num(point.record->ops_per_cycle),
                    point.mw < 0 ? "infeasible" : util::Table::num(point.mw, 3)});
   }
   std::printf("%s\n", table.to_string().c_str());
+  maybe_write_csv(args, table);
+  maybe_write_records(args, records);
   std::printf("The synchronized 8-core points dominate: more Ops/cycle means\n"
               "the same workload runs at lower frequency and voltage.\n");
   return 0;

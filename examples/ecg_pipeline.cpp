@@ -1,24 +1,24 @@
 // ECG analysis pipeline example: the intended end-to-end use of the
 // platform. Eight ECG channels are filtered (MRPFLTR) and delineated
-// (MRPDLN) on the simulated 8-core system; the host then derives per-channel
-// heart rates and an energy estimate for a wearable duty cycle.
+// (MRPDLN) on the simulated 8-core system, each stage one engine run; the
+// host then derives per-channel heart rates from the delineator's beat
+// records and an energy estimate for a wearable duty cycle.
 
 #include <cstdio>
+#include <sstream>
 #include <string>
+#include <vector>
 
-#include "ecg/generator.h"
-#include "kernels/benchmark.h"
-#include "kernels/memmap.h"
-#include "power/model.h"
 #include "power/scaling.h"
 #include "power/sweep.h"
-#include "util/cli.h"
+#include "scenario/report.h"
 
 int main(int argc, char** argv) {
   using namespace ulpsync;
+  using namespace ulpsync::scenario;
   const util::CliArgs args(argc, argv);
 
-  kernels::BenchmarkParams params;
+  WorkloadParams params;
   params.samples = static_cast<unsigned>(args.get_int("samples", 400));
   params.generator.heart_rate_bpm = args.get_double("bpm", 75.0);
   params.generator.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
@@ -28,64 +28,54 @@ int main(int argc, char** argv) {
               params.samples, params.samples / 250.0,
               params.generator.heart_rate_bpm);
 
+  const Engine engine(Registry::builtins());
+  auto spec_for = [&](const char* workload) {
+    RunSpec spec;
+    spec.workload = workload;
+    spec.params = params;
+    spec.design = DesignVariant::synchronized();
+    return spec;
+  };
+
   // Stage 1: morphological filtering (baseline wander + noise removal).
-  kernels::Benchmark filter(kernels::BenchmarkKind::kMrpfltr, params);
-  const auto filter_run = kernels::run_benchmark(filter, true);
-  if (!filter_run.verify_error.empty()) {
-    std::fprintf(stderr, "MRPFLTR failed: %s\n", filter_run.verify_error.c_str());
-    return 1;
-  }
+  const auto filter = engine.run_one(spec_for("mrpfltr"));
+  require_ok({filter});
   std::printf("MRPFLTR: %llu cycles, %.2f ops/cycle, outputs match golden "
               "reference on all 8 channels\n",
-              static_cast<unsigned long long>(filter_run.counters.cycles),
-              static_cast<double>(filter_run.useful_ops) /
-                  static_cast<double>(filter_run.counters.cycles));
+              static_cast<unsigned long long>(filter.cycles()),
+              filter.ops_per_cycle);
 
-  // Stage 2: delineation (QRS detection) on the same channels.
-  kernels::Benchmark delineator(kernels::BenchmarkKind::kMrpdln, params);
-  sim::Platform platform(delineator.platform_config(true));
-  platform.load_program(delineator.program(true));
-  delineator.load_inputs(platform);
-  const auto result = platform.run(500'000'000);
-  if (!result.ok()) {
-    std::fprintf(stderr, "MRPDLN failed: %s\n", result.to_string().c_str());
-    return 1;
-  }
-
+  // Stage 2: delineation (QRS detection) on the same channels. The beat
+  // positions arrive as the record's extra fields.
+  const auto delineation = engine.run_one(spec_for("mrpdln"));
+  require_ok({delineation});
   std::printf("MRPDLN : %llu cycles; detections per channel:\n",
-              static_cast<unsigned long long>(platform.counters().cycles));
-  const double window_s = params.samples / 250.0;
+              static_cast<unsigned long long>(delineation.cycles()));
   for (unsigned c = 0; c < 8; ++c) {
-    const std::uint32_t base = kernels::channel_base(c) + kernels::kChanOut;
-    const unsigned beats = platform.dm_read(base);
-    std::string positions;
-    for (unsigned b = 0; b < beats; ++b)
-      positions += std::to_string(platform.dm_read(base + 1 + b)) + " ";
+    std::istringstream positions(
+        std::string(delineation.extra_value("beats." + std::to_string(c))));
+    std::vector<unsigned> beats;
+    unsigned at = 0;
+    while (positions >> at) beats.push_back(at);
     // Rate from first-to-last detection interval when >= 2 beats.
     double bpm = 0.0;
-    if (beats >= 2) {
-      const double span_s =
-          (platform.dm_read(base + beats) - platform.dm_read(base + 1)) / 250.0;
-      bpm = 60.0 * (beats - 1) / span_s;
+    if (beats.size() >= 2) {
+      const double span_s = (beats.back() - beats.front()) / 250.0;
+      bpm = 60.0 * (static_cast<double>(beats.size()) - 1) / span_s;
     }
-    std::printf("  channel %u: %u beats at samples [ %s] -> %.0f bpm\n", c,
-                beats, positions.c_str(), bpm);
-    (void)window_s;
+    std::string positions_text;
+    for (const auto beat : beats) positions_text += std::to_string(beat) + " ";
+    std::printf("  channel %u: %zu beats at samples [ %s] -> %.0f bpm\n", c,
+                beats.size(), positions_text.c_str(), bpm);
   }
 
   // Energy estimate for a wearable duty cycle: the pipeline must process
   // 250 samples/s/channel in real time; everything else is sleep.
-  const auto character = power::characterize(
-      power::EnergyParams::synchronized(), platform.counters(),
-      platform.sync_stats(),
-      kernels::Benchmark::useful_ops(platform.counters(), platform.sync_stats()));
-  const power::VoltageScaling scaling{power::VoltageParams{}};
-  const power::WorkloadSweep sweep(character, scaling);
-  // Ops needed per second = ops for this window / window duration.
+  const double window_s = params.samples / 250.0;
   const double mops_realtime =
-      static_cast<double>(kernels::Benchmark::useful_ops(
-          platform.counters(), platform.sync_stats())) /
-      window_s / 1e6;
+      static_cast<double>(delineation.useful_ops) / window_s / 1e6;
+  const power::VoltageScaling scaling{power::VoltageParams{}};
+  const power::WorkloadSweep sweep(characterization(delineation), scaling);
   if (const auto point = sweep.at(mops_realtime)) {
     std::printf("\nReal-time operating point for delineation: %.2f MOps/s -> "
                 "%.1f MHz @ %.2f V, %.3f mW total\n",

@@ -1,21 +1,30 @@
-// Quickstart: write a tiny 8-channel kernel in TR16 assembly, run it on
-// both platform designs, and see what the synchronization technique does.
+// Quickstart: write a tiny 8-channel kernel in TR16 assembly, describe it
+// as a scenario workload, and run it on both platform designs through the
+// sweep engine.
 //
 // The kernel thresholds each channel against a shared limit; the comparison
 // is data-dependent, so without check-in/check-out the cores fall out of
-// lockstep and fetches serialize.
+// lockstep and fetches serialize. Lines marked `!sync ` are the paper's
+// synchronization pragmas: kept in the instrumented variant (the design
+// with the synchronizer), dropped in the plain one.
 
 #include <cstdio>
+#include <string>
 
-#include "asm/assembler.h"
-#include "core/lockstep.h"
-#include "sim/platform.h"
+#include "scenario/engine.h"
+#include "scenario/report.h"
+#include "scenario/workloads.h"
 
 int main() {
   using namespace ulpsync;
+  using namespace ulpsync::scenario;
 
-  // One data-dependent region, bracketed by the paper's SINC/SDEC ISE.
-  constexpr std::string_view kSource = R"(
+  static constexpr unsigned kSamples = 64;
+  static constexpr std::uint16_t kLimit = 100;
+
+  AsmWorkloadDesc desc;
+  desc.name = "clip";
+  desc.source = R"(
       ; each core clips 64 samples of its private channel at a shared limit
       csrr r1, #0          ; core id
       addi r4, r1, 2
@@ -28,79 +37,78 @@ int main() {
       cmp  r8, r2
       bge  end
       ldx  r9, [r3+r8]
-      sinc #0              ; check-in before the data-dependent branch
+      !sync sinc #0        ; check-in before the data-dependent branch
       cmp  r9, r6
       blt  keep
       mov  r9, r6          ; clip
   keep:
-      sdec #0              ; check-out: resynchronize the eight cores
+      !sync sdec #0        ; check-out: resynchronize the eight cores
       stx  r9, [r3+r8]
       addi r8, r8, 1
       bra  loop
   end:
       halt
   )";
-
-  const auto assembled = assembler::assemble(kSource);
-  if (!assembled.ok()) {
-    std::fprintf(stderr, "assembly failed:\n%s", assembled.error_text().c_str());
-    return 1;
-  }
-  std::printf("Assembled %zu instructions. Listing:\n%s\n",
-              assembled.program.size(),
-              assembler::listing(assembled.program).c_str());
-
-  for (const bool with_sync : {false, true}) {
-    auto config = with_sync ? sim::PlatformConfig::with_synchronizer()
-                            : sim::PlatformConfig::without_synchronizer();
-    sim::Platform platform(config);
-
-    // The baseline has no synchronizer hardware: strip the ISE by running
-    // the same program with SINC/SDEC assembled out.
-    auto source = std::string(kSource);
-    if (!with_sync) {
-      // Cheap textual strip for the demo: comment the sync lines out.
-      for (const char* mnemonic : {"sinc", "sdec"}) {
-        for (std::size_t at = source.find(mnemonic); at != std::string::npos;
-             at = source.find(mnemonic, at + 1)) {
-          source[at] = ';';  // turns the line into a comment tail
-        }
-      }
-    }
-    const auto variant = assembler::assemble(source);
-    if (!variant.ok()) {
-      std::fprintf(stderr, "%s", variant.error_text().c_str());
-      return 1;
-    }
-    platform.load_program(variant.program);
-
-    // Host: preload each channel with a ramp so half the samples clip.
+  // Host side: preload each channel with a ramp so half the samples clip,
+  // and check the clipped ramp afterwards.
+  desc.load = [](sim::Platform& platform, const WorkloadParams&) {
     for (unsigned c = 0; c < 8; ++c) {
-      for (unsigned i = 0; i < 64; ++i) {
+      for (unsigned i = 0; i < kSamples; ++i) {
         platform.dm_write((2 + c) * 2048 + i,
                           static_cast<std::uint16_t>(i * 3 + c));
       }
     }
+  };
+  desc.verify = [](const sim::Platform& platform, const WorkloadParams&) {
+    for (unsigned c = 0; c < 8; ++c) {
+      for (unsigned i = 0; i < kSamples; ++i) {
+        const std::uint16_t expected =
+            std::min<std::uint16_t>(static_cast<std::uint16_t>(i * 3 + c), kLimit);
+        if (platform.dm_read((2 + c) * 2048 + i) != expected) {
+          return std::string("channel ") + std::to_string(c) + " sample " +
+                 std::to_string(i) + " mismatch";
+        }
+      }
+    }
+    return std::string{};
+  };
+  desc.report = [](const sim::Platform& platform, const WorkloadParams&) {
+    std::string outputs;
+    for (unsigned i = 30; i < 38; ++i) {
+      if (!outputs.empty()) outputs += ' ';
+      outputs += std::to_string(platform.dm_read(2 * 2048 + i));
+    }
+    return std::vector<std::pair<std::string, std::string>>{
+        {"ch0.out[30..37]", outputs}};
+  };
 
-    core::LockstepAnalyzer analyzer;
-    analyzer.attach(platform);
-    const auto result = platform.run(1'000'000);
-    const auto& counters = platform.counters();
+  // Register the workload under a name and declare the run-matrix: one
+  // workload, both designs.
+  Registry registry;
+  register_asm_workload(registry, desc);
 
+  const auto workload = registry.make("clip", WorkloadParams{});
+  std::printf("Assembled %zu instructions (instrumented variant). Listing:\n%s\n",
+              workload->program(true).size(),
+              assembler::listing(workload->program(true)).c_str());
+
+  const Engine engine(registry);
+  const auto records = engine.run(Matrix().workload("clip"));
+  require_ok(records);
+
+  for (const auto& record : records) {
     std::printf("%-20s: %s; %llu cycles, %.2f ops/cycle, "
                 "IM accesses %llu, lockstep %.0f%%\n",
-                with_sync ? "with synchronizer" : "w/o synchronizer",
-                result.ok() ? "ok" : result.to_string().c_str(),
-                static_cast<unsigned long long>(counters.cycles),
-                counters.ops_per_cycle(),
-                static_cast<unsigned long long>(counters.im_bank_accesses),
-                100.0 * analyzer.metrics().lockstep_fraction());
-
-    // Show a few outputs (identical for both designs).
-    std::printf("  channel 0 outputs: ");
-    for (unsigned i = 30; i < 38; ++i)
-      std::printf("%d ", static_cast<int>(platform.dm_read(2 * 2048 + i)));
-    std::printf("\n");
+                record.spec.design.label.c_str(), record.status.c_str(),
+                static_cast<unsigned long long>(record.cycles()),
+                record.ops_per_cycle,
+                static_cast<unsigned long long>(record.counters.im_bank_accesses),
+                100.0 * record.lockstep_fraction);
+    std::printf("  channel 0 outputs: %s\n",
+                std::string(record.extra_value("ch0.out[30..37]")).c_str());
   }
+  const auto pair = find_pair(records, "clip");
+  std::printf("\nResynchronization speed-up: %.2fx; outputs verified on both "
+              "designs.\n", speedup(pair));
   return 0;
 }

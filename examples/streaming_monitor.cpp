@@ -1,156 +1,57 @@
 // Duty-cycled streaming monitor: the deployment mode the paper's platform
-// is built for. The cores process one acquisition window, go to sleep, and
-// an external sample-ready interrupt wakes them for the next window. The
-// host measures the busy/sleep duty cycle and projects battery life, for
-// both designs.
+// is built for. The "streaming" workload (built into the registry) owns the
+// host loop — its drive() hook feeds one acquisition window per wake-up and
+// wakes the cores by external interrupt — so a two-spec Matrix compares
+// both designs' busy/sleep duty cycle, and the host projects battery life.
 //
 // Kernel per window: detrend the channel by its window mean, then count
 // threshold crossings (a data-dependent scan — the divergence source).
 
+#include <algorithm>
 #include <cstdio>
+#include <string>
 
-#include "asm/assembler.h"
-#include "ecg/generator.h"
-#include "sim/platform.h"
-#include "power/model.h"
 #include "power/scaling.h"
 #include "power/sweep.h"
-#include "util/cli.h"
-
-namespace {
-
-using namespace ulpsync;
-
-constexpr unsigned kWindow = 125;  // samples per window = 0.5 s @ 250 Hz
-constexpr std::string_view kKernelTemplate = R"(
-    csrr r1, #0
-    addi r4, r1, 2
-    movi r5, 11
-    sll  r3, r4, r5       ; channel base
-    movi r2, 125          ; window length
-    movi r7, 0x900        ; shared result block (this kernel's own slots)
-forever:
-    sleep                 ; wait for the sample-ready interrupt
-; --- window mean (uniform loop: no divergence) ---
-    movi r8, 0            ; i
-    movi r9, 0            ; acc
-mean_loop:
-    cmp  r8, r2
-    bge  mean_done
-    ldx  r10, [r3+r8]
-    add  r9, r9, r10
-    addi r8, r8, 1
-    bra  mean_loop
-mean_done:
-    movi r10, 125
-    movi r11, 0
-div_loop:                 ; acc / 125 by repeated subtraction (uniform-ish)
-    cmp  r9, r10
-    blt  div_done
-    sub  r9, r9, r10
-    addi r11, r11, 1
-    bra  div_loop
-div_done:
-; --- threshold-crossing count (data-dependent) ---
-    movi r8, 0
-    movi r12, 0           ; crossings
-    addi r13, r11, 150    ; threshold = mean + 150
-@SYNC    sinc #0
-scan_loop:
-    cmp  r8, r2
-    bge  scan_done
-    ldx  r10, [r3+r8]
-    cmp  r10, r13
-    blt  scan_next
-    addi r12, r12, 1
-    addi r8, r8, 10       ; refractory skip
-    bra  scan_loop
-scan_next:
-    addi r8, r8, 1
-    bra  scan_loop
-scan_done:
-@SYNC    sdec #0
-    stx  r12, [r7+r1]     ; publish the count
-    bra  forever
-)";
-
-std::string kernel_source(bool instrumented) {
-  std::string source(kKernelTemplate);
-  for (std::size_t at = source.find("@SYNC"); at != std::string::npos;
-       at = source.find("@SYNC")) {
-    source.erase(at, instrumented ? 5 : source.find('\n', at) - at);
-  }
-  return source;
-}
-
-}  // namespace
+#include "scenario/report.h"
 
 int main(int argc, char** argv) {
+  using namespace ulpsync;
+  using namespace ulpsync::scenario;
   const util::CliArgs args(argc, argv);
-  const unsigned windows = static_cast<unsigned>(args.get_int("windows", 20));
+  // The workload runs at least one window; mirror that here so the
+  // per-window averages below never divide by zero.
+  const unsigned windows = std::max(
+      1u, static_cast<unsigned>(args.get_int("windows", 20)));
+  constexpr unsigned kWindow = 125;          // samples per window @ 250 Hz
+  constexpr double kWindowPeriodS = 0.5;     // acquisition period
+
+  WorkloadParams params;
+  params.samples = windows * kWindow;  // the workload derives window count
 
   std::printf("Duty-cycled streaming monitor: %u windows of %u samples "
               "(%.1f s of signal)\n\n", windows, kWindow,
               windows * kWindow / 250.0);
 
-  ecg::GeneratorParams gen;
-  const double window_period_cycles_at = 0.5;  // seconds per window
+  const Engine engine(Registry::builtins(), engine_options_from(args));
+  const auto records =
+      engine.run(Matrix().workload("streaming").base_params(params));
+  require_ok(records);
 
-  for (const bool with_sync : {false, true}) {
-    const auto assembled = assembler::assemble(kernel_source(with_sync));
-    if (!assembled.ok()) {
-      std::fprintf(stderr, "%s", assembled.error_text().c_str());
-      return 1;
-    }
-    sim::Platform platform(with_sync
-                               ? sim::PlatformConfig::with_synchronizer()
-                               : sim::PlatformConfig::without_synchronizer());
-    platform.load_program(assembled.program);
-
-    std::uint64_t busy_cycles = 0;
-    // Reach the initial sleep.
-    auto result = platform.run(100'000);
-    for (unsigned w = 0; w < windows; ++w) {
-      if (result.status != sim::RunResult::Status::kAllAsleep) {
-        std::fprintf(stderr, "unexpected: %s\n", result.to_string().c_str());
-        return 1;
-      }
-      // Host: deposit the next window of samples for every channel.
-      for (unsigned c = 0; c < 8; ++c) {
-        const auto samples =
-            ecg::generate_channel(gen, c, (w + 1) * kWindow);
-        for (unsigned i = 0; i < kWindow; ++i) {
-          platform.dm_write((2 + c) * 2048 + i,
-                            static_cast<std::uint16_t>(samples[w * kWindow + i]));
-        }
-      }
-      const std::uint64_t before = platform.counters().cycles;
-      platform.interrupt_all();
-      result = platform.run(platform.counters().cycles + 10'000'000);
-      busy_cycles += platform.counters().cycles - before;
-    }
+  const power::VoltageScaling scaling{power::VoltageParams{}};
+  for (const auto& record : records) {
+    const auto busy_cycles = std::stoull(std::string(record.extra_value("busy_cycles")));
+    std::printf("%-18s: %8.0f busy cycles/window, counts[ch0..7] = %s",
+                record.spec.design.label.c_str(),
+                static_cast<double>(busy_cycles) / windows,
+                std::string(record.extra_value("counts")).c_str());
 
     // Power at the real-time rate: the window's work must finish within the
     // acquisition period; run at the slowest voltage/frequency that does.
-    const auto useful = platform.counters().retired_ops -
-                        platform.sync_stats().checkins -
-                        platform.sync_stats().checkouts;
-    const auto character = power::characterize(
-        with_sync ? power::EnergyParams::synchronized()
-                  : power::EnergyParams::baseline(),
-        platform.counters(), platform.sync_stats(), useful);
-    const power::VoltageScaling scaling{power::VoltageParams{}};
-    const double mops_needed = static_cast<double>(useful) /
-                               (windows * window_period_cycles_at) / 1e6;
-    const power::WorkloadSweep sweep(character, scaling);
-    const auto point = sweep.at(mops_needed);
-
-    std::printf("%-18s: %8.0f busy cycles/window, counts[ch0..7] =",
-                with_sync ? "with synchronizer" : "w/o synchronizer",
-                static_cast<double>(busy_cycles) / windows);
-    for (unsigned c = 0; c < 8; ++c)
-      std::printf(" %u", platform.dm_read(0x900 + c));
-    if (point) {
+    const double mops_needed = static_cast<double>(record.useful_ops) /
+                               (windows * kWindowPeriodS) / 1e6;
+    const power::WorkloadSweep sweep(characterization(record), scaling);
+    if (const auto point = sweep.at(mops_needed)) {
       // A 200 mAh @ 3 V coin cell, ideal conversion.
       const double battery_mwh = 200.0 * 3.0;
       std::printf("\n  real-time point: %.2f MOps/s -> %.2f MHz @ %.2f V, "

@@ -12,6 +12,7 @@
 /// fixed workload at a lower f and V, which is where the 64%/56%/55%
 /// savings come from.
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 

@@ -1,0 +1,134 @@
+#include "scenario/engine.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "core/lockstep.h"
+#include "power/model.h"
+#include "sim/platform.h"
+
+namespace ulpsync::scenario {
+
+namespace {
+
+std::string status_name(sim::RunResult::Status status) {
+  switch (status) {
+    case sim::RunResult::Status::kAllHalted: return "all-halted";
+    case sim::RunResult::Status::kMaxCycles: return "max-cycles";
+    case sim::RunResult::Status::kAllAsleep: return "all-asleep";
+    case sim::RunResult::Status::kTrap: return "trap";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Engine::Engine(const Registry& registry, EngineOptions options)
+    : registry_(&registry), options_(std::move(options)) {}
+
+RunRecord Engine::run_one(const RunSpec& spec) const {
+  RunRecord record;
+  record.spec = spec;
+  try {
+    const auto workload = registry_->make(spec.workload, spec.params);
+
+    sim::PlatformConfig config = workload->base_config(spec.with_synchronizer());
+    config.features = spec.design.features;
+    if (spec.arbitration) config.arbitration = *spec.arbitration;
+    if (spec.im_line_slots) config.im_line_slots = *spec.im_line_slots;
+
+    sim::Platform platform(config);
+    platform.load_program(workload->program(spec.with_synchronizer()));
+    workload->load_inputs(platform);
+
+    core::LockstepAnalyzer analyzer;
+    if (options_.measure_lockstep) analyzer.attach(platform);
+
+    const sim::RunResult result = workload->drive(platform, spec.max_cycles);
+
+    record.status = status_name(result.status);
+    record.counters = platform.counters();
+    record.sync_stats = platform.sync_stats();
+    record.lockstep_fraction = analyzer.metrics().lockstep_fraction();
+    record.useful_ops = workload->useful_ops(record.counters, record.sync_stats);
+    record.ops_per_cycle =
+        record.counters.cycles == 0
+            ? 0.0
+            : static_cast<double>(record.useful_ops) /
+                  static_cast<double>(record.counters.cycles);
+    const power::EnergyParams energy_params =
+        spec.with_synchronizer() ? power::EnergyParams::synchronized()
+                                 : power::EnergyParams::baseline();
+    record.energy = power::energy_per_cycle(energy_params, record.counters,
+                                            record.sync_stats);
+    // Verify only runs whose platform reached a legal final state; a trap
+    // or an exhausted budget is itself the failure.
+    if (result.status == sim::RunResult::Status::kAllHalted ||
+        result.status == sim::RunResult::Status::kAllAsleep) {
+      record.verify_error = workload->verify(platform);
+    } else {
+      record.verify_error = result.to_string();
+    }
+    record.extra = workload->report(platform);
+  } catch (const std::exception& error) {
+    record.status = "error";
+    record.verify_error = error.what();
+  } catch (...) {
+    // Keep the never-throws contract even for non-std exceptions from user
+    // workload hooks; escaping a worker thread would std::terminate.
+    record.status = "error";
+    record.verify_error = "unknown exception from workload";
+  }
+  return record;
+}
+
+std::vector<RunRecord> Engine::run(const std::vector<RunSpec>& specs) const {
+  std::vector<RunRecord> records(specs.size());
+  if (specs.empty()) return records;
+
+  unsigned jobs = options_.jobs;
+  if (jobs == 0) jobs = std::max(1u, std::thread::hardware_concurrency());
+  jobs = static_cast<unsigned>(
+      std::min<std::size_t>(jobs, specs.size()));
+
+  std::atomic<std::size_t> next{0};
+  std::size_t done = 0;
+  std::mutex progress_mutex;
+  std::exception_ptr callback_error;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t index = next.fetch_add(1);
+      if (index >= specs.size()) return;
+      records[index] = run_one(specs[index]);
+      const std::lock_guard<std::mutex> lock(progress_mutex);
+      ++done;
+      if (options_.on_result) {
+        // A throwing progress callback must not escape a worker thread
+        // (std::terminate); remember it, stop scheduling, rethrow below.
+        try {
+          options_.on_result(records[index], done, specs.size());
+        } catch (...) {
+          if (!callback_error) callback_error = std::current_exception();
+          next.store(specs.size());
+          return;
+        }
+      }
+    }
+  };
+
+  if (jobs <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (unsigned i = 0; i < jobs; ++i) pool.emplace_back(worker);
+    for (auto& thread : pool) thread.join();
+  }
+  if (callback_error) std::rethrow_exception(callback_error);
+  return records;
+}
+
+}  // namespace ulpsync::scenario

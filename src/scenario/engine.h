@@ -1,0 +1,55 @@
+#pragma once
+
+/// Parallel sweep engine: executes `RunSpec`s on a host thread pool. Every
+/// run owns its `Platform`, its workload instance and its analyzer, so runs
+/// are embarrassingly parallel; results land at their spec's index, which
+/// makes the output — and anything serialized from it — identical whether
+/// the sweep ran serially or on N threads.
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "scenario/matrix.h"
+#include "scenario/record.h"
+#include "scenario/registry.h"
+#include "scenario/spec.h"
+
+namespace ulpsync::scenario {
+
+struct EngineOptions {
+  /// Worker threads for `run`; 0 picks the hardware concurrency.
+  unsigned jobs = 1;
+  /// Attach a LockstepAnalyzer to every run (tiny per-cycle cost).
+  bool measure_lockstep = true;
+  /// Progress callback, invoked in completion order under an internal lock
+  /// (`done` counts finished runs). Optional.
+  std::function<void(const RunRecord& record, std::size_t done,
+                     std::size_t total)>
+      on_result;
+};
+
+class Engine {
+ public:
+  /// The registry must outlive the engine and stay unmodified while runs
+  /// execute (factories are invoked from worker threads).
+  explicit Engine(const Registry& registry, EngineOptions options = {});
+
+  /// Executes one spec in the calling thread. Never throws: host-side
+  /// failures (unknown workload, assembly errors) produce a record with
+  /// status "error" and the message in `verify_error`.
+  [[nodiscard]] RunRecord run_one(const RunSpec& spec) const;
+
+  /// Executes all specs, in parallel when `jobs > 1`; `results[i]` always
+  /// corresponds to `specs[i]`.
+  [[nodiscard]] std::vector<RunRecord> run(const std::vector<RunSpec>& specs) const;
+  [[nodiscard]] std::vector<RunRecord> run(const Matrix& matrix) const {
+    return run(matrix.expand());
+  }
+
+ private:
+  const Registry* registry_;
+  EngineOptions options_;
+};
+
+}  // namespace ulpsync::scenario

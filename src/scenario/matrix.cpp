@@ -1,0 +1,121 @@
+#include "scenario/matrix.h"
+
+#include <utility>
+
+namespace ulpsync::scenario {
+
+Matrix& Matrix::workload(std::string name) {
+  workloads_.push_back(std::move(name));
+  return *this;
+}
+
+Matrix& Matrix::workloads(std::vector<std::string> names) {
+  for (auto& name : names) workloads_.push_back(std::move(name));
+  return *this;
+}
+
+Matrix& Matrix::base_params(const WorkloadParams& params) {
+  base_params_ = params;
+  return *this;
+}
+
+Matrix& Matrix::designs(std::vector<DesignVariant> variants) {
+  for (auto& variant : variants) designs_.push_back(std::move(variant));
+  return *this;
+}
+
+Matrix& Matrix::design(DesignVariant variant) {
+  designs_.push_back(std::move(variant));
+  return *this;
+}
+
+Matrix& Matrix::num_cores(std::vector<unsigned> cores) {
+  num_cores_ = std::move(cores);
+  return *this;
+}
+
+Matrix& Matrix::samples(std::vector<unsigned> values) {
+  samples_ = std::move(values);
+  return *this;
+}
+
+Matrix& Matrix::arbitration(std::vector<sim::ArbitrationPolicy> policies) {
+  arbitration_ = std::move(policies);
+  return *this;
+}
+
+Matrix& Matrix::im_line_slots(std::vector<unsigned> lines) {
+  im_line_slots_ = std::move(lines);
+  return *this;
+}
+
+Matrix& Matrix::max_cycles(std::uint64_t budget) {
+  max_cycles_ = budget;
+  return *this;
+}
+
+namespace {
+
+/// An unset (empty) axis contributes one pass-through element that keeps
+/// the base configuration, never a zero-spec product.
+template <typename T>
+std::vector<std::optional<T>> optional_axis(const std::vector<T>& values) {
+  std::vector<std::optional<T>> axis;
+  if (values.empty()) {
+    axis.emplace_back(std::nullopt);
+  } else {
+    for (const auto& value : values) axis.emplace_back(value);
+  }
+  return axis;
+}
+
+std::size_t axis_size(std::size_t n) { return n == 0 ? 1 : n; }
+
+}  // namespace
+
+std::size_t Matrix::size() const {
+  const std::size_t designs = designs_.empty() ? 2 : designs_.size();
+  return workloads_.size() * designs * axis_size(num_cores_.size()) *
+         axis_size(samples_.size()) * axis_size(arbitration_.size()) *
+         axis_size(im_line_slots_.size());
+}
+
+std::vector<RunSpec> Matrix::expand() const {
+  const std::vector<DesignVariant> designs =
+      designs_.empty()
+          ? std::vector<DesignVariant>{DesignVariant::baseline(),
+                                       DesignVariant::synchronized()}
+          : designs_;
+  const auto cores = optional_axis(num_cores_);
+  const auto samples = optional_axis(samples_);
+  const auto arbitration = optional_axis(arbitration_);
+  const auto lines = optional_axis(im_line_slots_);
+
+  std::vector<RunSpec> specs;
+  specs.reserve(size());
+  for (const auto& workload : workloads_) {
+    for (const auto& design : designs) {
+      for (const auto core_count : cores) {
+        for (const auto sample_count : samples) {
+          for (const auto& policy : arbitration) {
+            for (const auto& line : lines) {
+              RunSpec spec;
+              spec.workload = workload;
+              spec.params = base_params_;
+              if (core_count) spec.params.num_channels = *core_count;
+              if (sample_count) spec.params.samples = *sample_count;
+              spec.design = design;
+              spec.arbitration = policy;
+              spec.im_line_slots = line;
+              spec.max_cycles = max_cycles_;
+              specs.push_back(std::move(spec));
+            }
+          }
+        }
+      }
+    }
+  }
+  return specs;
+}
+
+}  // namespace ulpsync::scenario

@@ -1,0 +1,62 @@
+#pragma once
+
+/// Declarative run-matrix: the cross product of scenario axes — workload ×
+/// design variant × core count × samples-per-channel × arbitration policy ×
+/// IM line interleaving — expanded into concrete `RunSpec`s. Every paper
+/// experiment (the Section V-B tables, the Fig. 3 sweeps, the ablations) is
+/// one Matrix; adding an experiment means declaring its axes, not writing a
+/// driver loop.
+///
+/// Unset axes keep the base parameters; the design axis defaults to both
+/// synthesized designs. Expansion order is deterministic (axes nest in the
+/// declaration order of the fields below, workload outermost), so record
+/// order — and therefore serialized output — is identical no matter how
+/// many engine threads execute the sweep.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scenario/spec.h"
+
+namespace ulpsync::scenario {
+
+class Matrix {
+ public:
+  Matrix& workload(std::string name);
+  Matrix& workloads(std::vector<std::string> names);
+  /// Base parameter block every expanded spec starts from.
+  Matrix& base_params(const WorkloadParams& params);
+  /// Design axis; defaults to {baseline, synchronized} when never set.
+  Matrix& designs(std::vector<DesignVariant> variants);
+  Matrix& design(DesignVariant variant);
+  /// Core-count axis (sets `params.num_channels`).
+  Matrix& num_cores(std::vector<unsigned> cores);
+  /// Samples-per-channel axis (sets `params.samples`).
+  Matrix& samples(std::vector<unsigned> values);
+  Matrix& arbitration(std::vector<sim::ArbitrationPolicy> policies);
+  /// IM bank-mapping axis; 0 selects pure block mapping.
+  Matrix& im_line_slots(std::vector<unsigned> lines);
+  Matrix& max_cycles(std::uint64_t budget);
+
+  /// Number of specs `expand()` will produce.
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::vector<RunSpec> expand() const;
+
+ private:
+  // Every axis is stored as the plain list the caller gave; an empty list
+  // uniformly means "axis unset" and contributes one pass-through element
+  // to the expansion (see expand()).
+  std::vector<std::string> workloads_;
+  WorkloadParams base_params_{};
+  std::vector<DesignVariant> designs_;
+  std::vector<unsigned> num_cores_;
+  std::vector<unsigned> samples_;
+  std::vector<sim::ArbitrationPolicy> arbitration_;
+  std::vector<unsigned> im_line_slots_;
+  std::uint64_t max_cycles_ = 500'000'000;
+};
+
+}  // namespace ulpsync::scenario

@@ -1,0 +1,73 @@
+#pragma once
+
+/// Structured result of one simulation run, replacing the per-driver printf
+/// tables: everything the paper's evaluation quotes (cycles, Ops/cycle,
+/// event counters, synchronizer statistics, per-component energies, verify
+/// status) plus the spec that produced it, serializable to CSV and JSON.
+///
+/// Serialization is driven by one field table, so the CSV header, the CSV
+/// row, the JSON object and the parsers cannot drift apart. Fixed scalar
+/// fields appear in both formats; workload-specific `extra` fields (e.g.
+/// detected beats per channel) appear in JSON only, since CSV columns must
+/// be uniform across records. Per-core counter arrays are not serialized.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/synchronizer.h"
+#include "power/model.h"
+#include "scenario/spec.h"
+#include "sim/counters.h"
+
+namespace ulpsync::scenario {
+
+struct RunRecord {
+  RunSpec spec;
+  /// Final platform state: "all-halted", "max-cycles", "all-asleep",
+  /// "trap", or "error" (host-side exception, message in verify_error).
+  std::string status;
+  std::string verify_error;  ///< empty when outputs matched the reference
+  std::uint64_t useful_ops = 0;
+  double ops_per_cycle = 0.0;      ///< useful ops per clock cycle
+  double lockstep_fraction = 0.0;  ///< full-lockstep residency of the run
+  sim::EventCounters counters;
+  core::SynchronizerStats sync_stats;
+  power::EnergyPerCycle energy;  ///< per-cycle component energies at 1.2 V
+  /// Workload-specific outputs from Workload::report().
+  std::vector<std::pair<std::string, std::string>> extra;
+
+  /// A run is good when it verified and ended in a legal final state;
+  /// "all-asleep" is the designed end state of duty-cycled workloads.
+  [[nodiscard]] bool ok() const {
+    return verify_error.empty() &&
+           (status == "all-halted" || status == "all-asleep");
+  }
+  [[nodiscard]] std::uint64_t cycles() const { return counters.cycles; }
+  /// Value of an extra field, or "" when absent.
+  [[nodiscard]] std::string_view extra_value(std::string_view key) const;
+};
+
+// --- CSV -------------------------------------------------------------------
+
+[[nodiscard]] std::string csv_header();
+[[nodiscard]] std::string to_csv_row(const RunRecord& record);
+/// Header plus one row per record.
+[[nodiscard]] std::string to_csv(const std::vector<RunRecord>& records);
+/// Parses `to_csv` output (the header line is required and validated).
+/// Throws std::invalid_argument on malformed input.
+[[nodiscard]] std::vector<RunRecord> records_from_csv(std::string_view csv);
+
+// --- JSON ------------------------------------------------------------------
+
+[[nodiscard]] std::string to_json(const RunRecord& record);
+/// JSON array of record objects.
+[[nodiscard]] std::string to_json(const std::vector<RunRecord>& records);
+/// Parses a single flat record object. Throws std::invalid_argument.
+[[nodiscard]] RunRecord record_from_json(std::string_view json);
+/// Parses a JSON array of record objects. Throws std::invalid_argument.
+[[nodiscard]] std::vector<RunRecord> records_from_json(std::string_view json);
+
+}  // namespace ulpsync::scenario

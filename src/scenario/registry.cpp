@@ -1,0 +1,57 @@
+#include "scenario/registry.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "scenario/workloads.h"
+
+namespace ulpsync::scenario {
+
+void Registry::add(std::string name, Factory factory) {
+  if (name.empty()) {
+    throw std::invalid_argument("workload name must not be empty");
+  }
+  if (!factory) {
+    throw std::invalid_argument("workload factory for '" + name +
+                                "' must not be empty");
+  }
+  const auto [it, inserted] =
+      factories_.emplace(std::move(name), std::move(factory));
+  if (!inserted) {
+    throw std::invalid_argument("workload '" + it->first +
+                                "' is already registered");
+  }
+}
+
+bool Registry::contains(std::string_view name) const {
+  return factories_.find(name) != factories_.end();
+}
+
+std::vector<std::string> Registry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;
+}
+
+std::shared_ptr<const Workload> Registry::make(
+    std::string_view name, const WorkloadParams& params) const {
+  const auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    throw std::out_of_range("unknown workload '" + std::string(name) + "'");
+  }
+  return it->second(params);
+}
+
+Registry Registry::with_builtins() {
+  Registry registry;
+  register_builtin_workloads(registry);
+  return registry;
+}
+
+const Registry& Registry::builtins() {
+  static const Registry registry = with_builtins();
+  return registry;
+}
+
+}  // namespace ulpsync::scenario

@@ -1,0 +1,49 @@
+#pragma once
+
+/// Workload registry: the by-name lookup that decouples run-matrices and
+/// serialized records from workload construction. A registry maps a name to
+/// a factory producing a `Workload` for a given parameter block; the sweep
+/// engine instantiates one fresh workload per run, so factories must be
+/// pure (same params -> equivalent workload) and safe to invoke from
+/// multiple threads concurrently.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "scenario/workload.h"
+
+namespace ulpsync::scenario {
+
+class Registry {
+ public:
+  using Factory =
+      std::function<std::shared_ptr<const Workload>(const WorkloadParams&)>;
+
+  /// Registers a factory. Throws std::invalid_argument when `name` is empty
+  /// or already taken — duplicate names would make specs ambiguous.
+  void add(std::string name, Factory factory);
+
+  [[nodiscard]] bool contains(std::string_view name) const;
+  [[nodiscard]] std::vector<std::string> names() const;  ///< sorted
+
+  /// Instantiates the named workload. Throws std::out_of_range for an
+  /// unknown name. Safe to call concurrently on a registry that is no
+  /// longer being mutated.
+  [[nodiscard]] std::shared_ptr<const Workload> make(
+      std::string_view name, const WorkloadParams& params) const;
+
+  /// A registry pre-populated with every built-in workload
+  /// (see scenario/workloads.h).
+  [[nodiscard]] static Registry with_builtins();
+  /// Shared immutable instance of `with_builtins()`.
+  [[nodiscard]] static const Registry& builtins();
+
+ private:
+  std::map<std::string, Factory, std::less<>> factories_;
+};
+
+}  // namespace ulpsync::scenario

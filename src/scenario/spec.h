@@ -1,0 +1,52 @@
+#pragma once
+
+/// A `RunSpec` is one fully resolved, independently executable simulation
+/// run: which workload, with which parameters, on which platform design.
+/// Specs are what `scenario::Matrix` expands to and what the sweep engine
+/// consumes; every spec owns its platform, so any set of specs can execute
+/// in parallel.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "scenario/workload.h"
+#include "sim/config.h"
+
+namespace ulpsync::scenario {
+
+/// One platform design point: a display label plus the feature set. The
+/// paper's two synthesized designs are the common cases; ablations build
+/// their own variants from individual `SyncFeatures` toggles.
+struct DesignVariant {
+  std::string label;
+  sim::SyncFeatures features;
+
+  /// "w/o synchronizer" — the baseline architecture of [4].
+  [[nodiscard]] static DesignVariant baseline() {
+    return {"w/o synchronizer", sim::SyncFeatures::disabled()};
+  }
+  /// "with synchronizer" — the paper's improved design.
+  [[nodiscard]] static DesignVariant synchronized() {
+    return {"with synchronizer", sim::SyncFeatures::enabled()};
+  }
+};
+
+struct RunSpec {
+  std::string workload;  ///< registry name
+  WorkloadParams params;
+  DesignVariant design = DesignVariant::synchronized();
+  /// Overrides of the workload's base platform configuration; empty keeps
+  /// the workload's (i.e. the paper's) defaults.
+  std::optional<sim::ArbitrationPolicy> arbitration;
+  std::optional<unsigned> im_line_slots;  ///< 0 = pure block mapping
+  std::uint64_t max_cycles = 500'000'000;
+
+  /// A design runs instrumented code exactly when it has the synchronizer
+  /// hardware (SINC/SDEC trap otherwise).
+  [[nodiscard]] bool with_synchronizer() const {
+    return design.features.hardware_synchronizer;
+  }
+};
+
+}  // namespace ulpsync::scenario

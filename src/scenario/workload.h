@@ -1,0 +1,94 @@
+#pragma once
+
+/// The host-facing workload abstraction of the scenario API.
+///
+/// A `Workload` is everything the sweep engine needs to run one program on
+/// one platform instance: the assembled TR16 program (plain and
+/// instrumented variants), the host-side input loader, the golden-reference
+/// verifier, and the accounting hooks. The three paper kernels, the example
+/// kernels and arbitrary user-assembled programs all implement this
+/// interface and register in a `scenario::Registry` under a name, which is
+/// what `RunSpec`s refer to.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "asm/assembler.h"
+#include "core/synchronizer.h"
+#include "kernels/benchmark.h"
+#include "sim/config.h"
+#include "sim/counters.h"
+#include "sim/platform.h"
+
+namespace ulpsync::scenario {
+
+/// Parameters a workload instance is built from. Reuses the benchmark
+/// parameter block (sample count, channel/core count, kernel constants,
+/// input generator); workloads that need less simply ignore the rest.
+using WorkloadParams = kernels::BenchmarkParams;
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Number of cores this workload occupies (one channel per core).
+  [[nodiscard]] virtual unsigned num_cores() const = 0;
+
+  /// The assembled program; `instrumented` selects the variant with
+  /// check-in/check-out synchronization points. The engine runs the
+  /// instrumented variant exactly when the design has the synchronizer.
+  [[nodiscard]] virtual const assembler::Program& program(
+      bool instrumented) const = 0;
+
+  /// Writes parameters and input data into the platform's data memory.
+  virtual void load_inputs(sim::Platform& platform) const = 0;
+
+  /// Compares the platform's outputs against the golden reference after a
+  /// finished run. Returns an empty string on success, else a description
+  /// of the first mismatch.
+  [[nodiscard]] virtual std::string verify(
+      const sim::Platform& platform) const = 0;
+
+  /// Platform configuration before the `RunSpec` overrides are applied.
+  [[nodiscard]] virtual sim::PlatformConfig base_config(
+      bool with_synchronizer) const {
+    sim::PlatformConfig config = with_synchronizer
+                                     ? sim::PlatformConfig::with_synchronizer()
+                                     : sim::PlatformConfig::without_synchronizer();
+    config.num_cores = num_cores();
+    return config;
+  }
+
+  /// Application-level operation count (synchronization overhead excluded),
+  /// the denominator of every iso-workload comparison.
+  [[nodiscard]] virtual std::uint64_t useful_ops(
+      const sim::EventCounters& counters,
+      const core::SynchronizerStats& sync_stats) const {
+    return counters.retired_ops - sync_stats.checkins - sync_stats.checkouts;
+  }
+
+  /// Executes the workload on a loaded platform. The default runs until all
+  /// cores halt (or the budget is exhausted); interactive workloads — e.g.
+  /// the duty-cycled streaming monitor, which feeds acquisition windows and
+  /// wakes the cores by interrupt — override this with their own host loop.
+  virtual sim::RunResult drive(sim::Platform& platform,
+                               std::uint64_t max_cycles) const {
+    return platform.run(max_cycles);
+  }
+
+  /// Workload-specific outputs harvested after the run (key/value pairs,
+  /// e.g. detected beats per channel). Attached to the `RunRecord` as
+  /// `extra` fields and serialized with it.
+  [[nodiscard]] virtual std::vector<std::pair<std::string, std::string>>
+  report(const sim::Platform& platform) const {
+    (void)platform;
+    return {};
+  }
+};
+
+}  // namespace ulpsync::scenario

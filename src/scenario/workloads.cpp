@@ -1,0 +1,602 @@
+#include "scenario/workloads.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "core/instrument.h"
+#include "ecg/generator.h"
+#include "isa/isa.h"
+#include "kernels/memmap.h"
+#include "kernels/sources.h"
+#include "util/rng.h"
+
+namespace ulpsync::scenario {
+
+namespace {
+
+assembler::Program assemble_or_throw(const std::string& source,
+                                     std::string_view what) {
+  auto result = assembler::assemble(source);
+  if (!result.ok()) {
+    throw std::runtime_error("assembly failed for " + std::string(what) +
+                             ":\n" + result.error_text());
+  }
+  return std::move(result.program);
+}
+
+assembler::Program auto_instrument_or_throw(const assembler::Program& plain,
+                                            std::string_view what) {
+  auto result = core::auto_instrument(plain, core::InstrumentOptions{});
+  if (!result.ok()) {
+    throw std::runtime_error("auto-instrumentation failed for " +
+                             std::string(what) + ": " + result.error);
+  }
+  return std::move(result.program);
+}
+
+/// Adapter exposing kernels::Benchmark through the Workload interface; the
+/// `.auto` variants swap the hand-instrumented program for the output of
+/// the automatic CFG pass on the plain kernel.
+class BenchmarkWorkload final : public Workload {
+ public:
+  BenchmarkWorkload(kernels::BenchmarkKind kind, const WorkloadParams& params,
+                    bool auto_instrumented)
+      : benchmark_(kind, params), auto_instrumented_(auto_instrumented) {
+    name_ = benchmark_name_lower(kind);
+    if (auto_instrumented_) {
+      name_ += ".auto";
+      auto_program_ = auto_instrument_or_throw(benchmark_.program(false), name_);
+    }
+  }
+
+  [[nodiscard]] static std::string benchmark_name_lower(
+      kernels::BenchmarkKind kind) {
+    std::string name(kernels::benchmark_name(kind));
+    std::transform(name.begin(), name.end(), name.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    return name;
+  }
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  [[nodiscard]] unsigned num_cores() const override {
+    return benchmark_.params().num_channels;
+  }
+  [[nodiscard]] const assembler::Program& program(
+      bool instrumented) const override {
+    if (instrumented && auto_instrumented_) return auto_program_;
+    return benchmark_.program(instrumented);
+  }
+  void load_inputs(sim::Platform& platform) const override {
+    benchmark_.load_inputs(platform);
+  }
+  [[nodiscard]] std::string verify(const sim::Platform& platform) const override {
+    return benchmark_.verify(platform);
+  }
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> report(
+      const sim::Platform& platform) const override {
+    std::vector<std::pair<std::string, std::string>> out;
+    const bool instrumented = platform.config().features.hardware_synchronizer;
+    out.emplace_back("sync_points",
+                     std::to_string(count_sync_points(program(instrumented))));
+    if (benchmark_.kind() == kernels::BenchmarkKind::kMrpdln) {
+      // Delineation output: detected beat positions per channel.
+      for (unsigned c = 0; c < num_cores(); ++c) {
+        const std::uint32_t base = kernels::channel_base(c) + kernels::kChanOut;
+        const unsigned beats = platform.dm_read(base);
+        std::string positions;
+        for (unsigned b = 0; b < beats; ++b) {
+          if (b) positions += ' ';
+          positions += std::to_string(platform.dm_read(base + 1 + b));
+        }
+        out.emplace_back("beats." + std::to_string(c), positions);
+      }
+    }
+    return out;
+  }
+
+ private:
+  kernels::Benchmark benchmark_;
+  bool auto_instrumented_;
+  std::string name_;
+  assembler::Program auto_program_;
+};
+
+/// A workload assembled from user TR16 source with host hooks supplied as
+/// callables (see AsmWorkloadDesc).
+class AsmWorkload final : public Workload {
+ public:
+  AsmWorkload(AsmWorkloadDesc desc, const WorkloadParams& params)
+      : desc_(std::move(desc)), params_(params) {
+    if (!desc_.load) {
+      throw std::runtime_error("workload '" + desc_.name +
+                               "' has no input loader");
+    }
+    if (params_.num_channels != desc_.num_cores) {
+      throw std::runtime_error(
+          "workload '" + desc_.name + "' is assembled for " +
+          std::to_string(desc_.num_cores) + " cores but the spec asks for " +
+          std::to_string(params_.num_channels) +
+          "; register it with the desc-builder overload of "
+          "register_asm_workload to make it sweepable");
+    }
+    plain_ = assemble_or_throw(
+        kernels::preprocess_sync_markers(desc_.source, false), desc_.name);
+    instrumented_ =
+        desc_.auto_instrument
+            ? auto_instrument_or_throw(plain_, desc_.name)
+            : assemble_or_throw(
+                  kernels::preprocess_sync_markers(desc_.source, true),
+                  desc_.name);
+  }
+
+  [[nodiscard]] std::string_view name() const override { return desc_.name; }
+  [[nodiscard]] unsigned num_cores() const override { return desc_.num_cores; }
+  [[nodiscard]] const assembler::Program& program(
+      bool instrumented) const override {
+    return instrumented ? instrumented_ : plain_;
+  }
+  void load_inputs(sim::Platform& platform) const override {
+    desc_.load(platform, params_);
+  }
+  [[nodiscard]] std::string verify(const sim::Platform& platform) const override {
+    return desc_.verify ? desc_.verify(platform, params_) : std::string{};
+  }
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> report(
+      const sim::Platform& platform) const override {
+    std::vector<std::pair<std::string, std::string>> out;
+    const bool instrumented = platform.config().features.hardware_synchronizer;
+    out.emplace_back("sync_points",
+                     std::to_string(count_sync_points(program(instrumented))));
+    if (desc_.report) {
+      auto more = desc_.report(platform, params_);
+      out.insert(out.end(), more.begin(), more.end());
+    }
+    return out;
+  }
+
+ private:
+  AsmWorkloadDesc desc_;
+  WorkloadParams params_;
+  assembler::Program plain_;
+  assembler::Program instrumented_;
+};
+
+// --- clip8: the quickstart kernel ------------------------------------------
+// Each core clips N samples of its private channel at a shared limit; the
+// comparison is data-dependent, so without check-in/check-out the cores fall
+// out of lockstep and fetches serialize.
+
+std::string clip8_source(unsigned samples) {
+  return R"(
+      csrr r1, #0          ; core id
+      addi r4, r1, 2
+      movi r5, 11
+      sll  r3, r4, r5      ; channel base = (2 + id) << 11
+      movi r2, )" + std::to_string(samples) + R"(
+      movi r6, 100         ; clip limit
+      movi r8, 0           ; i
+  loop:
+      cmp  r8, r2
+      bge  end
+      ldx  r9, [r3+r8]
+      !sync sinc #0        ; check-in before the data-dependent branch
+      cmp  r9, r6
+      blt  keep
+      mov  r9, r6          ; clip
+  keep:
+      !sync sdec #0        ; check-out: resynchronize the cores
+      stx  r9, [r3+r8]
+      addi r8, r8, 1
+      bra  loop
+  end:
+      halt
+  )";
+}
+
+std::uint16_t clip8_input(unsigned channel, unsigned i) {
+  return static_cast<std::uint16_t>(i * 3 + channel);
+}
+
+AsmWorkloadDesc clip8_desc(const WorkloadParams& params) {
+  AsmWorkloadDesc desc;
+  desc.name = "clip8";
+  desc.source = clip8_source(params.samples);
+  desc.num_cores = params.num_channels;
+  desc.load = [](sim::Platform& platform, const WorkloadParams& p) {
+    for (unsigned c = 0; c < p.num_channels; ++c) {
+      for (unsigned i = 0; i < p.samples; ++i) {
+        platform.dm_write(kernels::channel_base(c) + i, clip8_input(c, i));
+      }
+    }
+  };
+  desc.verify = [](const sim::Platform& platform, const WorkloadParams& p) {
+    for (unsigned c = 0; c < p.num_channels; ++c) {
+      for (unsigned i = 0; i < p.samples; ++i) {
+        const std::uint16_t expected =
+            std::min<std::uint16_t>(clip8_input(c, i), 100);
+        const std::uint16_t got =
+            platform.dm_read(kernels::channel_base(c) + i);
+        if (got != expected) {
+          std::ostringstream err;
+          err << "clip8 channel " << c << " sample " << i << ": got " << got
+              << ", expected " << expected;
+          return err.str();
+        }
+      }
+    }
+    return std::string{};
+  };
+  return desc;
+}
+
+// --- bandcount: the custom-kernel example -----------------------------------
+// Per channel, counts of samples in four amplitude bands (<100, <300, <800,
+// rest) — a data-dependent cascade of branches, exactly the control flow
+// that destroys lockstep. Band counters live at kChanOut of each channel.
+
+std::string bandcount_source(unsigned samples) {
+  return R"(
+    csrr r1, #0
+    addi r4, r1, 2
+    movi r5, 11
+    sll  r3, r4, r5       ; channel base
+    movi r2, )" + std::to_string(samples) + R"(
+    addi r10, r3, 1536    ; out base (4 counters, zeroed by host)
+    movi r8, 0            ; i
+loop:
+    cmp  r8, r2
+    bge  done
+    ldx  r9, [r3+r8]
+    !sync sinc #0
+    movi r11, 0           ; band index
+    cmpi r9, 100
+    blt  bump
+    movi r11, 1
+    cmpi r9, 300
+    blt  bump
+    movi r11, 2
+    cmpi r9, 800
+    blt  bump
+    movi r11, 3
+bump:
+    ldx  r12, [r10+r11]
+    addi r12, r12, 1
+    stx  r12, [r10+r11]
+    !sync sdec #0
+    addi r8, r8, 1
+    bra  loop
+done:
+    halt
+)";
+}
+
+AsmWorkloadDesc bandcount_desc(const WorkloadParams& params,
+                               bool auto_instrument) {
+  AsmWorkloadDesc desc;
+  desc.name = auto_instrument ? "bandcount.auto" : "bandcount";
+  desc.source = bandcount_source(params.samples);
+  desc.num_cores = params.num_channels;
+  desc.auto_instrument = auto_instrument;
+  desc.load = [](sim::Platform& platform, const WorkloadParams& p) {
+    util::Rng rng(p.generator.seed);
+    for (unsigned c = 0; c < p.num_channels; ++c) {
+      for (unsigned i = 0; i < p.samples; ++i) {
+        platform.dm_write(
+            kernels::channel_base(c) + i,
+            static_cast<std::uint16_t>(rng.next_below(1200)));
+      }
+      for (unsigned b = 0; b < 4; ++b) {
+        platform.dm_write(kernels::channel_base(c) + kernels::kChanOut + b, 0);
+      }
+    }
+  };
+  desc.verify = [](const sim::Platform& platform, const WorkloadParams& p) {
+    util::Rng rng(p.generator.seed);  // same stream as the loader
+    for (unsigned c = 0; c < p.num_channels; ++c) {
+      unsigned expected[4] = {0, 0, 0, 0};
+      for (unsigned i = 0; i < p.samples; ++i) {
+        const auto v = rng.next_below(1200);
+        expected[v < 100 ? 0 : v < 300 ? 1 : v < 800 ? 2 : 3]++;
+      }
+      for (unsigned b = 0; b < 4; ++b) {
+        const std::uint16_t got =
+            platform.dm_read(kernels::channel_base(c) + kernels::kChanOut + b);
+        if (got != expected[b]) {
+          std::ostringstream err;
+          err << "bandcount channel " << c << " band " << b << ": got " << got
+              << ", expected " << expected[b];
+          return err.str();
+        }
+      }
+    }
+    return std::string{};
+  };
+  desc.report = [](const sim::Platform& platform, const WorkloadParams& p) {
+    std::vector<std::pair<std::string, std::string>> out;
+    for (unsigned c = 0; c < p.num_channels; ++c) {
+      std::string bands;
+      for (unsigned b = 0; b < 4; ++b) {
+        if (b) bands += ' ';
+        bands += std::to_string(
+            platform.dm_read(kernels::channel_base(c) + kernels::kChanOut + b));
+      }
+      out.emplace_back("bands." + std::to_string(c), bands);
+    }
+    return out;
+  };
+  return desc;
+}
+
+// --- streaming: the duty-cycled window monitor ------------------------------
+// The deployment mode the platform is built for: process one acquisition
+// window, sleep, wake on the sample-ready interrupt. Per window: detrend the
+// channel by its window mean, then count threshold crossings with a
+// refractory skip (the data-dependent scan is the divergence source).
+
+constexpr unsigned kStreamWindow = 125;  ///< samples per window (0.5 s @ 250 Hz)
+constexpr unsigned kStreamThresholdDelta = 25;
+constexpr std::uint16_t kStreamResultBase = 0x900;
+
+constexpr std::string_view kStreamingSource = R"(
+    csrr r1, #0
+    addi r4, r1, 2
+    movi r5, 11
+    sll  r3, r4, r5       ; channel base
+    movi r2, 125          ; window length
+    movi r7, 0x900        ; shared result block
+forever:
+    sleep                 ; wait for the sample-ready interrupt
+; --- window mean (uniform loop: no divergence) ---
+    movi r8, 0            ; i
+    movi r9, 0            ; acc
+mean_loop:
+    cmp  r8, r2
+    bge  mean_done
+    ldx  r10, [r3+r8]
+    add  r9, r9, r10
+    addi r8, r8, 1
+    bra  mean_loop
+mean_done:
+    movi r10, 125
+    movi r11, 0
+div_loop:                 ; acc / 125 by repeated subtraction
+    cmp  r9, r10
+    blt  div_done
+    sub  r9, r9, r10
+    addi r11, r11, 1
+    bra  div_loop
+div_done:
+; --- threshold-crossing count (data-dependent) ---
+    movi r8, 0
+    movi r12, 0           ; crossings
+    addi r13, r11, 25     ; threshold = mean + delta
+    !sync sinc #0
+scan_loop:
+    cmp  r8, r2
+    bge  scan_done
+    ldx  r10, [r3+r8]
+    cmp  r10, r13
+    blt  scan_next
+    addi r12, r12, 1
+    addi r8, r8, 10       ; refractory skip
+    bra  scan_loop
+scan_next:
+    addi r8, r8, 1
+    bra  scan_loop
+scan_done:
+    !sync sdec #0
+    stx  r12, [r7+r1]     ; publish the count
+    bra  forever
+)";
+
+/// Samples are deposited rescaled to [0, 255] so window sums stay within a
+/// 16-bit register and all comparisons are unambiguous under signed flags.
+std::uint16_t stream_encode(std::int16_t sample) {
+  const int shifted = std::clamp(2048 + static_cast<int>(sample), 0, 4095);
+  return static_cast<std::uint16_t>(shifted / 16);
+}
+
+class StreamingWorkload final : public Workload {
+ public:
+  explicit StreamingWorkload(const WorkloadParams& params) : params_(params) {
+    plain_ = assemble_or_throw(
+        kernels::preprocess_sync_markers(kStreamingSource, false), "streaming");
+    instrumented_ = assemble_or_throw(
+        kernels::preprocess_sync_markers(kStreamingSource, true), "streaming");
+  }
+
+  [[nodiscard]] std::string_view name() const override { return "streaming"; }
+  [[nodiscard]] unsigned num_cores() const override {
+    return params_.num_channels;
+  }
+  [[nodiscard]] const assembler::Program& program(
+      bool instrumented) const override {
+    return instrumented ? instrumented_ : plain_;
+  }
+  void load_inputs(sim::Platform& platform) const override { (void)platform; }
+
+  [[nodiscard]] unsigned windows() const {
+    return std::max(1u, params_.samples / kStreamWindow);
+  }
+
+  /// Host loop of the duty-cycled deployment: run to the initial sleep,
+  /// then per window deposit fresh samples, wake every core by interrupt,
+  /// and run until the group checks out and sleeps again. The run ends
+  /// all-asleep by design.
+  sim::RunResult drive(sim::Platform& platform,
+                       std::uint64_t max_cycles) const override {
+    busy_cycles_ = 0;
+    windows_run_ = 0;
+    auto result = platform.run(std::min<std::uint64_t>(max_cycles, 100'000));
+    for (unsigned w = 0; w < windows(); ++w) {
+      if (result.status != sim::RunResult::Status::kAllAsleep) return result;
+      deposit_window(platform, w);
+      const std::uint64_t before = platform.counters().cycles;
+      platform.interrupt_all();
+      result = platform.run(std::min(max_cycles, before + 10'000'000));
+      busy_cycles_ += platform.counters().cycles - before;
+      ++windows_run_;
+    }
+    return result;
+  }
+
+  [[nodiscard]] std::string verify(const sim::Platform& platform) const override {
+    if (windows_run_ != windows()) {
+      return "streaming: only " + std::to_string(windows_run_) + " of " +
+             std::to_string(windows()) + " windows completed";
+    }
+    // Check the published crossing counts of the final window against the
+    // host-side mirror of the kernel.
+    const unsigned last = windows() - 1;
+    for (unsigned c = 0; c < num_cores(); ++c) {
+      const unsigned expected = expected_crossings(c, last);
+      const std::uint16_t got = platform.dm_read(kStreamResultBase + c);
+      if (got != expected) {
+        std::ostringstream err;
+        err << "streaming channel " << c << ": got " << got
+            << " crossings, expected " << expected;
+        return err.str();
+      }
+    }
+    return {};
+  }
+
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> report(
+      const sim::Platform& platform) const override {
+    std::vector<std::pair<std::string, std::string>> out;
+    out.emplace_back("windows", std::to_string(windows_run_));
+    out.emplace_back("busy_cycles", std::to_string(busy_cycles_));
+    std::string counts;
+    for (unsigned c = 0; c < num_cores(); ++c) {
+      if (c) counts += ' ';
+      counts += std::to_string(platform.dm_read(kStreamResultBase + c));
+    }
+    out.emplace_back("counts", counts);
+    return out;
+  }
+
+ private:
+  /// The channel's whole encoded stream, generated once and cached (the
+  /// generator is deterministic, so verify sees the deposited bytes).
+  [[nodiscard]] const std::vector<std::uint16_t>& channel_samples(
+      unsigned channel) const {
+    if (encoded_.empty()) encoded_.resize(num_cores());
+    auto& cache = encoded_[channel];
+    if (cache.empty()) {
+      const std::size_t total =
+          static_cast<std::size_t>(windows()) * kStreamWindow;
+      const auto raw = ecg::generate_channel(params_.generator, channel, total);
+      cache.resize(total);
+      for (std::size_t i = 0; i < total; ++i) cache[i] = stream_encode(raw[i]);
+    }
+    return cache;
+  }
+
+  void deposit_window(sim::Platform& platform, unsigned window) const {
+    for (unsigned c = 0; c < num_cores(); ++c) {
+      const auto& samples = channel_samples(c);
+      for (unsigned i = 0; i < kStreamWindow; ++i) {
+        platform.dm_write(kernels::channel_base(c) + i,
+                          samples[window * kStreamWindow + i]);
+      }
+    }
+  }
+
+  [[nodiscard]] unsigned expected_crossings(unsigned channel,
+                                            unsigned window) const {
+    const auto& stream = channel_samples(channel);
+    const auto* samples = stream.data() + window * kStreamWindow;
+    unsigned sum = 0;
+    for (unsigned i = 0; i < kStreamWindow; ++i) sum += samples[i];
+    const unsigned threshold = sum / kStreamWindow + kStreamThresholdDelta;
+    unsigned crossings = 0;
+    unsigned i = 0;
+    while (i < kStreamWindow) {
+      if (samples[i] >= threshold) {
+        ++crossings;
+        i += 10;
+      } else {
+        ++i;
+      }
+    }
+    return crossings;
+  }
+
+  WorkloadParams params_;
+  assembler::Program plain_;
+  assembler::Program instrumented_;
+  // Per-run host-loop state; the engine creates one workload instance per
+  // run, so these are only ever touched by that run's thread.
+  mutable std::vector<std::vector<std::uint16_t>> encoded_;
+  mutable std::uint64_t busy_cycles_ = 0;
+  mutable unsigned windows_run_ = 0;
+};
+
+}  // namespace
+
+unsigned count_sync_points(const assembler::Program& program) {
+  unsigned count = 0;
+  for (const auto& instr : program.code) {
+    count += (instr.op == isa::Opcode::kSinc);
+  }
+  return count;
+}
+
+std::shared_ptr<const Workload> make_asm_workload(const AsmWorkloadDesc& desc,
+                                                  const WorkloadParams& params) {
+  return std::make_shared<AsmWorkload>(desc, params);
+}
+
+void register_asm_workload(Registry& registry, AsmWorkloadDesc desc) {
+  std::string name = desc.name;
+  registry.add(std::move(name),
+               [desc = std::move(desc)](const WorkloadParams& params) {
+                 return make_asm_workload(desc, params);
+               });
+}
+
+void register_asm_workload(
+    Registry& registry, std::string name,
+    std::function<AsmWorkloadDesc(const WorkloadParams&)> build) {
+  if (!build) {
+    throw std::invalid_argument("workload '" + name +
+                                "' has no desc builder");
+  }
+  registry.add(std::move(name),
+               [build = std::move(build)](const WorkloadParams& params) {
+                 return make_asm_workload(build(params), params);
+               });
+}
+
+void register_builtin_workloads(Registry& registry) {
+  for (const auto kind : kernels::kAllBenchmarks) {
+    registry.add(BenchmarkWorkload::benchmark_name_lower(kind),
+                 [kind](const WorkloadParams& params) {
+                   return std::make_shared<const BenchmarkWorkload>(
+                       kind, params, /*auto_instrumented=*/false);
+                 });
+    registry.add(BenchmarkWorkload::benchmark_name_lower(kind) + ".auto",
+                 [kind](const WorkloadParams& params) {
+                   return std::make_shared<const BenchmarkWorkload>(
+                       kind, params, /*auto_instrumented=*/true);
+                 });
+  }
+  registry.add("clip8", [](const WorkloadParams& params) {
+    return make_asm_workload(clip8_desc(params), params);
+  });
+  registry.add("bandcount", [](const WorkloadParams& params) {
+    return make_asm_workload(bandcount_desc(params, false), params);
+  });
+  registry.add("bandcount.auto", [](const WorkloadParams& params) {
+    return make_asm_workload(bandcount_desc(params, true), params);
+  });
+  registry.add("streaming", [](const WorkloadParams& params) {
+    return std::make_shared<const StreamingWorkload>(params);
+  });
+}
+
+}  // namespace ulpsync::scenario

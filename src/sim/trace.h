@@ -14,6 +14,8 @@
 /// `window()` additionally renders a detailed per-cycle dump (status + PC +
 /// disassembly) for debugging kernels.
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <string>
