@@ -1,0 +1,183 @@
+// Simulator throughput harness: the repo's performance baseline.
+//
+// Sweeps core count x workload (the builtin paper/example kernels plus the
+// duty-cycled streaming monitor), times every run, and reports the host
+// throughput in simulated cycles per wall second. Each configuration is
+// additionally measured in three simulation modes, so the two hot-path
+// mechanisms can be tracked independently:
+//  * "full"      — engine defaults (lockstep analyzer attached; the
+//                  analyzer's per-cycle observer suppresses fast-forward),
+//  * "ff"        — no observer, idle fast-forward ON (the fastest mode),
+//  * "naive"     — no observer, idle fast-forward OFF (the reference
+//                  cycle-by-cycle loop).
+// Simulation *results* are identical across all three modes — only wall
+// time differs — which tests/test_fastforward.cpp asserts exhaustively.
+//
+// Emits BENCH_sim_throughput.json (override with --out=...). Flags:
+//   --samples N     samples per channel (default 256)
+//   --min-wall MS   minimum wall time per measured configuration (default 300)
+//   --out PATH      output JSON path (default BENCH_sim_throughput.json)
+//   --jobs N        accepted for CLI uniformity; measurements always run
+//                   serially so per-run wall times are undistorted
+// (Sweep-level wall budgets are an Engine feature — EngineOptions::budget;
+// they are meaningless for this harness's one-spec timing sweeps.)
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "scenario/report.h"
+
+namespace {
+
+using namespace ulpsync;
+using namespace ulpsync::scenario;
+
+struct Case {
+  const char* workload;
+  unsigned cores;
+  bool sleep_heavy;  ///< barrier/duty-cycle kernels (the paper's target mix)
+};
+
+constexpr Case kCases[] = {
+    {"mrpfltr", 8, true},  {"sqrt32", 8, true},  {"mrpdln", 8, true},
+    {"streaming", 8, true}, {"clip8", 8, false},
+    {"sqrt32", 4, true},   {"sqrt32", 2, true},
+};
+
+struct Mode {
+  const char* name;
+  bool measure_lockstep;
+  bool fast_forward;
+};
+
+constexpr Mode kModes[] = {
+    {"full", true, true},
+    {"ff", false, true},
+    {"naive", false, false},
+};
+
+struct Measurement {
+  std::uint64_t sim_cycles_per_run = 0;
+  unsigned reps = 0;
+  double wall_seconds = 0.0;
+
+  [[nodiscard]] double mcycles_per_second() const {
+    return wall_seconds <= 0.0 ? 0.0
+                               : static_cast<double>(sim_cycles_per_run) *
+                                     reps / wall_seconds / 1e6;
+  }
+};
+
+/// Repeats one spec until `min_wall` elapses, through Engine::run_timed so
+/// the measurement exercises exactly the code path every driver uses.
+Measurement measure(const Engine& engine, const RunSpec& spec,
+                    std::chrono::milliseconds min_wall) {
+  Measurement m;
+  {
+    const auto warmup = engine.run_timed({spec});
+    if (!warmup.records.front().ok()) {
+      throw std::runtime_error("perf case failed: " +
+                               warmup.records.front().spec.workload + ": " +
+                               warmup.records.front().verify_error);
+    }
+    m.sim_cycles_per_run = warmup.perf.sim_cycles;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  do {
+    const auto sweep = engine.run_timed({spec});
+    m.wall_seconds += sweep.perf.run_wall_seconds.front();
+    m.reps += 1;
+  } while (std::chrono::steady_clock::now() - start < min_wall);
+  return m;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  WorkloadParams base_params;
+  base_params.samples = static_cast<unsigned>(args.get_int("samples", 256));
+  const std::chrono::milliseconds min_wall(args.get_int("min-wall", 300));
+  const std::string out_path = args.get("out", "BENCH_sim_throughput.json");
+
+  EngineOptions base_options = engine_options_from(args);
+  base_options.jobs = 1;  // serial: per-run wall times must not contend
+
+  std::printf("simulator throughput (N=%u samples/channel, >=%lld ms per point)\n\n",
+              base_params.samples, static_cast<long long>(min_wall.count()));
+  util::Table table({"Workload", "cores", "mode", "sim cycles/run",
+                     "Mcycles/s", "reps"});
+
+  std::string runs_json;
+  double sleep_heavy_full_sum = 0.0;
+  unsigned sleep_heavy_full_count = 0;
+  for (const Case& c : kCases) {
+    RunSpec spec;
+    spec.workload = c.workload;
+    spec.params = base_params;
+    spec.params.num_channels = c.cores;
+    spec.design = DesignVariant::synchronized();
+
+    for (const Mode& mode : kModes) {
+      EngineOptions options = base_options;
+      options.measure_lockstep = mode.measure_lockstep;
+      spec.fast_forward = mode.fast_forward;
+      const Engine engine(Registry::builtins(), options);
+      const Measurement m = measure(engine, spec, min_wall);
+
+      table.add_row({c.workload, std::to_string(c.cores), mode.name,
+                     std::to_string(m.sim_cycles_per_run),
+                     util::Table::num(m.mcycles_per_second()),
+                     std::to_string(m.reps)});
+      if (!runs_json.empty()) runs_json += ",\n";
+      char buffer[512];
+      std::snprintf(buffer, sizeof(buffer),
+                    "    {\"workload\": \"%s\", \"cores\": %u, \"mode\": \"%s\", "
+                    "\"sleep_heavy\": %s, \"sim_cycles_per_run\": %llu, "
+                    "\"reps\": %u, \"wall_seconds\": %.6f, "
+                    "\"mcycles_per_second\": %.3f}",
+                    json_escape(c.workload).c_str(), c.cores, mode.name,
+                    c.sleep_heavy ? "true" : "false",
+                    static_cast<unsigned long long>(m.sim_cycles_per_run),
+                    m.reps, m.wall_seconds, m.mcycles_per_second());
+      runs_json += buffer;
+      if (c.sleep_heavy && c.cores == 8 && std::string(mode.name) == "full") {
+        sleep_heavy_full_sum += m.mcycles_per_second();
+        sleep_heavy_full_count += 1;
+      }
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  maybe_write_csv(args, table);
+
+  const double sleep_heavy_mean =
+      sleep_heavy_full_count == 0 ? 0.0
+                                  : sleep_heavy_full_sum / sleep_heavy_full_count;
+  std::printf("mean throughput, 8-core sleep-heavy workloads (full mode): "
+              "%.3f Mcycles/s\n", sleep_heavy_mean);
+
+  std::ofstream out(out_path);
+  out << "{\n"
+      << "  \"bench\": \"sim_throughput\",\n"
+      << "  \"samples_per_channel\": " << base_params.samples << ",\n"
+      << "  \"min_wall_ms\": " << min_wall.count() << ",\n"
+      << "  \"sleep_heavy_8core_full_mean_mcycles_per_second\": "
+      << sleep_heavy_mean << ",\n"
+      << "  \"runs\": [\n" << runs_json << "\n  ]\n}\n";
+  std::printf("JSON written to %s\n", out_path.c_str());
+  return 0;
+}

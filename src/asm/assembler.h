@@ -23,6 +23,7 @@
 ///
 /// Pseudo-instructions: `nop` (= add r0,r0,r0), `mov rd, ra` (= add rd,ra,r0).
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>

@@ -1,7 +1,5 @@
 #include "core/lockstep.h"
 
-#include <set>
-
 namespace ulpsync::core {
 
 double LockstepAnalyzer::Metrics::mean_pc_groups() const {
@@ -21,7 +19,11 @@ void LockstepAnalyzer::attach(sim::Platform& platform) {
 
 void LockstepAnalyzer::observe(const sim::Platform& platform) {
   metrics_.observed_cycles += 1;
-  std::set<std::uint32_t> pcs;
+  // Distinct-PC dedup in a fixed-size array: this runs once per simulated
+  // cycle, and at most 8 cores are ready, so linear probing beats any
+  // allocating container.
+  std::array<std::uint32_t, 8> pcs;
+  std::size_t distinct = 0;
   unsigned live = 0;
   unsigned ready = 0;
   for (unsigned c = 0; c < platform.config().num_cores; ++c) {
@@ -31,10 +33,13 @@ void LockstepAnalyzer::observe(const sim::Platform& platform) {
     if (status != sim::CoreStatus::kSleeping) ++live;
     if (status == sim::CoreStatus::kReady) {
       ++ready;
-      pcs.insert(platform.core_pc(c));
+      const std::uint32_t pc = platform.core_pc(c);
+      bool seen = false;
+      for (std::size_t i = 0; i < distinct; ++i) seen = seen || (pcs[i] == pc);
+      if (!seen && distinct < pcs.size()) pcs[distinct++] = pc;
     }
   }
-  const std::size_t groups = pcs.size() > 8 ? 8 : pcs.size();
+  const std::size_t groups = distinct;
   metrics_.pc_group_histogram[groups] += 1;
   if (ready >= 2 && ready == live && groups == 1)
     metrics_.full_lockstep_cycles += 1;

@@ -76,7 +76,7 @@ class Synchronizer {
   ///
   /// Call `begin_cycle()` before any submissions of a given cycle and
   /// `finish_cycle()` after the last one.
-  bool submit(unsigned core, std::uint32_t addr, bool is_checkout);
+  [[nodiscard]] bool submit(unsigned core, std::uint32_t addr, bool is_checkout);
 
   /// Result of one synchronizer cycle.
   struct CycleEvents {
@@ -87,8 +87,9 @@ class Synchronizer {
 
   /// Advances the in-flight RMW (if any) to its write phase, performing the
   /// DM write and producing completion/wake-up events. Must be called once
-  /// per cycle, before this cycle's `submit`s.
-  CycleEvents begin_cycle();
+  /// per cycle, before this cycle's `submit`s. Dropping the returned events
+  /// loses wake-ups, so the result must be consumed.
+  [[nodiscard]] CycleEvents begin_cycle();
 
   /// Performs the DM read phase for requests accepted this cycle.
   void finish_cycle();

@@ -38,6 +38,7 @@ RunRecord Engine::run_one(const RunSpec& spec) const {
     config.features = spec.design.features;
     if (spec.arbitration) config.arbitration = *spec.arbitration;
     if (spec.im_line_slots) config.im_line_slots = *spec.im_line_slots;
+    if (spec.fast_forward) config.fast_forward = *spec.fast_forward;
 
     sim::Platform platform(config);
     platform.load_program(workload->program(spec.with_synchronizer()));
@@ -85,14 +86,28 @@ RunRecord Engine::run_one(const RunSpec& spec) const {
 }
 
 std::vector<RunRecord> Engine::run(const std::vector<RunSpec>& specs) const {
-  std::vector<RunRecord> records(specs.size());
-  if (specs.empty()) return records;
+  return run_timed(specs).records;
+}
+
+SweepResult Engine::run_timed(const std::vector<RunSpec>& specs) const {
+  using Clock = std::chrono::steady_clock;
+
+  SweepResult result;
+  result.records.resize(specs.size());
+  result.perf.run_wall_seconds.assign(specs.size(), 0.0);
+  if (specs.empty()) return result;
 
   unsigned jobs = options_.jobs;
   if (jobs == 0) jobs = std::max(1u, std::thread::hardware_concurrency());
   jobs = static_cast<unsigned>(
       std::min<std::size_t>(jobs, specs.size()));
 
+  const Clock::time_point sweep_start = Clock::now();
+  const bool budgeted = !options_.budget.unlimited();
+  const Clock::time_point deadline = sweep_start + options_.budget.wall_limit;
+
+  std::vector<RunRecord>& records = result.records;
+  std::vector<std::uint8_t> executed(specs.size(), 0);
   std::atomic<std::size_t> next{0};
   std::size_t done = 0;
   std::mutex progress_mutex;
@@ -100,9 +115,16 @@ std::vector<RunRecord> Engine::run(const std::vector<RunSpec>& specs) const {
 
   auto worker = [&] {
     for (;;) {
+      // A run that has started always finishes; the budget only stops new
+      // runs from being claimed.
+      if (budgeted && Clock::now() >= deadline) return;
       const std::size_t index = next.fetch_add(1);
       if (index >= specs.size()) return;
+      const Clock::time_point run_start = Clock::now();
       records[index] = run_one(specs[index]);
+      result.perf.run_wall_seconds[index] =
+          std::chrono::duration<double>(Clock::now() - run_start).count();
+      executed[index] = 1;
       const std::lock_guard<std::mutex> lock(progress_mutex);
       ++done;
       if (options_.on_result) {
@@ -128,7 +150,23 @@ std::vector<RunRecord> Engine::run(const std::vector<RunSpec>& specs) const {
     for (auto& thread : pool) thread.join();
   }
   if (callback_error) std::rethrow_exception(callback_error);
-  return records;
+
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (executed[i]) {
+      result.perf.executed += 1;
+      result.perf.sim_cycles += records[i].cycles();
+    } else {
+      // Never claimed (budget expired or callback abort): report the spec
+      // with an explicit skip status rather than an empty record.
+      records[i].spec = specs[i];
+      records[i].status = "skipped";
+      records[i].verify_error = "perf budget exhausted before this run started";
+      result.perf.skipped += 1;
+    }
+  }
+  result.perf.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - sweep_start).count();
+  return result;
 }
 
 }  // namespace ulpsync::scenario

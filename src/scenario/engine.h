@@ -6,7 +6,9 @@
 /// makes the output — and anything serialized from it — identical whether
 /// the sweep ran serially or on N threads.
 
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -17,11 +19,56 @@
 
 namespace ulpsync::scenario {
 
+/// Wall-clock budget for a sweep. With a budget set, runs that have not
+/// *started* when the budget expires are returned as records with status
+/// "skipped" (started runs always finish, so every executed record is
+/// complete and valid). A budgeted sweep's output therefore depends on
+/// host speed — leave the budget unlimited (the default) whenever
+/// byte-identical, reproducible output matters.
+struct PerfBudget {
+  /// Maximum wall time for the whole sweep; zero = unlimited.
+  std::chrono::milliseconds wall_limit{0};
+
+  /// True when no limit is set.
+  [[nodiscard]] bool unlimited() const { return wall_limit.count() == 0; }
+};
+
+/// Wall-clock measurements of one sweep (`Engine::run_timed`). Simulation
+/// results never depend on these; they only describe how fast the host
+/// produced them.
+struct SweepPerf {
+  double wall_seconds = 0.0;      ///< whole sweep, including scheduling
+  std::uint64_t sim_cycles = 0;   ///< total simulated cycles over executed runs
+  std::size_t executed = 0;       ///< runs that actually executed
+  std::size_t skipped = 0;        ///< runs skipped by an expired PerfBudget
+  /// Per-record wall time, aligned with the records (0 for skipped runs).
+  std::vector<double> run_wall_seconds;
+
+  /// Aggregate simulator throughput of the sweep.
+  [[nodiscard]] double sim_cycles_per_second() const {
+    return wall_seconds <= 0.0
+               ? 0.0
+               : static_cast<double>(sim_cycles) / wall_seconds;
+  }
+};
+
+/// Records plus the timing of the sweep that produced them.
+struct SweepResult {
+  std::vector<RunRecord> records;
+  SweepPerf perf;
+};
+
+/// Host-side execution knobs of a sweep; simulation results never depend
+/// on them (except `measure_lockstep`, which adds the analyzer metrics).
 struct EngineOptions {
   /// Worker threads for `run`; 0 picks the hardware concurrency.
   unsigned jobs = 1;
-  /// Attach a LockstepAnalyzer to every run (tiny per-cycle cost).
+  /// Attach a LockstepAnalyzer to every run (tiny per-cycle cost; also
+  /// suppresses the platform's idle fast-forward, which needs an
+  /// observer-free run).
   bool measure_lockstep = true;
+  /// Wall-clock budget for the whole sweep; unlimited by default.
+  PerfBudget budget;
   /// Progress callback, invoked in completion order under an internal lock
   /// (`done` counts finished runs). Optional.
   std::function<void(const RunRecord& record, std::size_t done,
@@ -29,6 +76,8 @@ struct EngineOptions {
       on_result;
 };
 
+/// The sweep executor (see the file comment): runs `RunSpec`s on a host
+/// thread pool with deterministic, index-aligned results.
 class Engine {
  public:
   /// The registry must outlive the engine and stay unmodified while runs
@@ -43,8 +92,19 @@ class Engine {
   /// Executes all specs, in parallel when `jobs > 1`; `results[i]` always
   /// corresponds to `specs[i]`.
   [[nodiscard]] std::vector<RunRecord> run(const std::vector<RunSpec>& specs) const;
+  /// Expands the matrix and executes every spec (see the vector overload).
   [[nodiscard]] std::vector<RunRecord> run(const Matrix& matrix) const {
     return run(matrix.expand());
+  }
+
+  /// Like `run`, but also reports the sweep's wall-clock timing — total
+  /// and per-record — and honours `EngineOptions::budget`. This is the
+  /// entry point of the perf harness (`bench/perf_throughput`).
+  [[nodiscard]] SweepResult run_timed(const std::vector<RunSpec>& specs) const;
+  /// Expands the matrix and executes every spec with timing (see the
+  /// vector overload).
+  [[nodiscard]] SweepResult run_timed(const Matrix& matrix) const {
+    return run_timed(matrix.expand());
   }
 
  private:

@@ -23,26 +23,34 @@
 
 namespace ulpsync::scenario {
 
+/// Builder for the cross product of scenario axes (see the file comment);
+/// every setter returns *this for chaining.
 class Matrix {
  public:
+  /// Single-workload axis (shorthand for `workloads({name})`).
   Matrix& workload(std::string name);
+  /// Workload axis: registry names, expanded outermost.
   Matrix& workloads(std::vector<std::string> names);
   /// Base parameter block every expanded spec starts from.
   Matrix& base_params(const WorkloadParams& params);
   /// Design axis; defaults to {baseline, synchronized} when never set.
   Matrix& designs(std::vector<DesignVariant> variants);
+  /// Single-design axis (shorthand for `designs({variant})`).
   Matrix& design(DesignVariant variant);
   /// Core-count axis (sets `params.num_channels`).
   Matrix& num_cores(std::vector<unsigned> cores);
   /// Samples-per-channel axis (sets `params.samples`).
   Matrix& samples(std::vector<unsigned> values);
+  /// Crossbar arbitration-policy axis.
   Matrix& arbitration(std::vector<sim::ArbitrationPolicy> policies);
   /// IM bank-mapping axis; 0 selects pure block mapping.
   Matrix& im_line_slots(std::vector<unsigned> lines);
+  /// Cycle budget applied to every expanded spec.
   Matrix& max_cycles(std::uint64_t budget);
 
   /// Number of specs `expand()` will produce.
   [[nodiscard]] std::size_t size() const;
+  /// The cross product as concrete specs, in deterministic nesting order.
   [[nodiscard]] std::vector<RunSpec> expand() const;
 
  private:

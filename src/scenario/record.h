@@ -24,8 +24,10 @@
 
 namespace ulpsync::scenario {
 
+/// Everything one finished run produced (see the file comment): the spec,
+/// final status, counters, derived metrics and workload extras.
 struct RunRecord {
-  RunSpec spec;
+  RunSpec spec;  ///< the spec this record answers
   /// Final platform state: "all-halted", "max-cycles", "all-asleep",
   /// "trap", or "error" (host-side exception, message in verify_error).
   std::string status;
@@ -45,6 +47,7 @@ struct RunRecord {
     return verify_error.empty() &&
            (status == "all-halted" || status == "all-asleep");
   }
+  /// Total simulated cycles of the run.
   [[nodiscard]] std::uint64_t cycles() const { return counters.cycles; }
   /// Value of an extra field, or "" when absent.
   [[nodiscard]] std::string_view extra_value(std::string_view key) const;
@@ -52,7 +55,9 @@ struct RunRecord {
 
 // --- CSV -------------------------------------------------------------------
 
+/// The fixed CSV column header (field-table order).
 [[nodiscard]] std::string csv_header();
+/// One record as a CSV row matching `csv_header()`.
 [[nodiscard]] std::string to_csv_row(const RunRecord& record);
 /// Header plus one row per record.
 [[nodiscard]] std::string to_csv(const std::vector<RunRecord>& records);
@@ -62,6 +67,7 @@ struct RunRecord {
 
 // --- JSON ------------------------------------------------------------------
 
+/// One record as a flat JSON object (fixed fields plus `extra`).
 [[nodiscard]] std::string to_json(const RunRecord& record);
 /// JSON array of record objects.
 [[nodiscard]] std::string to_json(const std::vector<RunRecord>& records);

@@ -18,8 +18,10 @@
 
 namespace ulpsync::scenario {
 
+/// Name → workload-factory map (see the file comment).
 class Registry {
  public:
+  /// Builds a workload instance for one parameter block.
   using Factory =
       std::function<std::shared_ptr<const Workload>(const WorkloadParams&)>;
 
@@ -27,6 +29,7 @@ class Registry {
   /// or already taken — duplicate names would make specs ambiguous.
   void add(std::string name, Factory factory);
 
+  /// True when a factory is registered under `name`.
   [[nodiscard]] bool contains(std::string_view name) const;
   [[nodiscard]] std::vector<std::string> names() const;  ///< sorted
 

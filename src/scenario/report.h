@@ -31,6 +31,7 @@ void require_ok(const std::vector<RunRecord>& records);
                                            std::string_view workload,
                                            std::string_view design_label);
 
+/// The two designs' records for one workload, for side-by-side comparison.
 struct DesignPair {
   const RunRecord* baseline = nullptr;  ///< w/o synchronizer
   const RunRecord* synced = nullptr;    ///< with synchronizer

@@ -32,6 +32,7 @@ struct DesignVariant {
   }
 };
 
+/// One fully resolved simulation run (see the file comment).
 struct RunSpec {
   std::string workload;  ///< registry name
   WorkloadParams params;
@@ -40,6 +41,11 @@ struct RunSpec {
   /// the workload's (i.e. the paper's) defaults.
   std::optional<sim::ArbitrationPolicy> arbitration;
   std::optional<unsigned> im_line_slots;  ///< 0 = pure block mapping
+  /// Host-simulation override of `sim::PlatformConfig::fast_forward` (idle
+  /// fast-forward; results are bit-identical either way, so this only
+  /// matters to equivalence tests and the perf harness). Unset keeps the
+  /// platform default (on). Not serialized with the record.
+  std::optional<bool> fast_forward;
   std::uint64_t max_cycles = 500'000'000;
 
   /// A design runs instrumented code exactly when it has the synchronizer

@@ -30,10 +30,12 @@ namespace ulpsync::scenario {
 /// input generator); workloads that need less simply ignore the rest.
 using WorkloadParams = kernels::BenchmarkParams;
 
+/// One runnable program with its host-side hooks (see the file comment).
 class Workload {
  public:
   virtual ~Workload() = default;
 
+  /// Registry name of this workload.
   [[nodiscard]] virtual std::string_view name() const = 0;
 
   /// Number of cores this workload occupies (one channel per core).

@@ -29,7 +29,9 @@ struct SyncFeatures {
   /// cross-core PC comparison this paper introduces.
   bool ixbar_partial_broadcast = true;
 
+  /// All enhancements on: the paper's improved design.
   [[nodiscard]] static SyncFeatures enabled() { return {true, true, true}; }
+  /// All enhancements off: the ulpmc-bank baseline of [4].
   [[nodiscard]] static SyncFeatures disabled() { return {false, false, false}; }
 };
 
@@ -42,6 +44,8 @@ enum class ArbitrationPolicy : std::uint8_t {
   kRoundRobin,     ///< rotating priority pointer (advances every cycle)
 };
 
+/// Geometry and feature set of one simulated platform instance. Defaults
+/// reproduce the paper's 8-core system (see the file comment).
 struct PlatformConfig {
   unsigned num_cores = 8;         ///< 1..8
   unsigned im_banks = 8;
@@ -83,8 +87,16 @@ struct PlatformConfig {
   /// released sequentially); only the synchronized design re-aligns, at its
   /// first check-out point. Setting 0 models an idealized common release.
   unsigned start_stagger_cycles = 3;
+  /// Host-side simulation speed (not a modeled hardware feature): lets
+  /// `Platform::run` jump the clock over provably event-free idle regions
+  /// (all cores sleeping/halted or inside a deterministic bubble/wake-up
+  /// ramp) while batch-updating the counters. Results are bit-identical to
+  /// the cycle-by-cycle loop; disable only to cross-check that equivalence.
+  bool fast_forward = true;
 
+  /// Total instruction-memory capacity in instruction slots.
   [[nodiscard]] unsigned im_slots() const { return im_banks * im_bank_slots; }
+  /// Total data-memory capacity in 16-bit words.
   [[nodiscard]] unsigned dm_words() const { return dm_banks * dm_bank_words; }
 
   /// Paper's improved design ("with synchronizer").

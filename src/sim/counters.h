@@ -10,7 +10,10 @@
 
 namespace ulpsync::sim {
 
+/// Cycle-accurate event totals of one platform run (see the file comment);
+/// reset together with the platform.
 struct EventCounters {
+  /// Upper bound on cores per platform (the checkpoint word has 8 flags).
   static constexpr unsigned kMaxCores = 8;
 
   std::uint64_t cycles = 0;

@@ -1,0 +1,57 @@
+#include "sim/decoded_image.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace ulpsync::sim {
+
+namespace {
+
+constexpr isa::Instruction kHaltInstr{isa::Opcode::kHalt, 0, 0, 0, 0};
+
+}  // namespace
+
+DecodedImage::DecodedImage(unsigned slots, unsigned banks, unsigned bank_slots,
+                           unsigned line_slots)
+    : code_(slots, kHaltInstr), bank_table_(slots) {
+  assert(banks >= 1 && bank_slots >= 1);
+  for (std::uint32_t pc = 0; pc < slots; ++pc) {
+    bank_table_[pc] = static_cast<std::uint16_t>(
+        line_slots == 0 ? pc / bank_slots : (pc / line_slots) % banks);
+  }
+}
+
+void DecodedImage::load(std::uint32_t origin,
+                        std::span<const isa::Instruction> code) {
+  assert(origin + code.size() <= code_.size());
+  std::fill(code_.begin(), code_.end(), kHaltInstr);
+  std::copy(code.begin(), code.end(), code_.begin() + origin);
+  begin_ = origin;
+  end_ = origin + static_cast<std::uint32_t>(code.size());
+}
+
+std::string DecodedImage::load_encoded(std::uint32_t origin,
+                                       std::span<const std::uint32_t> image) {
+  if (origin + image.size() > code_.size()) {
+    return "image does not fit: origin " + std::to_string(origin) + " + " +
+           std::to_string(image.size()) + " words > " +
+           std::to_string(code_.size()) + " slots";
+  }
+  std::vector<isa::Instruction> decoded;
+  decoded.reserve(image.size());
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    const auto instr = isa::decode(image[i]);
+    if (!instr) {
+      std::ostringstream error;
+      error << "undecodable instruction word 0x" << std::hex << image[i]
+            << std::dec << " at slot " << (origin + i);
+      return error.str();
+    }
+    decoded.push_back(*instr);
+  }
+  load(origin, decoded);
+  return {};
+}
+
+}  // namespace ulpsync::sim

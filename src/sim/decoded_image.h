@@ -1,0 +1,82 @@
+#pragma once
+
+/// Predecoded instruction memory.
+///
+/// The physical IM stores encoded instruction words; re-decoding a word on
+/// every fetch would put bit-field extraction on the simulator's hottest
+/// path. A `DecodedImage` is built once per `load`: every IM slot holds a
+/// ready-to-execute `isa::Instruction`, and the IM bank of every slot —
+/// a divide/modulo chain under the configurable line-interleaved mapping —
+/// is precomputed into a flat lookup table. `Platform` fetches are then two
+/// array reads.
+///
+/// Images can be loaded either from an already-decoded instruction sequence
+/// (the assembler's output) or from an encoded word image
+/// (`load_encoded`), which is how a program round-trips through
+/// `isa::encode`/`isa::decode` — e.g. when a host loads a binary image
+/// produced by an external toolchain.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "isa/isa.h"
+
+namespace ulpsync::sim {
+
+/// Instruction memory predecoded for the simulator's fetch path (see the
+/// file comment).
+class DecodedImage {
+ public:
+  DecodedImage() = default;
+
+  /// An image of `slots` IM slots, every slot predecoded to HALT, with the
+  /// bank table built for the given geometry: `line_slots == 0` selects
+  /// pure block mapping (bank = pc / bank_slots), otherwise lines of
+  /// `line_slots` consecutive slots rotate across `banks`.
+  DecodedImage(unsigned slots, unsigned banks, unsigned bank_slots,
+               unsigned line_slots);
+
+  /// Installs decoded code at `origin`, resetting all other slots to HALT.
+  /// The loaded range must fit in the image.
+  void load(std::uint32_t origin, std::span<const isa::Instruction> code);
+
+  /// Decodes an encoded word image and installs it at `origin`. Returns an
+  /// empty string on success, else a description of the first undecodable
+  /// word (the image is left unmodified on failure).
+  [[nodiscard]] std::string load_encoded(std::uint32_t origin,
+                                         std::span<const std::uint32_t> image);
+
+  /// Number of IM slots.
+  [[nodiscard]] std::uint32_t slots() const {
+    return static_cast<std::uint32_t>(code_.size());
+  }
+  /// First slot of the loaded program.
+  [[nodiscard]] std::uint32_t begin() const { return begin_; }
+  /// One past the last slot of the loaded program.
+  [[nodiscard]] std::uint32_t end() const { return end_; }
+  /// True when `pc` addresses a slot inside the loaded program.
+  [[nodiscard]] bool in_program(std::uint32_t pc) const {
+    return pc >= begin_ && pc < end_;
+  }
+
+  /// Predecoded instruction at `pc` (unchecked).
+  [[nodiscard]] const isa::Instruction& at(std::uint32_t pc) const {
+    return code_[pc];
+  }
+  /// Precomputed IM bank of `pc` (unchecked).
+  [[nodiscard]] unsigned bank_of(std::uint32_t pc) const {
+    return bank_table_[pc];
+  }
+
+  friend bool operator==(const DecodedImage&, const DecodedImage&) = default;
+
+ private:
+  std::vector<isa::Instruction> code_;
+  std::vector<std::uint16_t> bank_table_;  ///< IM bank per slot
+  std::uint32_t begin_ = 0;
+  std::uint32_t end_ = 0;
+};
+
+}  // namespace ulpsync::sim

@@ -13,6 +13,7 @@
 
 namespace ulpsync::sim {
 
+/// The four condition flags, written only by CMP/CMPI.
 struct Flags {
   bool z = false;  ///< zero
   bool n = false;  ///< negative (bit 15 of the difference)
@@ -29,14 +30,17 @@ struct CoreArchState {
   std::uint16_t core_id = 0;  ///< CSR 0
   std::uint16_t num_cores = 8;///< CSR 1
 
+  /// Register read; r0 is hard-wired to zero.
   [[nodiscard]] std::uint16_t reg(unsigned r) const {
     return r == 0 ? 0 : regs[r];
   }
+  /// Register write; writes to r0 are discarded.
   void set_reg(unsigned r, std::uint16_t value) {
     if (r != 0) regs[r] = value;
   }
 };
 
+/// External effect of one executed instruction, for the platform to apply.
 enum class ExecAction : std::uint8_t {
   kAdvance,   ///< completed; continue at `next_pc`
   kMemLoad,   ///< needs a DM read of `mem_addr` into `load_reg`
@@ -47,6 +51,7 @@ enum class ExecAction : std::uint8_t {
   kTrap,      ///< architectural fault
 };
 
+/// Architectural fault classes a core can raise.
 enum class TrapKind : std::uint8_t {
   kNone,
   kInvalidCsr,          ///< CSR index out of range or write to a RO CSR
@@ -56,6 +61,7 @@ enum class TrapKind : std::uint8_t {
   kSyncWithoutHardware, ///< SINC/SDEC with the synchronizer feature absent
 };
 
+/// Outcome of `execute`: the action plus its operands.
 struct ExecResult {
   ExecAction action = ExecAction::kAdvance;
   TrapKind trap = TrapKind::kNone;

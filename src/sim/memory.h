@@ -8,21 +8,30 @@
 
 namespace ulpsync::sim {
 
+/// Flat 16-bit word memory divided into equally sized banks (see the file
+/// comment); the platform arbitrates one access per bank per cycle.
 class BankedMemory {
  public:
   BankedMemory(unsigned banks, unsigned words_per_bank);
 
+  /// Number of banks.
   [[nodiscard]] unsigned banks() const { return banks_; }
+  /// Capacity of one bank in 16-bit words.
   [[nodiscard]] unsigned words_per_bank() const { return words_per_bank_; }
+  /// Total capacity in 16-bit words.
   [[nodiscard]] std::uint32_t size() const {
     return static_cast<std::uint32_t>(words_.size());
   }
+  /// True when `addr` is a valid word address.
   [[nodiscard]] bool in_range(std::uint32_t addr) const { return addr < size(); }
+  /// Bank index of a word address (block mapping).
   [[nodiscard]] unsigned bank_of(std::uint32_t addr) const {
     return addr / words_per_bank_;
   }
 
+  /// Reads one word (addr must be in range).
   [[nodiscard]] std::uint16_t read(std::uint32_t addr) const;
+  /// Writes one word (addr must be in range).
   void write(std::uint32_t addr, std::uint16_t value);
 
   /// Zero-fills the whole memory.

@@ -4,14 +4,9 @@
 #include <cassert>
 #include <map>
 #include <sstream>
+#include <stdexcept>
 
 namespace ulpsync::sim {
-
-namespace {
-
-constexpr isa::Instruction kHaltInstr{isa::Opcode::kHalt, 0, 0, 0, 0};
-
-}  // namespace
 
 std::string_view to_string(CoreStatus status) {
   switch (status) {
@@ -44,24 +39,31 @@ std::string RunResult::to_string() const {
 
 Platform::Platform(const PlatformConfig& config)
     : config_(config),
-      im_code_(config.im_slots(), kHaltInstr),
+      im_(config.im_slots(), config.im_banks, config.im_bank_slots,
+          config.im_line_slots),
       dm_(config.dm_banks, config.dm_bank_words),
       dm_port_(dm_),
       synchronizer_(dm_port_, config.num_cores),
       cores_(config.num_cores),
-      policy_groups_(config.dm_banks),
-      active_this_cycle_(config.num_cores, false) {
+      policy_groups_(config.dm_banks) {
   assert(config.num_cores >= 1 && config.num_cores <= EventCounters::kMaxCores);
+  fetch_requests_.reserve(config.num_cores);
+  fetch_winners_.reserve(config.num_cores);
+  dm_requesters_.reserve(config.num_cores);
+  bank_runs_.reserve(config.num_cores);
   reset();
 }
 
 void Platform::load_program(const assembler::Program& program) {
-  assert(program.origin + program.code.size() <= im_code_.size());
-  std::fill(im_code_.begin(), im_code_.end(), kHaltInstr);
-  std::copy(program.code.begin(), program.code.end(),
-            im_code_.begin() + program.origin);
-  program_begin_ = program.origin;
-  program_end_ = program.origin + static_cast<std::uint32_t>(program.code.size());
+  assert(program.origin + program.code.size() <= im_.slots());
+  im_.load(program.origin, program.code);
+  reset();
+}
+
+void Platform::load_image(std::uint32_t origin,
+                          std::span<const std::uint32_t> image) {
+  const std::string error = im_.load_encoded(origin, image);
+  if (!error.empty()) throw std::invalid_argument(error);
   reset();
 }
 
@@ -72,14 +74,16 @@ void Platform::reset(bool clear_dm) {
     core.arch.core_id = static_cast<std::uint16_t>(i);
     core.arch.num_cores = static_cast<std::uint16_t>(config_.num_cores);
     core.arch.rsync = config_.sync_array_base;
-    core.arch.pc = program_begin_;
+    core.arch.pc = im_.begin();
     core.ramp_cycles = i * config_.start_stagger_cycles;
   }
   for (auto& group : policy_groups_) group = PolicyGroup{};
+  active_policy_groups_ = 0;
   counters_ = EventCounters{};
   synchronizer_.reset_stats();
   pending_stop_.reset();
   was_lockstep_ = true;
+  fast_forwarded_cycles_ = 0;
   if (clear_dm) dm_.clear();
 }
 
@@ -105,16 +109,6 @@ std::vector<std::uint16_t> Platform::dm_read_block(std::uint32_t addr,
 
 const core::SynchronizerStats& Platform::sync_stats() const {
   return synchronizer_.stats();
-}
-
-CoreStatus Platform::core_status(unsigned core) const {
-  return cores_[core].status;
-}
-
-std::uint32_t Platform::core_pc(unsigned core) const { return cores_[core].arch.pc; }
-
-std::uint16_t Platform::core_reg(unsigned core, unsigned reg) const {
-  return cores_[core].arch.reg(reg);
 }
 
 void Platform::interrupt(unsigned core) {
@@ -171,6 +165,10 @@ void Platform::retire_mem(unsigned core) {
 // Phase 1: synchronizer write phase — completions and wake-ups.
 void Platform::phase_sync_writeback() {
   const auto events = synchronizer_.begin_cycle();
+  if ((events.completed_checkin_mask | events.completed_checkout_mask |
+       events.wake_mask) == 0) {
+    return;  // the common cycle: no RMW completing, nobody to wake
+  }
   for (unsigned i = 0; i < cores_.size(); ++i) {
     const auto bit = static_cast<std::uint16_t>(1u << i);
     if (events.completed_checkin_mask & bit) {
@@ -195,13 +193,9 @@ void Platform::phase_sync_writeback() {
 // Phase 2+3: I-Xbar arbitration and execution of the served instructions.
 void Platform::phase_fetch_and_execute() {
   fetch_winners_.clear();
+  fetch_requests_.clear();
 
-  // Collect fetch requests per IM bank.
-  struct Fetcher {
-    unsigned core;
-    std::uint32_t pc;
-  };
-  std::map<unsigned, std::vector<Fetcher>> by_bank;
+  // Collect fetch requests (with their precomputed IM bank).
   unsigned total_fetchers = 0;
   bool all_same_pc = true;
   std::uint32_t first_pc = 0;
@@ -228,17 +222,14 @@ void Platform::phase_fetch_and_execute() {
       continue;
     }
     const std::uint32_t pc = c.arch.pc;
-    if (pc < program_begin_ || pc >= program_end_) {
+    if (!im_.in_program(pc)) {
       trap(i, TrapKind::kImOutOfRange);
       continue;
     }
     if (total_fetchers == 0) first_pc = pc;
     all_same_pc = all_same_pc && (pc == first_pc);
     ++total_fetchers;
-    const unsigned bank = config_.im_line_slots == 0
-                              ? pc / config_.im_bank_slots
-                              : (pc / config_.im_line_slots) % config_.im_banks;
-    by_bank[bank].push_back({i, pc});
+    fetch_requests_.push_back({i, pc, im_.bank_of(pc)});
   }
 
   if (total_fetchers > 0) counters_.fetch_cycles += 1;
@@ -249,24 +240,48 @@ void Platform::phase_fetch_and_execute() {
     counters_.divergence_events += 1;
   was_lockstep_ = lockstep || total_fetchers < 2;
 
-  for (auto& [bank, fetchers] : by_bank) {
-    (void)bank;
+  // Group requests by bank: sort by (bank, core). Core order within a bank
+  // and ascending bank order match the request-collection order above, so
+  // arbitration below is deterministic. When every request hits one bank
+  // (the lockstep common case) the collection order is already sorted.
+  bool one_bank = true;
+  for (const FetchRequest& f : fetch_requests_)
+    one_bank = one_bank && f.bank == fetch_requests_.front().bank;
+  if (!one_bank) {
+    std::sort(fetch_requests_.begin(), fetch_requests_.end(),
+              [](const FetchRequest& a, const FetchRequest& b) {
+                return (static_cast<std::uint64_t>(a.bank) << 4 | a.core) <
+                       (static_cast<std::uint64_t>(b.bank) << 4 | b.core);
+              });
+  }
+
+  for (std::size_t begin = 0; begin < fetch_requests_.size();) {
+    std::size_t end = begin + 1;
+    while (end < fetch_requests_.size() &&
+           fetch_requests_[end].bank == fetch_requests_[begin].bank) {
+      ++end;
+    }
+    const std::span<const FetchRequest> fetchers(fetch_requests_.data() + begin,
+                                                 end - begin);
+    begin = end;
+
     // Choose the winning address. Fixed priority (the paper's "served in
     // sequence"): the lowest-indexed requester; oldest-first for ablation.
     // With broadcasting, every requester of that address is served by the
     // single bank read.
-    const Fetcher* winner = &fetchers.front();
+    const FetchRequest* winner = &fetchers.front();
     if (config_.arbitration == ArbitrationPolicy::kOldestFirst) {
-      for (const Fetcher& f : fetchers) {
+      for (const FetchRequest& f : fetchers) {
         if (cores_[f.core].stall_age > cores_[winner->core].stall_age)
           winner = &f;
       }
     } else if (config_.arbitration == ArbitrationPolicy::kRoundRobin) {
+      const unsigned rr_base = rr_pointer_ % config_.num_cores;
       auto rr_rank = [&](unsigned core) {
-        return (core + config_.num_cores -
-                rr_pointer_ % config_.num_cores) % config_.num_cores;
+        return core >= rr_base ? core - rr_base
+                               : core + config_.num_cores - rr_base;
       };
-      for (const Fetcher& f : fetchers) {
+      for (const FetchRequest& f : fetchers) {
         if (rr_rank(f.core) < rr_rank(winner->core)) winner = &f;
       }
     }
@@ -276,14 +291,14 @@ void Platform::phase_fetch_and_execute() {
     // subset shares the read; the baseline broadcasts only when the whole
     // group coincides.
     bool group_uniform = true;
-    for (const Fetcher& f : fetchers) group_uniform &= (f.pc == win_pc);
+    for (const FetchRequest& f : fetchers) group_uniform &= (f.pc == win_pc);
     const bool allow_group_serve =
         config_.im_fetch_broadcast &&
         (config_.features.ixbar_partial_broadcast || group_uniform);
 
     unsigned served = 0;
     bool first_served = true;
-    for (const Fetcher& f : fetchers) {
+    for (const FetchRequest& f : fetchers) {
       const bool serve = (f.pc == win_pc) && (allow_group_serve || first_served);
       if (serve) {
         fetch_winners_.push_back(f.core);
@@ -302,10 +317,9 @@ void Platform::phase_fetch_and_execute() {
   }
 
   // Execute the served instructions.
-  sync_submitters_.clear();
   for (unsigned core_index : fetch_winners_) {
     CoreRuntime& c = cores_[core_index];
-    const isa::Instruction& instr = im_code_[c.arch.pc];
+    const isa::Instruction& instr = im_.at(c.arch.pc);
     const ExecResult result = execute(c.arch, instr);
     active_this_cycle_[core_index] = true;
 
@@ -385,18 +399,47 @@ void Platform::phase_sync_submit() {
 void Platform::phase_dxbar() {
   dm_requesters_.clear();
   for (unsigned i = 0; i < cores_.size(); ++i) {
-    if (cores_[i].status == CoreStatus::kMemWait) dm_requesters_.push_back(i);
+    if (cores_[i].status == CoreStatus::kMemWait) {
+      dm_bank_of_core_[i] = dm_.bank_of(cores_[i].mem_addr);
+      dm_requesters_.push_back(i);
+    }
   }
+  if (dm_requesters_.empty() && active_policy_groups_ == 0) return;
 
-  // Group requesters by DM bank.
-  std::map<unsigned, std::vector<unsigned>> by_bank;
-  for (unsigned core_index : dm_requesters_)
-    by_bank[dm_.bank_of(cores_[core_index].mem_addr)].push_back(core_index);
+  // Group requesters by DM bank: sort by (bank, core) and slice into
+  // per-bank runs; run order is ascending bank, member order is ascending
+  // core index — the same deterministic order the arbitration rules assume.
+  // The collection order is already ascending core, so when all requesters
+  // hit one bank (the lockstep common case) no sort is needed.
+  bool one_bank = true;
+  for (unsigned core_index : dm_requesters_) {
+    one_bank = one_bank &&
+               dm_bank_of_core_[core_index] == dm_bank_of_core_[dm_requesters_.front()];
+  }
+  if (!one_bank) {
+    std::sort(dm_requesters_.begin(), dm_requesters_.end(),
+              [&](unsigned a, unsigned b) {
+                return (static_cast<std::uint64_t>(dm_bank_of_core_[a]) << 4 | a) <
+                       (static_cast<std::uint64_t>(dm_bank_of_core_[b]) << 4 | b);
+              });
+  }
+  bank_runs_.clear();
+  for (unsigned i = 0; i < dm_requesters_.size();) {
+    const unsigned bank = dm_bank_of_core_[dm_requesters_[i]];
+    unsigned end = i + 1;
+    while (end < dm_requesters_.size() &&
+           dm_bank_of_core_[dm_requesters_[end]] == bank) {
+      ++end;
+    }
+    bank_runs_.push_back({bank, i, end - i, false});
+    i = end;
+  }
 
   const int locked_bank = synchronizer_.locked_bank();
 
   // First, progress active policy groups (their banks are reserved).
-  for (unsigned bank = 0; bank < policy_groups_.size(); ++bank) {
+  for (unsigned bank = 0;
+       active_policy_groups_ > 0 && bank < policy_groups_.size(); ++bank) {
     PolicyGroup& group = policy_groups_[bank];
     if (!group.active) continue;
     if (static_cast<int>(bank) == locked_bank) {
@@ -457,6 +500,8 @@ void Platform::phase_dxbar() {
         }
       }
       group = PolicyGroup{};
+      assert(active_policy_groups_ > 0);
+      active_policy_groups_ -= 1;
     } else {
       // Held members are clock gated while the rest of the group is served.
       for (unsigned i = 0; i < cores_.size(); ++i) {
@@ -467,20 +512,26 @@ void Platform::phase_dxbar() {
       }
     }
     // Non-member requesters to this bank stall this cycle.
-    if (auto it = by_bank.find(bank); it != by_bank.end()) {
-      for (unsigned core_index : it->second) {
+    for (BankRun& run : bank_runs_) {
+      if (run.bank != bank || run.consumed) continue;
+      for (unsigned j = run.first; j < run.first + run.count; ++j) {
+        const unsigned core_index = dm_requesters_[j];
         if ((group.member_mask >> core_index) & 1u) continue;
         if (cores_[core_index].status == CoreStatus::kMemWait) {
           counters_.core_mem_stall_cycles += 1;
           cores_[core_index].stall_age += 1;
         }
       }
-      by_bank.erase(it);
+      run.consumed = true;
     }
   }
 
   // Ordinary arbitration on the remaining banks.
-  for (auto& [bank, requesters] : by_bank) {
+  for (const BankRun& run : bank_runs_) {
+    if (run.consumed) continue;
+    const unsigned bank = run.bank;
+    const std::span<const unsigned> requesters(dm_requesters_.data() + run.first,
+                                               run.count);
     if (policy_groups_[bank].active) continue;  // handled above
     if (static_cast<int>(bank) == locked_bank) {
       for (unsigned core_index : requesters) {
@@ -534,6 +585,7 @@ void Platform::phase_dxbar() {
       if (best != nullptr) {
         PolicyGroup& group = policy_groups_[bank];
         group.active = true;
+        active_policy_groups_ += 1;
         group.pc = cores_[best->front()].arch.pc;
         group.member_mask = 0;
         for (unsigned core_index : *best)
@@ -560,9 +612,10 @@ void Platform::phase_dxbar() {
           winner = core_index;
       }
     } else if (config_.arbitration == ArbitrationPolicy::kRoundRobin) {
+      const unsigned rr_base = rr_pointer_ % config_.num_cores;
       auto rr_rank = [&](unsigned core) {
-        return (core + config_.num_cores -
-                rr_pointer_ % config_.num_cores) % config_.num_cores;
+        return core >= rr_base ? core - rr_base
+                               : core + config_.num_cores - rr_base;
       };
       for (unsigned core_index : requesters) {
         if (rr_rank(core_index) < rr_rank(winner)) winner = core_index;
@@ -600,12 +653,16 @@ void Platform::phase_dxbar() {
 void Platform::tick() {
   counters_.cycles += 1;
   rr_pointer_ += 1;
-  std::fill(active_this_cycle_.begin(), active_this_cycle_.end(), false);
+  active_this_cycle_.fill(0);
 
   phase_sync_writeback();
-  // Cores still inside the RMW write phase are clocked.
-  for (unsigned i = 0; i < cores_.size(); ++i) {
-    if (cores_[i].status == CoreStatus::kSyncBusy) active_this_cycle_[i] = true;
+  // Cores still inside the RMW write phase are clocked. (With the 2-cycle
+  // RMW every kSyncBusy core retires in the writeback above, so this scan
+  // only matters while an RMW is in flight.)
+  if (synchronizer_.busy()) {
+    for (unsigned i = 0; i < cores_.size(); ++i) {
+      if (cores_[i].status == CoreStatus::kSyncBusy) active_this_cycle_[i] = true;
+    }
   }
   phase_fetch_and_execute();
   phase_sync_submit();
@@ -626,28 +683,96 @@ void Platform::tick() {
   if (observer_) observer_(*this);
 }
 
+std::uint64_t Platform::try_fast_forward(std::uint64_t max_skip) {
+  if (!config_.fast_forward || observer_ || max_skip == 0) return 0;
+  if (synchronizer_.busy()) return 0;
+
+  // Eligibility: every core must be in a state whose next cycles are
+  // provably event-free — halted/trapped/sleeping cores don't change at
+  // all, and a Ready core inside its branch bubble or wake-up ramp only
+  // counts the bubble/ramp down. Any other state (a pending DM access, a
+  // sync request, a Ready core about to fetch) needs the full phase logic.
+  std::uint64_t skip = max_skip;
+  bool any_ready = false;
+  for (const CoreRuntime& c : cores_) {
+    switch (c.status) {
+      case CoreStatus::kHalted:
+      case CoreStatus::kTrapped:
+      case CoreStatus::kSleeping:
+        break;
+      case CoreStatus::kReady: {
+        const std::uint64_t idle =
+            static_cast<std::uint64_t>(c.bubble_cycles) + c.ramp_cycles;
+        if (idle == 0) return 0;  // fetches next cycle
+        any_ready = true;
+        skip = std::min(skip, idle);
+        break;
+      }
+      default:
+        return 0;  // kMemWait / kPolicyHold / kSyncWait / kSyncBusy
+    }
+  }
+  // With no Ready core at all the platform is finished or deadlocked;
+  // run()'s exit logic owns that case.
+  if (!any_ready) return 0;
+
+  // Batch-apply exactly what `skip` naive ticks would have done: per tick a
+  // Ready core first counts its bubble down (clocked, branch-bubble
+  // accounting), then its ramp (gated, wake-up-ramp accounting); sleeping
+  // cores accrue sleep cycles; nothing else changes.
+  counters_.cycles += skip;
+  rr_pointer_ += static_cast<unsigned>(skip);
+  for (unsigned i = 0; i < cores_.size(); ++i) {
+    CoreRuntime& c = cores_[i];
+    if (c.status == CoreStatus::kSleeping) {
+      counters_.core_sleep_cycles += skip;
+      counters_.per_core_sleep[i] += skip;
+    } else if (c.status == CoreStatus::kReady) {
+      const auto bubble_part =
+          static_cast<unsigned>(std::min<std::uint64_t>(c.bubble_cycles, skip));
+      c.bubble_cycles -= bubble_part;
+      counters_.core_branch_bubble_cycles += bubble_part;
+      counters_.core_active_cycles += bubble_part;
+      counters_.per_core_active[i] += bubble_part;
+      const auto ramp_part = static_cast<unsigned>(
+          std::min<std::uint64_t>(c.ramp_cycles, skip - bubble_part));
+      c.ramp_cycles -= ramp_part;
+      counters_.core_wakeup_ramp_cycles += ramp_part;
+    }
+  }
+  // Every skipped cycle had zero fetchers, which the lockstep tracker
+  // records as "trivially in lockstep".
+  was_lockstep_ = true;
+  fast_forwarded_cycles_ += skip;
+  return skip;
+}
+
 RunResult Platform::run(std::uint64_t max_cycles) {
   RunResult result;
   while (counters_.cycles < max_cycles) {
-    if (all_halted()) {
-      result.status = RunResult::Status::kAllHalted;
-      result.cycles = counters_.cycles;
-      return result;
-    }
-    // Deadlock: every live core is asleep and no wake-up can ever arrive.
-    bool any_progress_possible = synchronizer_.busy();
+    // One pass over the cores answers all three exit questions: everyone
+    // halted? anyone live? can anyone still make progress?
+    bool every_core_halted = true;
     bool any_live = false;
+    bool any_progress_possible = synchronizer_.busy();
     for (const CoreRuntime& c : cores_) {
+      if (c.status != CoreStatus::kHalted) every_core_halted = false;
       if (c.status == CoreStatus::kHalted || c.status == CoreStatus::kTrapped)
         continue;
       any_live = true;
       if (c.status != CoreStatus::kSleeping) any_progress_possible = true;
+    }
+    if (every_core_halted) {
+      result.status = RunResult::Status::kAllHalted;
+      result.cycles = counters_.cycles;
+      return result;
     }
     if (pending_stop_) {
       result = *pending_stop_;
       result.cycles = counters_.cycles;
       return result;
     }
+    // Deadlock: every live core is asleep and no wake-up can ever arrive.
     if (any_live && !any_progress_possible) {
       result.status = RunResult::Status::kAllAsleep;
       result.cycles = counters_.cycles;
@@ -659,7 +784,7 @@ RunResult Platform::run(std::uint64_t max_cycles) {
       result.cycles = counters_.cycles;
       return result;
     }
-    tick();
+    if (try_fast_forward(max_cycles - counters_.cycles) == 0) tick();
   }
   result.status = RunResult::Status::kMaxCycles;
   result.cycles = counters_.cycles;

@@ -26,13 +26,28 @@
 ///  * Stalled cores are clock gated; sleeping cores are gated more deeply.
 ///    The event counters distinguish all of these states for the power
 ///    model.
+///
+/// (A worked walkthrough of these rules, including a 2-core IM-conflict
+/// example, is in docs/ARCHITECTURE.md.)
+///
+/// Hot path: instruction memory is predecoded into a `DecodedImage` at load
+/// time, and `run()` fast-forwards through idle regions — stretches where
+/// every core is sleeping, halted, or inside a deterministic bubble/wake-up
+/// ramp — by jumping the clock in one step while batch-updating the event
+/// counters. Fast-forward is exact: counters, final state and `RunResult`
+/// are bit-identical to the naive cycle-by-cycle loop. It disables itself
+/// while a per-cycle observer (trace/VCD) is attached, and can be turned
+/// off entirely with `PlatformConfig::fast_forward`.
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <optional>
 #include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "asm/assembler.h"
@@ -40,11 +55,14 @@
 #include "isa/isa.h"
 #include "sim/config.h"
 #include "sim/counters.h"
+#include "sim/decoded_image.h"
 #include "sim/executor.h"
 #include "sim/memory.h"
 
 namespace ulpsync::sim {
 
+/// Scheduling state of one core, as seen by the crossbars and the
+/// synchronizer.
 enum class CoreStatus : std::uint8_t {
   kReady,       ///< will fetch next cycle (or lost fetch arbitration)
   kMemWait,     ///< pending DM access, not yet granted
@@ -52,13 +70,16 @@ enum class CoreStatus : std::uint8_t {
   kSyncWait,    ///< SINC/SDEC waiting for the checkpoint word's lock
   kSyncBusy,    ///< inside the 2-cycle synchronizer read-modify-write
   kSleeping,    ///< checked out / SLEEP; waiting for a wake-up event
-  kHalted,
-  kTrapped,
+  kHalted,      ///< executed HALT
+  kTrapped,     ///< raised an architectural fault
 };
 
+/// Display name of a core status ("ready", "sleeping", ...).
 [[nodiscard]] std::string_view to_string(CoreStatus status);
 
+/// Why and when `Platform::run` stopped.
 struct RunResult {
+  /// Final platform state the run stopped in.
   enum class Status : std::uint8_t {
     kAllHalted,  ///< every core executed HALT
     kMaxCycles,  ///< cycle budget exhausted
@@ -75,10 +96,13 @@ struct RunResult {
   TrapKind trap = TrapKind::kNone;
   std::uint32_t trap_pc = 0;
 
+  /// True when the run finished with every core halted.
   [[nodiscard]] bool ok() const { return status == Status::kAllHalted; }
+  /// Human-readable summary ("all halted after 123 cycles").
   [[nodiscard]] std::string to_string() const;
 };
 
+/// The simulated platform: cores, banked IM/DM, crossbars, synchronizer.
 class Platform {
  public:
   explicit Platform(const PlatformConfig& config);
@@ -88,13 +112,20 @@ class Platform {
   /// inputs via `dm_write`).
   void load_program(const assembler::Program& program);
 
+  /// Loads an *encoded* program image (e.g. `assembler::Program::image` or
+  /// a binary produced by an external toolchain), predecoding it once at
+  /// load time. Throws std::invalid_argument on an undecodable word or an
+  /// image that does not fit.
+  void load_image(std::uint32_t origin, std::span<const std::uint32_t> image);
+
   /// Resets cores (registers, flags, PC to program origin, status Ready)
   /// and counters. Data memory content is preserved unless `clear_dm`.
   void reset(bool clear_dm = false);
 
   /// Runs until all cores halt, a trap/deadlock occurs, or `max_cycles`
-  /// elapse.
-  RunResult run(std::uint64_t max_cycles);
+  /// elapse. The result says which; dropping it silently loses trap and
+  /// deadlock diagnoses.
+  [[nodiscard]] RunResult run(std::uint64_t max_cycles);
 
   /// Advances exactly one clock cycle (for fine-grained tests).
   void tick();
@@ -109,22 +140,50 @@ class Platform {
   void interrupt_all();
 
   // --- host access ---
+
+  /// Reads one DM word.
   [[nodiscard]] std::uint16_t dm_read(std::uint32_t addr) const;
+  /// Writes one DM word.
   void dm_write(std::uint32_t addr, std::uint16_t value);
+  /// Writes a block of consecutive DM words starting at `addr`.
   void dm_write_block(std::uint32_t addr, std::span<const std::uint16_t> words);
+  /// Reads `count` consecutive DM words starting at `addr`.
   [[nodiscard]] std::vector<std::uint16_t> dm_read_block(std::uint32_t addr,
                                                          std::size_t count) const;
 
   // --- introspection ---
+
+  /// The configuration the platform was built with.
   [[nodiscard]] const PlatformConfig& config() const { return config_; }
+  /// Event counters accumulated since the last `reset`.
   [[nodiscard]] const EventCounters& counters() const { return counters_; }
+  /// Synchronizer statistics accumulated since the last `reset`.
   [[nodiscard]] const core::SynchronizerStats& sync_stats() const;
-  [[nodiscard]] CoreStatus core_status(unsigned core) const;
-  [[nodiscard]] std::uint32_t core_pc(unsigned core) const;
-  [[nodiscard]] std::uint16_t core_reg(unsigned core, unsigned reg) const;
+  /// Scheduling status of one core. (Inline: per-cycle observers poll this
+  /// for every core.)
+  [[nodiscard]] CoreStatus core_status(unsigned core) const {
+    return cores_[core].status;
+  }
+  /// Current PC of one core (instruction slots).
+  [[nodiscard]] std::uint32_t core_pc(unsigned core) const {
+    return cores_[core].arch.pc;
+  }
+  /// Architectural register value of one core (r0 reads as zero).
+  [[nodiscard]] std::uint16_t core_reg(unsigned core, unsigned reg) const {
+    return cores_[core].arch.reg(reg);
+  }
+  /// True when every core has executed HALT.
   [[nodiscard]] bool all_halted() const;
+  /// Cycles skipped by idle fast-forward since the last `reset` (a subset
+  /// of `counters().cycles`; 0 when fast-forward is disabled or an observer
+  /// is attached).
+  [[nodiscard]] std::uint64_t fast_forwarded_cycles() const {
+    return fast_forwarded_cycles_;
+  }
 
   /// Per-cycle observer invoked at the end of every tick (tracing, tests).
+  /// While an observer is attached, idle fast-forward is suppressed so the
+  /// observer sees every cycle.
   void set_observer(std::function<void(const Platform&)> observer) {
     observer_ = std::move(observer);
   }
@@ -160,6 +219,22 @@ class Platform {
     std::uint16_t unserved_mask = 0;
   };
 
+  /// One core's fetch request of the current cycle (per-tick scratch).
+  struct FetchRequest {
+    unsigned core;
+    std::uint32_t pc;
+    unsigned bank;
+  };
+
+  /// A maximal run of same-bank requesters in a bank-sorted scratch vector
+  /// (per-tick scratch for the crossbar arbitration loops).
+  struct BankRun {
+    unsigned bank;
+    unsigned first;  ///< index into the sorted scratch vector
+    unsigned count;
+    bool consumed;   ///< already handled by the policy-group pass
+  };
+
   class DmPort final : public core::DataMemoryPort {
    public:
     explicit DmPort(BankedMemory& dm) : dm_(dm) {}
@@ -185,27 +260,37 @@ class Platform {
   void phase_sync_submit();
   void phase_dxbar();
 
+  /// Idle fast-forward: when the next `max_skip` cycles are provably
+  /// event-free (every core halted, trapped, sleeping, or inside a
+  /// deterministic bubble/ramp; synchronizer idle; no observer), jumps the
+  /// clock by up to `max_skip` cycles in one step, batch-updating the
+  /// counters exactly as the skipped ticks would have. Returns the number
+  /// of cycles skipped (0 = not eligible, caller must `tick()`).
+  std::uint64_t try_fast_forward(std::uint64_t max_skip);
+
   PlatformConfig config_;
-  std::vector<isa::Instruction> im_code_;
-  std::uint32_t program_begin_ = 0;
-  std::uint32_t program_end_ = 0;
+  DecodedImage im_;
   BankedMemory dm_;
   DmPort dm_port_;
   core::Synchronizer synchronizer_;
   std::vector<CoreRuntime> cores_;
   std::vector<PolicyGroup> policy_groups_;  // one per DM bank
+  unsigned active_policy_groups_ = 0;       // count of `active` entries above
   EventCounters counters_;
   std::function<void(const Platform&)> observer_;
 
   std::optional<RunResult> pending_stop_;
   bool was_lockstep_ = true;
   unsigned rr_pointer_ = 0;  ///< round-robin arbitration pointer
+  std::uint64_t fast_forwarded_cycles_ = 0;
 
   // Per-tick scratch (members to avoid reallocation).
+  std::vector<FetchRequest> fetch_requests_;
   std::vector<unsigned> fetch_winners_;
-  std::vector<unsigned> sync_submitters_;
   std::vector<unsigned> dm_requesters_;
-  std::vector<bool> active_this_cycle_;
+  std::vector<BankRun> bank_runs_;
+  std::array<std::uint8_t, EventCounters::kMaxCores> active_this_cycle_{};
+  std::array<unsigned, EventCounters::kMaxCores> dm_bank_of_core_{};
 };
 
 }  // namespace ulpsync::sim

@@ -24,6 +24,7 @@
 
 namespace ulpsync::sim {
 
+/// ASCII timeline recorder (see the file comment for the lane format).
 class TimelineTracer {
  public:
   /// Keeps the most recent `capacity` cycles.
@@ -45,7 +46,9 @@ class TimelineTracer {
   /// Detailed dump of the last `cycles` snapshots: per core status and PC.
   [[nodiscard]] std::string window(std::size_t cycles = 16) const;
 
+  /// Number of cycle snapshots currently held (bounded by the capacity).
   [[nodiscard]] std::size_t recorded_cycles() const { return history_.size(); }
+  /// Drops all recorded snapshots.
   void clear() { history_.clear(); }
 
  private:

@@ -20,6 +20,7 @@
 
 namespace ulpsync::sim {
 
+/// Streaming VCD exporter (see the file comment for the usage pattern).
 class VcdWriter {
  public:
   /// `timescale_ns` is the nominal clock period used for the VCD timescale.

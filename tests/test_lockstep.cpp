@@ -70,7 +70,7 @@ TEST(LockstepAnalyzer, ResetClearsMetrics) {
   platform.load_program(compile("halt\n"));
   LockstepAnalyzer analyzer;
   analyzer.attach(platform);
-  platform.run(10);
+  (void)platform.run(10);
   EXPECT_GT(analyzer.metrics().observed_cycles, 0u);
   analyzer.reset();
   EXPECT_EQ(analyzer.metrics().observed_cycles, 0u);

@@ -296,7 +296,7 @@ TEST(PlatformRun, ResetPreservesDmUnlessCleared) {
   Platform platform(bare_config());
   platform.load_program(compile("halt\n"));
   platform.dm_write(500, 0xAAAA);
-  platform.run(10);
+  (void)platform.run(10);
   platform.reset();
   EXPECT_EQ(platform.dm_read(500), 0xAAAA);
   EXPECT_EQ(platform.counters().cycles, 0u);

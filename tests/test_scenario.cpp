@@ -367,5 +367,58 @@ TEST(Report, FindPairAndSpeedup) {
   EXPECT_GT(breakdown.total_mw(), 0.0);
 }
 
+// --- timed sweeps and PerfBudget --------------------------------------------
+
+TEST(EngineTimed, ReportsPerRunTimingAndTotals) {
+  Engine engine(Registry::builtins());
+  const auto sweep = engine.run_timed(
+      Matrix().workload("sqrt32").base_params(small_params()));
+  require_ok(sweep.records);
+  EXPECT_EQ(sweep.records.size(), 2u);  // both designs
+  EXPECT_EQ(sweep.perf.executed, 2u);
+  EXPECT_EQ(sweep.perf.skipped, 0u);
+  EXPECT_EQ(sweep.perf.run_wall_seconds.size(), 2u);
+  std::uint64_t cycles = 0;
+  for (const auto& record : sweep.records) cycles += record.cycles();
+  EXPECT_EQ(sweep.perf.sim_cycles, cycles);
+  EXPECT_GT(sweep.perf.wall_seconds, 0.0);
+  for (const double seconds : sweep.perf.run_wall_seconds)
+    EXPECT_GT(seconds, 0.0);
+  EXPECT_GT(sweep.perf.sim_cycles_per_second(), 0.0);
+}
+
+TEST(EngineTimed, RunAndRunTimedRecordsAgree) {
+  const Matrix matrix = Matrix().workload("clip8").base_params(small_params());
+  Engine engine(Registry::builtins());
+  const auto plain = engine.run(matrix);
+  const auto timed = engine.run_timed(matrix);
+  ASSERT_EQ(plain.size(), timed.records.size());
+  EXPECT_EQ(to_csv(plain), to_csv(timed.records));
+}
+
+TEST(EngineTimed, BudgetSkipsUnstartedRuns) {
+  // Each sqrt32 run takes well over the 1 ms budget, so run 1 (claimed
+  // before the deadline can expire) executes and later runs are skipped.
+  WorkloadParams params;
+  params.samples = 256;
+  EngineOptions options;
+  options.budget.wall_limit = std::chrono::milliseconds(1);
+  Engine engine(Registry::builtins(), options);
+  const auto sweep = engine.run_timed(
+      Matrix().workload("sqrt32").num_cores({8, 8, 8, 8}).base_params(params));
+  EXPECT_EQ(sweep.perf.executed + sweep.perf.skipped, sweep.records.size());
+  EXPECT_GE(sweep.perf.executed, 1u);
+  EXPECT_GE(sweep.perf.skipped, 1u);
+  for (const auto& record : sweep.records) {
+    if (record.status == "skipped") {
+      EXPECT_EQ(record.spec.workload, "sqrt32");  // spec is preserved
+      EXPECT_FALSE(record.ok());
+      EXPECT_FALSE(record.verify_error.empty());
+    } else {
+      EXPECT_TRUE(record.ok()) << record.verify_error;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ulpsync::scenario

@@ -155,18 +155,18 @@ TEST_F(SynchronizerTest, MixedCheckinCheckoutInOneMerge) {
 
 TEST_F(SynchronizerTest, BusyReflectsInflightRmw) {
   EXPECT_FALSE(sync_.busy());
-  sync_.begin_cycle();
-  sync_.submit(0, 5, false);
+  (void)sync_.begin_cycle();
+  ASSERT_TRUE(sync_.submit(0, 5, false));
   sync_.finish_cycle();
   EXPECT_TRUE(sync_.busy());
-  sync_.begin_cycle();
+  (void)sync_.begin_cycle();
   sync_.finish_cycle();
   EXPECT_FALSE(sync_.busy());
 }
 
 TEST_F(SynchronizerTest, LockedBankMatchesPortMapping) {
-  sync_.begin_cycle();
-  sync_.submit(0, 40, false);  // bank = 40 / 16 = 2
+  (void)sync_.begin_cycle();
+  ASSERT_TRUE(sync_.submit(0, 40, false));  // bank = 40 / 16 = 2
   sync_.finish_cycle();
   EXPECT_EQ(sync_.locked_bank(), 2);
 }

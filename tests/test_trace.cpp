@@ -30,7 +30,7 @@ TEST(TimelineTracer, RecordsEveryCycleUpToCapacity) {
   platform.load_program(compile("spin: bra spin\n"));
   TimelineTracer tracer(32);
   tracer.attach(platform);
-  platform.run(100);
+  (void)platform.run(100);
   EXPECT_EQ(tracer.recorded_cycles(), 32u) << "ring buffer caps history";
 }
 

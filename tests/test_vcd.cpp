@@ -55,7 +55,7 @@ TEST(VcdWriter, OnlyChangesAreDumped) {
   std::ostringstream out;
   VcdWriter vcd(out);
   vcd.attach(platform);
-  platform.run(100);
+  (void)platform.run(100);
   vcd.finish();
   // A 2-instruction spin loop toggles pc between two values; the dump must
   // stay far smaller than cycles * signals.
