@@ -1,0 +1,130 @@
+// Warm-start sweep harness: measures the wall-clock savings of sharing one
+// simulated warm-up prefix across a fan-out of runs (RunSpec::checkpoint_at,
+// sim/snapshot.h).
+//
+// The sweep shape is the init-heavy one every timing study produces: the
+// same kernel observed at K progressively longer cycle horizons. A cold
+// sweep re-simulates the common prefix K times; a warm sweep simulates it
+// once, snapshots it, and resumes every horizon from the snapshot. Records
+// are byte-identical either way (asserted here via the CSV round-trip), so
+// the whole difference is host wall time, reported from SweepPerf.
+//
+// Flags:
+//   --workload NAME  builtin workload (default mrpfltr)
+//   --samples N      samples per channel (default 256)
+//   --horizons K     fan-out width (default 8)
+//   --out PATH       output JSON path (default BENCH_warm_start.json)
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "scenario/report.h"
+
+int main(int argc, char** argv) {
+  using namespace ulpsync;
+  using namespace ulpsync::scenario;
+
+  const util::CliArgs args(argc, argv);
+  const std::string workload = args.get("workload", "mrpfltr");
+  const unsigned horizons = static_cast<unsigned>(args.get_int("horizons", 8));
+  const std::string out_path = args.get("out", "BENCH_warm_start.json");
+  WorkloadParams params;
+  params.samples = static_cast<unsigned>(args.get_int("samples", 256));
+
+  EngineOptions options = engine_options_from(args);
+  options.jobs = 1;  // serial: the measured saving must come from sharing,
+                     // not from thread scheduling
+
+  // Calibrate: one full run tells us the kernel's total cycle count, from
+  // which the shared prefix (3/4 of the run) and the horizon fan-out are
+  // derived.
+  RunSpec probe;
+  probe.workload = workload;
+  probe.params = params;
+  probe.design = DesignVariant::synchronized();
+  const Engine probe_engine(Registry::builtins(), options);
+  const RunRecord probe_record = probe_engine.run_one(probe);
+  if (!probe_record.ok()) {
+    std::fprintf(stderr, "probe run failed: %s\n",
+                 probe_record.verify_error.c_str());
+    return 1;
+  }
+  const std::uint64_t total = probe_record.cycles();
+  const std::uint64_t prefix = total * 3 / 4;
+  if (prefix == 0 || horizons == 0) {
+    std::fprintf(stderr, "degenerate sweep (total=%llu)\n",
+                 static_cast<unsigned long long>(total));
+    return 1;
+  }
+
+  std::vector<RunSpec> specs;
+  for (unsigned i = 0; i < horizons; ++i) {
+    RunSpec spec = probe;
+    spec.checkpoint_at = prefix;
+    // Horizons span (prefix, total]; the last one runs to completion.
+    spec.max_cycles = prefix + (total - prefix) * (i + 1) / horizons + 1;
+    specs.push_back(spec);
+  }
+
+  auto sweep = [&](bool warm) {
+    EngineOptions sweep_options = options;
+    sweep_options.warm_start = warm;
+    const Engine engine(Registry::builtins(), sweep_options);
+    return engine.run_timed(specs);
+  };
+  const SweepResult cold = sweep(false);
+  const SweepResult warm = sweep(true);
+
+  if (to_csv(cold.records) != to_csv(warm.records)) {
+    std::fprintf(stderr,
+                 "warm-started records differ from cold records — "
+                 "snapshot resume is broken\n");
+    return 1;
+  }
+
+  const double speedup = warm.perf.wall_seconds > 0.0
+                             ? cold.perf.wall_seconds / warm.perf.wall_seconds
+                             : 0.0;
+  std::printf("workload %s, %u samples/ch: %llu total cycles, shared prefix "
+              "%llu, %u horizons\n",
+              workload.c_str(), params.samples,
+              static_cast<unsigned long long>(total),
+              static_cast<unsigned long long>(prefix), horizons);
+  std::printf("cold sweep: %.3f s wall, %llu sim cycles\n",
+              cold.perf.wall_seconds,
+              static_cast<unsigned long long>(cold.perf.sim_cycles));
+  std::printf("warm sweep: %.3f s wall, %llu sim cycles (%zu warm-up(s), "
+              "%.3f s; %zu resumed; est. %.3f s saved) — records "
+              "byte-identical\n",
+              warm.perf.wall_seconds,
+              static_cast<unsigned long long>(warm.perf.sim_cycles),
+              warm.perf.warmups, warm.perf.warmup_wall_seconds,
+              warm.perf.warm_resumed, warm.perf.warmup_saved_seconds);
+  std::printf("speedup: %.2fx\n", speedup);
+
+  std::ofstream out(out_path);
+  out << "{\n"
+      << "  \"bench\": \"warm_start\",\n"
+      << "  \"workload\": \"" << workload << "\",\n"
+      << "  \"samples_per_channel\": " << params.samples << ",\n"
+      << "  \"horizons\": " << horizons << ",\n"
+      << "  \"total_cycles\": " << total << ",\n"
+      << "  \"prefix_cycles\": " << prefix << ",\n"
+      << "  \"cold_wall_seconds\": " << cold.perf.wall_seconds << ",\n"
+      << "  \"warm_wall_seconds\": " << warm.perf.wall_seconds << ",\n"
+      << "  \"cold_sim_cycles\": " << cold.perf.sim_cycles << ",\n"
+      << "  \"warm_sim_cycles\": " << warm.perf.sim_cycles << ",\n"
+      << "  \"warmups\": " << warm.perf.warmups << ",\n"
+      << "  \"warm_resumed\": " << warm.perf.warm_resumed << ",\n"
+      << "  \"warmup_wall_seconds\": " << warm.perf.warmup_wall_seconds << ",\n"
+      << "  \"warmup_saved_seconds\": " << warm.perf.warmup_saved_seconds << ",\n"
+      << "  \"speedup\": " << speedup << ",\n"
+      << "  \"records_identical\": true\n"
+      << "}\n";
+  std::printf("JSON written to %s\n", out_path.c_str());
+  return 0;
+}

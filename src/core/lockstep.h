@@ -38,6 +38,10 @@ class LockstepAnalyzer {
 
   [[nodiscard]] const Metrics& metrics() const { return metrics_; }
   void reset() { metrics_ = {}; }
+  /// Resumes accumulation from previously captured metrics — used by
+  /// warm-started sweep runs so a resumed run's lockstep numbers equal an
+  /// uninterrupted run's.
+  void restore(const Metrics& metrics) { metrics_ = metrics; }
 
  private:
   void observe(const sim::Platform& platform);

@@ -89,6 +89,26 @@ void Synchronizer::finish_cycle() {
   if (width > stats_.max_merge_width) stats_.max_merge_width = width;
 }
 
+SynchronizerState Synchronizer::save_state() const {
+  assert(!accepting_ && "save_state() between begin_cycle() and finish_cycle()");
+  SynchronizerState state;
+  state.stats = stats_;
+  state.inflight_active = inflight_.active;
+  state.inflight_addr = inflight_.addr;
+  state.inflight_checkin_mask = inflight_.checkin_mask;
+  state.inflight_checkout_mask = inflight_.checkout_mask;
+  return state;
+}
+
+void Synchronizer::restore_state(const SynchronizerState& state) {
+  assert(!accepting_ && "restore_state() between begin_cycle() and finish_cycle()");
+  stats_ = state.stats;
+  inflight_.active = state.inflight_active;
+  inflight_.addr = state.inflight_addr;
+  inflight_.checkin_mask = state.inflight_checkin_mask;
+  inflight_.checkout_mask = state.inflight_checkout_mask;
+}
+
 int Synchronizer::locked_bank() const {
   if (!inflight_.active) return -1;
   return static_cast<int>(dm_.bank_of(inflight_.addr));

@@ -61,6 +61,24 @@ struct SynchronizerStats {
   std::uint64_t wakeup_events = 0;     ///< counter-reached-zero events
   std::uint64_t wakeups_delivered = 0; ///< cores woken in total
   std::uint64_t max_merge_width = 0;   ///< widest single merge observed
+
+  friend bool operator==(const SynchronizerStats&,
+                         const SynchronizerStats&) = default;
+};
+
+/// Complete saved state of a synchronizer between cycles: the statistics
+/// plus the RMW in flight (a snapshot can land between the read and write
+/// phases of a merged check-in/check-out). Produced by
+/// `Synchronizer::save_state` for the platform snapshot subsystem.
+struct SynchronizerState {
+  SynchronizerStats stats;
+  bool inflight_active = false;
+  std::uint32_t inflight_addr = 0;
+  std::uint16_t inflight_checkin_mask = 0;
+  std::uint16_t inflight_checkout_mask = 0;
+
+  friend bool operator==(const SynchronizerState&,
+                         const SynchronizerState&) = default;
 };
 
 class Synchronizer {
@@ -104,6 +122,12 @@ class Synchronizer {
 
   [[nodiscard]] const SynchronizerStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
+
+  /// Between-cycle state capture for the snapshot subsystem. Must not be
+  /// called between `begin_cycle()` and `finish_cycle()`.
+  [[nodiscard]] SynchronizerState save_state() const;
+  /// Restores state captured by `save_state` (same between-cycle contract).
+  void restore_state(const SynchronizerState& state);
 
  private:
   struct Inflight {

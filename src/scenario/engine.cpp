@@ -2,7 +2,9 @@
 
 #include <atomic>
 #include <exception>
+#include <map>
 #include <mutex>
+#include <sstream>
 #include <thread>
 
 #include "core/lockstep.h"
@@ -23,29 +25,104 @@ std::string status_name(sim::RunResult::Status status) {
   return "?";
 }
 
+/// The platform configuration a spec resolves to — shared by cold runs and
+/// warm-up capture, so a warm snapshot is always taken on a platform
+/// prepared exactly like the one it will be restored into.
+sim::PlatformConfig spec_config(const RunSpec& spec, const Workload& workload) {
+  sim::PlatformConfig config = workload.base_config(spec.with_synchronizer());
+  config.features = spec.design.features;
+  if (spec.arbitration) config.arbitration = *spec.arbitration;
+  if (spec.im_line_slots) config.im_line_slots = *spec.im_line_slots;
+  if (spec.fast_forward) config.fast_forward = *spec.fast_forward;
+  return config;
+}
+
+/// Identity of a spec's simulation prefix: two specs with equal keys run
+/// bit-identically up to their common `checkpoint_at` cycle, so they can
+/// share one warm-up snapshot. Everything that influences the simulation is
+/// included; `max_cycles` (the fan-out axis) is not.
+std::string warm_key(const RunSpec& spec) {
+  std::ostringstream key;
+  key.precision(17);
+  const WorkloadParams& p = spec.params;
+  key << spec.workload << '|' << p.num_channels << '|' << p.samples << '|'
+      << p.l1_half << '|' << p.l2_half << '|' << p.scale_small << '|'
+      << p.scale_large << '|' << p.threshold << '|' << p.refractory << '|';
+  for (std::int16_t delta : p.per_core_threshold_delta) key << delta << ',';
+  key << '|' << p.generator.sample_rate_hz << '|' << p.generator.heart_rate_bpm
+      << '|' << p.generator.rr_jitter_fraction << '|'
+      << p.generator.amplitude_lsb << '|' << p.generator.baseline_wander_lsb
+      << '|' << p.generator.baseline_wander_hz << '|' << p.generator.noise_lsb
+      << '|' << p.generator.seed << '|' << spec.design.label << '|'
+      << spec.design.features.hardware_synchronizer
+      << spec.design.features.dxbar_pc_policy
+      << spec.design.features.ixbar_partial_broadcast << '|'
+      << (spec.arbitration ? static_cast<int>(*spec.arbitration) : -1) << '|'
+      << (spec.im_line_slots ? static_cast<long>(*spec.im_line_slots) : -1)
+      << '|' << (spec.fast_forward ? static_cast<int>(*spec.fast_forward) : -1)
+      << '|' << spec.checkpoint_at.value_or(0);
+  return key.str();
+}
+
 }  // namespace
 
 Engine::Engine(const Registry& registry, EngineOptions options)
     : registry_(&registry), options_(std::move(options)) {}
 
 RunRecord Engine::run_one(const RunSpec& spec) const {
-  RunRecord record;
-  record.spec = spec;
+  return run_one_impl(spec, spec.resume_from.get());
+}
+
+std::shared_ptr<const WarmState> Engine::capture_warm_state(
+    const RunSpec& spec, std::uint64_t cycle) const {
   try {
     const auto workload = registry_->make(spec.workload, spec.params);
+    if (!workload->warm_startable()) return nullptr;
 
-    sim::PlatformConfig config = workload->base_config(spec.with_synchronizer());
-    config.features = spec.design.features;
-    if (spec.arbitration) config.arbitration = *spec.arbitration;
-    if (spec.im_line_slots) config.im_line_slots = *spec.im_line_slots;
-    if (spec.fast_forward) config.fast_forward = *spec.fast_forward;
-
-    sim::Platform platform(config);
+    sim::Platform platform(spec_config(spec, *workload));
     platform.load_program(workload->program(spec.with_synchronizer()));
     workload->load_inputs(platform);
 
     core::LockstepAnalyzer analyzer;
     if (options_.measure_lockstep) analyzer.attach(platform);
+
+    // A warm-startable workload drives with the default `platform.run`, so
+    // running the prefix directly reproduces the cold run's first `cycle`
+    // cycles exactly (an early stop — all halted/asleep — is resumable
+    // too: the continuation re-derives the same final status).
+    (void)platform.run(cycle);
+
+    auto state = std::make_shared<WarmState>();
+    state->snapshot = platform.save_snapshot();
+    state->lockstep = analyzer.metrics();
+    return state;
+  } catch (...) {
+    // A failing warm-up must never fail the sweep: members fall back to
+    // cold runs, where the same failure surfaces as an "error" record.
+    return nullptr;
+  }
+}
+
+RunRecord Engine::run_one_impl(const RunSpec& spec, const WarmState* warm) const {
+  RunRecord record;
+  record.spec = spec;
+  try {
+    const auto workload = registry_->make(spec.workload, spec.params);
+
+    sim::Platform platform(spec_config(spec, *workload));
+    platform.load_program(workload->program(spec.with_synchronizer()));
+    workload->load_inputs(platform);
+
+    core::LockstepAnalyzer analyzer;
+    if (options_.measure_lockstep) analyzer.attach(platform);
+
+    if (warm != nullptr) {
+      // Resume from the shared warm-up: platform state from the snapshot,
+      // analyzer state from the metrics captured alongside it. A
+      // mismatched snapshot throws and surfaces as an "error" record.
+      platform.restore_snapshot(warm->snapshot);
+      analyzer.restore(warm->lockstep);
+    }
 
     const sim::RunResult result = workload->drive(platform, spec.max_cycles);
 
@@ -106,6 +183,44 @@ SweepResult Engine::run_timed(const std::vector<RunSpec>& specs) const {
   const bool budgeted = !options_.budget.unlimited();
   const Clock::time_point deadline = sweep_start + options_.budget.wall_limit;
 
+  // Warm-start prepass: group specs that share a deterministic warm-up
+  // prefix (same `warm_key`, a set `checkpoint_at` below their budget) and
+  // simulate each prefix once. Groups of one run cold — sharing is the
+  // whole point. The map is ordered, so grouping and capture order are
+  // deterministic and records stay byte-identical for any `jobs`.
+  struct WarmGroup {
+    std::vector<std::size_t> members;
+    std::shared_ptr<const WarmState> state;
+  };
+  std::map<std::string, WarmGroup> warm_groups;
+  std::vector<const WarmState*> warm_of(specs.size(), nullptr);
+  if (options_.warm_start) {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      const RunSpec& spec = specs[i];
+      if (!spec.checkpoint_at || spec.resume_from) continue;
+      if (*spec.checkpoint_at == 0 || *spec.checkpoint_at >= spec.max_cycles)
+        continue;
+      warm_groups[warm_key(spec)].members.push_back(i);
+    }
+    for (auto& [key, group] : warm_groups) {
+      (void)key;
+      if (group.members.size() < 2) continue;
+      if (budgeted && Clock::now() >= deadline) break;
+      const RunSpec& leader = specs[group.members.front()];
+      const Clock::time_point warm_start = Clock::now();
+      group.state = capture_warm_state(leader, *leader.checkpoint_at);
+      const double warm_wall =
+          std::chrono::duration<double>(Clock::now() - warm_start).count();
+      if (!group.state) continue;  // members fall back to cold runs
+      result.perf.warmups += 1;
+      result.perf.warmup_wall_seconds += warm_wall;
+      result.perf.warmup_saved_seconds +=
+          warm_wall * static_cast<double>(group.members.size() - 1);
+      result.perf.warm_resumed += group.members.size();
+      for (std::size_t i : group.members) warm_of[i] = group.state.get();
+    }
+  }
+
   std::vector<RunRecord>& records = result.records;
   std::vector<std::uint8_t> executed(specs.size(), 0);
   std::atomic<std::size_t> next{0};
@@ -121,7 +236,10 @@ SweepResult Engine::run_timed(const std::vector<RunSpec>& specs) const {
       const std::size_t index = next.fetch_add(1);
       if (index >= specs.size()) return;
       const Clock::time_point run_start = Clock::now();
-      records[index] = run_one(specs[index]);
+      records[index] = run_one_impl(
+          specs[index], warm_of[index] != nullptr
+                            ? warm_of[index]
+                            : specs[index].resume_from.get());
       result.perf.run_wall_seconds[index] =
           std::chrono::duration<double>(Clock::now() - run_start).count();
       executed[index] = 1;
@@ -154,7 +272,18 @@ SweepResult Engine::run_timed(const std::vector<RunSpec>& specs) const {
   for (std::size_t i = 0; i < specs.size(); ++i) {
     if (executed[i]) {
       result.perf.executed += 1;
-      result.perf.sim_cycles += records[i].cycles();
+      // `sim_cycles` counts cycles actually simulated by this sweep: a
+      // resumed record's cycle count includes its warm prefix, which this
+      // sweep either simulated once per group (added below) or — for a
+      // caller-provided `resume_from` — not at all.
+      const WarmState* warm = warm_of[i] != nullptr
+                                  ? warm_of[i]
+                                  : specs[i].resume_from.get();
+      std::uint64_t simulated = records[i].cycles();
+      if (warm != nullptr) {
+        simulated -= std::min(simulated, warm->snapshot.cycle());
+      }
+      result.perf.sim_cycles += simulated;
     } else {
       // Never claimed (budget expired or callback abort): report the spec
       // with an explicit skip status rather than an empty record.
@@ -163,6 +292,10 @@ SweepResult Engine::run_timed(const std::vector<RunSpec>& specs) const {
       records[i].verify_error = "perf budget exhausted before this run started";
       result.perf.skipped += 1;
     }
+  }
+  for (const auto& [key, group] : warm_groups) {
+    (void)key;
+    if (group.state) result.perf.sim_cycles += group.state->snapshot.cycle();
   }
   result.perf.wall_seconds =
       std::chrono::duration<double>(Clock::now() - sweep_start).count();

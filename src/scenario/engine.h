@@ -10,14 +10,28 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
+#include "core/lockstep.h"
 #include "scenario/matrix.h"
 #include "scenario/record.h"
 #include "scenario/registry.h"
 #include "scenario/spec.h"
+#include "sim/snapshot.h"
 
 namespace ulpsync::scenario {
+
+/// Shared warm-up state: a platform snapshot at a spec's `checkpoint_at`
+/// cycle plus the lockstep-analyzer metrics accumulated up to it (so a
+/// resumed run's lockstep numbers equal an uninterrupted run's). Captured
+/// once per identical-prefix group by the engine, or explicitly via
+/// `Engine::capture_warm_state`, and attached to specs through
+/// `RunSpec::resume_from`.
+struct WarmState {
+  sim::Snapshot snapshot;
+  core::LockstepAnalyzer::Metrics lockstep;
+};
 
 /// Wall-clock budget for a sweep. With a budget set, runs that have not
 /// *started* when the budget expires are returned as records with status
@@ -38,11 +52,22 @@ struct PerfBudget {
 /// produced them.
 struct SweepPerf {
   double wall_seconds = 0.0;      ///< whole sweep, including scheduling
-  std::uint64_t sim_cycles = 0;   ///< total simulated cycles over executed runs
+  /// Cycles actually simulated by the sweep. A warm-started group's shared
+  /// prefix counts once (it was simulated once), even though every
+  /// resumed record's own cycle count includes it.
+  std::uint64_t sim_cycles = 0;
   std::size_t executed = 0;       ///< runs that actually executed
   std::size_t skipped = 0;        ///< runs skipped by an expired PerfBudget
   /// Per-record wall time, aligned with the records (0 for skipped runs).
   std::vector<double> run_wall_seconds;
+  // Warm-start accounting (see `RunSpec::checkpoint_at`):
+  std::size_t warmups = 0;        ///< shared warm-up prefixes simulated
+  std::size_t warm_resumed = 0;   ///< runs resumed from a shared warm state
+  double warmup_wall_seconds = 0.0;  ///< wall time spent in shared warm-ups
+  /// Estimated wall time saved by sharing: each warm-up's wall time times
+  /// the number of *additional* runs that reused it (they would each have
+  /// re-simulated the prefix in a cold sweep).
+  double warmup_saved_seconds = 0.0;
 
   /// Aggregate simulator throughput of the sweep.
   [[nodiscard]] double sim_cycles_per_second() const {
@@ -67,6 +92,11 @@ struct EngineOptions {
   /// suppresses the platform's idle fast-forward, which needs an
   /// observer-free run).
   bool measure_lockstep = true;
+  /// Honour `RunSpec::checkpoint_at` grouping: simulate each shared warm-up
+  /// prefix once and resume the group members from its snapshot. Results
+  /// are bit-identical either way; disable to measure the savings or to
+  /// force cold runs.
+  bool warm_start = true;
   /// Wall-clock budget for the whole sweep; unlimited by default.
   PerfBudget budget;
   /// Progress callback, invoked in completion order under an internal lock
@@ -101,6 +131,13 @@ class Engine {
   /// and per-record — and honours `EngineOptions::budget`. This is the
   /// entry point of the perf harness (`bench/perf_throughput`).
   [[nodiscard]] SweepResult run_timed(const std::vector<RunSpec>& specs) const;
+
+  /// Runs `spec`'s setup (program + inputs) and simulates to `cycle`,
+  /// returning the warm state to resume other specs from — the explicit
+  /// form of the `checkpoint_at` grouping. Returns nullptr when the
+  /// workload is unknown, not warm-startable, or fails to set up.
+  [[nodiscard]] std::shared_ptr<const WarmState> capture_warm_state(
+      const RunSpec& spec, std::uint64_t cycle) const;
   /// Expands the matrix and executes every spec with timing (see the
   /// vector overload).
   [[nodiscard]] SweepResult run_timed(const Matrix& matrix) const {
@@ -108,6 +145,9 @@ class Engine {
   }
 
  private:
+  [[nodiscard]] RunRecord run_one_impl(const RunSpec& spec,
+                                       const WarmState* warm) const;
+
   const Registry* registry_;
   EngineOptions options_;
 };

@@ -7,6 +7,7 @@
 /// in parallel.
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -14,6 +15,8 @@
 #include "sim/config.h"
 
 namespace ulpsync::scenario {
+
+struct WarmState;  // scenario/engine.h
 
 /// One platform design point: a display label plus the feature set. The
 /// paper's two synthesized designs are the common cases; ablations build
@@ -47,6 +50,18 @@ struct RunSpec {
   /// platform default (on). Not serialized with the record.
   std::optional<bool> fast_forward;
   std::uint64_t max_cycles = 500'000'000;
+  /// End of the deterministic warm-up prefix (in cycles). When several
+  /// specs of one sweep share the same simulation up to this cycle (same
+  /// workload, params, design and platform overrides), the engine runs the
+  /// warm-up once, snapshots it, and resumes every member from the saved
+  /// state — results stay bit-identical to cold runs. Unset = no sharing.
+  /// Not serialized with the record.
+  std::optional<std::uint64_t> checkpoint_at;
+  /// Explicit warm state to resume from (overrides `checkpoint_at`
+  /// grouping). The state must have been captured on an identically
+  /// configured run of the same workload; a mismatch surfaces as an
+  /// "error" record. Not serialized with the record.
+  std::shared_ptr<const WarmState> resume_from;
 
   /// A design runs instrumented code exactly when it has the synchronizer
   /// hardware (SINC/SDEC trap otherwise).

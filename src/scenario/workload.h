@@ -83,6 +83,13 @@ class Workload {
     return platform.run(max_cycles);
   }
 
+  /// True when the whole simulation state lives in the platform, so the
+  /// engine may snapshot a warm-up prefix and resume it (see
+  /// `RunSpec::checkpoint_at`). Workloads whose `drive()` keeps host-side
+  /// state across the run (e.g. the streaming monitor's window loop) must
+  /// return false — a platform snapshot cannot capture that state.
+  [[nodiscard]] virtual bool warm_startable() const { return true; }
+
   /// Workload-specific outputs harvested after the run (key/value pairs,
   /// e.g. detected beats per channel). Attached to the `RunRecord` as
   /// `extra` fields and serialized with it.

@@ -419,6 +419,10 @@ class StreamingWorkload final : public Workload {
   }
   void load_inputs(sim::Platform& platform) const override { (void)platform; }
 
+  /// The drive loop below keeps host-side state (deposited windows, busy
+  /// cycle accounting) that a platform snapshot cannot capture.
+  [[nodiscard]] bool warm_startable() const override { return false; }
+
   [[nodiscard]] unsigned windows() const {
     return std::max(1u, params_.samples / kStreamWindow);
   }

@@ -29,6 +29,8 @@ struct SyncFeatures {
   /// cross-core PC comparison this paper introduces.
   bool ixbar_partial_broadcast = true;
 
+  friend bool operator==(const SyncFeatures&, const SyncFeatures&) = default;
+
   /// All enhancements on: the paper's improved design.
   [[nodiscard]] static SyncFeatures enabled() { return {true, true, true}; }
   /// All enhancements off: the ulpmc-bank baseline of [4].
@@ -93,6 +95,8 @@ struct PlatformConfig {
   /// ramp) while batch-updating the counters. Results are bit-identical to
   /// the cycle-by-cycle loop; disable only to cross-check that equivalence.
   bool fast_forward = true;
+
+  friend bool operator==(const PlatformConfig&, const PlatformConfig&) = default;
 
   /// Total instruction-memory capacity in instruction slots.
   [[nodiscard]] unsigned im_slots() const { return im_banks * im_bank_slots; }

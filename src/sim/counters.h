@@ -58,6 +58,8 @@ struct EventCounters {
                        : static_cast<double>(retired_ops) / static_cast<double>(cycles);
   }
 
+  friend bool operator==(const EventCounters&, const EventCounters&) = default;
+
   /// Fraction of delivered fetches that came from a broadcast group.
   [[nodiscard]] double broadcast_fetch_fraction() const {
     if (im_fetches_delivered == 0) return 0.0;

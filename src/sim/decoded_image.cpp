@@ -20,6 +20,34 @@ DecodedImage::DecodedImage(unsigned slots, unsigned banks, unsigned bank_slots,
     bank_table_[pc] = static_cast<std::uint16_t>(
         line_slots == 0 ? pc / bank_slots : (pc / line_slots) % banks);
   }
+  refresh_fingerprint();
+}
+
+void DecodedImage::refresh_fingerprint() {
+  // FNV-1a over every field that affects fetch/execute behavior. The HALT
+  // filler outside [begin_, end_) is included via the bounds themselves
+  // (out-of-program fetches trap before reading the slot).
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  auto mix = [&hash](std::uint64_t value) {
+    for (unsigned byte = 0; byte < 8; ++byte) {
+      hash ^= (value >> (byte * 8)) & 0xFF;
+      hash *= 0x100000001b3ULL;
+    }
+  };
+  mix(code_.size());
+  mix(begin_);
+  mix(end_);
+  for (std::uint32_t pc = begin_; pc < end_; ++pc) {
+    const isa::Instruction& instr = code_[pc];
+    mix(static_cast<std::uint64_t>(instr.op) |
+        (static_cast<std::uint64_t>(instr.rd) << 8) |
+        (static_cast<std::uint64_t>(instr.ra) << 16) |
+        (static_cast<std::uint64_t>(instr.rb) << 24) |
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(instr.imm))
+         << 32));
+  }
+  for (std::uint32_t pc = 0; pc < bank_table_.size(); ++pc) mix(bank_table_[pc]);
+  fingerprint_ = hash;
 }
 
 void DecodedImage::load(std::uint32_t origin,
@@ -29,6 +57,7 @@ void DecodedImage::load(std::uint32_t origin,
   std::copy(code.begin(), code.end(), code_.begin() + origin);
   begin_ = origin;
   end_ = origin + static_cast<std::uint32_t>(code.size());
+  refresh_fingerprint();
 }
 
 std::string DecodedImage::load_encoded(std::uint32_t origin,

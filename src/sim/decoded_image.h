@@ -70,13 +70,23 @@ class DecodedImage {
     return bank_table_[pc];
   }
 
+  /// Order-sensitive 64-bit fingerprint of the loaded image (instructions,
+  /// program bounds and bank geometry), computed once per `load`. Two images
+  /// with equal fingerprints fetch and execute identically; the snapshot
+  /// subsystem stores this instead of the instructions (programs cannot
+  /// self-modify) and verifies it on restore.
+  [[nodiscard]] std::uint64_t fingerprint() const { return fingerprint_; }
+
   friend bool operator==(const DecodedImage&, const DecodedImage&) = default;
 
  private:
+  void refresh_fingerprint();
+
   std::vector<isa::Instruction> code_;
   std::vector<std::uint16_t> bank_table_;  ///< IM bank per slot
   std::uint32_t begin_ = 0;
   std::uint32_t end_ = 0;
+  std::uint64_t fingerprint_ = 0;
 };
 
 }  // namespace ulpsync::sim

@@ -19,6 +19,8 @@ struct Flags {
   bool n = false;  ///< negative (bit 15 of the difference)
   bool c = false;  ///< carry = no borrow (unsigned ra >= rb)
   bool v = false;  ///< signed overflow
+
+  friend bool operator==(const Flags&, const Flags&) = default;
 };
 
 /// Architectural state of one core.
@@ -38,6 +40,8 @@ struct CoreArchState {
   void set_reg(unsigned r, std::uint16_t value) {
     if (r != 0) regs[r] = value;
   }
+
+  friend bool operator==(const CoreArchState&, const CoreArchState&) = default;
 };
 
 /// External effect of one executed instruction, for the platform to apply.

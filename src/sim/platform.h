@@ -61,6 +61,8 @@
 
 namespace ulpsync::sim {
 
+struct Snapshot;  // sim/snapshot.h
+
 /// Scheduling state of one core, as seen by the crossbars and the
 /// synchronizer.
 enum class CoreStatus : std::uint8_t {
@@ -100,6 +102,8 @@ struct RunResult {
   [[nodiscard]] bool ok() const { return status == Status::kAllHalted; }
   /// Human-readable summary ("all halted after 123 cycles").
   [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const RunResult&, const RunResult&) = default;
 };
 
 /// The simulated platform: cores, banked IM/DM, crossbars, synchronizer.
@@ -187,6 +191,18 @@ class Platform {
   void set_observer(std::function<void(const Platform&)> observer) {
     observer_ = std::move(observer);
   }
+
+  // --- deterministic snapshots (sim/snapshot.h) ---
+
+  /// Captures the complete simulation state between ticks. Resuming a
+  /// restored snapshot is bit-identical to never having stopped (counters,
+  /// traces, VCD, fast-forward behavior). Defined in snapshot.cpp.
+  [[nodiscard]] Snapshot save_snapshot() const;
+  /// Restores state captured by `save_snapshot`. The platform must have the
+  /// same configuration (ignoring the host-side `fast_forward` knob) and
+  /// the same program loaded (verified by image fingerprint); throws
+  /// std::invalid_argument otherwise. The attached observer is kept.
+  void restore_snapshot(const Snapshot& snapshot);
 
  private:
   struct CoreRuntime {

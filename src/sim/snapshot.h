@@ -1,0 +1,179 @@
+#pragma once
+
+/// Deterministic platform snapshots: a versioned binary serialization of the
+/// *entire* simulation state of a `Platform` — per-core architectural and
+/// pipeline microstate, crossbar policy groups, synchronizer RMW in-flight
+/// state, event counters, and data-memory contents — such that
+/// `Platform::restore_snapshot` followed by N ticks is bit-identical to an
+/// uninterrupted run, in counters, traces and VCD, with or without idle
+/// fast-forward.
+///
+/// Instruction memory is *delta-encoded against the loaded image*: programs
+/// cannot self-modify, so a snapshot stores only a fingerprint of the
+/// `DecodedImage` and restoring requires the same program to be loaded (the
+/// fingerprint is verified). Data memory is stored sparsely as runs of
+/// non-zero words, so snapshots of mostly-empty memories stay small.
+///
+/// The wire format is explicit little-endian with a magic/version header;
+/// it contains no floating-point fields and no host pointers, so the same
+/// simulation state serializes to the same bytes on every platform —
+/// `content_hash()` is stable and golden snapshots can be committed.
+///
+/// On top of the format, this header provides the state-diff and divergence
+/// bisection used by the differential harness: `find_first_divergence` runs
+/// two supposedly bit-identical platforms forward, comparing snapshots at a
+/// checkpoint stride, and on mismatch restores the last equal checkpoint
+/// pair and single-steps to the first divergent cycle.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/synchronizer.h"
+#include "sim/counters.h"
+#include "sim/executor.h"
+#include "sim/platform.h"
+
+namespace ulpsync::sim {
+
+/// Wire-format mirror of one core's complete runtime state (architectural
+/// state plus the platform's scheduling/pipeline microstate).
+struct CoreSnapshot {
+  CoreArchState arch;
+  CoreStatus status = CoreStatus::kReady;
+  std::uint64_t stall_age = 0;
+  unsigned bubble_cycles = 0;
+  unsigned ramp_cycles = 0;
+  // Pending DM access.
+  bool mem_is_store = false;
+  std::uint32_t mem_addr = 0;
+  std::uint16_t store_data = 0;
+  std::uint8_t load_reg = 0;
+  std::uint32_t mem_next_pc = 0;
+  bool load_latched = false;
+  std::uint16_t latched_load = 0;
+  // Pending sync request.
+  bool sync_is_checkout = false;
+  std::uint32_t sync_addr = 0;
+  std::uint32_t sync_next_pc = 0;
+
+  friend bool operator==(const CoreSnapshot&, const CoreSnapshot&) = default;
+};
+
+/// Wire-format mirror of one enhanced D-Xbar policy group (one per DM bank).
+struct PolicyGroupSnapshot {
+  bool active = false;
+  std::uint32_t pc = 0;
+  std::uint16_t member_mask = 0;
+  std::uint16_t unserved_mask = 0;
+
+  friend bool operator==(const PolicyGroupSnapshot&,
+                         const PolicyGroupSnapshot&) = default;
+};
+
+/// A maximal run of consecutive non-zero data-memory words (the sparse DM
+/// encoding of the snapshot format).
+struct DmRun {
+  std::uint32_t addr = 0;
+  std::vector<std::uint16_t> words;
+
+  friend bool operator==(const DmRun&, const DmRun&) = default;
+};
+
+/// Complete saved state of one platform (see the file comment). Produced by
+/// `Platform::save_snapshot`, consumed by `Platform::restore_snapshot`, and
+/// (de)serializable to a stable binary image.
+struct Snapshot {
+  /// Format version written by `serialize`; `deserialize` rejects others.
+  static constexpr std::uint32_t kFormatVersion = 1;
+
+  PlatformConfig config;
+  std::uint64_t im_fingerprint = 0;  ///< fingerprint of the loaded image
+  std::vector<CoreSnapshot> cores;
+  std::vector<PolicyGroupSnapshot> policy_groups;  ///< one per DM bank
+  unsigned active_policy_groups = 0;
+  EventCounters counters;
+  core::SynchronizerState sync;
+  bool has_pending_stop = false;
+  RunResult pending_stop;  ///< valid when `has_pending_stop`
+  bool was_lockstep = true;
+  unsigned rr_pointer = 0;
+  std::uint64_t fast_forwarded_cycles = 0;
+  std::vector<DmRun> dm_runs;  ///< sparse non-zero DM contents
+  /// Free-form host words carried with the platform state — e.g. the
+  /// harness's RNG stream (`util::Rng::state()`), window counters of a
+  /// duty-cycled host loop. Ignored by `Platform::restore_snapshot`.
+  std::vector<std::uint64_t> host_words;
+
+  /// Cycle the snapshot was taken at.
+  [[nodiscard]] std::uint64_t cycle() const { return counters.cycles; }
+
+  /// The stable binary image (see the file comment for guarantees).
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  /// Parses a serialized image. Throws std::invalid_argument on a bad
+  /// magic, an unsupported version, truncation, or out-of-range fields.
+  [[nodiscard]] static Snapshot deserialize(std::span<const std::uint8_t> bytes);
+  /// FNV-1a 64-bit hash of `serialize()` — the identity golden-snapshot
+  /// tests pin down.
+  [[nodiscard]] std::uint64_t content_hash() const;
+
+  friend bool operator==(const Snapshot&, const Snapshot&) = default;
+};
+
+/// Which state the divergence comparison looks at.
+enum class DivergenceScope : std::uint8_t {
+  /// Everything `operator==` compares (cores, counters, sync, DM, ...).
+  kFullState,
+  /// Core-visible state only: cores, policy groups, counters, synchronizer —
+  /// but *not* data memory. Use this to locate when an injected DM fault
+  /// first reaches a core, rather than when it was injected.
+  kCoreState,
+};
+
+/// True when `a` and `b` agree on the state selected by `scope`. The
+/// host-side fast-forward knob and its cycle accounting are excluded in
+/// both scopes — runs differing only in how the host simulated them are
+/// behaviorally identical.
+[[nodiscard]] bool snapshots_equal(const Snapshot& a, const Snapshot& b,
+                                   DivergenceScope scope);
+
+/// Human-readable first differences between two snapshots (cycle, per-core
+/// status/PC/registers, counters, synchronizer, DM words), at most
+/// `max_items` lines. Empty when the snapshots are identical.
+[[nodiscard]] std::string diff_snapshots(const Snapshot& a, const Snapshot& b,
+                                         unsigned max_items = 16);
+
+/// Result of `find_first_divergence`.
+struct DivergenceReport {
+  bool diverged = false;
+  /// First cycle at which the two platform states differ (valid when
+  /// `diverged`).
+  std::uint64_t first_divergent_cycle = 0;
+  /// `diff_snapshots` of the states at that cycle (valid when `diverged`).
+  std::string delta;
+};
+
+/// Binary-search divergence locator for two platforms that are expected to
+/// stay bit-identical (same config, program and inputs — verified, throws
+/// std::invalid_argument otherwise). Advances both in lockstep, comparing
+/// snapshots every `stride` cycles; on the first mismatching checkpoint it
+/// restores the last equal pair and single-steps to the exact first
+/// divergent cycle. Returns a non-diverged report when the states still
+/// agree at `max_cycles` (or when both platforms finish equal earlier).
+/// Cost: O(cycles) ticks plus O(stride) re-simulated ticks, not
+/// O(cycles * snapshot size).
+[[nodiscard]] DivergenceReport find_first_divergence(
+    Platform& a, Platform& b, std::uint64_t max_cycles,
+    DivergenceScope scope = DivergenceScope::kFullState,
+    std::uint64_t stride = 1024);
+
+/// Writes `snapshot.serialize()` to `path`. Throws std::runtime_error on an
+/// I/O failure.
+void write_snapshot_file(const std::string& path, const Snapshot& snapshot);
+/// Reads and deserializes a snapshot file. Throws std::runtime_error on an
+/// I/O failure and std::invalid_argument on a malformed image.
+[[nodiscard]] Snapshot read_snapshot_file(const std::string& path);
+
+}  // namespace ulpsync::sim

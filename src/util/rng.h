@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 namespace ulpsync::util {
@@ -31,6 +32,19 @@ class Rng {
 
   /// Standard normal draw (Box-Muller on deterministic uniforms).
   double next_gaussian();
+
+  /// Raw 256-bit generator state, for checkpointing host-side RNG streams
+  /// (e.g. into `sim::Snapshot::host_words`).
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  /// Restores a state captured by `state()`. Any cached Box-Muller draw is
+  /// discarded, so the uniform stream continues exactly; the gaussian
+  /// stream continues from the next pair of uniforms.
+  void set_state(const std::array<std::uint64_t, 4>& state) {
+    for (unsigned i = 0; i < 4; ++i) state_[i] = state[i];
+    has_cached_gaussian_ = false;
+  }
 
  private:
   std::uint64_t state_[4];

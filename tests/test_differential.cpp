@@ -1,30 +1,60 @@
 // Differential testing with randomly generated programs.
 //
 // A structured generator emits random but well-formed TR16 kernels:
-// per-core data, arithmetic, private-bank loads/stores, uniform counted
-// loops, and data-dependent diamonds (the divergence source). Each program
-// is run three ways — baseline design, synchronized design with the
-// automatic instrumentation pass, and synchronized with no instrumentation
-// — and all three must produce identical architectural results. This
-// checks, across thousands of random control-flow shapes, the core claim
-// that synchronization changes *timing only*.
+// per-core data, arithmetic, private-bank loads/stores, shared-bank
+// contention (read-only broadcast loads and per-core read-modify-write
+// sequences on one shared bank), uniform counted loops, top-level
+// sleep/interrupt-wake windows, and nested data-dependent diamonds (the
+// divergence source). Each program is run three ways — baseline design,
+// synchronized design with the automatic instrumentation pass, and
+// synchronized with no instrumentation — and all three must produce
+// identical architectural results. This checks, across thousands of random
+// control-flow shapes, the core claim that synchronization changes *timing
+// only*.
+//
+// Shared traffic is constructed to be timing-independent: shared loads read
+// a bank the program never writes, and shared read-modify-write sequences
+// target per-core slots of a common bank (bank conflicts, no races). Only
+// such traffic can ride along with the three-way equivalence check — a
+// racing shared store would make the final memory image depend on
+// arbitration timing, which differs across designs by design.
+//
+// On a mismatch, the harness writes both final platform snapshots and
+// their diff to divergence_artifacts/ (override with ULPSYNC_ARTIFACT_DIR)
+// so CI can upload the pair; the DivergenceBisection suite additionally
+// exercises sim::find_first_divergence, which binary-searches snapshot
+// checkpoints to the exact first divergent cycle of two runs that should
+// have been bit-identical.
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 
 #include "asm/assembler.h"
 #include "core/instrument.h"
 #include "sim/platform.h"
+#include "sim/snapshot.h"
 #include "util/rng.h"
 
 namespace ulpsync {
 namespace {
 
+/// DM layout of the generated programs (bank = addr / 2048):
+///   bank 0      — sync checkpoint words (instrumented variant only)
+///   bank 1      — shared read-only constants (broadcast-load target)
+///   banks 2..9  — per-core private bank of core c at (2+c)*2048
+///   bank 10     — shared contended bank: per-core RMW slots at
+///                 kSharedRmwBase + 8*k + core
+constexpr std::uint32_t kSharedConstBase = 2048;
+constexpr std::uint32_t kSharedRmwBase = 10 * 2048;
+
 /// Emits a random program. All loops have compile-time trip counts (the
-/// programs always terminate); all DM traffic stays in the core's private
-/// bank except an optional shared-slot store at the end.
+/// programs always terminate); memory traffic follows the layout above, so
+/// results are identical across designs regardless of timing.
 class ProgramGenerator {
  public:
   explicit ProgramGenerator(std::uint64_t seed) : rng_(seed) {}
@@ -43,7 +73,13 @@ class ProgramGenerator {
            << rng_.next_in_range(-100, 100) << "\n";
     }
     const unsigned blocks = 3 + static_cast<unsigned>(rng_.next_below(5));
-    for (unsigned b = 0; b < blocks; ++b) emit_block(/*depth=*/0);
+    for (unsigned b = 0; b < blocks; ++b) {
+      emit_block(/*depth=*/0);
+      // Top-level duty-cycle window: every core executes the same sleep
+      // sequence (uniform code path), so the platform periodically reaches
+      // all-asleep and the host drive loop wakes it by interrupt.
+      if (rng_.next_below(4) == 0) out_ << "    sleep\n";
+    }
     // Publish results.
     for (unsigned r = 4; r <= 9; ++r) {
       out_ << "    movi r12, " << (1024 + (r - 4) * 16) << "\n"
@@ -81,6 +117,29 @@ class ProgramGenerator {
     }
   }
 
+  void emit_shared_load() {
+    // Broadcast-load contention: every core reads the shared read-only
+    // constant bank at a data-dependent offset. Cores in lockstep with
+    // equal indices broadcast; diverged cores conflict on the bank.
+    out_ << "    andi r10, r" << reg() << ", 0x1FF\n"
+         << "    movi r11, " << kSharedConstBase << "\n"
+         << "    add  r11, r11, r10\n"
+         << "    ldx  r" << reg() << ", [r11+r0]\n";
+  }
+
+  void emit_shared_rmw() {
+    // Read-modify-write sequence on this core's slot of the shared
+    // contended bank: all cores hammer one bank (conflict serialization,
+    // policy groups) but never one another's words (no races).
+    static constexpr const char* kOps[] = {"add", "xor", "sub"};
+    const unsigned slot = static_cast<unsigned>(rng_.next_below(8));
+    out_ << "    movi r11, " << (kSharedRmwBase + 8 * slot) << "\n"
+         << "    add  r11, r11, r1\n"
+         << "    ldx  r10, [r11+r0]\n"
+         << "    " << kOps[rng_.next_below(3)] << " r10, r10, r" << reg() << "\n"
+         << "    stx  r10, [r11+r0]\n";
+  }
+
   void emit_diamond(int depth) {
     const std::string else_label = fresh_label("else_");
     const std::string join_label = fresh_label("join_");
@@ -110,20 +169,25 @@ class ProgramGenerator {
   }
 
   void emit_simple(int depth) {
-    switch (rng_.next_below(3)) {
+    switch (rng_.next_below(5)) {
       case 0: emit_alu(); break;
       case 1: emit_mem(); break;
+      case 2: emit_shared_load(); break;
+      case 3: emit_shared_rmw(); break;
       default:
-        if (depth < 2) emit_diamond(depth + 1);
+        // Nested data-dependent diamonds, up to three levels deep.
+        if (depth < 3) emit_diamond(depth + 1);
         else emit_alu();
     }
   }
 
   void emit_block(int depth) {
-    switch (rng_.next_below(4)) {
+    switch (rng_.next_below(6)) {
       case 0: emit_alu(); break;
       case 1: emit_mem(); break;
-      case 2: emit_diamond(depth); break;
+      case 2: emit_shared_load(); break;
+      case 3: emit_shared_rmw(); break;
+      case 4: emit_diamond(depth); break;
       default:
         if (depth < 2) emit_loop(depth);
         else emit_alu();
@@ -137,6 +201,12 @@ class ProgramGenerator {
 
 void preload_inputs(sim::Platform& platform, std::uint64_t seed) {
   util::Rng rng(seed * 31 + 7);
+  // Shared read-only constants (identical for every variant of a seed).
+  for (unsigned offset = 0; offset < 512; ++offset) {
+    platform.dm_write(kSharedConstBase + offset,
+                      static_cast<std::uint16_t>(rng.next_below(0x10000)));
+  }
+  // Per-core private banks.
   for (unsigned c = 0; c < 8; ++c) {
     for (unsigned offset = 0; offset < 1024; ++offset) {
       platform.dm_write((2 + c) * 2048 + offset,
@@ -151,7 +221,54 @@ std::vector<std::uint16_t> result_snapshot(const sim::Platform& platform) {
     const auto block = platform.dm_read_block((2 + c) * 2048, 2048);
     snapshot.insert(snapshot.end(), block.begin(), block.end());
   }
+  // The shared contended bank holds per-core RMW results.
+  const auto shared = platform.dm_read_block(kSharedRmwBase, 2048);
+  snapshot.insert(snapshot.end(), shared.begin(), shared.end());
   return snapshot;
+}
+
+/// Runs to completion through the host wake loop: generated programs
+/// contain top-level `sleep` windows, so an all-asleep stop is a request
+/// for the next external wake-up, not a failure. Bounded: every wake-up
+/// lets at least one core retire its sleep, so the loop terminates.
+sim::RunResult run_with_wakeups(sim::Platform& platform, std::uint64_t budget) {
+  sim::RunResult result = platform.run(budget);
+  for (unsigned window = 0; window < 100'000; ++window) {
+    if (result.status != sim::RunResult::Status::kAllAsleep) break;
+    platform.interrupt_all();
+    result = platform.run(budget);
+  }
+  return result;
+}
+
+/// Where divergence artifacts land (CI uploads this directory on failure).
+std::filesystem::path artifact_dir() {
+  const char* override_dir = std::getenv("ULPSYNC_ARTIFACT_DIR");
+  return override_dir != nullptr ? std::filesystem::path(override_dir)
+                                 : std::filesystem::path("divergence_artifacts");
+}
+
+void dump_divergence_artifacts(std::uint64_t seed, const std::string& variant,
+                               const sim::Snapshot& reference,
+                               const sim::Snapshot& diverged) {
+  const std::filesystem::path dir = artifact_dir();
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return;  // artifact dumping must never mask the test failure
+  std::string tag = variant;
+  for (auto& c : tag)
+    if (c == '/' || c == ' ') c = '_';
+  const std::string stem = "seed" + std::to_string(seed) + "_" + tag;
+  try {
+    sim::write_snapshot_file((dir / (stem + "_reference.snap")).string(),
+                             reference);
+    sim::write_snapshot_file((dir / (stem + "_diverged.snap")).string(),
+                             diverged);
+    std::ofstream delta(dir / (stem + "_delta.txt"));
+    delta << sim::diff_snapshots(reference, diverged, 64);
+  } catch (const std::exception&) {
+    // Best effort only.
+  }
 }
 
 class DifferentialRandomPrograms : public ::testing::TestWithParam<int> {};
@@ -180,13 +297,14 @@ TEST_P(DifferentialRandomPrograms, AllDesignsComputeTheSameResults) {
 
   std::vector<std::uint16_t> reference;
   std::uint64_t reference_retired = 0;
+  sim::Snapshot reference_state;
   for (const auto& variant : variants) {
     sim::Platform platform(variant.with_sync
                                ? sim::PlatformConfig::with_synchronizer()
                                : sim::PlatformConfig::without_synchronizer());
     platform.load_program(*variant.program);
     preload_inputs(platform, seed);
-    const auto result = platform.run(20'000'000);
+    const auto result = run_with_wakeups(platform, 20'000'000);
     ASSERT_TRUE(result.ok())
         << variant.name << ": " << result.to_string() << "\n" << source;
     const auto snapshot = result_snapshot(platform);
@@ -196,7 +314,12 @@ TEST_P(DifferentialRandomPrograms, AllDesignsComputeTheSameResults) {
     if (reference.empty()) {
       reference = snapshot;
       reference_retired = useful;
+      reference_state = platform.save_snapshot();
     } else {
+      if (snapshot != reference) {
+        dump_divergence_artifacts(seed, variant.name, reference_state,
+                                  platform.save_snapshot());
+      }
       EXPECT_EQ(snapshot, reference) << variant.name << " diverged\n" << source;
       EXPECT_EQ(useful, reference_retired) << variant.name;
     }
@@ -216,6 +339,152 @@ TEST(DifferentialRandomPrograms, GeneratorEmitsDivergentControlFlow) {
       ++with_diamonds;
   }
   EXPECT_GT(with_diamonds, 30u);
+}
+
+TEST(DifferentialRandomPrograms, GeneratorEmitsAllContentionShapes) {
+  // Ditto for the contention shapes this suite claims to cover: shared
+  // broadcast loads, shared-bank RMW sequences, and sleep windows must all
+  // appear across the corpus.
+  unsigned with_shared_load = 0;
+  unsigned with_shared_rmw = 0;
+  unsigned with_sleep = 0;
+  // Markers unique to each emitter (an address literal alone would be
+  // ambiguous: the const base 2048 is a string prefix of the RMW base
+  // 20480).
+  const std::string shared_load_marker = "add  r11, r11, r10";
+  const std::string shared_rmw_marker = "ldx  r10, [r11+r0]";
+  for (int seed = 1; seed <= 40; ++seed) {
+    ProgramGenerator generator(static_cast<std::uint64_t>(seed));
+    const std::string source = generator.generate();
+    if (source.find(shared_load_marker) != std::string::npos) ++with_shared_load;
+    if (source.find(shared_rmw_marker) != std::string::npos) ++with_shared_rmw;
+    if (source.find("sleep") != std::string::npos) ++with_sleep;
+  }
+  EXPECT_GT(with_shared_load, 20u);
+  EXPECT_GT(with_shared_rmw, 10u);
+  EXPECT_GT(with_sleep, 10u);
+}
+
+// --- divergence bisection ----------------------------------------------------
+
+constexpr std::string_view kFaultProbeKernel = R"(
+    csrr r1, #0
+    movi r2, 40
+    movi r11, 2100       ; shared constant slot (bank 1)
+  loop:
+    ldx  r5, [r11+r0]
+    add  r6, r6, r5
+    addi r2, r2, -1
+    cmpi r2, 0
+    bne  loop
+    addi r4, r1, 2
+    movi r5, 11
+    sll  r3, r4, r5
+    stx  r6, [r3+r0]
+    halt
+)";
+
+assembler::Program compile(std::string_view source) {
+  auto result = assembler::assemble(source);
+  EXPECT_TRUE(result.ok()) << result.error_text();
+  return std::move(result.program);
+}
+
+/// (Platform is not movable — its crossbar/synchronizer members hold
+/// references into the object — so probes are set up in place.)
+void setup_probe(sim::Platform& platform) {
+  platform.load_program(compile(kFaultProbeKernel));
+  platform.dm_write(2100, 5);
+}
+
+TEST(DivergenceBisection, IdenticalRunsNeverDiverge) {
+  sim::Platform a(sim::PlatformConfig::with_synchronizer());
+  sim::Platform b(sim::PlatformConfig::with_synchronizer());
+  setup_probe(a);
+  setup_probe(b);
+  const auto report = sim::find_first_divergence(a, b, 5'000);
+  EXPECT_FALSE(report.diverged) << report.delta;
+}
+
+TEST(DivergenceBisection, ReportsInjectionCycleInFullStateScope) {
+  // Inject the fault mid-run: full-state comparison (DM included) must
+  // pinpoint the injection cycle itself.
+  constexpr std::uint64_t kInjectAt = 37;
+  sim::Platform a(sim::PlatformConfig::with_synchronizer());
+  sim::Platform b(sim::PlatformConfig::with_synchronizer());
+  setup_probe(a);
+  setup_probe(b);
+  while (a.counters().cycles < kInjectAt) a.tick();
+  while (b.counters().cycles < kInjectAt) b.tick();
+  b.dm_write(2100, 999);
+
+  const auto report = sim::find_first_divergence(
+      a, b, 10'000, sim::DivergenceScope::kFullState, /*stride=*/64);
+  ASSERT_TRUE(report.diverged);
+  EXPECT_EQ(report.first_divergent_cycle, kInjectAt);
+  EXPECT_NE(report.delta.find("dm[2100]"), std::string::npos) << report.delta;
+}
+
+TEST(DivergenceBisection, CoreScopeReportsWhenTheFaultReachesACore) {
+  // With DM excluded, divergence starts only when a core's load of the
+  // corrupted word retires — strictly after the injection.
+  constexpr std::uint64_t kInjectAt = 37;
+  auto inject = [&](sim::Platform& platform) {
+    while (platform.counters().cycles < kInjectAt) platform.tick();
+  };
+  sim::Platform a(sim::PlatformConfig::with_synchronizer());
+  sim::Platform b(sim::PlatformConfig::with_synchronizer());
+  setup_probe(a);
+  setup_probe(b);
+  inject(a);
+  inject(b);
+  b.dm_write(2100, 999);
+
+  const auto report = sim::find_first_divergence(
+      a, b, 10'000, sim::DivergenceScope::kCoreState, /*stride=*/64);
+  ASSERT_TRUE(report.diverged);
+  EXPECT_GT(report.first_divergent_cycle, kInjectAt);
+  EXPECT_NE(report.delta.find("core"), std::string::npos) << report.delta;
+
+  // Independently verify minimality: fresh platforms with the same fault
+  // agree on core state one cycle earlier and differ at the reported cycle.
+  sim::Platform c(sim::PlatformConfig::with_synchronizer());
+  sim::Platform d(sim::PlatformConfig::with_synchronizer());
+  setup_probe(c);
+  setup_probe(d);
+  inject(c);
+  inject(d);
+  d.dm_write(2100, 999);
+  while (c.counters().cycles < report.first_divergent_cycle - 1) {
+    c.tick();
+    d.tick();
+  }
+  EXPECT_TRUE(sim::snapshots_equal(c.save_snapshot(), d.save_snapshot(),
+                                   sim::DivergenceScope::kCoreState));
+  c.tick();
+  d.tick();
+  EXPECT_FALSE(sim::snapshots_equal(c.save_snapshot(), d.save_snapshot(),
+                                    sim::DivergenceScope::kCoreState));
+}
+
+TEST(DivergenceBisection, GeneratedProgramFastForwardModesAreBitIdentical) {
+  // The bisector doubles as a regression harness for host-side
+  // optimizations: a generated program simulated with fast-forward on and
+  // off must never diverge in any state, at any cycle.
+  ProgramGenerator generator(7);
+  const auto program = compile(generator.generate());
+  auto config_on = sim::PlatformConfig::with_synchronizer();
+  auto config_off = config_on;
+  config_off.fast_forward = false;
+  sim::Platform a(config_on);
+  sim::Platform b(config_off);
+  a.load_program(program);
+  b.load_program(program);
+  preload_inputs(a, 7);
+  preload_inputs(b, 7);
+  const auto report = sim::find_first_divergence(a, b, 50'000);
+  EXPECT_FALSE(report.diverged)
+      << "cycle " << report.first_divergent_cycle << "\n" << report.delta;
 }
 
 }  // namespace

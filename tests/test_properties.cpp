@@ -3,15 +3,24 @@
 //    over random operand sweeps (parameterized per opcode);
 //  * assembler robustness fuzzing (random token soup must produce
 //    diagnostics, never crashes, and never a silently wrong program);
-//  * platform event-counter conservation laws on random workloads.
+//  * platform event-counter conservation laws on random workloads;
+//  * snapshot serialization properties: round-trip identity at arbitrary
+//    capture cycles, rejection of corrupted/truncated images (never a
+//    crash, never a silently wrong parse), determinism of warm-state
+//    capture under host concurrency, and host RNG stream checkpointing.
 
 #include <gtest/gtest.h>
 
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "asm/assembler.h"
+#include "scenario/engine.h"
+#include "scenario/registry.h"
 #include "sim/executor.h"
 #include "sim/platform.h"
+#include "sim/snapshot.h"
 #include "util/rng.h"
 
 namespace ulpsync {
@@ -235,6 +244,149 @@ TEST(CounterConservation, DmGrantsMatchExecutedMemOps) {
   ASSERT_TRUE(platform.run(100'000).ok());
   // 16 iterations x (1 load + 1 store) x 8 cores.
   EXPECT_EQ(platform.counters().dm_requests_granted, 16u * 2 * 8);
+}
+
+// --- snapshot serialization properties --------------------------------------
+
+constexpr std::string_view kSnapshotPropertyKernel = R"(
+    csrr r1, #0
+    addi r4, r1, 2
+    movi r5, 11
+    sll  r3, r4, r5
+    movi r2, 25
+loop:
+    ldx  r6, [r3+r2]
+    addi r6, r6, 3
+    stx  r6, [r3+r2]
+    sinc #0
+    sdec #0
+    addi r2, r2, -1
+    cmpi r2, 0
+    bne  loop
+    halt
+)";
+
+sim::Snapshot capture_at(std::uint64_t cycle) {
+  sim::Platform platform(sim::PlatformConfig::with_synchronizer());
+  const auto program = assembler::assemble(std::string(kSnapshotPropertyKernel));
+  EXPECT_TRUE(program.ok()) << program.error_text();
+  platform.load_program(program.program);
+  while (platform.counters().cycles < cycle) platform.tick();
+  return platform.save_snapshot();
+}
+
+TEST(SnapshotProperties, SerializeDeserializeIsIdentityAtRandomCycles) {
+  util::Rng rng(0x5AA9);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::uint64_t cycle = rng.next_below(1500);
+    const sim::Snapshot snap = capture_at(cycle);
+    const auto bytes = snap.serialize();
+    const sim::Snapshot parsed = sim::Snapshot::deserialize(bytes);
+    EXPECT_EQ(parsed, snap) << "cycle " << cycle;
+    // Re-serialization is byte-stable (the format has one canonical image).
+    EXPECT_EQ(parsed.serialize(), bytes) << "cycle " << cycle;
+  }
+}
+
+TEST(SnapshotProperties, TruncatedImagesAreRejectedAtEveryLength) {
+  const auto bytes = capture_at(500).serialize();
+  util::Rng rng(0x7122);
+  // Every proper prefix must be rejected; sample densely (the image is a
+  // few kB, so testing all lengths stays fast too, but sampling plus the
+  // short prefixes keeps the intent obvious).
+  for (std::size_t length = 0; length < 64; ++length) {
+    EXPECT_THROW((void)sim::Snapshot::deserialize(
+                     std::span(bytes.data(), length)),
+                 std::invalid_argument)
+        << "prefix length " << length;
+  }
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t length = rng.next_below(bytes.size());
+    EXPECT_THROW((void)sim::Snapshot::deserialize(
+                     std::span(bytes.data(), length)),
+                 std::invalid_argument)
+        << "prefix length " << length;
+  }
+}
+
+TEST(SnapshotProperties, CorruptedMagicAndVersionAreRejected) {
+  const auto bytes = capture_at(300).serialize();
+  // Any corruption of the 8-byte magic or the 4-byte version tag rejects.
+  for (std::size_t pos = 0; pos < 12; ++pos) {
+    auto corrupted = bytes;
+    corrupted[pos] ^= 0x40;
+    EXPECT_THROW((void)sim::Snapshot::deserialize(corrupted),
+                 std::invalid_argument)
+        << "byte " << pos;
+  }
+}
+
+TEST(SnapshotProperties, RandomBitFlipsNeverCrashTheParser) {
+  const auto bytes = capture_at(700).serialize();
+  util::Rng rng(0xB17F);
+  for (int trial = 0; trial < 300; ++trial) {
+    auto corrupted = bytes;
+    corrupted[rng.next_below(corrupted.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.next_below(8));
+    // A flip either parses (into a self-consistent snapshot whose
+    // re-serialization round-trips) or throws — it must never crash or
+    // read out of bounds.
+    try {
+      const sim::Snapshot parsed = sim::Snapshot::deserialize(corrupted);
+      EXPECT_EQ(parsed.serialize(), corrupted);
+    } catch (const std::invalid_argument&) {
+      // Expected for most flips.
+    }
+  }
+}
+
+TEST(SnapshotProperties, WarmStateCaptureIsDeterministicAcrossThreads) {
+  // The warm-start prepass may run while other sweep threads simulate;
+  // captured warm states must not depend on host concurrency. Capture the
+  // same spec from many threads at once and require identical bytes.
+  scenario::RunSpec spec;
+  spec.workload = "sqrt32";
+  spec.params.samples = 32;
+  const scenario::Engine engine(scenario::Registry::builtins(),
+                                scenario::EngineOptions{});
+
+  constexpr unsigned kThreads = 8;
+  std::vector<std::vector<std::uint8_t>> captured(kThreads);
+  {
+    std::vector<std::thread> pool;
+    pool.reserve(kThreads);
+    for (unsigned t = 0; t < kThreads; ++t) {
+      pool.emplace_back([&, t] {
+        const auto state = engine.capture_warm_state(spec, 800);
+        if (state != nullptr) captured[t] = state->snapshot.serialize();
+      });
+    }
+    for (auto& thread : pool) thread.join();
+  }
+  for (unsigned t = 0; t < kThreads; ++t) {
+    ASSERT_FALSE(captured[t].empty()) << "thread " << t;
+    EXPECT_EQ(captured[t], captured[0]) << "thread " << t;
+  }
+}
+
+TEST(SnapshotProperties, HostRngStreamRoundTripsThroughHostWords) {
+  // The harness-side RNG stream checkpoints alongside the platform: a
+  // restored stream must continue exactly where the saved one left off.
+  util::Rng original(0xFEED5EED);
+  for (int i = 0; i < 100; ++i) (void)original.next_u64();
+
+  sim::Snapshot snap = capture_at(100);
+  const auto state = original.state();
+  snap.host_words.assign(state.begin(), state.end());
+  const sim::Snapshot parsed = sim::Snapshot::deserialize(snap.serialize());
+
+  ASSERT_EQ(parsed.host_words.size(), 4u);
+  util::Rng resumed;
+  resumed.set_state({parsed.host_words[0], parsed.host_words[1],
+                     parsed.host_words[2], parsed.host_words[3]});
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(resumed.next_u64(), original.next_u64());
+  }
 }
 
 }  // namespace
