@@ -1,14 +1,18 @@
 // Simulator throughput harness: the repo's performance baseline.
 //
-// Sweeps core count x workload (the builtin paper/example kernels plus the
-// duty-cycled streaming monitor), times every run, and reports the host
-// throughput in simulated cycles per wall second. Each configuration is
+// Sweeps core count x workload (the builtin paper/example kernels, the
+// duty-cycled streaming monitor, and the 8/16/32/64-core "sleepgen"
+// scaling sweep), times every run, and reports the host throughput in
+// simulated cycles per wall second. Compare a fresh run against the
+// committed BENCH_sim_throughput.json with tools/bench_compare.py. Each configuration is
 // additionally measured in three simulation modes, so the two hot-path
 // mechanisms can be tracked independently:
-//  * "full"      — engine defaults (lockstep analyzer attached; the
-//                  analyzer's per-cycle observer suppresses fast-forward),
-//  * "ff"        — no observer, idle fast-forward ON (the fastest mode),
-//  * "naive"     — no observer, idle fast-forward OFF (the reference
+//  * "full"      — engine defaults (lockstep metrics on, all fast paths on;
+//                  the analyzer is a platform sink, not an observer, so it
+//                  no longer suppresses them),
+//  * "ff"        — no metrics, idle fast-forward + bursts ON (the fastest
+//                  mode),
+//  * "naive"     — no metrics, every fast path OFF (the reference
 //                  cycle-by-cycle loop).
 // Simulation *results* are identical across all three modes — only wall
 // time differs — which tests/test_fastforward.cpp asserts exhaustively.
@@ -41,24 +45,35 @@ struct Case {
   const char* workload;
   unsigned cores;
   bool sleep_heavy;  ///< barrier/duty-cycle kernels (the paper's target mix)
+  /// Core-count scaling rows (the sleepgen sweep). Excluded from the
+  /// headline sleep-heavy mean so the committed baseline stays comparable
+  /// across revisions; they run with the synchronizer-less xbar design
+  /// (the synchronizer caps at 8 cores).
+  bool scaling = false;
 };
 
 constexpr Case kCases[] = {
     {"mrpfltr", 8, true},  {"sqrt32", 8, true},  {"mrpdln", 8, true},
     {"streaming", 8, true}, {"clip8", 8, false},
     {"sqrt32", 4, true},   {"sqrt32", 2, true},
+    // Core-count scaling sweep: the wide-platform duty-cycled workload.
+    {"sleepgen", 8, true, true},
+    {"sleepgen", 16, true, true},
+    {"sleepgen", 32, true, true},
+    {"sleepgen", 64, true, true},
 };
 
 struct Mode {
   const char* name;
   bool measure_lockstep;
   bool fast_forward;
+  bool burst;
 };
 
 constexpr Mode kModes[] = {
-    {"full", true, true},
-    {"ff", false, true},
-    {"naive", false, false},
+    {"full", true, true, true},
+    {"ff", false, true, true},
+    {"naive", false, false, false},
 };
 
 struct Measurement {
@@ -130,12 +145,14 @@ int main(int argc, char** argv) {
     spec.workload = c.workload;
     spec.params = base_params;
     spec.params.num_channels = c.cores;
-    spec.design = DesignVariant::synchronized();
+    spec.design = c.scaling ? DesignVariant::xbar_only()
+                            : DesignVariant::synchronized();
 
     for (const Mode& mode : kModes) {
       EngineOptions options = base_options;
       options.measure_lockstep = mode.measure_lockstep;
       spec.fast_forward = mode.fast_forward;
+      spec.burst = mode.burst;
       const Engine engine(Registry::builtins(), options);
       const Measurement m = measure(engine, spec, min_wall);
 
@@ -147,15 +164,18 @@ int main(int argc, char** argv) {
       char buffer[512];
       std::snprintf(buffer, sizeof(buffer),
                     "    {\"workload\": \"%s\", \"cores\": %u, \"mode\": \"%s\", "
-                    "\"sleep_heavy\": %s, \"sim_cycles_per_run\": %llu, "
+                    "\"sleep_heavy\": %s, \"scaling\": %s, "
+                    "\"sim_cycles_per_run\": %llu, "
                     "\"reps\": %u, \"wall_seconds\": %.6f, "
                     "\"mcycles_per_second\": %.3f}",
                     json_escape(c.workload).c_str(), c.cores, mode.name,
                     c.sleep_heavy ? "true" : "false",
+                    c.scaling ? "true" : "false",
                     static_cast<unsigned long long>(m.sim_cycles_per_run),
                     m.reps, m.wall_seconds, m.mcycles_per_second());
       runs_json += buffer;
-      if (c.sleep_heavy && c.cores == 8 && std::string(mode.name) == "full") {
+      if (c.sleep_heavy && !c.scaling && c.cores == 8 &&
+          std::string(mode.name) == "full") {
         sleep_heavy_full_sum += m.mcycles_per_second();
         sleep_heavy_full_count += 1;
       }

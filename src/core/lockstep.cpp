@@ -1,8 +1,8 @@
-#include "core/lockstep.h"
+#include "core/lockstep_metrics.h"
 
 namespace ulpsync::core {
 
-double LockstepAnalyzer::Metrics::mean_pc_groups() const {
+double LockstepMetrics::mean_pc_groups() const {
   std::uint64_t cycles = 0;
   std::uint64_t weighted = 0;
   for (std::size_t groups = 1; groups < pc_group_histogram.size(); ++groups) {
@@ -11,38 +11,6 @@ double LockstepAnalyzer::Metrics::mean_pc_groups() const {
   }
   return cycles == 0 ? 0.0
                      : static_cast<double>(weighted) / static_cast<double>(cycles);
-}
-
-void LockstepAnalyzer::attach(sim::Platform& platform) {
-  platform.set_observer([this](const sim::Platform& p) { observe(p); });
-}
-
-void LockstepAnalyzer::observe(const sim::Platform& platform) {
-  metrics_.observed_cycles += 1;
-  // Distinct-PC dedup in a fixed-size array: this runs once per simulated
-  // cycle, and at most 8 cores are ready, so linear probing beats any
-  // allocating container.
-  std::array<std::uint32_t, 8> pcs;
-  std::size_t distinct = 0;
-  unsigned live = 0;
-  unsigned ready = 0;
-  for (unsigned c = 0; c < platform.config().num_cores; ++c) {
-    const sim::CoreStatus status = platform.core_status(c);
-    if (status == sim::CoreStatus::kHalted || status == sim::CoreStatus::kTrapped)
-      continue;
-    if (status != sim::CoreStatus::kSleeping) ++live;
-    if (status == sim::CoreStatus::kReady) {
-      ++ready;
-      const std::uint32_t pc = platform.core_pc(c);
-      bool seen = false;
-      for (std::size_t i = 0; i < distinct; ++i) seen = seen || (pcs[i] == pc);
-      if (!seen && distinct < pcs.size()) pcs[distinct++] = pc;
-    }
-  }
-  const std::size_t groups = distinct;
-  metrics_.pc_group_histogram[groups] += 1;
-  if (ready >= 2 && ready == live && groups == 1)
-    metrics_.full_lockstep_cycles += 1;
 }
 
 }  // namespace ulpsync::core

@@ -1,40 +1,32 @@
 #pragma once
 
-/// Lockstep residency analyzer: observes a platform cycle-by-cycle and
-/// measures how synchronized the cores actually are — the quantity the
-/// paper's technique improves. Used by the evaluation harnesses to explain
-/// *why* the synchronized design wins (broadcast fraction up, PC spread
-/// down), and by tests to assert lockstep is restored after each region.
+/// Lockstep residency analyzer: measures how synchronized the cores
+/// actually are — the quantity the paper's technique improves. Used by the
+/// evaluation harnesses to explain *why* the synchronized design wins
+/// (broadcast fraction up, PC spread down), and by tests to assert lockstep
+/// is restored after each region.
+///
+/// The analyzer registers its metrics block as the platform's lockstep
+/// sink (`sim::Platform::set_lockstep_sink`): the platform accumulates the
+/// per-cycle observations itself — O(active cores) per naive tick and
+/// batch-updated across fast-forward/burst regions — so measuring lockstep
+/// no longer suppresses the host-side fast paths the way a per-cycle
+/// observer would. The accumulated values are bit-identical either way.
 
-#include <array>
-#include <cstdint>
-
+#include "core/lockstep_metrics.h"
 #include "sim/platform.h"
 
 namespace ulpsync::core {
 
 class LockstepAnalyzer {
  public:
-  struct Metrics {
-    std::uint64_t observed_cycles = 0;
-    /// Cycles in which every live (non-halted, non-sleeping) core was ready
-    /// at one common PC.
-    std::uint64_t full_lockstep_cycles = 0;
-    /// Histogram of the number of distinct PCs among ready cores per cycle
-    /// (index clamped to 8; index 0 = no core ready).
-    std::array<std::uint64_t, 9> pc_group_histogram{};
+  using Metrics = LockstepMetrics;
 
-    [[nodiscard]] double lockstep_fraction() const {
-      return observed_cycles == 0
-                 ? 0.0
-                 : static_cast<double>(full_lockstep_cycles) /
-                       static_cast<double>(observed_cycles);
-    }
-    [[nodiscard]] double mean_pc_groups() const;
-  };
-
-  /// Registers this analyzer as the platform's per-cycle observer.
-  void attach(sim::Platform& platform);
+  /// Registers this analyzer's metrics block as the platform's lockstep
+  /// sink. The analyzer must outlive every subsequent tick of `platform`.
+  void attach(sim::Platform& platform) {
+    platform.set_lockstep_sink(&metrics_);
+  }
 
   [[nodiscard]] const Metrics& metrics() const { return metrics_; }
   void reset() { metrics_ = {}; }
@@ -44,7 +36,6 @@ class LockstepAnalyzer {
   void restore(const Metrics& metrics) { metrics_ = metrics; }
 
  private:
-  void observe(const sim::Platform& platform);
   Metrics metrics_;
 };
 

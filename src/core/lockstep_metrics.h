@@ -1,0 +1,46 @@
+#pragma once
+
+/// Lockstep residency metrics, decoupled from the analyzer that presents
+/// them so `sim::Platform` can maintain them natively.
+///
+/// Historically the `core::LockstepAnalyzer` observed the platform through
+/// the per-cycle observer hook, which suppressed every host-side fast path
+/// (idle fast-forward, straight-line bursts) for the whole run. The metrics
+/// are batch-updatable, though: across any stretch of cycles in which no
+/// core changes status or diverges, each cycle contributes the same
+/// histogram bin. The platform therefore accepts a `LockstepMetrics` sink
+/// (`sim::Platform::set_lockstep_sink`) and updates it O(active) per naive
+/// tick and O(1) per fast-forwarded or burst-executed region — the values
+/// are bit-identical to the per-cycle observer's.
+
+#include <array>
+#include <cstdint>
+
+namespace ulpsync::core {
+
+/// Per-cycle lockstep residency totals (see the file comment). The
+/// histogram clamps at 8 distinct PCs — the paper platform's core count —
+/// so wider platforms accumulate every ≥8-way spread in the last bin.
+struct LockstepMetrics {
+  std::uint64_t observed_cycles = 0;
+  /// Cycles in which every live (non-halted, non-sleeping) core was ready
+  /// at one common PC.
+  std::uint64_t full_lockstep_cycles = 0;
+  /// Histogram of the number of distinct PCs among ready cores per cycle
+  /// (index clamped to 8; index 0 = no core ready).
+  std::array<std::uint64_t, 9> pc_group_histogram{};
+
+  [[nodiscard]] double lockstep_fraction() const {
+    return observed_cycles == 0
+               ? 0.0
+               : static_cast<double>(full_lockstep_cycles) /
+                     static_cast<double>(observed_cycles);
+  }
+  /// Mean distinct-PC group count over cycles with at least one ready core.
+  [[nodiscard]] double mean_pc_groups() const;
+
+  friend bool operator==(const LockstepMetrics&,
+                         const LockstepMetrics&) = default;
+};
+
+}  // namespace ulpsync::core

@@ -19,7 +19,7 @@ unsigned popcount16(std::uint16_t v) {
 
 Synchronizer::Synchronizer(DataMemoryPort& dm, unsigned num_cores)
     : dm_(dm), num_cores_(num_cores) {
-  assert(num_cores_ >= 1 && num_cores_ <= 8);
+  assert(num_cores_ >= 1 && num_cores_ <= kMaxCores);
 }
 
 Synchronizer::CycleEvents Synchronizer::begin_cycle() {

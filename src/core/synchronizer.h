@@ -83,7 +83,11 @@ struct SynchronizerState {
 
 class Synchronizer {
  public:
-  /// `num_cores` must be <= 8 (the checkpoint word has 8 identity flags).
+  /// Architectural ceiling: the checkpoint word has 8 identity flags, so a
+  /// synchronizer serves at most 8 cores regardless of platform width.
+  static constexpr unsigned kMaxCores = 8;
+
+  /// `num_cores` must be <= kMaxCores.
   Synchronizer(DataMemoryPort& dm, unsigned num_cores);
 
   /// Submits a check-in/check-out executed by `core` this cycle, targeting

@@ -34,6 +34,7 @@ sim::PlatformConfig spec_config(const RunSpec& spec, const Workload& workload) {
   if (spec.arbitration) config.arbitration = *spec.arbitration;
   if (spec.im_line_slots) config.im_line_slots = *spec.im_line_slots;
   if (spec.fast_forward) config.fast_forward = *spec.fast_forward;
+  if (spec.burst) config.burst = *spec.burst;
   return config;
 }
 
@@ -60,6 +61,7 @@ std::string warm_key(const RunSpec& spec) {
       << (spec.arbitration ? static_cast<int>(*spec.arbitration) : -1) << '|'
       << (spec.im_line_slots ? static_cast<long>(*spec.im_line_slots) : -1)
       << '|' << (spec.fast_forward ? static_cast<int>(*spec.fast_forward) : -1)
+      << '|' << (spec.burst ? static_cast<int>(*spec.burst) : -1)
       << '|' << spec.checkpoint_at.value_or(0);
   return key.str();
 }

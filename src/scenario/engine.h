@@ -88,9 +88,10 @@ struct SweepResult {
 struct EngineOptions {
   /// Worker threads for `run`; 0 picks the hardware concurrency.
   unsigned jobs = 1;
-  /// Attach a LockstepAnalyzer to every run (tiny per-cycle cost; also
-  /// suppresses the platform's idle fast-forward, which needs an
-  /// observer-free run).
+  /// Attach a LockstepAnalyzer to every run. The analyzer registers as the
+  /// platform's lockstep sink (not a per-cycle observer), so the host-side
+  /// fast paths — idle fast-forward, straight-line bursts — stay active;
+  /// metric values are bit-identical either way.
   bool measure_lockstep = true;
   /// Honour `RunSpec::checkpoint_at` grouping: simulate each shared warm-up
   /// prefix once and resume the group members from its snapshot. Results

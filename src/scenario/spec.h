@@ -33,6 +33,12 @@ struct DesignVariant {
   [[nodiscard]] static DesignVariant synchronized() {
     return {"with synchronizer", sim::SyncFeatures::enabled()};
   }
+  /// Crossbar enhancements without the hardware synchronizer — the design
+  /// point for platforms wider than the synchronizer's 8-core ceiling
+  /// (e.g. the 16/32/64-core scaling workloads).
+  [[nodiscard]] static DesignVariant xbar_only() {
+    return {"xbar-only", sim::SyncFeatures{false, true, true}};
+  }
 };
 
 /// One fully resolved simulation run (see the file comment).
@@ -49,6 +55,11 @@ struct RunSpec {
   /// matters to equivalence tests and the perf harness). Unset keeps the
   /// platform default (on). Not serialized with the record.
   std::optional<bool> fast_forward;
+  /// Host-simulation override of `sim::PlatformConfig::burst`
+  /// (straight-line burst execution and the slim fetch-regime path;
+  /// results are bit-identical either way). Unset keeps the platform
+  /// default (on). Not serialized with the record.
+  std::optional<bool> burst;
   std::uint64_t max_cycles = 500'000'000;
   /// End of the deterministic warm-up prefix (in cycles). When several
   /// specs of one sweep share the same simulation up to this cycle (same

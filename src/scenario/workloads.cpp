@@ -540,6 +540,209 @@ class StreamingWorkload final : public Workload {
   mutable unsigned windows_run_ = 0;
 };
 
+// --- sleepgen: the wide-platform duty-cycled scaling workload ----------------
+// Sleep-heavy generator workload for core counts beyond the synchronizer's
+// 8-core ceiling (run it with DesignVariant::xbar_only). Each core owns a
+// private DM bank; per acquisition window the host deposits ECG-generator
+// samples, wakes every core by interrupt, and each core runs a
+// burst-friendly straight-line feature chain over its window — the cores
+// stay in natural lockstep (uniform control flow), exercising the
+// platform's broadcast fetch, burst execution and O(active) scheduling at
+// 16/32/64 cores — then publishes a checksum and goes back to sleep.
+
+constexpr unsigned kSleepGenWindow = 128;    ///< samples per window
+constexpr unsigned kSleepGenBankWords = 512; ///< smaller banks: 64 cores fit
+                                             ///< the 16-bit address space
+constexpr unsigned kSleepGenChannelBank = 4; ///< first per-core bank
+constexpr std::uint16_t kSleepGenResultBase = 1024;  ///< bank 2: result[core]
+
+constexpr std::string_view kSleepGenSource = R"(
+    csrr r1, #0           ; core id
+    addi r4, r1, 4
+    movi r5, 9
+    sll  r3, r4, r5       ; channel base = (4 + id) * 512
+    movi r2, 128          ; window length
+    movi r7, 1024         ; shared result block
+forever:
+    sleep                 ; wait for the window interrupt
+    movi r8, 0            ; i
+    movi r9, 0            ; checksum
+loop:
+    ldx  r10, [r3+r8]
+; --- straight-line feature chain (the burst showcase) ---
+    slli r11, r10, 1
+    add  r11, r11, r10    ; 3x
+    srli r11, r11, 2
+    xori r12, r10, 90
+    add  r12, r12, r11
+    slli r13, r12, 3
+    srli r13, r13, 5
+    xor  r12, r12, r13
+    andi r12, r12, 0x7FF
+    add  r9, r9, r12
+    addi r9, r9, 1
+    stx  r12, [r3+r8]     ; processed sample back in place
+    addi r8, r8, 1
+    cmp  r8, r2
+    blt  loop
+    stx  r9, [r7+r1]      ; publish the window checksum
+    bra  forever
+)";
+
+/// Host mirror of the kernel's per-sample chain (16-bit semantics).
+std::uint16_t sleepgen_feature(std::uint16_t x) {
+  auto r11 = static_cast<std::uint16_t>(x << 1);
+  r11 = static_cast<std::uint16_t>(r11 + x);
+  r11 = static_cast<std::uint16_t>(r11 >> 2);
+  auto r12 = static_cast<std::uint16_t>(x ^ 90);
+  r12 = static_cast<std::uint16_t>(r12 + r11);
+  auto r13 = static_cast<std::uint16_t>(r12 << 3);
+  r13 = static_cast<std::uint16_t>(r13 >> 5);
+  r12 = static_cast<std::uint16_t>(r12 ^ r13);
+  return static_cast<std::uint16_t>(r12 & 0x7FF);
+}
+
+class SleepGenWorkload final : public Workload {
+ public:
+  explicit SleepGenWorkload(const WorkloadParams& params) : params_(params) {
+    if (params_.num_channels < 1 ||
+        params_.num_channels > sim::EventCounters::kMaxCores) {
+      throw std::runtime_error(
+          "sleepgen: num_channels must be in [1, " +
+          std::to_string(sim::EventCounters::kMaxCores) + "], got " +
+          std::to_string(params_.num_channels));
+    }
+    program_ = assemble_or_throw(
+        kernels::preprocess_sync_markers(kSleepGenSource, false), "sleepgen");
+  }
+
+  [[nodiscard]] std::string_view name() const override { return "sleepgen"; }
+  [[nodiscard]] unsigned num_cores() const override {
+    return params_.num_channels;
+  }
+  [[nodiscard]] const assembler::Program& program(
+      bool instrumented) const override {
+    (void)instrumented;  // single source, no sync points: one program
+    return program_;
+  }
+  void load_inputs(sim::Platform& platform) const override { (void)platform; }
+
+  /// Wide-platform geometry: one small private bank per core so loads are
+  /// conflict-free and every address fits the cores' 16-bit registers.
+  [[nodiscard]] sim::PlatformConfig base_config(
+      bool with_synchronizer) const override {
+    sim::PlatformConfig config = Workload::base_config(with_synchronizer);
+    config.dm_banks = kSleepGenChannelBank + params_.num_channels;
+    config.dm_bank_words = kSleepGenBankWords;
+    return config;
+  }
+
+  /// The drive loop below keeps host-side window state a platform snapshot
+  /// cannot capture.
+  [[nodiscard]] bool warm_startable() const override { return false; }
+
+  [[nodiscard]] unsigned windows() const {
+    return std::max(1u, params_.samples / kSleepGenWindow);
+  }
+
+  /// Duty-cycled host loop: run to the initial sleep, then per window
+  /// deposit fresh samples, wake every core by interrupt, and run until
+  /// the platform is all-asleep again.
+  sim::RunResult drive(sim::Platform& platform,
+                       std::uint64_t max_cycles) const override {
+    windows_run_ = 0;
+    auto result = platform.run(std::min<std::uint64_t>(max_cycles, 100'000));
+    for (unsigned w = 0; w < windows(); ++w) {
+      if (result.status != sim::RunResult::Status::kAllAsleep) return result;
+      deposit_window(platform, w);
+      const std::uint64_t before = platform.counters().cycles;
+      platform.interrupt_all();
+      result = platform.run(std::min(max_cycles, before + 10'000'000));
+      ++windows_run_;
+    }
+    return result;
+  }
+
+  [[nodiscard]] std::string verify(const sim::Platform& platform) const override {
+    if (windows_run_ != windows()) {
+      return "sleepgen: only " + std::to_string(windows_run_) + " of " +
+             std::to_string(windows()) + " windows completed";
+    }
+    const unsigned last = windows() - 1;
+    for (unsigned c = 0; c < num_cores(); ++c) {
+      const auto& samples = channel_samples(c);
+      std::uint16_t checksum = 0;
+      for (unsigned i = 0; i < kSleepGenWindow; ++i) {
+        const std::uint16_t raw = samples[last * kSleepGenWindow + i];
+        const std::uint16_t processed = sleepgen_feature(raw);
+        checksum = static_cast<std::uint16_t>(checksum + processed + 1);
+        const std::uint16_t got = platform.dm_read(channel_base(c) + i);
+        if (got != processed) {
+          std::ostringstream err;
+          err << "sleepgen channel " << c << " sample " << i << ": got " << got
+              << ", expected " << processed;
+          return err.str();
+        }
+      }
+      const std::uint16_t got = platform.dm_read(kSleepGenResultBase + c);
+      if (got != checksum) {
+        std::ostringstream err;
+        err << "sleepgen channel " << c << ": checksum " << got
+            << ", expected " << checksum;
+        return err.str();
+      }
+    }
+    return {};
+  }
+
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> report(
+      const sim::Platform& platform) const override {
+    std::vector<std::pair<std::string, std::string>> out;
+    out.emplace_back("windows", std::to_string(windows_run_));
+    out.emplace_back("burst_cycles",
+                     std::to_string(platform.burst_cycles()));
+    return out;
+  }
+
+ private:
+  [[nodiscard]] static std::uint32_t channel_base(unsigned core) {
+    return (kSleepGenChannelBank + core) * kSleepGenBankWords;
+  }
+
+  /// The channel's whole encoded stream, generated once and cached (the
+  /// generator is deterministic, so verify sees the deposited values).
+  [[nodiscard]] const std::vector<std::uint16_t>& channel_samples(
+      unsigned channel) const {
+    if (encoded_.empty()) encoded_.resize(num_cores());
+    auto& cache = encoded_[channel];
+    if (cache.empty()) {
+      const std::size_t total =
+          static_cast<std::size_t>(windows()) * kSleepGenWindow;
+      const auto raw = ecg::generate_channel(params_.generator, channel, total);
+      cache.resize(total);
+      for (std::size_t i = 0; i < total; ++i) cache[i] = stream_encode(raw[i]);
+    }
+    return cache;
+  }
+
+  void deposit_window(sim::Platform& platform, unsigned window) const {
+    for (unsigned c = 0; c < num_cores(); ++c) {
+      const auto& samples = channel_samples(c);
+      for (unsigned i = 0; i < kSleepGenWindow; ++i) {
+        platform.dm_write(channel_base(c) + i,
+                          samples[window * kSleepGenWindow + i]);
+      }
+    }
+  }
+
+  WorkloadParams params_;
+  assembler::Program program_;
+  // Per-run host-loop state; the engine creates one workload instance per
+  // run, so these are only ever touched by that run's thread.
+  mutable std::vector<std::vector<std::uint16_t>> encoded_;
+  mutable unsigned windows_run_ = 0;
+};
+
 }  // namespace
 
 unsigned count_sync_points(const assembler::Program& program) {
@@ -601,6 +804,22 @@ void register_builtin_workloads(Registry& registry) {
   registry.add("streaming", [](const WorkloadParams& params) {
     return std::make_shared<const StreamingWorkload>(params);
   });
+  // Wide-platform scaling workloads: "sleepgen" takes its core count from
+  // params.num_channels (1..64); the fixed-width aliases pin the paper-plus
+  // scaling points. Run the >8-core variants with a synchronizer-less
+  // design (DesignVariant::xbar_only) — the checkpoint word caps the
+  // synchronizer at 8 cores.
+  registry.add("sleepgen", [](const WorkloadParams& params) {
+    return std::make_shared<const SleepGenWorkload>(params);
+  });
+  for (const unsigned cores : {16u, 32u, 64u}) {
+    registry.add("sleepgen" + std::to_string(cores),
+                 [cores](const WorkloadParams& params) {
+                   WorkloadParams fixed = params;
+                   fixed.num_channels = cores;
+                   return std::make_shared<const SleepGenWorkload>(fixed);
+                 });
+  }
 }
 
 }  // namespace ulpsync::scenario

@@ -14,7 +14,13 @@
 ///    band histogram (a data-dependent branch cascade), hand- and
 ///    auto-instrumented;
 ///  * "streaming" — the duty-cycled window monitor; overrides `drive()` to
-///    feed acquisition windows and wake the cores by external interrupt.
+///    feed acquisition windows and wake the cores by external interrupt;
+///  * "sleepgen" (+ fixed-width aliases "sleepgen16/32/64") — the
+///    wide-platform duty-cycled scaling workload: core count from
+///    `params.num_channels` up to 64, one private DM bank per core, a
+///    straight-line per-sample feature chain that exercises burst
+///    execution. Use a synchronizer-less design (DesignVariant::xbar_only)
+///    above 8 cores.
 
 #include <functional>
 #include <memory>

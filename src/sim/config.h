@@ -11,6 +11,7 @@
 /// `SyncFeatures::disabled()` (the ulpmc-bank baseline of [4]).
 
 #include <cstdint>
+#include <string>
 
 namespace ulpsync::sim {
 
@@ -49,7 +50,9 @@ enum class ArbitrationPolicy : std::uint8_t {
 /// Geometry and feature set of one simulated platform instance. Defaults
 /// reproduce the paper's 8-core system (see the file comment).
 struct PlatformConfig {
-  unsigned num_cores = 8;         ///< 1..8
+  /// 1..64. Core counts above 8 require `features.hardware_synchronizer`
+  /// off — the checkpoint word has 8 identity flags (see `validate`).
+  unsigned num_cores = 8;
   unsigned im_banks = 8;
   unsigned im_bank_slots = 4096;  ///< 96 kB / 24-bit instruction / 8 banks
   /// IM bank mapping: lines of `im_line_slots` consecutive instructions
@@ -95,8 +98,21 @@ struct PlatformConfig {
   /// ramp) while batch-updating the counters. Results are bit-identical to
   /// the cycle-by-cycle loop; disable only to cross-check that equivalence.
   bool fast_forward = true;
+  /// Host-side simulation speed (not a modeled hardware feature): lets
+  /// `Platform::run` retire whole straight-line runs of branch-free,
+  /// memory-free, sync-free instructions in one step when the fetching
+  /// cores provably cannot conflict (one shared PC, or pairwise-disjoint IM
+  /// banks) and no per-cycle observer is attached. Bit-identical to the
+  /// naive loop, like `fast_forward`; disable only to cross-check. Not part
+  /// of the snapshot wire format (snapshots restore into either setting).
+  bool burst = true;
 
   friend bool operator==(const PlatformConfig&, const PlatformConfig&) = default;
+
+  /// Validates the configuration; returns an empty string when it is
+  /// runnable, else a description of the first problem. `Platform` rejects
+  /// invalid configurations with std::invalid_argument.
+  [[nodiscard]] std::string validate() const;
 
   /// Total instruction-memory capacity in instruction slots.
   [[nodiscard]] unsigned im_slots() const { return im_banks * im_bank_slots; }

@@ -13,8 +13,11 @@ namespace ulpsync::sim {
 /// Cycle-accurate event totals of one platform run (see the file comment);
 /// reset together with the platform.
 struct EventCounters {
-  /// Upper bound on cores per platform (the checkpoint word has 8 flags).
-  static constexpr unsigned kMaxCores = 8;
+  /// Upper bound on cores per platform. The crossbars, counters and
+  /// snapshots scale to 64 cores; only the hardware synchronizer is capped
+  /// lower (its checkpoint word has 8 identity flags — see
+  /// `core::Synchronizer::kMaxCores` and `PlatformConfig::validate`).
+  static constexpr unsigned kMaxCores = 64;
 
   std::uint64_t cycles = 0;
 

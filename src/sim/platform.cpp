@@ -8,6 +8,53 @@
 
 namespace ulpsync::sim {
 
+namespace {
+
+/// Widest mask loops ever needed for synchronizer events: its masks carry
+/// one bit per synchronizer-capable core.
+constexpr unsigned kSyncMaskBits = 16;
+
+/// Stable insertion sort of `items[0..count)` by `bank_of(item)`. Stability
+/// preserves the ascending-core collection order, so the result is the
+/// (bank, core) order every arbitration rule in this file assumes — one
+/// shared definition of that invariant. Request counts are at most
+/// num_cores, where insertion sort beats a general sort by a wide margin;
+/// in the lockstep common case (one bank) nothing moves.
+template <typename Item, typename BankOf>
+void stable_sort_by_bank(Item* items, std::size_t count, BankOf bank_of) {
+  for (std::size_t i = 1; i < count; ++i) {
+    const Item item = items[i];
+    const auto bank = bank_of(item);
+    std::size_t j = i;
+    while (j > 0 && bank_of(items[j - 1]) > bank) {
+      items[j] = items[j - 1];
+      --j;
+    }
+    items[j] = item;
+  }
+}
+
+/// Distinct-value counter clamped at 8 — the lockstep histogram's width —
+/// by linear probing into a fixed array. Beyond 8 distinct PCs the count
+/// pins at 8, which is exactly what the histogram bin needs.
+class DistinctPcProbe {
+ public:
+  void add(std::uint32_t pc) {
+    bool seen = false;
+    for (std::size_t k = 0; k < distinct_; ++k) seen = seen || (pcs_[k] == pc);
+    if (!seen && distinct_ < pcs_.size()) pcs_[distinct_++] = pc;
+  }
+  [[nodiscard]] unsigned count() const {
+    return static_cast<unsigned>(distinct_);
+  }
+
+ private:
+  std::array<std::uint32_t, 8> pcs_;
+  std::size_t distinct_ = 0;
+};
+
+}  // namespace
+
 std::string_view to_string(CoreStatus status) {
   switch (status) {
     case CoreStatus::kReady:      return "ready";
@@ -43,13 +90,17 @@ Platform::Platform(const PlatformConfig& config)
           config.im_line_slots),
       dm_(config.dm_banks, config.dm_bank_words),
       dm_port_(dm_),
-      synchronizer_(dm_port_, config.num_cores),
+      synchronizer_(dm_port_,
+                    std::min(config.num_cores, core::Synchronizer::kMaxCores)),
       cores_(config.num_cores),
       policy_groups_(config.dm_banks) {
-  assert(config.num_cores >= 1 && config.num_cores <= EventCounters::kMaxCores);
+  const std::string error = config.validate();
+  if (!error.empty()) throw std::invalid_argument("PlatformConfig: " + error);
   fetch_requests_.reserve(config.num_cores);
   fetch_winners_.reserve(config.num_cores);
   dm_requesters_.reserve(config.num_cores);
+  touched_cores_.reserve(config.num_cores);
+  active_cores_.reserve(config.num_cores);
   bank_runs_.reserve(config.num_cores);
   reset();
 }
@@ -83,8 +134,101 @@ void Platform::reset(bool clear_dm) {
   synchronizer_.reset_stats();
   pending_stop_.reset();
   was_lockstep_ = true;
+  rr_pointer_ = 0;
   fast_forwarded_cycles_ = 0;
+  burst_cycles_ = 0;
+  fetch_region_cycles_ = 0;
+  in_tick_ = false;
+  active_this_cycle_.fill(0);
+  touched_cores_.clear();
+  sleep_pending_from_.fill(0);
+  rebuild_schedule_state();
   if (clear_dm) dm_.clear();
+}
+
+void Platform::rebuild_schedule_state() {
+  status_counts_.fill(0);
+  active_cores_.clear();
+  for (unsigned i = 0; i < cores_.size(); ++i) {
+    status_counts_[static_cast<unsigned>(cores_[i].status)] += 1;
+    if (is_active_status(cores_[i].status)) active_cores_.push_back(i);
+  }
+}
+
+void Platform::set_status(unsigned core, CoreStatus next) {
+  CoreRuntime& c = cores_[core];
+  const CoreStatus prev = c.status;
+  if (prev == next) return;
+  status_counts_[static_cast<unsigned>(prev)] -= 1;
+  status_counts_[static_cast<unsigned>(next)] += 1;
+  const bool was_active = is_active_status(prev);
+  const bool now_active = is_active_status(next);
+  if (was_active != now_active) {
+    const auto it =
+        std::lower_bound(active_cores_.begin(), active_cores_.end(), core);
+    if (now_active) {
+      active_cores_.insert(it, core);
+    } else {
+      active_cores_.erase(it);
+    }
+  }
+  // Lazy per-core sleep attribution: a sleeping core accrues one
+  // per_core_sleep tick at every end-of-tick accounting point. Instead of
+  // walking the sleepers each cycle, remember the first uncredited cycle on
+  // entry and settle the whole stretch on exit (or at an external
+  // observation — flush_sleep_accounting). The last *completed* accounting
+  // point is cycles-1 while inside a tick (this tick's accounting has not
+  // run yet) and cycles between ticks.
+  if (prev == CoreStatus::kSleeping) {
+    const std::uint64_t last = in_tick_ ? counters_.cycles - 1 : counters_.cycles;
+    if (sleep_pending_from_[core] <= last) {
+      counters_.per_core_sleep[core] += last - sleep_pending_from_[core] + 1;
+    }
+  } else if (next == CoreStatus::kSleeping) {
+    sleep_pending_from_[core] = in_tick_ ? counters_.cycles : counters_.cycles + 1;
+  }
+  c.status = next;
+}
+
+void Platform::flush_sleep_accounting() const {
+  const std::uint64_t last = in_tick_ ? counters_.cycles - 1 : counters_.cycles;
+  for (unsigned i = 0; i < cores_.size(); ++i) {
+    if (cores_[i].status != CoreStatus::kSleeping) continue;
+    if (sleep_pending_from_[i] > last) continue;
+    counters_.per_core_sleep[i] += last - sleep_pending_from_[i] + 1;
+    sleep_pending_from_[i] = last + 1;
+  }
+}
+
+void Platform::accumulate_lockstep(std::uint64_t cycles, unsigned ready,
+                                   unsigned live, unsigned pc_groups) {
+  if (lockstep_sink_ == nullptr || cycles == 0) return;
+  lockstep_sink_->observed_cycles += cycles;
+  lockstep_sink_->pc_group_histogram[std::min(pc_groups, 8u)] += cycles;
+  if (ready >= 2 && ready == live && pc_groups == 1)
+    lockstep_sink_->full_lockstep_cycles += cycles;
+}
+
+void Platform::observe_lockstep_tick() {
+  if (lockstep_sink_ == nullptr) return;
+  if (active_cores_.size() == 1) {
+    // One live non-sleeping core: one PC group when it is ready, zero
+    // otherwise; never full lockstep.
+    const bool ready = cores_[active_cores_[0]].status == CoreStatus::kReady;
+    lockstep_sink_->observed_cycles += 1;
+    lockstep_sink_->pc_group_histogram[ready ? 1 : 0] += 1;
+    return;
+  }
+  DistinctPcProbe probe;
+  unsigned ready = 0;
+  for (const unsigned i : active_cores_) {
+    const CoreRuntime& c = cores_[i];
+    if (c.status != CoreStatus::kReady) continue;
+    ++ready;
+    probe.add(c.arch.pc);
+  }
+  accumulate_lockstep(1, ready, static_cast<unsigned>(active_cores_.size()),
+                      probe.count());
 }
 
 std::uint16_t Platform::dm_read(std::uint32_t addr) const { return dm_.read(addr); }
@@ -114,7 +258,7 @@ const core::SynchronizerStats& Platform::sync_stats() const {
 void Platform::interrupt(unsigned core) {
   CoreRuntime& c = cores_[core];
   if (c.status != CoreStatus::kSleeping) return;
-  c.status = CoreStatus::kReady;
+  set_status(core, CoreStatus::kReady);
   c.stall_age = 0;
   c.ramp_cycles = config_.wakeup_penalty;
 }
@@ -123,14 +267,8 @@ void Platform::interrupt_all() {
   for (unsigned i = 0; i < cores_.size(); ++i) interrupt(i);
 }
 
-bool Platform::all_halted() const {
-  return std::all_of(cores_.begin(), cores_.end(), [](const CoreRuntime& c) {
-    return c.status == CoreStatus::kHalted;
-  });
-}
-
 void Platform::trap(unsigned core, TrapKind kind) {
-  cores_[core].status = CoreStatus::kTrapped;
+  set_status(core, CoreStatus::kTrapped);
   if (!pending_stop_) {
     RunResult stop;
     stop.status = RunResult::Status::kTrap;
@@ -144,11 +282,11 @@ void Platform::trap(unsigned core, TrapKind kind) {
 void Platform::retire(unsigned core, std::uint32_t next_pc) {
   CoreRuntime& c = cores_[core];
   c.arch.pc = next_pc;
-  c.status = CoreStatus::kReady;
+  set_status(core, CoreStatus::kReady);
   c.stall_age = 0;
   counters_.retired_ops += 1;
   counters_.per_core_retired[core] += 1;
-  active_this_cycle_[core] = true;
+  mark_active(core);
 }
 
 void Platform::grant_load(unsigned core, std::uint16_t value) {
@@ -169,7 +307,9 @@ void Platform::phase_sync_writeback() {
        events.wake_mask) == 0) {
     return;  // the common cycle: no RMW completing, nobody to wake
   }
-  for (unsigned i = 0; i < cores_.size(); ++i) {
+  const unsigned n =
+      std::min<unsigned>(static_cast<unsigned>(cores_.size()), kSyncMaskBits);
+  for (unsigned i = 0; i < n; ++i) {
     const auto bit = static_cast<std::uint16_t>(1u << i);
     if (events.completed_checkin_mask & bit) {
       assert(cores_[i].status == CoreStatus::kSyncBusy);
@@ -177,13 +317,13 @@ void Platform::phase_sync_writeback() {
     } else if (events.completed_checkout_mask & bit) {
       assert(cores_[i].status == CoreStatus::kSyncBusy);
       retire(i, cores_[i].sync_next_pc);
-      cores_[i].status = CoreStatus::kSleeping;
+      set_status(i, CoreStatus::kSleeping);
     }
   }
-  for (unsigned i = 0; i < cores_.size(); ++i) {
+  for (unsigned i = 0; i < n; ++i) {
     const auto bit = static_cast<std::uint16_t>(1u << i);
     if ((events.wake_mask & bit) && cores_[i].status == CoreStatus::kSleeping) {
-      cores_[i].status = CoreStatus::kReady;
+      set_status(i, CoreStatus::kReady);
       cores_[i].stall_age = 0;
       cores_[i].ramp_cycles = config_.wakeup_penalty;
     }
@@ -195,41 +335,48 @@ void Platform::phase_fetch_and_execute() {
   fetch_winners_.clear();
   fetch_requests_.clear();
 
-  // Collect fetch requests (with their precomputed IM bank).
+  // Collect fetch requests (with their precomputed IM bank) from the active
+  // list. Every active core is eligible; only Ready cores with no pending
+  // bubble/ramp actually fetch. The list is sorted, so request order (and
+  // with it every arbitration decision below) matches a full core scan. A
+  // trap removes the core from the list in place, hence the index loop.
+  const unsigned eligible = static_cast<unsigned>(active_cores_.size());
   unsigned total_fetchers = 0;
   bool all_same_pc = true;
   std::uint32_t first_pc = 0;
-  unsigned eligible = 0;  // non-halted, non-sleeping cores
 
-  for (unsigned i = 0; i < cores_.size(); ++i) {
+  for (std::size_t p = 0; p < active_cores_.size();) {
+    const unsigned i = active_cores_[p];
     CoreRuntime& c = cores_[i];
-    if (c.status != CoreStatus::kHalted && c.status != CoreStatus::kSleeping &&
-        c.status != CoreStatus::kTrapped) {
-      ++eligible;
+    if (c.status != CoreStatus::kReady) {
+      ++p;
+      continue;
     }
-    if (c.status != CoreStatus::kReady) continue;
     if (c.bubble_cycles > 0) {
       // Squashed-fetch slot after a taken branch; the core stays clocked.
       c.bubble_cycles -= 1;
-      active_this_cycle_[i] = true;
+      mark_active(i);
       counters_.core_branch_bubble_cycles += 1;
+      ++p;
       continue;
     }
     if (c.ramp_cycles > 0) {
       // Clock-gate release after a wake-up; the core is still gated.
       c.ramp_cycles -= 1;
       counters_.core_wakeup_ramp_cycles += 1;
+      ++p;
       continue;
     }
     const std::uint32_t pc = c.arch.pc;
     if (!im_.in_program(pc)) {
-      trap(i, TrapKind::kImOutOfRange);
+      trap(i, TrapKind::kImOutOfRange);  // removed from the active list
       continue;
     }
     if (total_fetchers == 0) first_pc = pc;
     all_same_pc = all_same_pc && (pc == first_pc);
     ++total_fetchers;
     fetch_requests_.push_back({i, pc, im_.bank_of(pc)});
+    ++p;
   }
 
   if (total_fetchers > 0) counters_.fetch_cycles += 1;
@@ -240,20 +387,9 @@ void Platform::phase_fetch_and_execute() {
     counters_.divergence_events += 1;
   was_lockstep_ = lockstep || total_fetchers < 2;
 
-  // Group requests by bank: sort by (bank, core). Core order within a bank
-  // and ascending bank order match the request-collection order above, so
-  // arbitration below is deterministic. When every request hits one bank
-  // (the lockstep common case) the collection order is already sorted.
-  bool one_bank = true;
-  for (const FetchRequest& f : fetch_requests_)
-    one_bank = one_bank && f.bank == fetch_requests_.front().bank;
-  if (!one_bank) {
-    std::sort(fetch_requests_.begin(), fetch_requests_.end(),
-              [](const FetchRequest& a, const FetchRequest& b) {
-                return (static_cast<std::uint64_t>(a.bank) << 4 | a.core) <
-                       (static_cast<std::uint64_t>(b.bank) << 4 | b.core);
-              });
-  }
+  // Group requests by bank into the shared (bank, core) arbitration order.
+  stable_sort_by_bank(fetch_requests_.data(), fetch_requests_.size(),
+                      [](const FetchRequest& f) { return f.bank; });
 
   for (std::size_t begin = 0; begin < fetch_requests_.size();) {
     std::size_t end = begin + 1;
@@ -276,7 +412,7 @@ void Platform::phase_fetch_and_execute() {
           winner = &f;
       }
     } else if (config_.arbitration == ArbitrationPolicy::kRoundRobin) {
-      const unsigned rr_base = rr_pointer_ % config_.num_cores;
+      const unsigned rr_base = rr_pointer_;  // kept normalized < num_cores
       auto rr_rank = [&](unsigned core) {
         return core >= rr_base ? core - rr_base
                                : core + config_.num_cores - rr_base;
@@ -321,7 +457,7 @@ void Platform::phase_fetch_and_execute() {
     CoreRuntime& c = cores_[core_index];
     const isa::Instruction& instr = im_.at(c.arch.pc);
     const ExecResult result = execute(c.arch, instr);
-    active_this_cycle_[core_index] = true;
+    mark_active(core_index);
 
     switch (result.action) {
       case ExecAction::kAdvance: {
@@ -338,13 +474,13 @@ void Platform::phase_fetch_and_execute() {
       case ExecAction::kHalt:
         counters_.retired_ops += 1;
         counters_.per_core_retired[core_index] += 1;
-        c.status = CoreStatus::kHalted;
+        set_status(core_index, CoreStatus::kHalted);
         break;
       case ExecAction::kSleep:
         counters_.retired_ops += 1;
         counters_.per_core_retired[core_index] += 1;
         c.arch.pc = result.next_pc;
-        c.status = CoreStatus::kSleeping;
+        set_status(core_index, CoreStatus::kSleeping);
         break;
       case ExecAction::kMemLoad:
       case ExecAction::kMemStore:
@@ -358,7 +494,7 @@ void Platform::phase_fetch_and_execute() {
         c.load_reg = result.load_reg;
         c.mem_next_pc = result.next_pc;
         c.load_latched = false;
-        c.status = CoreStatus::kMemWait;  // arbitrated this same cycle below
+        set_status(core_index, CoreStatus::kMemWait);  // arbitrated below
         break;
       case ExecAction::kSync:
         if (!config_.features.hardware_synchronizer) {
@@ -372,7 +508,7 @@ void Platform::phase_fetch_and_execute() {
         c.sync_is_checkout = result.sync_is_checkout;
         c.sync_addr = result.mem_addr;
         c.sync_next_pc = result.next_pc;
-        c.status = CoreStatus::kSyncWait;  // submitted this same cycle below
+        set_status(core_index, CoreStatus::kSyncWait);  // submitted below
         break;
     }
   }
@@ -380,16 +516,18 @@ void Platform::phase_fetch_and_execute() {
 
 // Phase 4: submit new and waiting SINC/SDEC requests to the synchronizer.
 void Platform::phase_sync_submit() {
-  for (unsigned i = 0; i < cores_.size(); ++i) {
-    CoreRuntime& c = cores_[i];
-    if (c.status != CoreStatus::kSyncWait) continue;
-    if (synchronizer_.submit(i, c.sync_addr, c.sync_is_checkout)) {
-      c.status = CoreStatus::kSyncBusy;
-      c.stall_age = 0;
-      active_this_cycle_[i] = true;  // read phase of the RMW
-    } else {
-      c.stall_age += 1;
-      counters_.core_sync_stall_cycles += 1;
+  if (status_counts_[static_cast<unsigned>(CoreStatus::kSyncWait)] > 0) {
+    for (const unsigned i : active_cores_) {
+      CoreRuntime& c = cores_[i];
+      if (c.status != CoreStatus::kSyncWait) continue;
+      if (synchronizer_.submit(i, c.sync_addr, c.sync_is_checkout)) {
+        set_status(i, CoreStatus::kSyncBusy);
+        c.stall_age = 0;
+        mark_active(i);  // read phase of the RMW
+      } else {
+        c.stall_age += 1;
+        counters_.core_sync_stall_cycles += 1;
+      }
     }
   }
   synchronizer_.finish_cycle();
@@ -397,32 +535,24 @@ void Platform::phase_sync_submit() {
 
 // Phase 5: D-Xbar arbitration (ordinary data accesses).
 void Platform::phase_dxbar() {
+  if (status_counts_[static_cast<unsigned>(CoreStatus::kMemWait)] == 0 &&
+      active_policy_groups_ == 0) {
+    return;
+  }
   dm_requesters_.clear();
-  for (unsigned i = 0; i < cores_.size(); ++i) {
+  for (const unsigned i : active_cores_) {
     if (cores_[i].status == CoreStatus::kMemWait) {
       dm_bank_of_core_[i] = dm_.bank_of(cores_[i].mem_addr);
       dm_requesters_.push_back(i);
     }
   }
-  if (dm_requesters_.empty() && active_policy_groups_ == 0) return;
 
-  // Group requesters by DM bank: sort by (bank, core) and slice into
-  // per-bank runs; run order is ascending bank, member order is ascending
-  // core index — the same deterministic order the arbitration rules assume.
-  // The collection order is already ascending core, so when all requesters
-  // hit one bank (the lockstep common case) no sort is needed.
-  bool one_bank = true;
-  for (unsigned core_index : dm_requesters_) {
-    one_bank = one_bank &&
-               dm_bank_of_core_[core_index] == dm_bank_of_core_[dm_requesters_.front()];
-  }
-  if (!one_bank) {
-    std::sort(dm_requesters_.begin(), dm_requesters_.end(),
-              [&](unsigned a, unsigned b) {
-                return (static_cast<std::uint64_t>(dm_bank_of_core_[a]) << 4 | a) <
-                       (static_cast<std::uint64_t>(dm_bank_of_core_[b]) << 4 | b);
-              });
-  }
+  // Group requesters by DM bank into the shared (bank, core) arbitration
+  // order, then slice into per-bank runs.
+  stable_sort_by_bank(dm_requesters_.data(), dm_requesters_.size(),
+                      [&](unsigned core_index) {
+                        return dm_bank_of_core_[core_index];
+                      });
   bank_runs_.clear();
   for (unsigned i = 0; i < dm_requesters_.size();) {
     const unsigned bank = dm_bank_of_core_[dm_requesters_[i]];
@@ -452,7 +582,7 @@ void Platform::phase_dxbar() {
     const std::uint32_t addr = cores_[leader].mem_addr;
     const bool leader_store = cores_[leader].mem_is_store;
 
-    std::uint16_t served_mask = 0;
+    std::uint64_t served_mask = 0;
     for (unsigned i = leader; i < cores_.size(); ++i) {
       if (((group.unserved_mask >> i) & 1u) == 0) continue;
       const CoreRuntime& c = cores_[i];
@@ -463,7 +593,7 @@ void Platform::phase_dxbar() {
       } else if (c.mem_is_store) {
         continue;
       }
-      served_mask = static_cast<std::uint16_t>(served_mask | (1u << i));
+      served_mask |= (1ull << i);
     }
 
     counters_.dm_bank_accesses += 1;
@@ -484,11 +614,11 @@ void Platform::phase_dxbar() {
     for (unsigned i = 0; i < cores_.size(); ++i) {
       if ((served_mask >> i) & 1u) {
         counters_.dm_requests_granted += 1;
-        active_this_cycle_[i] = true;
-        cores_[i].status = CoreStatus::kPolicyHold;
+        mark_active(i);
+        set_status(i, CoreStatus::kPolicyHold);
       }
     }
-    group.unserved_mask = static_cast<std::uint16_t>(group.unserved_mask & ~served_mask);
+    group.unserved_mask &= ~served_mask;
 
     if (group.unserved_mask == 0) {
       // Whole group served: all members retire together, back in lockstep.
@@ -589,8 +719,7 @@ void Platform::phase_dxbar() {
         group.pc = cores_[best->front()].arch.pc;
         group.member_mask = 0;
         for (unsigned core_index : *best)
-          group.member_mask =
-              static_cast<std::uint16_t>(group.member_mask | (1u << core_index));
+          group.member_mask |= (1ull << core_index);
         group.unserved_mask = group.member_mask;
         counters_.policy_hold_events += 1;
         // Everyone (members and non-members) waits this cycle; service
@@ -612,7 +741,7 @@ void Platform::phase_dxbar() {
           winner = core_index;
       }
     } else if (config_.arbitration == ArbitrationPolicy::kRoundRobin) {
-      const unsigned rr_base = rr_pointer_ % config_.num_cores;
+      const unsigned rr_base = rr_pointer_;  // kept normalized < num_cores
       auto rr_rank = [&](unsigned core) {
         return core >= rr_base ? core - rr_base
                                : core + config_.num_cores - rr_base;
@@ -652,93 +781,93 @@ void Platform::phase_dxbar() {
 
 void Platform::tick() {
   counters_.cycles += 1;
-  rr_pointer_ += 1;
-  active_this_cycle_.fill(0);
+  in_tick_ = true;
+  if (++rr_pointer_ >= config_.num_cores) rr_pointer_ = 0;
 
   phase_sync_writeback();
   // Cores still inside the RMW write phase are clocked. (With the 2-cycle
-  // RMW every kSyncBusy core retires in the writeback above, so this scan
+  // RMW every kSyncBusy core retires in the writeback above, so this walk
   // only matters while an RMW is in flight.)
-  if (synchronizer_.busy()) {
-    for (unsigned i = 0; i < cores_.size(); ++i) {
-      if (cores_[i].status == CoreStatus::kSyncBusy) active_this_cycle_[i] = true;
+  if (synchronizer_.busy() &&
+      status_counts_[static_cast<unsigned>(CoreStatus::kSyncBusy)] > 0) {
+    for (const unsigned i : active_cores_) {
+      if (cores_[i].status == CoreStatus::kSyncBusy) mark_active(i);
     }
   }
   phase_fetch_and_execute();
   phase_sync_submit();
   phase_dxbar();
 
-  // Cycle-level accounting.
-  for (unsigned i = 0; i < cores_.size(); ++i) {
-    if (cores_[i].status == CoreStatus::kSleeping) {
-      counters_.core_sleep_cycles += 1;
-      counters_.per_core_sleep[i] += 1;
-    }
-    if (active_this_cycle_[i]) {
-      counters_.core_active_cycles += 1;
-      counters_.per_core_active[i] += 1;
-    }
+  // Cycle-level accounting: aggregate sleep from the population count
+  // (per-core attribution is lazy, see flush_sleep_accounting), per-core
+  // activity from the touched list — O(clocked cores), not O(num_cores).
+  counters_.core_sleep_cycles +=
+      status_counts_[static_cast<unsigned>(CoreStatus::kSleeping)];
+  for (const unsigned i : touched_cores_) {
+    active_this_cycle_[i] = 0;
+    counters_.core_active_cycles += 1;
+    counters_.per_core_active[i] += 1;
   }
+  touched_cores_.clear();
 
+  observe_lockstep_tick();
+  in_tick_ = false;
   if (observer_) observer_(*this);
 }
 
 std::uint64_t Platform::try_fast_forward(std::uint64_t max_skip) {
-  if (!config_.fast_forward || observer_ || max_skip == 0) return 0;
+  if (max_skip == 0) return 0;
   if (synchronizer_.busy()) return 0;
 
   // Eligibility: every core must be in a state whose next cycles are
   // provably event-free — halted/trapped/sleeping cores don't change at
-  // all, and a Ready core inside its branch bubble or wake-up ramp only
-  // counts the bubble/ramp down. Any other state (a pending DM access, a
-  // sync request, a Ready core about to fetch) needs the full phase logic.
+  // all (and are not on the active list), and a Ready core inside its
+  // branch bubble or wake-up ramp only counts the bubble/ramp down. Any
+  // other state (a pending DM access, a sync request, a Ready core about
+  // to fetch) needs the full phase logic.
   std::uint64_t skip = max_skip;
-  bool any_ready = false;
-  for (const CoreRuntime& c : cores_) {
-    switch (c.status) {
-      case CoreStatus::kHalted:
-      case CoreStatus::kTrapped:
-      case CoreStatus::kSleeping:
-        break;
-      case CoreStatus::kReady: {
-        const std::uint64_t idle =
-            static_cast<std::uint64_t>(c.bubble_cycles) + c.ramp_cycles;
-        if (idle == 0) return 0;  // fetches next cycle
-        any_ready = true;
-        skip = std::min(skip, idle);
-        break;
-      }
-      default:
-        return 0;  // kMemWait / kPolicyHold / kSyncWait / kSyncBusy
-    }
+  for (const unsigned i : active_cores_) {
+    const CoreRuntime& c = cores_[i];
+    if (c.status != CoreStatus::kReady) return 0;
+    const std::uint64_t idle =
+        static_cast<std::uint64_t>(c.bubble_cycles) + c.ramp_cycles;
+    if (idle == 0) return 0;  // fetches next cycle
+    skip = std::min(skip, idle);
   }
-  // With no Ready core at all the platform is finished or deadlocked;
+  // With no active core at all the platform is finished or deadlocked;
   // run()'s exit logic owns that case.
-  if (!any_ready) return 0;
+  if (active_cores_.empty()) return 0;
+
+  // The per-cycle lockstep observation is constant across the skipped
+  // region (statuses and PCs don't change): batch it before mutating.
+  if (lockstep_sink_ != nullptr) {
+    DistinctPcProbe probe;
+    for (const unsigned i : active_cores_) probe.add(cores_[i].arch.pc);
+    const auto ready = static_cast<unsigned>(active_cores_.size());
+    accumulate_lockstep(skip, ready, ready, probe.count());
+  }
 
   // Batch-apply exactly what `skip` naive ticks would have done: per tick a
   // Ready core first counts its bubble down (clocked, branch-bubble
   // accounting), then its ramp (gated, wake-up-ramp accounting); sleeping
-  // cores accrue sleep cycles; nothing else changes.
+  // cores accrue sleep cycles (aggregate now, per-core attribution lazily);
+  // nothing else changes.
   counters_.cycles += skip;
-  rr_pointer_ += static_cast<unsigned>(skip);
-  for (unsigned i = 0; i < cores_.size(); ++i) {
+  rr_pointer_ = static_cast<unsigned>((rr_pointer_ + skip) % config_.num_cores);
+  counters_.core_sleep_cycles +=
+      skip * status_counts_[static_cast<unsigned>(CoreStatus::kSleeping)];
+  for (const unsigned i : active_cores_) {
     CoreRuntime& c = cores_[i];
-    if (c.status == CoreStatus::kSleeping) {
-      counters_.core_sleep_cycles += skip;
-      counters_.per_core_sleep[i] += skip;
-    } else if (c.status == CoreStatus::kReady) {
-      const auto bubble_part =
-          static_cast<unsigned>(std::min<std::uint64_t>(c.bubble_cycles, skip));
-      c.bubble_cycles -= bubble_part;
-      counters_.core_branch_bubble_cycles += bubble_part;
-      counters_.core_active_cycles += bubble_part;
-      counters_.per_core_active[i] += bubble_part;
-      const auto ramp_part = static_cast<unsigned>(
-          std::min<std::uint64_t>(c.ramp_cycles, skip - bubble_part));
-      c.ramp_cycles -= ramp_part;
-      counters_.core_wakeup_ramp_cycles += ramp_part;
-    }
+    const auto bubble_part =
+        static_cast<unsigned>(std::min<std::uint64_t>(c.bubble_cycles, skip));
+    c.bubble_cycles -= bubble_part;
+    counters_.core_branch_bubble_cycles += bubble_part;
+    counters_.core_active_cycles += bubble_part;
+    counters_.per_core_active[i] += bubble_part;
+    const auto ramp_part = static_cast<unsigned>(
+        std::min<std::uint64_t>(c.ramp_cycles, skip - bubble_part));
+    c.ramp_cycles -= ramp_part;
+    counters_.core_wakeup_ramp_cycles += ramp_part;
   }
   // Every skipped cycle had zero fetchers, which the lockstep tracker
   // records as "trivially in lockstep".
@@ -747,22 +876,513 @@ std::uint64_t Platform::try_fast_forward(std::uint64_t max_skip) {
   return skip;
 }
 
+std::uint64_t Platform::try_burst(std::uint64_t max_skip) {
+  const unsigned cpi = config_.base_cpi;
+  if (max_skip < cpi) return 0;
+  if (synchronizer_.busy() || active_policy_groups_ != 0) return 0;
+  const unsigned ready_count =
+      status_counts_[static_cast<unsigned>(CoreStatus::kReady)];
+  if (ready_count == 0 || ready_count != active_cores_.size()) return 0;
+
+  // Every active core must be exactly at a fetch boundary (no bubble/ramp
+  // countdown, no stall-age carry-over that naive arbitration would reset)
+  // and at the head of a straight-line run.
+  std::uint32_t min_run = 0xFFFFFFFF;
+  for (const unsigned i : active_cores_) {
+    const CoreRuntime& c = cores_[i];
+    if (c.bubble_cycles != 0 || c.ramp_cycles != 0 || c.stall_age != 0)
+      return 0;
+    if (!im_.in_program(c.arch.pc)) return 0;  // let the tick trap
+    const std::uint32_t run = im_.straight_run(c.arch.pc);
+    if (run == 0) return 0;
+    min_run = std::min(min_run, run);
+  }
+  std::uint64_t limit = std::min<std::uint64_t>(min_run, max_skip / cpi);
+  if (limit == 0) return 0;
+
+  // Group the fetchers by PC. Cores sharing a PC broadcast off one bank
+  // read and advance together; distinct PCs must stay on pairwise-distinct
+  // IM banks for the whole burst (checked per step below) so no fetch ever
+  // loses arbitration.
+  const unsigned num_fetchers = ready_count;
+  std::array<std::uint32_t, EventCounters::kMaxCores> group_pc;
+  std::array<std::uint16_t, EventCounters::kMaxCores> group_size{};
+  unsigned num_groups = 0;
+  for (const unsigned i : active_cores_) {
+    const std::uint32_t pc = cores_[i].arch.pc;
+    unsigned g = 0;
+    while (g < num_groups && group_pc[g] != pc) ++g;
+    if (g == num_groups) group_pc[num_groups++] = pc;
+    group_size[g] += 1;
+  }
+  unsigned broadcast_groups = 0;
+  for (unsigned g = 0; g < num_groups; ++g)
+    broadcast_groups += (group_size[g] > 1);
+  // Without fetch broadcasting a shared-PC group serves one core per cycle
+  // (the rest stall and fall out of phase) — full machinery required.
+  if (broadcast_groups > 0 && !config_.im_fetch_broadcast) return 0;
+
+  const bool lockstep = num_fetchers >= 2 && num_groups == 1;
+  const bool entered_in_lockstep = was_lockstep_;
+
+  // The tight loop: per step, prove this cycle's fetches conflict-free,
+  // then execute one straight-line instruction on every core. (The bank
+  // check hashes banks into a 64-bit set; a modulo collision only ends the
+  // burst early — never a missed real conflict.)
+  std::uint64_t steps = 0;
+  while (steps < limit) {
+    if (num_groups > 1) {
+      std::uint64_t bank_set = 0;
+      bool collide = false;
+      for (unsigned g = 0; g < num_groups; ++g) {
+        const std::uint64_t bit = 1ull << (im_.bank_of(group_pc[g]) & 63u);
+        collide = collide || (bank_set & bit) != 0;
+        bank_set |= bit;
+      }
+      if (collide) break;
+    }
+    for (const unsigned i : active_cores_) {
+      CoreRuntime& c = cores_[i];
+      (void)execute(c.arch, im_.at(c.arch.pc));  // always advances by 1
+      c.arch.pc += 1;
+    }
+    for (unsigned g = 0; g < num_groups; ++g) group_pc[g] += 1;
+    ++steps;
+  }
+  if (steps == 0) return 0;
+
+  // Batch-apply what `steps * cpi` naive ticks would have recorded: per
+  // instruction one fetch cycle (every group one bank access, every core
+  // one delivered fetch and a retire) followed by cpi-1 clocked bubble
+  // cycles per core; sleeping cores accrue aggregate sleep.
+  const std::uint64_t cycles = steps * cpi;
+  counters_.cycles += cycles;
+  rr_pointer_ = static_cast<unsigned>((rr_pointer_ + cycles) % config_.num_cores);
+  counters_.fetch_cycles += steps;
+  counters_.im_bank_accesses += steps * num_groups;
+  counters_.im_fetches_delivered += steps * num_fetchers;
+  counters_.im_broadcast_groups += steps * broadcast_groups;
+  counters_.retired_ops += steps * num_fetchers;
+  counters_.core_active_cycles += cycles * num_fetchers;
+  counters_.core_branch_bubble_cycles += steps * (cpi - 1) * num_fetchers;
+  for (const unsigned i : active_cores_) {
+    counters_.per_core_retired[i] += steps;
+    counters_.per_core_active[i] += cycles;
+  }
+  counters_.core_sleep_cycles +=
+      cycles * status_counts_[static_cast<unsigned>(CoreStatus::kSleeping)];
+  if (lockstep) {
+    counters_.lockstep_cycles += steps;
+    was_lockstep_ = true;
+  } else if (num_fetchers >= 2) {
+    // Diverged fetchers: every fetch cycle observes non-lockstep. With
+    // cpi > 1 the bubble cycles between fetches reset the tracker (zero
+    // fetchers is "trivially in lockstep"), so every step but the first
+    // counts a divergence event; the first counts one only when the burst
+    // entered in lockstep.
+    if (cpi > 1) {
+      counters_.divergence_events += steps - 1 + (entered_in_lockstep ? 1 : 0);
+      was_lockstep_ = true;
+    } else {
+      counters_.divergence_events += entered_in_lockstep ? 1 : 0;
+      was_lockstep_ = false;
+    }
+  } else {
+    was_lockstep_ = true;  // a single fetcher is trivially in lockstep
+  }
+  // End-of-tick lockstep observations: all cores Ready at constant distinct
+  // PC count throughout the burst.
+  accumulate_lockstep(cycles, num_fetchers, num_fetchers,
+                      std::min(num_groups, 8u));
+  burst_cycles_ += cycles;
+  // The burst's bubble cycles are exactly the cycles idle fast-forward
+  // would otherwise have skipped one batch per instruction (every active
+  // core is inside its bubble simultaneously); credit them there when
+  // fast-forward is enabled so its accounting — which snapshots serialize —
+  // stays identical with bursts on or off.
+  if (config_.fast_forward && cpi > 1)
+    fast_forwarded_cycles_ += steps * (cpi - 1);
+  return cycles;
+}
+
+std::uint64_t Platform::try_fetch_region(std::uint64_t max_cycles) {
+  if (max_cycles == 0) return 0;
+  if (synchronizer_.busy() || active_policy_groups_ != 0) return 0;
+  if (active_cores_.empty() ||
+      status_counts_[static_cast<unsigned>(CoreStatus::kReady)] !=
+          active_cores_.size())
+    return 0;
+
+  // Slim executor for the pure fetch regime. No core's status survives a
+  // cycle changed here: fetch-ready cores execute only region-safe
+  // instructions (ALU/control flow retire in place; plain loads/stores are
+  // served the same cycle when conflict-free), the rest count their
+  // bubbles/ramps down, sleepers sleep.
+  //
+  // Instead of re-scanning and re-sorting all cores every cycle, the fetch
+  // candidates live in a (bank, core)-sorted list maintained incrementally:
+  // winners leave for the idle list when their bubble starts, idle cores
+  // re-enter when it expires (effective the next cycle, like the naive
+  // collection order), and a PC whose slot is not region-safe "poisons"
+  // the region with a deadline — the cycle at which that core would fetch
+  // again — so every executed cycle is known safe in advance and a bail
+  // never leaves half-applied state.
+  const unsigned cpi_pad = config_.base_cpi - 1;
+  const unsigned num_cores = config_.num_cores;
+  const bool observing = lockstep_sink_ != nullptr;
+
+  std::array<std::uint8_t, EventCounters::kMaxCores> fetch_list;  // sorted
+  std::array<std::uint8_t, EventCounters::kMaxCores> idle_list;
+  std::array<std::uint8_t, EventCounters::kMaxCores> expired;
+  std::array<std::uint8_t, EventCounters::kMaxCores> reinsert;
+  std::array<std::uint8_t, EventCounters::kMaxCores> mem_cores;
+  std::array<std::uint32_t, EventCounters::kMaxCores> pc_cache;
+  std::array<std::uint16_t, EventCounters::kMaxCores> bank_cache;
+  unsigned nf = 0;
+  unsigned num_idle = 0;
+  std::uint64_t done = 0;
+  std::uint64_t poison_deadline = ~0ull;
+
+  auto fetch_insert = [&](unsigned core) {
+    // (bank, core) insertion keyed on the cached bank — the deterministic
+    // arbitration order of the naive fetch phase.
+    const unsigned bank = bank_cache[core];
+    unsigned j = nf;
+    while (j > 0 && (bank_cache[fetch_list[j - 1]] > bank ||
+                     (bank_cache[fetch_list[j - 1]] == bank &&
+                      fetch_list[j - 1] > core))) {
+      fetch_list[j] = fetch_list[j - 1];
+      --j;
+    }
+    fetch_list[j] = static_cast<std::uint8_t>(core);
+    ++nf;
+  };
+  // Validates a core's next fetch slot: caches it when region-safe, else
+  // poisons the region for the cycle the core would fetch it
+  // (`rejoin_in` = cycles until then, counted from the next cycle).
+  auto revalidate = [&](unsigned core, std::uint32_t pc,
+                        std::uint64_t rejoin_in) {
+    if (im_.in_program(pc) && im_.region_safe(pc)) {
+      pc_cache[core] = pc;
+      bank_cache[core] = static_cast<std::uint16_t>(im_.bank_of(pc));
+      return true;
+    }
+    poison_deadline = std::min(poison_deadline, done + rejoin_in);
+    return false;
+  };
+
+  // Distinct-PC refcounts over all active cores, maintained across the
+  // region at every PC change (one or two per cycle in the serialized
+  // regime) so the per-cycle lockstep observation is O(1) instead of a
+  // dedup pass. Only used when a sink is attached.
+  std::array<std::uint32_t, EventCounters::kMaxCores> ref_pc;
+  std::array<std::uint8_t, EventCounters::kMaxCores> ref_count;
+  unsigned num_ref = 0;
+  auto pc_ref_add = [&](std::uint32_t pc) {
+    for (unsigned k = 0; k < num_ref; ++k) {
+      if (ref_pc[k] == pc) {
+        ref_count[k] += 1;
+        return;
+      }
+    }
+    ref_pc[num_ref] = pc;
+    ref_count[num_ref++] = 1;
+  };
+  auto pc_ref_remove = [&](std::uint32_t pc) {
+    for (unsigned k = 0; k < num_ref; ++k) {
+      if (ref_pc[k] == pc) {
+        if (--ref_count[k] == 0) {
+          --num_ref;
+          ref_pc[k] = ref_pc[num_ref];
+          ref_count[k] = ref_count[num_ref];
+        }
+        return;
+      }
+    }
+  };
+  auto pc_ref_move = [&](std::uint32_t from, std::uint32_t to) {
+    if (observing && from != to) {
+      pc_ref_remove(from);
+      pc_ref_add(to);
+    }
+  };
+
+  // Entry build from the authoritative core state.
+  for (const unsigned i : active_cores_) {
+    const CoreRuntime& c = cores_[i];
+    const std::uint64_t idle =
+        static_cast<std::uint64_t>(c.bubble_cycles) + c.ramp_cycles;
+    if (observing) pc_ref_add(c.arch.pc);
+    if (idle == 0) {
+      if (!im_.in_program(c.arch.pc) || !im_.region_safe(c.arch.pc))
+        return 0;  // would fetch an unsafe slot right now: naive tick's job
+      pc_cache[i] = c.arch.pc;
+      bank_cache[i] = static_cast<std::uint16_t>(im_.bank_of(c.arch.pc));
+      fetch_insert(i);
+    } else {
+      idle_list[num_idle++] = static_cast<std::uint8_t>(i);
+      (void)revalidate(i, c.arch.pc, idle);
+    }
+  }
+
+  while (done < max_cycles && done < poison_deadline && nf > 0) {
+    const unsigned eligible = static_cast<unsigned>(active_cores_.size());
+
+    // --- the cycle is committed from here on ---
+    counters_.cycles += 1;
+    ++done;
+    if (++rr_pointer_ >= num_cores) rr_pointer_ = 0;
+
+    // Idle actives count their bubble (clocked) or ramp (gated) down.
+    // Expired cores fetch from the NEXT cycle on; their insertion is
+    // deferred below so this cycle's arbitration sees the list unchanged.
+    unsigned num_expired = 0;
+    for (unsigned k = 0; k < num_idle;) {
+      const unsigned i = idle_list[k];
+      CoreRuntime& c = cores_[i];
+      std::uint64_t remaining;
+      if (c.bubble_cycles > 0) {
+        c.bubble_cycles -= 1;
+        counters_.core_branch_bubble_cycles += 1;
+        counters_.core_active_cycles += 1;
+        counters_.per_core_active[i] += 1;
+        remaining = static_cast<std::uint64_t>(c.bubble_cycles) + c.ramp_cycles;
+      } else {
+        c.ramp_cycles -= 1;
+        counters_.core_wakeup_ramp_cycles += 1;
+        remaining = c.ramp_cycles;
+      }
+      if (remaining == 0) {
+        idle_list[k] = idle_list[--num_idle];
+        expired[num_expired++] = static_cast<std::uint8_t>(i);
+      } else {
+        ++k;
+      }
+    }
+
+    counters_.fetch_cycles += 1;
+    bool all_same_pc = true;
+    for (unsigned k = 1; k < nf; ++k)
+      all_same_pc =
+          all_same_pc && pc_cache[fetch_list[k]] == pc_cache[fetch_list[0]];
+    const bool lockstep = nf >= 2 && all_same_pc && nf == eligible;
+    if (lockstep) counters_.lockstep_cycles += 1;
+    if (was_lockstep_ && !lockstep && nf >= 2)
+      counters_.divergence_events += 1;
+    was_lockstep_ = lockstep || nf < 2;
+
+    // Per-bank arbitration, service and execution — the same decisions as
+    // phase_fetch_and_execute, with the execute-action switch reduced to
+    // the three outcomes region-safe instructions can produce. Winners
+    // that leave the fetch set (bubble, memory) are removed after the
+    // loop; winners that stay (cpi 1, no redirect penalty) re-sort under
+    // their new bank.
+    std::uint64_t remove_mask = 0;
+    unsigned num_reinsert = 0;
+    unsigned num_mem = 0;
+    bool force_exit = false;
+    for (unsigned seg = 0; seg < nf;) {
+      unsigned seg_end = seg + 1;
+      const unsigned seg_bank = bank_cache[fetch_list[seg]];
+      while (seg_end < nf && bank_cache[fetch_list[seg_end]] == seg_bank)
+        ++seg_end;
+
+      unsigned winner = seg;
+      if (config_.arbitration == ArbitrationPolicy::kOldestFirst) {
+        for (unsigned k = seg + 1; k < seg_end; ++k) {
+          if (cores_[fetch_list[k]].stall_age >
+              cores_[fetch_list[winner]].stall_age)
+            winner = k;
+        }
+      } else if (config_.arbitration == ArbitrationPolicy::kRoundRobin) {
+        const unsigned rr_base = rr_pointer_;
+        auto rr_rank = [&](unsigned core) {
+          return core >= rr_base ? core - rr_base : core + num_cores - rr_base;
+        };
+        for (unsigned k = seg + 1; k < seg_end; ++k) {
+          if (rr_rank(fetch_list[k]) < rr_rank(fetch_list[winner])) winner = k;
+        }
+      }
+      const std::uint32_t win_pc = pc_cache[fetch_list[winner]];
+
+      bool group_uniform = true;
+      for (unsigned k = seg; k < seg_end; ++k)
+        group_uniform &= (pc_cache[fetch_list[k]] == win_pc);
+      const bool allow_group_serve =
+          config_.im_fetch_broadcast &&
+          (config_.features.ixbar_partial_broadcast || group_uniform);
+
+      unsigned served = 0;
+      bool first_served = true;
+      for (unsigned k = seg; k < seg_end; ++k) {
+        const unsigned core_index = fetch_list[k];
+        CoreRuntime& c = cores_[core_index];
+        if (pc_cache[core_index] == win_pc &&
+            (allow_group_serve || first_served)) {
+          first_served = false;
+          ++served;
+          c.stall_age = 0;
+          const ExecResult result = execute(c.arch, im_.at(win_pc));
+          switch (result.action) {
+            case ExecAction::kAdvance: {
+              const bool redirect = result.next_pc != win_pc + 1;
+              pc_ref_move(win_pc, result.next_pc);
+              c.arch.pc = result.next_pc;
+              const unsigned pad =
+                  cpi_pad + (redirect ? config_.branch_taken_penalty : 0);
+              c.bubble_cycles = pad;
+              counters_.retired_ops += 1;
+              counters_.per_core_retired[core_index] += 1;
+              counters_.core_active_cycles += 1;
+              counters_.per_core_active[core_index] += 1;
+              remove_mask |= 1ull << core_index;
+              if (pad > 0) {
+                idle_list[num_idle++] = static_cast<std::uint8_t>(core_index);
+                (void)revalidate(core_index, result.next_pc, pad);
+              } else if (revalidate(core_index, result.next_pc, 0)) {
+                reinsert[num_reinsert++] =
+                    static_cast<std::uint8_t>(core_index);
+              }
+              break;
+            }
+            default: {  // kMemLoad / kMemStore — the only other outcomes
+              // (mark_active here, not direct adds: the core's activity
+              // settles through the touched list so a phase_dxbar fallback
+              // cannot double-count it.)
+              mark_active(core_index);
+              remove_mask |= 1ull << core_index;
+              if (!dm_.in_range(result.mem_addr)) {
+                trap(core_index, TrapKind::kDmOutOfRange);
+                force_exit = true;
+                break;
+              }
+              c.mem_is_store = (result.action == ExecAction::kMemStore);
+              c.mem_addr = result.mem_addr;
+              c.store_data = result.store_data;
+              c.load_reg = result.load_reg;
+              c.mem_next_pc = result.next_pc;
+              c.load_latched = false;
+              set_status(core_index, CoreStatus::kMemWait);
+              mem_cores[num_mem++] = static_cast<std::uint8_t>(core_index);
+              break;
+            }
+          }
+        } else {
+          c.stall_age += 1;
+          counters_.core_fetch_stall_cycles += 1;
+        }
+      }
+      counters_.im_bank_accesses += 1;
+      counters_.im_fetches_delivered += served;
+      if (served > 1) counters_.im_broadcast_groups += 1;
+      if (served < seg_end - seg) counters_.fetch_conflict_cycles += 1;
+      seg = seg_end;
+    }
+
+    // D-Xbar service for this cycle's loads/stores. Pairwise-distinct DM
+    // banks (the common case: private per-core banks) are conflict-free by
+    // construction and served inline; anything else goes through the real
+    // phase — exact conflicts, broadcasts and policy-group formation — and
+    // ends the region after this cycle. (The synchronizer is idle, so
+    // skipping its begin/submit/finish phases changes nothing.)
+    if (num_mem > 0) {
+      bool disjoint = true;
+      std::uint64_t bank_set = 0;
+      for (unsigned m = 0; m < num_mem; ++m) {
+        const std::uint64_t bit =
+            1ull << (dm_.bank_of(cores_[mem_cores[m]].mem_addr) & 63u);
+        disjoint = disjoint && (bank_set & bit) == 0;
+        bank_set |= bit;
+      }
+      if (disjoint) {
+        for (unsigned m = 0; m < num_mem; ++m) {
+          const unsigned core_index = mem_cores[m];
+          CoreRuntime& c = cores_[core_index];
+          counters_.dm_bank_accesses += 1;
+          if (c.mem_is_store) {
+            dm_.write(c.mem_addr, c.store_data);
+          } else {
+            grant_load(core_index, dm_.read(c.mem_addr));
+          }
+          counters_.dm_requests_granted += 1;
+          pc_ref_move(c.arch.pc, c.mem_next_pc);
+          retire_mem(core_index);  // pc = mem_next_pc, bubble = cpi_pad
+          if (cpi_pad > 0) {
+            idle_list[num_idle++] = static_cast<std::uint8_t>(core_index);
+            (void)revalidate(core_index, c.mem_next_pc, cpi_pad);
+          } else if (revalidate(core_index, c.mem_next_pc, 0)) {
+            reinsert[num_reinsert++] = static_cast<std::uint8_t>(core_index);
+          }
+        }
+      } else {
+        phase_dxbar();
+        force_exit = true;  // the local fetch/idle lists are stale now
+      }
+    }
+
+    // Apply the deferred fetch-list updates: drop winners and memory
+    // cores, then re-sort stayers and newly expired cores back in.
+    if (remove_mask != 0) {
+      unsigned kept = 0;
+      for (unsigned k = 0; k < nf; ++k) {
+        if ((remove_mask >> fetch_list[k]) & 1u) continue;
+        fetch_list[kept++] = fetch_list[k];
+      }
+      nf = kept;
+    }
+    for (unsigned k = 0; k < num_reinsert; ++k) fetch_insert(reinsert[k]);
+    for (unsigned k = 0; k < num_expired; ++k) fetch_insert(expired[k]);
+
+    // End-of-cycle accounting, as in tick(). (The touched list holds only
+    // this cycle's memory cores; every other activity was added directly.)
+    counters_.core_sleep_cycles +=
+        status_counts_[static_cast<unsigned>(CoreStatus::kSleeping)];
+    for (const unsigned i : touched_cores_) {
+      active_this_cycle_[i] = 0;
+      counters_.core_active_cycles += 1;
+      counters_.per_core_active[i] += 1;
+    }
+    touched_cores_.clear();
+
+    // Regime check: an unresolved DM conflict (kMemWait/kPolicyHold
+    // survivors), a trap, or a D-Xbar fallback ends the region; the
+    // generic loop takes over (and rebuilds on re-entry). The refcounted
+    // PC set is only valid while the regime holds, so the break path
+    // observes generically.
+    if (force_exit ||
+        status_counts_[static_cast<unsigned>(CoreStatus::kReady)] !=
+            active_cores_.size() ||
+        active_cores_.empty()) {
+      observe_lockstep_tick();
+      break;
+    }
+    if (observing) {
+      const auto n = static_cast<unsigned>(active_cores_.size());
+      accumulate_lockstep(1, n, n, num_ref);
+    }
+  }
+  fetch_region_cycles_ += done;
+  return done;
+}
+
 RunResult Platform::run(std::uint64_t max_cycles) {
   RunResult result;
+  // Hoisted out of the loop: observers suppress both fast paths (they must
+  // see every cycle), and neither the observer nor the config can change
+  // while run() is on the stack.
+  const bool allow_fast_forward =
+      config_.fast_forward && observer_ == nullptr;
+  const bool allow_burst = config_.burst && observer_ == nullptr;
+  const std::uint32_t halted_index =
+      static_cast<unsigned>(CoreStatus::kHalted);
+  const std::uint32_t trapped_index =
+      static_cast<unsigned>(CoreStatus::kTrapped);
+
   while (counters_.cycles < max_cycles) {
-    // One pass over the cores answers all three exit questions: everyone
-    // halted? anyone live? can anyone still make progress?
-    bool every_core_halted = true;
-    bool any_live = false;
-    bool any_progress_possible = synchronizer_.busy();
-    for (const CoreRuntime& c : cores_) {
-      if (c.status != CoreStatus::kHalted) every_core_halted = false;
-      if (c.status == CoreStatus::kHalted || c.status == CoreStatus::kTrapped)
-        continue;
-      any_live = true;
-      if (c.status != CoreStatus::kSleeping) any_progress_possible = true;
-    }
-    if (every_core_halted) {
+    // Exit logic from the population counts — O(1) per iteration, no core
+    // scan. The active list is empty exactly when every core is halted,
+    // trapped or sleeping.
+    if (status_counts_[halted_index] == cores_.size()) {
       result.status = RunResult::Status::kAllHalted;
       result.cycles = counters_.cycles;
       return result;
@@ -772,19 +1392,25 @@ RunResult Platform::run(std::uint64_t max_cycles) {
       result.cycles = counters_.cycles;
       return result;
     }
-    // Deadlock: every live core is asleep and no wake-up can ever arrive.
-    if (any_live && !any_progress_possible) {
-      result.status = RunResult::Status::kAllAsleep;
-      result.cycles = counters_.cycles;
-      return result;
-    }
-    if (!any_live) {
+    const unsigned finished =
+        status_counts_[halted_index] + status_counts_[trapped_index];
+    if (finished == cores_.size()) {
       // Mixture of halted and trapped cores with no stop recorded.
       result.status = RunResult::Status::kAllHalted;
       result.cycles = counters_.cycles;
       return result;
     }
-    if (try_fast_forward(max_cycles - counters_.cycles) == 0) tick();
+    if (active_cores_.empty() && !synchronizer_.busy()) {
+      // Every live core is asleep and no wake-up can ever arrive.
+      result.status = RunResult::Status::kAllAsleep;
+      result.cycles = counters_.cycles;
+      return result;
+    }
+    const std::uint64_t remaining = max_cycles - counters_.cycles;
+    if (allow_burst && try_burst(remaining) != 0) continue;
+    if (allow_burst && try_fetch_region(remaining) != 0) continue;
+    if (allow_fast_forward && try_fast_forward(remaining) != 0) continue;
+    tick();
   }
   result.status = RunResult::Status::kMaxCycles;
   result.cycles = counters_.cycles;

@@ -30,14 +30,28 @@
 /// (A worked walkthrough of these rules, including a 2-core IM-conflict
 /// example, is in docs/ARCHITECTURE.md.)
 ///
-/// Hot path: instruction memory is predecoded into a `DecodedImage` at load
-/// time, and `run()` fast-forwards through idle regions — stretches where
-/// every core is sleeping, halted, or inside a deterministic bubble/wake-up
-/// ramp — by jumping the clock in one step while batch-updating the event
-/// counters. Fast-forward is exact: counters, final state and `RunResult`
-/// are bit-identical to the naive cycle-by-cycle loop. It disables itself
-/// while a per-cycle observer (trace/VCD) is attached, and can be turned
-/// off entirely with `PlatformConfig::fast_forward`.
+/// Hot path (docs/ARCHITECTURE.md has the full story):
+///  * Instruction memory is predecoded into a `DecodedImage` at load time,
+///    including a per-slot straight-line run-length table.
+///  * The scheduler is incremental: per-`CoreStatus` population counts and
+///    a sorted compact list of active (non-halted, non-trapped,
+///    non-sleeping) cores are maintained at every status transition, so
+///    `run()`'s exit logic is O(1) and each phase of `tick()` walks only
+///    the cores that can participate.
+///  * `run()` fast-forwards through idle regions — stretches where every
+///    core is sleeping, halted, or inside a deterministic bubble/wake-up
+///    ramp — by jumping the clock in one step while batch-updating the
+///    event counters.
+///  * `run()` burst-executes straight-line regions: when every active core
+///    is fetch-ready and the fetchers provably cannot conflict (one shared
+///    PC, or pairwise-disjoint IM banks), whole runs of branch-free,
+///    memory-free, sync-free instructions retire in a tight loop with
+///    batch counter updates.
+/// Both fast paths are exact: counters, final state, lockstep metrics and
+/// `RunResult` are bit-identical to the naive cycle-by-cycle loop. They
+/// disable themselves while a per-cycle observer (trace/VCD) is attached,
+/// and can be turned off with `PlatformConfig::fast_forward` /
+/// `PlatformConfig::burst`.
 
 #include <array>
 #include <cstddef>
@@ -51,6 +65,7 @@
 #include <vector>
 
 #include "asm/assembler.h"
+#include "core/lockstep_metrics.h"
 #include "core/synchronizer.h"
 #include "isa/isa.h"
 #include "sim/config.h"
@@ -109,6 +124,9 @@ struct RunResult {
 /// The simulated platform: cores, banked IM/DM, crossbars, synchronizer.
 class Platform {
  public:
+  /// Throws std::invalid_argument when `config.validate()` fails (core
+  /// count out of range, synchronizer on a >8-core platform, degenerate
+  /// memory geometry).
   explicit Platform(const PlatformConfig& config);
 
   /// Loads a program image into instruction memory and resets all cores to
@@ -159,8 +177,14 @@ class Platform {
 
   /// The configuration the platform was built with.
   [[nodiscard]] const PlatformConfig& config() const { return config_; }
-  /// Event counters accumulated since the last `reset`.
-  [[nodiscard]] const EventCounters& counters() const { return counters_; }
+  /// Event counters accumulated since the last `reset`. (Per-core sleep
+  /// attribution is maintained lazily — O(1) per cycle instead of
+  /// O(sleeping cores) — and settled here, so the returned counters are
+  /// always exact.)
+  [[nodiscard]] const EventCounters& counters() const {
+    flush_sleep_accounting();
+    return counters_;
+  }
   /// Synchronizer statistics accumulated since the last `reset`.
   [[nodiscard]] const core::SynchronizerStats& sync_stats() const;
   /// Scheduling status of one core. (Inline: per-cycle observers poll this
@@ -176,20 +200,45 @@ class Platform {
   [[nodiscard]] std::uint16_t core_reg(unsigned core, unsigned reg) const {
     return cores_[core].arch.reg(reg);
   }
-  /// True when every core has executed HALT.
-  [[nodiscard]] bool all_halted() const;
+  /// True when every core has executed HALT. O(1).
+  [[nodiscard]] bool all_halted() const {
+    return status_counts_[static_cast<unsigned>(CoreStatus::kHalted)] ==
+           cores_.size();
+  }
   /// Cycles skipped by idle fast-forward since the last `reset` (a subset
   /// of `counters().cycles`; 0 when fast-forward is disabled or an observer
   /// is attached).
   [[nodiscard]] std::uint64_t fast_forwarded_cycles() const {
     return fast_forwarded_cycles_;
   }
+  /// Cycles retired through the straight-line burst path since the last
+  /// `reset` or `restore_snapshot` (a subset of `counters().cycles`; 0
+  /// when bursts are disabled or an observer is attached). A burst folds
+  /// in the bubble cycles idle fast-forward would otherwise have skipped;
+  /// with fast-forward enabled those cycles are also credited to
+  /// `fast_forwarded_cycles()` so its historical accounting is unchanged.
+  [[nodiscard]] std::uint64_t burst_cycles() const { return burst_cycles_; }
+  /// Cycles executed through the slim fetch-regime path since the last
+  /// `reset` or `restore_snapshot` (a subset of `counters().cycles`,
+  /// disjoint from both fast-forward and burst accounting).
+  [[nodiscard]] std::uint64_t fetch_region_cycles() const {
+    return fetch_region_cycles_;
+  }
 
   /// Per-cycle observer invoked at the end of every tick (tracing, tests).
-  /// While an observer is attached, idle fast-forward is suppressed so the
-  /// observer sees every cycle.
+  /// While an observer is attached, idle fast-forward and burst execution
+  /// are suppressed so the observer sees every cycle.
   void set_observer(std::function<void(const Platform&)> observer) {
     observer_ = std::move(observer);
+  }
+
+  /// Attaches a lockstep-metrics sink the platform keeps up to date —
+  /// O(active cores) per naive tick and batch-updated across fast-forward
+  /// and burst regions, bit-identical to a per-cycle observer's
+  /// accumulation (which the sink, unlike an observer, does not suppress).
+  /// Pass nullptr to detach; the sink must outlive every subsequent tick.
+  void set_lockstep_sink(core::LockstepMetrics* sink) {
+    lockstep_sink_ = sink;
   }
 
   // --- deterministic snapshots (sim/snapshot.h) ---
@@ -227,12 +276,13 @@ class Platform {
     std::uint32_t sync_next_pc = 0;
   };
 
-  /// Enhanced D-Xbar group in progress on one DM bank.
+  /// Enhanced D-Xbar group in progress on one DM bank. Masks carry one bit
+  /// per core (up to 64).
   struct PolicyGroup {
     bool active = false;
     std::uint32_t pc = 0;
-    std::uint16_t member_mask = 0;
-    std::uint16_t unserved_mask = 0;
+    std::uint64_t member_mask = 0;
+    std::uint64_t unserved_mask = 0;
   };
 
   /// One core's fetch request of the current cycle (per-tick scratch).
@@ -266,6 +316,41 @@ class Platform {
     BankedMemory& dm_;
   };
 
+  /// True for statuses kept in the compact active-core list: the core can
+  /// still interact with the crossbars/synchronizer this cycle. Halted,
+  /// trapped and sleeping cores are inert until an external event.
+  [[nodiscard]] static constexpr bool is_active_status(CoreStatus status) {
+    return status != CoreStatus::kHalted && status != CoreStatus::kTrapped &&
+           status != CoreStatus::kSleeping;
+  }
+  static constexpr unsigned kNumStatuses = 8;
+
+  /// The single gateway for core status transitions: updates the
+  /// per-status population counts, the sorted active-core list, and the
+  /// lazy per-core sleep attribution (see `flush_sleep_accounting`).
+  void set_status(unsigned core, CoreStatus next);
+  /// Recomputes counts and the active list from the statuses (reset,
+  /// snapshot restore).
+  void rebuild_schedule_state();
+  /// Marks a core clocked this cycle (per-core activity accounting).
+  void mark_active(unsigned core) {
+    if (!active_this_cycle_[core]) {
+      active_this_cycle_[core] = 1;
+      touched_cores_.push_back(core);
+    }
+  }
+  /// Settles the lazily attributed per-core sleep cycles into
+  /// `counters_.per_core_sleep` (aggregate sleep is always exact). Cheap
+  /// when nothing is pending; called from every external observation point.
+  void flush_sleep_accounting() const;
+  /// Accumulates `cycles` worth of identical per-cycle lockstep
+  /// observations into the attached sink (no-op without one).
+  void accumulate_lockstep(std::uint64_t cycles, unsigned ready, unsigned live,
+                           unsigned pc_groups);
+  /// Per-tick lockstep observation over the active list (no-op without a
+  /// sink).
+  void observe_lockstep_tick();
+
   void trap(unsigned core, TrapKind kind);
   void retire(unsigned core, std::uint32_t next_pc);
   void retire_mem(unsigned core);
@@ -281,8 +366,30 @@ class Platform {
   /// deterministic bubble/ramp; synchronizer idle; no observer), jumps the
   /// clock by up to `max_skip` cycles in one step, batch-updating the
   /// counters exactly as the skipped ticks would have. Returns the number
-  /// of cycles skipped (0 = not eligible, caller must `tick()`).
+  /// of cycles skipped (0 = not eligible). Eligibility and the batch
+  /// update walk only the active-core list.
   std::uint64_t try_fast_forward(std::uint64_t max_skip);
+
+  /// Straight-line burst: when every active core is fetch-ready (no
+  /// bubble/ramp/stall carry-over), the synchronizer and D-Xbar are idle,
+  /// and the distinct fetch PCs hit pairwise-distinct IM banks (a shared
+  /// PC broadcasts and trivially qualifies), retires up to
+  /// `max_skip / base_cpi` straight-line instructions per core in a tight
+  /// loop, batch-updating counters and lockstep metrics exactly as the
+  /// naive ticks would have. Returns the cycles consumed (0 = not
+  /// eligible). Suppressed by observers and `PlatformConfig::burst`.
+  std::uint64_t try_burst(std::uint64_t max_skip);
+
+  /// Slim executor for the pure fetch regime — the dominant state of
+  /// diverged kernels, where every active core is Ready (no DM access,
+  /// sync request or policy hold in flight) and every fetch-ready core
+  /// sits on an advance-safe instruction (ALU or control flow). Executes
+  /// whole cycles with exact I-Xbar arbitration, conflict serialization
+  /// and counter/metric updates, but none of the generic phase machinery.
+  /// Hands idle-only cycles to try_fast_forward (keeping its accounting
+  /// identical) and bails to the naive tick on anything else. Returns the
+  /// cycles consumed. Suppressed with bursts (observers / config).
+  std::uint64_t try_fetch_region(std::uint64_t max_cycles);
 
   PlatformConfig config_;
   DecodedImage im_;
@@ -292,18 +399,36 @@ class Platform {
   std::vector<CoreRuntime> cores_;
   std::vector<PolicyGroup> policy_groups_;  // one per DM bank
   unsigned active_policy_groups_ = 0;       // count of `active` entries above
-  EventCounters counters_;
+  mutable EventCounters counters_;  // mutable: lazy per-core sleep settlement
   std::function<void(const Platform&)> observer_;
+  core::LockstepMetrics* lockstep_sink_ = nullptr;
 
   std::optional<RunResult> pending_stop_;
   bool was_lockstep_ = true;
-  unsigned rr_pointer_ = 0;  ///< round-robin arbitration pointer
+  /// Round-robin arbitration pointer, kept normalized to [0, num_cores) at
+  /// every update so batched advances (fast-forward/burst) can never drift
+  /// semantically from the per-tick increment. Snapshots store the
+  /// equivalent raw accumulator (== cycles mod 2^32) for wire-format
+  /// stability.
+  unsigned rr_pointer_ = 0;
   std::uint64_t fast_forwarded_cycles_ = 0;
+  std::uint64_t burst_cycles_ = 0;
+  std::uint64_t fetch_region_cycles_ = 0;
+
+  // Incrementally maintained scheduling state (see set_status).
+  std::array<std::uint32_t, kNumStatuses> status_counts_{};
+  std::vector<unsigned> active_cores_;  ///< sorted; is_active_status holds
+  /// First cycle index whose end-of-tick sleep accounting has not yet been
+  /// credited to `per_core_sleep` of a currently sleeping core.
+  mutable std::array<std::uint64_t, EventCounters::kMaxCores>
+      sleep_pending_from_{};
+  bool in_tick_ = false;  ///< between tick start and end-of-tick accounting
 
   // Per-tick scratch (members to avoid reallocation).
   std::vector<FetchRequest> fetch_requests_;
   std::vector<unsigned> fetch_winners_;
   std::vector<unsigned> dm_requesters_;
+  std::vector<unsigned> touched_cores_;  ///< cores with active_this_cycle_
   std::vector<BankRun> bank_runs_;
   std::array<std::uint8_t, EventCounters::kMaxCores> active_this_cycle_{};
   std::array<unsigned, EventCounters::kMaxCores> dm_bank_of_core_{};

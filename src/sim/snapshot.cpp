@@ -115,13 +115,23 @@ PlatformConfig read_config(ByteReader& r) {
   config.arbitration = static_cast<ArbitrationPolicy>(arbitration);
   config.start_stagger_cycles = r.u32();
   config.fast_forward = r.boolean();
-  if (config.num_cores < 1 || config.num_cores > EventCounters::kMaxCores)
-    throw std::invalid_argument("snapshot: core count out of range");
-  if (config.im_banks < 1 || config.im_bank_slots < 1 || config.dm_banks < 1 ||
-      config.dm_bank_words < 1)
-    throw std::invalid_argument("snapshot: degenerate memory geometry");
+  // (The burst knob is host-side only and not serialized: the wire format
+  // predates it and snapshots restore into either setting.)
+  const std::string error = config.validate();
+  if (!error.empty()) throw std::invalid_argument("snapshot: " + error);
   return config;
 }
+
+/// Per-core counter arrays on the wire: the historical format always wrote
+/// `kMaxCores == 8` entries; wider platforms write one entry per core so
+/// every ≤8-core image (all committed goldens) stays byte-identical.
+unsigned per_core_wire_entries(const PlatformConfig& config) {
+  return std::max(config.num_cores, 8u);
+}
+
+/// Policy-group masks on the wire: 16 bits for ≤16-core platforms (the
+/// historical format), 64 bits beyond.
+bool wide_masks(const PlatformConfig& config) { return config.num_cores > 16; }
 
 void write_core(ByteWriter& w, const CoreSnapshot& core) {
   for (std::uint16_t reg : core.arch.regs) w.u16(reg);
@@ -210,19 +220,20 @@ constexpr CounterField kCounterFields[] = {
     {"divergence_events", &EventCounters::divergence_events},
 };
 
-void write_counters(ByteWriter& w, const EventCounters& counters) {
+void write_counters(ByteWriter& w, const EventCounters& counters,
+                    unsigned per_core_entries) {
   for (const CounterField& field : kCounterFields) w.u64(counters.*field.member);
-  for (std::uint64_t v : counters.per_core_retired) w.u64(v);
-  for (std::uint64_t v : counters.per_core_active) w.u64(v);
-  for (std::uint64_t v : counters.per_core_sleep) w.u64(v);
+  for (unsigned i = 0; i < per_core_entries; ++i) w.u64(counters.per_core_retired[i]);
+  for (unsigned i = 0; i < per_core_entries; ++i) w.u64(counters.per_core_active[i]);
+  for (unsigned i = 0; i < per_core_entries; ++i) w.u64(counters.per_core_sleep[i]);
 }
 
-EventCounters read_counters(ByteReader& r) {
+EventCounters read_counters(ByteReader& r, unsigned per_core_entries) {
   EventCounters counters;
   for (const CounterField& field : kCounterFields) counters.*field.member = r.u64();
-  for (std::uint64_t& v : counters.per_core_retired) v = r.u64();
-  for (std::uint64_t& v : counters.per_core_active) v = r.u64();
-  for (std::uint64_t& v : counters.per_core_sleep) v = r.u64();
+  for (unsigned i = 0; i < per_core_entries; ++i) counters.per_core_retired[i] = r.u64();
+  for (unsigned i = 0; i < per_core_entries; ++i) counters.per_core_active[i] = r.u64();
+  for (unsigned i = 0; i < per_core_entries; ++i) counters.per_core_sleep[i] = r.u64();
   return counters;
 }
 
@@ -246,12 +257,17 @@ std::vector<std::uint8_t> Snapshot::serialize() const {
   for (const PolicyGroupSnapshot& group : policy_groups) {
     w.boolean(group.active);
     w.u32(group.pc);
-    w.u16(group.member_mask);
-    w.u16(group.unserved_mask);
+    if (wide_masks(config)) {
+      w.u64(group.member_mask);
+      w.u64(group.unserved_mask);
+    } else {
+      w.u16(static_cast<std::uint16_t>(group.member_mask));
+      w.u16(static_cast<std::uint16_t>(group.unserved_mask));
+    }
   }
   w.u32(active_policy_groups);
 
-  write_counters(w, counters);
+  write_counters(w, counters, per_core_wire_entries(config));
 
   w.u64(sync.stats.rmw_ops);
   w.u64(sync.stats.dm_accesses);
@@ -321,15 +337,20 @@ Snapshot Snapshot::deserialize(std::span<const std::uint8_t> bytes) {
     PolicyGroupSnapshot group;
     group.active = r.boolean();
     group.pc = r.u32();
-    group.member_mask = r.u16();
-    group.unserved_mask = r.u16();
+    if (wide_masks(snap.config)) {
+      group.member_mask = r.u64();
+      group.unserved_mask = r.u64();
+    } else {
+      group.member_mask = r.u16();
+      group.unserved_mask = r.u16();
+    }
     snap.policy_groups.push_back(group);
   }
   snap.active_policy_groups = r.u32();
   if (snap.active_policy_groups > num_groups)
     throw std::invalid_argument("snapshot: active policy group count out of range");
 
-  snap.counters = read_counters(r);
+  snap.counters = read_counters(r, per_core_wire_entries(snap.config));
 
   snap.sync.stats.rmw_ops = r.u64();
   snap.sync.stats.dm_accesses = r.u64();
@@ -403,6 +424,7 @@ std::uint64_t Snapshot::content_hash() const {
 // --- Platform capture/restore ----------------------------------------------
 
 Snapshot Platform::save_snapshot() const {
+  flush_sleep_accounting();  // settle lazy per-core sleep attribution
   Snapshot snap;
   snap.config = config_;
   snap.im_fingerprint = im_.fingerprint();
@@ -441,7 +463,20 @@ Snapshot Platform::save_snapshot() const {
   snap.has_pending_stop = pending_stop_.has_value();
   if (pending_stop_) snap.pending_stop = *pending_stop_;
   snap.was_lockstep = was_lockstep_;
-  snap.rr_pointer = rr_pointer_;
+  // The wire format stores the historical raw accumulator (one increment
+  // per cycle since reset == cycles mod 2^32); the platform keeps the
+  // pointer normalized modulo num_cores internally. Past the 2^32-cycle
+  // wrap on a core count that does not divide 2^32, the truncated cycle
+  // count's residue drifts from the true modular pointer, so nudge the
+  // wire value within its congruence class — below the wrap it is exactly
+  // the historical byte pattern.
+  {
+    const auto raw = static_cast<std::uint32_t>(counters_.cycles);
+    std::uint64_t wire = static_cast<std::uint64_t>(raw) -
+                         raw % config_.num_cores + rr_pointer_;
+    if (wire > 0xFFFFFFFFull) wire -= config_.num_cores;
+    snap.rr_pointer = static_cast<unsigned>(wire);
+  }
   snap.fast_forwarded_cycles = fast_forwarded_cycles_;
 
   // Sparse DM dump: maximal runs of non-zero words.
@@ -460,11 +495,12 @@ Snapshot Platform::save_snapshot() const {
 }
 
 void Platform::restore_snapshot(const Snapshot& snapshot) {
-  // Config must match except for the host-side fast-forward knob (which
-  // never changes results, only how the host reaches them).
+  // Config must match except for the host-side fast-forward/burst knobs
+  // (which never change results, only how the host reaches them).
   PlatformConfig mine = config_;
   PlatformConfig theirs = snapshot.config;
   mine.fast_forward = theirs.fast_forward = true;
+  mine.burst = theirs.burst = true;
   if (!(mine == theirs))
     throw std::invalid_argument(
         "snapshot: platform configuration mismatch (snapshot was taken on a "
@@ -509,8 +545,23 @@ void Platform::restore_snapshot(const Snapshot& snapshot) {
   pending_stop_.reset();
   if (snapshot.has_pending_stop) pending_stop_ = snapshot.pending_stop;
   was_lockstep_ = snapshot.was_lockstep;
-  rr_pointer_ = snapshot.rr_pointer;
+  // The wire value is the raw accumulator; only its residue matters for
+  // arbitration, and normalizing here keeps it equivalent forever.
+  rr_pointer_ = snapshot.rr_pointer % config_.num_cores;
   fast_forwarded_cycles_ = snapshot.fast_forwarded_cycles;
+  burst_cycles_ = 0;  // host-side accounting, not simulated state
+  fetch_region_cycles_ = 0;
+
+  // Derived scheduling state: population counts, the active-core list, and
+  // the lazy sleep attribution (the restored per-core counters are fully
+  // settled, so crediting resumes at the next tick).
+  in_tick_ = false;
+  active_this_cycle_.fill(0);
+  touched_cores_.clear();
+  rebuild_schedule_state();
+  for (unsigned i = 0; i < cores_.size(); ++i) {
+    sleep_pending_from_[i] = counters_.cycles + 1;
+  }
 
   dm_.clear();
   for (const DmRun& run : snapshot.dm_runs) {
@@ -523,11 +574,13 @@ void Platform::restore_snapshot(const Snapshot& snapshot) {
 
 bool snapshots_equal(const Snapshot& a, const Snapshot& b, DivergenceScope scope) {
   if (scope == DivergenceScope::kFullState) {
-    // The host-side fast-forward knob and its accounting are not simulated
-    // state: two runs that differ only there are behaviorally identical.
+    // The host-side fast-forward/burst knobs and their accounting are not
+    // simulated state: two runs that differ only there are behaviorally
+    // identical.
     Snapshot x = a;
     Snapshot y = b;
     x.config.fast_forward = y.config.fast_forward = true;
+    x.config.burst = y.config.burst = true;
     x.fast_forwarded_cycles = y.fast_forwarded_cycles = 0;
     return x == y;
   }
@@ -636,6 +689,7 @@ DivergenceReport find_first_divergence(Platform& a, Platform& b,
   {
     PlatformConfig ca = last_a.config, cb = last_b.config;
     ca.fast_forward = cb.fast_forward = true;
+    ca.burst = cb.burst = true;
     if (!(ca == cb) || last_a.im_fingerprint != last_b.im_fingerprint ||
         last_a.cycle() != last_b.cycle())
       throw std::invalid_argument(

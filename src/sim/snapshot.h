@@ -62,12 +62,15 @@ struct CoreSnapshot {
   friend bool operator==(const CoreSnapshot&, const CoreSnapshot&) = default;
 };
 
-/// Wire-format mirror of one enhanced D-Xbar policy group (one per DM bank).
+/// Wire-format mirror of one enhanced D-Xbar policy group (one per DM
+/// bank). Masks carry one bit per core; on the wire they serialize as 16
+/// bits on platforms of up to 16 cores (the historical format, kept
+/// byte-stable) and as 64 bits on wider platforms.
 struct PolicyGroupSnapshot {
   bool active = false;
   std::uint32_t pc = 0;
-  std::uint16_t member_mask = 0;
-  std::uint16_t unserved_mask = 0;
+  std::uint64_t member_mask = 0;
+  std::uint64_t unserved_mask = 0;
 
   friend bool operator==(const PolicyGroupSnapshot&,
                          const PolicyGroupSnapshot&) = default;
@@ -99,6 +102,10 @@ struct Snapshot {
   bool has_pending_stop = false;
   RunResult pending_stop;  ///< valid when `has_pending_stop`
   bool was_lockstep = true;
+  /// Round-robin arbitration state as the raw per-tick accumulator
+  /// (`cycles mod 2^32`) — the historical wire encoding. The platform keeps
+  /// the pointer normalized modulo `num_cores` internally and re-derives it
+  /// on restore, so the bytes stay stable.
   unsigned rr_pointer = 0;
   std::uint64_t fast_forwarded_cycles = 0;
   std::vector<DmRun> dm_runs;  ///< sparse non-zero DM contents

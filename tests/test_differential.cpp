@@ -168,12 +168,40 @@ class ProgramGenerator {
          << "    bne  " << head << "\n";
   }
 
+  void emit_straight_chain() {
+    // A long straight-line ALU run (4..20 instructions, no branches, no
+    // memory): inside diamonds and loops these runs start at diverged PCs,
+    // so they exercise the burst path's disjoint-bank case and the slim
+    // fetch-regime executor's conflict serialization — interleaved with
+    // the IM-bank-conflicting fetch patterns the divergent control flow
+    // creates.
+    const unsigned length = 4 + static_cast<unsigned>(rng_.next_below(17));
+    for (unsigned i = 0; i < length; ++i) {
+      static constexpr const char* kOps[] = {"add", "sub", "xor", "and", "or"};
+      switch (rng_.next_below(3)) {
+        case 0:
+          out_ << "    " << kOps[rng_.next_below(5)] << " r" << reg() << ", r"
+               << reg() << ", r" << reg() << "\n";
+          break;
+        case 1:
+          out_ << "    addi r" << reg() << ", r" << reg() << ", "
+               << rng_.next_in_range(-64, 64) << "\n";
+          break;
+        default:
+          out_ << "    slli r" << reg() << ", r" << reg() << ", "
+               << rng_.next_below(4) << "\n";
+          break;
+      }
+    }
+  }
+
   void emit_simple(int depth) {
-    switch (rng_.next_below(5)) {
+    switch (rng_.next_below(6)) {
       case 0: emit_alu(); break;
       case 1: emit_mem(); break;
       case 2: emit_shared_load(); break;
       case 3: emit_shared_rmw(); break;
+      case 4: emit_straight_chain(); break;
       default:
         // Nested data-dependent diamonds, up to three levels deep.
         if (depth < 3) emit_diamond(depth + 1);
@@ -182,12 +210,14 @@ class ProgramGenerator {
   }
 
   void emit_block(int depth) {
-    switch (rng_.next_below(6)) {
+    switch (rng_.next_below(8)) {
       case 0: emit_alu(); break;
       case 1: emit_mem(); break;
       case 2: emit_shared_load(); break;
       case 3: emit_shared_rmw(); break;
-      case 4: emit_diamond(depth); break;
+      case 4:
+      case 5: emit_diamond(depth); break;  // double weight: the divergence source
+      case 6: emit_straight_chain(); break;
       default:
         if (depth < 2) emit_loop(depth);
         else emit_alu();
@@ -465,6 +495,123 @@ TEST(DivergenceBisection, CoreScopeReportsWhenTheFaultReachesACore) {
   d.tick();
   EXPECT_FALSE(sim::snapshots_equal(c.save_snapshot(), d.save_snapshot(),
                                     sim::DivergenceScope::kCoreState));
+}
+
+TEST(DivergenceBisection, GeneratedProgramBurstModesAreBitIdentical) {
+  // Straight-line bursts and the slim fetch-regime path must never change
+  // any state, at any cycle, on any control-flow shape. (tick() is the
+  // bisector's stepper, so this pins the run()-level fast paths by
+  // re-simulating and comparing full snapshots.)
+  for (const int seed : {3, 11, 23}) {
+    ProgramGenerator generator(static_cast<std::uint64_t>(seed));
+    const auto program = compile(generator.generate());
+    auto config_on = sim::PlatformConfig::with_synchronizer();
+    auto config_off = config_on;
+    config_off.burst = false;
+    config_off.fast_forward = false;
+    sim::Platform a(config_on);
+    sim::Platform b(config_off);
+    a.load_program(program);
+    b.load_program(program);
+    preload_inputs(a, static_cast<std::uint64_t>(seed));
+    preload_inputs(b, static_cast<std::uint64_t>(seed));
+    // Drive both through run() (where the fast paths live) in interleaved
+    // windows, comparing the full snapshot at every boundary.
+    for (int window = 0; window < 40; ++window) {
+      const std::uint64_t target = a.counters().cycles + 1000;
+      const auto ra = a.run(target);
+      const auto rb = b.run(target);
+      ASSERT_EQ(ra, rb) << "seed " << seed << " window " << window;
+      ASSERT_TRUE(sim::snapshots_equal(a.save_snapshot(), b.save_snapshot(),
+                                       sim::DivergenceScope::kFullState))
+          << "seed " << seed << " window " << window << "\n"
+          << sim::diff_snapshots(a.save_snapshot(), b.save_snapshot());
+      if (ra.status == sim::RunResult::Status::kAllAsleep) {
+        a.interrupt_all();
+        b.interrupt_all();
+      } else if (ra.status != sim::RunResult::Status::kMaxCycles) {
+        break;  // halted or trapped — both equally, per the asserts above
+      }
+    }
+  }
+}
+
+TEST(DivergenceBisection, RoundRobinPointerIsModularAcrossSnapshots) {
+  // The round-robin pointer is semantically modular in num_cores: a
+  // snapshot whose raw rr accumulator is bumped by any multiple of
+  // num_cores must continue bit-identically. Run on 3 cores — a core count
+  // that does not divide 2^32, where a non-normalized accumulator would
+  // drift at the unsigned wrap — over a horizon long enough to cross many
+  // fast-forward batches.
+  ProgramGenerator generator(17);
+  const auto program = compile(generator.generate());
+  auto config = sim::PlatformConfig::with_synchronizer();
+  config.num_cores = 3;
+  config.arbitration = sim::ArbitrationPolicy::kRoundRobin;
+  sim::Platform a(config);
+  sim::Platform b(config);
+  a.load_program(program);
+  b.load_program(program);
+  preload_inputs(a, 17);
+  preload_inputs(b, 17);
+  (void)run_with_wakeups(a, 5'000);
+  sim::Snapshot snap = a.save_snapshot();
+  // Equivalent rr state: bump the raw accumulator by k * num_cores (and by
+  // a 2^32-straddling amount of the same residue).
+  snap.rr_pointer += 7 * config.num_cores;
+  b.restore_snapshot(snap);
+  const auto ra = run_with_wakeups(a, 20'000'000);
+  const auto rb = run_with_wakeups(b, 20'000'000);
+  EXPECT_EQ(ra, rb);
+  EXPECT_TRUE(sim::snapshots_equal(a.save_snapshot(), b.save_snapshot(),
+                                   sim::DivergenceScope::kFullState))
+      << sim::diff_snapshots(a.save_snapshot(), b.save_snapshot());
+
+  // Horizon past the 2^32-cycle unsigned wrap (crafted: simulating there
+  // is infeasible): a snapshot restored at such a cycle count must save
+  // back with its arbitration phase intact. 2^32 % 3 == 1, so a truncated
+  // cycle count alone would mis-restore the pointer by one slot.
+  {
+    sim::Snapshot far_future = a.save_snapshot();
+    const std::uint64_t wrapped = (1ull << 32) + far_future.counters.cycles;
+    far_future.counters.cycles = wrapped;
+    // The true modular pointer of a platform that RAN to `wrapped` cycles:
+    // its residue differs from the truncated cycle count's (2^32 % 3 == 1),
+    // which is exactly the case a naive cycles-derived wire value loses.
+    const auto phase = static_cast<unsigned>(wrapped % config.num_cores);
+    far_future.rr_pointer =
+        static_cast<unsigned>(far_future.counters.cycles);  // legacy raw form
+    ASSERT_NE(far_future.rr_pointer % config.num_cores, phase)
+        << "test setup: residues must differ for this to prove anything";
+    far_future.rr_pointer += phase + config.num_cores -
+                             far_future.rr_pointer % config.num_cores;
+    ASSERT_EQ(far_future.rr_pointer % config.num_cores, phase);
+    sim::Platform w(config);
+    w.load_program(program);
+    w.restore_snapshot(far_future);
+    const sim::Snapshot resaved = w.save_snapshot();
+    EXPECT_EQ(resaved.counters.cycles, wrapped);
+    EXPECT_EQ(resaved.rr_pointer % config.num_cores, phase)
+        << "round-robin phase lost across the 2^32-cycle wrap";
+  }
+
+  // Long-horizon differential on the same non-power-of-two core count:
+  // fast paths on vs the naive loop, across sleep/wake windows.
+  auto config_naive = config;
+  config_naive.fast_forward = false;
+  config_naive.burst = false;
+  sim::Platform c(config);
+  sim::Platform d(config_naive);
+  c.load_program(program);
+  d.load_program(program);
+  preload_inputs(c, 17);
+  preload_inputs(d, 17);
+  const auto rc = run_with_wakeups(c, 20'000'000);
+  const auto rd = run_with_wakeups(d, 20'000'000);
+  EXPECT_EQ(rc, rd);
+  EXPECT_TRUE(sim::snapshots_equal(c.save_snapshot(), d.save_snapshot(),
+                                   sim::DivergenceScope::kFullState))
+      << sim::diff_snapshots(c.save_snapshot(), d.save_snapshot());
 }
 
 TEST(DivergenceBisection, GeneratedProgramFastForwardModesAreBitIdentical) {

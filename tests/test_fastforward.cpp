@@ -70,7 +70,7 @@ void expect_sync_stats_equal(const core::SynchronizerStats& a,
 }
 
 RunRecord run_workload(const std::string& workload, bool fast_forward,
-                       bool measure_lockstep) {
+                       bool measure_lockstep, bool burst = true) {
   EngineOptions options;
   options.measure_lockstep = measure_lockstep;
   const Engine engine(Registry::builtins(), options);
@@ -78,6 +78,7 @@ RunRecord run_workload(const std::string& workload, bool fast_forward,
   spec.workload = workload;
   spec.params.samples = 48;
   spec.fast_forward = fast_forward;
+  spec.burst = burst;
   return engine.run_one(spec);
 }
 
@@ -111,6 +112,46 @@ INSTANTIATE_TEST_SUITE_P(Builtins, FastForwardEquivalence,
                          ::testing::Values("mrpfltr", "sqrt32", "mrpdln",
                                            "sqrt32.auto", "clip8", "bandcount",
                                            "streaming"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (auto& c : name)
+                             if (c == '.') c = '_';
+                           return name;
+                         });
+
+// --- burst on/off equivalence ------------------------------------------------
+
+class BurstEquivalence : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BurstEquivalence, CountersStatusAndLockstepIdentical) {
+  // Straight-line bursts and the slim fetch-regime path must be exactly
+  // invisible: with bursts on vs off — fast-forward on in both runs —
+  // every workload produces bit-identical counters, sync stats and
+  // lockstep metrics.
+  const RunRecord with_burst = run_workload(GetParam(), true, true, true);
+  const RunRecord no_burst = run_workload(GetParam(), true, true, false);
+  EXPECT_EQ(with_burst.status, no_burst.status);
+  EXPECT_EQ(with_burst.useful_ops, no_burst.useful_ops);
+  EXPECT_EQ(with_burst.lockstep_fraction, no_burst.lockstep_fraction);
+  EXPECT_EQ(with_burst.ops_per_cycle, no_burst.ops_per_cycle);
+  expect_counters_equal(with_burst.counters, no_burst.counters);
+  expect_sync_stats_equal(with_burst.sync_stats, no_burst.sync_stats);
+}
+
+TEST_P(BurstEquivalence, NaiveLoopMatchesAllFastPaths) {
+  // Everything on vs everything off: the strongest end-to-end form.
+  const RunRecord fast = run_workload(GetParam(), true, true, true);
+  const RunRecord naive = run_workload(GetParam(), false, true, false);
+  EXPECT_EQ(fast.status, naive.status);
+  EXPECT_EQ(fast.lockstep_fraction, naive.lockstep_fraction);
+  expect_counters_equal(fast.counters, naive.counters);
+  expect_sync_stats_equal(fast.sync_stats, naive.sync_stats);
+}
+
+INSTANTIATE_TEST_SUITE_P(Builtins, BurstEquivalence,
+                         ::testing::Values("mrpfltr", "sqrt32", "mrpdln",
+                                           "sqrt32.auto", "clip8", "bandcount",
+                                           "streaming", "sleepgen"),
                          [](const auto& info) {
                            std::string name = info.param;
                            for (auto& c : name)
@@ -245,6 +286,117 @@ TEST(FastForward, InterruptDrivenWakeupMatchesNaive) {
   EXPECT_EQ(ff_off, 0u);
 }
 
+// --- burst engagement at the platform level ---------------------------------
+
+// A long straight-line ALU run: the burst fast path's home turf.
+constexpr std::string_view kStraightKernel = R"(
+    movi r2, 200
+  loop:
+    addi r1, r1, 1
+    xor  r3, r3, r1
+    slli r4, r1, 2
+    add  r5, r5, r4
+    sub  r6, r5, r3
+    andi r6, r6, 0x3FF
+    or   r7, r7, r6
+    addi r2, r2, -1
+    cmpi r2, 0
+    bne  loop
+    halt
+)";
+
+TEST(Burst, EngagesOnStraightLineRuns) {
+  // A single fetcher is always burst-aligned; staggered multi-core starts
+  // are covered by the equivalence suites above.
+  auto config = sim::PlatformConfig::with_synchronizer();
+  config.num_cores = 1;
+  sim::Platform platform(config);
+  platform.load_program(compile(kStraightKernel));
+  ASSERT_TRUE(platform.run(1'000'000).ok());
+  EXPECT_GT(platform.burst_cycles(), 0u);
+  EXPECT_LE(platform.burst_cycles(), platform.counters().cycles);
+}
+
+TEST(Burst, RegionCoversSerializedFetchCycles) {
+  // Eight staggered cores on one short loop serialize on the IM bank —
+  // the slim fetch-regime path's home turf.
+  sim::Platform platform(sim::PlatformConfig::with_synchronizer());
+  platform.load_program(compile(kStraightKernel));
+  ASSERT_TRUE(platform.run(10'000'000).ok());
+  EXPECT_GT(platform.fetch_region_cycles(), 0u);
+}
+
+TEST(Burst, DisabledByConfigFlag) {
+  auto config = sim::PlatformConfig::with_synchronizer();
+  config.burst = false;
+  sim::Platform platform(config);
+  platform.load_program(compile(kStraightKernel));
+  ASSERT_TRUE(platform.run(10'000'000).ok());
+  EXPECT_EQ(platform.burst_cycles(), 0u);
+  EXPECT_EQ(platform.fetch_region_cycles(), 0u);
+}
+
+TEST(Burst, SuppressedByObserver) {
+  sim::Platform platform(sim::PlatformConfig::with_synchronizer());
+  platform.load_program(compile(kStraightKernel));
+  std::uint64_t observed = 0;
+  platform.set_observer([&](const sim::Platform&) { ++observed; });
+  ASSERT_TRUE(platform.run(1'000'000).ok());
+  EXPECT_EQ(platform.burst_cycles(), 0u);
+  EXPECT_EQ(platform.fetch_region_cycles(), 0u);
+  EXPECT_EQ(observed, platform.counters().cycles);
+}
+
+TEST(Burst, RespectsMaxCyclesExactly) {
+  // Budgets that expire inside a straight-line run must stop at exactly the
+  // budget, like the naive loop does.
+  for (const std::uint64_t budget : {17u, 64u, 333u, 2000u}) {
+    auto on = sim::PlatformConfig::with_synchronizer();
+    auto off = on;
+    off.burst = false;
+    off.fast_forward = false;
+    sim::Platform p_on(on);
+    sim::Platform p_off(off);
+    p_on.load_program(compile(kStraightKernel));
+    p_off.load_program(compile(kStraightKernel));
+    const auto r_on = p_on.run(budget);
+    const auto r_off = p_off.run(budget);
+    EXPECT_EQ(r_on.cycles, r_off.cycles) << "budget " << budget;
+    EXPECT_EQ(static_cast<int>(r_on.status), static_cast<int>(r_off.status));
+    expect_counters_equal(p_on.counters(), p_off.counters());
+  }
+}
+
+TEST(Burst, TraceAndVcdIdenticalAcrossBurstModes) {
+  // Waveforms attach an observer, which suppresses the fast paths; assert
+  // the documented contract that output never changes with bursts enabled.
+  auto run_traced = [](bool burst) {
+    auto config = sim::PlatformConfig::with_synchronizer();
+    config.burst = burst;
+    sim::Platform platform(config);
+    platform.load_program(compile(kStraightKernel));
+    std::ostringstream vcd_out;
+    sim::VcdWriter vcd(vcd_out);
+    vcd.attach(platform);
+    EXPECT_TRUE(platform.run(1'000'000).ok());
+    vcd.finish();
+    return vcd_out.str();
+  };
+  EXPECT_EQ(run_traced(true), run_traced(false));
+
+  auto run_timeline = [](bool burst) {
+    auto config = sim::PlatformConfig::with_synchronizer();
+    config.burst = burst;
+    sim::Platform platform(config);
+    platform.load_program(compile(kStraightKernel));
+    sim::TimelineTracer tracer;
+    tracer.attach(platform);
+    EXPECT_TRUE(platform.run(1'000'000).ok());
+    return tracer.timeline(400);
+  };
+  EXPECT_EQ(run_timeline(true), run_timeline(false));
+}
+
 // --- predecode round-trip ---------------------------------------------------
 
 TEST(DecodedImage, EncodedAndDecodedLoadsAgree) {
@@ -272,13 +424,19 @@ TEST(DecodedImage, RejectsUndecodableWord) {
 }
 
 TEST(DecodedImage, BankTableMatchesMappingRule) {
+  // bank_of is defined for in-program slots, so cover the whole image with
+  // a program before probing the mapping.
+  const std::vector<isa::Instruction> filler(
+      256, isa::Instruction{isa::Opcode::kHalt, 0, 0, 0, 0});
   {
     sim::DecodedImage lined(256, 8, 32, 16);  // line-interleaved
+    lined.load(0, filler);
     for (std::uint32_t pc = 0; pc < 256; ++pc)
       EXPECT_EQ(lined.bank_of(pc), (pc / 16) % 8) << pc;
   }
   {
     sim::DecodedImage blocked(256, 8, 32, 0);  // pure block mapping
+    blocked.load(0, filler);
     for (std::uint32_t pc = 0; pc < 256; ++pc)
       EXPECT_EQ(blocked.bank_of(pc), pc / 32) << pc;
   }

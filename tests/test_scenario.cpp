@@ -29,7 +29,8 @@ TEST(Registry, BuiltinsArePresent) {
   const auto& registry = Registry::builtins();
   for (const char* name :
        {"mrpfltr", "sqrt32", "mrpdln", "mrpfltr.auto", "sqrt32.auto",
-        "mrpdln.auto", "clip8", "bandcount", "bandcount.auto", "streaming"}) {
+        "mrpdln.auto", "clip8", "bandcount", "bandcount.auto", "streaming",
+        "sleepgen", "sleepgen16", "sleepgen32", "sleepgen64"}) {
     EXPECT_TRUE(registry.contains(name)) << name;
   }
   EXPECT_FALSE(registry.contains("no-such-workload"));
@@ -64,7 +65,7 @@ TEST(Registry, DuplicateNameRejected) {
 TEST(Registry, NamesAreSorted) {
   const auto names = Registry::builtins().names();
   EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
-  EXPECT_EQ(names.size(), 10u);
+  EXPECT_EQ(names.size(), 14u);
 }
 
 // --- matrix -----------------------------------------------------------------
@@ -149,6 +150,61 @@ TEST(Engine, RunsABenchmarkPairAndVerifies) {
   EXPECT_EQ(records[0].useful_ops, records[1].useful_ops);
   EXPECT_LT(records[1].cycles(), records[0].cycles());
   EXPECT_GT(records[1].lockstep_fraction, records[0].lockstep_fraction);
+}
+
+TEST(Engine, SleepgenScalesTo64CoresAndVerifies) {
+  // The wide-platform scaling workload: every width runs duty-cycled
+  // windows on the synchronizer-less xbar design and verifies against the
+  // host mirror. Useful work should scale with the core count (the cores
+  // stay in natural lockstep).
+  Engine engine(Registry::builtins());
+  double ops_per_cycle_8 = 0.0;
+  for (const unsigned cores : {8u, 16u, 32u, 64u}) {
+    RunSpec spec;
+    spec.workload = "sleepgen";
+    spec.params = small_params();
+    spec.params.num_channels = cores;
+    spec.design = scenario::DesignVariant::xbar_only();
+    const auto record = engine.run_one(spec);
+    EXPECT_TRUE(record.ok()) << cores << " cores: " << record.status << " "
+                             << record.verify_error;
+    if (cores == 8) ops_per_cycle_8 = record.ops_per_cycle;
+    if (cores == 64) {
+      EXPECT_GT(record.ops_per_cycle, 6.0 * ops_per_cycle_8)
+          << "64-core ops/cycle should scale well beyond 8-core";
+    }
+  }
+}
+
+TEST(Engine, SleepgenFixedAliasesPinTheirWidth) {
+  const auto wide = Registry::builtins().make("sleepgen64", small_params());
+  EXPECT_EQ(wide->num_cores(), 64u);
+  EXPECT_EQ(wide->base_config(false).num_cores, 64u);
+}
+
+TEST(Engine, SynchronizerBeyondEightCoresIsRejected) {
+  // PlatformConfig::validate: the checkpoint word caps the synchronizer at
+  // 8 cores; a synchronized design on a 16-core sleepgen surfaces as an
+  // error record (the Platform constructor throws).
+  Engine engine(Registry::builtins());
+  RunSpec spec;
+  spec.workload = "sleepgen";
+  spec.params = small_params();
+  spec.params.num_channels = 16;
+  spec.design = scenario::DesignVariant::synchronized();
+  const auto record = engine.run_one(spec);
+  EXPECT_EQ(record.status, "error");
+  EXPECT_NE(record.verify_error.find("synchronizer"), std::string::npos)
+      << record.verify_error;
+}
+
+TEST(Engine, CoreCountAboveSixtyFourIsRejected) {
+  sim::PlatformConfig config = sim::PlatformConfig::without_synchronizer();
+  config.num_cores = 65;
+  EXPECT_FALSE(config.validate().empty());
+  EXPECT_THROW(sim::Platform{config}, std::invalid_argument);
+  config.num_cores = 64;
+  EXPECT_TRUE(config.validate().empty());
 }
 
 TEST(Engine, UnknownWorkloadYieldsErrorRecordNotThrow) {

@@ -378,6 +378,63 @@ TEST(EngineWarmStart, NonWarmStartableWorkloadFallsBackToColdRuns) {
   EXPECT_EQ(scenario::to_csv(cold.records), scenario::to_csv(warm.records));
 }
 
+// --- wide platforms (beyond the synchronizer's 8-core ceiling) --------------
+
+TEST(WidePlatformSnapshots, SixtyFourCoreRoundTripIsBitExact) {
+  // 64-core platforms use the extended wire encoding (64-bit policy masks,
+  // one per-core counter entry per core): serialize → deserialize →
+  // serialize must be a fixed point, and restore → run must match a
+  // straight run bit-exactly.
+  scenario::WorkloadParams params;
+  params.samples = 128;
+  params.num_channels = 64;
+  const auto workload = Registry::builtins().make("sleepgen", params);
+  sim::PlatformConfig config =
+      workload->base_config(/*with_synchronizer=*/false);
+  config.features = sim::SyncFeatures{false, true, true};
+
+  sim::Platform platform(config);
+  platform.load_program(workload->program(false));
+  (void)platform.run(400);
+  const sim::Snapshot snap = platform.save_snapshot();
+  const auto bytes = snap.serialize();
+  const sim::Snapshot reparsed = sim::Snapshot::deserialize(bytes);
+  EXPECT_EQ(reparsed, snap);
+  EXPECT_EQ(reparsed.serialize(), bytes);
+  EXPECT_EQ(reparsed.content_hash(), snap.content_hash());
+
+  sim::Platform resumed(config);
+  resumed.load_program(workload->program(false));
+  resumed.restore_snapshot(reparsed);
+  // Wake both (the kernel parks in sleep) and run a full uninstrumented
+  // window on the 64-core crossbars.
+  platform.interrupt_all();
+  resumed.interrupt_all();
+  (void)platform.run(20'000);
+  (void)resumed.run(20'000);
+  EXPECT_EQ(platform.save_snapshot().serialize(),
+            resumed.save_snapshot().serialize());
+}
+
+TEST(WidePlatformSnapshots, LegacyPerCoreLayoutPreservedBelowEightCores) {
+  // Platforms of up to 8 cores keep the historical wire layout (8 per-core
+  // entries, 16-bit masks) — the committed goldens depend on it. A 2-core
+  // snapshot must round-trip and carry exactly 8 per-core entries' worth
+  // of counter payload, which round-tripping implicitly checks.
+  auto config = sim::PlatformConfig::with_synchronizer();
+  config.num_cores = 2;
+  sim::Platform platform(config);
+  const auto program = assembler::assemble("  movi r1, 5\n  halt\n");
+  ASSERT_TRUE(program.ok());
+  platform.load_program(program.program);
+  (void)platform.run(50);
+  const sim::Snapshot snap = platform.save_snapshot();
+  const auto bytes = snap.serialize();
+  const sim::Snapshot reparsed = sim::Snapshot::deserialize(bytes);
+  EXPECT_EQ(reparsed, snap);
+  EXPECT_EQ(reparsed.serialize(), bytes);
+}
+
 TEST(EngineWarmStart, MismatchedResumeStateSurfacesAsErrorRecord) {
   const Engine engine(Registry::builtins(), EngineOptions{});
   RunSpec donor;

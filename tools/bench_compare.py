@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Compare a fresh perf_throughput run against the committed baseline.
+
+Usage:
+    tools/bench_compare.py FRESH.json [BASELINE.json] [--max-regress 0.30]
+
+Fails (exit 1) when the headline mean —
+`sleep_heavy_8core_full_mean_mcycles_per_second` — regresses by more than
+the threshold (default 30%) relative to the baseline. Every per-row delta
+is printed as an informational comment either way, so CI logs double as a
+coarse performance history. Wall-clock benchmarks on shared runners are
+noisy; the generous default threshold is meant to catch structural
+regressions (an accidentally disabled fast path), not scheduling jitter.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load(path):
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def row_key(row):
+    return (row["workload"], row["cores"], row["mode"])
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", help="freshly generated BENCH_sim_throughput.json")
+    parser.add_argument(
+        "baseline",
+        nargs="?",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_sim_throughput.json"),
+        help="committed baseline JSON (default: repo root BENCH_sim_throughput.json)",
+    )
+    parser.add_argument(
+        "--max-regress",
+        type=float,
+        default=0.30,
+        help="fail when the headline mean drops by more than this fraction",
+    )
+    args = parser.parse_args()
+
+    fresh = load(args.fresh)
+    baseline = load(args.baseline)
+
+    key = "sleep_heavy_8core_full_mean_mcycles_per_second"
+    fresh_mean = float(fresh[key])
+    base_mean = float(baseline[key])
+
+    print(f"headline mean ({key}):")
+    print(f"  baseline: {base_mean:8.3f} Mcycles/s")
+    ratio = fresh_mean / base_mean if base_mean > 0 else float("inf")
+    print(f"  fresh:    {fresh_mean:8.3f} Mcycles/s   ({ratio:.2f}x)")
+
+    base_rows = {row_key(r): r for r in baseline.get("runs", [])}
+    print("\nper-row deltas (informational):")
+    for row in fresh.get("runs", []):
+        k = row_key(row)
+        tag = f"{k[0]:<12} {k[1]:>2} cores {k[2]:<5}"
+        if k not in base_rows:
+            print(f"  {tag} {row['mcycles_per_second']:8.3f} Mcyc/s   (new row)")
+            continue
+        base = base_rows[k]["mcycles_per_second"]
+        cur = row["mcycles_per_second"]
+        delta = (cur / base - 1.0) * 100 if base > 0 else float("inf")
+        print(f"  {tag} {cur:8.3f} vs {base:8.3f} Mcyc/s   ({delta:+6.1f}%)")
+    missing = [k for k in base_rows if k not in {row_key(r) for r in fresh.get("runs", [])}]
+    for k in sorted(missing):
+        print(f"  {k[0]:<12} {k[1]:>2} cores {k[2]:<5} MISSING from fresh run")
+
+    floor = base_mean * (1.0 - args.max_regress)
+    if fresh_mean < floor:
+        print(
+            f"\nFAIL: headline mean {fresh_mean:.3f} is below the regression "
+            f"floor {floor:.3f} (baseline {base_mean:.3f}, "
+            f"max regression {args.max_regress:.0%})"
+        )
+        return 1
+    print(
+        f"\nOK: headline mean {fresh_mean:.3f} within {args.max_regress:.0%} "
+        f"of baseline {base_mean:.3f}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
