@@ -9,20 +9,33 @@
 // are byte-identical either way (asserted here via the CSV round-trip), so
 // the whole difference is host wall time, reported from SweepPerf.
 //
+// A third, sharded mode (--shards N) additionally spools the same sweep to
+// disk (scenario/shard.h) — shipping the shared WarmState in the bundles —
+// and drains it with worker threads standing in for worker processes,
+// asserting the merged CSV is byte-identical to the in-process sweeps.
+//
 // Flags:
 //   --workload NAME  builtin workload (default mrpfltr)
 //   --samples N      samples per channel (default 256)
 //   --horizons K     fan-out width (default 8)
 //   --out PATH       output JSON path (default BENCH_warm_start.json)
+//   --shards N       also run the sweep through an on-disk work spool
+//                    split into N shards (default 0 = skip)
+//   --workers W      concurrent spool workers in sharded mode (default 2)
+//   --spool DIR      spool directory (default warmstart_spool; recreated)
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "scenario/report.h"
+#include "scenario/shard.h"
 
 int main(int argc, char** argv) {
   using namespace ulpsync;
@@ -86,6 +99,62 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Sharded mode: the same sweep through the on-disk spool, with the warm
+  // state shipped in the bundles and worker threads draining the queue.
+  const unsigned shards = static_cast<unsigned>(args.get_int("shards", 0));
+  const unsigned workers =
+      std::max(1u, static_cast<unsigned>(args.get_int("workers", 2)));
+  double sharded_wall = 0.0;
+  std::size_t sharded_warm_resumed = 0;
+  if (shards > 0) {
+    const std::string spool = args.get("spool", "warmstart_spool");
+    std::filesystem::remove_all(spool);
+    const auto start = std::chrono::steady_clock::now();
+    const PlanResult plan =
+        plan_spool(spool, specs, Registry::builtins(), {.shards = shards});
+    std::vector<WorkReport> reports(workers);
+    std::vector<std::string> worker_errors(workers);
+    std::vector<std::thread> pool;
+    for (unsigned w = 0; w < workers; ++w) {
+      pool.emplace_back([&, w] {
+        // A spool I/O failure must surface as a clean bench error, not an
+        // exception escaping the thread (std::terminate).
+        try {
+          reports[w] = work_spool(spool, Registry::builtins(),
+                                  {.worker_id = "bench-" + std::to_string(w)});
+        } catch (const std::exception& error) {
+          worker_errors[w] = error.what();
+        }
+      });
+    }
+    for (auto& worker : pool) worker.join();
+    for (unsigned w = 0; w < workers; ++w) {
+      if (!worker_errors[w].empty()) {
+        std::fprintf(stderr, "spool worker %u failed: %s\n", w,
+                     worker_errors[w].c_str());
+        return 1;
+      }
+    }
+    const std::string merged = merge_spool(spool);
+    sharded_wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    for (const WorkReport& report : reports) {
+      sharded_warm_resumed += report.warm_resumed;
+    }
+    if (merged != to_csv(cold.records)) {
+      std::fprintf(stderr,
+                   "sharded merge differs from the in-process sweep — "
+                   "the spool path is broken\n");
+      return 1;
+    }
+    std::printf("sharded sweep: %.3f s wall (plan+%u worker(s)+merge), "
+                "%u shard(s), %zu warm state(s) shipped, %zu run(s) "
+                "warm-resumed — merged CSV byte-identical\n",
+                sharded_wall, workers, plan.shards, plan.warm_states,
+                sharded_warm_resumed);
+  }
+
   const double speedup = warm.perf.wall_seconds > 0.0
                              ? cold.perf.wall_seconds / warm.perf.wall_seconds
                              : 0.0;
@@ -122,8 +191,15 @@ int main(int argc, char** argv) {
       << "  \"warm_resumed\": " << warm.perf.warm_resumed << ",\n"
       << "  \"warmup_wall_seconds\": " << warm.perf.warmup_wall_seconds << ",\n"
       << "  \"warmup_saved_seconds\": " << warm.perf.warmup_saved_seconds << ",\n"
-      << "  \"speedup\": " << speedup << ",\n"
-      << "  \"records_identical\": true\n"
+      << "  \"speedup\": " << speedup << ",\n";
+  if (shards > 0) {
+    out << "  \"sharded_shards\": " << shards << ",\n"
+        << "  \"sharded_workers\": " << workers << ",\n"
+        << "  \"sharded_wall_seconds\": " << sharded_wall << ",\n"
+        << "  \"sharded_warm_resumed\": " << sharded_warm_resumed << ",\n"
+        << "  \"sharded_merge_identical\": true,\n";
+  }
+  out << "  \"records_identical\": true\n"
       << "}\n";
   std::printf("JSON written to %s\n", out_path.c_str());
   return 0;

@@ -9,6 +9,7 @@
 
 #include "core/lockstep.h"
 #include "power/model.h"
+#include "scenario/checkpoint_ring.h"
 #include "sim/platform.h"
 
 namespace ulpsync::scenario {
@@ -38,11 +39,13 @@ sim::PlatformConfig spec_config(const RunSpec& spec, const Workload& workload) {
   return config;
 }
 
-/// Identity of a spec's simulation prefix: two specs with equal keys run
-/// bit-identically up to their common `checkpoint_at` cycle, so they can
-/// share one warm-up snapshot. Everything that influences the simulation is
-/// included; `max_cycles` (the fan-out axis) is not.
-std::string warm_key(const RunSpec& spec) {
+}  // namespace
+
+// (See engine.h.) Two specs with equal keys run bit-identically up to
+// their common `checkpoint_at` cycle, so they can share one warm-up
+// snapshot. Everything that influences the simulation is included;
+// `max_cycles` (the fan-out axis) is not.
+std::string warm_group_key(const RunSpec& spec) {
   std::ostringstream key;
   key.precision(17);
   const WorkloadParams& p = spec.params;
@@ -66,13 +69,22 @@ std::string warm_key(const RunSpec& spec) {
   return key.str();
 }
 
+namespace {
+
+/// 64-bit ring identity of a spec (hash of its `warm_group_key`).
+std::uint64_t ring_identity(const RunSpec& spec) {
+  const std::string key = warm_group_key(spec);
+  return fnv1a64({reinterpret_cast<const std::uint8_t*>(key.data()),
+                  key.size()});
+}
+
 }  // namespace
 
 Engine::Engine(const Registry& registry, EngineOptions options)
     : registry_(&registry), options_(std::move(options)) {}
 
-RunRecord Engine::run_one(const RunSpec& spec) const {
-  return run_one_impl(spec, spec.resume_from.get());
+RunRecord Engine::run_one(const RunSpec& spec, std::uint64_t ring_slot) const {
+  return run_one_impl(spec, spec.resume_from.get(), ring_slot);
 }
 
 std::shared_ptr<const WarmState> Engine::capture_warm_state(
@@ -105,7 +117,8 @@ std::shared_ptr<const WarmState> Engine::capture_warm_state(
   }
 }
 
-RunRecord Engine::run_one_impl(const RunSpec& spec, const WarmState* warm) const {
+RunRecord Engine::run_one_impl(const RunSpec& spec, const WarmState* warm,
+                               std::uint64_t ring_slot) const {
   RunRecord record;
   record.spec = spec;
   try {
@@ -118,15 +131,42 @@ RunRecord Engine::run_one_impl(const RunSpec& spec, const WarmState* warm) const
     core::LockstepAnalyzer analyzer;
     if (options_.measure_lockstep) analyzer.attach(platform);
 
-    if (warm != nullptr) {
-      // Resume from the shared warm-up: platform state from the snapshot,
-      // analyzer state from the metrics captured alongside it. A
-      // mismatched snapshot throws and surfaces as an "error" record.
-      platform.restore_snapshot(warm->snapshot);
-      analyzer.restore(warm->lockstep);
+    const CheckpointRingOptions& ring = options_.checkpoint_ring;
+    sim::RunResult result;
+    if (ring.enabled() && workload->checkpointable()) {
+      // Checkpoint-ring path: resume from the newest valid ring entry when
+      // asked (it is never older than a warm state it supersedes in
+      // usefulness, and restoring either is bit-exact), then drive with
+      // periodic ring offers.
+      const std::uint64_t identity = ring_identity(spec);
+      const std::string dir = ring_run_dir(ring.dir, ring_slot);
+      std::optional<RingEntry> entry;
+      if (ring.resume) {
+        entry = load_latest_ring_entry(dir, identity, spec.max_cycles);
+      }
+      std::vector<std::uint64_t> resume_words;
+      if (entry) {
+        platform.restore_snapshot(entry->state.snapshot);
+        analyzer.restore(entry->state.lockstep);
+        resume_words = entry->state.snapshot.host_words;
+      } else if (warm != nullptr) {
+        platform.restore_snapshot(warm->snapshot);
+        analyzer.restore(warm->lockstep);
+      }
+      RingWriter writer(dir, identity, ring.stride, ring.keep,
+                        platform.counters().cycles,
+                        options_.measure_lockstep ? &analyzer : nullptr);
+      result = workload->drive(platform, spec.max_cycles, writer, resume_words);
+    } else {
+      if (warm != nullptr) {
+        // Resume from the shared warm-up: platform state from the snapshot,
+        // analyzer state from the metrics captured alongside it. A
+        // mismatched snapshot throws and surfaces as an "error" record.
+        platform.restore_snapshot(warm->snapshot);
+        analyzer.restore(warm->lockstep);
+      }
+      result = workload->drive(platform, spec.max_cycles);
     }
-
-    const sim::RunResult result = workload->drive(platform, spec.max_cycles);
 
     record.status = status_name(result.status);
     record.counters = platform.counters();
@@ -202,7 +242,7 @@ SweepResult Engine::run_timed(const std::vector<RunSpec>& specs) const {
       if (!spec.checkpoint_at || spec.resume_from) continue;
       if (*spec.checkpoint_at == 0 || *spec.checkpoint_at >= spec.max_cycles)
         continue;
-      warm_groups[warm_key(spec)].members.push_back(i);
+      warm_groups[warm_group_key(spec)].members.push_back(i);
     }
     for (auto& [key, group] : warm_groups) {
       (void)key;
@@ -239,9 +279,10 @@ SweepResult Engine::run_timed(const std::vector<RunSpec>& specs) const {
       if (index >= specs.size()) return;
       const Clock::time_point run_start = Clock::now();
       records[index] = run_one_impl(
-          specs[index], warm_of[index] != nullptr
-                            ? warm_of[index]
-                            : specs[index].resume_from.get());
+          specs[index],
+          warm_of[index] != nullptr ? warm_of[index]
+                                    : specs[index].resume_from.get(),
+          /*ring_slot=*/index);
       result.perf.run_wall_seconds[index] =
           std::chrono::duration<double>(Clock::now() - run_start).count();
       executed[index] = 1;

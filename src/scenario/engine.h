@@ -33,6 +33,34 @@ struct WarmState {
   core::LockstepAnalyzer::Metrics lockstep;
 };
 
+/// Identity of a spec's deterministic simulation prefix: two specs with
+/// equal keys simulate bit-identically up to any common cycle — everything
+/// that influences the simulation is included, the fan-out axis
+/// (`max_cycles`) is not. This is the grouping key of the warm-start
+/// prepass, the identity checkpoint-ring entries are validated against,
+/// and the unit the sharded-sweep planner keeps on one shard.
+[[nodiscard]] std::string warm_group_key(const RunSpec& spec);
+
+/// Configuration of the engine's *checkpoint ring* (crash-resumable runs;
+/// implementation in scenario/checkpoint_ring.h). When enabled, every run
+/// of a checkpointable workload periodically snapshots its complete state
+/// — platform, lockstep metrics, and the drive loop's host words — into a
+/// bounded ring of entry files under `<dir>/run-<slot>/` with a
+/// crash-consistent manifest, every `stride` simulated cycles, keeping the
+/// newest `keep` entries. With `resume` set, a run first looks for its
+/// newest valid ring entry and continues from it instead of starting cold;
+/// results are bit-exact either way, so a killed soak loses at most one
+/// stride of work and nothing of its reproducibility.
+struct CheckpointRingOptions {
+  std::string dir;           ///< ring root; empty disables the ring
+  std::uint64_t stride = 0;  ///< cycles between entries; 0 disables
+  unsigned keep = 4;         ///< entries retained per run
+  bool resume = false;       ///< continue runs from their newest entry
+
+  /// True when both a directory and a stride are configured.
+  [[nodiscard]] bool enabled() const { return !dir.empty() && stride != 0; }
+};
+
 /// Wall-clock budget for a sweep. With a budget set, runs that have not
 /// *started* when the budget expires are returned as records with status
 /// "skipped" (started runs always finish, so every executed record is
@@ -100,6 +128,9 @@ struct EngineOptions {
   bool warm_start = true;
   /// Wall-clock budget for the whole sweep; unlimited by default.
   PerfBudget budget;
+  /// Crash-resumable periodic checkpoints (see `CheckpointRingOptions`).
+  /// Disabled by default; simulation results are bit-identical either way.
+  CheckpointRingOptions checkpoint_ring;
   /// Progress callback, invoked in completion order under an internal lock
   /// (`done` counts finished runs). Optional.
   std::function<void(const RunRecord& record, std::size_t done,
@@ -117,8 +148,12 @@ class Engine {
 
   /// Executes one spec in the calling thread. Never throws: host-side
   /// failures (unknown workload, assembly errors) produce a record with
-  /// status "error" and the message in `verify_error`.
-  [[nodiscard]] RunRecord run_one(const RunSpec& spec) const;
+  /// status "error" and the message in `verify_error`. `ring_slot` names
+  /// the run's checkpoint-ring directory (`<dir>/run-<slot>/`) when the
+  /// ring is enabled — sweeps use the spec's index, sharded workers the
+  /// spec's global index, so a resumed process finds the same ring.
+  [[nodiscard]] RunRecord run_one(const RunSpec& spec,
+                                  std::uint64_t ring_slot = 0) const;
 
   /// Executes all specs, in parallel when `jobs > 1`; `results[i]` always
   /// corresponds to `specs[i]`.
@@ -147,7 +182,8 @@ class Engine {
 
  private:
   [[nodiscard]] RunRecord run_one_impl(const RunSpec& spec,
-                                       const WarmState* warm) const;
+                                       const WarmState* warm,
+                                       std::uint64_t ring_slot) const;
 
   const Registry* registry_;
   EngineOptions options_;

@@ -1,0 +1,624 @@
+#include "scenario/shard.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "scenario/checkpoint_ring.h"
+#include "scenario/record.h"
+#include "util/wire.h"
+
+namespace ulpsync::scenario {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::uint8_t kBundleMagic[8] = {'U', 'L', 'P', 'S', 'P', 'O', 'L', '\n'};
+constexpr std::uint32_t kBundleVersion = 1;
+constexpr std::string_view kManifestHeader = "ulpsync-spool v1";
+constexpr std::uint32_t kNoWarmRef = 0xFFFFFFFFu;
+
+std::string shard_name(unsigned id) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "shard-%04u", id);
+  return buffer;
+}
+
+std::string part_name(unsigned id) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "part-%04u", id);
+  return buffer;
+}
+
+std::string hex64(std::uint64_t value) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%016" PRIx64, value);
+  return buffer;
+}
+
+// --- RunSpec wire encoding ---------------------------------------------------
+// Everything that influences a run is serialized, including the
+// host-simulation overrides and `checkpoint_at` that RunRecord
+// serialization deliberately drops — a shard bundle must reproduce the
+// spec exactly, not just label it.
+
+void encode_spec(util::WireWriter& w, const RunSpec& spec) {
+  w.str(spec.workload);
+  const WorkloadParams& p = spec.params;
+  w.u32(p.num_channels);
+  w.u32(p.samples);
+  w.u32(p.l1_half);
+  w.u32(p.l2_half);
+  w.u32(p.scale_small);
+  w.u32(p.scale_large);
+  w.u16(static_cast<std::uint16_t>(p.threshold));
+  w.u32(p.refractory);
+  for (const std::int16_t delta : p.per_core_threshold_delta) {
+    w.u16(static_cast<std::uint16_t>(delta));
+  }
+  const auto& g = p.generator;
+  for (const double value :
+       {g.sample_rate_hz, g.heart_rate_bpm, g.rr_jitter_fraction,
+        g.amplitude_lsb, g.baseline_wander_lsb, g.baseline_wander_hz,
+        g.noise_lsb}) {
+    w.u64(std::bit_cast<std::uint64_t>(value));
+  }
+  w.u64(g.seed);
+  w.str(spec.design.label);
+  w.boolean(spec.design.features.hardware_synchronizer);
+  w.boolean(spec.design.features.dxbar_pc_policy);
+  w.boolean(spec.design.features.ixbar_partial_broadcast);
+  w.boolean(spec.arbitration.has_value());
+  if (spec.arbitration) w.u8(static_cast<std::uint8_t>(*spec.arbitration));
+  w.boolean(spec.im_line_slots.has_value());
+  if (spec.im_line_slots) w.u32(*spec.im_line_slots);
+  w.boolean(spec.fast_forward.has_value());
+  if (spec.fast_forward) w.boolean(*spec.fast_forward);
+  w.boolean(spec.burst.has_value());
+  if (spec.burst) w.boolean(*spec.burst);
+  w.u64(spec.max_cycles);
+  w.boolean(spec.checkpoint_at.has_value());
+  if (spec.checkpoint_at) w.u64(*spec.checkpoint_at);
+}
+
+RunSpec decode_spec(util::WireReader& r) {
+  RunSpec spec;
+  spec.workload = r.str();
+  WorkloadParams& p = spec.params;
+  p.num_channels = r.u32();
+  p.samples = r.u32();
+  p.l1_half = r.u32();
+  p.l2_half = r.u32();
+  p.scale_small = r.u32();
+  p.scale_large = r.u32();
+  p.threshold = static_cast<std::int16_t>(r.u16());
+  p.refractory = r.u32();
+  for (std::int16_t& delta : p.per_core_threshold_delta) {
+    delta = static_cast<std::int16_t>(r.u16());
+  }
+  auto& g = p.generator;
+  for (double* value :
+       {&g.sample_rate_hz, &g.heart_rate_bpm, &g.rr_jitter_fraction,
+        &g.amplitude_lsb, &g.baseline_wander_lsb, &g.baseline_wander_hz,
+        &g.noise_lsb}) {
+    *value = std::bit_cast<double>(r.u64());
+  }
+  g.seed = r.u64();
+  spec.design.label = r.str();
+  spec.design.features.hardware_synchronizer = r.boolean();
+  spec.design.features.dxbar_pc_policy = r.boolean();
+  spec.design.features.ixbar_partial_broadcast = r.boolean();
+  if (r.boolean()) {
+    spec.arbitration = static_cast<sim::ArbitrationPolicy>(r.u8());
+  }
+  if (r.boolean()) spec.im_line_slots = r.u32();
+  if (r.boolean()) spec.fast_forward = r.boolean();
+  if (r.boolean()) spec.burst = r.boolean();
+  spec.max_cycles = r.u64();
+  if (r.boolean()) spec.checkpoint_at = r.u64();
+  return spec;
+}
+
+// --- bundle --------------------------------------------------------------- --
+
+struct BundlePlan {
+  unsigned id = 0;
+  std::vector<std::uint64_t> indices;
+  std::vector<std::uint32_t> warm_ref;
+  std::vector<std::vector<std::uint8_t>> warm_blobs;
+};
+
+std::vector<std::uint8_t> serialize_bundle(const BundlePlan& plan,
+                                           const std::vector<RunSpec>& specs,
+                                           std::uint64_t fingerprint) {
+  util::WireWriter w;
+  for (const std::uint8_t byte : kBundleMagic) w.u8(byte);
+  w.u32(kBundleVersion);
+  w.u64(fingerprint);
+  w.u32(plan.id);
+  w.u32(static_cast<std::uint32_t>(plan.indices.size()));
+  for (std::size_t i = 0; i < plan.indices.size(); ++i) {
+    w.u64(plan.indices[i]);
+    w.u32(plan.warm_ref[i]);
+    encode_spec(w, specs[plan.indices[i]]);
+  }
+  w.u32(static_cast<std::uint32_t>(plan.warm_blobs.size()));
+  for (const auto& blob : plan.warm_blobs) w.blob(blob);
+  w.u64(fnv1a64(w.bytes()));
+  return w.take();
+}
+
+// --- spool manifest ----------------------------------------------------------
+
+struct SpoolManifest {
+  std::uint64_t fingerprint = 0;
+  std::size_t specs = 0;
+  struct Row {
+    unsigned id = 0;
+    std::size_t specs = 0;
+    std::uint64_t bundle_hash = 0;
+  };
+  std::vector<Row> shards;
+};
+
+SpoolManifest parse_spool_manifest(const std::string& dir) {
+  std::ifstream in(dir + "/MANIFEST");
+  if (!in) {
+    throw std::runtime_error("no spool manifest in " + dir +
+                             " (run `sweep_shard plan` first?)");
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != kManifestHeader) {
+    throw std::runtime_error("malformed spool manifest in " + dir);
+  }
+  SpoolManifest manifest;
+  while (std::getline(in, line)) {
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    if (tag == "fingerprint") {
+      std::string hex;
+      fields >> hex;
+      manifest.fingerprint = std::strtoull(hex.c_str(), nullptr, 16);
+    } else if (tag == "specs") {
+      fields >> manifest.specs;
+    } else if (tag == "shards") {
+      continue;  // redundant with the shard rows; kept for readability
+    } else if (tag == "shard") {
+      SpoolManifest::Row row;
+      std::string hex;
+      fields >> row.id >> row.specs >> hex;
+      if (fields.fail() || hex.empty()) {
+        throw std::runtime_error("malformed shard row in spool manifest: " +
+                                 line);
+      }
+      row.bundle_hash = std::strtoull(hex.c_str(), nullptr, 16);
+      manifest.shards.push_back(row);
+    } else if (!tag.empty()) {
+      throw std::runtime_error("unknown spool manifest directive: " + line);
+    }
+  }
+  if (manifest.shards.empty()) {
+    throw std::runtime_error("spool manifest lists no shards in " + dir);
+  }
+  return manifest;
+}
+
+/// Complete (newline-terminated) lines of a partial part file; a torn
+/// trailing line from a killed worker is dropped.
+std::vector<std::string> complete_lines(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::string text{std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>()};
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') {
+      lines.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return lines;
+}
+
+void write_text_atomic(const std::string& path, const std::string& text) {
+  write_file_atomic(path, {reinterpret_cast<const std::uint8_t*>(text.data()),
+                           text.size()});
+}
+
+/// Atomic claim: true when this caller renamed the file (and therefore owns
+/// it); false when another worker got there first.
+bool try_rename(const std::string& from, const std::string& to) {
+  std::error_code ec;
+  fs::rename(from, to, ec);
+  return !ec;
+}
+
+}  // namespace
+
+std::uint64_t spec_fingerprint(const std::vector<RunSpec>& specs) {
+  util::WireWriter w;
+  w.u64(specs.size());
+  for (const RunSpec& spec : specs) encode_spec(w, spec);
+  return fnv1a64(w.bytes());
+}
+
+PlanResult plan_spool(const std::string& dir, const std::vector<RunSpec>& specs,
+                      const Registry& registry, const SpoolOptions& options) {
+  if (specs.empty()) {
+    throw std::invalid_argument("plan_spool: empty spec list");
+  }
+  if (fs::exists(dir + "/MANIFEST")) {
+    throw std::runtime_error("spool " + dir +
+                             " is already planned; use a fresh directory");
+  }
+  for (const char* sub : {"/queue", "/claimed", "/done", "/parts", "/rings"}) {
+    std::error_code ec;
+    fs::create_directories(dir + sub, ec);
+    if (ec) {
+      throw std::runtime_error("cannot create spool directory " + dir + sub +
+                               ": " + ec.message());
+    }
+  }
+
+  // Scheduling units: an identical-prefix group (the engine's warm-start
+  // grouping rule) stays on one shard so its members share the shipped
+  // WarmState; everything else is a singleton. std::map keeps grouping
+  // deterministic.
+  std::map<std::string, std::vector<std::size_t>> grouped;
+  std::vector<std::vector<std::size_t>> units;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const RunSpec& spec = specs[i];
+    const bool groupable = spec.checkpoint_at && !spec.resume_from &&
+                           *spec.checkpoint_at != 0 &&
+                           *spec.checkpoint_at < spec.max_cycles;
+    if (groupable) {
+      grouped[warm_group_key(spec)].push_back(i);
+    } else {
+      units.push_back({i});
+    }
+  }
+  for (auto& [key, members] : grouped) {
+    (void)key;
+    units.push_back(std::move(members));
+  }
+  std::sort(units.begin(), units.end(),
+            [](const auto& a, const auto& b) { return a.front() < b.front(); });
+
+  const unsigned shard_count = static_cast<unsigned>(std::min<std::size_t>(
+      std::max(1u, options.shards), units.size()));
+
+  // Deterministic greedy balance: each unit goes to the least-loaded shard
+  // (ties to the lowest id), in unit order.
+  std::vector<BundlePlan> bundles(shard_count);
+  for (unsigned s = 0; s < shard_count; ++s) bundles[s].id = s;
+  std::vector<std::size_t> load(shard_count, 0);
+  std::vector<unsigned> shard_of_unit(units.size(), 0);
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    unsigned best = 0;
+    for (unsigned s = 1; s < shard_count; ++s) {
+      if (load[s] < load[best]) best = s;
+    }
+    shard_of_unit[u] = best;
+    load[best] += units[u].size();
+  }
+
+  // Capture one WarmState per multi-member unit and attach it to the
+  // unit's shard. Capture runs under default engine options, matching the
+  // workers' (lockstep metrics are part of the state).
+  PlanResult result;
+  const Engine engine(registry);
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    BundlePlan& bundle = bundles[shard_of_unit[u]];
+    std::uint32_t ref = kNoWarmRef;
+    if (options.ship_warm_states && units[u].size() >= 2) {
+      const RunSpec& leader = specs[units[u].front()];
+      if (const auto state =
+              engine.capture_warm_state(leader, *leader.checkpoint_at)) {
+        ref = static_cast<std::uint32_t>(bundle.warm_blobs.size());
+        bundle.warm_blobs.push_back(serialize_warm_state(*state));
+        result.warm_states += 1;
+      }
+    }
+    for (const std::size_t index : units[u]) {
+      bundle.indices.push_back(index);
+      bundle.warm_ref.push_back(ref);
+    }
+  }
+  // Bundle entries in ascending global-index order (units may interleave).
+  for (BundlePlan& bundle : bundles) {
+    std::vector<std::size_t> order(bundle.indices.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return bundle.indices[a] < bundle.indices[b];
+    });
+    BundlePlan sorted;
+    sorted.id = bundle.id;
+    sorted.warm_blobs = std::move(bundle.warm_blobs);
+    for (const std::size_t i : order) {
+      sorted.indices.push_back(bundle.indices[i]);
+      sorted.warm_ref.push_back(bundle.warm_ref[i]);
+    }
+    bundle = std::move(sorted);
+  }
+
+  const std::uint64_t fingerprint = spec_fingerprint(specs);
+  std::ostringstream manifest;
+  manifest << kManifestHeader << '\n';
+  manifest << "fingerprint " << hex64(fingerprint) << '\n';
+  manifest << "specs " << specs.size() << '\n';
+  manifest << "shards " << shard_count << '\n';
+  for (const BundlePlan& bundle : bundles) {
+    const auto bytes = serialize_bundle(bundle, specs, fingerprint);
+    write_file_atomic(dir + "/queue/" + shard_name(bundle.id) + ".bundle",
+                      bytes);
+    manifest << "shard " << bundle.id << ' ' << bundle.indices.size() << ' '
+             << hex64(fnv1a64(bytes)) << '\n';
+  }
+  // The manifest is written last: a spool without one is unplanned, never
+  // half-planned.
+  write_text_atomic(dir + "/MANIFEST", manifest.str());
+
+  result.specs = specs.size();
+  result.shards = shard_count;
+  result.fingerprint = fingerprint;
+  return result;
+}
+
+ShardBundle load_bundle(const std::string& path, bool load_warm_states) {
+  const std::vector<std::uint8_t> bytes = read_file_bytes(path);
+  if (bytes.size() < sizeof(kBundleMagic) + 8) {
+    throw std::invalid_argument("shard bundle " + path + ": truncated image");
+  }
+  const std::uint64_t stored_hash =
+      util::WireReader({bytes.data() + bytes.size() - 8, 8}).u64();
+  if (fnv1a64({bytes.data(), bytes.size() - 8}) != stored_hash) {
+    throw std::invalid_argument("shard bundle " + path +
+                                ": content hash mismatch (corrupt spool?)");
+  }
+  util::WireReader r({bytes.data(), bytes.size() - 8});
+  for (const std::uint8_t byte : kBundleMagic) {
+    if (r.u8() != byte) {
+      throw std::invalid_argument("shard bundle " + path + ": bad magic");
+    }
+  }
+  if (r.u32() != kBundleVersion) {
+    throw std::invalid_argument("shard bundle " + path +
+                                ": unsupported version");
+  }
+  ShardBundle bundle;
+  bundle.fingerprint = r.u64();
+  bundle.id = r.u32();
+  const std::uint32_t count = r.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    bundle.indices.push_back(r.u64());
+    const std::uint32_t ref = r.u32();
+    bundle.warm_ref.push_back(ref == kNoWarmRef ? -1
+                                                : static_cast<std::int32_t>(ref));
+    bundle.specs.push_back(decode_spec(r));
+  }
+  const std::uint32_t warm_count = r.u32();
+  for (std::uint32_t i = 0; i < warm_count; ++i) {
+    const std::vector<std::uint8_t> blob = r.blob();
+    if (load_warm_states) {
+      bundle.warm_states.push_back(
+          std::make_shared<WarmState>(deserialize_warm_state(blob)));
+    }
+  }
+  for (const std::int32_t ref : bundle.warm_ref) {
+    if (ref >= static_cast<std::int32_t>(warm_count)) {
+      throw std::invalid_argument("shard bundle " + path +
+                                  ": warm-state reference out of range");
+    }
+  }
+  return bundle;
+}
+
+WorkReport work_spool(const std::string& dir, const Registry& registry,
+                      const WorkOptions& options) {
+  const SpoolManifest manifest = parse_spool_manifest(dir);
+  const std::string worker =
+      options.worker_id.empty() ? std::to_string(::getpid())
+                                : options.worker_id;
+
+  if (options.resume) {
+    // Re-queue orphaned claims. A claim whose part became final just never
+    // got its bundle moved (killed between the two renames): finish the
+    // move. Anything else goes back to the queue; its partial rows are
+    // kept for reuse.
+    for (const SpoolManifest::Row& row : manifest.shards) {
+      const std::string name = shard_name(row.id);
+      const std::string claimed = dir + "/claimed/" + name + ".bundle";
+      if (!fs::exists(claimed)) continue;
+      std::error_code ec;
+      if (fs::exists(dir + "/parts/" + part_name(row.id) + ".csv")) {
+        try_rename(claimed, dir + "/done/" + name + ".bundle");
+      } else {
+        try_rename(claimed, dir + "/queue/" + name + ".bundle");
+      }
+      fs::remove(dir + "/claimed/" + name + ".owner", ec);
+    }
+  }
+
+  EngineOptions engine_options;
+  if (options.ring_stride != 0) {
+    engine_options.checkpoint_ring.dir = dir + "/rings";
+    engine_options.checkpoint_ring.stride = options.ring_stride;
+    engine_options.checkpoint_ring.keep = options.ring_keep;
+    engine_options.checkpoint_ring.resume = true;
+  }
+  const Engine engine(registry, engine_options);
+
+  WorkReport report;
+  while (options.max_shards == 0 ||
+         report.shards_completed < options.max_shards) {
+    // Claim: first queue bundle we win the rename race for.
+    std::vector<std::string> queued;
+    for (const auto& entry : fs::directory_iterator(dir + "/queue")) {
+      if (entry.path().extension() == ".bundle") {
+        queued.push_back(entry.path().filename().string());
+      }
+    }
+    std::sort(queued.begin(), queued.end());
+    std::string claimed_name;
+    for (const std::string& name : queued) {
+      if (try_rename(dir + "/queue/" + name, dir + "/claimed/" + name)) {
+        claimed_name = name;
+        break;
+      }
+    }
+    if (claimed_name.empty()) break;  // queue drained (or raced dry)
+
+    const std::string stem = claimed_name.substr(0, claimed_name.size() - 7);
+    const std::string claimed_path = dir + "/claimed/" + claimed_name;
+    write_text_atomic(dir + "/claimed/" + stem + ".owner", worker + "\n");
+
+    const ShardBundle bundle = load_bundle(claimed_path);
+    if (bundle.fingerprint != manifest.fingerprint) {
+      throw std::runtime_error("shard bundle " + claimed_path +
+                               " does not belong to this spool");
+    }
+
+    const std::string partial = dir + "/parts/" + part_name(bundle.id) +
+                                ".partial";
+    std::vector<std::string> rows = complete_lines(partial);
+    if (rows.size() > bundle.specs.size()) {
+      throw std::runtime_error("partial part of shard " +
+                               std::to_string(bundle.id) +
+                               " has more rows than the shard has specs");
+    }
+    report.rows_reused += rows.size();
+
+    if (rows.size() < bundle.specs.size()) {
+      // Rows already present are skipped, not re-run: they are
+      // deterministic, so adopting them is byte-identical and a resumed
+      // spool never repeats finished work.
+      std::ofstream out(partial, std::ios::binary | std::ios::app);
+      if (!out) throw std::runtime_error("cannot append to " + partial);
+      for (std::size_t k = rows.size(); k < bundle.specs.size(); ++k) {
+        RunSpec spec = bundle.specs[k];
+        if (bundle.warm_ref[k] >= 0) {
+          spec.resume_from = bundle.warm_states[
+              static_cast<std::size_t>(bundle.warm_ref[k])];
+          report.warm_resumed += 1;
+        }
+        const RunRecord record = engine.run_one(spec, bundle.indices[k]);
+        const std::string row = to_csv_row(record);
+        out << row << '\n' << std::flush;
+        if (!out) throw std::runtime_error("cannot append to " + partial);
+        rows.push_back(row);
+        report.runs_executed += 1;
+      }
+    }
+
+    std::string part_text;
+    for (const std::string& row : rows) part_text += row + '\n';
+    write_text_atomic(dir + "/parts/" + part_name(bundle.id) + ".csv",
+                      part_text);
+    std::error_code ec;
+    fs::remove(partial, ec);
+    try_rename(claimed_path, dir + "/done/" + claimed_name);
+    fs::remove(dir + "/claimed/" + stem + ".owner", ec);
+    report.shards_completed += 1;
+  }
+  return report;
+}
+
+namespace {
+
+/// The shard's bundle, wherever it currently lives in the claim lifecycle.
+std::string find_bundle(const std::string& dir, unsigned id) {
+  const std::string name = shard_name(id) + ".bundle";
+  for (const char* sub : {"/done/", "/claimed/", "/queue/"}) {
+    const std::string path = dir + sub + name;
+    if (fs::exists(path)) return path;
+  }
+  throw std::runtime_error("shard bundle " + name + " is missing from " + dir);
+}
+
+}  // namespace
+
+std::string merge_spool(const std::string& dir) {
+  const SpoolManifest manifest = parse_spool_manifest(dir);
+  std::vector<std::string> rows(manifest.specs);
+  std::vector<bool> filled(manifest.specs, false);
+  for (const SpoolManifest::Row& row : manifest.shards) {
+    const std::string part = dir + "/parts/" + part_name(row.id) + ".csv";
+    if (!fs::exists(part)) {
+      throw std::runtime_error("cannot merge: part of shard " +
+                               std::to_string(row.id) +
+                               " is not finished (" + part + " missing)");
+    }
+    const ShardBundle bundle =
+        load_bundle(find_bundle(dir, row.id), /*load_warm_states=*/false);
+    const std::vector<std::string> lines = complete_lines(part);
+    if (lines.size() != bundle.indices.size()) {
+      throw std::runtime_error(
+          "cannot merge: part of shard " + std::to_string(row.id) + " has " +
+          std::to_string(lines.size()) + " rows, bundle expects " +
+          std::to_string(bundle.indices.size()));
+    }
+    for (std::size_t k = 0; k < lines.size(); ++k) {
+      const std::uint64_t index = bundle.indices[k];
+      if (index >= rows.size() || filled[index]) {
+        throw std::runtime_error("cannot merge: shard " +
+                                 std::to_string(row.id) +
+                                 " covers an invalid or duplicate spec index");
+      }
+      rows[index] = lines[k];
+      filled[index] = true;
+    }
+  }
+  for (std::size_t i = 0; i < filled.size(); ++i) {
+    if (!filled[i]) {
+      throw std::runtime_error("cannot merge: spec " + std::to_string(i) +
+                               " is covered by no shard");
+    }
+  }
+  std::string out = csv_header() + '\n';
+  for (const std::string& row : rows) out += row + '\n';
+  return out;
+}
+
+SpoolStatus spool_status(const std::string& dir) {
+  const SpoolManifest manifest = parse_spool_manifest(dir);
+  SpoolStatus status;
+  status.fingerprint = manifest.fingerprint;
+  status.specs = manifest.specs;
+  for (const SpoolManifest::Row& row : manifest.shards) {
+    ShardState shard;
+    shard.id = row.id;
+    shard.specs = row.specs;
+    const std::string name = shard_name(row.id);
+    if (fs::exists(dir + "/done/" + name + ".bundle")) {
+      shard.state = "done";
+    } else if (fs::exists(dir + "/claimed/" + name + ".bundle")) {
+      shard.state = "claimed";
+      std::ifstream owner(dir + "/claimed/" + name + ".owner");
+      std::getline(owner, shard.owner);
+    } else if (fs::exists(dir + "/queue/" + name + ".bundle")) {
+      shard.state = "queued";
+    } else {
+      shard.state = "lost";
+    }
+    shard.part_final =
+        fs::exists(dir + "/parts/" + part_name(row.id) + ".csv");
+    shard.partial_rows =
+        complete_lines(dir + "/parts/" + part_name(row.id) + ".partial").size();
+    status.shards.push_back(std::move(shard));
+  }
+  return status;
+}
+
+}  // namespace ulpsync::scenario

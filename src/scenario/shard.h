@@ -1,0 +1,168 @@
+#pragma once
+
+/// Cross-process sharded sweeps: the on-disk *work spool*.
+///
+/// A spool is a directory holding one planned sweep, split into
+/// self-contained shard bundles that independent worker processes claim
+/// and execute:
+///
+///     spool/
+///       MANIFEST                  spool manifest (version, fingerprint,
+///                                 shard table) — written last at plan time
+///       queue/shard-0002.bundle   unclaimed shard bundles
+///       claimed/shard-0002.bundle a worker claimed it (atomic rename)
+///       claimed/shard-0002.owner  informational: who claimed it
+///       done/shard-0002.bundle    shard finished, its part file is final
+///       parts/part-0002.partial   rows appended as the shard's runs finish
+///       parts/part-0002.csv       the shard's finished rows (atomic rename)
+///       rings/run-<index>/        per-run checkpoint rings (work with a
+///                                 ring stride; see checkpoint_ring.h)
+///
+/// A bundle carries its specs *with their global sweep indices* plus one
+/// serialized `WarmState` per identical-prefix group (`warm_group_key`)
+/// captured at plan time, so every worker — in any process, on any machine
+/// sharing the filesystem — resumes the group's shared prefix instead of
+/// re-simulating it. The planner keeps each group on one shard and
+/// balances shards by spec count; planning is fully deterministic.
+///
+/// Claiming is one atomic `rename(queue/X, claimed/X)`: exactly one worker
+/// wins, losers move to the next bundle, and no locks or daemons are
+/// involved. Workers append each finished run's CSV row to the shard's
+/// `.partial` file, so a SIGKILLed worker loses at most the run in flight;
+/// `work` with `resume` re-queues orphaned claims, reuses the complete
+/// rows of their partial files (rows are deterministic, so reuse is
+/// byte-identical), and continues interrupted long runs from their
+/// checkpoint rings. `merge` assembles the parts into one CSV that is
+/// **byte-identical** to `to_csv` of a single-process sweep of the same
+/// specs, no matter how many workers ran, died, or resumed.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "scenario/engine.h"
+#include "scenario/registry.h"
+#include "scenario/spec.h"
+
+namespace ulpsync::scenario {
+
+/// Knobs of `plan_spool`.
+struct SpoolOptions {
+  unsigned shards = 4;
+  /// Capture one WarmState per identical-prefix group (two or more specs
+  /// sharing a `checkpoint_at` prefix) at plan time and ship it in the
+  /// group's bundle. Capture failures degrade to cold runs, never errors.
+  bool ship_warm_states = true;
+};
+
+/// What `plan_spool` wrote.
+struct PlanResult {
+  std::size_t specs = 0;
+  unsigned shards = 0;
+  std::size_t warm_states = 0;     ///< groups that got a shipped WarmState
+  std::uint64_t fingerprint = 0;   ///< spec-list fingerprint (see below)
+};
+
+/// Serializes the sweep into a spool at `dir` (created; must be empty of
+/// spool files). Deterministic: the same specs and options produce the
+/// same bundles byte for byte. Throws std::runtime_error on I/O failure
+/// and std::invalid_argument on an empty spec list.
+PlanResult plan_spool(const std::string& dir, const std::vector<RunSpec>& specs,
+                      const Registry& registry, const SpoolOptions& options = {});
+
+/// Fingerprint of a spec list — the identity `plan_spool` stamps into the
+/// manifest and every bundle. Two spec lists with equal fingerprints
+/// serialize identically, so round-trips can be asserted without a
+/// field-by-field `RunSpec` comparison.
+[[nodiscard]] std::uint64_t spec_fingerprint(const std::vector<RunSpec>& specs);
+
+/// Knobs of `work_spool`.
+struct WorkOptions {
+  /// Recorded in the claim's `.owner` file; defaults to the process id.
+  std::string worker_id;
+  /// Re-queue orphaned claims (claimed bundles whose part file never
+  /// became final) before working. Only safe when no worker holding them
+  /// is still alive — the operator asserts that by passing the flag.
+  bool resume = false;
+  /// Checkpoint-ring stride for the shard's runs (cycles); 0 disables
+  /// rings. Rings live under `<spool>/rings/run-<global index>/`, so a
+  /// resumed worker continues interrupted runs mid-flight.
+  std::uint64_t ring_stride = 0;
+  unsigned ring_keep = 4;
+  /// Stop after completing this many shards; 0 = drain the queue.
+  std::size_t max_shards = 0;
+};
+
+/// What one `work_spool` call did.
+struct WorkReport {
+  std::size_t shards_completed = 0;
+  std::size_t runs_executed = 0;
+  std::size_t rows_reused = 0;    ///< rows adopted from partial part files
+  std::size_t warm_resumed = 0;   ///< runs resumed from shipped WarmStates
+};
+
+/// Claims and executes shards until the queue is empty (or `max_shards` is
+/// reached). Safe to call concurrently from any number of processes or
+/// threads on the same spool. Throws std::runtime_error on a corrupt
+/// spool or an I/O failure; individual run failures surface as "error"
+/// rows, exactly as in a single-process sweep.
+WorkReport work_spool(const std::string& dir, const Registry& registry,
+                      const WorkOptions& options = {});
+
+/// Assembles the finished parts into the sweep's CSV — byte-identical to
+/// `to_csv` of a single-process run of the planned specs. Throws
+/// std::runtime_error when any shard's part is missing or inconsistent.
+[[nodiscard]] std::string merge_spool(const std::string& dir);
+
+/// One shard's observable state, for `spool_status`.
+struct ShardState {
+  unsigned id = 0;
+  std::size_t specs = 0;
+  std::string state;            ///< "queued", "claimed", "done", or "lost"
+  std::string owner;            ///< contents of the `.owner` file, if any
+  bool part_final = false;      ///< the shard's `.csv` part exists
+  std::size_t partial_rows = 0; ///< complete rows in its `.partial` file
+};
+
+/// Spool-level progress summary.
+struct SpoolStatus {
+  std::uint64_t fingerprint = 0;
+  std::size_t specs = 0;
+  std::vector<ShardState> shards;
+
+  /// True when every shard's part file is final (`merge_spool` will work).
+  [[nodiscard]] bool complete() const {
+    for (const ShardState& shard : shards) {
+      if (!shard.part_final) return false;
+    }
+    return true;
+  }
+};
+
+/// Reads the manifest and the shard files' states. Throws
+/// std::runtime_error on a missing or malformed manifest.
+[[nodiscard]] SpoolStatus spool_status(const std::string& dir);
+
+/// One loaded shard bundle (exposed for tests and `status`; workers use
+/// `work_spool`). `warm_ref[i]` indexes `warm_states`, or is negative when
+/// spec `i` runs cold.
+struct ShardBundle {
+  unsigned id = 0;
+  std::uint64_t fingerprint = 0;
+  std::vector<std::uint64_t> indices;  ///< global spec indices, ascending
+  std::vector<RunSpec> specs;
+  std::vector<std::int32_t> warm_ref;
+  std::vector<std::shared_ptr<const WarmState>> warm_states;
+};
+
+/// Parses and validates a bundle file (magic, version, trailing content
+/// hash). Throws std::invalid_argument on truncation or corruption and
+/// std::runtime_error when unreadable. `load_warm_states = false` skips
+/// deserializing the shipped snapshots (they can dwarf the spec table) —
+/// what `merge_spool`/`spool_status` use, since they only need indices;
+/// the content hash still validates the whole image either way.
+[[nodiscard]] ShardBundle load_bundle(const std::string& path,
+                                      bool load_warm_states = true);
+
+}  // namespace ulpsync::scenario

@@ -10,7 +10,9 @@
 /// interface and register in a `scenario::Registry` under a name, which is
 /// what `RunSpec`s refer to.
 
+#include <algorithm>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -29,6 +31,28 @@ namespace ulpsync::scenario {
 /// parameter block (sample count, channel/core count, kernel constants,
 /// input generator); workloads that need less simply ignore the rest.
 using WorkloadParams = kernels::BenchmarkParams;
+
+/// Receiver of the periodic checkpoints a cooperating drive loop offers
+/// (the engine's checkpoint ring, `EngineOptions::checkpoint_ring`). The
+/// drive loop calls `offer` at *host-consistent* points — cycles at which
+/// `host_words` fully describes any state the drive keeps outside the
+/// platform — and should pause `Platform::run` no later than `next_due()`
+/// so a long uninterrupted simulation stretch cannot starve the ring.
+/// Offering is free when no checkpoint is due; the sink decides whether to
+/// actually persist anything, so simulation results never depend on it.
+class CheckpointSink {
+ public:
+  virtual ~CheckpointSink() = default;
+
+  /// Cycle by which the drive loop should next offer a checkpoint.
+  [[nodiscard]] virtual std::uint64_t next_due() const = 0;
+
+  /// Offers the platform's current state as a checkpoint. `host_words`
+  /// must let the workload's checkpointed `drive` resume from exactly this
+  /// point (empty for drives that keep no host state).
+  virtual void offer(sim::Platform& platform,
+                     const std::vector<std::uint64_t>& host_words) = 0;
+};
 
 /// One runnable program with its host-side hooks (see the file comment).
 class Workload {
@@ -89,6 +113,39 @@ class Workload {
   /// state across the run (e.g. the streaming monitor's window loop) must
   /// return false — a platform snapshot cannot capture that state.
   [[nodiscard]] virtual bool warm_startable() const { return true; }
+
+  /// True when the checkpointed `drive` overload below is trustworthy for
+  /// this workload: it offers host-consistent checkpoints and can resume
+  /// from the saved host words with bit-exact results. Defaults to
+  /// `warm_startable()` — a platform-complete workload is sliceable as-is.
+  /// Workloads with a custom host loop must override this *together with*
+  /// the checkpointed drive (the streaming monitor does), or leave it
+  /// false, in which case the engine runs them without a ring.
+  [[nodiscard]] virtual bool checkpointable() const { return warm_startable(); }
+
+  /// Checkpoint-cooperating variant of `drive` (see `CheckpointSink`).
+  /// When `resume_host_words` is non-empty the platform has already been
+  /// restored from a checkpoint and the words are the ones the drive
+  /// offered alongside it — continue from there instead of starting over.
+  /// The default implementation drives `platform.run` in slices bounded by
+  /// `sink.next_due()`, which is exact for any workload using the default
+  /// `drive` (stopping and continuing a platform run is bit-identical to
+  /// one uninterrupted run) and keeps no host words.
+  virtual sim::RunResult drive(sim::Platform& platform,
+                               std::uint64_t max_cycles, CheckpointSink& sink,
+                               std::span<const std::uint64_t> resume_host_words)
+      const {
+    (void)resume_host_words;  // the default drive keeps no host state
+    for (;;) {
+      const std::uint64_t stop = std::min(
+          max_cycles,
+          std::max(platform.counters().cycles + 1, sink.next_due()));
+      const sim::RunResult result = platform.run(stop);
+      if (result.status != sim::RunResult::Status::kMaxCycles) return result;
+      if (platform.counters().cycles >= max_cycles) return result;
+      sink.offer(platform, {});
+    }
+  }
 
   /// Workload-specific outputs harvested after the run (key/value pairs,
   /// e.g. detected beats per channel). Attached to the `RunRecord` as

@@ -423,6 +423,11 @@ class StreamingWorkload final : public Workload {
   /// cycle accounting) that a platform snapshot cannot capture.
   [[nodiscard]] bool warm_startable() const override { return false; }
 
+  /// ... but the checkpointed drive overload carries that state as host
+  /// words (window count, busy cycles) at window boundaries, so streaming
+  /// soaks are ring-checkpointable even though they are not warm-startable.
+  [[nodiscard]] bool checkpointable() const override { return true; }
+
   [[nodiscard]] unsigned windows() const {
     return std::max(1u, params_.samples / kStreamWindow);
   }
@@ -438,12 +443,40 @@ class StreamingWorkload final : public Workload {
     auto result = platform.run(std::min<std::uint64_t>(max_cycles, 100'000));
     for (unsigned w = 0; w < windows(); ++w) {
       if (result.status != sim::RunResult::Status::kAllAsleep) return result;
-      deposit_window(platform, w);
-      const std::uint64_t before = platform.counters().cycles;
-      platform.interrupt_all();
-      result = platform.run(std::min(max_cycles, before + 10'000'000));
-      busy_cycles_ += platform.counters().cycles - before;
-      ++windows_run_;
+      result = run_window(platform, w, max_cycles);
+    }
+    return result;
+  }
+
+  /// Checkpoint-cooperating drive: offers the platform to the ring after
+  /// each completed window — every core is asleep there, so the snapshot
+  /// plus {windows_run_, busy_cycles_} is the run's complete state — and
+  /// resumes mid-soak from those words.
+  sim::RunResult drive(sim::Platform& platform, std::uint64_t max_cycles,
+                       CheckpointSink& sink,
+                       std::span<const std::uint64_t> resume_host_words)
+      const override {
+    sim::RunResult result;
+    unsigned start_window = 0;
+    if (resume_host_words.size() == 2) {
+      // The platform was restored from a window-boundary checkpoint: all
+      // cores asleep, `resume_host_words[0]` windows already processed.
+      windows_run_ = static_cast<unsigned>(resume_host_words[0]);
+      busy_cycles_ = resume_host_words[1];
+      start_window = windows_run_;
+      result.status = sim::RunResult::Status::kAllAsleep;
+      result.cycles = platform.counters().cycles;
+    } else {
+      busy_cycles_ = 0;
+      windows_run_ = 0;
+      result = platform.run(std::min<std::uint64_t>(max_cycles, 100'000));
+    }
+    for (unsigned w = start_window; w < windows(); ++w) {
+      if (result.status != sim::RunResult::Status::kAllAsleep) return result;
+      result = run_window(platform, w, max_cycles);
+      if (result.status == sim::RunResult::Status::kAllAsleep) {
+        sink.offer(platform, {windows_run_, busy_cycles_});
+      }
     }
     return result;
   }
@@ -484,6 +517,19 @@ class StreamingWorkload final : public Workload {
   }
 
  private:
+  /// One acquisition window of the host loop: deposit fresh samples, wake
+  /// every core, run until the group sleeps again (shared by both drives).
+  sim::RunResult run_window(sim::Platform& platform, unsigned window,
+                            std::uint64_t max_cycles) const {
+    deposit_window(platform, window);
+    const std::uint64_t before = platform.counters().cycles;
+    platform.interrupt_all();
+    const auto result = platform.run(std::min(max_cycles, before + 10'000'000));
+    busy_cycles_ += platform.counters().cycles - before;
+    ++windows_run_;
+    return result;
+  }
+
   /// The channel's whole encoded stream, generated once and cached (the
   /// generator is deterministic, so verify sees the deposited bytes).
   [[nodiscard]] const std::vector<std::uint16_t>& channel_samples(

@@ -1,0 +1,111 @@
+#pragma once
+
+/// Minimal explicit-little-endian wire primitives shared by the scenario
+/// layer's on-disk formats (checkpoint rings, sharded-sweep spools). The
+/// writer is append-only; the reader is bounds-checked and throws
+/// std::invalid_argument on truncation, so corrupted images can never read
+/// out of range. `sim/snapshot.cpp` keeps its own private copy — its wire
+/// format is frozen and golden-tested independently of this header.
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ulpsync::util {
+
+/// Little-endian append-only byte sink.
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u16(std::uint16_t v) {
+    u8(static_cast<std::uint8_t>(v));
+    u8(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v));
+    u16(static_cast<std::uint16_t>(v >> 16));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v));
+    u32(static_cast<std::uint32_t>(v >> 32));
+  }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    for (const char c : s) u8(static_cast<std::uint8_t>(c));
+  }
+  void blob(std::span<const std::uint8_t> bytes) {
+    u64(bytes.size());
+    bytes_.insert(bytes_.end(), bytes.begin(), bytes.end());
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const {
+    return bytes_;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Bounds-checked little-endian reader (see the file comment).
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8() {
+    if (pos_ >= bytes_.size()) {
+      throw std::invalid_argument("wire: truncated image");
+    }
+    return bytes_[pos_++];
+  }
+  std::uint16_t u16() {
+    const auto lo = u8();
+    return static_cast<std::uint16_t>(lo | (u8() << 8));
+  }
+  std::uint32_t u32() {
+    const auto lo = u16();
+    return lo | (static_cast<std::uint32_t>(u16()) << 16);
+  }
+  std::uint64_t u64() {
+    const auto lo = u32();
+    return lo | (static_cast<std::uint64_t>(u32()) << 32);
+  }
+  bool boolean() {
+    const auto v = u8();
+    if (v > 1) throw std::invalid_argument("wire: invalid boolean field");
+    return v != 0;
+  }
+  std::string str() {
+    const std::uint32_t size = u32();
+    require(size);
+    std::string out(reinterpret_cast<const char*>(bytes_.data() + pos_), size);
+    pos_ += size;
+    return out;
+  }
+  std::vector<std::uint8_t> blob() {
+    const std::uint64_t size = u64();
+    require(size);
+    std::vector<std::uint8_t> out(bytes_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                  bytes_.begin() + static_cast<std::ptrdiff_t>(pos_ + size));
+    pos_ += size;
+    return out;
+  }
+
+  [[nodiscard]] std::size_t position() const { return pos_; }
+  [[nodiscard]] bool at_end() const { return pos_ == bytes_.size(); }
+
+ private:
+  void require(std::uint64_t size) const {
+    if (size > bytes_.size() - pos_) {
+      throw std::invalid_argument("wire: truncated image");
+    }
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ulpsync::util

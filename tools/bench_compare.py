@@ -3,20 +3,33 @@
 
 Usage:
     tools/bench_compare.py FRESH.json [BASELINE.json] [--max-regress 0.30]
+                           [--allow-new-rows]
 
-Fails (exit 1) when the headline mean —
-`sleep_heavy_8core_full_mean_mcycles_per_second` — regresses by more than
-the threshold (default 30%) relative to the baseline. Every per-row delta
-is printed as an informational comment either way, so CI logs double as a
-coarse performance history. Wall-clock benchmarks on shared runners are
-noisy; the generous default threshold is meant to catch structural
-regressions (an accidentally disabled fast path), not scheduling jitter.
+Fails (exit 1) when:
+  * the headline mean — `sleep_heavy_8core_full_mean_mcycles_per_second` —
+    regresses by more than the threshold (default 30%) relative to the
+    baseline;
+  * a baseline row is missing from the fresh run (a silently dropped
+    benchmark would otherwise un-gate itself);
+  * a fresh row has no baseline counterpart (an un-gated row; regenerate
+    the committed baseline in the same change, or pass --allow-new-rows
+    while a new benchmark is being landed deliberately).
+
+Exits 2 on malformed inputs (missing headline key, unreadable JSON).
+
+Every per-row delta is printed as an informational comment either way, so
+CI logs double as a coarse performance history. Wall-clock benchmarks on
+shared runners are noisy; the generous default threshold is meant to catch
+structural regressions (an accidentally disabled fast path), not
+scheduling jitter.
 """
 
 import argparse
 import json
 import sys
 from pathlib import Path
+
+HEADLINE_KEY = "sleep_heavy_8core_full_mean_mcycles_per_second"
 
 
 def load(path):
@@ -28,7 +41,7 @@ def row_key(row):
     return (row["workload"], row["cores"], row["mode"])
 
 
-def main():
+def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("fresh", help="freshly generated BENCH_sim_throughput.json")
     parser.add_argument(
@@ -43,35 +56,68 @@ def main():
         default=0.30,
         help="fail when the headline mean drops by more than this fraction",
     )
-    args = parser.parse_args()
+    parser.add_argument(
+        "--allow-new-rows",
+        action="store_true",
+        help="tolerate fresh rows absent from the baseline (landing a new benchmark)",
+    )
+    args = parser.parse_args(argv)
 
-    fresh = load(args.fresh)
-    baseline = load(args.baseline)
+    try:
+        fresh = load(args.fresh)
+        baseline = load(args.baseline)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"ERROR: cannot load benchmark JSON: {error}")
+        return 2
 
-    key = "sleep_heavy_8core_full_mean_mcycles_per_second"
-    fresh_mean = float(fresh[key])
-    base_mean = float(baseline[key])
+    for name, blob in (("fresh", fresh), ("baseline", baseline)):
+        if HEADLINE_KEY not in blob:
+            print(f"ERROR: {name} JSON has no '{HEADLINE_KEY}' key — wrong file?")
+            return 2
+    fresh_mean = float(fresh[HEADLINE_KEY])
+    base_mean = float(baseline[HEADLINE_KEY])
 
-    print(f"headline mean ({key}):")
+    print(f"headline mean ({HEADLINE_KEY}):")
     print(f"  baseline: {base_mean:8.3f} Mcycles/s")
     ratio = fresh_mean / base_mean if base_mean > 0 else float("inf")
     print(f"  fresh:    {fresh_mean:8.3f} Mcycles/s   ({ratio:.2f}x)")
 
     base_rows = {row_key(r): r for r in baseline.get("runs", [])}
+    fresh_keys = set()
+    new_rows = []
     print("\nper-row deltas (informational):")
     for row in fresh.get("runs", []):
         k = row_key(row)
+        fresh_keys.add(k)
         tag = f"{k[0]:<12} {k[1]:>2} cores {k[2]:<5}"
         if k not in base_rows:
-            print(f"  {tag} {row['mcycles_per_second']:8.3f} Mcyc/s   (new row)")
+            new_rows.append(k)
+            print(f"  {tag} {row['mcycles_per_second']:8.3f} Mcyc/s   (NEW ROW, no baseline)")
             continue
         base = base_rows[k]["mcycles_per_second"]
         cur = row["mcycles_per_second"]
         delta = (cur / base - 1.0) * 100 if base > 0 else float("inf")
         print(f"  {tag} {cur:8.3f} vs {base:8.3f} Mcyc/s   ({delta:+6.1f}%)")
-    missing = [k for k in base_rows if k not in {row_key(r) for r in fresh.get("runs", [])}]
-    for k in sorted(missing):
+    missing = sorted(k for k in base_rows if k not in fresh_keys)
+    for k in missing:
         print(f"  {k[0]:<12} {k[1]:>2} cores {k[2]:<5} MISSING from fresh run")
+
+    failed = False
+    if missing:
+        print(
+            f"\nFAIL: {len(missing)} baseline row(s) missing from the fresh run "
+            f"({', '.join('/'.join(map(str, k)) for k in missing)}) — a dropped "
+            "benchmark must be removed from the committed baseline explicitly"
+        )
+        failed = True
+    if new_rows and not args.allow_new_rows:
+        print(
+            f"\nFAIL: {len(new_rows)} fresh row(s) have no baseline "
+            f"({', '.join('/'.join(map(str, k)) for k in new_rows)}) — these rows "
+            "are not regression-gated; regenerate the committed baseline, or pass "
+            "--allow-new-rows while landing a new benchmark"
+        )
+        failed = True
 
     floor = base_mean * (1.0 - args.max_regress)
     if fresh_mean < floor:
@@ -80,10 +126,12 @@ def main():
             f"floor {floor:.3f} (baseline {base_mean:.3f}, "
             f"max regression {args.max_regress:.0%})"
         )
+        failed = True
+    if failed:
         return 1
     print(
         f"\nOK: headline mean {fresh_mean:.3f} within {args.max_regress:.0%} "
-        f"of baseline {base_mean:.3f}"
+        f"of baseline {base_mean:.3f}; all {len(fresh_keys)} rows gated"
     )
     return 0
 

@@ -1,0 +1,218 @@
+// sweep_shard: cross-process sharded sweeps over an on-disk work spool
+// (scenario/shard.h).
+//
+//   sweep_shard plan  --spool DIR [matrix flags] [--shards K] [--no-warm]
+//       Expands the matrix and serializes it into shard bundles under DIR.
+//       Identical-prefix groups (--checkpoint-at + --horizons) ship one
+//       pre-simulated WarmState per group, so workers resume instead of
+//       re-simulating.
+//   sweep_shard work  --spool DIR [--worker-id X] [--resume]
+//                     [--ring-stride N] [--ring-keep K] [--max-shards M]
+//       Claims shards (atomic rename) and executes them until the queue is
+//       empty. Run any number of workers concurrently — processes or
+//       machines sharing the filesystem. --resume re-queues orphaned
+//       claims of dead workers, reuses their finished rows, and continues
+//       interrupted runs from their checkpoint rings.
+//   sweep_shard merge --spool DIR --out FILE
+//       Assembles the parts into one CSV, byte-identical to a
+//       single-process `sweep_shard run` of the same matrix.
+//   sweep_shard status --spool DIR
+//       Per-shard progress (queued/claimed/done, partial rows, owner).
+//   sweep_shard run   --out FILE [--jobs N] [matrix flags]
+//       The single-process reference: runs the same matrix in this process
+//       and writes its CSV. CI diffs this against `merge`.
+//
+// Matrix flags (plan and run must agree for the byte-identity guarantee):
+//   --workloads a,b,c   registry names            (default mrpfltr,sqrt32)
+//   --samples n1,n2     samples-per-channel axis  (default 48)
+//   --designs both|synchronized|baseline          (default both)
+//   --max-cycles N      cycle budget              (default 500000000)
+//   --checkpoint-at N   shared warm-up prefix end (optional)
+//   --horizons c1,c2    per-spec max_cycles fan-out over the checkpoint
+//                       (optional; forms identical-prefix groups)
+
+#include <cinttypes>
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scenario/record.h"
+#include "scenario/report.h"
+#include "scenario/shard.h"
+#include "util/cli.h"
+
+namespace {
+
+using namespace ulpsync;
+using namespace ulpsync::scenario;
+
+std::vector<std::string> split_list(const std::string& text) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream in(text);
+  while (std::getline(in, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+std::vector<RunSpec> specs_from_flags(const util::CliArgs& args) {
+  Matrix matrix;
+  matrix.workloads(split_list(args.get("workloads", "mrpfltr,sqrt32")));
+  std::vector<unsigned> samples;
+  for (const std::string& value : split_list(args.get("samples", "48"))) {
+    samples.push_back(static_cast<unsigned>(std::stoul(value)));
+  }
+  matrix.samples(samples);
+  const std::string designs = args.get("designs", "both");
+  if (designs == "synchronized") {
+    matrix.design(DesignVariant::synchronized());
+  } else if (designs == "baseline") {
+    matrix.design(DesignVariant::baseline());
+  } else if (designs != "both") {
+    throw std::runtime_error("unknown --designs value '" + designs + "'");
+  }
+  matrix.max_cycles(
+      static_cast<std::uint64_t>(args.get_int("max-cycles", 500'000'000)));
+
+  std::vector<RunSpec> specs = matrix.expand();
+  if (args.has("horizons")) {
+    // Fan each spec out over the horizon budgets, sharing one warm-up
+    // prefix per group — the shape `plan` ships WarmStates for.
+    const auto checkpoint =
+        static_cast<std::uint64_t>(args.get_int("checkpoint-at", 0));
+    std::vector<RunSpec> fanned;
+    for (const RunSpec& spec : specs) {
+      for (const std::string& value : split_list(args.get("horizons", ""))) {
+        RunSpec horizon = spec;
+        horizon.max_cycles = std::stoull(value);
+        if (checkpoint != 0) horizon.checkpoint_at = checkpoint;
+        fanned.push_back(std::move(horizon));
+      }
+    }
+    specs = std::move(fanned);
+  } else if (args.has("checkpoint-at")) {
+    const auto checkpoint =
+        static_cast<std::uint64_t>(args.get_int("checkpoint-at", 0));
+    for (RunSpec& spec : specs) spec.checkpoint_at = checkpoint;
+  }
+  return specs;
+}
+
+std::string require_flag(const util::CliArgs& args, const std::string& name) {
+  const std::string value = args.get(name, "");
+  if (value.empty()) {
+    throw std::runtime_error("missing required --" + name + " flag");
+  }
+  return value;
+}
+
+int cmd_plan(const util::CliArgs& args) {
+  const std::string spool = require_flag(args, "spool");
+  const std::vector<RunSpec> specs = specs_from_flags(args);
+  SpoolOptions options;
+  options.shards = static_cast<unsigned>(args.get_int("shards", 4));
+  options.ship_warm_states = !args.has("no-warm");
+  const PlanResult plan =
+      plan_spool(spool, specs, Registry::builtins(), options);
+  std::printf("planned %zu specs into %u shards at %s "
+              "(%zu warm state(s) shipped, fingerprint %016" PRIx64 ")\n",
+              plan.specs, plan.shards, spool.c_str(), plan.warm_states,
+              plan.fingerprint);
+  return 0;
+}
+
+int cmd_work(const util::CliArgs& args) {
+  const std::string spool = require_flag(args, "spool");
+  WorkOptions options;
+  options.worker_id = args.get("worker-id", "");
+  options.resume = args.has("resume");
+  options.ring_stride =
+      static_cast<std::uint64_t>(args.get_int("ring-stride", 0));
+  options.ring_keep = static_cast<unsigned>(args.get_int("ring-keep", 4));
+  options.max_shards =
+      static_cast<std::size_t>(args.get_int("max-shards", 0));
+  const WorkReport report =
+      work_spool(spool, Registry::builtins(), options);
+  std::printf("worker done: %zu shard(s), %zu run(s) executed, "
+              "%zu row(s) reused, %zu warm-resumed\n",
+              report.shards_completed, report.runs_executed,
+              report.rows_reused, report.warm_resumed);
+  return 0;
+}
+
+int cmd_merge(const util::CliArgs& args) {
+  const std::string spool = require_flag(args, "spool");
+  const std::string out_path = require_flag(args, "out");
+  const std::string csv = merge_spool(spool);
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  out << csv;
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("merged %s -> %s\n", spool.c_str(), out_path.c_str());
+  return 0;
+}
+
+int cmd_status(const util::CliArgs& args) {
+  const std::string spool = require_flag(args, "spool");
+  const SpoolStatus status = spool_status(spool);
+  std::printf("spool %s: %zu specs, %zu shards, fingerprint %016" PRIx64 "%s\n",
+              spool.c_str(), status.specs, status.shards.size(),
+              status.fingerprint, status.complete() ? " (complete)" : "");
+  for (const ShardState& shard : status.shards) {
+    std::printf("  shard %04u: %-7s %zu spec(s), part %s",
+                shard.id, shard.state.c_str(), shard.specs,
+                shard.part_final
+                    ? "final"
+                    : (std::to_string(shard.partial_rows) + " partial row(s)")
+                          .c_str());
+    if (!shard.owner.empty()) std::printf(", owner %s", shard.owner.c_str());
+    std::printf("\n");
+  }
+  return status.complete() ? 0 : 2;
+}
+
+int cmd_run(const util::CliArgs& args) {
+  const std::string out_path = require_flag(args, "out");
+  const std::vector<RunSpec> specs = specs_from_flags(args);
+  EngineOptions options = engine_options_from(args);
+  const Engine engine(Registry::builtins(), options);
+  const std::vector<RunRecord> records = engine.run(specs);
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  out << to_csv(records);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("ran %zu spec(s) -> %s\n", records.size(), out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  if (args.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: sweep_shard <plan|work|merge|status|run> ...\n");
+    return 1;
+  }
+  const std::string& command = args.positional().front();
+  try {
+    if (command == "plan") return cmd_plan(args);
+    if (command == "work") return cmd_work(args);
+    if (command == "merge") return cmd_merge(args);
+    if (command == "status") return cmd_status(args);
+    if (command == "run") return cmd_run(args);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "sweep_shard: %s\n", error.what());
+    return 1;
+  }
+  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+  return 1;
+}

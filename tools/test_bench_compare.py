@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Tests for the bench_compare.py regression gate.
+
+Run with pytest (CI) or directly (`python3 tools/test_bench_compare.py`).
+The cases pin down the gating contract: pass on matching rows, fail on a
+headline regression, fail hard on rows missing from either side (the
+silently-un-gated-row bug), and accept new rows only under
+--allow-new-rows.
+"""
+
+import copy
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import bench_compare  # noqa: E402
+
+
+def make_bench(mean=5.0, rows=None):
+    if rows is None:
+        rows = [("mrpfltr", 8, "full", 5.0), ("sqrt32", 8, "ff", 7.0)]
+    return {
+        bench_compare.HEADLINE_KEY: mean,
+        "runs": [
+            {"workload": w, "cores": c, "mode": m, "mcycles_per_second": v}
+            for (w, c, m, v) in rows
+        ],
+    }
+
+
+def run_compare(tmp_path, fresh, baseline, *extra):
+    fresh_path = tmp_path / "fresh.json"
+    base_path = tmp_path / "baseline.json"
+    fresh_path.write_text(json.dumps(fresh))
+    base_path.write_text(json.dumps(baseline))
+    return bench_compare.main([str(fresh_path), str(base_path), *extra])
+
+
+def test_identical_runs_pass(tmp_path):
+    bench = make_bench()
+    assert run_compare(tmp_path, bench, copy.deepcopy(bench)) == 0
+
+
+def test_small_regression_within_threshold_passes(tmp_path):
+    assert run_compare(tmp_path, make_bench(mean=4.0), make_bench(mean=5.0)) == 0
+
+
+def test_large_regression_fails(tmp_path):
+    assert run_compare(tmp_path, make_bench(mean=3.0), make_bench(mean=5.0)) == 1
+
+
+def test_row_missing_from_fresh_fails(tmp_path):
+    fresh = make_bench(rows=[("mrpfltr", 8, "full", 5.0)])
+    baseline = make_bench()
+    assert run_compare(tmp_path, fresh, baseline) == 1
+
+
+def test_row_missing_from_baseline_fails(tmp_path):
+    # The original bug: a fresh row with no baseline counterpart sailed
+    # through as "(new row)" with exit 0, leaving it un-gated forever.
+    fresh = make_bench(
+        rows=[("mrpfltr", 8, "full", 5.0), ("sqrt32", 8, "ff", 7.0),
+              ("brandnew", 8, "full", 9.0)]
+    )
+    baseline = make_bench()
+    assert run_compare(tmp_path, fresh, baseline) == 1
+
+
+def test_new_row_allowed_with_flag(tmp_path):
+    fresh = make_bench(
+        rows=[("mrpfltr", 8, "full", 5.0), ("sqrt32", 8, "ff", 7.0),
+              ("brandnew", 8, "full", 9.0)]
+    )
+    baseline = make_bench()
+    assert run_compare(tmp_path, fresh, baseline, "--allow-new-rows") == 0
+
+
+def test_missing_headline_key_is_a_clear_error(tmp_path):
+    fresh = make_bench()
+    del fresh[bench_compare.HEADLINE_KEY]
+    assert run_compare(tmp_path, fresh, make_bench()) == 2
+
+
+def test_unreadable_or_malformed_json_is_a_clear_error(tmp_path):
+    base_path = tmp_path / "baseline.json"
+    base_path.write_text(json.dumps(make_bench()))
+    assert bench_compare.main([str(tmp_path / "nope.json"), str(base_path)]) == 2
+    truncated = tmp_path / "truncated.json"
+    truncated.write_text('{"runs": [')
+    assert bench_compare.main([str(truncated), str(base_path)]) == 2
+
+
+def test_committed_baseline_gates_itself():
+    baseline = str(Path(__file__).resolve().parent.parent / "BENCH_sim_throughput.json")
+    assert bench_compare.main([baseline, baseline]) == 0
+
+
+if __name__ == "__main__":
+    # Standalone runner for environments without pytest.
+    import tempfile
+
+    failures = 0
+    for name, test in sorted(globals().items()):
+        if not name.startswith("test_") or not callable(test):
+            continue
+        try:
+            if test.__code__.co_argcount:
+                with tempfile.TemporaryDirectory() as tmp:
+                    test(Path(tmp))
+            else:
+                test()
+            print(f"PASS {name}")
+        except AssertionError:
+            print(f"FAIL {name}")
+            failures += 1
+    sys.exit(1 if failures else 0)
