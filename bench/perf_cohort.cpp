@@ -1,0 +1,186 @@
+// Cohort-sweep throughput harness: scalar engine vs the batched
+// many-platform engine.
+//
+// A patient cohort runs the same program on the same design many times,
+// varying only the generated input data — exactly the shape the
+// `BatchEngine` accelerates by emulating follower lanes against one real
+// leader platform. This harness expands 1/8/64/512-patient cohorts of the
+// duty-cycled workloads (`sleepgen` and the `streaming.uniform` monitor),
+// runs every cohort through both engines on one thread, and reports the
+// *aggregate instance throughput* — total simulated cycles across all
+// patients per wall second — plus the batch/scalar speedup per row.
+// Records are asserted byte-identical between the two engines on every
+// row: a speedup that changed results would be a bug, not a win.
+//
+// Emits BENCH_cohort_throughput.json (override with --out=...). Compare a
+// fresh run against the committed baseline with tools/bench_compare.py
+// (the gate keys on `batch64_min_speedup`: the smallest batch/scalar
+// speedup across the 64-and-wider cohorts). Flags:
+//   --samples N     samples per channel (default 256)
+//   --cores N       platform width (default 8)
+//   --min-wall MS   minimum wall time per engine measurement (default 200)
+//   --out PATH      output JSON path (default BENCH_cohort_throughput.json)
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "scenario/batch.h"
+#include "scenario/report.h"
+
+namespace {
+
+using namespace ulpsync;
+using namespace ulpsync::scenario;
+
+constexpr const char* kWorkloads[] = {"sleepgen", "streaming.uniform"};
+constexpr unsigned kCohortSizes[] = {1, 8, 64, 512};
+
+struct Measurement {
+  std::uint64_t instance_cycles = 0;  ///< summed over the cohort, one rep
+  unsigned reps = 0;
+  double wall_seconds = 0.0;
+
+  [[nodiscard]] double mcycles_per_second() const {
+    return wall_seconds <= 0.0 ? 0.0
+                               : static_cast<double>(instance_cycles) * reps /
+                                     wall_seconds / 1e6;
+  }
+};
+
+/// Repeats `sweep` until `min_wall` elapses; returns the records of the
+/// first rep (for the identity check) through `records`.
+template <typename Sweep>
+Measurement measure(const Sweep& sweep, std::chrono::milliseconds min_wall,
+                    std::vector<RunRecord>& records) {
+  Measurement m;
+  records = sweep();  // warm-up rep: page in code and inputs
+  for (const RunRecord& record : records) {
+    if (!record.ok()) {
+      throw std::runtime_error("cohort case failed: " + record.spec.workload +
+                               ": " + record.verify_error);
+    }
+    m.instance_cycles += record.cycles();
+  }
+  const auto start = std::chrono::steady_clock::now();
+  do {
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<RunRecord> rep = sweep();
+    m.wall_seconds += std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    m.reps += 1;
+  } while (std::chrono::steady_clock::now() - start < min_wall);
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  WorkloadParams base_params;
+  base_params.samples = static_cast<unsigned>(args.get_int("samples", 256));
+  const unsigned cores = static_cast<unsigned>(args.get_int("cores", 8));
+  const std::chrono::milliseconds min_wall(args.get_int("min-wall", 200));
+  const std::string out_path = args.get("out", "BENCH_cohort_throughput.json");
+
+  const Registry& registry = Registry::builtins();
+  const Engine scalar(registry, EngineOptions{.jobs = 1});
+  const BatchEngine batch(registry, BatchOptions{.jobs = 1});
+
+  std::printf(
+      "cohort sweep throughput (N=%u samples/channel, %u cores, >=%lld ms "
+      "per point)\n\n",
+      base_params.samples, cores, static_cast<long long>(min_wall.count()));
+  util::Table table({"Workload", "patients", "scalar Mcyc/s", "batch Mcyc/s",
+                     "speedup", "batched", "fallbacks"});
+
+  std::string runs_json;
+  double batch64_min_speedup = 0.0;
+  bool have_headline = false;
+  for (const char* workload : kWorkloads) {
+    for (const unsigned patients : kCohortSizes) {
+      Matrix matrix;
+      matrix.workloads({workload});
+      // The synchronizer checkpoint word caps that design at 8 cores; the
+      // crossbar-only design is the paper's wide-platform scaling regime.
+      matrix.design(cores <= 8 ? DesignVariant::synchronized()
+                               : DesignVariant::xbar_only());
+      matrix.num_cores({cores});
+      matrix.samples({base_params.samples});
+      matrix.cohort(patients);
+      const std::vector<RunSpec> specs = matrix.expand();
+
+      std::vector<RunRecord> scalar_records;
+      const Measurement scalar_m = measure(
+          [&] { return scalar.run(specs); }, min_wall, scalar_records);
+
+      std::vector<RunRecord> batch_records;
+      BatchStats stats;
+      const Measurement batch_m = measure(
+          [&] {
+            BatchResult result = batch.run(specs);
+            stats = std::move(result.stats);
+            return std::move(result.records);
+          },
+          min_wall, batch_records);
+
+      if (to_csv(batch_records) != to_csv(scalar_records)) {
+        throw std::runtime_error(std::string("cohort records diverged between "
+                                             "engines: ") +
+                                 workload);
+      }
+
+      const double speedup =
+          scalar_m.mcycles_per_second() > 0.0
+              ? batch_m.mcycles_per_second() / scalar_m.mcycles_per_second()
+              : 0.0;
+      if (patients >= 64 && (!have_headline || speedup < batch64_min_speedup)) {
+        batch64_min_speedup = speedup;
+        have_headline = true;
+      }
+
+      table.add_row({workload, std::to_string(patients),
+                     util::Table::num(scalar_m.mcycles_per_second()),
+                     util::Table::num(batch_m.mcycles_per_second()),
+                     util::Table::num(speedup),
+                     std::to_string(stats.batched_runs),
+                     std::to_string(stats.scalar_runs)});
+
+      if (!runs_json.empty()) runs_json += ",\n";
+      char buffer[512];
+      std::snprintf(
+          buffer, sizeof(buffer),
+          "    {\"workload\": \"%s\", \"patients\": %u, \"cores\": %u, "
+          "\"instance_cycles\": %llu, "
+          "\"scalar_mcycles_per_second\": %.3f, "
+          "\"batch_mcycles_per_second\": %.3f, \"speedup\": %.3f, "
+          "\"batched_runs\": %zu, \"scalar_fallback_runs\": %zu}",
+          workload, patients, cores,
+          static_cast<unsigned long long>(batch_m.instance_cycles),
+          scalar_m.mcycles_per_second(), batch_m.mcycles_per_second(), speedup,
+          stats.batched_runs, stats.scalar_runs);
+      runs_json += buffer;
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  maybe_write_csv(args, table);
+  std::printf("minimum batch/scalar speedup at 64+ patients: %.3fx\n",
+              batch64_min_speedup);
+
+  std::ofstream out(out_path);
+  out << "{\n"
+      << "  \"bench\": \"cohort_throughput\",\n"
+      << "  \"samples_per_channel\": " << base_params.samples << ",\n"
+      << "  \"cores\": " << cores << ",\n"
+      << "  \"min_wall_ms\": " << min_wall.count() << ",\n"
+      << "  \"batch64_min_speedup\": " << batch64_min_speedup << ",\n"
+      << "  \"runs\": [\n"
+      << runs_json << "\n  ]\n}\n";
+  std::printf("JSON written to %s\n", out_path.c_str());
+  return 0;
+}

@@ -18,6 +18,10 @@
 //   --workload NAME  builtin workload (default mrpfltr)
 //   --samples N      samples per channel (default 256)
 //   --horizons K     fan-out width (default 8)
+//   --cohort N       fan the sweep out over N per-patient generator draws
+//                    (ecg/cohort.h); each patient keeps its own shared
+//                    warm-up prefix across the horizon fan-out (default 0)
+//   --cohort-seed S  master cohort seed (default 2024)
 //   --out PATH       output JSON path (default BENCH_warm_start.json)
 //   --shards N       also run the sweep through an on-disk work spool
 //                    split into N shards (default 0 = skip)
@@ -34,6 +38,7 @@
 #include <thread>
 #include <vector>
 
+#include "ecg/cohort.h"
 #include "scenario/report.h"
 #include "scenario/shard.h"
 
@@ -74,13 +79,31 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Optional cohort axis: each patient is its own identical-prefix group
+  // (patients differ in generator draws, so their warm-up prefixes differ),
+  // sharing one warm state across its horizon fan-out. The prefix length
+  // is calibrated once on the base parameters; per-patient run lengths stay
+  // close enough for the 3/4 split to hold.
+  const auto patients = static_cast<unsigned>(args.get_int("cohort", 0));
+  ecg::CohortParams cohort_params;
+  cohort_params.seed = static_cast<std::uint64_t>(
+      args.get_int("cohort-seed", static_cast<long>(cohort_params.seed)));
+
   std::vector<RunSpec> specs;
-  for (unsigned i = 0; i < horizons; ++i) {
-    RunSpec spec = probe;
-    spec.checkpoint_at = prefix;
-    // Horizons span (prefix, total]; the last one runs to completion.
-    spec.max_cycles = prefix + (total - prefix) * (i + 1) / horizons + 1;
-    specs.push_back(spec);
+  for (unsigned p = 0; p < std::max(1u, patients); ++p) {
+    RunSpec patient = probe;
+    if (patients != 0) {
+      patient.params.generator =
+          ecg::patient_params(cohort_params, probe.params.generator, p);
+      patient.cohort = CohortTag{cohort_params.seed, p, patients};
+    }
+    for (unsigned i = 0; i < horizons; ++i) {
+      RunSpec spec = patient;
+      spec.checkpoint_at = prefix;
+      // Horizons span (prefix, total]; the last one runs to completion.
+      spec.max_cycles = prefix + (total - prefix) * (i + 1) / horizons + 1;
+      specs.push_back(spec);
+    }
   }
 
   auto sweep = [&](bool warm) {
@@ -180,7 +203,12 @@ int main(int argc, char** argv) {
       << "  \"bench\": \"warm_start\",\n"
       << "  \"workload\": \"" << workload << "\",\n"
       << "  \"samples_per_channel\": " << params.samples << ",\n"
-      << "  \"horizons\": " << horizons << ",\n"
+      << "  \"horizons\": " << horizons << ",\n";
+  if (patients > 0) {
+    out << "  \"cohort\": " << patients << ",\n"
+        << "  \"cohort_seed\": " << cohort_params.seed << ",\n";
+  }
+  out
       << "  \"total_cycles\": " << total << ",\n"
       << "  \"prefix_cycles\": " << prefix << ",\n"
       << "  \"cold_wall_seconds\": " << cold.perf.wall_seconds << ",\n"

@@ -1,0 +1,46 @@
+#include "ecg/cohort.h"
+
+#include <algorithm>
+
+namespace ulpsync::ecg {
+
+namespace {
+
+/// splitmix64 finalizer — a full-avalanche 64-bit mix, so consecutive
+/// patient ids land on statistically independent RNG streams.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+double Dist::sample(util::Rng& rng) const {
+  // Always consume one gaussian so a frozen axis (stddev == 0) does not
+  // shift the draws of the fields after it.
+  const double g = rng.next_gaussian();
+  return std::clamp(mean + stddev * g, min, max);
+}
+
+GeneratorParams patient_params(const CohortParams& cohort,
+                               const GeneratorParams& base,
+                               std::uint64_t patient_id) {
+  util::Rng rng(mix64(cohort.seed) ^ mix64(patient_id + 1));
+  GeneratorParams params = base;
+  // Fixed draw order — part of the determinism contract.
+  params.heart_rate_bpm = cohort.heart_rate_bpm.sample(rng);
+  params.rr_jitter_fraction = cohort.rr_jitter_fraction.sample(rng);
+  params.amplitude_lsb = cohort.amplitude_lsb.sample(rng);
+  params.baseline_wander_lsb = cohort.baseline_wander_lsb.sample(rng);
+  params.noise_lsb = cohort.noise_lsb.sample(rng);
+  params.artifact_rate_hz = cohort.artifact_rate_hz.sample(rng);
+  params.artifact_lsb = cohort.artifact_lsb.sample(rng);
+  params.dropout_rate_hz = cohort.dropout_rate_hz.sample(rng);
+  params.dropout_s = cohort.dropout_s.sample(rng);
+  params.seed = rng.next_u64();
+  return params;
+}
+
+}  // namespace ulpsync::ecg

@@ -1,0 +1,62 @@
+#pragma once
+
+/// Parameterized patient-cohort generation over the synthetic ECG
+/// generator.
+///
+/// A `CohortParams` describes a *population*: truncated-normal
+/// distributions over heart rate, beat-to-beat variability, morphology
+/// amplitude, baseline wander, noise, motion-artifact and electrode-dropout
+/// rates. `patient_params` derives one concrete `GeneratorParams` per
+/// patient id, deterministically: the per-patient RNG is seeded from
+/// (cohort seed, patient id) alone, so patient 17 of cohort seed 99 has the
+/// same physiology whether it is simulated by the batch engine, the scalar
+/// engine, a `sweep_shard` worker on another machine, or a re-run next
+/// year. That per-patient determinism is what makes cohort sweeps
+/// shardable and their merged CSVs byte-identical.
+
+#include <cstdint>
+
+#include "ecg/generator.h"
+#include "util/rng.h"
+
+namespace ulpsync::ecg {
+
+/// Truncated normal distribution: `mean + stddev * N(0,1)` clamped to
+/// [min, max]. A zero stddev pins the value to `mean` (still clamped), so a
+/// cohort axis can be frozen without changing the draw sequence.
+struct Dist {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  /// One draw using the caller's RNG stream.
+  [[nodiscard]] double sample(util::Rng& rng) const;
+};
+
+/// Population distributions for one cohort. The defaults describe a
+/// plausible ambulatory adult population: resting-to-elevated heart rates,
+/// moderate HRV, lead-placement amplitude spread, respiration-band wander,
+/// occasional motion artifacts and rare electrode dropouts.
+struct CohortParams {
+  std::uint64_t seed = 2024;  ///< master cohort seed
+  Dist heart_rate_bpm{72.0, 14.0, 40.0, 180.0};
+  Dist rr_jitter_fraction{0.05, 0.02, 0.0, 0.25};
+  Dist amplitude_lsb{1024.0, 160.0, 256.0, 4096.0};
+  Dist baseline_wander_lsb{300.0, 90.0, 0.0, 1200.0};
+  Dist noise_lsb{20.0, 8.0, 0.0, 120.0};
+  Dist artifact_rate_hz{0.05, 0.03, 0.0, 1.0};
+  Dist artifact_lsb{400.0, 150.0, 0.0, 2000.0};
+  Dist dropout_rate_hz{0.01, 0.008, 0.0, 0.2};
+  Dist dropout_s{0.4, 0.2, 0.05, 2.0};
+};
+
+/// Derives patient `patient_id`'s generator parameters: `base` with the
+/// distributed fields replaced by per-patient draws and the generator seed
+/// replaced by a per-patient derived seed. Pure function of
+/// (cohort, base, patient_id).
+[[nodiscard]] GeneratorParams patient_params(const CohortParams& cohort,
+                                             const GeneratorParams& base,
+                                             std::uint64_t patient_id);
+
+}  // namespace ulpsync::ecg

@@ -27,6 +27,70 @@ constexpr Wave kWaves[] = {
     {0.32, 0.250, 0.065},    // T
 };
 
+/// Jittered-uniform event times covering [0, duration_s): successive gaps
+/// are uniform in [0.25, 1.75] / rate_hz, so the mean rate is `rate_hz`
+/// while stays deterministic and free of pathological zero-length gaps.
+std::vector<double> event_times(util::Rng& rng, double rate_hz,
+                                double duration_s) {
+  std::vector<double> times;
+  double t = (0.25 + 1.5 * rng.next_double()) / rate_hz;
+  while (t < duration_s) {
+    times.push_back(t);
+    t += (0.25 + 1.5 * rng.next_double()) / rate_hz;
+  }
+  return times;
+}
+
+std::int16_t clamp_sample(double value) {
+  return static_cast<std::int16_t>(
+      std::lround(std::clamp(value, -32768.0, 32767.0)));
+}
+
+/// Motion-artifact post-pass: adds short Gaussian bumps of random sign and
+/// amplitude up to `artifact_lsb` at jittered-uniform event times. Runs on
+/// the already-quantized samples from its own derived RNG stream, so the
+/// base generator's draws are untouched.
+void apply_artifacts(const GeneratorParams& params, unsigned channel,
+                     std::vector<std::int16_t>& samples) {
+  util::Rng rng(params.seed * 0x1000193u + channel * 0x9E3779B9u + 0xA57Au);
+  const double duration_s =
+      static_cast<double>(samples.size()) / params.sample_rate_hz;
+  constexpr double kSigmaS = 0.05;  // ~100 ms burst
+  for (double center : event_times(rng, params.artifact_rate_hz, duration_s)) {
+    const double amplitude =
+        params.artifact_lsb * (2.0 * rng.next_double() - 1.0);
+    const double lo_s = center - 4.0 * kSigmaS;
+    const double hi_s = center + 4.0 * kSigmaS;
+    const auto first = static_cast<std::size_t>(
+        std::max(0.0, std::floor(lo_s * params.sample_rate_hz)));
+    for (std::size_t i = first; i < samples.size(); ++i) {
+      const double ts = static_cast<double>(i) / params.sample_rate_hz;
+      if (ts > hi_s) break;
+      const double z = (ts - center) / kSigmaS;
+      samples[i] = clamp_sample(static_cast<double>(samples[i]) +
+                                amplitude * std::exp(-0.5 * z * z));
+    }
+  }
+}
+
+/// Electrode-dropout post-pass: forces samples in each dropout interval to
+/// 0 (a disconnected lead reads as flat baseline). Own derived RNG stream,
+/// same byte-identity guarantee as `apply_artifacts`.
+void apply_dropout(const GeneratorParams& params, unsigned channel,
+                   std::vector<std::int16_t>& samples) {
+  util::Rng rng(params.seed * 0x1000193u + channel * 0x9E3779B9u + 0xD120u);
+  const double duration_s =
+      static_cast<double>(samples.size()) / params.sample_rate_hz;
+  for (double start : event_times(rng, params.dropout_rate_hz, duration_s)) {
+    const auto first = static_cast<std::size_t>(
+        std::floor(start * params.sample_rate_hz));
+    const auto last = static_cast<std::size_t>(
+        std::floor((start + params.dropout_s) * params.sample_rate_hz));
+    for (std::size_t i = first; i < samples.size() && i <= last; ++i)
+      samples[i] = 0;
+  }
+}
+
 }  // namespace
 
 std::vector<std::int16_t> generate_channel(const GeneratorParams& params,
@@ -71,9 +135,12 @@ std::vector<std::int16_t> generate_channel(const GeneratorParams& params,
     value += params.baseline_wander_lsb *
              std::sin(2.0 * kPi * params.baseline_wander_hz * ts + wander_phase);
     value += params.noise_lsb * rng.next_gaussian();
-    const double clamped = std::clamp(value, -32768.0, 32767.0);
-    samples[i] = static_cast<std::int16_t>(std::lround(clamped));
+    samples[i] = clamp_sample(value);
   }
+  if (params.artifact_rate_hz > 0.0 && params.artifact_lsb > 0.0)
+    apply_artifacts(params, channel, samples);
+  if (params.dropout_rate_hz > 0.0 && params.dropout_s > 0.0)
+    apply_dropout(params, channel, samples);
   return samples;
 }
 

@@ -25,6 +25,18 @@ struct GeneratorParams {
   double baseline_wander_lsb = 300.0; ///< wander amplitude
   double baseline_wander_hz = 0.33;   ///< respiration-band wander
   double noise_lsb = 20.0;            ///< white noise sigma
+  /// Motion-artifact bursts: mean event rate and peak amplitude. Both must
+  /// be positive for the pass to run; the defaults disable it, keeping the
+  /// sample stream byte-identical to the pre-artifact generator. Artifacts
+  /// draw from their own derived RNG stream, so enabling them does not
+  /// perturb the base morphology/noise stream either.
+  double artifact_rate_hz = 0.0;
+  double artifact_lsb = 0.0;
+  /// Electrode dropout: mean event rate and per-event duration. Dropped
+  /// intervals read as a flat 0 (disconnected lead). Disabled by default
+  /// with the same byte-identity guarantee as artifacts.
+  double dropout_rate_hz = 0.0;
+  double dropout_s = 0.0;
   std::uint64_t seed = 42;
 };
 

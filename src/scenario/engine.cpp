@@ -26,10 +26,11 @@ std::string status_name(sim::RunResult::Status status) {
   return "?";
 }
 
-/// The platform configuration a spec resolves to — shared by cold runs and
-/// warm-up capture, so a warm snapshot is always taken on a platform
-/// prepared exactly like the one it will be restored into.
-sim::PlatformConfig spec_config(const RunSpec& spec, const Workload& workload) {
+}  // namespace
+
+// (See engine.h.)
+sim::PlatformConfig resolved_config(const RunSpec& spec,
+                                    const Workload& workload) {
   sim::PlatformConfig config = workload.base_config(spec.with_synchronizer());
   config.features = spec.design.features;
   if (spec.arbitration) config.arbitration = *spec.arbitration;
@@ -39,7 +40,35 @@ sim::PlatformConfig spec_config(const RunSpec& spec, const Workload& workload) {
   return config;
 }
 
-}  // namespace
+// (See engine.h.)
+void finish_record(RunRecord& record, const Workload& workload,
+                   const sim::Platform& platform, const sim::RunResult& result,
+                   double lockstep_fraction) {
+  record.status = status_name(result.status);
+  record.counters = platform.counters();
+  record.sync_stats = platform.sync_stats();
+  record.lockstep_fraction = lockstep_fraction;
+  record.useful_ops = workload.useful_ops(record.counters, record.sync_stats);
+  record.ops_per_cycle =
+      record.counters.cycles == 0
+          ? 0.0
+          : static_cast<double>(record.useful_ops) /
+                static_cast<double>(record.counters.cycles);
+  const power::EnergyParams energy_params =
+      record.spec.with_synchronizer() ? power::EnergyParams::synchronized()
+                                      : power::EnergyParams::baseline();
+  record.energy = power::energy_per_cycle(energy_params, record.counters,
+                                          record.sync_stats);
+  // Verify only runs whose platform reached a legal final state; a trap
+  // or an exhausted budget is itself the failure.
+  if (result.status == sim::RunResult::Status::kAllHalted ||
+      result.status == sim::RunResult::Status::kAllAsleep) {
+    record.verify_error = workload.verify(platform);
+  } else {
+    record.verify_error = result.to_string();
+  }
+  record.extra = workload.report(platform);
+}
 
 // (See engine.h.) Two specs with equal keys run bit-identically up to
 // their common `checkpoint_at` cycle, so they can share one warm-up
@@ -57,6 +86,8 @@ std::string warm_group_key(const RunSpec& spec) {
       << '|' << p.generator.rr_jitter_fraction << '|'
       << p.generator.amplitude_lsb << '|' << p.generator.baseline_wander_lsb
       << '|' << p.generator.baseline_wander_hz << '|' << p.generator.noise_lsb
+      << '|' << p.generator.artifact_rate_hz << '|' << p.generator.artifact_lsb
+      << '|' << p.generator.dropout_rate_hz << '|' << p.generator.dropout_s
       << '|' << p.generator.seed << '|' << spec.design.label << '|'
       << spec.design.features.hardware_synchronizer
       << spec.design.features.dxbar_pc_policy
@@ -69,16 +100,12 @@ std::string warm_group_key(const RunSpec& spec) {
   return key.str();
 }
 
-namespace {
-
-/// 64-bit ring identity of a spec (hash of its `warm_group_key`).
+// (See engine.h.)
 std::uint64_t ring_identity(const RunSpec& spec) {
   const std::string key = warm_group_key(spec);
   return fnv1a64({reinterpret_cast<const std::uint8_t*>(key.data()),
                   key.size()});
 }
-
-}  // namespace
 
 Engine::Engine(const Registry& registry, EngineOptions options)
     : registry_(&registry), options_(std::move(options)) {}
@@ -93,7 +120,7 @@ std::shared_ptr<const WarmState> Engine::capture_warm_state(
     const auto workload = registry_->make(spec.workload, spec.params);
     if (!workload->warm_startable()) return nullptr;
 
-    sim::Platform platform(spec_config(spec, *workload));
+    sim::Platform platform(resolved_config(spec, *workload));
     platform.load_program(workload->program(spec.with_synchronizer()));
     workload->load_inputs(platform);
 
@@ -124,7 +151,7 @@ RunRecord Engine::run_one_impl(const RunSpec& spec, const WarmState* warm,
   try {
     const auto workload = registry_->make(spec.workload, spec.params);
 
-    sim::Platform platform(spec_config(spec, *workload));
+    sim::Platform platform(resolved_config(spec, *workload));
     platform.load_program(workload->program(spec.with_synchronizer()));
     workload->load_inputs(platform);
 
@@ -168,30 +195,8 @@ RunRecord Engine::run_one_impl(const RunSpec& spec, const WarmState* warm,
       result = workload->drive(platform, spec.max_cycles);
     }
 
-    record.status = status_name(result.status);
-    record.counters = platform.counters();
-    record.sync_stats = platform.sync_stats();
-    record.lockstep_fraction = analyzer.metrics().lockstep_fraction();
-    record.useful_ops = workload->useful_ops(record.counters, record.sync_stats);
-    record.ops_per_cycle =
-        record.counters.cycles == 0
-            ? 0.0
-            : static_cast<double>(record.useful_ops) /
-                  static_cast<double>(record.counters.cycles);
-    const power::EnergyParams energy_params =
-        spec.with_synchronizer() ? power::EnergyParams::synchronized()
-                                 : power::EnergyParams::baseline();
-    record.energy = power::energy_per_cycle(energy_params, record.counters,
-                                            record.sync_stats);
-    // Verify only runs whose platform reached a legal final state; a trap
-    // or an exhausted budget is itself the failure.
-    if (result.status == sim::RunResult::Status::kAllHalted ||
-        result.status == sim::RunResult::Status::kAllAsleep) {
-      record.verify_error = workload->verify(platform);
-    } else {
-      record.verify_error = result.to_string();
-    }
-    record.extra = workload->report(platform);
+    finish_record(record, *workload, platform, result,
+                  analyzer.metrics().lockstep_fraction());
   } catch (const std::exception& error) {
     record.status = "error";
     record.verify_error = error.what();

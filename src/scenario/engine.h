@@ -41,6 +41,26 @@ struct WarmState {
 /// and the unit the sharded-sweep planner keeps on one shard.
 [[nodiscard]] std::string warm_group_key(const RunSpec& spec);
 
+/// 64-bit identity of a spec's deterministic prefix (hash of its
+/// `warm_group_key`) — what checkpoint-ring entries are validated against.
+[[nodiscard]] std::uint64_t ring_identity(const RunSpec& spec);
+
+/// The platform configuration a spec resolves to: the workload's base
+/// configuration with the spec's overrides applied. Shared by cold runs,
+/// warm-up capture and the batch engine, so a snapshot is always taken on a
+/// platform prepared exactly like the one it will be restored into.
+[[nodiscard]] sim::PlatformConfig resolved_config(const RunSpec& spec,
+                                                  const Workload& workload);
+
+/// Assembles the outcome fields of a finished run into `record` (status,
+/// counters, sync stats, lockstep fraction, useful ops, energy, verify,
+/// report). `record.spec` must already be set. Shared by the scalar engine
+/// and the batch engine so records are assembled identically no matter
+/// which engine executed the run.
+void finish_record(RunRecord& record, const Workload& workload,
+                   const sim::Platform& platform, const sim::RunResult& result,
+                   double lockstep_fraction);
+
 /// Configuration of the engine's *checkpoint ring* (crash-resumable runs;
 /// implementation in scenario/checkpoint_ring.h). When enabled, every run
 /// of a checkpointable workload periodically snapshots its complete state

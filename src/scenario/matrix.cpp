@@ -54,6 +54,12 @@ Matrix& Matrix::max_cycles(std::uint64_t budget) {
   return *this;
 }
 
+Matrix& Matrix::cohort(unsigned patients, const ecg::CohortParams& params) {
+  cohort_patients_ = patients;
+  cohort_params_ = params;
+  return *this;
+}
+
 namespace {
 
 /// An unset (empty) axis contributes one pass-through element that keeps
@@ -77,7 +83,7 @@ std::size_t Matrix::size() const {
   const std::size_t designs = designs_.empty() ? 2 : designs_.size();
   return workloads_.size() * designs * axis_size(num_cores_.size()) *
          axis_size(samples_.size()) * axis_size(arbitration_.size()) *
-         axis_size(im_line_slots_.size());
+         axis_size(im_line_slots_.size()) * axis_size(cohort_patients_);
 }
 
 std::vector<RunSpec> Matrix::expand() const {
@@ -99,16 +105,26 @@ std::vector<RunSpec> Matrix::expand() const {
         for (const auto sample_count : samples) {
           for (const auto& policy : arbitration) {
             for (const auto& line : lines) {
-              RunSpec spec;
-              spec.workload = workload;
-              spec.params = base_params_;
-              if (core_count) spec.params.num_channels = *core_count;
-              if (sample_count) spec.params.samples = *sample_count;
-              spec.design = design;
-              spec.arbitration = policy;
-              spec.im_line_slots = line;
-              spec.max_cycles = max_cycles_;
-              specs.push_back(std::move(spec));
+              const std::uint64_t patients =
+                  cohort_patients_ == 0 ? 1 : cohort_patients_;
+              for (std::uint64_t patient = 0; patient < patients; ++patient) {
+                RunSpec spec;
+                spec.workload = workload;
+                spec.params = base_params_;
+                if (core_count) spec.params.num_channels = *core_count;
+                if (sample_count) spec.params.samples = *sample_count;
+                spec.design = design;
+                spec.arbitration = policy;
+                spec.im_line_slots = line;
+                spec.max_cycles = max_cycles_;
+                if (cohort_patients_ != 0) {
+                  spec.params.generator = ecg::patient_params(
+                      cohort_params_, base_params_.generator, patient);
+                  spec.cohort = CohortTag{cohort_params_.seed, patient,
+                                          cohort_patients_};
+                }
+                specs.push_back(std::move(spec));
+              }
             }
           }
         }

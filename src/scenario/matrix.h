@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "ecg/cohort.h"
 #include "scenario/spec.h"
 
 namespace ulpsync::scenario {
@@ -47,6 +48,13 @@ class Matrix {
   Matrix& im_line_slots(std::vector<unsigned> lines);
   /// Cycle budget applied to every expanded spec.
   Matrix& max_cycles(std::uint64_t budget);
+  /// Patient-cohort axis, expanded innermost: every design/core/sample
+  /// point fans out to `patients` specs whose generator parameters are the
+  /// per-patient draws of `params` (see ecg/cohort.h) over the base
+  /// generator. 0 disables the axis. The fan-out is a pure function of
+  /// (params.seed, patient id), so `sweep_shard plan` and `run` expand to
+  /// identical specs on different machines.
+  Matrix& cohort(unsigned patients, const ecg::CohortParams& params = {});
 
   /// Number of specs `expand()` will produce.
   [[nodiscard]] std::size_t size() const;
@@ -65,6 +73,8 @@ class Matrix {
   std::vector<sim::ArbitrationPolicy> arbitration_;
   std::vector<unsigned> im_line_slots_;
   std::uint64_t max_cycles_ = 500'000'000;
+  unsigned cohort_patients_ = 0;  ///< 0 = cohort axis unset
+  ecg::CohortParams cohort_params_{};
 };
 
 }  // namespace ulpsync::scenario

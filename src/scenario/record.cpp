@@ -156,6 +156,12 @@ const std::vector<FieldDef>& field_table() {
       FIELD_DOUBLE("gen_wander_lsb", spec.params.generator.baseline_wander_lsb),
       FIELD_DOUBLE("gen_wander_hz", spec.params.generator.baseline_wander_hz),
       FIELD_DOUBLE("gen_noise_lsb", spec.params.generator.noise_lsb),
+      FIELD_DOUBLE("gen_artifact_rate_hz",
+                   spec.params.generator.artifact_rate_hz),
+      FIELD_DOUBLE("gen_artifact_lsb", spec.params.generator.artifact_lsb),
+      FIELD_DOUBLE("gen_dropout_rate_hz",
+                   spec.params.generator.dropout_rate_hz),
+      FIELD_DOUBLE("gen_dropout_s", spec.params.generator.dropout_s),
       FIELD_U64("gen_seed", spec.params.generator.seed),
       {"arbitration", true,
        [](const RunRecord& r) -> std::string {

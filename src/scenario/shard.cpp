@@ -24,7 +24,7 @@ namespace fs = std::filesystem;
 namespace {
 
 constexpr std::uint8_t kBundleMagic[8] = {'U', 'L', 'P', 'S', 'P', 'O', 'L', '\n'};
-constexpr std::uint32_t kBundleVersion = 1;
+constexpr std::uint32_t kBundleVersion = 2;
 constexpr std::string_view kManifestHeader = "ulpsync-spool v1";
 constexpr std::uint32_t kNoWarmRef = 0xFFFFFFFFu;
 
@@ -70,7 +70,8 @@ void encode_spec(util::WireWriter& w, const RunSpec& spec) {
   for (const double value :
        {g.sample_rate_hz, g.heart_rate_bpm, g.rr_jitter_fraction,
         g.amplitude_lsb, g.baseline_wander_lsb, g.baseline_wander_hz,
-        g.noise_lsb}) {
+        g.noise_lsb, g.artifact_rate_hz, g.artifact_lsb, g.dropout_rate_hz,
+        g.dropout_s}) {
     w.u64(std::bit_cast<std::uint64_t>(value));
   }
   w.u64(g.seed);
@@ -110,7 +111,8 @@ RunSpec decode_spec(util::WireReader& r) {
   for (double* value :
        {&g.sample_rate_hz, &g.heart_rate_bpm, &g.rr_jitter_fraction,
         &g.amplitude_lsb, &g.baseline_wander_lsb, &g.baseline_wander_hz,
-        &g.noise_lsb}) {
+        &g.noise_lsb, &g.artifact_rate_hz, &g.artifact_lsb,
+        &g.dropout_rate_hz, &g.dropout_s}) {
     *value = std::bit_cast<double>(r.u64());
   }
   g.seed = r.u64();

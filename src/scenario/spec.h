@@ -41,10 +41,24 @@ struct DesignVariant {
   }
 };
 
+/// Identifies which patient of which cohort a spec was fanned out for.
+/// Purely informational: the patient's actual physiology is already baked
+/// into `params.generator` by the cohort expansion, so execution ignores
+/// the tag and CSV bytes stay identical whether a spec arrived via
+/// `Matrix::cohort`, was hand-built, or round-tripped through a shard
+/// bundle (the tag is not serialized).
+struct CohortTag {
+  std::uint64_t seed = 0;      ///< master cohort seed
+  std::uint64_t patient = 0;   ///< patient id within the cohort
+  std::uint64_t patients = 0;  ///< cohort size
+};
+
 /// One fully resolved simulation run (see the file comment).
 struct RunSpec {
   std::string workload;  ///< registry name
   WorkloadParams params;
+  /// Set when this spec is one patient of a cohort fan-out (see CohortTag).
+  std::optional<CohortTag> cohort;
   DesignVariant design = DesignVariant::synchronized();
   /// Overrides of the workload's base platform configuration; empty keeps
   /// the workload's (i.e. the paper's) defaults.

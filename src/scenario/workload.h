@@ -12,6 +12,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -53,6 +55,94 @@ class CheckpointSink {
   virtual void offer(sim::Platform& platform,
                      const std::vector<std::uint64_t>& host_words) = 0;
 };
+
+/// Destination of one deposited data-memory word (a `Platform::dm_write`
+/// bound to a platform instance, or a write into a batch lane's private DM
+/// image — see sim/batch/).
+using DmWriteFn = std::function<void(std::uint32_t addr, std::uint16_t word)>;
+
+/// Destination of one contiguous run of deposited data-memory words,
+/// starting at `addr`. The bulk counterpart of `DmWriteFn`: a batched
+/// cohort deposits the same windows into hundreds of lane memories, where
+/// per-word closure dispatch dominates the copy itself.
+using DmWriteBlockFn =
+    std::function<void(std::uint32_t addr, std::span<const std::uint16_t>)>;
+
+/// Structural description of a *duty-cycled windowed* host loop — the
+/// deployment mode the platform is built for: run to the initial sleep,
+/// then per acquisition window deposit fresh samples, wake every core by
+/// interrupt, and run until the group sleeps again.
+///
+/// A workload that exposes this interface (`Workload::windowed_drive`)
+/// declares that its entire host loop is the generic `drive_windowed` below
+/// over these hooks. That makes the loop *externally steppable*: the batch
+/// engine can interleave many independent platform instances window by
+/// window, and a lane that falls out of the batch resumes scalar execution
+/// at any window boundary — bit-identically, because scalar runs use the
+/// very same sequencing.
+///
+/// Contract: all lane-varying data (anything derived from
+/// `params.generator`) must flow through `deposit`; `Workload::load_inputs`
+/// must write the same words for every spec that differs only in generator
+/// parameters. Host-side progress is exactly the two words returned by
+/// `host_words()` — {windows completed, busy cycles} — so any window
+/// boundary plus those words is a complete resume point.
+class WindowedDrive {
+ public:
+  virtual ~WindowedDrive() = default;
+
+  /// Number of acquisition windows in the run.
+  [[nodiscard]] virtual unsigned windows() const = 0;
+
+  /// Cycle bound for the cold prologue (reset to the first sleep).
+  [[nodiscard]] virtual std::uint64_t initial_bound() const { return 100'000; }
+
+  /// Per-window cycle budget (bound on one wake-process-sleep burst).
+  [[nodiscard]] virtual std::uint64_t window_budget() const {
+    return 10'000'000;
+  }
+
+  /// Writes window `window`'s fresh samples through `write`.
+  virtual void deposit(unsigned window, const DmWriteFn& write) const = 0;
+
+  /// Writes window `window`'s fresh samples as contiguous runs. Same words
+  /// as `deposit` (addresses may arrive in a different order — window
+  /// deposits never overlap, so the final memory image is identical);
+  /// workloads whose windows are dense per-channel runs override this so a
+  /// batched cohort can block-copy into lane memories. The default adapts
+  /// `deposit` one word at a time.
+  virtual void deposit_blocks(unsigned window,
+                              const DmWriteBlockFn& write) const {
+    deposit(window, [&write](std::uint32_t addr, std::uint16_t word) {
+      write(addr, {&word, 1});
+    });
+  }
+
+  /// Restores host-side progress from checkpoint words ({windows completed,
+  /// busy cycles}); an empty span resets to a cold start.
+  virtual void adopt_host_words(std::span<const std::uint64_t> words) const = 0;
+
+  /// Current host-side progress, as the words `adopt_host_words` accepts.
+  [[nodiscard]] virtual std::vector<std::uint64_t> host_words() const = 0;
+
+  /// Accounts one completed window that kept the cores busy for
+  /// `busy_cycles` cycles.
+  virtual void note_window(std::uint64_t busy_cycles) const = 0;
+};
+
+/// Runs a windowed workload's host loop on one platform. With
+/// `resume_window` unset this is a cold start: host words are reset and the
+/// platform runs to its initial sleep. With `resume_window = w` the
+/// platform must already be at the all-asleep boundary of window `w` with
+/// host words adopted (a checkpoint restore, or a batch lane falling back
+/// to scalar execution); the loop continues from window `w`. When `sink`
+/// is non-null, every completed all-asleep window boundary is offered as a
+/// checkpoint together with `drive.host_words()`.
+sim::RunResult drive_windowed(const WindowedDrive& drive,
+                              sim::Platform& platform,
+                              std::uint64_t max_cycles,
+                              std::optional<unsigned> resume_window = {},
+                              CheckpointSink* sink = nullptr);
 
 /// One runnable program with its host-side hooks (see the file comment).
 class Workload {
@@ -145,6 +235,14 @@ class Workload {
       if (platform.counters().cycles >= max_cycles) return result;
       sink.offer(platform, {});
     }
+  }
+
+  /// Structural view of this workload's host loop when it is a duty-cycled
+  /// window loop (see `WindowedDrive`); null for every other drive shape.
+  /// Non-null is what makes a workload eligible for the batch engine
+  /// (scenario/batch.h).
+  [[nodiscard]] virtual const WindowedDrive* windowed_drive() const {
+    return nullptr;
   }
 
   /// Workload-specific outputs harvested after the run (key/value pairs,

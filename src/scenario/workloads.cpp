@@ -1,11 +1,15 @@
 #include "scenario/workloads.h"
 
 #include <algorithm>
+#include <bit>
 #include <cctype>
+#include <memory>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 
 #include "core/instrument.h"
 #include "ecg/generator.h"
@@ -331,13 +335,219 @@ AsmWorkloadDesc bandcount_desc(const WorkloadParams& params,
   return desc;
 }
 
+// --- windowed workloads: the duty-cycled deployment mode ---------------------
+// Process one acquisition window, sleep, wake on the sample-ready interrupt.
+// All of them share the WindowedDrive host loop (see workload.h), which is
+// what makes them batchable: the batch engine steps many instances window by
+// window against the same program, and any instance can fall back to this
+// scalar loop at a window boundary with bit-identical results.
+
+/// Samples are deposited rescaled to [0, 255] so window sums stay within a
+/// 16-bit register and all comparisons are unambiguous under signed flags.
+std::uint16_t stream_encode(std::int16_t sample) {
+  const int shifted = std::clamp(2048 + static_cast<int>(sample), 0, 4095);
+  return static_cast<std::uint16_t>(shifted / 16);
+}
+
+/// Process-wide memo of encoded channel streams. A stream is a pure
+/// function of (generator parameters, channel, length), and cohort work
+/// regenerates the same streams many times per process — the scalar/batch
+/// differential pair, bench repetitions, checkpoint-resume re-runs — while
+/// generation itself (exp-heavy beat morphology per sample) dominates
+/// short runs. Sharing the encoded vectors is therefore safe and pays for
+/// itself immediately. The cache clears wholesale when it outgrows its
+/// budget instead of evicting piecemeal: a soak over ever-fresh cohorts
+/// would otherwise pin unbounded memory, and regeneration is always
+/// correct.
+class EncodedStreamCache {
+ public:
+  static std::shared_ptr<const std::vector<std::uint16_t>> get(
+      const ecg::GeneratorParams& params, unsigned channel,
+      std::size_t total) {
+    static EncodedStreamCache cache;
+    std::string key = make_key(params, channel, total);
+    {
+      const std::lock_guard<std::mutex> lock(cache.mutex_);
+      const auto it = cache.entries_.find(key);
+      if (it != cache.entries_.end()) return it->second;
+    }
+    // Generate outside the lock; a racing duplicate costs one regeneration
+    // and resolves to identical bytes.
+    const auto raw = ecg::generate_channel(params, channel, total);
+    auto encoded = std::make_shared<std::vector<std::uint16_t>>(total);
+    for (std::size_t i = 0; i < total; ++i) {
+      (*encoded)[i] = stream_encode(raw[i]);
+    }
+    std::shared_ptr<const std::vector<std::uint16_t>> value =
+        std::move(encoded);
+    const std::lock_guard<std::mutex> lock(cache.mutex_);
+    cache.bytes_ += total * sizeof(std::uint16_t);
+    if (cache.bytes_ > kMaxBytes) {
+      cache.entries_.clear();
+      cache.bytes_ = total * sizeof(std::uint16_t);
+    }
+    cache.entries_.emplace(std::move(key), value);
+    return value;
+  }
+
+ private:
+  static constexpr std::size_t kMaxBytes = 64ull << 20;
+
+  /// The full value-defining tuple, doubles as exact bit patterns.
+  static std::string make_key(const ecg::GeneratorParams& p, unsigned channel,
+                              std::size_t total) {
+    const std::uint64_t words[] = {
+        std::bit_cast<std::uint64_t>(p.sample_rate_hz),
+        std::bit_cast<std::uint64_t>(p.heart_rate_bpm),
+        std::bit_cast<std::uint64_t>(p.rr_jitter_fraction),
+        std::bit_cast<std::uint64_t>(p.amplitude_lsb),
+        std::bit_cast<std::uint64_t>(p.baseline_wander_lsb),
+        std::bit_cast<std::uint64_t>(p.baseline_wander_hz),
+        std::bit_cast<std::uint64_t>(p.noise_lsb),
+        std::bit_cast<std::uint64_t>(p.artifact_rate_hz),
+        std::bit_cast<std::uint64_t>(p.artifact_lsb),
+        std::bit_cast<std::uint64_t>(p.dropout_rate_hz),
+        std::bit_cast<std::uint64_t>(p.dropout_s),
+        p.seed,
+        channel,
+        total,
+    };
+    return {reinterpret_cast<const char*>(words), sizeof(words)};
+  }
+
+  std::mutex mutex_;
+  std::unordered_map<std::string,
+                     std::shared_ptr<const std::vector<std::uint16_t>>>
+      entries_;
+  std::size_t bytes_ = 0;
+};
+
+/// Common machinery of the duty-cycled window workloads: the per-channel
+/// encoded sample cache, the deposit loop, and the {windows completed, busy
+/// cycles} host-word bookkeeping of the WindowedDrive contract. Subclasses
+/// supply the program, the window geometry and the verifier.
+class WindowedWorkloadBase : public Workload, public WindowedDrive {
+ public:
+  [[nodiscard]] unsigned num_cores() const override {
+    return params_.num_channels;
+  }
+  void load_inputs(sim::Platform& platform) const override { (void)platform; }
+
+  /// The window loop keeps host-side state (deposited windows, busy-cycle
+  /// accounting) that a platform snapshot cannot capture...
+  [[nodiscard]] bool warm_startable() const override { return false; }
+  /// ... but that state is exactly the two host words carried by the
+  /// WindowedDrive contract, so these workloads are ring-checkpointable.
+  [[nodiscard]] bool checkpointable() const override { return true; }
+
+  [[nodiscard]] const WindowedDrive* windowed_drive() const override {
+    return this;
+  }
+
+  sim::RunResult drive(sim::Platform& platform,
+                       std::uint64_t max_cycles) const override {
+    return drive_windowed(*this, platform, max_cycles);
+  }
+
+  /// Checkpoint-cooperating drive: offers the platform to the ring after
+  /// each completed window — every core is asleep there, so the snapshot
+  /// plus the host words is the run's complete state — and resumes
+  /// mid-soak from those words.
+  sim::RunResult drive(sim::Platform& platform, std::uint64_t max_cycles,
+                       CheckpointSink& sink,
+                       std::span<const std::uint64_t> resume_host_words)
+      const override {
+    std::optional<unsigned> resume;
+    if (resume_host_words.size() == 2) {
+      // The platform was restored from a window-boundary checkpoint: all
+      // cores asleep, `resume_host_words[0]` windows already processed.
+      adopt_host_words(resume_host_words);
+      resume = windows_run_;
+    }
+    return drive_windowed(*this, platform, max_cycles, resume, &sink);
+  }
+
+  // WindowedDrive:
+  [[nodiscard]] unsigned windows() const override {
+    return std::max(1u, params_.samples / window_length());
+  }
+  void deposit(unsigned window, const DmWriteFn& write) const override {
+    for (unsigned c = 0; c < num_cores(); ++c) {
+      const auto& samples = channel_samples(c);
+      for (unsigned i = 0; i < window_length(); ++i) {
+        write(channel_base(c) + i, samples[window * window_length() + i]);
+      }
+    }
+  }
+  void deposit_blocks(unsigned window,
+                      const DmWriteBlockFn& write) const override {
+    for (unsigned c = 0; c < num_cores(); ++c) {
+      write(channel_base(c),
+            std::span(channel_samples(c))
+                .subspan(static_cast<std::size_t>(window) * window_length(),
+                         window_length()));
+    }
+  }
+  void adopt_host_words(std::span<const std::uint64_t> words) const override {
+    if (words.size() == 2) {
+      windows_run_ = static_cast<unsigned>(words[0]);
+      busy_cycles_ = words[1];
+    } else {
+      windows_run_ = 0;
+      busy_cycles_ = 0;
+    }
+  }
+  [[nodiscard]] std::vector<std::uint64_t> host_words() const override {
+    return {windows_run_, busy_cycles_};
+  }
+  void note_window(std::uint64_t busy_cycles) const override {
+    busy_cycles_ += busy_cycles;
+    ++windows_run_;
+  }
+
+ protected:
+  explicit WindowedWorkloadBase(const WorkloadParams& params)
+      : params_(params) {}
+
+  /// Samples per acquisition window.
+  [[nodiscard]] virtual unsigned window_length() const = 0;
+  /// First DM word of a core's private channel buffer.
+  [[nodiscard]] virtual std::uint32_t channel_base(unsigned core) const = 0;
+
+  /// The channel's whole encoded stream, shared through the process-wide
+  /// memo (the generator is deterministic, so verify sees the deposited
+  /// values and every instance of the same parameters sees the same bytes).
+  [[nodiscard]] const std::vector<std::uint16_t>& channel_samples(
+      unsigned channel) const {
+    if (encoded_.empty()) encoded_.resize(num_cores());
+    auto& cache = encoded_[channel];
+    if (!cache) {
+      const std::size_t total =
+          static_cast<std::size_t>(windows()) * window_length();
+      cache = EncodedStreamCache::get(params_.generator, channel, total);
+    }
+    return *cache;
+  }
+
+  WorkloadParams params_;
+  // Per-run host-loop state; the engine creates one workload instance per
+  // run, so these are only ever touched by that run's thread.
+  mutable std::vector<std::shared_ptr<const std::vector<std::uint16_t>>>
+      encoded_;
+  mutable std::uint64_t busy_cycles_ = 0;
+  mutable unsigned windows_run_ = 0;
+};
+
 // --- streaming: the duty-cycled window monitor ------------------------------
-// The deployment mode the platform is built for: process one acquisition
-// window, sleep, wake on the sample-ready interrupt. Per window: detrend the
-// channel by its window mean, then count threshold crossings with a
-// refractory skip (the data-dependent scan is the divergence source).
+// Per window: detrend the channel by its window mean, then count threshold
+// crossings. The classic shape scans with a refractory skip — the
+// data-dependent branch is the paper's divergence source. The `.uniform`
+// shape computes the same kind of statistic branchlessly (power-of-two
+// window, sign-bit arithmetic), so its retirement traces are identical on
+// every input — the batch-friendly streaming monitor.
 
 constexpr unsigned kStreamWindow = 125;  ///< samples per window (0.5 s @ 250 Hz)
+constexpr unsigned kStreamUniformWindow = 128;  ///< power of two: mean is a shift
 constexpr unsigned kStreamThresholdDelta = 25;
 constexpr std::uint16_t kStreamResultBase = 0x900;
 
@@ -393,108 +603,85 @@ scan_done:
     bra  forever
 )";
 
-/// Samples are deposited rescaled to [0, 255] so window sums stay within a
-/// 16-bit register and all comparisons are unambiguous under signed flags.
-std::uint16_t stream_encode(std::int16_t sample) {
-  const int shifted = std::clamp(2048 + static_cast<int>(sample), 0, 4095);
-  return static_cast<std::uint16_t>(shifted / 16);
-}
+/// Branchless variant of the monitor: mean by shift (128-sample window),
+/// threshold comparison folded into sign-bit arithmetic. No data-dependent
+/// control flow, so every lane of a batch retires the same trace.
+constexpr std::string_view kStreamingUniformSource = R"(
+    csrr r1, #0
+    addi r4, r1, 2
+    movi r5, 11
+    sll  r3, r4, r5       ; channel base
+    movi r2, 128          ; window length (power of two)
+    movi r7, 0x900        ; shared result block
+forever:
+    sleep                 ; wait for the sample-ready interrupt
+; --- window mean (uniform counted loop) ---
+    movi r8, 0            ; i
+    movi r9, 0            ; acc
+mean_loop:
+    ldx  r10, [r3+r8]
+    add  r9, r9, r10
+    addi r8, r8, 1
+    cmp  r8, r2
+    blt  mean_loop
+    srli r11, r9, 7       ; mean = acc / 128
+    addi r13, r11, 25     ; threshold = mean + delta
+; --- branchless threshold count ---
+    movi r8, 0
+    movi r12, 0           ; count
+count_loop:
+    ldx  r10, [r3+r8]
+    sub  r14, r10, r13
+    srli r14, r14, 15     ; sign bit: 1 when sample < threshold
+    xori r14, r14, 1      ; ... so 1 when sample >= threshold
+    add  r12, r12, r14
+    addi r8, r8, 1
+    cmp  r8, r2
+    blt  count_loop
+    stx  r12, [r7+r1]     ; publish the count
+    bra  forever
+)";
 
-class StreamingWorkload final : public Workload {
+class StreamingWorkload final : public WindowedWorkloadBase {
  public:
-  explicit StreamingWorkload(const WorkloadParams& params) : params_(params) {
+  /// Control-flow shape of the per-window kernel (see the section comment).
+  enum class Shape { kClassic, kUniform };
+
+  StreamingWorkload(const WorkloadParams& params, Shape shape)
+      : WindowedWorkloadBase(params), shape_(shape) {
+    const std::string_view source =
+        shape_ == Shape::kClassic ? kStreamingSource : kStreamingUniformSource;
+    const std::string_view what = name();
     plain_ = assemble_or_throw(
-        kernels::preprocess_sync_markers(kStreamingSource, false), "streaming");
+        kernels::preprocess_sync_markers(source, false), what);
     instrumented_ = assemble_or_throw(
-        kernels::preprocess_sync_markers(kStreamingSource, true), "streaming");
+        kernels::preprocess_sync_markers(source, true), what);
   }
 
-  [[nodiscard]] std::string_view name() const override { return "streaming"; }
-  [[nodiscard]] unsigned num_cores() const override {
-    return params_.num_channels;
+  [[nodiscard]] std::string_view name() const override {
+    return shape_ == Shape::kClassic ? "streaming" : "streaming.uniform";
   }
   [[nodiscard]] const assembler::Program& program(
       bool instrumented) const override {
     return instrumented ? instrumented_ : plain_;
   }
-  void load_inputs(sim::Platform& platform) const override { (void)platform; }
-
-  /// The drive loop below keeps host-side state (deposited windows, busy
-  /// cycle accounting) that a platform snapshot cannot capture.
-  [[nodiscard]] bool warm_startable() const override { return false; }
-
-  /// ... but the checkpointed drive overload carries that state as host
-  /// words (window count, busy cycles) at window boundaries, so streaming
-  /// soaks are ring-checkpointable even though they are not warm-startable.
-  [[nodiscard]] bool checkpointable() const override { return true; }
-
-  [[nodiscard]] unsigned windows() const {
-    return std::max(1u, params_.samples / kStreamWindow);
-  }
-
-  /// Host loop of the duty-cycled deployment: run to the initial sleep,
-  /// then per window deposit fresh samples, wake every core by interrupt,
-  /// and run until the group checks out and sleeps again. The run ends
-  /// all-asleep by design.
-  sim::RunResult drive(sim::Platform& platform,
-                       std::uint64_t max_cycles) const override {
-    busy_cycles_ = 0;
-    windows_run_ = 0;
-    auto result = platform.run(std::min<std::uint64_t>(max_cycles, 100'000));
-    for (unsigned w = 0; w < windows(); ++w) {
-      if (result.status != sim::RunResult::Status::kAllAsleep) return result;
-      result = run_window(platform, w, max_cycles);
-    }
-    return result;
-  }
-
-  /// Checkpoint-cooperating drive: offers the platform to the ring after
-  /// each completed window — every core is asleep there, so the snapshot
-  /// plus {windows_run_, busy_cycles_} is the run's complete state — and
-  /// resumes mid-soak from those words.
-  sim::RunResult drive(sim::Platform& platform, std::uint64_t max_cycles,
-                       CheckpointSink& sink,
-                       std::span<const std::uint64_t> resume_host_words)
-      const override {
-    sim::RunResult result;
-    unsigned start_window = 0;
-    if (resume_host_words.size() == 2) {
-      // The platform was restored from a window-boundary checkpoint: all
-      // cores asleep, `resume_host_words[0]` windows already processed.
-      windows_run_ = static_cast<unsigned>(resume_host_words[0]);
-      busy_cycles_ = resume_host_words[1];
-      start_window = windows_run_;
-      result.status = sim::RunResult::Status::kAllAsleep;
-      result.cycles = platform.counters().cycles;
-    } else {
-      busy_cycles_ = 0;
-      windows_run_ = 0;
-      result = platform.run(std::min<std::uint64_t>(max_cycles, 100'000));
-    }
-    for (unsigned w = start_window; w < windows(); ++w) {
-      if (result.status != sim::RunResult::Status::kAllAsleep) return result;
-      result = run_window(platform, w, max_cycles);
-      if (result.status == sim::RunResult::Status::kAllAsleep) {
-        sink.offer(platform, {windows_run_, busy_cycles_});
-      }
-    }
-    return result;
-  }
 
   [[nodiscard]] std::string verify(const sim::Platform& platform) const override {
     if (windows_run_ != windows()) {
-      return "streaming: only " + std::to_string(windows_run_) + " of " +
-             std::to_string(windows()) + " windows completed";
+      return std::string(name()) + ": only " + std::to_string(windows_run_) +
+             " of " + std::to_string(windows()) + " windows completed";
     }
-    // Check the published crossing counts of the final window against the
-    // host-side mirror of the kernel.
+    // Check the published counts of the final window against the host-side
+    // mirror of the kernel.
     const unsigned last = windows() - 1;
     for (unsigned c = 0; c < num_cores(); ++c) {
-      const unsigned expected = expected_crossings(c, last);
+      const unsigned expected = shape_ == Shape::kClassic
+                                    ? expected_crossings(c, last)
+                                    : expected_uniform_count(c, last);
       const std::uint16_t got = platform.dm_read(kStreamResultBase + c);
       if (got != expected) {
         std::ostringstream err;
-        err << "streaming channel " << c << ": got " << got
+        err << name() << " channel " << c << ": got " << got
             << " crossings, expected " << expected;
         return err.str();
       }
@@ -516,46 +703,15 @@ class StreamingWorkload final : public Workload {
     return out;
   }
 
+ protected:
+  [[nodiscard]] unsigned window_length() const override {
+    return shape_ == Shape::kClassic ? kStreamWindow : kStreamUniformWindow;
+  }
+  [[nodiscard]] std::uint32_t channel_base(unsigned core) const override {
+    return kernels::channel_base(core);
+  }
+
  private:
-  /// One acquisition window of the host loop: deposit fresh samples, wake
-  /// every core, run until the group sleeps again (shared by both drives).
-  sim::RunResult run_window(sim::Platform& platform, unsigned window,
-                            std::uint64_t max_cycles) const {
-    deposit_window(platform, window);
-    const std::uint64_t before = platform.counters().cycles;
-    platform.interrupt_all();
-    const auto result = platform.run(std::min(max_cycles, before + 10'000'000));
-    busy_cycles_ += platform.counters().cycles - before;
-    ++windows_run_;
-    return result;
-  }
-
-  /// The channel's whole encoded stream, generated once and cached (the
-  /// generator is deterministic, so verify sees the deposited bytes).
-  [[nodiscard]] const std::vector<std::uint16_t>& channel_samples(
-      unsigned channel) const {
-    if (encoded_.empty()) encoded_.resize(num_cores());
-    auto& cache = encoded_[channel];
-    if (cache.empty()) {
-      const std::size_t total =
-          static_cast<std::size_t>(windows()) * kStreamWindow;
-      const auto raw = ecg::generate_channel(params_.generator, channel, total);
-      cache.resize(total);
-      for (std::size_t i = 0; i < total; ++i) cache[i] = stream_encode(raw[i]);
-    }
-    return cache;
-  }
-
-  void deposit_window(sim::Platform& platform, unsigned window) const {
-    for (unsigned c = 0; c < num_cores(); ++c) {
-      const auto& samples = channel_samples(c);
-      for (unsigned i = 0; i < kStreamWindow; ++i) {
-        platform.dm_write(kernels::channel_base(c) + i,
-                          samples[window * kStreamWindow + i]);
-      }
-    }
-  }
-
   [[nodiscard]] unsigned expected_crossings(unsigned channel,
                                             unsigned window) const {
     const auto& stream = channel_samples(channel);
@@ -576,14 +732,24 @@ class StreamingWorkload final : public Workload {
     return crossings;
   }
 
-  WorkloadParams params_;
+  [[nodiscard]] unsigned expected_uniform_count(unsigned channel,
+                                                unsigned window) const {
+    const auto& stream = channel_samples(channel);
+    const auto* samples = stream.data() + window * kStreamUniformWindow;
+    unsigned sum = 0;
+    for (unsigned i = 0; i < kStreamUniformWindow; ++i) sum += samples[i];
+    const unsigned threshold =
+        (sum >> 7) + kStreamThresholdDelta;  // mean of 128 + delta
+    unsigned count = 0;
+    for (unsigned i = 0; i < kStreamUniformWindow; ++i) {
+      count += samples[i] >= threshold;
+    }
+    return count;
+  }
+
+  Shape shape_;
   assembler::Program plain_;
   assembler::Program instrumented_;
-  // Per-run host-loop state; the engine creates one workload instance per
-  // run, so these are only ever touched by that run's thread.
-  mutable std::vector<std::vector<std::uint16_t>> encoded_;
-  mutable std::uint64_t busy_cycles_ = 0;
-  mutable unsigned windows_run_ = 0;
 };
 
 // --- sleepgen: the wide-platform duty-cycled scaling workload ----------------
@@ -648,9 +814,10 @@ std::uint16_t sleepgen_feature(std::uint16_t x) {
   return static_cast<std::uint16_t>(r12 & 0x7FF);
 }
 
-class SleepGenWorkload final : public Workload {
+class SleepGenWorkload final : public WindowedWorkloadBase {
  public:
-  explicit SleepGenWorkload(const WorkloadParams& params) : params_(params) {
+  explicit SleepGenWorkload(const WorkloadParams& params)
+      : WindowedWorkloadBase(params) {
     if (params_.num_channels < 1 ||
         params_.num_channels > sim::EventCounters::kMaxCores) {
       throw std::runtime_error(
@@ -663,15 +830,11 @@ class SleepGenWorkload final : public Workload {
   }
 
   [[nodiscard]] std::string_view name() const override { return "sleepgen"; }
-  [[nodiscard]] unsigned num_cores() const override {
-    return params_.num_channels;
-  }
   [[nodiscard]] const assembler::Program& program(
       bool instrumented) const override {
     (void)instrumented;  // single source, no sync points: one program
     return program_;
   }
-  void load_inputs(sim::Platform& platform) const override { (void)platform; }
 
   /// Wide-platform geometry: one small private bank per core so loads are
   /// conflict-free and every address fits the cores' 16-bit registers.
@@ -681,32 +844,6 @@ class SleepGenWorkload final : public Workload {
     config.dm_banks = kSleepGenChannelBank + params_.num_channels;
     config.dm_bank_words = kSleepGenBankWords;
     return config;
-  }
-
-  /// The drive loop below keeps host-side window state a platform snapshot
-  /// cannot capture.
-  [[nodiscard]] bool warm_startable() const override { return false; }
-
-  [[nodiscard]] unsigned windows() const {
-    return std::max(1u, params_.samples / kSleepGenWindow);
-  }
-
-  /// Duty-cycled host loop: run to the initial sleep, then per window
-  /// deposit fresh samples, wake every core by interrupt, and run until
-  /// the platform is all-asleep again.
-  sim::RunResult drive(sim::Platform& platform,
-                       std::uint64_t max_cycles) const override {
-    windows_run_ = 0;
-    auto result = platform.run(std::min<std::uint64_t>(max_cycles, 100'000));
-    for (unsigned w = 0; w < windows(); ++w) {
-      if (result.status != sim::RunResult::Status::kAllAsleep) return result;
-      deposit_window(platform, w);
-      const std::uint64_t before = platform.counters().cycles;
-      platform.interrupt_all();
-      result = platform.run(std::min(max_cycles, before + 10'000'000));
-      ++windows_run_;
-    }
-    return result;
   }
 
   [[nodiscard]] std::string verify(const sim::Platform& platform) const override {
@@ -750,46 +887,58 @@ class SleepGenWorkload final : public Workload {
     return out;
   }
 
- private:
-  [[nodiscard]] static std::uint32_t channel_base(unsigned core) {
+ protected:
+  [[nodiscard]] unsigned window_length() const override {
+    return kSleepGenWindow;
+  }
+  [[nodiscard]] std::uint32_t channel_base(unsigned core) const override {
     return (kSleepGenChannelBank + core) * kSleepGenBankWords;
   }
 
-  /// The channel's whole encoded stream, generated once and cached (the
-  /// generator is deterministic, so verify sees the deposited values).
-  [[nodiscard]] const std::vector<std::uint16_t>& channel_samples(
-      unsigned channel) const {
-    if (encoded_.empty()) encoded_.resize(num_cores());
-    auto& cache = encoded_[channel];
-    if (cache.empty()) {
-      const std::size_t total =
-          static_cast<std::size_t>(windows()) * kSleepGenWindow;
-      const auto raw = ecg::generate_channel(params_.generator, channel, total);
-      cache.resize(total);
-      for (std::size_t i = 0; i < total; ++i) cache[i] = stream_encode(raw[i]);
-    }
-    return cache;
-  }
-
-  void deposit_window(sim::Platform& platform, unsigned window) const {
-    for (unsigned c = 0; c < num_cores(); ++c) {
-      const auto& samples = channel_samples(c);
-      for (unsigned i = 0; i < kSleepGenWindow; ++i) {
-        platform.dm_write(channel_base(c) + i,
-                          samples[window * kSleepGenWindow + i]);
-      }
-    }
-  }
-
-  WorkloadParams params_;
+ private:
   assembler::Program program_;
-  // Per-run host-loop state; the engine creates one workload instance per
-  // run, so these are only ever touched by that run's thread.
-  mutable std::vector<std::vector<std::uint16_t>> encoded_;
-  mutable unsigned windows_run_ = 0;
 };
 
 }  // namespace
+
+// (See workload.h.) The single source of truth for the duty-cycled window
+// sequencing: the scalar engine, the checkpoint-ring drive and the batch
+// engine's fallback path all run windows through this loop, which is what
+// keeps their results bit-identical.
+sim::RunResult drive_windowed(const WindowedDrive& drive,
+                              sim::Platform& platform,
+                              std::uint64_t max_cycles,
+                              std::optional<unsigned> resume_window,
+                              CheckpointSink* sink) {
+  sim::RunResult result;
+  unsigned start_window = 0;
+  if (resume_window) {
+    // The platform is already at this window's all-asleep boundary (a
+    // checkpoint restore or a batch-lane materialization) and the host
+    // words have been adopted by the caller.
+    start_window = *resume_window;
+    result.status = sim::RunResult::Status::kAllAsleep;
+    result.cycles = platform.counters().cycles;
+  } else {
+    drive.adopt_host_words({});
+    result = platform.run(
+        std::min<std::uint64_t>(max_cycles, drive.initial_bound()));
+  }
+  for (unsigned w = start_window; w < drive.windows(); ++w) {
+    if (result.status != sim::RunResult::Status::kAllAsleep) return result;
+    drive.deposit(w, [&platform](std::uint32_t addr, std::uint16_t word) {
+      platform.dm_write(addr, word);
+    });
+    const std::uint64_t before = platform.counters().cycles;
+    platform.interrupt_all();
+    result = platform.run(std::min(max_cycles, before + drive.window_budget()));
+    drive.note_window(platform.counters().cycles - before);
+    if (sink != nullptr && result.status == sim::RunResult::Status::kAllAsleep) {
+      sink->offer(platform, drive.host_words());
+    }
+  }
+  return result;
+}
 
 unsigned count_sync_points(const assembler::Program& program) {
   unsigned count = 0;
@@ -848,7 +997,12 @@ void register_builtin_workloads(Registry& registry) {
     return make_asm_workload(bandcount_desc(params, true), params);
   });
   registry.add("streaming", [](const WorkloadParams& params) {
-    return std::make_shared<const StreamingWorkload>(params);
+    return std::make_shared<const StreamingWorkload>(
+        params, StreamingWorkload::Shape::kClassic);
+  });
+  registry.add("streaming.uniform", [](const WorkloadParams& params) {
+    return std::make_shared<const StreamingWorkload>(
+        params, StreamingWorkload::Shape::kUniform);
   });
   // Wide-platform scaling workloads: "sleepgen" takes its core count from
   // params.num_channels (1..64); the fixed-width aliases pin the paper-plus

@@ -76,12 +76,188 @@ struct ExecResult {
   bool sync_is_checkout = false;
 };
 
+namespace detail {
+
+/// Truncates a decoded (already sign-extended) immediate to the 16-bit
+/// datapath width.
+inline std::uint16_t sext_imm(std::int32_t imm) {
+  return static_cast<std::uint16_t>(imm);
+}
+
+/// Sets Z/N/C/V from the comparison `a - b` (C = no borrow, V = signed
+/// overflow), the flag semantics every TR16 branch consumes.
+inline void set_compare_flags(CoreArchState& state, std::uint16_t a,
+                              std::uint16_t b) {
+  const std::uint32_t diff = static_cast<std::uint32_t>(a) - b;
+  const auto result = static_cast<std::uint16_t>(diff);
+  state.flags.z = (result == 0);
+  state.flags.n = (result & 0x8000) != 0;
+  state.flags.c = a >= b;  // no borrow
+  const bool sa = (a & 0x8000) != 0;
+  const bool sb = (b & 0x8000) != 0;
+  const bool sr = (result & 0x8000) != 0;
+  state.flags.v = (sa != sb) && (sr != sa);
+}
+
+/// Evaluates a branch opcode's taken condition against the flags
+/// (unconditional BRA is always taken).
+inline bool branch_taken(const Flags& f, isa::Opcode op) {
+  switch (op) {
+    case isa::Opcode::kBeq: return f.z;
+    case isa::Opcode::kBne: return !f.z;
+    case isa::Opcode::kBlt: return f.n != f.v;
+    case isa::Opcode::kBge: return f.n == f.v;
+    case isa::Opcode::kBltu: return !f.c;
+    case isa::Opcode::kBgeu: return f.c;
+    default: return true;  // BRA
+  }
+}
+
+}  // namespace detail
+
 /// Executes one decoded instruction against `state`. Register and flag
 /// side effects are applied immediately; memory/sync effects are returned
 /// for the platform to arbitrate. `state.pc` is NOT modified here — the
 /// platform sets it to `next_pc` when the instruction retires.
-[[nodiscard]] ExecResult execute(CoreArchState& state,
-                                 const isa::Instruction& instr);
+///
+/// Defined inline: this is the per-retired-instruction kernel of both the
+/// cycle-level platform and the batch engine's follower emulation, and the
+/// call overhead is measurable at emulation rates.
+[[nodiscard]] inline ExecResult execute(CoreArchState& state,
+                                        const isa::Instruction& instr) {
+  using isa::Opcode;
+  ExecResult result;
+  result.next_pc = state.pc + 1;
+
+  const std::uint16_t a = state.reg(instr.ra);
+  const std::uint16_t b = state.reg(instr.rb);
+  auto alu = [&](std::uint16_t value) { state.set_reg(instr.rd, value); };
+
+  switch (instr.op) {
+    case Opcode::kAdd:  alu(static_cast<std::uint16_t>(a + b)); break;
+    case Opcode::kSub:  alu(static_cast<std::uint16_t>(a - b)); break;
+    case Opcode::kAnd:  alu(static_cast<std::uint16_t>(a & b)); break;
+    case Opcode::kOr:   alu(static_cast<std::uint16_t>(a | b)); break;
+    case Opcode::kXor:  alu(static_cast<std::uint16_t>(a ^ b)); break;
+    case Opcode::kSll:  alu(static_cast<std::uint16_t>(a << (b & 15))); break;
+    case Opcode::kSrl:  alu(static_cast<std::uint16_t>(a >> (b & 15))); break;
+    case Opcode::kSra:
+      alu(static_cast<std::uint16_t>(static_cast<std::int16_t>(a) >> (b & 15)));
+      break;
+    case Opcode::kMul:
+      alu(static_cast<std::uint16_t>(
+          static_cast<std::int32_t>(static_cast<std::int16_t>(a)) *
+          static_cast<std::int16_t>(b)));
+      break;
+    case Opcode::kMulh: {
+      const std::int32_t product =
+          static_cast<std::int32_t>(static_cast<std::int16_t>(a)) *
+          static_cast<std::int16_t>(b);
+      alu(static_cast<std::uint16_t>(static_cast<std::uint32_t>(product) >> 16));
+      break;
+    }
+    case Opcode::kAddi:
+      alu(static_cast<std::uint16_t>(a + detail::sext_imm(instr.imm)));
+      break;
+    case Opcode::kAndi:
+      alu(static_cast<std::uint16_t>(a & detail::sext_imm(instr.imm)));
+      break;
+    case Opcode::kOri:
+      alu(static_cast<std::uint16_t>(a | detail::sext_imm(instr.imm)));
+      break;
+    case Opcode::kXori:
+      alu(static_cast<std::uint16_t>(a ^ detail::sext_imm(instr.imm)));
+      break;
+    case Opcode::kSlli: alu(static_cast<std::uint16_t>(a << (instr.imm & 15))); break;
+    case Opcode::kSrli: alu(static_cast<std::uint16_t>(a >> (instr.imm & 15))); break;
+    case Opcode::kSrai:
+      alu(static_cast<std::uint16_t>(static_cast<std::int16_t>(a) >> (instr.imm & 15)));
+      break;
+    case Opcode::kCmp:  detail::set_compare_flags(state, a, b); break;
+    case Opcode::kCmpi:
+      detail::set_compare_flags(state, a, detail::sext_imm(instr.imm));
+      break;
+    case Opcode::kMovi:
+      state.set_reg(instr.rd, static_cast<std::uint16_t>(instr.imm));
+      break;
+    case Opcode::kLd:
+      result.action = ExecAction::kMemLoad;
+      result.mem_addr = static_cast<std::uint16_t>(a + detail::sext_imm(instr.imm));
+      result.load_reg = instr.rd;
+      break;
+    case Opcode::kSt:
+      result.action = ExecAction::kMemStore;
+      result.mem_addr = static_cast<std::uint16_t>(a + detail::sext_imm(instr.imm));
+      result.store_data = state.reg(instr.rd);
+      break;
+    case Opcode::kLdx:
+      result.action = ExecAction::kMemLoad;
+      result.mem_addr = static_cast<std::uint16_t>(a + b);
+      result.load_reg = instr.rd;
+      break;
+    case Opcode::kStx:
+      result.action = ExecAction::kMemStore;
+      result.mem_addr = static_cast<std::uint16_t>(a + b);
+      result.store_data = state.reg(instr.rd);
+      break;
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBge:
+    case Opcode::kBltu:
+    case Opcode::kBgeu:
+    case Opcode::kBra:
+      if (detail::branch_taken(state.flags, instr.op)) {
+        result.next_pc = static_cast<std::uint32_t>(
+            static_cast<std::int64_t>(state.pc) + 1 + instr.imm);
+      }
+      break;
+    case Opcode::kJal:
+      state.set_reg(instr.rd, static_cast<std::uint16_t>(state.pc + 1));
+      result.next_pc = static_cast<std::uint32_t>(instr.imm);
+      break;
+    case Opcode::kJr:
+      result.next_pc = a;
+      break;
+    case Opcode::kCsrr:
+      switch (static_cast<isa::Csr>(instr.imm)) {
+        case isa::Csr::kCoreId:   state.set_reg(instr.rd, state.core_id); break;
+        case isa::Csr::kNumCores: state.set_reg(instr.rd, state.num_cores); break;
+        case isa::Csr::kRsync:    state.set_reg(instr.rd, state.rsync); break;
+        default:
+          result.action = ExecAction::kTrap;
+          result.trap = TrapKind::kInvalidCsr;
+      }
+      break;
+    case Opcode::kCsrw:
+      if (static_cast<isa::Csr>(instr.imm) == isa::Csr::kRsync) {
+        state.rsync = a;
+      } else {
+        result.action = ExecAction::kTrap;
+        result.trap = TrapKind::kInvalidCsr;
+      }
+      break;
+    case Opcode::kSinc:
+    case Opcode::kSdec:
+      if (instr.imm < 0) {
+        result.action = ExecAction::kTrap;
+        result.trap = TrapKind::kNegativeSyncIndex;
+      } else {
+        result.action = ExecAction::kSync;
+        result.mem_addr = static_cast<std::uint16_t>(
+            state.rsync + static_cast<std::uint16_t>(instr.imm));
+        result.sync_is_checkout = (instr.op == Opcode::kSdec);
+      }
+      break;
+    case Opcode::kSleep:
+      result.action = ExecAction::kSleep;
+      break;
+    case Opcode::kHalt:
+      result.action = ExecAction::kHalt;
+      break;
+  }
+  return result;
+}
 
 /// Writes back a granted load.
 inline void complete_load(CoreArchState& state, std::uint8_t reg,

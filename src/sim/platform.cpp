@@ -138,6 +138,7 @@ void Platform::reset(bool clear_dm) {
   fast_forwarded_cycles_ = 0;
   burst_cycles_ = 0;
   fetch_region_cycles_ = 0;
+  last_policy_latch_retired_.assign(cores_.size(), kNoPolicyLatch);
   in_tick_ = false;
   active_this_cycle_.fill(0);
   touched_cores_.clear();
@@ -606,6 +607,7 @@ void Platform::phase_dxbar() {
         if ((served_mask >> i) & 1u) {
           cores_[i].latched_load = value;
           cores_[i].load_latched = true;
+          last_policy_latch_retired_[i] = counters_.per_core_retired[i];
           ++served_count;
         }
       }

@@ -224,6 +224,18 @@ class Platform {
   [[nodiscard]] std::uint64_t fetch_region_cycles() const {
     return fetch_region_cycles_;
   }
+  /// `last_policy_latch_retired(core)` when no policy-group broadcast has
+  /// latched a load into `core` since the last `reset`/`restore_snapshot`.
+  static constexpr std::uint64_t kNoPolicyLatch = ~std::uint64_t{0};
+  /// Retirement ordinal (0-based, == `counters().per_core_retired[core]` at
+  /// latch time) of the last load whose value reached `core` through the
+  /// policy-group broadcast path — the only path that updates the core's
+  /// `latched_load` snapshot microstate. Host-side accounting for external
+  /// emulators tracking that microstate; never part of simulated state or
+  /// the snapshot wire format.
+  [[nodiscard]] std::uint64_t last_policy_latch_retired(unsigned core) const {
+    return last_policy_latch_retired_[core];
+  }
 
   /// Per-cycle observer invoked at the end of every tick (tracing, tests).
   /// While an observer is attached, idle fast-forward and burst execution
@@ -414,6 +426,7 @@ class Platform {
   std::uint64_t fast_forwarded_cycles_ = 0;
   std::uint64_t burst_cycles_ = 0;
   std::uint64_t fetch_region_cycles_ = 0;
+  std::vector<std::uint64_t> last_policy_latch_retired_;  ///< see accessor
 
   // Incrementally maintained scheduling state (see set_status).
   std::array<std::uint32_t, kNumStatuses> status_counts_{};

@@ -551,6 +551,7 @@ void Platform::restore_snapshot(const Snapshot& snapshot) {
   fast_forwarded_cycles_ = snapshot.fast_forwarded_cycles;
   burst_cycles_ = 0;  // host-side accounting, not simulated state
   fetch_region_cycles_ = 0;
+  last_policy_latch_retired_.assign(cores_.size(), kNoPolicyLatch);
 
   // Derived scheduling state: population counts, the active-core list, and
   // the lazy sleep attribution (the restored per-core counters are fully

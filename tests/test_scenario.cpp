@@ -65,7 +65,7 @@ TEST(Registry, DuplicateNameRejected) {
 TEST(Registry, NamesAreSorted) {
   const auto names = Registry::builtins().names();
   EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
-  EXPECT_EQ(names.size(), 14u);
+  EXPECT_EQ(names.size(), 15u);
 }
 
 // --- matrix -----------------------------------------------------------------

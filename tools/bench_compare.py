@@ -1,21 +1,34 @@
 #!/usr/bin/env python3
-"""Compare a fresh perf_throughput run against the committed baseline.
+"""Compare fresh benchmark runs against their committed baselines.
 
 Usage:
-    tools/bench_compare.py FRESH.json [BASELINE.json] [--max-regress 0.30]
+    tools/bench_compare.py FRESH.json [MORE.json ...] [--max-regress 0.30]
                            [--allow-new-rows]
 
-Fails (exit 1) when:
-  * the headline mean — `sleep_heavy_8core_full_mean_mcycles_per_second` —
-    regresses by more than the threshold (default 30%) relative to the
-    baseline;
+Every benchmark JSON declares which bench it is via its `bench` field
+(`sim_throughput`, `cohort_throughput`, ...); the gate dispatches the
+headline key and the row schema on it, so a single invocation can gate any
+mix of benches:
+
+  * one file of a bench — a fresh run, compared against the committed
+    baseline `BENCH_<bench>.json` at the repo root;
+  * two files of the same bench — the first is the fresh run, the second
+    the explicit baseline (the historical two-positional form
+    `bench_compare.py FRESH.json BASELINE.json`).
+
+Legacy files without a `bench` field are recognized by their headline key.
+
+Fails (exit 1) when, for any pair:
+  * the headline metric regresses by more than the threshold (default
+    30%) relative to the baseline;
   * a baseline row is missing from the fresh run (a silently dropped
     benchmark would otherwise un-gate itself);
   * a fresh row has no baseline counterpart (an un-gated row; regenerate
     the committed baseline in the same change, or pass --allow-new-rows
     while a new benchmark is being landed deliberately).
 
-Exits 2 on malformed inputs (missing headline key, unreadable JSON).
+Exits 2 on malformed inputs (missing headline key, unreadable JSON, more
+than two files of one bench).
 
 Every per-row delta is printed as an informational comment either way, so
 CI logs double as a coarse performance history. Wall-clock benchmarks on
@@ -31,30 +44,145 @@ from pathlib import Path
 
 HEADLINE_KEY = "sleep_heavy_8core_full_mean_mcycles_per_second"
 
+# Per-bench gating schema: the headline scalar, the fields identifying a
+# row of `runs`, and the row metric the informational deltas report.
+# `row_key: None` marks a scalar-only bench with no per-row table.
+PROFILES = {
+    "sim_throughput": {
+        "headline": HEADLINE_KEY,
+        "unit": "Mcycles/s",
+        "row_key": ("workload", "cores", "mode"),
+        "row_metric": "mcycles_per_second",
+    },
+    "cohort_throughput": {
+        "headline": "batch64_min_speedup",
+        "unit": "x",
+        "row_key": ("workload", "patients", "cores"),
+        "row_metric": "speedup",
+    },
+    "warm_start": {
+        "headline": "speedup",
+        "unit": "x",
+        "row_key": None,
+        "row_metric": None,
+    },
+}
+
 
 def load(path):
     with open(path) as fh:
         return json.load(fh)
 
 
-def row_key(row):
-    return (row["workload"], row["cores"], row["mode"])
+def profile_of(blob, name):
+    """Resolves a file's bench profile; legacy files by headline key."""
+    bench = blob.get("bench")
+    if bench is None:
+        for candidate in ("sim_throughput", "cohort_throughput"):
+            if PROFILES[candidate]["headline"] in blob:
+                return candidate, PROFILES[candidate]
+        raise ValueError(
+            f"{name} has neither a 'bench' field nor a recognizable headline key"
+        )
+    if bench not in PROFILES:
+        raise ValueError(f"{name} declares unknown bench '{bench}'")
+    return bench, PROFILES[bench]
+
+
+def compare_pair(bench, profile, fresh, baseline, max_regress, allow_new_rows):
+    """Gates one fresh/baseline pair; returns an exit code (0, 1 or 2)."""
+    headline = profile["headline"]
+    for name, blob in (("fresh", fresh), ("baseline", baseline)):
+        if headline not in blob:
+            print(f"ERROR: {name} {bench} JSON has no '{headline}' key — wrong file?")
+            return 2
+    fresh_mean = float(fresh[headline])
+    base_mean = float(baseline[headline])
+
+    unit = profile["unit"]
+    print(f"[{bench}] headline ({headline}):")
+    print(f"  baseline: {base_mean:8.3f} {unit}")
+    ratio = fresh_mean / base_mean if base_mean > 0 else float("inf")
+    print(f"  fresh:    {fresh_mean:8.3f} {unit}   ({ratio:.2f}x)")
+
+    missing = []
+    new_rows = []
+    fresh_keys = set()
+    if profile["row_key"] is not None:
+        fields = profile["row_key"]
+        metric = profile["row_metric"]
+
+        def row_key(row):
+            return tuple(row[f] for f in fields)
+
+        base_rows = {row_key(r): r for r in baseline.get("runs", [])}
+        print("\nper-row deltas (informational):")
+        for row in fresh.get("runs", []):
+            k = row_key(row)
+            fresh_keys.add(k)
+            tag = " ".join(str(part) for part in k)
+            if k not in base_rows:
+                new_rows.append(k)
+                print(f"  {tag:<28} {row[metric]:8.3f}   (NEW ROW, no baseline)")
+                continue
+            base = base_rows[k][metric]
+            cur = row[metric]
+            delta = (cur / base - 1.0) * 100 if base > 0 else float("inf")
+            print(f"  {tag:<28} {cur:8.3f} vs {base:8.3f} {unit}   ({delta:+6.1f}%)")
+        missing = sorted(k for k in base_rows if k not in fresh_keys)
+        for k in missing:
+            tag = " ".join(str(part) for part in k)
+            print(f"  {tag:<28} MISSING from fresh run")
+
+    failed = False
+    if missing:
+        print(
+            f"\nFAIL [{bench}]: {len(missing)} baseline row(s) missing from the "
+            f"fresh run ({', '.join('/'.join(map(str, k)) for k in missing)}) — "
+            "a dropped benchmark must be removed from the committed baseline "
+            "explicitly"
+        )
+        failed = True
+    if new_rows and not allow_new_rows:
+        print(
+            f"\nFAIL [{bench}]: {len(new_rows)} fresh row(s) have no baseline "
+            f"({', '.join('/'.join(map(str, k)) for k in new_rows)}) — these rows "
+            "are not regression-gated; regenerate the committed baseline, or pass "
+            "--allow-new-rows while landing a new benchmark"
+        )
+        failed = True
+
+    floor = base_mean * (1.0 - max_regress)
+    if fresh_mean < floor:
+        print(
+            f"\nFAIL [{bench}]: headline {fresh_mean:.3f} is below the regression "
+            f"floor {floor:.3f} (baseline {base_mean:.3f}, "
+            f"max regression {max_regress:.0%})"
+        )
+        failed = True
+    if failed:
+        return 1
+    print(
+        f"\nOK [{bench}]: headline {fresh_mean:.3f} within {max_regress:.0%} "
+        f"of baseline {base_mean:.3f}; {len(fresh_keys)} row(s) gated"
+    )
+    return 0
 
 
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("fresh", help="freshly generated BENCH_sim_throughput.json")
     parser.add_argument(
-        "baseline",
-        nargs="?",
-        default=str(Path(__file__).resolve().parent.parent / "BENCH_sim_throughput.json"),
-        help="committed baseline JSON (default: repo root BENCH_sim_throughput.json)",
+        "files",
+        nargs="+",
+        help="benchmark JSONs: fresh runs, each optionally followed (anywhere "
+        "later on the command line) by an explicit baseline of the same bench; "
+        "default baseline is the repo-root BENCH_<bench>.json",
     )
     parser.add_argument(
         "--max-regress",
         type=float,
         default=0.30,
-        help="fail when the headline mean drops by more than this fraction",
+        help="fail when a headline metric drops by more than this fraction",
     )
     parser.add_argument(
         "--allow-new-rows",
@@ -63,77 +191,43 @@ def main(argv=None):
     )
     args = parser.parse_args(argv)
 
+    repo_root = Path(__file__).resolve().parent.parent
+
+    # Bucket the inputs by bench, preserving order: the first file of a
+    # bench is the fresh run, an optional second its explicit baseline.
+    pairs = {}  # bench -> [profile, fresh, baseline-or-None]
     try:
-        fresh = load(args.fresh)
-        baseline = load(args.baseline)
-    except (OSError, json.JSONDecodeError) as error:
+        for path in args.files:
+            blob = load(path)
+            bench, profile = profile_of(blob, path)
+            if bench not in pairs:
+                pairs[bench] = [profile, blob, None]
+            elif pairs[bench][2] is None:
+                pairs[bench][2] = blob
+            else:
+                print(f"ERROR: more than two {bench} files given")
+                return 2
+    except (OSError, json.JSONDecodeError, ValueError) as error:
         print(f"ERROR: cannot load benchmark JSON: {error}")
         return 2
 
-    for name, blob in (("fresh", fresh), ("baseline", baseline)):
-        if HEADLINE_KEY not in blob:
-            print(f"ERROR: {name} JSON has no '{HEADLINE_KEY}' key — wrong file?")
+    worst = 0
+    for index, (bench, (profile, fresh, baseline)) in enumerate(pairs.items()):
+        if baseline is None:
+            default = repo_root / f"BENCH_{bench}.json"
+            try:
+                baseline = load(default)
+            except (OSError, json.JSONDecodeError) as error:
+                print(f"ERROR: cannot load baseline {default}: {error}")
+                return 2
+        if index:
+            print()
+        result = compare_pair(bench, profile, fresh, baseline,
+                              args.max_regress, args.allow_new_rows)
+        if result == 2:
             return 2
-    fresh_mean = float(fresh[HEADLINE_KEY])
-    base_mean = float(baseline[HEADLINE_KEY])
-
-    print(f"headline mean ({HEADLINE_KEY}):")
-    print(f"  baseline: {base_mean:8.3f} Mcycles/s")
-    ratio = fresh_mean / base_mean if base_mean > 0 else float("inf")
-    print(f"  fresh:    {fresh_mean:8.3f} Mcycles/s   ({ratio:.2f}x)")
-
-    base_rows = {row_key(r): r for r in baseline.get("runs", [])}
-    fresh_keys = set()
-    new_rows = []
-    print("\nper-row deltas (informational):")
-    for row in fresh.get("runs", []):
-        k = row_key(row)
-        fresh_keys.add(k)
-        tag = f"{k[0]:<12} {k[1]:>2} cores {k[2]:<5}"
-        if k not in base_rows:
-            new_rows.append(k)
-            print(f"  {tag} {row['mcycles_per_second']:8.3f} Mcyc/s   (NEW ROW, no baseline)")
-            continue
-        base = base_rows[k]["mcycles_per_second"]
-        cur = row["mcycles_per_second"]
-        delta = (cur / base - 1.0) * 100 if base > 0 else float("inf")
-        print(f"  {tag} {cur:8.3f} vs {base:8.3f} Mcyc/s   ({delta:+6.1f}%)")
-    missing = sorted(k for k in base_rows if k not in fresh_keys)
-    for k in missing:
-        print(f"  {k[0]:<12} {k[1]:>2} cores {k[2]:<5} MISSING from fresh run")
-
-    failed = False
-    if missing:
-        print(
-            f"\nFAIL: {len(missing)} baseline row(s) missing from the fresh run "
-            f"({', '.join('/'.join(map(str, k)) for k in missing)}) — a dropped "
-            "benchmark must be removed from the committed baseline explicitly"
-        )
-        failed = True
-    if new_rows and not args.allow_new_rows:
-        print(
-            f"\nFAIL: {len(new_rows)} fresh row(s) have no baseline "
-            f"({', '.join('/'.join(map(str, k)) for k in new_rows)}) — these rows "
-            "are not regression-gated; regenerate the committed baseline, or pass "
-            "--allow-new-rows while landing a new benchmark"
-        )
-        failed = True
-
-    floor = base_mean * (1.0 - args.max_regress)
-    if fresh_mean < floor:
-        print(
-            f"\nFAIL: headline mean {fresh_mean:.3f} is below the regression "
-            f"floor {floor:.3f} (baseline {base_mean:.3f}, "
-            f"max regression {args.max_regress:.0%})"
-        )
-        failed = True
-    if failed:
-        return 1
-    print(
-        f"\nOK: headline mean {fresh_mean:.3f} within {args.max_regress:.0%} "
-        f"of baseline {base_mean:.3f}; all {len(fresh_keys)} rows gated"
-    )
-    return 0
+        worst = max(worst, result)
+    return worst
 
 
 if __name__ == "__main__":

@@ -18,15 +18,21 @@
 //       single-process `sweep_shard run` of the same matrix.
 //   sweep_shard status --spool DIR
 //       Per-shard progress (queued/claimed/done, partial rows, owner).
-//   sweep_shard run   --out FILE [--jobs N] [matrix flags]
+//   sweep_shard run   --out FILE [--jobs N] [--batch] [matrix flags]
 //       The single-process reference: runs the same matrix in this process
-//       and writes its CSV. CI diffs this against `merge`.
+//       and writes its CSV. CI diffs this against `merge`. --batch runs it
+//       on the batched many-platform engine instead (scenario/batch.h) —
+//       same bytes, so run/run --batch/merge comparisons are exact
+//       cohort-determinism checks.
 //
 // Matrix flags (plan and run must agree for the byte-identity guarantee):
 //   --workloads a,b,c   registry names            (default mrpfltr,sqrt32)
 //   --samples n1,n2     samples-per-channel axis  (default 48)
 //   --designs both|synchronized|baseline          (default both)
 //   --max-cycles N      cycle budget              (default 500000000)
+//   --cohort N          patient-cohort axis: fan every spec out over N
+//                       per-patient generator draws (ecg/cohort.h)
+//   --cohort-seed S     master cohort seed        (default 2024)
 //   --checkpoint-at N   shared warm-up prefix end (optional)
 //   --horizons c1,c2    per-spec max_cycles fan-out over the checkpoint
 //                       (optional; forms identical-prefix groups)
@@ -39,6 +45,8 @@
 #include <string>
 #include <vector>
 
+#include "ecg/cohort.h"
+#include "scenario/batch.h"
 #include "scenario/record.h"
 #include "scenario/report.h"
 #include "scenario/shard.h"
@@ -77,6 +85,13 @@ std::vector<RunSpec> specs_from_flags(const util::CliArgs& args) {
   }
   matrix.max_cycles(
       static_cast<std::uint64_t>(args.get_int("max-cycles", 500'000'000)));
+  const auto patients = static_cast<unsigned>(args.get_int("cohort", 0));
+  if (patients != 0) {
+    ecg::CohortParams cohort;
+    cohort.seed = static_cast<std::uint64_t>(
+        args.get_int("cohort-seed", static_cast<long>(cohort.seed)));
+    matrix.cohort(patients, cohort);
+  }
 
   std::vector<RunSpec> specs = matrix.expand();
   if (args.has("horizons")) {
@@ -180,9 +195,26 @@ int cmd_status(const util::CliArgs& args) {
 int cmd_run(const util::CliArgs& args) {
   const std::string out_path = require_flag(args, "out");
   const std::vector<RunSpec> specs = specs_from_flags(args);
-  EngineOptions options = engine_options_from(args);
-  const Engine engine(Registry::builtins(), options);
-  const std::vector<RunRecord> records = engine.run(specs);
+  const EngineOptions options = engine_options_from(args);
+  std::vector<RunRecord> records;
+  if (args.has("batch")) {
+    // The batched many-platform engine (scenario/batch.h); records are
+    // byte-identical to the scalar engine's, so `run --batch` vs `run`
+    // vs `merge` CSV comparisons are exact determinism checks.
+    BatchOptions batch_options;
+    batch_options.jobs = options.jobs;
+    batch_options.measure_lockstep = options.measure_lockstep;
+    const BatchEngine engine(Registry::builtins(), batch_options);
+    BatchResult result = engine.run(specs);
+    std::printf("batch: %zu group(s), %zu batched run(s), %zu scalar, "
+                "%zu diverged lane(s)\n",
+                result.stats.groups, result.stats.batched_runs,
+                result.stats.scalar_runs, result.stats.diverged_lanes);
+    records = std::move(result.records);
+  } else {
+    const Engine engine(Registry::builtins(), options);
+    records = engine.run(specs);
+  }
   std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
   out << to_csv(records);
   if (!out) {

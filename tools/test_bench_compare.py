@@ -29,6 +29,19 @@ def make_bench(mean=5.0, rows=None):
     }
 
 
+def make_cohort_bench(min_speedup=3.2, rows=None):
+    if rows is None:
+        rows = [("sleepgen", 64, 8, 3.3), ("streaming", 512, 8, 3.5)]
+    return {
+        "bench": "cohort_throughput",
+        "batch64_min_speedup": min_speedup,
+        "runs": [
+            {"workload": w, "patients": p, "cores": c, "speedup": s}
+            for (w, p, c, s) in rows
+        ],
+    }
+
+
 def run_compare(tmp_path, fresh, baseline, *extra):
     fresh_path = tmp_path / "fresh.json"
     base_path = tmp_path / "baseline.json"
@@ -94,6 +107,69 @@ def test_unreadable_or_malformed_json_is_a_clear_error(tmp_path):
 def test_committed_baseline_gates_itself():
     baseline = str(Path(__file__).resolve().parent.parent / "BENCH_sim_throughput.json")
     assert bench_compare.main([baseline, baseline]) == 0
+
+
+def test_cohort_identical_runs_pass(tmp_path):
+    bench = make_cohort_bench()
+    assert run_compare(tmp_path, bench, copy.deepcopy(bench)) == 0
+
+
+def test_cohort_headline_regression_fails(tmp_path):
+    # batch64_min_speedup collapsing (batch engine falling back to scalar
+    # everywhere) must trip the gate even when every row is still present.
+    fresh = make_cohort_bench(min_speedup=1.0,
+                              rows=[("sleepgen", 64, 8, 1.0),
+                                    ("streaming", 512, 8, 1.1)])
+    assert run_compare(tmp_path, fresh, make_cohort_bench()) == 1
+
+
+def test_cohort_row_missing_from_fresh_fails(tmp_path):
+    fresh = make_cohort_bench(rows=[("sleepgen", 64, 8, 3.3)])
+    assert run_compare(tmp_path, fresh, make_cohort_bench()) == 1
+
+
+def test_mixed_benches_gate_in_one_invocation(tmp_path):
+    # One CLI call gates sim_throughput and cohort_throughput pairs; a
+    # regression in either bench fails the whole invocation.
+    paths = []
+    for name, blob in (
+        ("sim_fresh", make_bench()),
+        ("cohort_fresh", make_cohort_bench(min_speedup=1.0)),
+        ("sim_base", make_bench()),
+        ("cohort_base", make_cohort_bench()),
+    ):
+        path = tmp_path / f"{name}.json"
+        path.write_text(json.dumps(blob))
+        paths.append(str(path))
+    assert bench_compare.main(paths) == 1
+    healthy = tmp_path / "cohort_ok.json"
+    healthy.write_text(json.dumps(make_cohort_bench()))
+    paths[1] = str(healthy)
+    assert bench_compare.main(paths) == 0
+
+
+def test_unknown_bench_field_is_a_clear_error(tmp_path):
+    blob = make_cohort_bench()
+    blob["bench"] = "not_a_bench"
+    assert run_compare(tmp_path, blob, make_cohort_bench()) == 2
+
+
+def test_three_files_of_one_bench_is_a_clear_error(tmp_path):
+    paths = []
+    for i in range(3):
+        path = tmp_path / f"b{i}.json"
+        path.write_text(json.dumps(make_cohort_bench()))
+        paths.append(str(path))
+    assert bench_compare.main(paths) == 2
+
+
+def test_committed_baselines_gate_themselves_together():
+    # Both committed baselines as fresh runs in one invocation; each pairs
+    # with its own repo-root default baseline (itself).
+    root = Path(__file__).resolve().parent.parent
+    sim = str(root / "BENCH_sim_throughput.json")
+    cohort = str(root / "BENCH_cohort_throughput.json")
+    assert bench_compare.main([sim, cohort]) == 0
 
 
 if __name__ == "__main__":
