@@ -95,7 +95,11 @@ BatchResult BatchEngine::run(const std::vector<RunSpec>& specs) const {
   for (std::size_t i = 0; i < specs.size(); ++i) {
     const RunSpec& spec = specs[i];
     std::shared_ptr<const Workload> workload;
-    bool eligible = !spec.resume_from;
+    // Recording specs fall back to the scalar engine's record path: the
+    // batch lanes are a bit-identical host optimization, so the recorded
+    // envelope (and the record) would be the same — but the recorder's
+    // event sink attaches to one platform, not a lane.
+    bool eligible = !spec.resume_from && spec.record_events_to.empty();
     if (eligible) {
       try {
         workload = registry_->make(spec.workload, spec.params);

@@ -10,6 +10,7 @@
 #include "core/lockstep.h"
 #include "power/model.h"
 #include "scenario/checkpoint_ring.h"
+#include "scenario/replay.h"
 #include "sim/platform.h"
 
 namespace ulpsync::scenario {
@@ -149,6 +150,16 @@ RunRecord Engine::run_one_impl(const RunSpec& spec, const WarmState* warm,
   RunRecord record;
   record.spec = spec;
   try {
+    if (!spec.record_events_to.empty()) {
+      // Recording path: delegate to the canonical cold recorder and write
+      // the envelope. Warm states, rings and batch lanes are bit-identical
+      // host optimizations, so the record is the same either way.
+      RecordOutcome outcome =
+          record_one(spec, *registry_, options_.measure_lockstep);
+      write_recorded_run_file(spec.record_events_to, outcome.recorded);
+      return outcome.record;
+    }
+
     const auto workload = registry_->make(spec.workload, spec.params);
 
     sim::Platform platform(resolved_config(spec, *workload));
@@ -245,6 +256,8 @@ SweepResult Engine::run_timed(const std::vector<RunSpec>& specs) const {
     for (std::size_t i = 0; i < specs.size(); ++i) {
       const RunSpec& spec = specs[i];
       if (!spec.checkpoint_at || spec.resume_from) continue;
+      // Recording specs run cold (see run_one_impl) — don't warm them up.
+      if (!spec.record_events_to.empty()) continue;
       if (*spec.checkpoint_at == 0 || *spec.checkpoint_at >= spec.max_cycles)
         continue;
       warm_groups[warm_group_key(spec)].members.push_back(i);

@@ -46,13 +46,16 @@ std::string hex64(std::uint64_t value) {
   return buffer;
 }
 
+}  // namespace
+
 // --- RunSpec wire encoding ---------------------------------------------------
 // Everything that influences a run is serialized, including the
 // host-simulation overrides and `checkpoint_at` that RunRecord
 // serialization deliberately drops — a shard bundle must reproduce the
-// spec exactly, not just label it.
+// spec exactly, not just label it. Public (shard.h): the recorded-run
+// envelope (scenario/replay.h) stores specs with the same codec.
 
-void encode_spec(util::WireWriter& w, const RunSpec& spec) {
+void encode_run_spec(util::WireWriter& w, const RunSpec& spec) {
   w.str(spec.workload);
   const WorkloadParams& p = spec.params;
   w.u32(p.num_channels);
@@ -92,7 +95,7 @@ void encode_spec(util::WireWriter& w, const RunSpec& spec) {
   if (spec.checkpoint_at) w.u64(*spec.checkpoint_at);
 }
 
-RunSpec decode_spec(util::WireReader& r) {
+RunSpec decode_run_spec(util::WireReader& r) {
   RunSpec spec;
   spec.workload = r.str();
   WorkloadParams& p = spec.params;
@@ -131,6 +134,8 @@ RunSpec decode_spec(util::WireReader& r) {
   return spec;
 }
 
+namespace {
+
 // --- bundle --------------------------------------------------------------- --
 
 struct BundlePlan {
@@ -152,7 +157,7 @@ std::vector<std::uint8_t> serialize_bundle(const BundlePlan& plan,
   for (std::size_t i = 0; i < plan.indices.size(); ++i) {
     w.u64(plan.indices[i]);
     w.u32(plan.warm_ref[i]);
-    encode_spec(w, specs[plan.indices[i]]);
+    encode_run_spec(w, specs[plan.indices[i]]);
   }
   w.u32(static_cast<std::uint32_t>(plan.warm_blobs.size()));
   for (const auto& blob : plan.warm_blobs) w.blob(blob);
@@ -252,7 +257,7 @@ bool try_rename(const std::string& from, const std::string& to) {
 std::uint64_t spec_fingerprint(const std::vector<RunSpec>& specs) {
   util::WireWriter w;
   w.u64(specs.size());
-  for (const RunSpec& spec : specs) encode_spec(w, spec);
+  for (const RunSpec& spec : specs) encode_run_spec(w, spec);
   return fnv1a64(w.bytes());
 }
 
@@ -408,7 +413,7 @@ ShardBundle load_bundle(const std::string& path, bool load_warm_states) {
     const std::uint32_t ref = r.u32();
     bundle.warm_ref.push_back(ref == kNoWarmRef ? -1
                                                 : static_cast<std::int32_t>(ref));
-    bundle.specs.push_back(decode_spec(r));
+    bundle.specs.push_back(decode_run_spec(r));
   }
   const std::uint32_t warm_count = r.u32();
   for (std::uint32_t i = 0; i < warm_count; ++i) {
@@ -452,6 +457,8 @@ WorkReport work_spool(const std::string& dir, const Registry& registry,
       fs::remove(dir + "/claimed/" + name + ".owner", ec);
     }
   }
+
+  if (!options.record_dir.empty()) fs::create_directories(options.record_dir);
 
   EngineOptions engine_options;
   if (options.ring_stride != 0) {
@@ -514,6 +521,13 @@ WorkReport work_spool(const std::string& dir, const Registry& registry,
           spec.resume_from = bundle.warm_states[
               static_cast<std::size_t>(bundle.warm_ref[k])];
           report.warm_resumed += 1;
+        }
+        if (!options.record_dir.empty()) {
+          // Recording forces the run cold and ring-less (bit-identical
+          // rows), so the .evt is the same artifact a scalar recording of
+          // this spec would produce; the global index names it.
+          spec.record_events_to = options.record_dir + "/run-" +
+                                  std::to_string(bundle.indices[k]) + ".evt";
         }
         const RunRecord record = engine.run_one(spec, bundle.indices[k]);
         const std::string row = to_csv_row(record);

@@ -44,6 +44,7 @@
 #include "scenario/engine.h"
 #include "scenario/registry.h"
 #include "scenario/spec.h"
+#include "util/wire.h"
 
 namespace ulpsync::scenario {
 
@@ -92,6 +93,12 @@ struct WorkOptions {
   unsigned ring_keep = 4;
   /// Stop after completing this many shards; 0 = drain the queue.
   std::size_t max_shards = 0;
+  /// When non-empty, every run records its external-event schedule to
+  /// `<record_dir>/run-<global index>.evt` (a recorded-run envelope,
+  /// scenario/replay.h). Recording forces the runs cold and ring-less
+  /// (bit-identical rows either way), so it composes with — but disables —
+  /// `ring_stride` and shipped warm states for the recorded runs.
+  std::string record_dir;
 };
 
 /// What one `work_spool` call did.
@@ -164,5 +171,15 @@ struct ShardBundle {
 /// the content hash still validates the whole image either way.
 [[nodiscard]] ShardBundle load_bundle(const std::string& path,
                                       bool load_warm_states = true);
+
+/// Stable wire encoding of one RunSpec — the codec shard bundles store
+/// specs with, shared with the recorded-run envelope (scenario/replay.h).
+/// Serializes the execution-relevant fields (workload, params, design,
+/// platform overrides, budgets); host-side plumbing (`resume_from`,
+/// `record_events_to`, the cohort tag) is deliberately not on the wire.
+void encode_run_spec(util::WireWriter& w, const RunSpec& spec);
+/// Decodes `encode_run_spec` output. Throws std::invalid_argument on
+/// truncation or out-of-range fields.
+[[nodiscard]] RunSpec decode_run_spec(util::WireReader& r);
 
 }  // namespace ulpsync::scenario

@@ -87,6 +87,14 @@ struct RunSpec {
   /// configured run of the same workload; a mismatch surfaces as an
   /// "error" record. Not serialized with the record.
   std::shared_ptr<const WarmState> resume_from;
+  /// When non-empty, the engine records the run's complete external-event
+  /// schedule and writes the recorded-run envelope (`scenario/replay.h`)
+  /// to this path. Recording forces a cold, ring-less run — warm starts,
+  /// checkpoint rings and batch lanes are bit-identical host
+  /// optimizations, so the recorded artifact (and the record) is the same
+  /// either way. Not serialized with the record or in shard bundles
+  /// (workers derive per-run paths from `WorkOptions::record_dir`).
+  std::string record_events_to;
 
   /// A design runs instrumented code exactly when it has the synchronizer
   /// hardware (SINC/SDEC trap otherwise).

@@ -1,0 +1,565 @@
+#include "sim/event_schedule.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
+#include <utility>
+
+#include "util/wire.h"
+
+namespace ulpsync::sim {
+
+namespace {
+
+// "ULPEVT1\n" — like the spool bundle magic, the version is also in the
+// magic so a hex dump identifies the format at a glance.
+constexpr std::array<std::uint8_t, 8> kMagic = {'U', 'L', 'P', 'E',
+                                                'V', 'T', '1', '\n'};
+
+// FNV-1a 64. sim cannot depend on the scenario layer's fnv1a64
+// (scenario/checkpoint_ring.h), so this keeps a private copy — the same
+// precedent as snapshot.cpp's content hash.
+std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const std::uint8_t byte : bytes) {
+    hash ^= byte;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+void encode_result(util::WireWriter& w, const RunResult& result) {
+  w.u8(static_cast<std::uint8_t>(result.status));
+  w.u64(result.cycles);
+  w.u32(result.trap_core);
+  w.u8(static_cast<std::uint8_t>(result.trap));
+  w.u32(result.trap_pc);
+}
+
+RunResult decode_result(util::WireReader& r) {
+  RunResult result;
+  const std::uint8_t status = r.u8();
+  if (status > static_cast<std::uint8_t>(RunResult::Status::kTrap))
+    throw std::invalid_argument("event schedule: invalid result status");
+  result.status = static_cast<RunResult::Status>(status);
+  result.cycles = r.u64();
+  result.trap_core = r.u32();
+  const std::uint8_t trap = r.u8();
+  if (trap > static_cast<std::uint8_t>(TrapKind::kSyncWithoutHardware))
+    throw std::invalid_argument("event schedule: invalid trap kind");
+  result.trap = static_cast<TrapKind>(trap);
+  result.trap_pc = r.u32();
+  return result;
+}
+
+// Delivers one recorded event through the public host API (no sink is
+// attached during replay, so nothing re-records).
+void deliver_event(Platform& platform, const ExternalEvent& event) {
+  switch (event.kind) {
+    case EventKind::kDmWrite:
+      platform.dm_write(event.addr, event.word);
+      break;
+    case EventKind::kDmWriteBlock:
+      platform.dm_write_block(event.addr, event.words);
+      break;
+    case EventKind::kInterrupt:
+      platform.interrupt(event.core);
+      break;
+    case EventKind::kInterruptAll:
+      platform.interrupt_all();
+      break;
+  }
+}
+
+std::string hex64(std::uint64_t value) {
+  char buffer[19];
+  std::snprintf(buffer, sizeof buffer, "%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> EventSchedule::serialize() const {
+  util::WireWriter w;
+  for (const std::uint8_t byte : kMagic) w.u8(byte);
+  w.u32(kFormatVersion);
+  w.u64(im_fingerprint);
+  w.u64(events.size());
+  for (const ExternalEvent& event : events) {
+    w.u8(static_cast<std::uint8_t>(event.kind));
+    w.u64(event.cycle);
+    switch (event.kind) {
+      case EventKind::kDmWrite:
+        w.u32(event.addr);
+        w.u16(event.word);
+        break;
+      case EventKind::kDmWriteBlock:
+        w.u32(event.addr);
+        w.u32(static_cast<std::uint32_t>(event.words.size()));
+        for (const std::uint16_t word : event.words) w.u16(word);
+        break;
+      case EventKind::kInterrupt:
+        w.u32(event.core);
+        break;
+      case EventKind::kInterruptAll:
+        break;
+    }
+  }
+  encode_result(w, final_result);
+  w.u64(final_state_hash);
+  w.u64(final_host_words.size());
+  for (const std::uint64_t word : final_host_words) w.u64(word);
+  w.u64(fnv1a64(w.bytes()));
+  return w.take();
+}
+
+EventSchedule EventSchedule::deserialize(std::span<const std::uint8_t> bytes) {
+  // Verify the trailing hash over everything before it first: any
+  // corruption is then reported as corruption, not as a random field error.
+  if (bytes.size() < kMagic.size() + 4 + 8)
+    throw std::invalid_argument("event schedule: truncated image");
+  const std::span<const std::uint8_t> payload =
+      bytes.first(bytes.size() - 8);
+  util::WireReader tail(bytes.subspan(bytes.size() - 8));
+  if (tail.u64() != fnv1a64(payload))
+    throw std::invalid_argument(
+        "event schedule: trailing hash mismatch (corrupt image)");
+
+  util::WireReader r(payload);
+  for (const std::uint8_t byte : kMagic) {
+    if (r.u8() != byte)
+      throw std::invalid_argument("event schedule: bad magic");
+  }
+  const std::uint32_t version = r.u32();
+  if (version != kFormatVersion)
+    throw std::invalid_argument("event schedule: unsupported version " +
+                                std::to_string(version));
+  EventSchedule schedule;
+  schedule.im_fingerprint = r.u64();
+  const std::uint64_t count = r.u64();
+  // Each event is at least 9 bytes on the wire; a count beyond that bound
+  // can only come from corruption the hash failed to catch.
+  if (count > payload.size() / 9)
+    throw std::invalid_argument("event schedule: implausible event count");
+  schedule.events.reserve(static_cast<std::size_t>(count));
+  std::uint64_t last_cycle = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    ExternalEvent event;
+    const std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(EventKind::kInterruptAll))
+      throw std::invalid_argument("event schedule: invalid event kind");
+    event.kind = static_cast<EventKind>(kind);
+    event.cycle = r.u64();
+    if (event.cycle < last_cycle)
+      throw std::invalid_argument("event schedule: event cycles not ordered");
+    last_cycle = event.cycle;
+    switch (event.kind) {
+      case EventKind::kDmWrite:
+        event.addr = r.u32();
+        event.word = r.u16();
+        break;
+      case EventKind::kDmWriteBlock: {
+        event.addr = r.u32();
+        const std::uint32_t words = r.u32();
+        event.words.resize(words);
+        for (std::uint32_t j = 0; j < words; ++j) event.words[j] = r.u16();
+        break;
+      }
+      case EventKind::kInterrupt:
+        event.core = r.u32();
+        break;
+      case EventKind::kInterruptAll:
+        break;
+    }
+    schedule.events.push_back(std::move(event));
+  }
+  schedule.final_result = decode_result(r);
+  if (!schedule.events.empty() &&
+      schedule.final_result.cycles < schedule.events.back().cycle)
+    throw std::invalid_argument("event schedule: final result before events");
+  schedule.final_state_hash = r.u64();
+  const std::uint64_t host_words = r.u64();
+  if (host_words > payload.size() / 8)
+    throw std::invalid_argument("event schedule: implausible host word count");
+  schedule.final_host_words.resize(static_cast<std::size_t>(host_words));
+  for (std::uint64_t i = 0; i < host_words; ++i)
+    schedule.final_host_words[i] = r.u64();
+  if (!r.at_end())
+    throw std::invalid_argument("event schedule: trailing bytes after image");
+  return schedule;
+}
+
+std::uint64_t EventSchedule::content_hash() const {
+  const std::vector<std::uint8_t> bytes = serialize();
+  return fnv1a64(bytes);
+}
+
+std::uint64_t normalized_state_hash(const Snapshot& snapshot) {
+  Snapshot copy = snapshot;
+  // Exactly the fields `snapshots_equal` excludes: host simulation knobs
+  // and their accounting are not simulated state.
+  copy.config.fast_forward = true;
+  copy.config.burst = true;
+  copy.fast_forwarded_cycles = 0;
+  return copy.content_hash();
+}
+
+// --- recording ---------------------------------------------------------------
+
+void EventRecorder::attach(Platform& platform) {
+  platform_ = &platform;
+  schedule_ = {};
+  schedule_.im_fingerprint = platform.image_fingerprint();
+  platform.set_event_sink(this);
+}
+
+void EventRecorder::on_dm_write(std::uint64_t cycle, std::uint32_t addr,
+                                std::uint16_t value) {
+  ExternalEvent event;
+  event.kind = EventKind::kDmWrite;
+  event.cycle = cycle;
+  event.addr = addr;
+  event.word = value;
+  schedule_.events.push_back(std::move(event));
+}
+
+void EventRecorder::on_dm_write_block(std::uint64_t cycle, std::uint32_t addr,
+                                      std::span<const std::uint16_t> words) {
+  ExternalEvent event;
+  event.kind = EventKind::kDmWriteBlock;
+  event.cycle = cycle;
+  event.addr = addr;
+  event.words.assign(words.begin(), words.end());
+  schedule_.events.push_back(std::move(event));
+}
+
+void EventRecorder::on_interrupt(std::uint64_t cycle, unsigned core) {
+  ExternalEvent event;
+  event.kind = EventKind::kInterrupt;
+  event.cycle = cycle;
+  event.core = core;
+  schedule_.events.push_back(std::move(event));
+}
+
+void EventRecorder::on_interrupt_all(std::uint64_t cycle) {
+  ExternalEvent event;
+  event.kind = EventKind::kInterruptAll;
+  event.cycle = cycle;
+  schedule_.events.push_back(std::move(event));
+}
+
+EventSchedule EventRecorder::finish(const RunResult& result,
+                                    std::span<const std::uint64_t> host_words) {
+  schedule_.final_result = result;
+  schedule_.final_state_hash =
+      normalized_state_hash(platform_->save_snapshot());
+  schedule_.final_host_words.assign(host_words.begin(), host_words.end());
+  platform_->set_event_sink(nullptr);
+  platform_ = nullptr;
+  EventSchedule out = std::move(schedule_);
+  schedule_ = {};
+  return out;
+}
+
+// --- exact replay ------------------------------------------------------------
+
+ReplayOutcome ReplayDriver::replay(Platform& platform) const {
+  ReplayOutcome out;
+  const EventSchedule& schedule = *schedule_;
+  if (platform.image_fingerprint() != schedule.im_fingerprint) {
+    out.error = "image fingerprint mismatch: platform " +
+                hex64(platform.image_fingerprint()) + ", schedule " +
+                hex64(schedule.im_fingerprint);
+    return out;
+  }
+
+  std::size_t i = 0;
+  while (i < schedule.events.size()) {
+    const std::uint64_t target = schedule.events[i].cycle;
+    const std::uint64_t now = platform.counters().cycles;
+    if (target < now) {
+      out.error = "replay overshot event at cycle " + std::to_string(target) +
+                  " (platform already at " + std::to_string(now) + ")";
+      return out;
+    }
+    if (target > now) {
+      // Exact because stopping and continuing a run is bit-identical to
+      // one uninterrupted run, and the recorded cycle is a run-stop cycle
+      // of the original (the clock never advances while all cores sleep).
+      const RunResult slice = platform.run(target);
+      if (platform.counters().cycles != target) {
+        out.error = "replay diverged from schedule: " + slice.to_string() +
+                    " before the event recorded at cycle " +
+                    std::to_string(target);
+        return out;
+      }
+    }
+    for (; i < schedule.events.size() && schedule.events[i].cycle == target;
+         ++i) {
+      deliver_event(platform, schedule.events[i]);
+    }
+  }
+
+  const std::uint64_t end = schedule.final_result.cycles;
+  if (platform.counters().cycles < end) {
+    out.result = platform.run(end);
+    if (out.result.status == RunResult::Status::kMaxCycles &&
+        out.result.cycles == end &&
+        schedule.final_result.status != RunResult::Status::kMaxCycles) {
+      // The replay's budget *is* the recorded stop cycle, so a run that
+      // halts or falls asleep exactly there reports the exhausted bound
+      // instead of the stop reason the original saw under its larger
+      // budget. Adopt the recorded result; the final-state hash below
+      // still guards the actual state (core statuses included).
+      out.result = schedule.final_result;
+    }
+  } else {
+    // Already at the recorded end cycle (the last events did not restart
+    // anything); the final-state hash below still guards the state.
+    out.result = schedule.final_result;
+  }
+  if (!(out.result == schedule.final_result)) {
+    out.error = "replay final result mismatch: got " + out.result.to_string() +
+                ", recorded " + schedule.final_result.to_string();
+  }
+  out.final_state_matches =
+      normalized_state_hash(platform.save_snapshot()) ==
+      schedule.final_state_hash;
+  if (out.error.empty() && !out.final_state_matches)
+    out.error = "replay final state hash mismatch";
+  return out;
+}
+
+// --- fault-injecting cursor --------------------------------------------------
+
+ReplayCursor::ReplayCursor(Platform& platform, const EventSchedule& schedule,
+                           std::span<const FaultAction> faults)
+    : platform_(&platform),
+      schedule_(&schedule),
+      faults_(faults.begin(), faults.end()) {
+  seek(platform.counters().cycles);
+}
+
+void ReplayCursor::apply_wake_fault(const FaultAction& fault,
+                                    const ExternalEvent& event) {
+  if (fault.kind != FaultAction::Kind::kDelayWake) return;
+  const std::pair<std::uint64_t, unsigned> wake{event.cycle + fault.delay,
+                                                fault.core};
+  pending_wakes_.insert(
+      std::upper_bound(pending_wakes_.begin(), pending_wakes_.end(), wake),
+      wake);
+}
+
+void ReplayCursor::deliver_due() {
+  const std::uint64_t now = cycle();
+  // 1. Recorded events due now, with wake faults rewriting the targeted
+  //    interrupt: a broadcast becomes per-core wake-ups minus the faulted
+  //    core (equivalent by construction — interrupt_all is per-core wakes
+  //    in the same cycle), a single wake-up is suppressed.
+  for (; next_event_ < schedule_->events.size() &&
+         schedule_->events[next_event_].cycle == now;
+       ++next_event_) {
+    const ExternalEvent& event = schedule_->events[next_event_];
+    const bool is_wake = event.kind == EventKind::kInterrupt ||
+                         event.kind == EventKind::kInterruptAll;
+    std::uint64_t suppressed = 0;  // one bit per faulted core
+    bool any = false;
+    if (is_wake) {
+      for (const FaultAction& fault : faults_) {
+        if (fault.kind == FaultAction::Kind::kDmFlip ||
+            fault.event_index != next_event_)
+          continue;
+        if (event.kind == EventKind::kInterrupt && event.core != fault.core)
+          continue;
+        suppressed |= std::uint64_t{1} << fault.core;
+        any = true;
+        apply_wake_fault(fault, event);
+      }
+    }
+    if (!any) {
+      deliver_event(*platform_, event);
+    } else if (event.kind == EventKind::kInterruptAll) {
+      for (unsigned core = 0; core < platform_->config().num_cores; ++core) {
+        if ((suppressed >> core) & 1) continue;
+        platform_->interrupt(core);
+      }
+    }
+    // A suppressed kInterrupt delivers nothing.
+  }
+  // 2. DM bit flips due now — after the deposits of this cycle, so a flip
+  //    at a deposit cycle corrupts the freshly written word.
+  for (const FaultAction& fault : faults_) {
+    if (fault.kind != FaultAction::Kind::kDmFlip || fault.cycle != now)
+      continue;
+    platform_->dm_write(fault.addr,
+                        static_cast<std::uint16_t>(
+                            platform_->dm_read(fault.addr) ^
+                            (std::uint16_t{1} << (fault.bit & 15u))));
+  }
+  // 3. Delayed wake-ups that have come due.
+  while (!pending_wakes_.empty() && pending_wakes_.front().first == now) {
+    platform_->interrupt(pending_wakes_.front().second);
+    pending_wakes_.erase(pending_wakes_.begin());
+  }
+}
+
+void ReplayCursor::advance_to(std::uint64_t target) {
+  while (cycle() < target) {
+    deliver_due();
+    platform_->tick();
+  }
+}
+
+void ReplayCursor::seek(std::uint64_t at) {
+  next_event_ = 0;
+  while (next_event_ < schedule_->events.size() &&
+         schedule_->events[next_event_].cycle < at)
+    ++next_event_;
+  pending_wakes_.clear();
+  for (const FaultAction& fault : faults_) {
+    if (fault.kind != FaultAction::Kind::kDelayWake) continue;
+    if (fault.event_index >= schedule_->events.size()) continue;
+    const std::uint64_t source = schedule_->events[fault.event_index].cycle;
+    const std::uint64_t due = source + fault.delay;
+    // Re-arm wakes whose source interrupt was already delivered before the
+    // checkpoint but whose delayed delivery had not yet happened.
+    if (source < at && due >= at)
+      pending_wakes_.emplace_back(due, fault.core);
+  }
+  std::sort(pending_wakes_.begin(), pending_wakes_.end());
+}
+
+bool ReplayCursor::settled() const {
+  for (unsigned core = 0; core < platform_->config().num_cores; ++core) {
+    const CoreStatus status = platform_->core_status(core);
+    if (status != CoreStatus::kHalted && status != CoreStatus::kTrapped)
+      return false;
+  }
+  if (next_event_ < schedule_->events.size() || !pending_wakes_.empty())
+    return false;
+  const std::uint64_t now = platform_->counters().cycles;
+  for (const FaultAction& fault : faults_) {
+    if (fault.kind == FaultAction::Kind::kDmFlip && fault.cycle >= now)
+      return false;
+  }
+  return true;
+}
+
+// --- replay-aware divergence bisection ---------------------------------------
+
+namespace {
+
+// Snapshot comparison with the image fingerprint neutralized: IM faults
+// load a different image by construction, and the bisection must report
+// the first *architectural* effect, not the injection itself.
+bool replay_states_equal(const Snapshot& a, const Snapshot& b,
+                         DivergenceScope scope) {
+  if (scope == DivergenceScope::kCoreState) return snapshots_equal(a, b, scope);
+  Snapshot x = a;
+  Snapshot y = b;
+  x.im_fingerprint = y.im_fingerprint = 0;
+  return snapshots_equal(x, y, scope);
+}
+
+std::string replay_states_diff(Snapshot a, Snapshot b) {
+  a.im_fingerprint = b.im_fingerprint = 0;
+  return diff_snapshots(a, b);
+}
+
+ReplayDivergence make_divergence(Snapshot a, Snapshot b) {
+  ReplayDivergence report;
+  report.diverged = true;
+  report.first_divergent_cycle = a.cycle();
+  report.delta = replay_states_diff(a, b);
+  report.clean_state = std::move(a);
+  report.faulty_state = std::move(b);
+  return report;
+}
+
+}  // namespace
+
+ReplayDivergence find_first_divergence_replayed(ReplayCursor& clean,
+                                                ReplayCursor& faulty,
+                                                std::uint64_t max_cycles,
+                                                DivergenceScope scope,
+                                                std::uint64_t stride) {
+  if (stride == 0)
+    throw std::invalid_argument(
+        "find_first_divergence_replayed: stride must be positive");
+  Platform& a = clean.platform();
+  Platform& b = faulty.platform();
+  Snapshot last_a = a.save_snapshot();
+  Snapshot last_b = b.save_snapshot();
+  {
+    // Comparable: same geometry/features (ignoring the host fast-forward
+    // and burst knobs) and the same start cycle. The image fingerprint is
+    // deliberately NOT required to match (IM faults).
+    PlatformConfig ca = last_a.config;
+    PlatformConfig cb = last_b.config;
+    ca.fast_forward = cb.fast_forward = true;
+    ca.burst = cb.burst = true;
+    if (!(ca == cb) || last_a.cycle() != last_b.cycle())
+      throw std::invalid_argument(
+          "find_first_divergence_replayed: platforms are not comparable "
+          "(different config or start cycle)");
+  }
+  if (!replay_states_equal(last_a, last_b, scope))
+    return make_divergence(std::move(last_a), std::move(last_b));
+
+  while (last_a.cycle() < max_cycles) {
+    const std::uint64_t target = std::min(max_cycles, last_a.cycle() + stride);
+    clean.advance_to(target);
+    faulty.advance_to(target);
+    Snapshot now_a = a.save_snapshot();
+    Snapshot now_b = b.save_snapshot();
+    if (!replay_states_equal(now_a, now_b, scope)) {
+      // Mismatch inside (last, target]: replay from the last equal pair,
+      // single-stepping to the exact first divergent cycle.
+      a.restore_snapshot(last_a);
+      clean.seek(last_a.cycle());
+      b.restore_snapshot(last_b);
+      faulty.seek(last_b.cycle());
+      while (a.counters().cycles < target) {
+        const std::uint64_t step = a.counters().cycles + 1;
+        clean.advance_to(step);
+        faulty.advance_to(step);
+        Snapshot step_a = a.save_snapshot();
+        Snapshot step_b = b.save_snapshot();
+        if (!replay_states_equal(step_a, step_b, scope))
+          return make_divergence(std::move(step_a), std::move(step_b));
+      }
+      // Unreachable: the checkpoint mismatch must reappear in the replay.
+      return make_divergence(std::move(now_a), std::move(now_b));
+    }
+    last_a = std::move(now_a);
+    last_b = std::move(now_b);
+    if (clean.settled() && faulty.settled()) break;  // nothing can change
+  }
+  return {};
+}
+
+// --- file I/O ----------------------------------------------------------------
+
+void write_event_schedule_file(const std::string& path,
+                               const EventSchedule& schedule) {
+  const std::vector<std::uint8_t> bytes = schedule.serialize();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out)
+    throw std::runtime_error("cannot write event schedule file " + path);
+}
+
+EventSchedule read_event_schedule_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read event schedule file " + path);
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  return EventSchedule::deserialize(bytes);
+}
+
+}  // namespace ulpsync::sim

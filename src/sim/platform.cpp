@@ -235,11 +235,15 @@ void Platform::observe_lockstep_tick() {
 std::uint16_t Platform::dm_read(std::uint32_t addr) const { return dm_.read(addr); }
 
 void Platform::dm_write(std::uint32_t addr, std::uint16_t value) {
+  if (event_sink_ != nullptr)
+    event_sink_->on_dm_write(counters_.cycles, addr, value);
   dm_.write(addr, value);
 }
 
 void Platform::dm_write_block(std::uint32_t addr,
                               std::span<const std::uint16_t> words) {
+  if (event_sink_ != nullptr)
+    event_sink_->on_dm_write_block(counters_.cycles, addr, words);
   for (std::size_t i = 0; i < words.size(); ++i)
     dm_.write(addr + static_cast<std::uint32_t>(i), words[i]);
 }
@@ -256,7 +260,7 @@ const core::SynchronizerStats& Platform::sync_stats() const {
   return synchronizer_.stats();
 }
 
-void Platform::interrupt(unsigned core) {
+void Platform::wake_core(unsigned core) {
   CoreRuntime& c = cores_[core];
   if (c.status != CoreStatus::kSleeping) return;
   set_status(core, CoreStatus::kReady);
@@ -264,8 +268,15 @@ void Platform::interrupt(unsigned core) {
   c.ramp_cycles = config_.wakeup_penalty;
 }
 
+void Platform::interrupt(unsigned core) {
+  if (event_sink_ != nullptr)
+    event_sink_->on_interrupt(counters_.cycles, core);
+  wake_core(core);
+}
+
 void Platform::interrupt_all() {
-  for (unsigned i = 0; i < cores_.size(); ++i) interrupt(i);
+  if (event_sink_ != nullptr) event_sink_->on_interrupt_all(counters_.cycles);
+  for (unsigned i = 0; i < cores_.size(); ++i) wake_core(i);
 }
 
 void Platform::trap(unsigned core, TrapKind kind) {

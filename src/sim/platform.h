@@ -121,6 +121,28 @@ struct RunResult {
   friend bool operator==(const RunResult&, const RunResult&) = default;
 };
 
+/// Host-event sink: observes every *external* event delivered to the
+/// platform. The four callbacks mirror the complete host-facing input
+/// surface — `dm_write`, `dm_write_block`, `interrupt`, `interrupt_all` —
+/// so a sink sees the entire input stream of a run beyond the loaded
+/// program. `sim/event_schedule.h` records these for bit-exact replay.
+/// Sinks are pure observers: they fire before the event takes effect and
+/// must not re-enter the platform.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  /// One host DM word write (`Platform::dm_write`) delivered at `cycle`.
+  virtual void on_dm_write(std::uint64_t cycle, std::uint32_t addr,
+                           std::uint16_t value) = 0;
+  /// A contiguous host DM block write (`Platform::dm_write_block`).
+  virtual void on_dm_write_block(std::uint64_t cycle, std::uint32_t addr,
+                                 std::span<const std::uint16_t> words) = 0;
+  /// A single-core wake-up event (`Platform::interrupt`).
+  virtual void on_interrupt(std::uint64_t cycle, unsigned core) = 0;
+  /// A broadcast wake-up event (`Platform::interrupt_all`).
+  virtual void on_interrupt_all(std::uint64_t cycle) = 0;
+};
+
 /// The simulated platform: cores, banked IM/DM, crossbars, synchronizer.
 class Platform {
  public:
@@ -244,6 +266,19 @@ class Platform {
     observer_ = std::move(observer);
   }
 
+  /// Attaches a host-event sink notified of every external event (host DM
+  /// writes and wake-ups) before it takes effect. Pure observation: the
+  /// simulation is bit-identical with or without a sink. Pass nullptr to
+  /// detach; the sink must outlive every subsequent event.
+  void set_event_sink(EventSink* sink) { event_sink_ = sink; }
+
+  /// Fingerprint of the loaded program image (FNV-1a 64 over the encoded
+  /// words; see DecodedImage::fingerprint). Snapshots and recorded event
+  /// schedules both verify it before restore/replay.
+  [[nodiscard]] std::uint64_t image_fingerprint() const {
+    return im_.fingerprint();
+  }
+
   /// Attaches a lockstep-metrics sink the platform keeps up to date —
   /// O(active cores) per naive tick and batch-updated across fast-forward
   /// and burst regions, bit-identical to a per-cycle observer's
@@ -363,6 +398,10 @@ class Platform {
   /// sink).
   void observe_lockstep_tick();
 
+  /// Wake-up logic shared by `interrupt` and `interrupt_all` (which must
+  /// notify the event sink once, as a broadcast, not per core).
+  void wake_core(unsigned core);
+
   void trap(unsigned core, TrapKind kind);
   void retire(unsigned core, std::uint32_t next_pc);
   void retire_mem(unsigned core);
@@ -414,6 +453,7 @@ class Platform {
   mutable EventCounters counters_;  // mutable: lazy per-core sleep settlement
   std::function<void(const Platform&)> observer_;
   core::LockstepMetrics* lockstep_sink_ = nullptr;
+  EventSink* event_sink_ = nullptr;
 
   std::optional<RunResult> pending_stop_;
   bool was_lockstep_ = true;

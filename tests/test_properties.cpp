@@ -7,7 +7,12 @@
 //  * snapshot serialization properties: round-trip identity at arbitrary
 //    capture cycles, rejection of corrupted/truncated images (never a
 //    crash, never a silently wrong parse), determinism of warm-state
-//    capture under host concurrency, and host RNG stream checkpointing.
+//    capture under host concurrency, and host RNG stream checkpointing;
+//  * event-schedule (.evt) wire-format properties mirroring the snapshot
+//    suite: round-trip identity, truncation rejection at every prefix,
+//    corruption fuzz without crashes, and trailing-hash verification —
+//    for both the raw sim::EventSchedule image and the scenario
+//    RecordedRun envelope that wraps it.
 
 #include <gtest/gtest.h>
 
@@ -18,6 +23,8 @@
 #include "asm/assembler.h"
 #include "scenario/engine.h"
 #include "scenario/registry.h"
+#include "scenario/replay.h"
+#include "sim/event_schedule.h"
 #include "sim/executor.h"
 #include "sim/platform.h"
 #include "sim/snapshot.h"
@@ -386,6 +393,160 @@ TEST(SnapshotProperties, HostRngStreamRoundTripsThroughHostWords) {
                      parsed.host_words[2], parsed.host_words[3]});
   for (int i = 0; i < 100; ++i) {
     EXPECT_EQ(resumed.next_u64(), original.next_u64());
+  }
+}
+
+// --- event-schedule serialization properties --------------------------------
+
+// A synthetic schedule with at least one event of every kind plus the full
+// outcome block — small, but it exercises every wire-format field.
+sim::EventSchedule synthetic_schedule() {
+  sim::EventSchedule schedule;
+  schedule.im_fingerprint = 0x1234'5678'9ABC'DEF0ULL;
+  sim::ExternalEvent deposit;
+  deposit.kind = sim::EventKind::kDmWriteBlock;
+  deposit.cycle = 0;
+  deposit.addr = 0x40;
+  deposit.words = {1, 2, 3, 0xFFFF, 0x8000};
+  schedule.events.push_back(deposit);
+  sim::ExternalEvent word;
+  word.kind = sim::EventKind::kDmWrite;
+  word.cycle = 120;
+  word.addr = 0x7F0;
+  word.word = 0xBEEF;
+  schedule.events.push_back(word);
+  sim::ExternalEvent wake;
+  wake.kind = sim::EventKind::kInterrupt;
+  wake.cycle = 350;
+  wake.core = 5;
+  schedule.events.push_back(wake);
+  sim::ExternalEvent broadcast;
+  broadcast.kind = sim::EventKind::kInterruptAll;
+  broadcast.cycle = 350;
+  schedule.events.push_back(broadcast);
+  schedule.final_result.status = sim::RunResult::Status::kAllAsleep;
+  schedule.final_result.cycles = 4096;
+  schedule.final_state_hash = 0xFEED'FACE'CAFE'F00DULL;
+  schedule.final_host_words = {7, 0, 0xFFFF'FFFF'FFFF'FFFFULL};
+  return schedule;
+}
+
+// A real recorded run for envelope-level properties (sleepgen is the
+// cheapest wake-heavy builtin).
+const scenario::RecordedRun& recorded_sleepgen() {
+  static const scenario::RecordedRun run = [] {
+    scenario::RunSpec spec;
+    spec.workload = "sleepgen";
+    spec.params.samples = 8;
+    spec.max_cycles = 3'000'000;
+    return scenario::record_one(spec, scenario::Registry::builtins()).recorded;
+  }();
+  return run;
+}
+
+TEST(EventScheduleProperties, SerializeDeserializeIsIdentity) {
+  for (const sim::EventSchedule& schedule :
+       {synthetic_schedule(), recorded_sleepgen().schedule}) {
+    const auto bytes = schedule.serialize();
+    const sim::EventSchedule parsed = sim::EventSchedule::deserialize(bytes);
+    EXPECT_EQ(parsed, schedule);
+    // Re-serialization is byte-stable (one canonical image per schedule).
+    EXPECT_EQ(parsed.serialize(), bytes);
+    EXPECT_EQ(parsed.content_hash(), schedule.content_hash());
+  }
+}
+
+TEST(EventScheduleProperties, TruncatedImagesAreRejectedAtEveryLength) {
+  const auto bytes = synthetic_schedule().serialize();
+  // The synthetic image is small enough to test every proper prefix.
+  for (std::size_t length = 0; length < bytes.size(); ++length) {
+    EXPECT_THROW((void)sim::EventSchedule::deserialize(
+                     std::span(bytes.data(), length)),
+                 std::invalid_argument)
+        << "prefix length " << length;
+  }
+}
+
+TEST(EventScheduleProperties, CorruptedMagicAndVersionAreRejected) {
+  const auto bytes = synthetic_schedule().serialize();
+  // Any corruption of the 8-byte magic or the 4-byte version tag rejects.
+  for (std::size_t pos = 0; pos < 12; ++pos) {
+    auto corrupted = bytes;
+    corrupted[pos] ^= 0x40;
+    EXPECT_THROW((void)sim::EventSchedule::deserialize(corrupted),
+                 std::invalid_argument)
+        << "byte " << pos;
+  }
+}
+
+TEST(EventScheduleProperties, RandomBitFlipsNeverCrashTheParser) {
+  const auto bytes = recorded_sleepgen().schedule.serialize();
+  util::Rng rng(0xE117);
+  for (int trial = 0; trial < 400; ++trial) {
+    auto corrupted = bytes;
+    corrupted[rng.next_below(corrupted.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.next_below(8));
+    // A flip either parses (into a schedule whose re-serialization
+    // round-trips) or throws — never a crash or out-of-bounds read.
+    try {
+      const sim::EventSchedule parsed =
+          sim::EventSchedule::deserialize(corrupted);
+      EXPECT_EQ(parsed.serialize(), corrupted);
+    } catch (const std::invalid_argument&) {
+      // Expected for most flips.
+    }
+  }
+}
+
+TEST(EventScheduleProperties, PayloadFlipsFailTheTrailingHash) {
+  const auto bytes = synthetic_schedule().serialize();
+  // Flipping any single payload byte (past the magic/version header,
+  // before the 8-byte trailing hash) must be caught — if not by a field
+  // plausibility check, then by the hash itself.
+  for (std::size_t pos = 12; pos + 8 < bytes.size(); ++pos) {
+    auto corrupted = bytes;
+    corrupted[pos] ^= 0x01;
+    EXPECT_THROW((void)sim::EventSchedule::deserialize(corrupted),
+                 std::invalid_argument)
+        << "payload byte " << pos;
+  }
+  // And so must flipping the hash bytes themselves.
+  for (std::size_t pos = bytes.size() - 8; pos < bytes.size(); ++pos) {
+    auto corrupted = bytes;
+    corrupted[pos] ^= 0x01;
+    EXPECT_THROW((void)sim::EventSchedule::deserialize(corrupted),
+                 std::invalid_argument)
+        << "hash byte " << pos;
+  }
+}
+
+TEST(RecordedRunProperties, EnvelopeRoundTripsAndRejectsCorruption) {
+  const scenario::RecordedRun& run = recorded_sleepgen();
+  const auto bytes = run.serialize();
+  const scenario::RecordedRun parsed = scenario::RecordedRun::deserialize(bytes);
+  EXPECT_EQ(parsed.spec.workload, run.spec.workload);
+  EXPECT_EQ(parsed.csv_row, run.csv_row);
+  EXPECT_EQ(parsed.schedule, run.schedule);
+  EXPECT_EQ(parsed.serialize(), bytes);
+
+  util::Rng rng(0x0E77);
+  for (std::size_t length = 0; length < 32; ++length) {
+    EXPECT_THROW((void)scenario::RecordedRun::deserialize(
+                     std::span(bytes.data(), length)),
+                 std::invalid_argument)
+        << "prefix length " << length;
+  }
+  for (int trial = 0; trial < 300; ++trial) {
+    auto corrupted = bytes;
+    corrupted[rng.next_below(corrupted.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.next_below(8));
+    try {
+      const scenario::RecordedRun reparsed =
+          scenario::RecordedRun::deserialize(corrupted);
+      EXPECT_EQ(reparsed.serialize(), corrupted);
+    } catch (const std::invalid_argument&) {
+      // Expected: the trailing hash catches nearly every flip.
+    }
   }
 }
 

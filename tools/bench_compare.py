@@ -63,8 +63,9 @@ PROFILES = {
     "warm_start": {
         "headline": "speedup",
         "unit": "x",
-        "row_key": None,
-        "row_metric": None,
+        "row_key": ("mode",),
+        "row_metric": "wall_seconds",
+        "row_unit": "s",
     },
 }
 
@@ -111,6 +112,7 @@ def compare_pair(bench, profile, fresh, baseline, max_regress, allow_new_rows):
     if profile["row_key"] is not None:
         fields = profile["row_key"]
         metric = profile["row_metric"]
+        unit = profile.get("row_unit", unit)
 
         def row_key(row):
             return tuple(row[f] for f in fields)

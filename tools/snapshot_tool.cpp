@@ -12,8 +12,19 @@
 //   snapshot_tool diff <a.snap> <b.snap>
 //       Prints the first differences between two snapshots (empty output
 //       and exit 0 when identical; exit 2 when they differ).
-//   snapshot_tool hash <file.snap...>
-//       Prints the 64-bit content hash of each snapshot image.
+//   snapshot_tool hash <file.snap|file.evt...>
+//       Prints the 64-bit content hash of each image (snapshots and
+//       recorded-run envelopes alike — `.evt` files are detected by
+//       extension).
+//   snapshot_tool record <workload> [--out file.evt] [--samples N]
+//                 [--design synchronized|baseline|xbar] [--max-cycles N]
+//       Runs a builtin workload to completion, recording its external-event
+//       schedule, and writes the recorded-run envelope (scenario/replay.h).
+//       This is how the committed golden schedules under tests/golden/ are
+//       regenerated after an intentional simulator change.
+//   snapshot_tool replay <file.evt>
+//       Replays a recorded-run envelope and checks bit-identity against the
+//       recording (exit 0 when faithful, 2 on divergence).
 
 #include <cstdio>
 #include <exception>
@@ -21,6 +32,7 @@
 
 #include "core/lockstep.h"
 #include "scenario/registry.h"
+#include "scenario/replay.h"
 #include "sim/platform.h"
 #include "sim/snapshot.h"
 #include "util/cli.h"
@@ -129,17 +141,90 @@ int cmd_diff(const util::CliArgs& args) {
   return 2;
 }
 
+bool is_evt_path(const std::string& path) {
+  return path.size() >= 4 && path.compare(path.size() - 4, 4, ".evt") == 0;
+}
+
 int cmd_hash(const util::CliArgs& args) {
   if (args.positional().size() < 2) {
-    std::fprintf(stderr, "usage: snapshot_tool hash <file.snap...>\n");
+    std::fprintf(stderr, "usage: snapshot_tool hash <file.snap|file.evt...>\n");
     return 1;
   }
   for (std::size_t i = 1; i < args.positional().size(); ++i) {
-    const sim::Snapshot snap = sim::read_snapshot_file(args.positional()[i]);
-    std::printf("%016llx  %s\n",
-                static_cast<unsigned long long>(snap.content_hash()),
-                args.positional()[i].c_str());
+    const std::string& path = args.positional()[i];
+    const std::uint64_t hash =
+        is_evt_path(path)
+            ? scenario::read_recorded_run_file(path).content_hash()
+            : sim::read_snapshot_file(path).content_hash();
+    std::printf("%016llx  %s\n", static_cast<unsigned long long>(hash),
+                path.c_str());
   }
+  return 0;
+}
+
+int cmd_record(const util::CliArgs& args) {
+  if (args.positional().size() < 2) {
+    std::fprintf(stderr, "usage: snapshot_tool record <workload>\n");
+    return 1;
+  }
+  const std::string name = args.positional()[1];
+  const std::string out = args.get("out", name + ".evt");
+
+  const scenario::Registry& registry = scenario::Registry::builtins();
+  if (!registry.contains(name)) {
+    std::fprintf(stderr, "unknown workload '%s'; available:\n", name.c_str());
+    for (const std::string& known : registry.names())
+      std::fprintf(stderr, "  %s\n", known.c_str());
+    return 1;
+  }
+
+  scenario::RunSpec spec;
+  spec.workload = name;
+  spec.params.samples = static_cast<unsigned>(args.get_int("samples", 48));
+  spec.max_cycles =
+      static_cast<std::uint64_t>(args.get_int("max-cycles", 3'000'000));
+  const std::string design = args.get("design", "auto");
+  if (design == "baseline") {
+    spec.design = scenario::DesignVariant::baseline();
+  } else if (design == "xbar") {
+    spec.design = scenario::DesignVariant::xbar_only();
+  } else if (design == "synchronized") {
+    spec.design = scenario::DesignVariant::synchronized();
+  } else {
+    // auto: the synchronizer tops out at 8 cores.
+    const auto workload = registry.make(name, spec.params);
+    spec.design = workload->num_cores() <= 8
+                      ? scenario::DesignVariant::synchronized()
+                      : scenario::DesignVariant::xbar_only();
+  }
+
+  const scenario::RecordOutcome outcome =
+      scenario::record_one(spec, registry);
+  scenario::write_recorded_run_file(out, outcome.recorded);
+  std::printf("%s: %s; %zu event(s) -> %s (hash %016llx)\n", name.c_str(),
+              outcome.record.status.c_str(),
+              outcome.recorded.schedule.events.size(), out.c_str(),
+              static_cast<unsigned long long>(
+                  outcome.recorded.content_hash()));
+  return 0;
+}
+
+int cmd_replay(const util::CliArgs& args) {
+  if (args.positional().size() < 2) {
+    std::fprintf(stderr, "usage: snapshot_tool replay <file.evt>\n");
+    return 1;
+  }
+  const scenario::RecordedRun run =
+      scenario::read_recorded_run_file(args.positional()[1]);
+  const scenario::ReplayReport report =
+      scenario::replay_recorded_run(run, scenario::Registry::builtins());
+  if (!report.bit_identical) {
+    std::fprintf(stderr, "replay diverged: %s\n", report.error.c_str());
+    return 2;
+  }
+  std::printf("%s: replay bit-identical (%s, %llu cycles)\n",
+              run.spec.workload.c_str(), report.record.status.c_str(),
+              static_cast<unsigned long long>(report.record.cycles()));
   return 0;
 }
 
@@ -149,7 +234,8 @@ int main(int argc, char** argv) {
   const util::CliArgs args(argc, argv);
   if (args.positional().empty()) {
     std::fprintf(stderr,
-                 "usage: snapshot_tool <capture|dump|diff|hash> ...\n");
+                 "usage: snapshot_tool <capture|dump|diff|hash|record|replay>"
+                 " ...\n");
     return 1;
   }
   const std::string& command = args.positional().front();
@@ -158,6 +244,8 @@ int main(int argc, char** argv) {
     if (command == "dump") return cmd_dump(args);
     if (command == "diff") return cmd_diff(args);
     if (command == "hash") return cmd_hash(args);
+    if (command == "record") return cmd_record(args);
+    if (command == "replay") return cmd_replay(args);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "snapshot_tool: %s\n", error.what());
     return 1;

@@ -8,6 +8,7 @@
 //       re-simulating.
 //   sweep_shard work  --spool DIR [--worker-id X] [--resume]
 //                     [--ring-stride N] [--ring-keep K] [--max-shards M]
+//                     [--record-events DIR]
 //       Claims shards (atomic rename) and executes them until the queue is
 //       empty. Run any number of workers concurrently — processes or
 //       machines sharing the filesystem. --resume re-queues orphaned
@@ -19,11 +20,18 @@
 //   sweep_shard status --spool DIR
 //       Per-shard progress (queued/claimed/done, partial rows, owner).
 //   sweep_shard run   --out FILE [--jobs N] [--batch] [matrix flags]
+//                     [--record-events DIR]
 //       The single-process reference: runs the same matrix in this process
 //       and writes its CSV. CI diffs this against `merge`. --batch runs it
 //       on the batched many-platform engine instead (scenario/batch.h) —
 //       same bytes, so run/run --batch/merge comparisons are exact
 //       cohort-determinism checks.
+//
+// --record-events DIR (work and run) records every run's external-event
+// schedule to DIR/run-<global index>.evt (a recorded-run envelope,
+// scenario/replay.h) for later bit-exact replay and fault injection
+// (tools/fault_campaign). Recorded runs execute cold and ring-less —
+// bit-identical rows either way.
 //
 // Matrix flags (plan and run must agree for the byte-identity guarantee):
 //   --workloads a,b,c   registry names            (default mrpfltr,sqrt32)
@@ -40,6 +48,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <exception>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -150,6 +159,7 @@ int cmd_work(const util::CliArgs& args) {
   options.ring_keep = static_cast<unsigned>(args.get_int("ring-keep", 4));
   options.max_shards =
       static_cast<std::size_t>(args.get_int("max-shards", 0));
+  options.record_dir = args.get("record-events", "");
   const WorkReport report =
       work_spool(spool, Registry::builtins(), options);
   std::printf("worker done: %zu shard(s), %zu run(s) executed, "
@@ -194,8 +204,19 @@ int cmd_status(const util::CliArgs& args) {
 
 int cmd_run(const util::CliArgs& args) {
   const std::string out_path = require_flag(args, "out");
-  const std::vector<RunSpec> specs = specs_from_flags(args);
+  std::vector<RunSpec> specs = specs_from_flags(args);
   const EngineOptions options = engine_options_from(args);
+  const std::string record_dir = args.get("record-events", "");
+  if (!record_dir.empty()) {
+    // Record every run's external-event schedule to
+    // <dir>/run-<index>.evt — the same layout `work --record-events`
+    // produces, keyed by the spec's position in the expanded matrix.
+    std::filesystem::create_directories(record_dir);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      specs[i].record_events_to =
+          record_dir + "/run-" + std::to_string(i) + ".evt";
+    }
+  }
   std::vector<RunRecord> records;
   if (args.has("batch")) {
     // The batched many-platform engine (scenario/batch.h); records are

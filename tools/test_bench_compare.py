@@ -42,6 +42,19 @@ def make_cohort_bench(min_speedup=3.2, rows=None):
     }
 
 
+def make_warm_bench(speedup=3.5, rows=None):
+    if rows is None:
+        rows = [("cold", 0.50), ("warm", 0.14)]
+    return {
+        "bench": "warm_start",
+        "speedup": speedup,
+        "runs": [
+            {"mode": m, "wall_seconds": w, "sim_cycles": 1000}
+            for (m, w) in rows
+        ],
+    }
+
+
 def run_compare(tmp_path, fresh, baseline, *extra):
     fresh_path = tmp_path / "fresh.json"
     base_path = tmp_path / "baseline.json"
@@ -128,6 +141,34 @@ def test_cohort_row_missing_from_fresh_fails(tmp_path):
     assert run_compare(tmp_path, fresh, make_cohort_bench()) == 1
 
 
+def test_warm_identical_runs_pass(tmp_path):
+    bench = make_warm_bench()
+    assert run_compare(tmp_path, bench, copy.deepcopy(bench)) == 0
+
+
+def test_warm_headline_regression_fails(tmp_path):
+    # The warm-start speedup collapsing (snapshot resume silently falling
+    # back to cold re-simulation) must trip the gate.
+    fresh = make_warm_bench(speedup=1.0, rows=[("cold", 0.50), ("warm", 0.50)])
+    assert run_compare(tmp_path, fresh, make_warm_bench()) == 1
+
+
+def test_warm_row_missing_from_fresh_fails(tmp_path):
+    # The warm_start profile must exercise the missing-row hard-fail too:
+    # a fresh run that lost its warm leg is not a gated benchmark anymore.
+    fresh = make_warm_bench(rows=[("cold", 0.50)])
+    assert run_compare(tmp_path, fresh, make_warm_bench()) == 1
+
+
+def test_warm_new_row_needs_flag(tmp_path):
+    fresh = make_warm_bench(
+        rows=[("cold", 0.50), ("warm", 0.14), ("sharded", 0.30)]
+    )
+    assert run_compare(tmp_path, fresh, make_warm_bench()) == 1
+    assert run_compare(tmp_path, fresh, make_warm_bench(),
+                       "--allow-new-rows") == 0
+
+
 def test_mixed_benches_gate_in_one_invocation(tmp_path):
     # One CLI call gates sim_throughput and cohort_throughput pairs; a
     # regression in either bench fails the whole invocation.
@@ -164,12 +205,13 @@ def test_three_files_of_one_bench_is_a_clear_error(tmp_path):
 
 
 def test_committed_baselines_gate_themselves_together():
-    # Both committed baselines as fresh runs in one invocation; each pairs
+    # All committed baselines as fresh runs in one invocation; each pairs
     # with its own repo-root default baseline (itself).
     root = Path(__file__).resolve().parent.parent
     sim = str(root / "BENCH_sim_throughput.json")
     cohort = str(root / "BENCH_cohort_throughput.json")
-    assert bench_compare.main([sim, cohort]) == 0
+    warm = str(root / "BENCH_warm_start.json")
+    assert bench_compare.main([sim, cohort, warm]) == 0
 
 
 if __name__ == "__main__":
