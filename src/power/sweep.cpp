@@ -17,6 +17,36 @@ DesignCharacterization characterize(const EnergyParams& params,
   return design;
 }
 
+EnergyReport energy_report(const EnergyPerCycle& energy, double ops_per_cycle,
+                           std::uint64_t cycles, double f_mhz, double voltage,
+                           const VoltageScaling& scaling) {
+  EnergyReport report;
+  report.f_mhz = f_mhz > 0.0 ? f_mhz : scaling.nominal_fmax_mhz();
+  if (voltage > 0.0) {
+    report.voltage = voltage;
+    // An explicit supply must actually sustain the clock; `fmax_mhz` and
+    // `min_voltage_for` are exact inverses, so no epsilon is needed.
+    report.feasible = scaling.fmax_mhz(voltage) >= report.f_mhz;
+  } else {
+    const std::optional<double> min_v = scaling.min_voltage_for(report.f_mhz);
+    report.feasible = min_v.has_value();
+    report.voltage = min_v.value_or(0.0);
+  }
+  report.mops = ops_per_cycle * report.f_mhz;
+  if (!report.feasible) return report;
+  report.breakdown =
+      breakdown_at(energy, report.f_mhz, scaling.dynamic_scale(report.voltage),
+                   scaling.leakage_mw(report.voltage));
+  const double total_mw = report.breakdown.total_mw();
+  // mW per MOps/s is nJ/op; the report quotes pJ/op.
+  if (report.mops > 0.0) report.energy_per_op_pj = total_mw / report.mops * 1000.0;
+  // mW times seconds is mJ; the report quotes µJ. Seconds at f [MHz] are
+  // cycles / (f * 1e6).
+  report.total_energy_uj =
+      total_mw * static_cast<double>(cycles) / report.f_mhz / 1000.0;
+  return report;
+}
+
 std::optional<OperatingPoint> WorkloadSweep::at(double mops) const {
   if (design_.ops_per_cycle <= 0.0) return std::nullopt;
   const double f_mhz = mops / design_.ops_per_cycle;

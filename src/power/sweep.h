@@ -40,6 +40,41 @@ struct OperatingPoint {
   PowerBreakdown breakdown;
 };
 
+/// One resolved per-record energy report: the run's per-cycle energies
+/// scaled to a concrete (f, V) operating point. This is what the scenario
+/// engine derives when a `RunSpec` carries an energy request; every field
+/// is a pure function of the run's exact event counters and the requested
+/// point, so reports are bit-identical across every execution mode that
+/// keeps the counters bit-identical (fast-forward, bursts, the batch
+/// engine, sharded workers, replay).
+struct EnergyReport {
+  /// False when the requested point is unreachable (the clock exceeds the
+  /// nominal-voltage maximum, or an explicit supply cannot sustain it);
+  /// the power fields are all zero then and only `f_mhz`/`voltage` echo
+  /// the request.
+  bool feasible = false;
+  double f_mhz = 0.0;    ///< resolved operating clock (MHz)
+  double voltage = 0.0;  ///< resolved supply (V)
+  double mops = 0.0;     ///< delivered useful workload at f (MOps/s)
+  PowerBreakdown breakdown;
+  /// Total energy per useful operation at the point (pJ/op).
+  double energy_per_op_pj = 0.0;
+  /// Whole-run energy at the point: total power times the run's wall time
+  /// at f (µJ).
+  double total_energy_uj = 0.0;
+};
+
+/// Resolves an energy report for a finished run (see `EnergyReport`).
+/// `f_mhz == 0` selects the scaling model's nominal maximum frequency;
+/// `voltage == 0` selects the lowest supply that sustains the clock.
+/// An explicit supply below what the clock needs makes the point
+/// infeasible rather than silently over-clocking it.
+[[nodiscard]] EnergyReport energy_report(const EnergyPerCycle& energy,
+                                         double ops_per_cycle,
+                                         std::uint64_t cycles, double f_mhz,
+                                         double voltage,
+                                         const VoltageScaling& scaling);
+
 class WorkloadSweep {
  public:
   WorkloadSweep(DesignCharacterization design, VoltageScaling scaling)

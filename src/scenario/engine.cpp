@@ -9,6 +9,8 @@
 
 #include "core/lockstep.h"
 #include "power/model.h"
+#include "power/scaling.h"
+#include "power/sweep.h"
 #include "scenario/checkpoint_ring.h"
 #include "scenario/replay.h"
 #include "sim/platform.h"
@@ -55,11 +57,29 @@ void finish_record(RunRecord& record, const Workload& workload,
           ? 0.0
           : static_cast<double>(record.useful_ops) /
                 static_cast<double>(record.counters.cycles);
+  // The energy request's params variant overrides the design-derived
+  // default; `kAuto` (and no request at all) keeps the Table I pairing.
+  bool charge_synchronized = record.spec.with_synchronizer();
+  if (record.spec.energy &&
+      record.spec.energy->params != EnergyRequest::Params::kAuto) {
+    charge_synchronized =
+        record.spec.energy->params == EnergyRequest::Params::kSynchronized;
+  }
   const power::EnergyParams energy_params =
-      record.spec.with_synchronizer() ? power::EnergyParams::synchronized()
-                                      : power::EnergyParams::baseline();
+      charge_synchronized ? power::EnergyParams::synchronized()
+                          : power::EnergyParams::baseline();
   record.energy = power::energy_per_cycle(energy_params, record.counters,
                                           record.sync_stats);
+  if (record.spec.energy) {
+    // Scale the exact per-cycle energies to the requested operating point
+    // (power/sweep.h). Pure double arithmetic over the counters, so the
+    // report is bit-identical across every execution mode that keeps the
+    // counters bit-identical.
+    record.energy_report = power::energy_report(
+        record.energy, record.ops_per_cycle, record.counters.cycles,
+        record.spec.energy->f_mhz, record.spec.energy->voltage,
+        power::VoltageScaling{power::VoltageParams{}});
+  }
   // Verify only runs whose platform reached a legal final state; a trap
   // or an exhausted budget is itself the failure.
   if (result.status == sim::RunResult::Status::kAllHalted ||
@@ -98,6 +118,10 @@ std::string warm_group_key(const RunSpec& spec) {
       << '|' << (spec.fast_forward ? static_cast<int>(*spec.fast_forward) : -1)
       << '|' << (spec.burst ? static_cast<int>(*spec.burst) : -1)
       << '|' << spec.checkpoint_at.value_or(0);
+  // `spec.energy` is deliberately excluded: the energy request only shapes
+  // the derived report columns, never the simulation, so specs differing
+  // only in their operating point share one warm-up prefix — the sharing
+  // the design-search driver is built around.
   return key.str();
 }
 

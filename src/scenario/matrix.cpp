@@ -49,6 +49,11 @@ Matrix& Matrix::im_line_slots(std::vector<unsigned> lines) {
   return *this;
 }
 
+Matrix& Matrix::energy(std::vector<EnergyRequest> points) {
+  energy_ = std::move(points);
+  return *this;
+}
+
 Matrix& Matrix::max_cycles(std::uint64_t budget) {
   max_cycles_ = budget;
   return *this;
@@ -83,7 +88,8 @@ std::size_t Matrix::size() const {
   const std::size_t designs = designs_.empty() ? 2 : designs_.size();
   return workloads_.size() * designs * axis_size(num_cores_.size()) *
          axis_size(samples_.size()) * axis_size(arbitration_.size()) *
-         axis_size(im_line_slots_.size()) * axis_size(cohort_patients_);
+         axis_size(im_line_slots_.size()) * axis_size(energy_.size()) *
+         axis_size(cohort_patients_);
 }
 
 std::vector<RunSpec> Matrix::expand() const {
@@ -96,6 +102,7 @@ std::vector<RunSpec> Matrix::expand() const {
   const auto samples = optional_axis(samples_);
   const auto arbitration = optional_axis(arbitration_);
   const auto lines = optional_axis(im_line_slots_);
+  const auto energy = optional_axis(energy_);
 
   std::vector<RunSpec> specs;
   specs.reserve(size());
@@ -105,25 +112,28 @@ std::vector<RunSpec> Matrix::expand() const {
         for (const auto sample_count : samples) {
           for (const auto& policy : arbitration) {
             for (const auto& line : lines) {
-              const std::uint64_t patients =
-                  cohort_patients_ == 0 ? 1 : cohort_patients_;
-              for (std::uint64_t patient = 0; patient < patients; ++patient) {
-                RunSpec spec;
-                spec.workload = workload;
-                spec.params = base_params_;
-                if (core_count) spec.params.num_channels = *core_count;
-                if (sample_count) spec.params.samples = *sample_count;
-                spec.design = design;
-                spec.arbitration = policy;
-                spec.im_line_slots = line;
-                spec.max_cycles = max_cycles_;
-                if (cohort_patients_ != 0) {
-                  spec.params.generator = ecg::patient_params(
-                      cohort_params_, base_params_.generator, patient);
-                  spec.cohort = CohortTag{cohort_params_.seed, patient,
-                                          cohort_patients_};
+              for (const auto& point : energy) {
+                const std::uint64_t patients =
+                    cohort_patients_ == 0 ? 1 : cohort_patients_;
+                for (std::uint64_t patient = 0; patient < patients; ++patient) {
+                  RunSpec spec;
+                  spec.workload = workload;
+                  spec.params = base_params_;
+                  if (core_count) spec.params.num_channels = *core_count;
+                  if (sample_count) spec.params.samples = *sample_count;
+                  spec.design = design;
+                  spec.arbitration = policy;
+                  spec.im_line_slots = line;
+                  spec.energy = point;
+                  spec.max_cycles = max_cycles_;
+                  if (cohort_patients_ != 0) {
+                    spec.params.generator = ecg::patient_params(
+                        cohort_params_, base_params_.generator, patient);
+                    spec.cohort = CohortTag{cohort_params_.seed, patient,
+                                            cohort_patients_};
+                  }
+                  specs.push_back(std::move(spec));
                 }
-                specs.push_back(std::move(spec));
               }
             }
           }

@@ -46,6 +46,11 @@ class Matrix {
   Matrix& arbitration(std::vector<sim::ArbitrationPolicy> policies);
   /// IM bank-mapping axis; 0 selects pure block mapping.
   Matrix& im_line_slots(std::vector<unsigned> lines);
+  /// Energy-report axis: every expanded spec fans out over these operating
+  /// points (`RunSpec::energy`). The request never influences the
+  /// simulation — points of one design share a warm-up prefix — it only
+  /// adds the record's power columns at the requested (V, f).
+  Matrix& energy(std::vector<EnergyRequest> points);
   /// Cycle budget applied to every expanded spec.
   Matrix& max_cycles(std::uint64_t budget);
   /// Patient-cohort axis, expanded innermost: every design/core/sample
@@ -72,6 +77,7 @@ class Matrix {
   std::vector<unsigned> samples_;
   std::vector<sim::ArbitrationPolicy> arbitration_;
   std::vector<unsigned> im_line_slots_;
+  std::vector<EnergyRequest> energy_;
   std::uint64_t max_cycles_ = 500'000'000;
   unsigned cohort_patients_ = 0;  ///< 0 = cohort axis unset
   ecg::CohortParams cohort_params_{};

@@ -7,10 +7,6 @@
 
 namespace ulpsync::scenario {
 
-namespace {
-
-// --- value formatting / parsing --------------------------------------------
-
 std::string format_double(double value) {
   // Shortest representation that round-trips through strtod.
   char buffer[64];
@@ -20,6 +16,19 @@ std::string format_double(double value) {
   }
   return buffer;
 }
+
+std::string_view arbitration_name(sim::ArbitrationPolicy policy) {
+  switch (policy) {
+    case sim::ArbitrationPolicy::kFixedPriority: return "fixed-priority";
+    case sim::ArbitrationPolicy::kOldestFirst: return "oldest-first";
+    case sim::ArbitrationPolicy::kRoundRobin: return "round-robin";
+  }
+  return "?";
+}
+
+namespace {
+
+// --- value formatting / parsing --------------------------------------------
 
 [[noreturn]] void fail_number(const std::string& text) {
   throw std::invalid_argument("malformed RunRecord number '" + text + "'");
@@ -46,21 +55,28 @@ double parse_double(const std::string& text) {
   return value;
 }
 
-std::string_view arbitration_name(sim::ArbitrationPolicy policy) {
-  switch (policy) {
-    case sim::ArbitrationPolicy::kFixedPriority: return "fixed-priority";
-    case sim::ArbitrationPolicy::kOldestFirst: return "oldest-first";
-    case sim::ArbitrationPolicy::kRoundRobin: return "round-robin";
-  }
-  return "?";
-}
-
 std::optional<sim::ArbitrationPolicy> arbitration_from(const std::string& name) {
   if (name.empty()) return std::nullopt;
   if (name == "fixed-priority") return sim::ArbitrationPolicy::kFixedPriority;
   if (name == "oldest-first") return sim::ArbitrationPolicy::kOldestFirst;
   if (name == "round-robin") return sim::ArbitrationPolicy::kRoundRobin;
   throw std::invalid_argument("unknown arbitration policy '" + name + "'");
+}
+
+std::string_view energy_params_name(EnergyRequest::Params params) {
+  switch (params) {
+    case EnergyRequest::Params::kAuto: return "auto";
+    case EnergyRequest::Params::kBaseline: return "baseline";
+    case EnergyRequest::Params::kSynchronized: return "synchronized";
+  }
+  return "?";
+}
+
+EnergyRequest::Params energy_params_from(const std::string& name) {
+  if (name == "auto") return EnergyRequest::Params::kAuto;
+  if (name == "baseline") return EnergyRequest::Params::kBaseline;
+  if (name == "synchronized") return EnergyRequest::Params::kSynchronized;
+  throw std::invalid_argument("unknown energy params variant '" + name + "'");
 }
 
 // --- the field table --------------------------------------------------------
@@ -231,6 +247,59 @@ const std::vector<FieldDef>& field_table() {
       FIELD_DOUBLE("energy_ixbar_pj", energy.ixbar_pj),
       FIELD_DOUBLE("energy_sync_pj", energy.synchronizer_pj),
       FIELD_DOUBLE("energy_clock_pj", energy.clock_tree_pj),
+      // --- energy request (spec) ---
+      {"energy_params", true,
+       [](const RunRecord& r) -> std::string {
+         if (!r.spec.energy) return {};
+         return std::string(energy_params_name(r.spec.energy->params));
+       },
+       [](RunRecord& r, const std::string& v) {
+         if (v.empty()) return;
+         if (!r.spec.energy) r.spec.energy.emplace();
+         r.spec.energy->params = energy_params_from(v);
+       }},
+      {"energy_req_f_mhz", true,
+       [](const RunRecord& r) -> std::string {
+         return r.spec.energy ? format_double(r.spec.energy->f_mhz)
+                              : std::string{};
+       },
+       [](RunRecord& r, const std::string& v) {
+         if (v.empty()) return;
+         if (!r.spec.energy) r.spec.energy.emplace();
+         r.spec.energy->f_mhz = parse_double(v);
+       }},
+      {"energy_req_voltage", true,
+       [](const RunRecord& r) -> std::string {
+         return r.spec.energy ? format_double(r.spec.energy->voltage)
+                              : std::string{};
+       },
+       [](RunRecord& r, const std::string& v) {
+         if (v.empty()) return;
+         if (!r.spec.energy) r.spec.energy.emplace();
+         r.spec.energy->voltage = parse_double(v);
+       }},
+      // --- energy report (resolved operating point + power) ---
+      FIELD_BOOL("energy_feasible", energy_report.feasible),
+      FIELD_DOUBLE("op_f_mhz", energy_report.f_mhz),
+      FIELD_DOUBLE("op_voltage", energy_report.voltage),
+      FIELD_DOUBLE("op_mops", energy_report.mops),
+      FIELD_DOUBLE("power_cores_mw", energy_report.breakdown.cores_mw),
+      FIELD_DOUBLE("power_im_mw", energy_report.breakdown.im_mw),
+      FIELD_DOUBLE("power_dm_mw", energy_report.breakdown.dm_mw),
+      FIELD_DOUBLE("power_dxbar_mw", energy_report.breakdown.dxbar_mw),
+      FIELD_DOUBLE("power_ixbar_mw", energy_report.breakdown.ixbar_mw),
+      FIELD_DOUBLE("power_sync_mw", energy_report.breakdown.synchronizer_mw),
+      FIELD_DOUBLE("power_clock_mw", energy_report.breakdown.clock_tree_mw),
+      FIELD_DOUBLE("power_leakage_mw", energy_report.breakdown.leakage_mw),
+      {"power_total_mw", false,
+       [](const RunRecord& r) -> std::string {
+         return format_double(r.energy_report.breakdown.total_mw());
+       },
+       // Derived: recomputed from the parsed components, so the setter is
+       // a deliberate no-op (the sum re-emits byte-identically).
+       [](RunRecord&, const std::string&) {}},
+      FIELD_DOUBLE("energy_per_op_pj", energy_report.energy_per_op_pj),
+      FIELD_DOUBLE("energy_total_uj", energy_report.total_energy_uj),
   };
   return fields;
 }

@@ -19,6 +19,7 @@
 
 #include "core/synchronizer.h"
 #include "power/model.h"
+#include "power/sweep.h"
 #include "scenario/spec.h"
 #include "sim/counters.h"
 
@@ -38,6 +39,10 @@ struct RunRecord {
   sim::EventCounters counters;
   core::SynchronizerStats sync_stats;
   power::EnergyPerCycle energy;  ///< per-cycle component energies at 1.2 V
+  /// Resolved energy report when the spec carries an `EnergyRequest`
+  /// (all-zero otherwise): the run's energies scaled to the requested
+  /// voltage/frequency operating point, plus total power and energy/op.
+  power::EnergyReport energy_report;
   /// Workload-specific outputs from Workload::report().
   std::vector<std::pair<std::string, std::string>> extra;
 
@@ -52,6 +57,16 @@ struct RunRecord {
   /// Value of an extra field, or "" when absent.
   [[nodiscard]] std::string_view extra_value(std::string_view key) const;
 };
+
+/// Shortest decimal representation of `value` that round-trips through
+/// strtod — how every serialized double is formatted (the field table, the
+/// design-search frontier CSV), so re-emitting a parsed record reproduces
+/// its bytes.
+[[nodiscard]] std::string format_double(double value);
+
+/// Display name of an arbitration policy ("fixed-priority", "oldest-first",
+/// "round-robin") — the spelling the CSV/JSON field table uses.
+[[nodiscard]] std::string_view arbitration_name(sim::ArbitrationPolicy policy);
 
 // --- CSV -------------------------------------------------------------------
 

@@ -33,7 +33,9 @@ namespace ulpsync::scenario {
 /// One recorded run: spec + event schedule + the original CSV row (see
 /// the file comment).
 struct RecordedRun {
-  static constexpr std::uint32_t kFormatVersion = 1;
+  /// Version 2: the embedded spec codec gained the optional
+  /// `EnergyRequest` (and the comparison CSV row its power columns).
+  static constexpr std::uint32_t kFormatVersion = 2;
 
   RunSpec spec;
   /// Whether the recording ran with a lockstep analyzer attached (the

@@ -24,7 +24,8 @@ namespace fs = std::filesystem;
 namespace {
 
 constexpr std::uint8_t kBundleMagic[8] = {'U', 'L', 'P', 'S', 'P', 'O', 'L', '\n'};
-constexpr std::uint32_t kBundleVersion = 2;
+// Version 3 appended the optional `EnergyRequest` to the spec codec.
+constexpr std::uint32_t kBundleVersion = 3;
 constexpr std::string_view kManifestHeader = "ulpsync-spool v1";
 constexpr std::uint32_t kNoWarmRef = 0xFFFFFFFFu;
 
@@ -93,6 +94,12 @@ void encode_run_spec(util::WireWriter& w, const RunSpec& spec) {
   w.u64(spec.max_cycles);
   w.boolean(spec.checkpoint_at.has_value());
   if (spec.checkpoint_at) w.u64(*spec.checkpoint_at);
+  w.boolean(spec.energy.has_value());
+  if (spec.energy) {
+    w.u8(static_cast<std::uint8_t>(spec.energy->params));
+    w.u64(std::bit_cast<std::uint64_t>(spec.energy->f_mhz));
+    w.u64(std::bit_cast<std::uint64_t>(spec.energy->voltage));
+  }
 }
 
 RunSpec decode_run_spec(util::WireReader& r) {
@@ -131,6 +138,17 @@ RunSpec decode_run_spec(util::WireReader& r) {
   if (r.boolean()) spec.burst = r.boolean();
   spec.max_cycles = r.u64();
   if (r.boolean()) spec.checkpoint_at = r.u64();
+  if (r.boolean()) {
+    EnergyRequest request;
+    const std::uint8_t params = r.u8();
+    if (params > static_cast<std::uint8_t>(EnergyRequest::Params::kSynchronized)) {
+      throw std::invalid_argument("run spec: bad energy params variant");
+    }
+    request.params = static_cast<EnergyRequest::Params>(params);
+    request.f_mhz = std::bit_cast<double>(r.u64());
+    request.voltage = std::bit_cast<double>(r.u64());
+    spec.energy = request;
+  }
   return spec;
 }
 

@@ -175,7 +175,8 @@ struct ShardBundle {
 /// Stable wire encoding of one RunSpec — the codec shard bundles store
 /// specs with, shared with the recorded-run envelope (scenario/replay.h).
 /// Serializes the execution-relevant fields (workload, params, design,
-/// platform overrides, budgets); host-side plumbing (`resume_from`,
+/// platform overrides, budgets) plus the energy request (it shapes the
+/// record's CSV bytes); host-side plumbing (`resume_from`,
 /// `record_events_to`, the cohort tag) is deliberately not on the wire.
 void encode_run_spec(util::WireWriter& w, const RunSpec& spec);
 /// Decodes `encode_run_spec` output. Throws std::invalid_argument on

@@ -53,6 +53,28 @@ struct CohortTag {
   std::uint64_t patients = 0;  ///< cohort size
 };
 
+/// Request for a per-record energy report: which per-event energy
+/// calibration to charge (`power::EnergyParams` variant) and which
+/// voltage/frequency operating point to scale the run's per-cycle energies
+/// to. Purely derived output — the request never influences the simulation
+/// itself (counters, traces, snapshots are bit-identical with or without
+/// it), it only adds the `op_*`/`power_*`/`energy_per_op_pj` columns to the
+/// record. It *is* serialized in shard bundles and recorded-run envelopes,
+/// because the record's CSV bytes depend on it.
+struct EnergyRequest {
+  /// Which `power::EnergyParams` calibration to charge. `kAuto` follows
+  /// the spec's design (synchronized() with the hardware synchronizer,
+  /// baseline() without) — the pairing the paper's Table I calibrates.
+  enum class Params : std::uint8_t { kAuto = 0, kBaseline = 1, kSynchronized = 2 };
+  Params params = Params::kAuto;
+  /// Operating clock in MHz; 0 selects the scaling model's nominal
+  /// maximum (83.33 MHz for the paper's 12 ns constraint).
+  double f_mhz = 0.0;
+  /// Supply voltage; 0 selects the lowest supply sustaining `f_mhz`
+  /// (paper Section V-A voltage scaling).
+  double voltage = 0.0;
+};
+
 /// One fully resolved simulation run (see the file comment).
 struct RunSpec {
   std::string workload;  ///< registry name
@@ -64,6 +86,9 @@ struct RunSpec {
   /// the workload's (i.e. the paper's) defaults.
   std::optional<sim::ArbitrationPolicy> arbitration;
   std::optional<unsigned> im_line_slots;  ///< 0 = pure block mapping
+  /// Per-record energy report request (see `EnergyRequest`); unset keeps
+  /// the record's power columns empty.
+  std::optional<EnergyRequest> energy;
   /// Host-simulation override of `sim::PlatformConfig::fast_forward` (idle
   /// fast-forward; results are bit-identical either way, so this only
   /// matters to equivalence tests and the perf harness). Unset keeps the

@@ -173,6 +173,120 @@ TEST(Sweep, LowerVoltageAtLowerWorkload) {
   EXPECT_LT(low->voltage, high->voltage);
 }
 
+// --- per-record energy report (scenario layer's power integration) ----------
+
+TEST(EnergyReport, ResolvesDefaultOperatingPointExactly) {
+  const auto energy = energy_per_cycle(EnergyParams::synchronized(),
+                                       fake_counters(), {});
+  const VoltageScaling scaling{VoltageParams{}};
+  const EnergyReport report =
+      energy_report(energy, 2.0, 1000, 0.0, 0.0, scaling);
+  ASSERT_TRUE(report.feasible);
+  EXPECT_DOUBLE_EQ(report.f_mhz, scaling.nominal_fmax_mhz());
+  EXPECT_NEAR(report.voltage, 1.2, 1e-6);
+  EXPECT_DOUBLE_EQ(report.mops, 2.0 * report.f_mhz);
+  // Internal consistency of the derived quantities.
+  const double total_mw = report.breakdown.total_mw();
+  EXPECT_NEAR(report.energy_per_op_pj, total_mw / report.mops * 1000.0, 1e-9);
+  EXPECT_NEAR(report.total_energy_uj, total_mw * 1000 / report.f_mhz / 1000.0,
+              1e-9);
+}
+
+TEST(EnergyReport, TotalPowerMonotoneInFrequency) {
+  // Auto voltage: raising the clock raises both the dynamic power (more
+  // switching, higher supply) and the leakage (higher supply).
+  const auto energy = energy_per_cycle(EnergyParams::synchronized(),
+                                       fake_counters(), {});
+  const VoltageScaling scaling{VoltageParams{}};
+  double previous_mw = 0.0;
+  double previous_v = 0.0;
+  for (const double f : {5.0, 10.0, 20.0, 40.0, 60.0, 80.0}) {
+    const EnergyReport report =
+        energy_report(energy, 2.0, 1000, f, 0.0, scaling);
+    ASSERT_TRUE(report.feasible) << f;
+    EXPECT_GT(report.breakdown.total_mw(), previous_mw) << f;
+    EXPECT_GT(report.voltage, previous_v) << f;
+    previous_mw = report.breakdown.total_mw();
+    previous_v = report.voltage;
+  }
+}
+
+TEST(EnergyReport, TotalPowerMonotoneInVoltageAtFixedClock) {
+  const auto energy = energy_per_cycle(EnergyParams::synchronized(),
+                                       fake_counters(), {});
+  const VoltageScaling scaling{VoltageParams{}};
+  double previous_mw = 0.0;
+  for (const double v : {0.8, 0.9, 1.0, 1.1, 1.2}) {
+    const EnergyReport report =
+        energy_report(energy, 2.0, 1000, 20.0, v, scaling);
+    ASSERT_TRUE(report.feasible) << v;
+    EXPECT_DOUBLE_EQ(report.voltage, v);
+    EXPECT_GT(report.breakdown.total_mw(), previous_mw) << v;
+    previous_mw = report.breakdown.total_mw();
+  }
+}
+
+TEST(EnergyReport, InfeasiblePointsReportEmpty) {
+  const auto energy = energy_per_cycle(EnergyParams::synchronized(),
+                                       fake_counters(), {});
+  const VoltageScaling scaling{VoltageParams{}};
+  // Clock above the nominal maximum: no voltage sustains it.
+  const EnergyReport too_fast =
+      energy_report(energy, 2.0, 1000, 90.0, 0.0, scaling);
+  EXPECT_FALSE(too_fast.feasible);
+  EXPECT_EQ(too_fast.breakdown.total_mw(), 0.0);
+  EXPECT_EQ(too_fast.energy_per_op_pj, 0.0);
+  // Explicit supply too low for the requested clock.
+  const EnergyReport too_low =
+      energy_report(energy, 2.0, 1000, 50.0, 0.7, scaling);
+  EXPECT_FALSE(too_low.feasible);
+}
+
+TEST(Integration, TableIBreakdownInvariantsHoldForEveryBenchmark) {
+  // Table I reports the dynamic power distribution of both designs at
+  // 8 MOps/s and 1.2 V. The absolute calibration is approximate (see
+  // power/model.h), so this pins the *invariants* of the table — per
+  // component, with generous ±50% envelopes around the paper's ranges.
+  const VoltageScaling scaling{VoltageParams{}};
+  for (const auto kind :
+       {kernels::BenchmarkKind::kMrpfltr, kernels::BenchmarkKind::kSqrt32,
+        kernels::BenchmarkKind::kMrpdln}) {
+    kernels::BenchmarkParams params;
+    params.samples = 64;
+    const kernels::Benchmark benchmark(kind, params);
+    const auto wo = kernels::run_benchmark(benchmark, false);
+    const auto with = kernels::run_benchmark(benchmark, true);
+    ASSERT_TRUE(wo.result.ok() && with.result.ok());
+
+    auto breakdown_at_8mops = [&](const kernels::BenchmarkRun& run,
+                                  const EnergyParams& calibration) {
+      const DesignCharacterization design = characterize(
+          calibration, run.counters, run.sync_stats, run.useful_ops);
+      const double f_mhz = 8.0 / design.ops_per_cycle;
+      return breakdown_at(design.energy, f_mhz, scaling.dynamic_scale(1.2),
+                          0.0);
+    };
+    const PowerBreakdown b_wo = breakdown_at_8mops(wo, EnergyParams::baseline());
+    const PowerBreakdown b_with =
+        breakdown_at_8mops(with, EnergyParams::synchronized());
+
+    // Row invariants (paper ranges: w/o 0.64..0.94 mW, with 0.47..0.58 mW).
+    EXPECT_GT(b_wo.dynamic_mw(), 0.32);
+    EXPECT_LT(b_wo.dynamic_mw(), 1.41);
+    EXPECT_GT(b_with.dynamic_mw(), 0.23);
+    EXPECT_LT(b_with.dynamic_mw(), 0.87);
+    // The synchronized design wins the iso-workload comparison outright.
+    EXPECT_LT(b_with.dynamic_mw(), b_wo.dynamic_mw());
+    // IM and clock tree shrink (lockstep fetch sharing); the synchronizer
+    // row exists only with the hardware and stays a small fraction.
+    EXPECT_LT(b_with.im_mw, b_wo.im_mw);
+    EXPECT_LT(b_with.clock_tree_mw, b_wo.clock_tree_mw);
+    EXPECT_EQ(b_wo.synchronizer_mw, 0.0);
+    EXPECT_GT(b_with.synchronizer_mw, 0.0);
+    EXPECT_LT(b_with.synchronizer_mw, 0.1 * b_with.dynamic_mw());
+  }
+}
+
 TEST(Integration, SynchronizedDesignSavesPowerAtIsoWorkload) {
   // End-to-end: run a real benchmark on both designs and compare power at a
   // workload both can sustain — the paper's headline comparison.

@@ -550,5 +550,89 @@ TEST(RecordedRunProperties, EnvelopeRoundTripsAndRejectsCorruption) {
   }
 }
 
+// --- energy-report serialization properties ---------------------------------
+
+TEST(EnergyRecordProperties, EnergyColumnsRoundTripThroughCsvAndJson) {
+  // Randomized operating points (plus the no-request control): the energy
+  // columns must survive CSV parse → re-emit and JSON parse → re-emit
+  // byte-for-byte, and the parsed report must equal the original exactly
+  // (format_double is shortest-round-trip, so equality is exact).
+  util::Rng rng(0xE9E9);
+  std::vector<scenario::RunSpec> specs;
+  {
+    scenario::RunSpec control;  // no energy request: columns stay empty
+    control.workload = "mrpfltr";
+    control.params.samples = 24;
+    specs.push_back(std::move(control));
+  }
+  for (int trial = 0; trial < 6; ++trial) {
+    scenario::RunSpec spec;
+    spec.workload = "mrpfltr";
+    spec.params.samples = 24;
+    scenario::EnergyRequest request;
+    request.params = static_cast<scenario::EnergyRequest::Params>(
+        rng.next_below(3));
+    // Mix feasible clocks, the nominal-default 0, and infeasible ones.
+    request.f_mhz = trial == 0 ? 0.0 : 90.0 * double(rng.next_below(1000)) / 1000.0;
+    request.voltage = (trial % 2) ? 0.0 : 0.6 + double(rng.next_below(600)) / 1000.0;
+    spec.energy = request;
+    specs.push_back(std::move(spec));
+  }
+
+  const scenario::Engine engine(scenario::Registry::builtins());
+  for (const scenario::RunRecord& record : engine.run(specs)) {
+    const std::string row = scenario::to_csv_row(record);
+    const std::string csv = scenario::csv_header() + "\n" + row + "\n";
+    const auto from_csv = scenario::records_from_csv(csv);
+    ASSERT_EQ(from_csv.size(), 1u);
+    EXPECT_EQ(scenario::to_csv_row(from_csv[0]), row);
+
+    const auto from_json = scenario::record_from_json(scenario::to_json(record));
+    EXPECT_EQ(scenario::to_csv_row(from_json), row);
+
+    // Exact field equality of the parsed report (not just bytes).
+    const auto& original = record.energy_report;
+    for (const auto* parsed :
+         {&from_csv[0].energy_report, &from_json.energy_report}) {
+      EXPECT_EQ(parsed->feasible, original.feasible);
+      EXPECT_EQ(parsed->f_mhz, original.f_mhz);
+      EXPECT_EQ(parsed->voltage, original.voltage);
+      EXPECT_EQ(parsed->mops, original.mops);
+      EXPECT_EQ(parsed->energy_per_op_pj, original.energy_per_op_pj);
+      EXPECT_EQ(parsed->total_energy_uj, original.total_energy_uj);
+      EXPECT_EQ(parsed->breakdown.total_mw(), original.breakdown.total_mw());
+    }
+    // The request itself round-trips (or stays absent).
+    EXPECT_EQ(from_csv[0].spec.energy.has_value(), record.spec.energy.has_value());
+    if (record.spec.energy) {
+      EXPECT_EQ(from_csv[0].spec.energy->params, record.spec.energy->params);
+      EXPECT_EQ(from_csv[0].spec.energy->f_mhz, record.spec.energy->f_mhz);
+      EXPECT_EQ(from_csv[0].spec.energy->voltage, record.spec.energy->voltage);
+    }
+  }
+}
+
+TEST(EnergyRecordProperties, RequestNeverPerturbsSimulationColumns) {
+  // The energy request must be invisible to the simulation: every
+  // non-energy column of the record is identical with and without it.
+  scenario::RunSpec plain;
+  plain.workload = "sqrt32";
+  plain.params.samples = 24;
+  scenario::RunSpec requested = plain;
+  requested.energy = scenario::EnergyRequest{
+      scenario::EnergyRequest::Params::kAuto, 40.0, 0.0};
+
+  const scenario::Engine engine(scenario::Registry::builtins());
+  const scenario::RunRecord a = engine.run_one(plain);
+  const scenario::RunRecord b = engine.run_one(requested);
+  EXPECT_EQ(a.counters, b.counters);
+  EXPECT_EQ(a.useful_ops, b.useful_ops);
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.lockstep_fraction, b.lockstep_fraction);
+  // And the warm-group identity ignores the request, so both specs share
+  // one warm-up prefix in a grouped sweep.
+  EXPECT_EQ(scenario::warm_group_key(plain), scenario::warm_group_key(requested));
+}
+
 }  // namespace
 }  // namespace ulpsync

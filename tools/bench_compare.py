@@ -25,7 +25,10 @@ Fails (exit 1) when, for any pair:
     benchmark would otherwise un-gate itself);
   * a fresh row has no baseline counterpart (an un-gated row; regenerate
     the committed baseline in the same change, or pass --allow-new-rows
-    while a new benchmark is being landed deliberately).
+    while a new benchmark is being landed deliberately);
+  * an exact-rows bench (design_search, whose rows are deterministic
+    search counts rather than wall-clock numbers) has a row value that
+    differs from the baseline at all.
 
 Exits 2 on malformed inputs (missing headline key, unreadable JSON, more
 than two files of one bench).
@@ -66,6 +69,20 @@ PROFILES = {
         "row_key": ("mode",),
         "row_metric": "wall_seconds",
         "row_unit": "s",
+    },
+    # The rows are deterministic search counts (points per rung and the
+    # frontier size), so any drift — a pruning-schedule change shifting a
+    # rung's population, the frontier growing or shrinking — is a real
+    # behavioral change, not runner noise: exact_rows gates the row values
+    # themselves, not just row presence, even when the wall-derived
+    # headline is fine.
+    "design_search": {
+        "headline": "point_evals_per_second",
+        "unit": "evals/s",
+        "row_key": ("stage",),
+        "row_metric": "points",
+        "row_unit": "points",
+        "exact_rows": True,
     },
 }
 
@@ -108,17 +125,20 @@ def compare_pair(bench, profile, fresh, baseline, max_regress, allow_new_rows):
 
     missing = []
     new_rows = []
+    drifted = []
     fresh_keys = set()
     if profile["row_key"] is not None:
         fields = profile["row_key"]
         metric = profile["row_metric"]
         unit = profile.get("row_unit", unit)
+        exact = profile.get("exact_rows", False)
 
         def row_key(row):
             return tuple(row[f] for f in fields)
 
         base_rows = {row_key(r): r for r in baseline.get("runs", [])}
-        print("\nper-row deltas (informational):")
+        print("\nper-row deltas (informational):" if not exact
+              else "\nper-row deltas (gated exactly):")
         for row in fresh.get("runs", []):
             k = row_key(row)
             fresh_keys.add(k)
@@ -129,6 +149,8 @@ def compare_pair(bench, profile, fresh, baseline, max_regress, allow_new_rows):
                 continue
             base = base_rows[k][metric]
             cur = row[metric]
+            if exact and cur != base:
+                drifted.append((k, cur, base))
             delta = (cur / base - 1.0) * 100 if base > 0 else float("inf")
             print(f"  {tag:<28} {cur:8.3f} vs {base:8.3f} {unit}   ({delta:+6.1f}%)")
         missing = sorted(k for k in base_rows if k not in fresh_keys)
@@ -151,6 +173,17 @@ def compare_pair(bench, profile, fresh, baseline, max_regress, allow_new_rows):
             f"({', '.join('/'.join(map(str, k)) for k in new_rows)}) — these rows "
             "are not regression-gated; regenerate the committed baseline, or pass "
             "--allow-new-rows while landing a new benchmark"
+        )
+        failed = True
+    if drifted:
+        detail = ", ".join(
+            f"{'/'.join(map(str, k))} {cur:g} vs {base:g}"
+            for (k, cur, base) in drifted
+        )
+        print(
+            f"\nFAIL [{bench}]: {len(drifted)} row(s) drifted from the baseline "
+            f"({detail}) — these counts are deterministic; an intentional "
+            "change must regenerate the committed baseline in the same commit"
         )
         failed = True
 

@@ -1,0 +1,208 @@
+// design_search: energy-first Pareto-frontier search over the platform
+// design space (scenario/design_search.h).
+//
+//   design_search --out FILE [--bench FILE] [options]
+//
+// Runs a successive-halving search over cores × banking × arbitration ×
+// design × operating clock, writes the deterministic frontier CSV to
+// --out, and prints the knee — the cheapest design point that still meets
+// the throughput target (the paper's chosen 8-core synchronized design
+// under the default options). The frontier bytes are identical for any
+// --jobs value; CI diffs two concurrent searches to prove it.
+//
+// Options (defaults are the golden-fixture configuration):
+//   --workload W        registry name                 (default mrpfltr)
+//   --samples N         samples per channel           (default 48)
+//   --designs both|synchronized|baseline              (default both)
+//   --cores c1,c2       candidate core counts         (default 2,4,8)
+//   --banking l1,l2     candidate im_line_slots       (default 0,16)
+//   --arbitration a,b   fixed-priority|oldest-first|round-robin
+//   --clocks f1,f2      operating-clock grid, MHz     (default 5,10,20,40,60,80)
+//   --rungs c1,c2,...   halving horizons, cycles      (default 8000,32000,5e8)
+//   --checkpoint-at N   shared warm prefix; 0 = half the first rung
+//   --target-mops X     knee throughput target        (default 16)
+//   --cap N             per-rung survivor cap; 0 off  (default 32)
+//   --jobs N            engine threads (never changes the frontier)
+//   --bench FILE        write a bench_compare JSON (bench "design_search"):
+//                       headline point_evals_per_second, one gated row per
+//                       rung plus the frontier-size row
+
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scenario/design_search.h"
+#include "scenario/record.h"
+#include "scenario/registry.h"
+#include "util/cli.h"
+
+namespace {
+
+using namespace ulpsync;
+using namespace ulpsync::scenario;
+
+std::vector<std::string> split_list(const std::string& text) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream in(text);
+  while (std::getline(in, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+sim::ArbitrationPolicy arbitration_from_flag(const std::string& name) {
+  if (name == "fixed-priority") return sim::ArbitrationPolicy::kFixedPriority;
+  if (name == "oldest-first") return sim::ArbitrationPolicy::kOldestFirst;
+  if (name == "round-robin") return sim::ArbitrationPolicy::kRoundRobin;
+  throw std::runtime_error("unknown arbitration policy '" + name + "'");
+}
+
+SearchOptions options_from_flags(const util::CliArgs& args) {
+  SearchOptions options;
+  options.workload = args.get("workload", options.workload);
+  options.samples =
+      static_cast<unsigned>(args.get_int("samples", options.samples));
+  const std::string designs = args.get("designs", "both");
+  if (designs == "synchronized") {
+    options.designs = {DesignVariant::synchronized()};
+  } else if (designs == "baseline") {
+    options.designs = {DesignVariant::baseline()};
+  } else if (designs != "both") {
+    throw std::runtime_error("unknown --designs value '" + designs + "'");
+  }
+  if (args.has("cores")) {
+    options.cores.clear();
+    for (const std::string& value : split_list(args.get("cores", ""))) {
+      options.cores.push_back(static_cast<unsigned>(std::stoul(value)));
+    }
+  }
+  if (args.has("banking")) {
+    options.banking.clear();
+    for (const std::string& value : split_list(args.get("banking", ""))) {
+      options.banking.push_back(static_cast<unsigned>(std::stoul(value)));
+    }
+  }
+  if (args.has("arbitration")) {
+    options.arbitration.clear();
+    for (const std::string& value : split_list(args.get("arbitration", ""))) {
+      options.arbitration.push_back(arbitration_from_flag(value));
+    }
+  }
+  if (args.has("clocks")) {
+    options.clocks_mhz.clear();
+    for (const std::string& value : split_list(args.get("clocks", ""))) {
+      options.clocks_mhz.push_back(std::stod(value));
+    }
+  }
+  if (args.has("rungs")) {
+    options.rungs.clear();
+    for (const std::string& value : split_list(args.get("rungs", ""))) {
+      options.rungs.push_back(std::stoull(value));
+    }
+  }
+  options.checkpoint_at = static_cast<std::uint64_t>(
+      args.get_int("checkpoint-at", static_cast<long>(options.checkpoint_at)));
+  options.target_mops = args.get_double("target-mops", options.target_mops);
+  options.survivor_cap = static_cast<std::size_t>(
+      args.get_int("cap", static_cast<long>(options.survivor_cap)));
+  options.jobs = static_cast<unsigned>(args.get_int("jobs", options.jobs));
+  return options;
+}
+
+/// bench_compare JSON: the headline is wall-derived (host-speed gated),
+/// the rows are deterministic search counts — one per rung plus the
+/// frontier size, so a frontier-shape change trips the row gate.
+std::string bench_json(const SearchOptions& options,
+                       const SearchResult& result) {
+  std::ostringstream out;
+  const double evals_per_second =
+      result.wall_seconds > 0.0
+          ? static_cast<double>(result.specs_executed) / result.wall_seconds
+          : 0.0;
+  out << "{\n";
+  out << "  \"bench\": \"design_search\",\n";
+  out << "  \"workload\": \"" << options.workload << "\",\n";
+  out << "  \"candidates\": " << result.candidates << ",\n";
+  out << "  \"specs_executed\": " << result.specs_executed << ",\n";
+  out << "  \"frontier_size\": " << result.frontier.size() << ",\n";
+  out << "  \"warm_resumed\": " << result.warm_resumed << ",\n";
+  out << "  \"wall_seconds\": " << format_double(result.wall_seconds) << ",\n";
+  out << "  \"point_evals_per_second\": " << format_double(evals_per_second)
+      << ",\n";
+  out << "  \"runs\": [\n";
+  for (std::size_t r = 0; r < result.rungs.size(); ++r) {
+    const RungStats& stats = result.rungs[r];
+    out << "    {\"stage\": \"rung" << r << "\", \"points\": "
+        << stats.points_in << ", \"survivors\": " << stats.survivors
+        << ", \"horizon\": " << stats.horizon << "},\n";
+  }
+  out << "    {\"stage\": \"frontier\", \"points\": " << result.frontier.size()
+      << ", \"survivors\": " << result.frontier.size()
+      << ", \"horizon\": 0}\n";
+  out << "  ]\n";
+  out << "}\n";
+  return out.str();
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  const std::string out_path = args.get("out", "");
+  if (out_path.empty()) {
+    std::fprintf(stderr, "usage: design_search --out FILE [options]\n");
+    return 1;
+  }
+  try {
+    const SearchOptions options = options_from_flags(args);
+    const SearchResult result =
+        design_search(Registry::builtins(), options);
+
+    if (!write_file(out_path, frontier_csv(options.workload, result))) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    const std::string bench_path = args.get("bench", "");
+    if (!bench_path.empty() &&
+        !write_file(bench_path, bench_json(options, result))) {
+      std::fprintf(stderr, "cannot write %s\n", bench_path.c_str());
+      return 1;
+    }
+
+    std::printf("design_search: %zu candidate(s), %zu run(s), "
+                "%zu warm-resumed, frontier %zu point(s) -> %s\n",
+                result.candidates, result.specs_executed, result.warm_resumed,
+                result.frontier.size(), out_path.c_str());
+    for (const RungStats& stats : result.rungs) {
+      std::printf("  rung %9llu cycles: %zu -> %zu point(s)\n",
+                  static_cast<unsigned long long>(stats.horizon),
+                  stats.points_in, stats.survivors);
+    }
+    if (result.knee_index >= 0) {
+      const FrontierPoint& knee =
+          result.frontier[static_cast<std::size_t>(result.knee_index)];
+      std::printf("  knee: %s, %u cores, %.3g MHz @ %.3g V — "
+                  "%.3g MOps/s at %.3g mW (%.3g pJ/op)\n",
+                  knee.candidate.design.label.c_str(), knee.candidate.cores,
+                  knee.f_mhz, knee.voltage, knee.mops, knee.total_mw,
+                  knee.energy_per_op_pj);
+    } else {
+      std::printf("  knee: no feasible point meets %.3g MOps/s\n",
+                  options.target_mops);
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "design_search: %s\n", error.what());
+    return 1;
+  }
+}

@@ -26,8 +26,11 @@
 //       Replays a recorded-run envelope and checks bit-identity against the
 //       recording (exit 0 when faithful, 2 on divergence).
 
+#include <cstdint>
 #include <cstdio>
 #include <exception>
+#include <fstream>
+#include <stdexcept>
 #include <string>
 
 #include "core/lockstep.h"
@@ -141,21 +144,40 @@ int cmd_diff(const util::CliArgs& args) {
   return 2;
 }
 
-bool is_evt_path(const std::string& path) {
-  return path.size() >= 4 && path.compare(path.size() - 4, 4, ".evt") == 0;
+bool has_extension(const std::string& path, const std::string& ext) {
+  return path.size() >= ext.size() &&
+         path.compare(path.size() - ext.size(), ext.size(), ext) == 0;
+}
+
+/// Raw-byte FNV-1a 64 of a file — how text fixtures (the design-search
+/// frontier CSVs) are pinned; wire images hash their parsed content
+/// instead, which validates the image on the way.
+std::uint64_t raw_file_hash(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  char c;
+  while (in.get(c)) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
 }
 
 int cmd_hash(const util::CliArgs& args) {
   if (args.positional().size() < 2) {
-    std::fprintf(stderr, "usage: snapshot_tool hash <file.snap|file.evt...>\n");
+    std::fprintf(stderr,
+                 "usage: snapshot_tool hash <file.snap|file.evt|file.csv...>\n");
     return 1;
   }
   for (std::size_t i = 1; i < args.positional().size(); ++i) {
     const std::string& path = args.positional()[i];
     const std::uint64_t hash =
-        is_evt_path(path)
+        has_extension(path, ".evt")
             ? scenario::read_recorded_run_file(path).content_hash()
-            : sim::read_snapshot_file(path).content_hash();
+            : has_extension(path, ".csv")
+                  ? raw_file_hash(path)
+                  : sim::read_snapshot_file(path).content_hash();
     std::printf("%016llx  %s\n", static_cast<unsigned long long>(hash),
                 path.c_str());
   }

@@ -41,6 +41,12 @@
 //   --cohort N          patient-cohort axis: fan every spec out over N
 //                       per-patient generator draws (ecg/cohort.h)
 //   --cohort-seed S     master cohort seed        (default 2024)
+//   --energy MODE       request per-record energy columns: auto (charge the
+//                       spec's own design), baseline, or synchronized
+//   --energy-mhz F      operating clock for the report (default: nominal
+//                       fmax of the scaling model; implies --energy auto)
+//   --energy-volt V     operating supply; 0 derives the minimum feasible
+//                       supply for the clock (implies --energy auto)
 //   --checkpoint-at N   shared warm-up prefix end (optional)
 //   --horizons c1,c2    per-spec max_cycles fan-out over the checkpoint
 //                       (optional; forms identical-prefix groups)
@@ -94,6 +100,22 @@ std::vector<RunSpec> specs_from_flags(const util::CliArgs& args) {
   }
   matrix.max_cycles(
       static_cast<std::uint64_t>(args.get_int("max-cycles", 500'000'000)));
+  if (args.has("energy") || args.has("energy-mhz") || args.has("energy-volt")) {
+    EnergyRequest request;
+    const std::string mode = args.get("energy", "auto");
+    if (mode == "auto") {
+      request.params = EnergyRequest::Params::kAuto;
+    } else if (mode == "baseline") {
+      request.params = EnergyRequest::Params::kBaseline;
+    } else if (mode == "synchronized") {
+      request.params = EnergyRequest::Params::kSynchronized;
+    } else {
+      throw std::runtime_error("unknown --energy value '" + mode + "'");
+    }
+    request.f_mhz = std::stod(args.get("energy-mhz", "0"));
+    request.voltage = std::stod(args.get("energy-volt", "0"));
+    matrix.energy({request});
+  }
   const auto patients = static_cast<unsigned>(args.get_int("cohort", 0));
   if (patients != 0) {
     ecg::CohortParams cohort;

@@ -55,6 +55,21 @@ def make_warm_bench(speedup=3.5, rows=None):
     }
 
 
+def make_design_bench(evals_per_second=350.0, rows=None):
+    if rows is None:
+        rows = [("rung0", 72, 25, 8000), ("rung1", 25, 25, 32000),
+                ("rung2", 25, 21, 500000000), ("frontier", 21, 21, 0)]
+    return {
+        "bench": "design_search",
+        "workload": "mrpfltr",
+        "point_evals_per_second": evals_per_second,
+        "runs": [
+            {"stage": st, "points": p, "survivors": sv, "horizon": h}
+            for (st, p, sv, h) in rows
+        ],
+    }
+
+
 def run_compare(tmp_path, fresh, baseline, *extra):
     fresh_path = tmp_path / "fresh.json"
     base_path = tmp_path / "baseline.json"
@@ -169,6 +184,54 @@ def test_warm_new_row_needs_flag(tmp_path):
                        "--allow-new-rows") == 0
 
 
+def test_design_identical_runs_pass(tmp_path):
+    bench = make_design_bench()
+    assert run_compare(tmp_path, bench, copy.deepcopy(bench)) == 0
+
+
+def test_design_headline_regression_fails(tmp_path):
+    # Search wall-clock throughput collapsing (the warm-start prefix reuse
+    # silently disabled) must trip the gate like any other bench.
+    fresh = make_design_bench(evals_per_second=100.0)
+    assert run_compare(tmp_path, fresh, make_design_bench()) == 1
+
+
+def test_design_row_missing_from_fresh_fails(tmp_path):
+    # A search that lost a rung (pruning schedule shortened) is a different
+    # benchmark; the missing-row hard-fail must cover the new profile too.
+    fresh = make_design_bench(rows=[("rung0", 72, 25, 8000),
+                                    ("rung1", 25, 25, 32000),
+                                    ("frontier", 21, 21, 0)])
+    assert run_compare(tmp_path, fresh, make_design_bench()) == 1
+
+
+def test_design_frontier_size_drift_fails(tmp_path):
+    # The rows are deterministic counts, so the frontier shrinking by even
+    # one point is a real behavioral change, not noise: exact_rows gating
+    # must fail although every row is still present and the headline is
+    # unchanged.
+    fresh = make_design_bench(rows=[("rung0", 72, 25, 8000),
+                                    ("rung1", 25, 25, 32000),
+                                    ("rung2", 25, 20, 500000000),
+                                    ("frontier", 20, 20, 0)])
+    assert run_compare(tmp_path, fresh, make_design_bench()) == 1
+
+
+def test_design_rung_population_drift_fails(tmp_path):
+    fresh = make_design_bench(rows=[("rung0", 70, 25, 8000),
+                                    ("rung1", 25, 25, 32000),
+                                    ("rung2", 25, 21, 500000000),
+                                    ("frontier", 21, 21, 0)])
+    assert run_compare(tmp_path, fresh, make_design_bench()) == 1
+
+
+def test_inexact_profiles_tolerate_row_value_drift(tmp_path):
+    # Contrast case: wall-clock benches (sim_throughput) keep row deltas
+    # informational — only design_search's counts are gated exactly.
+    fresh = make_bench(rows=[("mrpfltr", 8, "full", 4.6), ("sqrt32", 8, "ff", 7.4)])
+    assert run_compare(tmp_path, fresh, make_bench()) == 0
+
+
 def test_mixed_benches_gate_in_one_invocation(tmp_path):
     # One CLI call gates sim_throughput and cohort_throughput pairs; a
     # regression in either bench fails the whole invocation.
@@ -211,7 +274,8 @@ def test_committed_baselines_gate_themselves_together():
     sim = str(root / "BENCH_sim_throughput.json")
     cohort = str(root / "BENCH_cohort_throughput.json")
     warm = str(root / "BENCH_warm_start.json")
-    assert bench_compare.main([sim, cohort, warm]) == 0
+    design = str(root / "BENCH_design_search.json")
+    assert bench_compare.main([sim, cohort, warm, design]) == 0
 
 
 if __name__ == "__main__":
