@@ -36,4 +36,12 @@ double VoltageScaling::leakage_mw(double v) const {
   return params_.leakage_nominal_mw * ratio * ratio * ratio;
 }
 
+double RetentionModel::upset_probability(double v) const {
+  if (v <= params_.retention_v) return 1.0;
+  const double p = params_.p_nominal *
+                   std::exp(params_.sensitivity_per_v * (params_.nominal_v - v));
+  if (p >= 1.0) return 1.0;
+  return p < 0.0 ? 0.0 : p;
+}
+
 }  // namespace ulpsync::power

@@ -58,4 +58,48 @@ class VoltageScaling {
   VoltageParams params_;
 };
 
+/// SRAM retention-failure model: how likely one stored bit is to upset as
+/// the supply is lowered toward (and below) the cells' data-retention
+/// voltage. The static noise margin of a 6T cell collapses roughly
+/// linearly in V, and the upset probability of a margin-limited cell is
+/// exponential in the lost margin — so we model the per-bit upset
+/// probability per retention window as
+///
+///     p(V) = min(1, p_nominal * exp(sensitivity_per_v * (Vnom - V)))
+///
+/// floored to certain loss (p = 1) at and below `retention_v`. The model
+/// is monotone non-increasing in V by construction, which is what lets
+/// voltage-tied fault campaigns guarantee monotone injected-fault density
+/// across an `--energy-volt` sweep (scenario/resilience.h).
+struct RetentionParams {
+  double nominal_v = 1.2;        ///< supply the nominal rate is quoted at
+  double retention_v = 0.35;     ///< at or below: retention fails outright
+  double p_nominal = 1e-9;       ///< per-bit upset probability at nominal V
+  double sensitivity_per_v = 25.0;  ///< log-slope of p in -V (1/volt)
+};
+
+class RetentionModel {
+ public:
+  explicit RetentionModel(const RetentionParams& params = {})
+      : params_(params) {}
+
+  [[nodiscard]] const RetentionParams& params() const { return params_; }
+
+  /// Per-bit upset probability per retention window at supply `v`;
+  /// monotone non-increasing in `v`, clamped to [0, 1], and exactly 1 at
+  /// or below the retention floor.
+  [[nodiscard]] double upset_probability(double v) const;
+
+  /// Expected number of upsets among `bits` stored bits over `windows`
+  /// retention windows at supply `v` (the Poisson rate of a voltage-tied
+  /// fault campaign).
+  [[nodiscard]] double expected_upsets(double v, double bits,
+                                       double windows) const {
+    return upset_probability(v) * bits * windows;
+  }
+
+ private:
+  RetentionParams params_;
+};
+
 }  // namespace ulpsync::power

@@ -1,0 +1,1269 @@
+#include "scenario/resilience.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "scenario/checkpoint_ring.h"
+#include "util/rng.h"
+#include "util/wire.h"
+
+namespace ulpsync::scenario {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::uint8_t kCampaignMagic[8] = {'U', 'L', 'P', 'C', 'A',
+                                            'M', 'P', '\n'};
+constexpr std::uint32_t kCampaignVersion = 1;
+constexpr std::string_view kCampaignManifestHeader =
+    "ulpsync-campaign-spool v1";
+
+std::string shard_name(unsigned id) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "shard-%04u", id);
+  return buffer;
+}
+
+std::string part_name(unsigned id) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "part-%04u", id);
+  return buffer;
+}
+
+std::string hex64(std::uint64_t value) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%016" PRIx64, value);
+  return buffer;
+}
+
+/// "-" for an unspecified (0) voltage, else a fixed 4-decimal rendering —
+/// locale-free, so campaign CSVs are byte-stable across hosts.
+std::string voltage_str(double voltage) {
+  if (voltage == 0.0) return "-";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.4f", voltage);
+  return buffer;
+}
+
+std::string rate_str(double rate) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.6f", rate);
+  return buffer;
+}
+
+std::string csv_safe(std::string text) {
+  const std::size_t line_end = text.find('\n');
+  if (line_end != std::string::npos) text.resize(line_end);
+  for (char& c : text) {
+    if (c == ',') c = ';';
+  }
+  return text;
+}
+
+std::uint64_t fnv_str(std::string_view text) {
+  return fnv1a64(
+      {reinterpret_cast<const std::uint8_t*>(text.data()), text.size()});
+}
+
+/// splitmix64 finalizer — the counter hash behind rate-mode thinning.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// One uniform in [0, 1) per (seed, event, word, bit) candidate. Crucially
+/// voltage-independent: rate mode injects a candidate iff its uniform
+/// falls below p(V), so a higher voltage's injected set is a subset of a
+/// lower voltage's — the monotone-density guarantee.
+double candidate_uniform(std::uint64_t seed, std::uint64_t event,
+                         std::uint64_t word, std::uint64_t bit) {
+  std::uint64_t h = seed ^ 0xC6A4A7935BD1E995ULL;
+  h = mix64(h + event);
+  h = mix64(h + word);
+  h = mix64(h + bit);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+unsigned resolve_jobs(unsigned jobs, std::size_t work_items) {
+  if (jobs == 0) jobs = std::max(1u, std::thread::hardware_concurrency());
+  return static_cast<unsigned>(
+      std::min<std::size_t>(jobs, std::max<std::size_t>(work_items, 1)));
+}
+
+/// Runs `body(index)` for every index in [0, count) on `jobs` threads.
+template <typename Body>
+void parallel_for(std::size_t count, unsigned jobs, const Body& body) {
+  jobs = resolve_jobs(jobs, count);
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t index = next.fetch_add(1);
+      if (index >= count) return;
+      body(index);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(jobs);
+  for (unsigned i = 0; i < jobs; ++i) pool.emplace_back(worker);
+  for (auto& thread : pool) thread.join();
+}
+
+}  // namespace
+
+const char* fault_class_name(sim::FaultAction::Kind kind) {
+  // Unconditional names: the old tool-local helper gated the kDropWake
+  // name behind a caller flag and fell through to "?" — a fault's name
+  // must depend on nothing but its kind.
+  switch (kind) {
+    case sim::FaultAction::Kind::kDmFlip: return "dm-flip";
+    case sim::FaultAction::Kind::kDelayWake: return "wake-delay";
+    case sim::FaultAction::Kind::kDropWake: return "wake-drop";
+  }
+  return "?";
+}
+
+const char* error_model_name(ErrorModel model) {
+  switch (model) {
+    case ErrorModel::kDmSingle: return "dm";
+    case ErrorModel::kDmMulti: return "dm-multi";
+    case ErrorModel::kDmBurst: return "dm-burst";
+    case ErrorModel::kDmRow: return "dm-row";
+    case ErrorModel::kIm: return "im";
+    case ErrorModel::kWakeDelay: return "wake-delay";
+    case ErrorModel::kWakeDrop: return "wake-drop";
+    case ErrorModel::kRate: return "rate";
+  }
+  return "?";
+}
+
+std::optional<ErrorModel> parse_error_model(const std::string& name) {
+  for (const ErrorModel model :
+       {ErrorModel::kDmSingle, ErrorModel::kDmMulti, ErrorModel::kDmBurst,
+        ErrorModel::kDmRow, ErrorModel::kIm, ErrorModel::kWakeDelay,
+        ErrorModel::kWakeDrop, ErrorModel::kRate}) {
+    if (name == error_model_name(model)) return model;
+  }
+  return std::nullopt;
+}
+
+std::vector<ErrorModel> parse_error_models(const std::string& csv) {
+  std::vector<ErrorModel> models;
+  std::string item;
+  std::istringstream in(csv);
+  while (std::getline(in, item, ',')) {
+    if (item.empty()) continue;
+    const auto model = parse_error_model(item);
+    if (!model) throw std::runtime_error("unknown fault class: " + item);
+    models.push_back(*model);
+  }
+  return models;
+}
+
+std::vector<double> parse_voltage_list(const std::string& csv) {
+  std::vector<double> volts;
+  std::string item;
+  std::istringstream in(csv);
+  while (std::getline(in, item, ',')) {
+    if (item.empty()) continue;
+    char* end = nullptr;
+    const double v = std::strtod(item.c_str(), &end);
+    if (end == item.c_str() || *end != '\0' || !(v > 0.0)) {
+      throw std::runtime_error("malformed voltage: " + item);
+    }
+    volts.push_back(v);
+  }
+  return volts;
+}
+
+// --- campaign expansion ------------------------------------------------------
+
+namespace {
+
+/// Event-index pools the sampled models draw targets from.
+struct TargetPools {
+  std::vector<std::size_t> deposits;
+  std::vector<std::size_t> wake_events;
+};
+
+TargetPools collect_targets(const sim::EventSchedule& schedule) {
+  TargetPools pools;
+  for (std::size_t i = 0; i < schedule.events.size(); ++i) {
+    switch (schedule.events[i].kind) {
+      case sim::EventKind::kDmWrite:
+      case sim::EventKind::kDmWriteBlock:
+        pools.deposits.push_back(i);
+        break;
+      case sim::EventKind::kInterrupt:
+      case sim::EventKind::kInterruptAll:
+        pools.wake_events.push_back(i);
+        break;
+    }
+  }
+  return pools;
+}
+
+/// Samples the DM word of one recorded deposit: the flip lands at the
+/// deposit's own delivery cycle, right after the write and before the
+/// workload consumes the word, so it has a real chance to propagate.
+void sample_deposit_target(const sim::EventSchedule& schedule,
+                           const TargetPools& pools, util::Rng& rng,
+                           sim::FaultAction& action) {
+  const sim::ExternalEvent& deposit =
+      schedule.events[pools.deposits[rng.next_below(pools.deposits.size())]];
+  action.kind = sim::FaultAction::Kind::kDmFlip;
+  action.addr = deposit.kind == sim::EventKind::kDmWriteBlock
+                    ? deposit.addr + static_cast<std::uint32_t>(
+                                         rng.next_below(deposit.words.size()))
+                    : deposit.addr;
+  action.cycle = deposit.cycle;
+}
+
+/// One sampled (non-rate) fault of `model`. Mirrors the draw order of the
+/// original tool for the single-upset models, so one RNG stream per model
+/// yields a stable, schedule-determined fault set.
+CampaignFault sample_fault(const CampaignConfig& config,
+                           const sim::EventSchedule& schedule,
+                           const assembler::Program& program,
+                           const TargetPools& pools, util::Rng& rng,
+                           ErrorModel model, unsigned num_cores) {
+  CampaignFault fault;
+  fault.model = model;
+  switch (model) {
+    case ErrorModel::kDmSingle:
+    case ErrorModel::kDmMulti:
+    case ErrorModel::kDmBurst:
+    case ErrorModel::kDmRow: {
+      if (pools.deposits.empty()) {
+        fault.no_target = true;
+        break;
+      }
+      sample_deposit_target(schedule, pools, rng, fault.action);
+      if (model == ErrorModel::kDmMulti) {
+        // Adjacent bits of one word: a contiguous run of `multi_bits`.
+        const unsigned bits =
+            std::clamp<unsigned>(config.multi_bits, 1, 16);
+        const unsigned start =
+            static_cast<unsigned>(rng.next_below(17 - bits));
+        fault.action.bit = start;
+        fault.action.mask = static_cast<std::uint16_t>(
+            ((std::uint32_t{1} << bits) - 1u) << start);
+      } else {
+        fault.action.bit = static_cast<unsigned>(rng.next_below(16));
+      }
+      if (model == ErrorModel::kDmBurst) {
+        fault.action.span = std::max<std::uint32_t>(config.burst_words, 1);
+      } else if (model == ErrorModel::kDmRow) {
+        const std::uint32_t row = std::max<std::uint32_t>(config.row_words, 1);
+        fault.action.addr -= fault.action.addr % row;
+        fault.action.span = row;
+      }
+      break;
+    }
+    case ErrorModel::kIm: {
+      fault.is_im_flip = true;
+      if (program.image.empty()) {
+        fault.no_target = true;
+        break;
+      }
+      fault.im_word =
+          static_cast<std::size_t>(rng.next_below(program.image.size()));
+      fault.im_bit = static_cast<unsigned>(rng.next_below(32));
+      break;
+    }
+    case ErrorModel::kWakeDelay:
+    case ErrorModel::kWakeDrop: {
+      if (pools.wake_events.empty()) {
+        fault.action.kind = model == ErrorModel::kWakeDelay
+                                ? sim::FaultAction::Kind::kDelayWake
+                                : sim::FaultAction::Kind::kDropWake;
+        fault.no_target = true;
+        break;
+      }
+      const std::size_t index =
+          pools.wake_events[rng.next_below(pools.wake_events.size())];
+      const sim::ExternalEvent& event = schedule.events[index];
+      fault.action.kind = model == ErrorModel::kWakeDelay
+                              ? sim::FaultAction::Kind::kDelayWake
+                              : sim::FaultAction::Kind::kDropWake;
+      fault.action.event_index = index;
+      fault.action.core =
+          event.kind == sim::EventKind::kInterrupt
+              ? static_cast<unsigned>(event.core)
+              : static_cast<unsigned>(rng.next_below(std::max(1u, num_cores)));
+      if (model == ErrorModel::kWakeDelay) {
+        fault.action.delay = 1 + rng.next_below(256);
+      }
+      break;
+    }
+    case ErrorModel::kRate:
+      break;  // handled by the caller's candidate sweep
+  }
+  return fault;
+}
+
+/// Rate mode: every bit of every recorded DM deposit is an upset
+/// candidate for the retention window ending at its delivery; each is
+/// thinned against p(V) with its voltage-independent uniform.
+void expand_rate_faults(const CampaignConfig& config,
+                        const sim::EventSchedule& schedule, double voltage,
+                        std::vector<CampaignFault>& out) {
+  const power::RetentionModel retention(config.retention);
+  const double v = voltage == 0.0 ? config.retention.nominal_v : voltage;
+  const double p =
+      std::min(1.0, retention.upset_probability(v) * config.rate_scale);
+  if (p <= 0.0) return;
+  for (std::size_t i = 0; i < schedule.events.size(); ++i) {
+    const sim::ExternalEvent& event = schedule.events[i];
+    std::size_t words = 0;
+    if (event.kind == sim::EventKind::kDmWrite) {
+      words = 1;
+    } else if (event.kind == sim::EventKind::kDmWriteBlock) {
+      words = event.words.size();
+    } else {
+      continue;
+    }
+    for (std::size_t w = 0; w < words; ++w) {
+      for (unsigned bit = 0; bit < 16; ++bit) {
+        if (candidate_uniform(config.seed, i, w, bit) >= p) continue;
+        CampaignFault fault;
+        fault.model = ErrorModel::kRate;
+        fault.action.kind = sim::FaultAction::Kind::kDmFlip;
+        fault.action.addr = event.addr + static_cast<std::uint32_t>(w);
+        fault.action.bit = bit;
+        fault.action.cycle = event.cycle;
+        out.push_back(fault);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<CampaignFault> expand_campaign(const CampaignConfig& config,
+                                           const sim::EventSchedule& schedule,
+                                           const assembler::Program& program,
+                                           unsigned num_cores) {
+  const TargetPools pools = collect_targets(schedule);
+  // Voltage axis outermost; an empty axis is one unspecified point.
+  std::vector<double> voltages = config.voltages;
+  if (voltages.empty()) voltages.push_back(0.0);
+
+  std::vector<CampaignFault> faults;
+  for (const double voltage : voltages) {
+    for (const ErrorModel model : config.models) {
+      if (model == ErrorModel::kRate) {
+        std::vector<CampaignFault> rate;
+        expand_rate_faults(config, schedule, voltage, rate);
+        for (CampaignFault& fault : rate) {
+          fault.voltage = voltage;
+          faults.push_back(fault);
+        }
+        continue;
+      }
+      // One RNG stream per model, reseeded per voltage point from
+      // voltage-independent inputs: the sampled fault set is identical at
+      // every voltage, so across-voltage outcome differences can only
+      // come from the rate model.
+      util::Rng rng(config.seed ^ fnv_str(error_model_name(model)));
+      for (unsigned n = 0; n < config.count; ++n) {
+        CampaignFault fault = sample_fault(config, schedule, program, pools,
+                                           rng, model, num_cores);
+        fault.voltage = voltage;
+        faults.push_back(fault);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    faults[i].index = static_cast<std::uint64_t>(i);
+  }
+  return faults;
+}
+
+// --- outcome classification --------------------------------------------------
+
+void classify_state_divergence(const sim::Snapshot& clean,
+                               const sim::Snapshot& faulty,
+                               FaultTrialRow& row) {
+  if (clean.cores.size() != faulty.cores.size()) {
+    // The snapshots are not comparable; never diff a common prefix.
+    row.outcome = "core-count-mismatch";
+    row.state_class = "core-count-mismatch";
+    row.divergence_core = -1;
+    return;
+  }
+  for (std::size_t i = 0; i < clean.cores.size(); ++i) {
+    const sim::CoreSnapshot& a = clean.cores[i];
+    const sim::CoreSnapshot& b = faulty.cores[i];
+    if (a == b) continue;
+    row.divergence_core = static_cast<int>(i);
+    if (a.status != b.status) {
+      row.state_class = "core-status";
+    } else if (a.arch.pc != b.arch.pc) {
+      row.state_class = "control-flow";
+    } else if (a.arch.regs != b.arch.regs) {
+      row.state_class = "dataflow";
+    } else {
+      row.state_class = "microstate";
+    }
+    return;
+  }
+  if (!(clean.counters == faulty.counters)) {
+    row.state_class = "counters";
+  } else if (!(clean.sync == faulty.sync)) {
+    row.state_class = "sync";
+  } else if (clean.policy_groups != faulty.policy_groups) {
+    row.state_class = "xbar-policy";
+  } else {
+    row.state_class = "other";
+  }
+}
+
+sim::Snapshot clean_final_state(const RecordedRun& run,
+                                const Registry& registry) {
+  ReplayRig rig = make_replay_rig(run, registry);
+  sim::ReplayCursor cursor(*rig.platform, run.schedule, {});
+  cursor.advance_to(run.schedule.final_result.cycles);
+  return rig.platform->save_snapshot();
+}
+
+namespace {
+
+/// Outcome-mode classification: drive the faulted replay to the recorded
+/// end cycle and judge its final state against the clean one.
+void classify_outcome(const RecordedRun& run, const CampaignFault& fault,
+                      ReplayRig& faulty,
+                      const std::vector<sim::FaultAction>& actions,
+                      const sim::Snapshot& clean_final, FaultTrialRow& row) {
+  sim::ReplayCursor cursor(*faulty.platform, run.schedule, actions);
+  cursor.advance_to(run.schedule.final_result.cycles);
+  sim::Snapshot clean = clean_final;
+  sim::Snapshot faulted = faulty.platform->save_snapshot();
+  if (fault.is_im_flip) {
+    // IM faults load a different image by construction; judge the
+    // architectural state, like the bisector does.
+    clean.im_fingerprint = 0;
+    faulted.im_fingerprint = 0;
+  }
+  if (sim::normalized_state_hash(clean) ==
+      sim::normalized_state_hash(faulted)) {
+    row.outcome = "masked";
+    return;
+  }
+  if (clean.cores.size() != faulted.cores.size()) {
+    row.outcome = "core-count-mismatch";
+    row.state_class = "core-count-mismatch";
+    return;
+  }
+  // Externally observable failures first: a trap, or a core that never
+  // reached the clean run's halt (a liveness/hang failure — e.g. a
+  // dropped wake-up leaving a core asleep forever).
+  for (std::size_t i = 0; i < faulted.cores.size(); ++i) {
+    if (faulted.cores[i].status == sim::CoreStatus::kTrapped &&
+        clean.cores[i].status != sim::CoreStatus::kTrapped) {
+      row.outcome = "detected";
+      row.divergence_core = static_cast<int>(i);
+      row.state_class = "core-status";
+      row.detail = "trap: core raised an architectural fault";
+      return;
+    }
+  }
+  for (std::size_t i = 0; i < faulted.cores.size(); ++i) {
+    if (clean.cores[i].status == sim::CoreStatus::kHalted &&
+        faulted.cores[i].status != sim::CoreStatus::kHalted) {
+      row.outcome = "detected";
+      row.divergence_core = static_cast<int>(i);
+      row.state_class = "core-status";
+      row.detail = std::string("liveness: core ") +
+                   std::string(sim::to_string(faulted.cores[i].status)) +
+                   " at recorded end";
+      return;
+    }
+  }
+  for (std::size_t i = 0; i < faulted.cores.size(); ++i) {
+    if (clean.cores[i].status != faulted.cores[i].status) {
+      row.outcome = "detected";
+      row.divergence_core = static_cast<int>(i);
+      row.state_class = "core-status";
+      row.detail = std::string("status: clean ") +
+                   std::string(sim::to_string(clean.cores[i].status)) +
+                   " vs faulty " +
+                   std::string(sim::to_string(faulted.cores[i].status));
+      return;
+    }
+  }
+  // The run "completed" like the clean one but its state differs: silent
+  // data corruption. The state class names what went wrong first.
+  row.outcome = "sdc";
+  classify_state_divergence(clean, faulted, row);
+  row.detail = "silent divergence at recorded end";
+}
+
+}  // namespace
+
+FaultTrialRow run_fault_trial(const RecordedRun& run, const Registry& registry,
+                              const CampaignFault& fault,
+                              const CampaignConfig& config,
+                              const sim::Snapshot* clean_final) {
+  FaultTrialRow row;
+  row.fault = fault;
+  if (fault.no_target) {
+    row.outcome = "no-target";
+    return row;
+  }
+  try {
+    ReplayRig faulty;
+    if (fault.is_im_flip) {
+      faulty.workload = registry.make(run.spec.workload, run.spec.params);
+      faulty.platform = std::make_unique<sim::Platform>(
+          resolved_config(run.spec, *faulty.workload));
+      assembler::Program corrupted =
+          faulty.workload->program(run.spec.with_synchronizer());
+      corrupted.image[fault.im_word] ^= std::uint32_t{1} << fault.im_bit;
+      try {
+        faulty.platform->load_image(corrupted.origin, corrupted.image);
+      } catch (const std::invalid_argument& error) {
+        row.outcome = "undecodable-image";
+        row.detail = error.what();
+        return row;
+      }
+    } else {
+      faulty = make_replay_rig(run, registry);
+    }
+
+    std::vector<sim::FaultAction> actions;
+    if (!fault.is_im_flip) actions.push_back(fault.action);
+
+    if (config.localize) {
+      ReplayRig clean = make_replay_rig(run, registry);
+      sim::ReplayCursor clean_cursor(*clean.platform, run.schedule, {});
+      sim::ReplayCursor faulty_cursor(*faulty.platform, run.schedule, actions);
+      const sim::ReplayDivergence divergence =
+          sim::find_first_divergence_replayed(
+              clean_cursor, faulty_cursor, run.schedule.final_result.cycles,
+              sim::DivergenceScope::kCoreState, config.stride);
+      if (!divergence.diverged) {
+        row.outcome = "masked";
+        return row;
+      }
+      row.outcome = "localized";
+      row.divergence_cycle = divergence.first_divergent_cycle;
+      classify_state_divergence(divergence.clean_state, divergence.faulty_state,
+                                row);
+      row.detail = divergence.delta;
+    } else {
+      sim::Snapshot local;
+      const sim::Snapshot* target = clean_final;
+      if (target == nullptr) {
+        local = clean_final_state(run, registry);
+        target = &local;
+      }
+      classify_outcome(run, fault, faulty, actions, *target, row);
+    }
+  } catch (const std::exception& error) {
+    row.outcome = "error";
+    row.detail = error.what();
+  }
+  return row;
+}
+
+// --- CSV ---------------------------------------------------------------------
+
+std::string campaign_csv_header() {
+  return "index,voltage,model,fault,cycle,addr,bit,mask,span,core,delay,"
+         "event_index,outcome,divergence_cycle,divergence_core,state_class,"
+         "detail";
+}
+
+std::string fault_row_csv(const FaultTrialRow& row) {
+  std::ostringstream out;
+  const CampaignFault& f = row.fault;
+  out << f.index << ',' << voltage_str(f.voltage) << ','
+      << error_model_name(f.model) << ',';
+  if (f.is_im_flip) {
+    out << "im,0," << f.im_word << ',' << f.im_bit << ",0,1,-1,0,0,";
+  } else {
+    const sim::FaultAction& a = f.action;
+    out << fault_class_name(a.kind) << ',' << a.cycle << ',' << a.addr << ','
+        << a.bit << ',' << a.mask << ',' << a.span << ',' << a.core << ','
+        << a.delay << ',' << a.event_index << ',';
+  }
+  out << row.outcome << ',' << row.divergence_cycle << ','
+      << row.divergence_core << ',' << row.state_class << ','
+      << csv_safe(row.detail);
+  return out.str();
+}
+
+std::string campaign_csv(const std::vector<FaultTrialRow>& rows) {
+  std::string out = campaign_csv_header() + "\n";
+  for (const FaultTrialRow& row : rows) out += fault_row_csv(row) + "\n";
+  return out;
+}
+
+std::vector<FaultTrialRow> run_campaign(const RecordedRun& run,
+                                        const Registry& registry,
+                                        const CampaignConfig& config,
+                                        unsigned jobs) {
+  const auto workload = registry.make(run.spec.workload, run.spec.params);
+  const assembler::Program& program =
+      workload->program(run.spec.with_synchronizer());
+  const std::vector<CampaignFault> faults =
+      expand_campaign(config, run.schedule, program, workload->num_cores());
+
+  sim::Snapshot clean_final;
+  const sim::Snapshot* clean_ptr = nullptr;
+  if (!config.localize && !faults.empty()) {
+    clean_final = clean_final_state(run, registry);
+    clean_ptr = &clean_final;
+  }
+
+  std::vector<FaultTrialRow> rows(faults.size());
+  parallel_for(faults.size(), jobs, [&](std::size_t index) {
+    rows[index] =
+        run_fault_trial(run, registry, faults[index], config, clean_ptr);
+  });
+  return rows;
+}
+
+// --- resilience report -------------------------------------------------------
+
+ResilienceReport aggregate_resilience(const std::vector<FaultTrialRow>& rows) {
+  ResilienceReport report;
+  std::map<std::pair<std::uint64_t, ErrorModel>, std::size_t> bucket_of;
+  for (const FaultTrialRow& row : rows) {
+    const std::pair<std::uint64_t, ErrorModel> key{
+        std::bit_cast<std::uint64_t>(row.fault.voltage), row.fault.model};
+    auto it = bucket_of.find(key);
+    if (it == bucket_of.end()) {
+      it = bucket_of.emplace(key, report.buckets.size()).first;
+      ResilienceBucket bucket;
+      bucket.voltage = row.fault.voltage;
+      bucket.model = row.fault.model;
+      report.buckets.push_back(bucket);
+    }
+    ResilienceBucket& bucket = report.buckets[it->second];
+    bucket.faults += 1;
+    if (row.outcome == "no-target") {
+      bucket.no_target += 1;
+    } else if (row.outcome == "masked") {
+      bucket.masked += 1;
+    } else if (row.outcome == "detected") {
+      bucket.detected += 1;
+    } else if (row.outcome == "sdc") {
+      bucket.sdc += 1;
+    } else if (row.outcome == "localized") {
+      bucket.localized += 1;
+    } else if (row.outcome == "undecodable-image") {
+      bucket.undecodable += 1;
+    } else {
+      bucket.errors += 1;  // "error", "core-count-mismatch"
+    }
+  }
+  return report;
+}
+
+std::string ResilienceReport::to_csv() const {
+  std::string out =
+      "voltage,model,faults,injected,no_target,masked,detected,sdc,"
+      "localized,undecodable,errors,masked_rate,detected_rate,sdc_rate\n";
+  for (const ResilienceBucket& bucket : buckets) {
+    const double injected = static_cast<double>(bucket.injected());
+    const auto rate = [&](std::size_t count) {
+      return injected > 0.0 ? static_cast<double>(count) / injected : 0.0;
+    };
+    std::ostringstream line;
+    line << voltage_str(bucket.voltage) << ',' << error_model_name(bucket.model)
+         << ',' << bucket.faults << ',' << bucket.injected() << ','
+         << bucket.no_target << ',' << bucket.masked << ',' << bucket.detected
+         << ',' << bucket.sdc << ',' << bucket.localized << ','
+         << bucket.undecodable << ',' << bucket.errors << ','
+         << rate_str(rate(bucket.masked)) << ','
+         << rate_str(rate(bucket.detected + bucket.undecodable)) << ','
+         << rate_str(rate(bucket.sdc)) << '\n';
+    out += line.str();
+  }
+  return out;
+}
+
+// --- campaign spool ----------------------------------------------------------
+
+namespace {
+
+void encode_campaign_config(util::WireWriter& w, const CampaignConfig& c) {
+  w.u32(static_cast<std::uint32_t>(c.models.size()));
+  for (const ErrorModel model : c.models) {
+    w.u8(static_cast<std::uint8_t>(model));
+  }
+  w.u32(c.count);
+  w.u64(c.seed);
+  w.u32(static_cast<std::uint32_t>(c.voltages.size()));
+  for (const double v : c.voltages) w.u64(std::bit_cast<std::uint64_t>(v));
+  w.u32(c.multi_bits);
+  w.u32(c.burst_words);
+  w.u32(c.row_words);
+  for (const double value :
+       {c.retention.nominal_v, c.retention.retention_v, c.retention.p_nominal,
+        c.retention.sensitivity_per_v, c.rate_scale}) {
+    w.u64(std::bit_cast<std::uint64_t>(value));
+  }
+  w.boolean(c.localize);
+  w.u64(c.stride);
+}
+
+CampaignConfig decode_campaign_config(util::WireReader& r) {
+  CampaignConfig c;
+  c.models.clear();
+  const std::uint32_t model_count = r.u32();
+  for (std::uint32_t i = 0; i < model_count; ++i) {
+    const std::uint8_t raw = r.u8();
+    if (raw > static_cast<std::uint8_t>(ErrorModel::kRate)) {
+      throw std::invalid_argument("campaign config: bad error model");
+    }
+    c.models.push_back(static_cast<ErrorModel>(raw));
+  }
+  c.count = r.u32();
+  c.seed = r.u64();
+  const std::uint32_t volt_count = r.u32();
+  for (std::uint32_t i = 0; i < volt_count; ++i) {
+    c.voltages.push_back(std::bit_cast<double>(r.u64()));
+  }
+  c.multi_bits = r.u32();
+  c.burst_words = r.u32();
+  c.row_words = r.u32();
+  for (double* value :
+       {&c.retention.nominal_v, &c.retention.retention_v,
+        &c.retention.p_nominal, &c.retention.sensitivity_per_v,
+        &c.rate_scale}) {
+    *value = std::bit_cast<double>(r.u64());
+  }
+  c.localize = r.boolean();
+  c.stride = r.u64();
+  return c;
+}
+
+struct CampaignManifest {
+  std::uint64_t fingerprint = 0;
+  std::size_t faults = 0;
+  struct Row {
+    unsigned id = 0;
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+  };
+  std::vector<Row> shards;
+};
+
+CampaignManifest parse_campaign_manifest(const std::string& dir) {
+  std::ifstream in(dir + "/MANIFEST");
+  if (!in) {
+    throw std::runtime_error("no campaign spool manifest in " + dir);
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != kCampaignManifestHeader) {
+    throw std::runtime_error("not a campaign spool: " + dir);
+  }
+  CampaignManifest manifest;
+  while (std::getline(in, line)) {
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    if (tag == "fingerprint") {
+      std::string hex;
+      fields >> hex;
+      manifest.fingerprint = std::strtoull(hex.c_str(), nullptr, 16);
+    } else if (tag == "faults") {
+      fields >> manifest.faults;
+    } else if (tag == "shards") {
+      continue;  // redundant with the shard rows; kept for readability
+    } else if (tag == "shard") {
+      CampaignManifest::Row row;
+      fields >> row.id >> row.begin >> row.end;
+      if (fields.fail() || row.end < row.begin) {
+        throw std::runtime_error("malformed shard row in campaign manifest: " +
+                                 line);
+      }
+      manifest.shards.push_back(row);
+    } else if (!tag.empty()) {
+      throw std::runtime_error("unknown campaign manifest directive: " + line);
+    }
+  }
+  if (manifest.shards.empty()) {
+    throw std::runtime_error("campaign manifest lists no shards in " + dir);
+  }
+  return manifest;
+}
+
+/// Complete (newline-terminated) lines of a partial part file; a torn
+/// trailing line from a killed worker is dropped.
+std::vector<std::string> complete_lines(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::string text{std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>()};
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') {
+      lines.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return lines;
+}
+
+void write_text_atomic(const std::string& path, const std::string& text) {
+  write_file_atomic(path, {reinterpret_cast<const std::uint8_t*>(text.data()),
+                           text.size()});
+}
+
+/// Atomic claim: true when this caller renamed the file (and therefore
+/// owns it); false when another worker got there first.
+bool try_rename(const std::string& from, const std::string& to) {
+  std::error_code ec;
+  fs::rename(from, to, ec);
+  return !ec;
+}
+
+/// Parses one range file ("<fingerprint-hex> <id> <begin> <end>").
+CampaignManifest::Row parse_range_file(const std::string& path,
+                                       std::uint64_t expect_fingerprint) {
+  std::ifstream in(path);
+  std::string hex;
+  CampaignManifest::Row row;
+  in >> hex >> row.id >> row.begin >> row.end;
+  if (in.fail() || row.end < row.begin ||
+      std::strtoull(hex.c_str(), nullptr, 16) != expect_fingerprint) {
+    throw std::runtime_error("range file " + path +
+                             " does not belong to this campaign spool");
+  }
+  return row;
+}
+
+}  // namespace
+
+std::uint64_t campaign_fingerprint(const CampaignConfig& config,
+                                   const RecordedRun& run) {
+  util::WireWriter w;
+  encode_campaign_config(w, config);
+  w.u64(run.content_hash());
+  return fnv1a64(w.bytes());
+}
+
+PlannedCampaign load_planned_campaign(const std::string& dir) {
+  const std::string path = dir + "/campaign.bin";
+  const std::vector<std::uint8_t> bytes = read_file_bytes(path);
+  if (bytes.size() < sizeof(kCampaignMagic) + 8) {
+    throw std::invalid_argument("campaign image " + path + ": truncated");
+  }
+  const std::uint64_t stored_hash =
+      util::WireReader({bytes.data() + bytes.size() - 8, 8}).u64();
+  if (fnv1a64({bytes.data(), bytes.size() - 8}) != stored_hash) {
+    throw std::invalid_argument("campaign image " + path +
+                                ": content hash mismatch (corrupt spool?)");
+  }
+  util::WireReader r({bytes.data(), bytes.size() - 8});
+  for (const std::uint8_t byte : kCampaignMagic) {
+    if (r.u8() != byte) {
+      throw std::invalid_argument("campaign image " + path + ": bad magic");
+    }
+  }
+  if (r.u32() != kCampaignVersion) {
+    throw std::invalid_argument("campaign image " + path +
+                                ": unsupported version");
+  }
+  PlannedCampaign planned;
+  planned.fingerprint = r.u64();
+  planned.config = decode_campaign_config(r);
+  const std::vector<std::uint8_t> envelope = r.blob();
+  planned.run = RecordedRun::deserialize(envelope);
+  if (planned.fingerprint !=
+      campaign_fingerprint(planned.config, planned.run)) {
+    throw std::invalid_argument("campaign image " + path +
+                                ": fingerprint mismatch");
+  }
+  return planned;
+}
+
+CampaignPlanResult plan_campaign_spool(const std::string& dir,
+                                       const RecordedRun& run,
+                                       const CampaignConfig& config,
+                                       const Registry& registry,
+                                       const CampaignSpoolOptions& options) {
+  if (fs::exists(dir + "/MANIFEST")) {
+    throw std::runtime_error("spool " + dir +
+                             " is already planned; use a fresh directory");
+  }
+  const auto workload = registry.make(run.spec.workload, run.spec.params);
+  const assembler::Program& program =
+      workload->program(run.spec.with_synchronizer());
+  const std::vector<CampaignFault> faults =
+      expand_campaign(config, run.schedule, program, workload->num_cores());
+  if (faults.empty()) {
+    throw std::invalid_argument(
+        "plan_campaign_spool: the campaign expands to no faults");
+  }
+  for (const char* sub : {"/queue", "/claimed", "/done", "/parts"}) {
+    std::error_code ec;
+    fs::create_directories(dir + sub, ec);
+    if (ec) {
+      throw std::runtime_error("cannot create spool directory " + dir + sub +
+                               ": " + ec.message());
+    }
+  }
+
+  const std::uint64_t fingerprint = campaign_fingerprint(config, run);
+  {
+    util::WireWriter w;
+    for (const std::uint8_t byte : kCampaignMagic) w.u8(byte);
+    w.u32(kCampaignVersion);
+    w.u64(fingerprint);
+    encode_campaign_config(w, config);
+    w.blob(run.serialize());
+    w.u64(fnv1a64(w.bytes()));
+    write_file_atomic(dir + "/campaign.bin", w.take());
+  }
+
+  // Contiguous fault-index ranges, balanced to within one fault.
+  const unsigned shard_count = static_cast<unsigned>(std::min<std::size_t>(
+      std::max(1u, options.shards), faults.size()));
+  const std::uint64_t base = faults.size() / shard_count;
+  const std::uint64_t extra = faults.size() % shard_count;
+
+  std::ostringstream manifest;
+  manifest << kCampaignManifestHeader << '\n';
+  manifest << "fingerprint " << hex64(fingerprint) << '\n';
+  manifest << "faults " << faults.size() << '\n';
+  manifest << "shards " << shard_count << '\n';
+  std::uint64_t begin = 0;
+  for (unsigned s = 0; s < shard_count; ++s) {
+    const std::uint64_t end = begin + base + (s < extra ? 1 : 0);
+    write_text_atomic(dir + "/queue/" + shard_name(s) + ".range",
+                      hex64(fingerprint) + " " + std::to_string(s) + " " +
+                          std::to_string(begin) + " " + std::to_string(end) +
+                          "\n");
+    manifest << "shard " << s << ' ' << begin << ' ' << end << '\n';
+    begin = end;
+  }
+  // The manifest is written last: a spool without one is unplanned, never
+  // half-planned.
+  write_text_atomic(dir + "/MANIFEST", manifest.str());
+
+  CampaignPlanResult result;
+  result.faults = faults.size();
+  result.shards = shard_count;
+  result.fingerprint = fingerprint;
+  return result;
+}
+
+bool is_campaign_spool(const std::string& dir) {
+  std::ifstream in(dir + "/MANIFEST");
+  if (!in) return false;
+  std::string line;
+  return std::getline(in, line) && line == kCampaignManifestHeader;
+}
+
+CampaignWorkReport work_campaign_spool(const std::string& dir,
+                                       const Registry& registry,
+                                       const CampaignWorkOptions& options) {
+  const CampaignManifest manifest = parse_campaign_manifest(dir);
+  const std::string worker = options.worker_id.empty()
+                                 ? std::to_string(::getpid())
+                                 : options.worker_id;
+
+  if (options.resume) {
+    // Re-queue orphaned claims: a claim whose part became final just never
+    // got its range moved (killed between the two renames); anything else
+    // goes back to the queue with its partial rows kept for reuse.
+    for (const CampaignManifest::Row& row : manifest.shards) {
+      const std::string name = shard_name(row.id);
+      const std::string claimed = dir + "/claimed/" + name + ".range";
+      if (!fs::exists(claimed)) continue;
+      std::error_code ec;
+      if (fs::exists(dir + "/parts/" + part_name(row.id) + ".csv")) {
+        try_rename(claimed, dir + "/done/" + name + ".range");
+      } else {
+        try_rename(claimed, dir + "/queue/" + name + ".range");
+      }
+      fs::remove(dir + "/claimed/" + name + ".owner", ec);
+    }
+  }
+
+  const PlannedCampaign planned = load_planned_campaign(dir);
+  if (planned.fingerprint != manifest.fingerprint) {
+    throw std::runtime_error("campaign image in " + dir +
+                             " does not match the spool manifest");
+  }
+  const auto workload =
+      registry.make(planned.run.spec.workload, planned.run.spec.params);
+  const assembler::Program& program =
+      workload->program(planned.run.spec.with_synchronizer());
+  const std::vector<CampaignFault> faults = expand_campaign(
+      planned.config, planned.run.schedule, program, workload->num_cores());
+  if (faults.size() != manifest.faults) {
+    throw std::runtime_error("campaign in " + dir + " expands to " +
+                             std::to_string(faults.size()) +
+                             " faults, manifest says " +
+                             std::to_string(manifest.faults));
+  }
+  sim::Snapshot clean_final;
+  const sim::Snapshot* clean_ptr = nullptr;
+  if (!planned.config.localize) {
+    clean_final = clean_final_state(planned.run, registry);
+    clean_ptr = &clean_final;
+  }
+
+  CampaignWorkReport report;
+  while (options.max_shards == 0 ||
+         report.shards_completed < options.max_shards) {
+    std::vector<std::string> queued;
+    for (const auto& entry : fs::directory_iterator(dir + "/queue")) {
+      if (entry.path().extension() == ".range") {
+        queued.push_back(entry.path().filename().string());
+      }
+    }
+    std::sort(queued.begin(), queued.end());
+    std::string claimed_name;
+    for (const std::string& name : queued) {
+      if (try_rename(dir + "/queue/" + name, dir + "/claimed/" + name)) {
+        claimed_name = name;
+        break;
+      }
+    }
+    if (claimed_name.empty()) break;  // queue drained (or raced dry)
+
+    const std::string stem = claimed_name.substr(0, claimed_name.size() - 6);
+    const std::string claimed_path = dir + "/claimed/" + claimed_name;
+    write_text_atomic(dir + "/claimed/" + stem + ".owner", worker + "\n");
+
+    const CampaignManifest::Row range =
+        parse_range_file(claimed_path, manifest.fingerprint);
+    if (range.end > faults.size()) {
+      throw std::runtime_error("range file " + claimed_path +
+                               " exceeds the campaign's fault count");
+    }
+    const std::size_t range_size =
+        static_cast<std::size_t>(range.end - range.begin);
+
+    const std::string partial =
+        dir + "/parts/" + part_name(range.id) + ".partial";
+    std::vector<std::string> rows = complete_lines(partial);
+    if (rows.size() > range_size) {
+      throw std::runtime_error("partial part of shard " +
+                               std::to_string(range.id) +
+                               " has more rows than the shard has faults");
+    }
+    report.rows_reused += rows.size();
+
+    if (rows.size() < range_size) {
+      // Rows already present are skipped, not re-run: they are
+      // deterministic, so adopting them is byte-identical and a resumed
+      // spool never repeats finished work. Trials run in parallel blocks;
+      // rows are appended in index order, so a kill loses at most one
+      // in-flight block's unwritten rows.
+      std::ofstream out(partial, std::ios::binary | std::ios::app);
+      if (!out) throw std::runtime_error("cannot append to " + partial);
+      const unsigned jobs = resolve_jobs(options.jobs, range_size);
+      while (rows.size() < range_size) {
+        const std::size_t block = std::min<std::size_t>(
+            range_size - rows.size(), std::max<std::size_t>(jobs, 1) * 4);
+        const std::uint64_t block_begin = range.begin + rows.size();
+        std::vector<std::string> block_rows(block);
+        parallel_for(block, jobs, [&](std::size_t k) {
+          block_rows[k] = fault_row_csv(
+              run_fault_trial(planned.run, registry, faults[block_begin + k],
+                              planned.config, clean_ptr));
+        });
+        for (const std::string& row : block_rows) {
+          out << row << '\n' << std::flush;
+          if (!out) throw std::runtime_error("cannot append to " + partial);
+          rows.push_back(row);
+          report.trials_executed += 1;
+        }
+      }
+    }
+
+    std::string part_text;
+    for (const std::string& row : rows) part_text += row + '\n';
+    write_text_atomic(dir + "/parts/" + part_name(range.id) + ".csv",
+                      part_text);
+    std::error_code ec;
+    fs::remove(partial, ec);
+    try_rename(claimed_path, dir + "/done/" + claimed_name);
+    fs::remove(dir + "/claimed/" + stem + ".owner", ec);
+    report.shards_completed += 1;
+  }
+  return report;
+}
+
+std::string merge_campaign_spool(const std::string& dir) {
+  const CampaignManifest manifest = parse_campaign_manifest(dir);
+  std::vector<std::string> rows(manifest.faults);
+  std::vector<bool> filled(manifest.faults, false);
+  for (const CampaignManifest::Row& row : manifest.shards) {
+    const std::string part = dir + "/parts/" + part_name(row.id) + ".csv";
+    if (!fs::exists(part)) {
+      throw std::runtime_error("cannot merge: part of shard " +
+                               std::to_string(row.id) + " is not finished (" +
+                               part + " missing)");
+    }
+    const std::vector<std::string> lines = complete_lines(part);
+    if (lines.size() != row.end - row.begin) {
+      throw std::runtime_error(
+          "cannot merge: part of shard " + std::to_string(row.id) + " has " +
+          std::to_string(lines.size()) + " rows, manifest expects " +
+          std::to_string(row.end - row.begin));
+    }
+    for (std::size_t k = 0; k < lines.size(); ++k) {
+      const std::uint64_t index = row.begin + k;
+      if (index >= rows.size() || filled[index]) {
+        throw std::runtime_error(
+            "cannot merge: shard " + std::to_string(row.id) +
+            " covers an invalid or duplicate fault index");
+      }
+      rows[index] = lines[k];
+      filled[index] = true;
+    }
+  }
+  for (std::size_t i = 0; i < filled.size(); ++i) {
+    if (!filled[i]) {
+      throw std::runtime_error("cannot merge: fault " + std::to_string(i) +
+                               " is covered by no shard");
+    }
+  }
+  std::string out = campaign_csv_header() + "\n";
+  for (const std::string& row : rows) out += row + '\n';
+  return out;
+}
+
+// --- shared campaign CLI vocabulary ------------------------------------------
+
+CampaignConfig campaign_config_from_flags(const util::CliArgs& args) {
+  CampaignConfig config;
+  config.models =
+      parse_error_models(args.get("faults", "dm,im,wake-delay,wake-drop"));
+  if (config.models.empty()) {
+    throw std::runtime_error("--faults lists no fault classes");
+  }
+  config.count = static_cast<unsigned>(args.get_int("count", 4));
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 2024));
+  config.stride = static_cast<std::uint64_t>(args.get_int("stride", 4096));
+  config.voltages = parse_voltage_list(args.get("volts", ""));
+  if (args.has("energy-mhz")) {
+    // The supply the voltage-scaling model needs to sustain this clock —
+    // the same resolution the energy pipeline's auto mode performs, so a
+    // frequency sweep and a fault-rate sweep see one voltage axis.
+    const double f_mhz = args.get_double("energy-mhz", 0.0);
+    const power::VoltageScaling scaling{power::VoltageParams{}};
+    const auto voltage = scaling.min_voltage_for(f_mhz);
+    if (!voltage) {
+      throw std::runtime_error(
+          "--energy-mhz exceeds the nominal-voltage maximum frequency");
+    }
+    config.voltages.push_back(*voltage);
+  }
+  config.multi_bits = static_cast<unsigned>(args.get_int("multi-bits", 3));
+  config.burst_words =
+      static_cast<std::uint32_t>(args.get_int("burst-words", 4));
+  config.row_words = static_cast<std::uint32_t>(args.get_int("row-words", 16));
+  config.rate_scale = args.get_double("rate-scale", 1.0);
+  config.retention.retention_v =
+      args.get_double("retention-v", config.retention.retention_v);
+  config.retention.p_nominal =
+      args.get_double("rate-p-nominal", config.retention.p_nominal);
+  config.retention.sensitivity_per_v =
+      args.get_double("rate-sensitivity", config.retention.sensitivity_per_v);
+  // --require-localized predates outcome mode; without an explicit --mode
+  // it keeps selecting the bisection it gates.
+  const std::string mode =
+      args.get("mode", args.has("require-localized") ? "localize" : "outcome");
+  if (mode == "localize") {
+    config.localize = true;
+  } else if (mode != "outcome") {
+    throw std::runtime_error("unknown --mode: " + mode);
+  }
+  return config;
+}
+
+RecordedRun acquire_campaign_run(const util::CliArgs& args,
+                                 const Registry& registry) {
+  const std::string evt_path = args.get("evt", "");
+  if (!evt_path.empty()) return read_recorded_run_file(evt_path);
+
+  RunSpec spec;
+  spec.workload = args.get("workload", "sleepgen");
+  spec.params.samples = static_cast<unsigned>(args.get_int("samples", 48));
+  spec.max_cycles =
+      static_cast<std::uint64_t>(args.get_int("max-cycles", 2'000'000));
+  const std::string design = args.get("design", "auto");
+  if (design == "synchronized") {
+    spec.design = DesignVariant::synchronized();
+  } else if (design == "baseline") {
+    spec.design = DesignVariant::baseline();
+  } else if (design == "xbar") {
+    spec.design = DesignVariant::xbar_only();
+  } else if (design == "auto") {
+    // The hardware synchronizer tops out at 8 cores; wider workloads get
+    // the crossbar-enhanced design.
+    const auto workload = registry.make(spec.workload, spec.params);
+    spec.design = workload->num_cores() <= 8 ? DesignVariant::synchronized()
+                                             : DesignVariant::xbar_only();
+  } else {
+    throw std::runtime_error("unknown --design: " + design);
+  }
+  RecordOutcome outcome = record_one(spec, registry);
+  if (outcome.record.status != "all-halted" &&
+      outcome.record.status != "all-asleep" &&
+      outcome.record.status != "max-cycles") {
+    throw std::runtime_error("recording run failed: " + outcome.record.status +
+                             " (" + outcome.record.verify_error + ")");
+  }
+  return std::move(outcome.recorded);
+}
+
+SpoolStatus campaign_spool_status(const std::string& dir) {
+  const CampaignManifest manifest = parse_campaign_manifest(dir);
+  SpoolStatus status;
+  status.fingerprint = manifest.fingerprint;
+  status.specs = manifest.faults;
+  for (const CampaignManifest::Row& row : manifest.shards) {
+    ShardState shard;
+    shard.id = row.id;
+    shard.specs = static_cast<std::size_t>(row.end - row.begin);
+    const std::string name = shard_name(row.id);
+    if (fs::exists(dir + "/done/" + name + ".range")) {
+      shard.state = "done";
+    } else if (fs::exists(dir + "/claimed/" + name + ".range")) {
+      shard.state = "claimed";
+      std::ifstream owner(dir + "/claimed/" + name + ".owner");
+      std::getline(owner, shard.owner);
+    } else if (fs::exists(dir + "/queue/" + name + ".range")) {
+      shard.state = "queued";
+    } else {
+      shard.state = "lost";
+    }
+    shard.part_final = fs::exists(dir + "/parts/" + part_name(row.id) + ".csv");
+    shard.partial_rows =
+        complete_lines(dir + "/parts/" + part_name(row.id) + ".partial").size();
+    status.shards.push_back(std::move(shard));
+  }
+  return status;
+}
+
+}  // namespace ulpsync::scenario

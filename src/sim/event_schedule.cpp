@@ -390,15 +390,24 @@ void ReplayCursor::deliver_due() {
     }
     // A suppressed kInterrupt delivers nothing.
   }
-  // 2. DM bit flips due now — after the deposits of this cycle, so a flip
-  //    at a deposit cycle corrupts the freshly written word.
+  // 2. DM corruptions due now — after the deposits of this cycle, so a
+  //    flip at a deposit cycle corrupts the freshly written word. The XOR
+  //    pattern covers `span` adjacent words (multi-bit / burst / row error
+  //    models); words beyond the DM size are skipped, never wrapped.
+  const std::uint32_t dm_words =
+      platform_->config().dm_banks * platform_->config().dm_bank_words;
   for (const FaultAction& fault : faults_) {
     if (fault.kind != FaultAction::Kind::kDmFlip || fault.cycle != now)
       continue;
-    platform_->dm_write(fault.addr,
-                        static_cast<std::uint16_t>(
-                            platform_->dm_read(fault.addr) ^
-                            (std::uint16_t{1} << (fault.bit & 15u))));
+    const std::uint16_t pattern = fault.word_mask();
+    for (std::uint32_t w = 0; w < std::max<std::uint32_t>(fault.span, 1);
+         ++w) {
+      const std::uint32_t addr = fault.addr + w;
+      if (addr >= dm_words) break;
+      platform_->dm_write(
+          addr, static_cast<std::uint16_t>(platform_->dm_read(addr) ^
+                                           pattern));
+    }
   }
   // 3. Delayed wake-ups that have come due.
   while (!pending_wakes_.empty() && pending_wakes_.front().first == now) {

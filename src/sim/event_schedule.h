@@ -176,22 +176,42 @@ class ReplayDriver {
 };
 
 /// One injected fault for campaign replays (see `ReplayCursor`).
+///
+/// A `kDmFlip` is the general DM-corruption primitive: it XORs a bit
+/// pattern into a run of adjacent words. `mask == 0, span == 1` is the
+/// classic single-event upset (flip bit `bit` of the word at `addr`);
+/// a non-zero `mask` flips several bits of one word (multi-bit upset);
+/// `span > 1` repeats the pattern over `span` adjacent words (a
+/// spatially-correlated burst — adjacent DM words, or a whole row when
+/// `addr` is row-aligned and `span` is the row width). Words beyond the
+/// platform's DM size are skipped, never wrapped.
 struct FaultAction {
   /// What to inject.
   enum class Kind : std::uint8_t {
-    kDmFlip,     ///< flip one DM bit at `cycle`
+    kDmFlip,     ///< XOR a bit pattern into `span` DM words at `cycle`
     kDelayWake,  ///< deliver `core`'s wake-up `delay` cycles late
     kDropWake,   ///< never deliver `core`'s wake-up
   };
   Kind kind = Kind::kDmFlip;
   std::uint64_t cycle = 0;  ///< kDmFlip: injection cycle
-  std::uint32_t addr = 0;   ///< kDmFlip: DM word address
-  unsigned bit = 0;         ///< kDmFlip: bit index (0..15)
+  std::uint32_t addr = 0;   ///< kDmFlip: first DM word address
+  unsigned bit = 0;         ///< kDmFlip: bit index (0..15) when `mask == 0`
+  /// kDmFlip: XOR pattern per word; 0 selects the single bit `bit`.
+  std::uint16_t mask = 0;
+  /// kDmFlip: number of adjacent words the pattern is XORed into (>= 1).
+  std::uint32_t span = 1;
   unsigned core = 0;        ///< kDelayWake/kDropWake: target core
   std::uint64_t delay = 0;  ///< kDelayWake: extra cycles before the wake-up
   /// kDelayWake/kDropWake: index into `EventSchedule::events` of the
   /// interrupt event the fault targets (must be kInterrupt/kInterruptAll).
   std::size_t event_index = 0;
+
+  /// The effective per-word XOR pattern (`mask`, or the single `bit`).
+  [[nodiscard]] std::uint16_t word_mask() const {
+    return mask != 0 ? mask
+                     : static_cast<std::uint16_t>(std::uint16_t{1}
+                                                  << (bit & 15u));
+  }
 };
 
 /// Steps one platform through a recorded schedule tick by tick, delivering

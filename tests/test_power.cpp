@@ -62,6 +62,37 @@ TEST(VoltageScaling, LeakageShrinksWithVoltage) {
   EXPECT_GT(scaling.leakage_mw(0.8), 0.0);
 }
 
+TEST(RetentionModel, UpsetProbabilityMonotoneNonIncreasingInVoltage) {
+  const RetentionModel retention{RetentionParams{}};
+  double previous = 1.0;
+  for (double v = 0.30; v <= 1.30; v += 0.05) {
+    const double p = retention.upset_probability(v);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    EXPECT_LE(p, previous) << "at " << v;
+    previous = p;
+  }
+}
+
+TEST(RetentionModel, CertainUpsetAtOrBelowTheRetentionFloor) {
+  const RetentionModel retention{RetentionParams{}};
+  EXPECT_DOUBLE_EQ(retention.upset_probability(retention.params().retention_v),
+                   1.0);
+  EXPECT_DOUBLE_EQ(retention.upset_probability(0.1), 1.0);
+  // Just above the floor the model drops below certainty again.
+  EXPECT_LT(retention.upset_probability(1.2), 1e-8);
+}
+
+TEST(RetentionModel, NominalProbabilityAtNominalVoltage) {
+  RetentionParams params;
+  params.p_nominal = 1e-6;
+  const RetentionModel retention{params};
+  EXPECT_DOUBLE_EQ(retention.upset_probability(params.nominal_v), 1e-6);
+  // expected_upsets is the plain Poisson rate p * bits * windows.
+  EXPECT_DOUBLE_EQ(retention.expected_upsets(params.nominal_v, 1024.0, 100.0),
+                   1e-6 * 1024.0 * 100.0);
+}
+
 sim::EventCounters fake_counters() {
   sim::EventCounters counters;
   counters.cycles = 1000;

@@ -84,6 +84,18 @@ PROFILES = {
         "row_unit": "points",
         "exact_rows": True,
     },
+    # Fault-campaign rows are exact per-(model, outcome) counts over a
+    # committed recording with a fixed seed: the masked/detected/SDC split
+    # is deterministic, so any drift means the error models, the replay,
+    # or the outcome classifier changed behavior.
+    "fault_campaign": {
+        "headline": "faults_per_second",
+        "unit": "faults/s",
+        "row_key": ("model", "outcome"),
+        "row_metric": "count",
+        "row_unit": "faults",
+        "exact_rows": True,
+    },
 }
 
 

@@ -1,415 +1,171 @@
-// fault_campaign: sweep-scale fault injection on recorded event schedules.
+// fault_campaign: resilience studies on recorded event schedules.
 //
-// Records one run (or loads a recorded-run envelope), generates a
-// deterministic set of parameterized faults, injects each into a replayed
-// copy of the run, and localizes the fault's first architectural effect by
-// checkpoint-stride bisection (sim::find_first_divergence_replayed): a
-// clean and a faulted replay advance in lockstep, snapshots are compared
-// every --stride cycles, and on mismatch the last equal pair is restored
-// and single-stepped to the exact first divergent cycle.
+// Records one run (or loads a recorded-run envelope), expands a
+// deterministic fault campaign (scenario/resilience.h), injects every
+// fault into a replayed copy of the run, classifies the outcomes, and
+// writes the campaign CSV plus an optional aggregated resilience report.
 //
-//   fault_campaign --out FILE [--workload NAME] [--samples N]
+//   fault_campaign --out FILE [--report FILE] [--bench FILE]
+//                  [--workload NAME] [--samples N]
 //                  [--design auto|synchronized|baseline|xbar]
 //                  [--max-cycles N] [--evt FILE]
-//                  [--faults dm,im,wake-delay,wake-drop] [--count N]
-//                  [--seed S] [--stride N] [--jobs N]
-//                  [--require-localized N]
+//                  [--faults dm,dm-multi,dm-burst,dm-row,im,
+//                            wake-delay,wake-drop,rate]
+//                  [--count N] [--seed S] [--jobs N]
+//                  [--mode outcome|localize] [--stride N]
+//                  [--volts 0.5,0.7,1.0] [--energy-mhz F]
+//                  [--rate-scale X] [--retention-v V]
+//                  [--rate-p-nominal P] [--rate-sensitivity S]
+//                  [--multi-bits N] [--burst-words N] [--row-words N]
+//                  [--require-localized N] [--require-classified N]
 //
-// Fault classes (--faults, comma list; --count per class):
-//   dm          flip one data-memory bit. Target words are sampled from
-//               the run's recorded DM deposits and flipped at the
-//               deposit's own delivery cycle, so the corruption lands in
-//               memory the workload is about to read.
-//   im          flip one bit of one encoded instruction word before the
-//               image is loaded (an undecodable word is its own outcome).
-//   wake-delay  deliver one recorded wake-up interrupt N cycles late.
-//   wake-drop   never deliver one recorded wake-up interrupt.
+// Error models (--faults, comma list; --count per class except `rate`):
+//   dm          flip one bit of one recorded DM deposit word
+//   dm-multi    flip --multi-bits adjacent bits of one word
+//   dm-burst    flip the same bit across --burst-words adjacent words
+//   dm-row      flip one bit across a whole --row-words-aligned row
+//   im          flip one bit of one encoded instruction word before load
+//   wake-delay  deliver one recorded wake-up interrupt late
+//   wake-drop   never deliver one recorded wake-up interrupt
+//   rate        voltage-tied per-bit upsets over every recorded deposit:
+//               the per-bit probability comes from power::RetentionModel
+//               at the campaign point's voltage (--volts, or the supply
+//               that sustains --energy-mhz per power::VoltageScaling),
+//               scaled by --rate-scale. Lower voltage => strictly no
+//               fewer injected faults (monotone coupling).
 //
-// The bisection compares core-visible state (DivergenceScope::kCoreState):
-// a DM flip localizes to the first cycle a core consumes the corrupted
-// word, not to the injection itself.
+// Modes (--mode):
+//   outcome   (default) classify each fault masked / detected / sdc
+//             against the clean replay's final state — one replay per
+//             trial; what the resilience report aggregates.
+//   localize  legacy checkpoint-stride bisection to the first divergent
+//             cycle (outcomes localized / masked). Implied by
+//             --require-localized when --mode is not given.
 //
-// Per-fault CSV columns:
-//   fault,cycle,addr,bit,core,delay,event_index,outcome,
-//   divergence_cycle,divergence_core,state_class,detail
-// Outcomes: localized (bisection found the first divergent cycle), masked
-// (the fault never reached core state before the run's recorded end),
-// undecodable-image (an im flip produced an unloadable word), no-target
-// (the schedule has no event of the fault's kind), error.
-//
-// --require-localized N exits nonzero unless at least N faults localized —
-// the CI smoke gate.
+// Gates: --require-localized N exits nonzero unless at least N faults
+// localized; --require-classified N likewise for rows whose outcome is
+// masked/detected/sdc/localized/undecodable-image — the CI smoke gates.
 
-#include <algorithm>
-#include <atomic>
-#include <cinttypes>
+#include <chrono>
 #include <cstdio>
 #include <exception>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
-#include <thread>
 #include <vector>
 
-#include "asm/assembler.h"
 #include "scenario/registry.h"
-#include "scenario/replay.h"
-#include "sim/event_schedule.h"
+#include "scenario/resilience.h"
 #include "util/cli.h"
-#include "util/rng.h"
 
 namespace {
 
 using namespace ulpsync;
 using namespace ulpsync::scenario;
 
-std::vector<std::string> split_list(const std::string& text) {
-  std::vector<std::string> out;
-  std::string item;
-  std::istringstream in(text);
-  while (std::getline(in, item, ',')) {
-    if (!item.empty()) out.push_back(item);
-  }
-  return out;
+void write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+  if (!out) throw std::runtime_error("cannot write " + path);
 }
 
-const char* fault_name(sim::FaultAction::Kind kind, bool drop) {
-  switch (kind) {
-    case sim::FaultAction::Kind::kDmFlip: return "dm";
-    case sim::FaultAction::Kind::kDelayWake: return "wake-delay";
-    case sim::FaultAction::Kind::kDropWake: return drop ? "wake-drop" : "?";
+/// Benchmark JSON: headline faults/sec plus exact per-(model, outcome)
+/// counts — the deterministic rows the bench_compare `fault_campaign`
+/// profile gates exactly.
+std::string bench_json(const std::vector<FaultTrialRow>& rows,
+                       double wall_seconds) {
+  std::map<std::pair<std::string, std::string>, std::size_t> counts;
+  for (const FaultTrialRow& row : rows) {
+    counts[{error_model_name(row.fault.model), row.outcome}] += 1;
   }
-  return "?";
-}
-
-/// One campaign entry: either a replay-time FaultAction or an image flip
-/// (applied before load, so it has no FaultAction representation).
-struct CampaignFault {
-  bool is_im_flip = false;
-  sim::FaultAction action;       ///< valid when !is_im_flip
-  std::size_t im_word = 0;       ///< is_im_flip: index into Program::image
-  unsigned im_bit = 0;           ///< is_im_flip: bit 0..31
-  bool no_target = false;        ///< class had no event to target
-};
-
-struct FaultRow {
-  CampaignFault fault;
-  std::string outcome;
-  std::uint64_t divergence_cycle = 0;
-  int divergence_core = -1;
-  std::string state_class;
-  std::string detail;
-};
-
-/// Classifies which architectural state class diverged first, from the
-/// snapshot pair at the first divergent cycle.
-void classify(const sim::Snapshot& clean, const sim::Snapshot& faulty,
-              FaultRow& row) {
-  for (std::size_t i = 0;
-       i < clean.cores.size() && i < faulty.cores.size(); ++i) {
-    const sim::CoreSnapshot& a = clean.cores[i];
-    const sim::CoreSnapshot& b = faulty.cores[i];
-    if (a == b) continue;
-    row.divergence_core = static_cast<int>(i);
-    if (a.status != b.status) {
-      row.state_class = "core-status";
-    } else if (a.arch.pc != b.arch.pc) {
-      row.state_class = "control-flow";
-    } else if (a.arch.regs != b.arch.regs) {
-      row.state_class = "dataflow";
-    } else {
-      row.state_class = "microstate";
-    }
-    return;
-  }
-  if (!(clean.counters == faulty.counters)) {
-    row.state_class = "counters";
-  } else if (!(clean.sync == faulty.sync)) {
-    row.state_class = "sync";
-  } else if (clean.policy_groups != faulty.policy_groups) {
-    row.state_class = "xbar-policy";
-  } else {
-    row.state_class = "other";
-  }
-}
-
-std::string csv_safe(std::string text) {
-  const std::size_t line_end = text.find('\n');
-  if (line_end != std::string::npos) text.resize(line_end);
-  for (char& c : text) {
-    if (c == ',') c = ';';
-  }
-  return text;
-}
-
-std::string row_to_csv(const FaultRow& row) {
+  const double rate =
+      wall_seconds > 0.0 ? static_cast<double>(rows.size()) / wall_seconds
+                         : 0.0;
   std::ostringstream out;
-  const CampaignFault& f = row.fault;
-  if (f.is_im_flip) {
-    out << "im," << 0 << ',' << f.im_word << ',' << f.im_bit << ",-1,0,0,";
-  } else {
-    const sim::FaultAction& a = f.action;
-    out << fault_name(a.kind, true) << ',' << a.cycle << ',' << a.addr << ','
-        << a.bit << ',' << a.core << ',' << a.delay << ',' << a.event_index
-        << ',';
+  out << "{\n";
+  out << "  \"bench\": \"fault_campaign\",\n";
+  out << "  \"faults\": " << rows.size() << ",\n";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", wall_seconds);
+  out << "  \"wall_seconds\": " << buffer << ",\n";
+  std::snprintf(buffer, sizeof(buffer), "%.3f", rate);
+  out << "  \"faults_per_second\": " << buffer << ",\n";
+  out << "  \"runs\": [\n";
+  bool first = true;
+  for (const auto& [key, count] : counts) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "    {\"model\": \"" << key.first << "\", \"outcome\": \""
+        << key.second << "\", \"count\": " << count << "}";
   }
-  out << row.outcome << ',' << row.divergence_cycle << ','
-      << row.divergence_core << ',' << row.state_class << ','
-      << csv_safe(row.detail);
+  out << "\n  ]\n}\n";
   return out.str();
 }
 
-/// Deterministically generates the campaign's fault list from the recorded
-/// schedule: DM flip addresses come from the recorded deposits, wake
-/// faults target recorded interrupt events, IM flips index the program
-/// image. The same seed and schedule always produce the same faults.
-std::vector<CampaignFault> generate_faults(
-    const sim::EventSchedule& schedule, const assembler::Program& program,
-    const std::vector<std::string>& classes, unsigned count,
-    std::uint64_t seed, unsigned num_cores) {
-  // Sampling pools from the schedule.
-  std::vector<std::size_t> deposits;
-  std::vector<std::size_t> wake_events;
-  for (std::size_t i = 0; i < schedule.events.size(); ++i) {
-    switch (schedule.events[i].kind) {
-      case sim::EventKind::kDmWrite:
-      case sim::EventKind::kDmWriteBlock:
-        deposits.push_back(i);
-        break;
-      case sim::EventKind::kInterrupt:
-      case sim::EventKind::kInterruptAll:
-        wake_events.push_back(i);
-        break;
-    }
-  }
-
-  util::Rng rng(seed);
-  std::vector<CampaignFault> faults;
-  for (const std::string& cls : classes) {
-    for (unsigned n = 0; n < count; ++n) {
-      CampaignFault fault;
-      if (cls == "dm") {
-        if (deposits.empty()) {
-          fault.no_target = true;
-        } else {
-          // Flip a bit of one recorded deposit at the deposit's own
-          // delivery cycle — the flip lands right after the write, before
-          // the workload consumes the word, so it has a real chance to
-          // propagate instead of corrupting already-dead data.
-          const sim::ExternalEvent& deposit =
-              schedule.events[deposits[rng.next_below(deposits.size())]];
-          fault.action.kind = sim::FaultAction::Kind::kDmFlip;
-          fault.action.addr =
-              deposit.kind == sim::EventKind::kDmWriteBlock
-                  ? deposit.addr + static_cast<std::uint32_t>(
-                                       rng.next_below(deposit.words.size()))
-                  : deposit.addr;
-          fault.action.bit = static_cast<unsigned>(rng.next_below(16));
-          fault.action.cycle = deposit.cycle;
-        }
-      } else if (cls == "im") {
-        fault.is_im_flip = true;
-        if (program.image.empty()) {
-          fault.no_target = true;
-        } else {
-          fault.im_word =
-              static_cast<std::size_t>(rng.next_below(program.image.size()));
-          fault.im_bit = static_cast<unsigned>(rng.next_below(32));
-        }
-      } else if (cls == "wake-delay" || cls == "wake-drop") {
-        if (wake_events.empty()) {
-          fault.no_target = true;
-        } else {
-          const std::size_t index =
-              wake_events[rng.next_below(wake_events.size())];
-          const sim::ExternalEvent& event = schedule.events[index];
-          fault.action.kind = cls == "wake-delay"
-                                  ? sim::FaultAction::Kind::kDelayWake
-                                  : sim::FaultAction::Kind::kDropWake;
-          fault.action.event_index = index;
-          fault.action.core =
-              event.kind == sim::EventKind::kInterrupt
-                  ? static_cast<unsigned>(event.core)
-                  : static_cast<unsigned>(
-                        rng.next_below(std::max(1u, num_cores)));
-          if (cls == "wake-delay")
-            fault.action.delay = 1 + rng.next_below(256);
-        }
-      } else {
-        throw std::runtime_error("unknown fault class: " + cls);
-      }
-      if (fault.no_target) {
-        // Keep the row (outcome "no-target") so the report shape is
-        // independent of the schedule's event mix.
-        fault.is_im_flip = cls == "im";
-        if (cls == "wake-drop") {
-          fault.action.kind = sim::FaultAction::Kind::kDropWake;
-        } else if (cls == "wake-delay") {
-          fault.action.kind = sim::FaultAction::Kind::kDelayWake;
-        }
-      }
-      faults.push_back(fault);
-    }
-  }
-  return faults;
-}
-
-/// Replays the recorded run twice — clean and with `fault` injected — and
-/// bisects to the first architectural divergence.
-FaultRow run_fault(const RecordedRun& run, const Registry& registry,
-                   const CampaignFault& fault, std::uint64_t stride) {
-  FaultRow row;
-  row.fault = fault;
-  if (fault.no_target) {
-    row.outcome = "no-target";
-    return row;
-  }
-  try {
-    ReplayRig clean = make_replay_rig(run, registry);
-    ReplayRig faulty;
-    if (fault.is_im_flip) {
-      faulty.workload = registry.make(run.spec.workload, run.spec.params);
-      faulty.platform = std::make_unique<sim::Platform>(
-          resolved_config(run.spec, *faulty.workload));
-      assembler::Program corrupted =
-          faulty.workload->program(run.spec.with_synchronizer());
-      corrupted.image[fault.im_word] ^= std::uint32_t{1} << fault.im_bit;
-      try {
-        faulty.platform->load_image(corrupted.origin, corrupted.image);
-      } catch (const std::invalid_argument& error) {
-        row.outcome = "undecodable-image";
-        row.detail = error.what();
-        return row;
-      }
-    } else {
-      faulty = make_replay_rig(run, registry);
-    }
-
-    std::vector<sim::FaultAction> actions;
-    if (!fault.is_im_flip) actions.push_back(fault.action);
-    sim::ReplayCursor clean_cursor(*clean.platform, run.schedule, {});
-    sim::ReplayCursor faulty_cursor(*faulty.platform, run.schedule, actions);
-    const sim::ReplayDivergence divergence = sim::find_first_divergence_replayed(
-        clean_cursor, faulty_cursor, run.schedule.final_result.cycles,
-        sim::DivergenceScope::kCoreState, stride);
-    if (!divergence.diverged) {
-      row.outcome = "masked";
-      return row;
-    }
-    row.outcome = "localized";
-    row.divergence_cycle = divergence.first_divergent_cycle;
-    classify(divergence.clean_state, divergence.faulty_state, row);
-    row.detail = divergence.delta;
-  } catch (const std::exception& error) {
-    row.outcome = "error";
-    row.detail = error.what();
-  }
-  return row;
-}
-
-int run_campaign(const util::CliArgs& args) {
+int run_tool(const util::CliArgs& args) {
   const std::string out_path = args.get("out", "");
   if (out_path.empty()) throw std::runtime_error("missing required --out flag");
 
   const Registry& registry = Registry::builtins();
-  RecordedRun run;
-  const std::string evt_path = args.get("evt", "");
-  if (!evt_path.empty()) {
-    run = read_recorded_run_file(evt_path);
-  } else {
-    RunSpec spec;
-    spec.workload = args.get("workload", "sleepgen");
-    spec.params.samples = static_cast<unsigned>(args.get_int("samples", 48));
-    spec.max_cycles =
-        static_cast<std::uint64_t>(args.get_int("max-cycles", 2'000'000));
-    const std::string design = args.get("design", "auto");
-    if (design == "synchronized") {
-      spec.design = DesignVariant::synchronized();
-    } else if (design == "baseline") {
-      spec.design = DesignVariant::baseline();
-    } else if (design == "xbar") {
-      spec.design = DesignVariant::xbar_only();
-    } else if (design == "auto") {
-      // The hardware synchronizer tops out at 8 cores; wider workloads get
-      // the crossbar-enhanced design.
-      const auto workload = registry.make(spec.workload, spec.params);
-      spec.design = workload->num_cores() <= 8 ? DesignVariant::synchronized()
-                                               : DesignVariant::xbar_only();
-    } else {
-      throw std::runtime_error("unknown --design: " + design);
-    }
-    RecordOutcome outcome = record_one(spec, registry);
-    if (outcome.record.status != "all-halted" &&
-        outcome.record.status != "all-asleep" &&
-        outcome.record.status != "max-cycles") {
-      throw std::runtime_error("recording run failed: " +
-                               outcome.record.status + " (" +
-                               outcome.record.verify_error + ")");
-    }
-    run = std::move(outcome.recorded);
+  const RecordedRun run = acquire_campaign_run(args, registry);
+  const CampaignConfig config = campaign_config_from_flags(args);
+  const unsigned jobs = static_cast<unsigned>(args.get_int("jobs", 0));
+
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<FaultTrialRow> rows =
+      run_campaign(run, registry, config, jobs);
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  write_text_file(out_path, campaign_csv(rows));
+
+  const ResilienceReport report = aggregate_resilience(rows);
+  const std::string report_path = args.get("report", "");
+  if (!report_path.empty()) write_text_file(report_path, report.to_csv());
+  const std::string bench_path = args.get("bench", "");
+  if (!bench_path.empty()) {
+    write_text_file(bench_path, bench_json(rows, wall_seconds));
   }
 
-  const auto workload = registry.make(run.spec.workload, run.spec.params);
-  const assembler::Program& program =
-      workload->program(run.spec.with_synchronizer());
-
-  const std::vector<std::string> classes =
-      split_list(args.get("faults", "dm,im,wake-delay,wake-drop"));
-  const auto count = static_cast<unsigned>(args.get_int("count", 4));
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2024));
-  const auto stride =
-      static_cast<std::uint64_t>(args.get_int("stride", 4096));
-  const std::vector<CampaignFault> faults = generate_faults(
-      run.schedule, program, classes, count, seed, workload->num_cores());
-
-  // Run the campaign over a worker pool; rows land at their fault's index,
-  // so the report is deterministic for any --jobs.
-  std::vector<FaultRow> rows(faults.size());
-  unsigned jobs = static_cast<unsigned>(args.get_int("jobs", 0));
-  if (jobs == 0) jobs = std::max(1u, std::thread::hardware_concurrency());
-  jobs = static_cast<unsigned>(
-      std::min<std::size_t>(jobs, std::max<std::size_t>(faults.size(), 1)));
-  std::atomic<std::size_t> next{0};
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t index = next.fetch_add(1);
-      if (index >= faults.size()) return;
-      rows[index] = run_fault(run, registry, faults[index], stride);
-    }
-  };
-  if (jobs <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(jobs);
-    for (unsigned i = 0; i < jobs; ++i) pool.emplace_back(worker);
-    for (auto& thread : pool) thread.join();
-  }
-
-  std::ostringstream csv;
-  csv << "fault,cycle,addr,bit,core,delay,event_index,outcome,"
-         "divergence_cycle,divergence_core,state_class,detail\n";
   std::size_t localized = 0;
-  for (const FaultRow& row : rows) {
-    csv << row_to_csv(row) << '\n';
+  std::size_t classified = 0;
+  std::size_t masked = 0;
+  std::size_t detected = 0;
+  std::size_t sdc = 0;
+  for (const FaultTrialRow& row : rows) {
     if (row.outcome == "localized") ++localized;
+    if (row.outcome == "masked") ++masked;
+    if (row.outcome == "detected") ++detected;
+    if (row.outcome == "sdc") ++sdc;
+    if (row.outcome == "masked" || row.outcome == "detected" ||
+        row.outcome == "sdc" || row.outcome == "localized" ||
+        row.outcome == "undecodable-image") {
+      ++classified;
+    }
   }
-  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
-  out << csv.str();
-  if (!out) {
-    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
-    return 1;
-  }
+  std::printf(
+      "campaign: %zu fault(s), %zu masked, %zu detected, %zu sdc, "
+      "%zu localized -> %s\n",
+      rows.size(), masked, detected, sdc, localized, out_path.c_str());
 
-  std::printf("campaign: %zu fault(s), %zu localized -> %s\n", rows.size(),
-              localized, out_path.c_str());
-  const auto required =
+  const auto required_localized =
       static_cast<std::size_t>(args.get_int("require-localized", 0));
-  if (localized < required) {
+  if (localized < required_localized) {
     std::fprintf(stderr,
                  "fault_campaign: only %zu of the required %zu fault(s) "
                  "localized\n",
-                 localized, required);
+                 localized, required_localized);
+    return 1;
+  }
+  const auto required_classified =
+      static_cast<std::size_t>(args.get_int("require-classified", 0));
+  if (classified < required_classified) {
+    std::fprintf(stderr,
+                 "fault_campaign: only %zu of the required %zu fault(s) "
+                 "classified\n",
+                 classified, required_classified);
     return 1;
   }
   return 0;
@@ -420,7 +176,7 @@ int run_campaign(const util::CliArgs& args) {
 int main(int argc, char** argv) {
   const util::CliArgs args(argc, argv);
   try {
-    return run_campaign(args);
+    return run_tool(args);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "fault_campaign: %s\n", error.what());
     return 1;

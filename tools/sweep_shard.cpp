@@ -6,6 +6,13 @@
 //       Identical-prefix groups (--checkpoint-at + --horizons) ship one
 //       pre-simulated WarmState per group, so workers resume instead of
 //       re-simulating.
+//   sweep_shard plan  --campaign --spool DIR [campaign flags] [--shards K]
+//       Plans a *fault campaign* spool instead (scenario/resilience.h):
+//       records a run (or loads --evt FILE), expands the campaign's fault
+//       matrix, and shards it by fault-index range. Campaign flags are
+//       fault_campaign's (--faults/--count/--seed/--volts/--rate-scale/
+//       --mode/...). work/merge/status below auto-detect campaign spools
+//       from the manifest header — the same commands drive both kinds.
 //   sweep_shard work  --spool DIR [--worker-id X] [--resume]
 //                     [--ring-stride N] [--ring-keep K] [--max-shards M]
 //                     [--record-events DIR]
@@ -64,6 +71,7 @@
 #include "scenario/batch.h"
 #include "scenario/record.h"
 #include "scenario/report.h"
+#include "scenario/resilience.h"
 #include "scenario/shard.h"
 #include "util/cli.h"
 
@@ -158,6 +166,19 @@ std::string require_flag(const util::CliArgs& args, const std::string& name) {
 
 int cmd_plan(const util::CliArgs& args) {
   const std::string spool = require_flag(args, "spool");
+  if (args.has("campaign")) {
+    const Registry& registry = Registry::builtins();
+    const RecordedRun run = acquire_campaign_run(args, registry);
+    const CampaignConfig config = campaign_config_from_flags(args);
+    CampaignSpoolOptions options;
+    options.shards = static_cast<unsigned>(args.get_int("shards", 4));
+    const CampaignPlanResult plan =
+        plan_campaign_spool(spool, run, config, registry, options);
+    std::printf("planned campaign: %zu fault(s) into %u shard(s) at %s "
+                "(fingerprint %016" PRIx64 ")\n",
+                plan.faults, plan.shards, spool.c_str(), plan.fingerprint);
+    return 0;
+  }
   const std::vector<RunSpec> specs = specs_from_flags(args);
   SpoolOptions options;
   options.shards = static_cast<unsigned>(args.get_int("shards", 4));
@@ -173,6 +194,21 @@ int cmd_plan(const util::CliArgs& args) {
 
 int cmd_work(const util::CliArgs& args) {
   const std::string spool = require_flag(args, "spool");
+  if (is_campaign_spool(spool)) {
+    CampaignWorkOptions options;
+    options.worker_id = args.get("worker-id", "");
+    options.resume = args.has("resume");
+    options.jobs = static_cast<unsigned>(args.get_int("jobs", 1));
+    options.max_shards =
+        static_cast<std::size_t>(args.get_int("max-shards", 0));
+    const CampaignWorkReport report =
+        work_campaign_spool(spool, Registry::builtins(), options);
+    std::printf("worker done: %zu shard(s), %zu trial(s) executed, "
+                "%zu row(s) reused\n",
+                report.shards_completed, report.trials_executed,
+                report.rows_reused);
+    return 0;
+  }
   WorkOptions options;
   options.worker_id = args.get("worker-id", "");
   options.resume = args.has("resume");
@@ -194,7 +230,9 @@ int cmd_work(const util::CliArgs& args) {
 int cmd_merge(const util::CliArgs& args) {
   const std::string spool = require_flag(args, "spool");
   const std::string out_path = require_flag(args, "out");
-  const std::string csv = merge_spool(spool);
+  const std::string csv =
+      is_campaign_spool(spool) ? merge_campaign_spool(spool)
+                               : merge_spool(spool);
   std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
   out << csv;
   if (!out) {
@@ -207,10 +245,14 @@ int cmd_merge(const util::CliArgs& args) {
 
 int cmd_status(const util::CliArgs& args) {
   const std::string spool = require_flag(args, "spool");
-  const SpoolStatus status = spool_status(spool);
-  std::printf("spool %s: %zu specs, %zu shards, fingerprint %016" PRIx64 "%s\n",
-              spool.c_str(), status.specs, status.shards.size(),
-              status.fingerprint, status.complete() ? " (complete)" : "");
+  const bool campaign = is_campaign_spool(spool);
+  const SpoolStatus status =
+      campaign ? campaign_spool_status(spool) : spool_status(spool);
+  std::printf("%s %s: %zu %s, %zu shards, fingerprint %016" PRIx64 "%s\n",
+              campaign ? "campaign spool" : "spool", spool.c_str(),
+              status.specs, campaign ? "faults" : "specs",
+              status.shards.size(), status.fingerprint,
+              status.complete() ? " (complete)" : "");
   for (const ShardState& shard : status.shards) {
     std::printf("  shard %04u: %-7s %zu spec(s), part %s",
                 shard.id, shard.state.c_str(), shard.specs,

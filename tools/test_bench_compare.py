@@ -70,6 +70,22 @@ def make_design_bench(evals_per_second=350.0, rows=None):
     }
 
 
+def make_fault_bench(faults_per_second=1100.0, rows=None):
+    if rows is None:
+        rows = [("dm", "sdc", 2), ("im", "masked", 1),
+                ("im", "undecodable-image", 1), ("wake-delay", "detected", 2),
+                ("wake-drop", "sdc", 2)]
+    return {
+        "bench": "fault_campaign",
+        "faults": sum(c for (_, _, c) in rows),
+        "wall_seconds": 0.01,
+        "faults_per_second": faults_per_second,
+        "runs": [
+            {"model": m, "outcome": o, "count": c} for (m, o, c) in rows
+        ],
+    }
+
+
 def run_compare(tmp_path, fresh, baseline, *extra):
     fresh_path = tmp_path / "fresh.json"
     base_path = tmp_path / "baseline.json"
@@ -225,6 +241,39 @@ def test_design_rung_population_drift_fails(tmp_path):
     assert run_compare(tmp_path, fresh, make_design_bench()) == 1
 
 
+def test_fault_identical_runs_pass(tmp_path):
+    bench = make_fault_bench()
+    assert run_compare(tmp_path, bench, copy.deepcopy(bench)) == 0
+
+
+def test_fault_headline_regression_fails(tmp_path):
+    # Trial throughput collapsing (the shared clean-final snapshot or the
+    # parallel trial pool disabled) must trip the gate.
+    fresh = make_fault_bench(faults_per_second=100.0)
+    assert run_compare(tmp_path, fresh, make_fault_bench()) == 1
+
+
+def test_fault_outcome_count_drift_fails(tmp_path):
+    # The per-(model, outcome) counts are deterministic over the committed
+    # recording: one SDC turning masked is a classifier behavior change,
+    # not runner noise — exact_rows must fail it even though every row is
+    # present and the headline is unchanged.
+    fresh = make_fault_bench(rows=[("dm", "sdc", 1), ("im", "masked", 1),
+                                   ("im", "undecodable-image", 1),
+                                   ("wake-delay", "detected", 2),
+                                   ("wake-drop", "sdc", 2)])
+    assert run_compare(tmp_path, fresh, make_fault_bench()) == 1
+
+
+def test_fault_outcome_row_vanishing_fails(tmp_path):
+    # An outcome bucket disappearing entirely (undecodable-image rows no
+    # longer produced) is a missing baseline row, not a zero-count row.
+    fresh = make_fault_bench(rows=[("dm", "sdc", 2), ("im", "masked", 2),
+                                   ("wake-delay", "detected", 2),
+                                   ("wake-drop", "sdc", 2)])
+    assert run_compare(tmp_path, fresh, make_fault_bench()) == 1
+
+
 def test_inexact_profiles_tolerate_row_value_drift(tmp_path):
     # Contrast case: wall-clock benches (sim_throughput) keep row deltas
     # informational — only design_search's counts are gated exactly.
@@ -275,7 +324,8 @@ def test_committed_baselines_gate_themselves_together():
     cohort = str(root / "BENCH_cohort_throughput.json")
     warm = str(root / "BENCH_warm_start.json")
     design = str(root / "BENCH_design_search.json")
-    assert bench_compare.main([sim, cohort, warm, design]) == 0
+    fault = str(root / "BENCH_fault_campaign.json")
+    assert bench_compare.main([sim, cohort, warm, design, fault]) == 0
 
 
 if __name__ == "__main__":
