@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "ecg/cohort.h"
+#include "scenario/cli.h"
 #include "scenario/report.h"
 #include "scenario/shard.h"
 
@@ -84,10 +85,9 @@ int main(int argc, char** argv) {
   // sharing one warm state across its horizon fan-out. The prefix length
   // is calibrated once on the base parameters; per-patient run lengths stay
   // close enough for the 3/4 split to hold.
-  const auto patients = static_cast<unsigned>(args.get_int("cohort", 0));
-  ecg::CohortParams cohort_params;
-  cohort_params.seed = static_cast<std::uint64_t>(
-      args.get_int("cohort-seed", static_cast<long>(cohort_params.seed)));
+  const cli::CohortAxis cohort_axis = cli::cohort_from_flags(args);
+  const unsigned patients = cohort_axis.patients;
+  const ecg::CohortParams& cohort_params = cohort_axis.params;
 
   std::vector<RunSpec> specs;
   for (unsigned p = 0; p < std::max(1u, patients); ++p) {

@@ -16,6 +16,7 @@
 #include <utility>
 
 #include "scenario/checkpoint_ring.h"
+#include "scenario/transport.h"
 #include "util/rng.h"
 #include "util/wire.h"
 
@@ -770,14 +771,12 @@ struct CampaignManifest {
   std::vector<Row> shards;
 };
 
-CampaignManifest parse_campaign_manifest(const std::string& dir) {
-  std::ifstream in(dir + "/MANIFEST");
-  if (!in) {
-    throw std::runtime_error("no campaign spool manifest in " + dir);
-  }
+CampaignManifest parse_campaign_manifest_text(const std::string& text,
+                                              const std::string& what) {
+  std::istringstream in(text);
   std::string line;
   if (!std::getline(in, line) || line != kCampaignManifestHeader) {
-    throw std::runtime_error("not a campaign spool: " + dir);
+    throw std::runtime_error("not a campaign spool: " + what);
   }
   CampaignManifest manifest;
   while (std::getline(in, line)) {
@@ -805,9 +804,19 @@ CampaignManifest parse_campaign_manifest(const std::string& dir) {
     }
   }
   if (manifest.shards.empty()) {
-    throw std::runtime_error("campaign manifest lists no shards in " + dir);
+    throw std::runtime_error("campaign manifest lists no shards in " + what);
   }
   return manifest;
+}
+
+CampaignManifest parse_campaign_manifest(const std::string& dir) {
+  std::ifstream in(dir + "/MANIFEST");
+  if (!in) {
+    throw std::runtime_error("no campaign spool manifest in " + dir);
+  }
+  const std::string text{std::istreambuf_iterator<char>(in),
+                         std::istreambuf_iterator<char>()};
+  return parse_campaign_manifest_text(text, dir);
 }
 
 /// Complete (newline-terminated) lines of a partial part file; a torn
@@ -833,24 +842,18 @@ void write_text_atomic(const std::string& path, const std::string& text) {
                            text.size()});
 }
 
-/// Atomic claim: true when this caller renamed the file (and therefore
-/// owns it); false when another worker got there first.
-bool try_rename(const std::string& from, const std::string& to) {
-  std::error_code ec;
-  fs::rename(from, to, ec);
-  return !ec;
-}
-
-/// Parses one range file ("<fingerprint-hex> <id> <begin> <end>").
-CampaignManifest::Row parse_range_file(const std::string& path,
+/// Parses one range image ("<fingerprint-hex> <id> <begin> <end>") —
+/// claimed from disk or streamed over a transport alike.
+CampaignManifest::Row parse_range_text(const std::string& text,
+                                       const std::string& what,
                                        std::uint64_t expect_fingerprint) {
-  std::ifstream in(path);
+  std::istringstream in(text);
   std::string hex;
   CampaignManifest::Row row;
   in >> hex >> row.id >> row.begin >> row.end;
   if (in.fail() || row.end < row.begin ||
       std::strtoull(hex.c_str(), nullptr, 16) != expect_fingerprint) {
-    throw std::runtime_error("range file " + path +
+    throw std::runtime_error("range file " + what +
                              " does not belong to this campaign spool");
   }
   return row;
@@ -866,27 +869,25 @@ std::uint64_t campaign_fingerprint(const CampaignConfig& config,
   return fnv1a64(w.bytes());
 }
 
-PlannedCampaign load_planned_campaign(const std::string& dir) {
-  const std::string path = dir + "/campaign.bin";
-  const std::vector<std::uint8_t> bytes = read_file_bytes(path);
+PlannedCampaign parse_planned_campaign(std::span<const std::uint8_t> bytes,
+                                       const std::string& what) {
   if (bytes.size() < sizeof(kCampaignMagic) + 8) {
-    throw std::invalid_argument("campaign image " + path + ": truncated");
+    throw std::invalid_argument(what + ": truncated");
   }
   const std::uint64_t stored_hash =
       util::WireReader({bytes.data() + bytes.size() - 8, 8}).u64();
   if (fnv1a64({bytes.data(), bytes.size() - 8}) != stored_hash) {
-    throw std::invalid_argument("campaign image " + path +
+    throw std::invalid_argument(what +
                                 ": content hash mismatch (corrupt spool?)");
   }
   util::WireReader r({bytes.data(), bytes.size() - 8});
   for (const std::uint8_t byte : kCampaignMagic) {
     if (r.u8() != byte) {
-      throw std::invalid_argument("campaign image " + path + ": bad magic");
+      throw std::invalid_argument(what + ": bad magic");
     }
   }
   if (r.u32() != kCampaignVersion) {
-    throw std::invalid_argument("campaign image " + path +
-                                ": unsupported version");
+    throw std::invalid_argument(what + ": unsupported version");
   }
   PlannedCampaign planned;
   planned.fingerprint = r.u64();
@@ -895,10 +896,15 @@ PlannedCampaign load_planned_campaign(const std::string& dir) {
   planned.run = RecordedRun::deserialize(envelope);
   if (planned.fingerprint !=
       campaign_fingerprint(planned.config, planned.run)) {
-    throw std::invalid_argument("campaign image " + path +
-                                ": fingerprint mismatch");
+    throw std::invalid_argument(what + ": fingerprint mismatch");
   }
   return planned;
+}
+
+PlannedCampaign load_planned_campaign(const std::string& dir) {
+  const std::string path = dir + "/campaign.bin";
+  const std::vector<std::uint8_t> bytes = read_file_bytes(path);
+  return parse_planned_campaign(bytes, "campaign image " + path);
 }
 
 CampaignPlanResult plan_campaign_spool(const std::string& dir,
@@ -979,35 +985,37 @@ bool is_campaign_spool(const std::string& dir) {
   return std::getline(in, line) && line == kCampaignManifestHeader;
 }
 
+bool is_campaign_manifest(const std::string& manifest_text) {
+  std::istringstream in(manifest_text);
+  std::string line;
+  return std::getline(in, line) && line == kCampaignManifestHeader;
+}
+
 CampaignWorkReport work_campaign_spool(const std::string& dir,
                                        const Registry& registry,
                                        const CampaignWorkOptions& options) {
-  const CampaignManifest manifest = parse_campaign_manifest(dir);
+  FsTransport transport(dir);
+  return work_campaign_transport(transport, registry, options);
+}
+
+CampaignWorkReport work_campaign_transport(SpoolTransport& transport,
+                                           const Registry& registry,
+                                           const CampaignWorkOptions& options) {
+  const CampaignManifest manifest = parse_campaign_manifest_text(
+      transport.manifest_text(), transport.describe());
   const std::string worker = options.worker_id.empty()
                                  ? std::to_string(::getpid())
                                  : options.worker_id;
 
   if (options.resume) {
-    // Re-queue orphaned claims: a claim whose part became final just never
-    // got its range moved (killed between the two renames); anything else
-    // goes back to the queue with its partial rows kept for reuse.
-    for (const CampaignManifest::Row& row : manifest.shards) {
-      const std::string name = shard_name(row.id);
-      const std::string claimed = dir + "/claimed/" + name + ".range";
-      if (!fs::exists(claimed)) continue;
-      std::error_code ec;
-      if (fs::exists(dir + "/parts/" + part_name(row.id) + ".csv")) {
-        try_rename(claimed, dir + "/done/" + name + ".range");
-      } else {
-        try_rename(claimed, dir + "/queue/" + name + ".range");
-      }
-      fs::remove(dir + "/claimed/" + name + ".owner", ec);
-    }
+    transport.adopt_orphans();
   }
 
-  const PlannedCampaign planned = load_planned_campaign(dir);
+  const PlannedCampaign planned =
+      parse_planned_campaign(transport.fetch_blob("campaign.bin"),
+                             "campaign image from " + transport.describe());
   if (planned.fingerprint != manifest.fingerprint) {
-    throw std::runtime_error("campaign image in " + dir +
+    throw std::runtime_error("campaign image in " + transport.describe() +
                              " does not match the spool manifest");
   }
   const auto workload =
@@ -1017,7 +1025,8 @@ CampaignWorkReport work_campaign_spool(const std::string& dir,
   const std::vector<CampaignFault> faults = expand_campaign(
       planned.config, planned.run.schedule, program, workload->num_cores());
   if (faults.size() != manifest.faults) {
-    throw std::runtime_error("campaign in " + dir + " expands to " +
+    throw std::runtime_error("campaign in " + transport.describe() +
+                             " expands to " +
                              std::to_string(faults.size()) +
                              " faults, manifest says " +
                              std::to_string(manifest.faults));
@@ -1032,38 +1041,27 @@ CampaignWorkReport work_campaign_spool(const std::string& dir,
   CampaignWorkReport report;
   while (options.max_shards == 0 ||
          report.shards_completed < options.max_shards) {
-    std::vector<std::string> queued;
-    for (const auto& entry : fs::directory_iterator(dir + "/queue")) {
-      if (entry.path().extension() == ".range") {
-        queued.push_back(entry.path().filename().string());
-      }
+    const std::optional<ClaimedShard> claimed = transport.claim(worker);
+    if (!claimed) break;  // queue drained (or raced dry)
+    if (claimed->kind != "range") {
+      throw std::runtime_error("claimed shard " + std::to_string(claimed->id) +
+                               " is not a campaign range (mixed spool?)");
     }
-    std::sort(queued.begin(), queued.end());
-    std::string claimed_name;
-    for (const std::string& name : queued) {
-      if (try_rename(dir + "/queue/" + name, dir + "/claimed/" + name)) {
-        claimed_name = name;
-        break;
-      }
-    }
-    if (claimed_name.empty()) break;  // queue drained (or raced dry)
 
-    const std::string stem = claimed_name.substr(0, claimed_name.size() - 6);
-    const std::string claimed_path = dir + "/claimed/" + claimed_name;
-    write_text_atomic(dir + "/claimed/" + stem + ".owner", worker + "\n");
-
-    const CampaignManifest::Row range =
-        parse_range_file(claimed_path, manifest.fingerprint);
+    const std::string range_text(claimed->payload.begin(),
+                                 claimed->payload.end());
+    const CampaignManifest::Row range = parse_range_text(
+        range_text, "of shard " + std::to_string(claimed->id),
+        manifest.fingerprint);
     if (range.end > faults.size()) {
-      throw std::runtime_error("range file " + claimed_path +
+      throw std::runtime_error("range file of shard " +
+                               std::to_string(claimed->id) +
                                " exceeds the campaign's fault count");
     }
     const std::size_t range_size =
         static_cast<std::size_t>(range.end - range.begin);
 
-    const std::string partial =
-        dir + "/parts/" + part_name(range.id) + ".partial";
-    std::vector<std::string> rows = complete_lines(partial);
+    std::vector<std::string> rows = claimed->rows;
     if (rows.size() > range_size) {
       throw std::runtime_error("partial part of shard " +
                                std::to_string(range.id) +
@@ -1075,12 +1073,11 @@ CampaignWorkReport work_campaign_spool(const std::string& dir,
       // Rows already present are skipped, not re-run: they are
       // deterministic, so adopting them is byte-identical and a resumed
       // spool never repeats finished work. Trials run in parallel blocks;
-      // rows are appended in index order, so a kill loses at most one
-      // in-flight block's unwritten rows.
-      std::ofstream out(partial, std::ios::binary | std::ios::app);
-      if (!out) throw std::runtime_error("cannot append to " + partial);
+      // rows stream back in index order, so a kill loses at most one
+      // in-flight block's unsent rows.
       const unsigned jobs = resolve_jobs(options.jobs, range_size);
       while (rows.size() < range_size) {
+        transport.heartbeat(range.id);  // blocks can outlast a quiet lease
         const std::size_t block = std::min<std::size_t>(
             range_size - rows.size(), std::max<std::size_t>(jobs, 1) * 4);
         const std::uint64_t block_begin = range.begin + rows.size();
@@ -1091,8 +1088,7 @@ CampaignWorkReport work_campaign_spool(const std::string& dir,
                               planned.config, clean_ptr));
         });
         for (const std::string& row : block_rows) {
-          out << row << '\n' << std::flush;
-          if (!out) throw std::runtime_error("cannot append to " + partial);
+          transport.append_row(range.id, row);
           rows.push_back(row);
           report.trials_executed += 1;
         }
@@ -1101,29 +1097,28 @@ CampaignWorkReport work_campaign_spool(const std::string& dir,
 
     std::string part_text;
     for (const std::string& row : rows) part_text += row + '\n';
-    write_text_atomic(dir + "/parts/" + part_name(range.id) + ".csv",
-                      part_text);
-    std::error_code ec;
-    fs::remove(partial, ec);
-    try_rename(claimed_path, dir + "/done/" + claimed_name);
-    fs::remove(dir + "/claimed/" + stem + ".owner", ec);
+    transport.complete(
+        range.id,
+        fnv1a64({reinterpret_cast<const std::uint8_t*>(part_text.data()),
+                 part_text.size()}));
     report.shards_completed += 1;
   }
   return report;
 }
 
 std::string merge_campaign_spool(const std::string& dir) {
-  const CampaignManifest manifest = parse_campaign_manifest(dir);
+  FsTransport transport(dir);
+  return merge_campaign_transport(transport);
+}
+
+std::string merge_campaign_transport(SpoolTransport& transport) {
+  const CampaignManifest manifest = parse_campaign_manifest_text(
+      transport.manifest_text(), transport.describe());
   std::vector<std::string> rows(manifest.faults);
   std::vector<bool> filled(manifest.faults, false);
   for (const CampaignManifest::Row& row : manifest.shards) {
-    const std::string part = dir + "/parts/" + part_name(row.id) + ".csv";
-    if (!fs::exists(part)) {
-      throw std::runtime_error("cannot merge: part of shard " +
-                               std::to_string(row.id) + " is not finished (" +
-                               part + " missing)");
-    }
-    const std::vector<std::string> lines = complete_lines(part);
+    const std::vector<std::string> lines =
+        split_complete_lines(transport.part_text(row.id));
     if (lines.size() != row.end - row.begin) {
       throw std::runtime_error(
           "cannot merge: part of shard " + std::to_string(row.id) + " has " +

@@ -47,6 +47,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -280,6 +281,10 @@ CampaignPlanResult plan_campaign_spool(const std::string& dir,
 /// nothing) — how `sweep_shard` dispatches work/merge/status.
 [[nodiscard]] bool is_campaign_spool(const std::string& dir);
 
+/// The same dispatch over manifest text a transport served — works for
+/// spools that are not locally mounted.
+[[nodiscard]] bool is_campaign_manifest(const std::string& manifest_text);
+
 /// Knobs of `work_campaign_spool`.
 struct CampaignWorkOptions {
   /// Recorded in the claim's `.owner` file; defaults to the process id.
@@ -307,12 +312,19 @@ struct CampaignWorkReport {
 CampaignWorkReport work_campaign_spool(const std::string& dir,
                                        const Registry& registry,
                                        const CampaignWorkOptions& options = {});
+/// The same drain over any `SpoolTransport` (scenario/transport.h) — the
+/// `dir` overload is this with the filesystem transport. Row bytes are
+/// identical over every transport.
+CampaignWorkReport work_campaign_transport(
+    SpoolTransport& transport, const Registry& registry,
+    const CampaignWorkOptions& options = {});
 
 /// Assembles the finished parts into the campaign CSV — byte-identical to
 /// `campaign_csv(run_campaign(...))` of the same config and recording.
 /// Throws std::runtime_error when any shard's part is missing or
 /// inconsistent.
 [[nodiscard]] std::string merge_campaign_spool(const std::string& dir);
+[[nodiscard]] std::string merge_campaign_transport(SpoolTransport& transport);
 
 /// Campaign-spool progress (shares the sweep spool's status shape;
 /// `specs` counts faults).
@@ -326,6 +338,12 @@ struct PlannedCampaign {
   std::uint64_t fingerprint = 0;
 };
 [[nodiscard]] PlannedCampaign load_planned_campaign(const std::string& dir);
+
+/// The same parse over an in-memory `campaign.bin` image — what workers
+/// that fetched it over a transport validate with. `what` names the image
+/// in diagnostics.
+[[nodiscard]] PlannedCampaign parse_planned_campaign(
+    std::span<const std::uint8_t> bytes, const std::string& what);
 
 // --- shared campaign CLI vocabulary ------------------------------------------
 

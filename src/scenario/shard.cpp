@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <filesystem>
@@ -15,6 +16,7 @@
 
 #include "scenario/checkpoint_ring.h"
 #include "scenario/record.h"
+#include "scenario/transport.h"
 #include "util/wire.h"
 
 namespace ulpsync::scenario {
@@ -185,26 +187,51 @@ std::vector<std::uint8_t> serialize_bundle(const BundlePlan& plan,
 
 // --- spool manifest ----------------------------------------------------------
 
-struct SpoolManifest {
-  std::uint64_t fingerprint = 0;
-  std::size_t specs = 0;
-  struct Row {
-    unsigned id = 0;
-    std::size_t specs = 0;
-    std::uint64_t bundle_hash = 0;
-  };
-  std::vector<Row> shards;
-};
-
-SpoolManifest parse_spool_manifest(const std::string& dir) {
-  std::ifstream in(dir + "/MANIFEST");
+/// The manifest text, or the "unplanned spool" diagnostic.
+std::string read_manifest_text(const std::string& dir) {
+  std::ifstream in(dir + "/MANIFEST", std::ios::binary);
   if (!in) {
     throw std::runtime_error("no spool manifest in " + dir +
                              " (run `sweep_shard plan` first?)");
   }
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+SpoolManifest parse_spool_manifest(const std::string& dir) {
+  return parse_spool_manifest_text(read_manifest_text(dir), dir);
+}
+
+/// Complete (newline-terminated) lines of a partial part file; a torn
+/// trailing line from a killed worker is dropped.
+std::vector<std::string> complete_lines(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::string text{std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>()};
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') {
+      lines.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return lines;
+}
+
+void write_text_atomic(const std::string& path, const std::string& text) {
+  write_file_atomic(path, {reinterpret_cast<const std::uint8_t*>(text.data()),
+                           text.size()});
+}
+
+}  // namespace
+
+SpoolManifest parse_spool_manifest_text(const std::string& text,
+                                        const std::string& what) {
+  std::istringstream in(text);
   std::string line;
   if (!std::getline(in, line) || line != kManifestHeader) {
-    throw std::runtime_error("malformed spool manifest in " + dir);
+    throw std::runtime_error("malformed spool manifest in " + what);
   }
   SpoolManifest manifest;
   while (std::getline(in, line)) {
@@ -234,43 +261,104 @@ SpoolManifest parse_spool_manifest(const std::string& dir) {
     }
   }
   if (manifest.shards.empty()) {
-    throw std::runtime_error("spool manifest lists no shards in " + dir);
+    throw std::runtime_error("spool manifest lists no shards in " + what);
   }
   return manifest;
 }
 
-/// Complete (newline-terminated) lines of a partial part file; a torn
-/// trailing line from a killed worker is dropped.
-std::vector<std::string> complete_lines(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return {};
-  std::string text{std::istreambuf_iterator<char>(in),
-                   std::istreambuf_iterator<char>()};
-  std::vector<std::string> lines;
-  std::size_t start = 0;
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    if (text[i] == '\n') {
-      lines.push_back(text.substr(start, i - start));
-      start = i + 1;
+// --- cost model --------------------------------------------------------------
+
+std::uint64_t spec_cost_key(const RunSpec& spec) {
+  util::WireWriter w;
+  encode_run_spec(w, spec);
+  return fnv1a64(w.bytes());
+}
+
+std::string cost_line(const RunSpec& spec, std::uint64_t cycles,
+                      double wall_seconds) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9e", wall_seconds);
+  return "cost " + hex64(spec_cost_key(spec)) + " " + spec.workload + " " +
+         std::to_string(cycles) + " " + buffer;
+}
+
+void CostModel::add(std::uint64_t key, const std::string& workload,
+                    std::uint64_t cycles, double wall_seconds) {
+  SpecCost& spec = by_spec[key];
+  spec.wall_seconds += wall_seconds;
+  spec.runs += 1;
+  WorkloadRate& rate = by_workload[workload];
+  rate.wall_seconds += wall_seconds;
+  rate.cycles += static_cast<double>(cycles);
+  rate.runs += 1;
+}
+
+double CostModel::predict(const RunSpec& spec) const {
+  // Floor every prediction: a zero-weight unit would let the costed
+  // planner park arbitrarily many specs on one shard for free.
+  constexpr double kFloorSeconds = 1e-9;
+  if (const auto it = by_spec.find(spec_cost_key(spec));
+      it != by_spec.end() && it->second.runs > 0) {
+    return std::max(kFloorSeconds,
+                    it->second.wall_seconds /
+                        static_cast<double>(it->second.runs));
+  }
+  if (const auto it = by_workload.find(spec.workload);
+      it != by_workload.end() && it->second.cycles > 0.0) {
+    // Seconds-per-simulated-cycle of the workload times the spec's cycle
+    // budget: over-predicts early-halting runs but orders a horizon
+    // fan-out correctly, which is what shard sizing needs.
+    const double rate = it->second.wall_seconds / it->second.cycles;
+    return std::max(kFloorSeconds,
+                    rate * static_cast<double>(spec.max_cycles));
+  }
+  return 1.0;  // unknown workload: uniform, like the uncosted planner
+}
+
+bool absorb_cost_line(CostModel& model, const std::string& line) {
+  std::istringstream fields(line);
+  std::string tag, hex, workload;
+  std::uint64_t cycles = 0;
+  double wall_seconds = 0.0;
+  fields >> tag >> hex >> workload >> cycles >> wall_seconds;
+  if (fields.fail() || tag != "cost" || hex.size() != 16 || workload.empty() ||
+      !(wall_seconds >= 0.0)) {
+    return false;
+  }
+  char* end = nullptr;
+  const std::uint64_t key = std::strtoull(hex.c_str(), &end, 16);
+  if (end != hex.c_str() + hex.size()) return false;
+  model.add(key, workload, cycles, wall_seconds);
+  return true;
+}
+
+CostModel load_cost_model(const std::vector<std::string>& paths) {
+  CostModel model;
+  const auto absorb_file = [&model](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return;
+    std::string line;
+    while (std::getline(in, line)) absorb_cost_line(model, line);
+  };
+  for (const std::string& path : paths) {
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      const std::string costs = path + "/costs";
+      if (!fs::is_directory(costs, ec)) continue;
+      std::vector<std::string> files;
+      for (const auto& entry : fs::directory_iterator(costs)) {
+        if (entry.path().extension() == ".cost") {
+          files.push_back(entry.path().string());
+        }
+      }
+      std::sort(files.begin(), files.end());
+      for (const std::string& file : files) absorb_file(file);
+    } else {
+      absorb_file(path);
     }
   }
-  return lines;
+  return model;
 }
-
-void write_text_atomic(const std::string& path, const std::string& text) {
-  write_file_atomic(path, {reinterpret_cast<const std::uint8_t*>(text.data()),
-                           text.size()});
-}
-
-/// Atomic claim: true when this caller renamed the file (and therefore owns
-/// it); false when another worker got there first.
-bool try_rename(const std::string& from, const std::string& to) {
-  std::error_code ec;
-  fs::rename(from, to, ec);
-  return !ec;
-}
-
-}  // namespace
 
 std::uint64_t spec_fingerprint(const std::vector<RunSpec>& specs) {
   util::WireWriter w;
@@ -324,19 +412,44 @@ PlanResult plan_spool(const std::string& dir, const std::vector<RunSpec>& specs,
   const unsigned shard_count = static_cast<unsigned>(std::min<std::size_t>(
       std::max(1u, options.shards), units.size()));
 
-  // Deterministic greedy balance: each unit goes to the least-loaded shard
-  // (ties to the lowest id), in unit order.
+  // Deterministic greedy balance. Without cost feedback each unit goes to
+  // the least-loaded shard by *spec count* (ties to the lowest id), in
+  // unit order — the original planner, byte for byte. With a cost model,
+  // units are weighed by predicted wall seconds and placed
+  // longest-processing-time-first onto the least-*weighted* shard, the
+  // classic LPT makespan heuristic.
+  const bool costed = !options.costs.empty();
   std::vector<BundlePlan> bundles(shard_count);
   for (unsigned s = 0; s < shard_count; ++s) bundles[s].id = s;
-  std::vector<std::size_t> load(shard_count, 0);
+  std::vector<double> weight(shard_count, 0.0);
   std::vector<unsigned> shard_of_unit(units.size(), 0);
-  for (std::size_t u = 0; u < units.size(); ++u) {
+  std::vector<double> unit_weight(units.size(), 0.0);
+  std::vector<std::size_t> order(units.size());
+  for (std::size_t u = 0; u < units.size(); ++u) order[u] = u;
+  if (costed) {
+    for (std::size_t u = 0; u < units.size(); ++u) {
+      for (const std::size_t index : units[u]) {
+        unit_weight[u] += options.costs.predict(specs[index]);
+      }
+    }
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (unit_weight[a] != unit_weight[b]) {
+        return unit_weight[a] > unit_weight[b];
+      }
+      return units[a].front() < units[b].front();
+    });
+  } else {
+    for (std::size_t u = 0; u < units.size(); ++u) {
+      unit_weight[u] = static_cast<double>(units[u].size());
+    }
+  }
+  for (const std::size_t u : order) {
     unsigned best = 0;
     for (unsigned s = 1; s < shard_count; ++s) {
-      if (load[s] < load[best]) best = s;
+      if (weight[s] < weight[best]) best = s;
     }
     shard_of_unit[u] = best;
-    load[best] += units[u].size();
+    weight[best] += unit_weight[u];
   }
 
   // Capture one WarmState per multi-member unit and attach it to the
@@ -378,6 +491,26 @@ PlanResult plan_spool(const std::string& dir, const std::vector<RunSpec>& specs,
     bundle = std::move(sorted);
   }
 
+  if (costed) {
+    // Heaviest shard first: workers claim queue bundles in name order, so
+    // numbering by descending predicted weight starts the long poles
+    // before the stragglers (ties keep the original id order).
+    std::vector<unsigned> by_weight(shard_count);
+    for (unsigned s = 0; s < shard_count; ++s) by_weight[s] = s;
+    std::sort(by_weight.begin(), by_weight.end(),
+              [&](unsigned a, unsigned b) {
+                if (weight[a] != weight[b]) return weight[a] > weight[b];
+                return a < b;
+              });
+    std::vector<BundlePlan> renumbered;
+    for (unsigned s = 0; s < shard_count; ++s) {
+      BundlePlan bundle = std::move(bundles[by_weight[s]]);
+      bundle.id = s;
+      renumbered.push_back(std::move(bundle));
+    }
+    bundles = std::move(renumbered);
+  }
+
   const std::uint64_t fingerprint = spec_fingerprint(specs);
   std::ostringstream manifest;
   manifest << kManifestHeader << '\n';
@@ -403,24 +536,29 @@ PlanResult plan_spool(const std::string& dir, const std::vector<RunSpec>& specs,
 
 ShardBundle load_bundle(const std::string& path, bool load_warm_states) {
   const std::vector<std::uint8_t> bytes = read_file_bytes(path);
+  return parse_bundle_bytes(bytes, "shard bundle " + path, load_warm_states);
+}
+
+ShardBundle parse_bundle_bytes(std::span<const std::uint8_t> bytes,
+                               const std::string& what,
+                               bool load_warm_states) {
   if (bytes.size() < sizeof(kBundleMagic) + 8) {
-    throw std::invalid_argument("shard bundle " + path + ": truncated image");
+    throw std::invalid_argument(what + ": truncated image");
   }
   const std::uint64_t stored_hash =
       util::WireReader({bytes.data() + bytes.size() - 8, 8}).u64();
   if (fnv1a64({bytes.data(), bytes.size() - 8}) != stored_hash) {
-    throw std::invalid_argument("shard bundle " + path +
+    throw std::invalid_argument(what +
                                 ": content hash mismatch (corrupt spool?)");
   }
   util::WireReader r({bytes.data(), bytes.size() - 8});
   for (const std::uint8_t byte : kBundleMagic) {
     if (r.u8() != byte) {
-      throw std::invalid_argument("shard bundle " + path + ": bad magic");
+      throw std::invalid_argument(what + ": bad magic");
     }
   }
   if (r.u32() != kBundleVersion) {
-    throw std::invalid_argument("shard bundle " + path +
-                                ": unsupported version");
+    throw std::invalid_argument(what + ": unsupported version");
   }
   ShardBundle bundle;
   bundle.fingerprint = r.u64();
@@ -443,7 +581,7 @@ ShardBundle load_bundle(const std::string& path, bool load_warm_states) {
   }
   for (const std::int32_t ref : bundle.warm_ref) {
     if (ref >= static_cast<std::int32_t>(warm_count)) {
-      throw std::invalid_argument("shard bundle " + path +
+      throw std::invalid_argument(what +
                                   ": warm-state reference out of range");
     }
   }
@@ -452,35 +590,34 @@ ShardBundle load_bundle(const std::string& path, bool load_warm_states) {
 
 WorkReport work_spool(const std::string& dir, const Registry& registry,
                       const WorkOptions& options) {
-  const SpoolManifest manifest = parse_spool_manifest(dir);
+  FsTransport transport(dir);
+  return work_spool_transport(transport, registry, options);
+}
+
+WorkReport work_spool_transport(SpoolTransport& transport,
+                                const Registry& registry,
+                                const WorkOptions& options) {
+  const SpoolManifest manifest =
+      parse_spool_manifest_text(transport.manifest_text(),
+                               transport.describe());
   const std::string worker =
       options.worker_id.empty() ? std::to_string(::getpid())
                                 : options.worker_id;
 
-  if (options.resume) {
-    // Re-queue orphaned claims. A claim whose part became final just never
-    // got its bundle moved (killed between the two renames): finish the
-    // move. Anything else goes back to the queue; its partial rows are
-    // kept for reuse.
-    for (const SpoolManifest::Row& row : manifest.shards) {
-      const std::string name = shard_name(row.id);
-      const std::string claimed = dir + "/claimed/" + name + ".bundle";
-      if (!fs::exists(claimed)) continue;
-      std::error_code ec;
-      if (fs::exists(dir + "/parts/" + part_name(row.id) + ".csv")) {
-        try_rename(claimed, dir + "/done/" + name + ".bundle");
-      } else {
-        try_rename(claimed, dir + "/queue/" + name + ".bundle");
-      }
-      fs::remove(dir + "/claimed/" + name + ".owner", ec);
-    }
-  }
+  if (options.resume) transport.adopt_orphans();
 
   if (!options.record_dir.empty()) fs::create_directories(options.record_dir);
 
   EngineOptions engine_options;
   if (options.ring_stride != 0) {
-    engine_options.checkpoint_ring.dir = dir + "/rings";
+    // Checkpoint rings live next to the spool, so they need one: a remote
+    // transport has no shared directory to keep them in.
+    if (transport.local_dir().empty()) {
+      throw std::runtime_error(
+          "checkpoint rings need a filesystem spool "
+          "(drop --ring-stride when working over --connect)");
+    }
+    engine_options.checkpoint_ring.dir = transport.local_dir() + "/rings";
     engine_options.checkpoint_ring.stride = options.ring_stride;
     engine_options.checkpoint_ring.keep = options.ring_keep;
     engine_options.checkpoint_ring.resume = true;
@@ -490,36 +627,23 @@ WorkReport work_spool(const std::string& dir, const Registry& registry,
   WorkReport report;
   while (options.max_shards == 0 ||
          report.shards_completed < options.max_shards) {
-    // Claim: first queue bundle we win the rename race for.
-    std::vector<std::string> queued;
-    for (const auto& entry : fs::directory_iterator(dir + "/queue")) {
-      if (entry.path().extension() == ".bundle") {
-        queued.push_back(entry.path().filename().string());
-      }
+    const auto claimed = transport.claim(worker);
+    if (!claimed) break;  // queue drained (or raced dry)
+    if (claimed->kind != "bundle") {
+      throw std::runtime_error("shard " + std::to_string(claimed->id) +
+                               " is not a sweep bundle (campaign spool?)");
     }
-    std::sort(queued.begin(), queued.end());
-    std::string claimed_name;
-    for (const std::string& name : queued) {
-      if (try_rename(dir + "/queue/" + name, dir + "/claimed/" + name)) {
-        claimed_name = name;
-        break;
-      }
-    }
-    if (claimed_name.empty()) break;  // queue drained (or raced dry)
 
-    const std::string stem = claimed_name.substr(0, claimed_name.size() - 7);
-    const std::string claimed_path = dir + "/claimed/" + claimed_name;
-    write_text_atomic(dir + "/claimed/" + stem + ".owner", worker + "\n");
-
-    const ShardBundle bundle = load_bundle(claimed_path);
+    const ShardBundle bundle = parse_bundle_bytes(
+        claimed->payload,
+        "shard bundle " + std::to_string(claimed->id) + " from " +
+            transport.describe());
     if (bundle.fingerprint != manifest.fingerprint) {
-      throw std::runtime_error("shard bundle " + claimed_path +
+      throw std::runtime_error("shard bundle " + std::to_string(bundle.id) +
                                " does not belong to this spool");
     }
 
-    const std::string partial = dir + "/parts/" + part_name(bundle.id) +
-                                ".partial";
-    std::vector<std::string> rows = complete_lines(partial);
+    std::vector<std::string> rows = claimed->rows;
     if (rows.size() > bundle.specs.size()) {
       throw std::runtime_error("partial part of shard " +
                                std::to_string(bundle.id) +
@@ -527,76 +651,70 @@ WorkReport work_spool(const std::string& dir, const Registry& registry,
     }
     report.rows_reused += rows.size();
 
-    if (rows.size() < bundle.specs.size()) {
-      // Rows already present are skipped, not re-run: they are
-      // deterministic, so adopting them is byte-identical and a resumed
-      // spool never repeats finished work.
-      std::ofstream out(partial, std::ios::binary | std::ios::app);
-      if (!out) throw std::runtime_error("cannot append to " + partial);
-      for (std::size_t k = rows.size(); k < bundle.specs.size(); ++k) {
-        RunSpec spec = bundle.specs[k];
-        if (bundle.warm_ref[k] >= 0) {
-          spec.resume_from = bundle.warm_states[
-              static_cast<std::size_t>(bundle.warm_ref[k])];
-          report.warm_resumed += 1;
-        }
-        if (!options.record_dir.empty()) {
-          // Recording forces the run cold and ring-less (bit-identical
-          // rows), so the .evt is the same artifact a scalar recording of
-          // this spec would produce; the global index names it.
-          spec.record_events_to = options.record_dir + "/run-" +
-                                  std::to_string(bundle.indices[k]) + ".evt";
-        }
-        const RunRecord record = engine.run_one(spec, bundle.indices[k]);
-        const std::string row = to_csv_row(record);
-        out << row << '\n' << std::flush;
-        if (!out) throw std::runtime_error("cannot append to " + partial);
-        rows.push_back(row);
-        report.runs_executed += 1;
+    // Rows already present are skipped, not re-run: they are
+    // deterministic, so adopting them is byte-identical and a resumed
+    // spool never repeats finished work.
+    for (std::size_t k = rows.size(); k < bundle.specs.size(); ++k) {
+      transport.heartbeat(bundle.id);
+      RunSpec spec = bundle.specs[k];
+      if (bundle.warm_ref[k] >= 0) {
+        spec.resume_from = bundle.warm_states[
+            static_cast<std::size_t>(bundle.warm_ref[k])];
+        report.warm_resumed += 1;
       }
+      if (!options.record_dir.empty()) {
+        // Recording forces the run cold and ring-less (bit-identical
+        // rows), so the .evt is the same artifact a scalar recording of
+        // this spec would produce; the global index names it.
+        spec.record_events_to = options.record_dir + "/run-" +
+                                std::to_string(bundle.indices[k]) + ".evt";
+      }
+      const auto start = std::chrono::steady_clock::now();
+      const RunRecord record = engine.run_one(spec, bundle.indices[k]);
+      const double wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      const std::string row = to_csv_row(record);
+      transport.append_row(bundle.id, row);
+      // Cost feedback for the next plan's scheduler; keyed on the
+      // bundle's spec (identical to the planner's), not the warm-resume
+      // copy.
+      transport.append_cost(
+          bundle.id, cost_line(bundle.specs[k], record.cycles(), wall_seconds));
+      rows.push_back(row);
+      report.runs_executed += 1;
     }
 
     std::string part_text;
     for (const std::string& row : rows) part_text += row + '\n';
-    write_text_atomic(dir + "/parts/" + part_name(bundle.id) + ".csv",
-                      part_text);
-    std::error_code ec;
-    fs::remove(partial, ec);
-    try_rename(claimed_path, dir + "/done/" + claimed_name);
-    fs::remove(dir + "/claimed/" + stem + ".owner", ec);
+    transport.complete(bundle.id, fnv1a64({reinterpret_cast<const std::uint8_t*>(
+                                               part_text.data()),
+                                           part_text.size()}));
     report.shards_completed += 1;
   }
   return report;
 }
 
-namespace {
-
-/// The shard's bundle, wherever it currently lives in the claim lifecycle.
-std::string find_bundle(const std::string& dir, unsigned id) {
-  const std::string name = shard_name(id) + ".bundle";
-  for (const char* sub : {"/done/", "/claimed/", "/queue/"}) {
-    const std::string path = dir + sub + name;
-    if (fs::exists(path)) return path;
-  }
-  throw std::runtime_error("shard bundle " + name + " is missing from " + dir);
+std::string merge_spool(const std::string& dir) {
+  FsTransport transport(dir);
+  return merge_spool_transport(transport);
 }
 
-}  // namespace
-
-std::string merge_spool(const std::string& dir) {
-  const SpoolManifest manifest = parse_spool_manifest(dir);
+std::string merge_spool_transport(SpoolTransport& transport) {
+  const SpoolManifest manifest =
+      parse_spool_manifest_text(transport.manifest_text(),
+                               transport.describe());
   std::vector<std::string> rows(manifest.specs);
   std::vector<bool> filled(manifest.specs, false);
   for (const SpoolManifest::Row& row : manifest.shards) {
-    const std::string part = dir + "/parts/" + part_name(row.id) + ".csv";
-    if (!fs::exists(part)) {
-      throw std::runtime_error("cannot merge: part of shard " +
-                               std::to_string(row.id) +
-                               " is not finished (" + part + " missing)");
-    }
-    const ShardBundle bundle =
-        load_bundle(find_bundle(dir, row.id), /*load_warm_states=*/false);
-    const std::vector<std::string> lines = complete_lines(part);
+    const std::string part = transport.part_text(row.id);
+    const ShardBundle bundle = parse_bundle_bytes(
+        transport.fetch_blob(shard_name(row.id) + ".bundle"),
+        "shard bundle " + std::to_string(row.id) + " from " +
+            transport.describe(),
+        /*load_warm_states=*/false);
+    const std::vector<std::string> lines = split_complete_lines(part);
     if (lines.size() != bundle.indices.size()) {
       throw std::runtime_error(
           "cannot merge: part of shard " + std::to_string(row.id) + " has " +

@@ -37,7 +37,9 @@
 /// specs, no matter how many workers ran, died, or resumed.
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -48,6 +50,63 @@
 
 namespace ulpsync::scenario {
 
+class SpoolTransport;  // scenario/transport.h
+
+// --- cost model --------------------------------------------------------------
+
+/// Measured per-run wall times fed back into the planner. Workers append
+/// one `cost` line per executed run (`cost_line`) through their
+/// transport; `load_cost_model` folds any number of such files (or whole
+/// spools) into a model the next `plan_spool` schedules with. Exact
+/// spec-identity matches (`spec_cost_key`) predict from their own mean;
+/// unseen specs fall back to their workload's measured seconds-per-cycle
+/// rate times the spec's cycle budget; unseen workloads predict a uniform
+/// constant — with no history at all the planner degrades to the original
+/// count-balanced split.
+struct CostModel {
+  /// Measured wall time of one exact spec identity.
+  struct SpecCost {
+    double wall_seconds = 0.0;  ///< summed over `runs`
+    std::size_t runs = 0;
+  };
+  /// Aggregate seconds-per-cycle rate of one workload.
+  struct WorkloadRate {
+    double wall_seconds = 0.0;
+    double cycles = 0.0;
+    std::size_t runs = 0;
+  };
+  std::map<std::uint64_t, SpecCost> by_spec;
+  std::map<std::string, WorkloadRate> by_workload;
+
+  /// True when no measurement was folded in (planner stays count-balanced).
+  [[nodiscard]] bool empty() const {
+    return by_spec.empty() && by_workload.empty();
+  }
+  /// Folds one measured run into the model.
+  void add(std::uint64_t key, const std::string& workload,
+           std::uint64_t cycles, double wall_seconds);
+  /// Predicted wall seconds of one run (always > 0).
+  [[nodiscard]] double predict(const RunSpec& spec) const;
+};
+
+/// Identity a spec's measured cost is keyed on: the FNV-1a64 of its wire
+/// encoding, so re-planned sweeps recognize exactly the specs they ran.
+[[nodiscard]] std::uint64_t spec_cost_key(const RunSpec& spec);
+
+/// One cost-feedback line: `cost <key> <workload> <cycles> <wall>`.
+[[nodiscard]] std::string cost_line(const RunSpec& spec, std::uint64_t cycles,
+                                    double wall_seconds);
+
+/// Folds one `cost` line into the model; returns false (and changes
+/// nothing) for malformed or foreign lines, so cost files never gate a
+/// plan.
+bool absorb_cost_line(CostModel& model, const std::string& line);
+
+/// Loads cost feedback from each path: a file of `cost` lines, or a spool
+/// directory (reads its `costs/*.cost` part files). Missing paths and
+/// malformed lines are skipped, never errors.
+[[nodiscard]] CostModel load_cost_model(const std::vector<std::string>& paths);
+
 /// Knobs of `plan_spool`.
 struct SpoolOptions {
   unsigned shards = 4;
@@ -55,6 +114,13 @@ struct SpoolOptions {
   /// sharing a `checkpoint_at` prefix) at plan time and ship it in the
   /// group's bundle. Capture failures degrade to cold runs, never errors.
   bool ship_warm_states = true;
+  /// Cost feedback from earlier runs (`load_cost_model`). Empty keeps the
+  /// original count-balanced split; otherwise units are placed
+  /// longest-processing-time-first onto the least-loaded shard by
+  /// predicted seconds, and shards are numbered heaviest-first so workers
+  /// claim the long poles before the stragglers. Shard membership never
+  /// affects merged bytes — `merge_spool` assembles by global index.
+  CostModel costs;
 };
 
 /// What `plan_spool` wrote.
@@ -113,14 +179,22 @@ struct WorkReport {
 /// reached). Safe to call concurrently from any number of processes or
 /// threads on the same spool. Throws std::runtime_error on a corrupt
 /// spool or an I/O failure; individual run failures surface as "error"
-/// rows, exactly as in a single-process sweep.
+/// rows, exactly as in a single-process sweep. The `dir` overload works
+/// the directory through the filesystem transport; the transport overload
+/// works any `SpoolTransport` (a TCP coordinator included) with identical
+/// row bytes.
 WorkReport work_spool(const std::string& dir, const Registry& registry,
                       const WorkOptions& options = {});
+WorkReport work_spool_transport(SpoolTransport& transport,
+                                const Registry& registry,
+                                const WorkOptions& options = {});
 
 /// Assembles the finished parts into the sweep's CSV — byte-identical to
 /// `to_csv` of a single-process run of the planned specs. Throws
 /// std::runtime_error when any shard's part is missing or inconsistent.
 [[nodiscard]] std::string merge_spool(const std::string& dir);
+/// The same merge through any transport (a TCP coordinator included).
+[[nodiscard]] std::string merge_spool_transport(SpoolTransport& transport);
 
 /// One shard's observable state, for `spool_status`.
 struct ShardState {
@@ -171,6 +245,32 @@ struct ShardBundle {
 /// the content hash still validates the whole image either way.
 [[nodiscard]] ShardBundle load_bundle(const std::string& path,
                                       bool load_warm_states = true);
+
+/// The same parse over an in-memory image — what transports that stream
+/// bundles over the wire (and `load_bundle`) validate with. `what` names
+/// the image in diagnostics.
+[[nodiscard]] ShardBundle parse_bundle_bytes(
+    std::span<const std::uint8_t> bytes, const std::string& what,
+    bool load_warm_states = true);
+
+/// The spool manifest, parsed. Exposed so transports can serve the
+/// manifest as text and workers can parse it wherever it came from.
+struct SpoolManifest {
+  std::uint64_t fingerprint = 0;
+  std::size_t specs = 0;
+  /// One shard-table line: id, spec count, bundle content hash.
+  struct Row {
+    unsigned id = 0;
+    std::size_t specs = 0;
+    std::uint64_t bundle_hash = 0;
+  };
+  std::vector<Row> shards;
+};
+
+/// Parses a sweep-spool manifest from its text. `what` names the spool in
+/// diagnostics. Throws std::runtime_error on a malformed manifest.
+[[nodiscard]] SpoolManifest parse_spool_manifest_text(const std::string& text,
+                                                      const std::string& what);
 
 /// Stable wire encoding of one RunSpec — the codec shard bundles store
 /// specs with, shared with the recorded-run envelope (scenario/replay.h).

@@ -39,6 +39,15 @@ long CliArgs::get_int(const std::string& name, long fallback) const {
   return it == flags_.end() ? fallback : std::strtol(it->second.c_str(), nullptr, 0);
 }
 
+std::vector<std::string> CliArgs::names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : flags_) {
+    (void)value;
+    out.push_back(name);
+  }
+  return out;
+}
+
 double CliArgs::get_double(const std::string& name, double fallback) const {
   const auto it = flags_.find(name);
   return it == flags_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);

@@ -23,6 +23,9 @@ class CliArgs {
   [[nodiscard]] const std::vector<std::string>& positional() const {
     return positional_;
   }
+  /// Every flag name the command line set, sorted — what a tool's flag
+  /// table checks to reject unknown flags with a one-line diagnostic.
+  [[nodiscard]] std::vector<std::string> names() const;
 
  private:
   std::map<std::string, std::string> flags_;

@@ -1,0 +1,481 @@
+// The spool-transport layer (scenario/transport.h): filesystem vs TCP
+// byte-identity, double-claim races, vanished-worker lease recovery,
+// hash-gated part uploads, cost-model scheduling, and the one status
+// schema both transports render.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "scenario/checkpoint_ring.h"
+#include "scenario/engine.h"
+#include "scenario/record.h"
+#include "scenario/registry.h"
+#include "scenario/replay.h"
+#include "scenario/resilience.h"
+#include "scenario/shard.h"
+#include "scenario/transport.h"
+
+namespace ulpsync::scenario {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string scratch_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/transport_" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::vector<RunSpec> small_sweep_specs() {
+  std::vector<RunSpec> specs;
+  for (const unsigned samples : {8u, 12u, 16u, 24u}) {
+    RunSpec spec;
+    spec.workload = "sqrt32";
+    spec.params.samples = samples;
+    spec.max_cycles = 2'000'000;
+    spec.design = DesignVariant::synchronized();
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+std::string single_process_csv(const std::vector<RunSpec>& specs) {
+  const Engine engine(Registry::builtins());
+  return to_csv(engine.run(specs));
+}
+
+std::uint64_t hash_text(const std::string& text) {
+  return fnv1a64(
+      {reinterpret_cast<const std::uint8_t*>(text.data()), text.size()});
+}
+
+// --- line splitting ----------------------------------------------------------
+
+TEST(Transport, SplitCompleteLinesDropsTornTail) {
+  EXPECT_TRUE(split_complete_lines("").empty());
+  EXPECT_TRUE(split_complete_lines("torn").empty());
+  const auto lines = split_complete_lines("a\nb\ntorn");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "a");
+  EXPECT_EQ(lines[1], "b");
+}
+
+// --- claim races -------------------------------------------------------------
+
+TEST(Transport, FsDoubleClaimHasOneWinner) {
+  const std::string dir = scratch_dir("fs_race");
+  const std::vector<RunSpec> specs = {small_sweep_specs()[0]};
+  plan_spool(dir, specs, Registry::builtins(), {.shards = 1});
+
+  FsTransport a(dir);
+  FsTransport b(dir);
+  const auto first = a.claim("worker-a");
+  const auto second = b.claim("worker-b");
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->kind, "bundle");
+  EXPECT_FALSE(second.has_value());  // exactly one claimer wins
+}
+
+TEST(Transport, ConcurrentFsClaimsNeverOverlap) {
+  const std::string dir = scratch_dir("fs_race_many");
+  plan_spool(dir, small_sweep_specs(), Registry::builtins(), {.shards = 4});
+
+  std::vector<std::vector<unsigned>> claimed(4);
+  std::vector<std::thread> pool;
+  for (unsigned w = 0; w < 4; ++w) {
+    pool.emplace_back([&, w] {
+      FsTransport transport(dir);
+      while (const auto shard = transport.claim("w" + std::to_string(w))) {
+        claimed[w].push_back(shard->id);
+      }
+    });
+  }
+  for (auto& thread : pool) thread.join();
+
+  std::vector<unsigned> all;
+  for (const auto& ids : claimed) all.insert(all.end(), ids.begin(), ids.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(all, (std::vector<unsigned>{0, 1, 2, 3}));  // each shard once
+}
+
+TEST(Transport, TcpDoubleClaimHasOneWinner) {
+  const std::string dir = scratch_dir("tcp_race");
+  const std::vector<RunSpec> specs = {small_sweep_specs()[0]};
+  plan_spool(dir, specs, Registry::builtins(), {.shards = 1});
+
+  SpoolServer server(dir);
+  server.start();
+  {
+    TcpTransport a("127.0.0.1", server.port());
+    TcpTransport b("127.0.0.1", server.port());
+    const auto first = a.claim("worker-a");
+    const auto second = b.claim("worker-b");
+    ASSERT_TRUE(first.has_value());
+    EXPECT_FALSE(second.has_value());
+  }
+  server.stop();
+}
+
+// --- vanished workers --------------------------------------------------------
+
+TEST(Transport, ServerRequeuesExpiredLeaseAndFencesZombie) {
+  const std::string dir = scratch_dir("lease_expiry");
+  const std::vector<RunSpec> specs = {small_sweep_specs()[0]};
+  plan_spool(dir, specs, Registry::builtins(), {.shards = 1});
+
+  SpoolServer::Options options;
+  options.lease_seconds = 0.05;  // expire almost immediately
+  SpoolServer server(dir, options);
+  server.start();
+  {
+    TcpTransport zombie("127.0.0.1", server.port());
+    const auto claim = zombie.claim("zombie");
+    ASSERT_TRUE(claim.has_value());
+    zombie.append_row(claim->id, "row-from-zombie");
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+    // A healthy worker claims after the lease lapsed: the shard re-queues
+    // and the zombie's complete rows come along for adoption.
+    TcpTransport healthy("127.0.0.1", server.port());
+    const auto reclaim = healthy.claim("healthy");
+    ASSERT_TRUE(reclaim.has_value());
+    EXPECT_EQ(reclaim->id, claim->id);
+    ASSERT_EQ(reclaim->rows.size(), 1u);
+    EXPECT_EQ(reclaim->rows[0], "row-from-zombie");
+
+    // The zombie is fenced: its lease is gone, so its writes bounce
+    // instead of corrupting the new claimer's part.
+    EXPECT_THROW(zombie.append_row(claim->id, "late-row"),
+                 std::runtime_error);
+  }
+  server.stop();
+}
+
+TEST(Transport, ServerRequeuesOnDisconnect) {
+  const std::string dir = scratch_dir("disconnect");
+  const std::vector<RunSpec> specs = {small_sweep_specs()[0]};
+  plan_spool(dir, specs, Registry::builtins(), {.shards = 1});
+
+  SpoolServer server(dir);
+  server.start();
+  {
+    auto worker =
+        std::make_unique<TcpTransport>("127.0.0.1", server.port());
+    ASSERT_TRUE(worker->claim("doomed").has_value());
+    worker.reset();  // connection drops with the claim still open
+
+    // The server notices the disconnect and re-queues; poll briefly since
+    // the release runs on the connection thread.
+    TcpTransport next("127.0.0.1", server.port());
+    std::optional<ClaimedShard> reclaim;
+    for (int attempt = 0; attempt < 100 && !reclaim; ++attempt) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      reclaim = next.claim("successor");
+    }
+    ASSERT_TRUE(reclaim.has_value());
+    EXPECT_EQ(reclaim->id, 0u);
+  }
+  server.stop();
+}
+
+TEST(Transport, FsAdoptOrphansRequeuesDeadClaims) {
+  const std::string dir = scratch_dir("fs_adopt");
+  const std::vector<RunSpec> specs = {small_sweep_specs()[0]};
+  plan_spool(dir, specs, Registry::builtins(), {.shards = 1});
+
+  {
+    FsTransport dead(dir);
+    const auto claim = dead.claim("dead-worker");
+    ASSERT_TRUE(claim.has_value());
+    dead.append_row(claim->id, "partial-row");
+    // ... SIGKILL: the claim stays in claimed/, the partial stays put.
+  }
+  FsTransport next(dir);
+  EXPECT_FALSE(next.claim("too-early").has_value());  // still claimed
+  EXPECT_EQ(next.adopt_orphans(), 1u);
+  const auto reclaim = next.claim("successor");
+  ASSERT_TRUE(reclaim.has_value());
+  ASSERT_EQ(reclaim->rows.size(), 1u);
+  EXPECT_EQ(reclaim->rows[0], "partial-row");
+}
+
+// --- hash-gated uploads ------------------------------------------------------
+
+TEST(Transport, TruncatedUploadRejectedThenRecovers) {
+  const std::string dir = scratch_dir("truncated_upload");
+  const std::vector<RunSpec> specs = {small_sweep_specs()[0]};
+  plan_spool(dir, specs, Registry::builtins(), {.shards = 1});
+
+  SpoolServer server(dir);
+  server.start();
+  {
+    TcpTransport worker("127.0.0.1", server.port());
+    const auto claim = worker.claim("uploader");
+    ASSERT_TRUE(claim.has_value());
+    worker.append_row(claim->id, "row-one");
+    worker.append_row(claim->id, "row-two");
+
+    // The worker believes the part holds three rows (one never arrived):
+    // the content hash disagrees with what the spool accumulated, so DONE
+    // is rejected and the part stays partial.
+    EXPECT_THROW(
+        worker.complete(claim->id,
+                        hash_text("row-one\nrow-two\nrow-lost\n")),
+        std::runtime_error);
+    EXPECT_FALSE(fs::exists(dir + "/parts/part-0000.csv"));
+
+    // The claim survived the failed upload: send the missing row and
+    // finalize with the true hash.
+    worker.append_row(claim->id, "row-lost");
+    worker.complete(claim->id, hash_text("row-one\nrow-two\nrow-lost\n"));
+    EXPECT_TRUE(fs::exists(dir + "/parts/part-0000.csv"));
+  }
+  server.stop();
+}
+
+TEST(Transport, TcpRejectsRowForUnleasedShard) {
+  const std::string dir = scratch_dir("unleased_row");
+  const std::vector<RunSpec> specs = {small_sweep_specs()[0]};
+  plan_spool(dir, specs, Registry::builtins(), {.shards = 1});
+
+  SpoolServer server(dir);
+  server.start();
+  {
+    TcpTransport worker("127.0.0.1", server.port());
+    ASSERT_TRUE(worker.claim("w").has_value());
+    // Unleased shard ids bounce too.
+    EXPECT_THROW(worker.append_row(7, "row"), std::runtime_error);
+  }
+  server.stop();
+}
+
+// --- byte identity across transports ----------------------------------------
+
+TEST(Transport, TcpWorkersMergeByteIdenticalToSingleProcess) {
+  const std::string dir = scratch_dir("tcp_identity");
+  const std::vector<RunSpec> specs = small_sweep_specs();
+  const std::string expected = single_process_csv(specs);
+  plan_spool(dir, specs, Registry::builtins(), {.shards = 3});
+
+  SpoolServer server(dir);
+  server.start();
+  std::vector<std::thread> pool;
+  for (unsigned w = 0; w < 2; ++w) {
+    pool.emplace_back([&, w] {
+      TcpTransport transport("127.0.0.1", server.port());
+      WorkOptions options;
+      options.worker_id = "tcp-" + std::to_string(w);
+      work_spool_transport(transport, Registry::builtins(), options);
+    });
+  }
+  for (auto& worker : pool) worker.join();
+
+  TcpTransport merger("127.0.0.1", server.port());
+  EXPECT_EQ(merge_spool_transport(merger), expected);
+  // The filesystem view of the same spool merges to the same bytes.
+  EXPECT_EQ(merge_spool(dir), expected);
+  server.stop();
+}
+
+TEST(Transport, CampaignOverTcpMatchesSingleProcess) {
+  const std::string dir = scratch_dir("tcp_campaign");
+  RunSpec spec;
+  spec.workload = "sleepgen";
+  spec.params.samples = 12;
+  spec.max_cycles = 3'000'000;
+  spec.design = DesignVariant::synchronized();
+  RecordOutcome outcome = record_one(spec, Registry::builtins());
+  ASSERT_TRUE(outcome.record.ok()) << outcome.record.verify_error;
+
+  CampaignConfig config;
+  config.models = {ErrorModel::kDmSingle, ErrorModel::kIm};
+  config.count = 2;
+  config.seed = 7;
+  const std::string expected = campaign_csv(
+      run_campaign(outcome.recorded, Registry::builtins(), config, 2));
+
+  plan_campaign_spool(dir, outcome.recorded, config, Registry::builtins(),
+                      {.shards = 2});
+  SpoolServer server(dir);
+  server.start();
+  {
+    TcpTransport worker("127.0.0.1", server.port());
+    CampaignWorkOptions options;
+    options.worker_id = "campaign-tcp";
+    options.jobs = 2;
+    work_campaign_transport(worker, Registry::builtins(), options);
+
+    TcpTransport merger("127.0.0.1", server.port());
+    EXPECT_TRUE(is_campaign_manifest(merger.manifest_text()));
+    EXPECT_EQ(merge_campaign_transport(merger), expected);
+  }
+  EXPECT_EQ(merge_campaign_spool(dir), expected);
+  server.stop();
+}
+
+// --- cost-model scheduling ---------------------------------------------------
+
+TEST(CostModel, AbsorbRejectsForeignLinesWithoutPoisoning) {
+  CostModel model;
+  EXPECT_FALSE(absorb_cost_line(model, ""));
+  EXPECT_FALSE(absorb_cost_line(model, "not a cost line"));
+  EXPECT_FALSE(absorb_cost_line(model, "cost zz sqrt32 10 0.5"));
+  EXPECT_FALSE(absorb_cost_line(model, "cost 0123456789abcdef sqrt32 10 -1"));
+  EXPECT_TRUE(model.empty());
+  EXPECT_TRUE(
+      absorb_cost_line(model, "cost 0123456789abcdef sqrt32 10 2.5e-3"));
+  EXPECT_FALSE(model.empty());
+  EXPECT_EQ(model.by_spec.size(), 1u);
+  EXPECT_EQ(model.by_workload.at("sqrt32").runs, 1u);
+}
+
+TEST(CostModel, PredictFallsBackSpecThenWorkloadThenUniform) {
+  RunSpec seen = small_sweep_specs()[0];
+  CostModel model;
+  model.add(spec_cost_key(seen), seen.workload, 1'000, 0.25);
+  model.add(spec_cost_key(seen), seen.workload, 1'000, 0.75);
+
+  // Exact identity: the mean of its own measurements.
+  EXPECT_DOUBLE_EQ(model.predict(seen), 0.5);
+
+  // Unseen spec of a seen workload: seconds-per-cycle rate times budget.
+  RunSpec sibling = seen;
+  sibling.params.samples += 1;
+  sibling.max_cycles = 4'000;
+  EXPECT_DOUBLE_EQ(model.predict(sibling), 0.5 / 1'000 * 4'000);
+
+  // Unseen workload: uniform.
+  RunSpec foreign = seen;
+  foreign.workload = "mrpfltr";
+  EXPECT_DOUBLE_EQ(model.predict(foreign), 1.0);
+}
+
+TEST(CostModel, EmptyModelKeepsThePlanByteIdentical) {
+  const std::vector<RunSpec> specs = small_sweep_specs();
+  const std::string plain = scratch_dir("plan_plain");
+  const std::string costed = scratch_dir("plan_empty_costs");
+  plan_spool(plain, specs, Registry::builtins(), {.shards = 3});
+  SpoolOptions options;
+  options.shards = 3;
+  options.costs = CostModel{};  // explicit empty model
+  plan_spool(costed, specs, Registry::builtins(), options);
+  EXPECT_EQ(read_file_bytes(plain + "/MANIFEST"),
+            read_file_bytes(costed + "/MANIFEST"));
+}
+
+TEST(CostModel, SkewedCostsResizeShardsAndMergeStaysIdentical) {
+  // Three cheap specs and one 100x-heavier one: count-balancing splits
+  // 2/2, cost-balancing isolates the heavy spec (and numbers its shard
+  // first so workers start the long pole immediately).
+  std::vector<RunSpec> specs = small_sweep_specs();
+  CostModel model;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const double wall = i == 2 ? 1.0 : 0.01;
+    model.add(spec_cost_key(specs[i]), specs[i].workload, 1'000, wall);
+  }
+
+  const std::string plain = scratch_dir("plan_uniform");
+  const std::string costed = scratch_dir("plan_costed");
+  plan_spool(plain, specs, Registry::builtins(), {.shards = 2});
+  SpoolOptions options;
+  options.shards = 2;
+  options.costs = model;
+  plan_spool(costed, specs, Registry::builtins(), options);
+
+  const auto plain_manifest = parse_spool_manifest_text(
+      std::string(reinterpret_cast<const char*>(
+                      read_file_bytes(plain + "/MANIFEST").data()),
+                  read_file_bytes(plain + "/MANIFEST").size()),
+      "plain");
+  const auto costed_manifest = parse_spool_manifest_text(
+      std::string(reinterpret_cast<const char*>(
+                      read_file_bytes(costed + "/MANIFEST").data()),
+                  read_file_bytes(costed + "/MANIFEST").size()),
+      "costed");
+  ASSERT_EQ(plain_manifest.shards.size(), 2u);
+  ASSERT_EQ(costed_manifest.shards.size(), 2u);
+  EXPECT_EQ(plain_manifest.shards[0].specs, 2u);
+  EXPECT_EQ(plain_manifest.shards[1].specs, 2u);
+  // The heavy spec sits alone on shard 0 (heaviest-first numbering).
+  EXPECT_EQ(costed_manifest.shards[0].specs, 1u);
+  EXPECT_EQ(costed_manifest.shards[1].specs, 3u);
+
+  // Shard membership never touches merged bytes.
+  FsTransport worker(costed);
+  WorkOptions work_options;
+  work_options.worker_id = "cost-worker";
+  work_spool_transport(worker, Registry::builtins(), work_options);
+  EXPECT_EQ(merge_spool(costed), single_process_csv(specs));
+}
+
+TEST(CostModel, WorkersFeedCostsBackThroughTheSpool) {
+  const std::string dir = scratch_dir("cost_feedback");
+  const std::vector<RunSpec> specs = small_sweep_specs();
+  plan_spool(dir, specs, Registry::builtins(), {.shards = 2});
+  FsTransport transport(dir);
+  WorkOptions options;
+  options.worker_id = "feedback";
+  work_spool_transport(transport, Registry::builtins(), options);
+
+  const CostModel model = load_cost_model({dir});
+  EXPECT_EQ(model.by_spec.size(), specs.size());
+  for (const RunSpec& spec : specs) {
+    EXPECT_TRUE(model.by_spec.count(spec_cost_key(spec)) == 1)
+        << "spec missing from the fed-back cost model";
+  }
+}
+
+// --- status schema -----------------------------------------------------------
+
+TEST(Transport, StatusRoundTripsAndRendersJson) {
+  const std::string dir = scratch_dir("status");
+  plan_spool(dir, small_sweep_specs(), Registry::builtins(), {.shards = 2});
+
+  FsTransport transport(dir);
+  {
+    const auto claim = transport.claim("status-worker");
+    ASSERT_TRUE(claim.has_value());
+    transport.append_row(claim->id, "one-row");
+  }
+  const TransportStatus status = transport.status();
+  EXPECT_FALSE(status.campaign);
+  EXPECT_EQ(status.spool.specs, 4u);
+  EXPECT_EQ(status.queue_depth, 1u);
+  EXPECT_EQ(status.rows_done, 1u);
+
+  // Wire round-trip (what STATUS serves) preserves every field.
+  const TransportStatus parsed =
+      parse_transport_status(serialize_transport_status(status));
+  EXPECT_EQ(parsed.campaign, status.campaign);
+  EXPECT_EQ(parsed.spool.fingerprint, status.spool.fingerprint);
+  EXPECT_EQ(parsed.spool.specs, status.spool.specs);
+  EXPECT_EQ(parsed.rows_done, status.rows_done);
+  EXPECT_EQ(parsed.queue_depth, status.queue_depth);
+  ASSERT_EQ(parsed.spool.shards.size(), status.spool.shards.size());
+  for (std::size_t i = 0; i < parsed.spool.shards.size(); ++i) {
+    EXPECT_EQ(parsed.spool.shards[i].state, status.spool.shards[i].state);
+    EXPECT_EQ(parsed.spool.shards[i].owner, status.spool.shards[i].owner);
+    EXPECT_EQ(parsed.spool.shards[i].partial_rows,
+              status.spool.shards[i].partial_rows);
+  }
+
+  // The JSON schema: one shape for both transports.
+  const std::string json = status_json(status);
+  EXPECT_NE(json.find("\"kind\": \"sweep\""), std::string::npos);
+  EXPECT_NE(json.find("\"rows_done\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"queue_depth\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"complete\": false"), std::string::npos);
+  EXPECT_NE(json.find("\"eta_seconds\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"owner\": \"status-worker\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ulpsync::scenario

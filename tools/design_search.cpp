@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "scenario/cli.h"
 #include "scenario/design_search.h"
 #include "scenario/record.h"
 #include "scenario/registry.h"
@@ -44,21 +45,26 @@ namespace {
 using namespace ulpsync;
 using namespace ulpsync::scenario;
 
-std::vector<std::string> split_list(const std::string& text) {
-  std::vector<std::string> out;
-  std::string item;
-  std::istringstream in(text);
-  while (std::getline(in, item, ',')) {
-    if (!item.empty()) out.push_back(item);
-  }
-  return out;
-}
-
-sim::ArbitrationPolicy arbitration_from_flag(const std::string& name) {
-  if (name == "fixed-priority") return sim::ArbitrationPolicy::kFixedPriority;
-  if (name == "oldest-first") return sim::ArbitrationPolicy::kOldestFirst;
-  if (name == "round-robin") return sim::ArbitrationPolicy::kRoundRobin;
-  throw std::runtime_error("unknown arbitration policy '" + name + "'");
+cli::FlagTable flag_table() {
+  return cli::FlagTable{
+      "design_search",
+      "energy-first Pareto-frontier search over the design space",
+      {
+          {"out", "FILE", "frontier CSV destination (required)"},
+          {"bench", "FILE", "bench_compare JSON (bench \"design_search\")"},
+          {"workload", "W", "registry name (default mrpfltr)"},
+          {"samples", "N", "samples per channel (default 48)"},
+          {"designs", "WHICH", "both|synchronized|baseline (default both)"},
+          {"cores", "c1,c2", "candidate core counts (default 2,4,8)"},
+          {"banking", "l1,l2", "candidate im_line_slots (default 0,16)"},
+          {"arbitration", "a,b", "fixed-priority|oldest-first|round-robin"},
+          {"clocks", "f1,f2", "operating-clock grid, MHz"},
+          {"rungs", "c1,c2", "halving horizons, cycles"},
+          {"checkpoint-at", "N", "shared warm prefix; 0 = half the first rung"},
+          {"target-mops", "X", "knee throughput target (default 16)"},
+          {"cap", "N", "per-rung survivor cap; 0 off (default 32)"},
+          {"jobs", "N", "engine threads (never changes the frontier)"},
+      }};
 }
 
 SearchOptions options_from_flags(const util::CliArgs& args) {
@@ -66,50 +72,36 @@ SearchOptions options_from_flags(const util::CliArgs& args) {
   options.workload = args.get("workload", options.workload);
   options.samples =
       static_cast<unsigned>(args.get_int("samples", options.samples));
-  const std::string designs = args.get("designs", "both");
-  if (designs == "synchronized") {
-    options.designs = {DesignVariant::synchronized()};
-  } else if (designs == "baseline") {
-    options.designs = {DesignVariant::baseline()};
-  } else if (designs != "both") {
-    throw std::runtime_error("unknown --designs value '" + designs + "'");
-  }
+  const std::vector<DesignVariant> designs =
+      cli::designs_from_flag(args.get("designs", "both"));
+  if (!designs.empty()) options.designs = designs;
   if (args.has("cores")) {
-    options.cores.clear();
-    for (const std::string& value : split_list(args.get("cores", ""))) {
-      options.cores.push_back(static_cast<unsigned>(std::stoul(value)));
-    }
+    options.cores = cli::parse_unsigned_list(args.get("cores", ""), "cores");
   }
   if (args.has("banking")) {
-    options.banking.clear();
-    for (const std::string& value : split_list(args.get("banking", ""))) {
-      options.banking.push_back(static_cast<unsigned>(std::stoul(value)));
-    }
+    options.banking =
+        cli::parse_unsigned_list(args.get("banking", ""), "banking");
   }
   if (args.has("arbitration")) {
     options.arbitration.clear();
-    for (const std::string& value : split_list(args.get("arbitration", ""))) {
-      options.arbitration.push_back(arbitration_from_flag(value));
+    for (const std::string& value :
+         cli::split_list(args.get("arbitration", ""))) {
+      options.arbitration.push_back(cli::arbitration_from_flag(value));
     }
   }
   if (args.has("clocks")) {
-    options.clocks_mhz.clear();
-    for (const std::string& value : split_list(args.get("clocks", ""))) {
-      options.clocks_mhz.push_back(std::stod(value));
-    }
+    options.clocks_mhz =
+        cli::parse_double_list(args.get("clocks", ""), "clocks");
   }
   if (args.has("rungs")) {
-    options.rungs.clear();
-    for (const std::string& value : split_list(args.get("rungs", ""))) {
-      options.rungs.push_back(std::stoull(value));
-    }
+    options.rungs = cli::parse_u64_list(args.get("rungs", ""), "rungs");
   }
   options.checkpoint_at = static_cast<std::uint64_t>(
       args.get_int("checkpoint-at", static_cast<long>(options.checkpoint_at)));
   options.target_mops = args.get_double("target-mops", options.target_mops);
   options.survivor_cap = static_cast<std::size_t>(
       args.get_int("cap", static_cast<long>(options.survivor_cap)));
-  options.jobs = static_cast<unsigned>(args.get_int("jobs", options.jobs));
+  options.jobs = cli::jobs_from_flags(args, options.jobs);
   return options;
 }
 
@@ -158,12 +150,17 @@ bool write_file(const std::string& path, const std::string& content) {
 
 int main(int argc, char** argv) {
   const util::CliArgs args(argc, argv);
+  if (args.has("help")) {
+    std::fputs(flag_table().render().c_str(), stdout);
+    return 0;
+  }
   const std::string out_path = args.get("out", "");
   if (out_path.empty()) {
     std::fprintf(stderr, "usage: design_search --out FILE [options]\n");
     return 1;
   }
   try {
+    flag_table().require_known(args);
     const SearchOptions options = options_from_flags(args);
     const SearchResult result =
         design_search(Registry::builtins(), options);

@@ -55,6 +55,7 @@
 #include <string>
 #include <vector>
 
+#include "scenario/cli.h"
 #include "scenario/registry.h"
 #include "scenario/resilience.h"
 #include "util/cli.h"
@@ -63,6 +64,24 @@ namespace {
 
 using namespace ulpsync;
 using namespace ulpsync::scenario;
+
+cli::FlagTable flag_table() {
+  cli::FlagTable table{
+      "fault_campaign",
+      "inject a deterministic fault campaign into a recorded run",
+      {
+          {"out", "FILE", "campaign CSV destination (required)"},
+          {"report", "FILE", "aggregated resilience report CSV"},
+          {"bench", "FILE", "benchmark JSON (faults/sec + outcome counts)"},
+          {"jobs", "N", "trial threads (default 0 = all host cores)"},
+          {"require-localized", "N", "exit nonzero unless >= N localized"},
+          {"require-classified", "N", "exit nonzero unless >= N classified"},
+      }};
+  for (const cli::Flag& flag : cli::campaign_flags()) {
+    table.flags.push_back(flag);
+  }
+  return table;
+}
 
 void write_text_file(const std::string& path, const std::string& text) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
@@ -104,13 +123,18 @@ std::string bench_json(const std::vector<FaultTrialRow>& rows,
 }
 
 int run_tool(const util::CliArgs& args) {
-  const std::string out_path = args.get("out", "");
-  if (out_path.empty()) throw std::runtime_error("missing required --out flag");
+  const cli::FlagTable table = flag_table();
+  if (args.has("help")) {
+    std::fputs(table.render().c_str(), stdout);
+    return 0;
+  }
+  table.require_known(args);
+  const std::string out_path = cli::require_flag(args, "out");
 
   const Registry& registry = Registry::builtins();
   const RecordedRun run = acquire_campaign_run(args, registry);
   const CampaignConfig config = campaign_config_from_flags(args);
-  const unsigned jobs = static_cast<unsigned>(args.get_int("jobs", 0));
+  const unsigned jobs = cli::jobs_from_flags(args, 0);
 
   const auto start = std::chrono::steady_clock::now();
   const std::vector<FaultTrialRow> rows =

@@ -1,171 +1,145 @@
-// sweep_shard: cross-process sharded sweeps over an on-disk work spool
-// (scenario/shard.h).
+// sweep_shard: cross-process sharded sweeps over a work spool
+// (scenario/shard.h), reachable through either spool transport
+// (scenario/transport.h):
 //
-//   sweep_shard plan  --spool DIR [matrix flags] [--shards K] [--no-warm]
+//   --spool DIR          the on-disk spool, claims by atomic rename
+//   --connect HOST:PORT  a `sweep_shard serve` coordinator on another
+//                        machine; workers stream rows back over TCP
+//
+//   sweep_shard plan   --spool DIR [matrix flags] [--shards K] [--no-warm]
+//                      [--costs a,b]
 //       Expands the matrix and serializes it into shard bundles under DIR.
 //       Identical-prefix groups (--checkpoint-at + --horizons) ship one
-//       pre-simulated WarmState per group, so workers resume instead of
-//       re-simulating.
-//   sweep_shard plan  --campaign --spool DIR [campaign flags] [--shards K]
-//       Plans a *fault campaign* spool instead (scenario/resilience.h):
-//       records a run (or loads --evt FILE), expands the campaign's fault
-//       matrix, and shards it by fault-index range. Campaign flags are
-//       fault_campaign's (--faults/--count/--seed/--volts/--rate-scale/
-//       --mode/...). work/merge/status below auto-detect campaign spools
-//       from the manifest header — the same commands drive both kinds.
-//   sweep_shard work  --spool DIR [--worker-id X] [--resume]
-//                     [--ring-stride N] [--ring-keep K] [--max-shards M]
-//                     [--record-events DIR]
-//       Claims shards (atomic rename) and executes them until the queue is
-//       empty. Run any number of workers concurrently — processes or
-//       machines sharing the filesystem. --resume re-queues orphaned
-//       claims of dead workers, reuses their finished rows, and continues
-//       interrupted runs from their checkpoint rings.
-//   sweep_shard merge --spool DIR --out FILE
+//       pre-simulated WarmState per group. --costs feeds measured per-run
+//       wall times (cost files or earlier spools) into the scheduler:
+//       shards are sized by predicted seconds instead of spec count and
+//       numbered heaviest-first, so workers claim the long poles first.
+//   sweep_shard plan   --campaign --spool DIR [campaign flags] [--shards K]
+//       Plans a *fault campaign* spool instead (scenario/resilience.h).
+//       work/merge/status auto-detect campaign spools from the manifest
+//       header — the same commands drive both kinds over both transports.
+//   sweep_shard serve  --spool DIR [--port P] [--lease S]
+//       The TCP coordinator: owns DIR and leases its shards to --connect
+//       workers. Claims of vanished workers (dropped connection or a
+//       lease idle past S seconds) re-queue automatically, keeping their
+//       partial rows. Writes the bound port to DIR/PORT; runs until
+//       killed.
+//   sweep_shard work   [--spool DIR | --connect H:P] [--worker-id X]
+//                      [--resume] [--ring-stride N] [--ring-keep K]
+//                      [--max-shards M] [--record-events DIR] [--jobs N]
+//       Claims shards and executes them until the queue is empty. Run any
+//       number of workers concurrently. --resume re-queues orphaned
+//       claims of dead workers and reuses their finished rows.
+//   sweep_shard merge  [--spool DIR | --connect H:P] --out FILE
 //       Assembles the parts into one CSV, byte-identical to a
 //       single-process `sweep_shard run` of the same matrix.
-//   sweep_shard status --spool DIR
-//       Per-shard progress (queued/claimed/done, partial rows, owner).
-//   sweep_shard run   --out FILE [--jobs N] [--batch] [matrix flags]
-//                     [--record-events DIR]
-//       The single-process reference: runs the same matrix in this process
-//       and writes its CSV. CI diffs this against `merge`. --batch runs it
-//       on the batched many-platform engine instead (scenario/batch.h) —
-//       same bytes, so run/run --batch/merge comparisons are exact
-//       cohort-determinism checks.
+//   sweep_shard status [--spool DIR | --connect H:P] [--json]
+//       Per-shard progress; over --connect additionally per-worker
+//       throughput and an ETA. Exits 2 while the spool is incomplete.
+//   sweep_shard run    --out FILE [--jobs N] [--batch] [matrix flags]
+//                      [--record-events DIR]
+//       The single-process reference: runs the same matrix in this
+//       process and writes its CSV. CI diffs this against `merge`.
 //
-// --record-events DIR (work and run) records every run's external-event
-// schedule to DIR/run-<global index>.evt (a recorded-run envelope,
-// scenario/replay.h) for later bit-exact replay and fault injection
-// (tools/fault_campaign). Recorded runs execute cold and ring-less —
-// bit-identical rows either way.
-//
-// Matrix flags (plan and run must agree for the byte-identity guarantee):
-//   --workloads a,b,c   registry names            (default mrpfltr,sqrt32)
-//   --samples n1,n2     samples-per-channel axis  (default 48)
-//   --designs both|synchronized|baseline          (default both)
-//   --max-cycles N      cycle budget              (default 500000000)
-//   --cohort N          patient-cohort axis: fan every spec out over N
-//                       per-patient generator draws (ecg/cohort.h)
-//   --cohort-seed S     master cohort seed        (default 2024)
-//   --energy MODE       request per-record energy columns: auto (charge the
-//                       spec's own design), baseline, or synchronized
-//   --energy-mhz F      operating clock for the report (default: nominal
-//                       fmax of the scaling model; implies --energy auto)
-//   --energy-volt V     operating supply; 0 derives the minimum feasible
-//                       supply for the clock (implies --energy auto)
-//   --checkpoint-at N   shared warm-up prefix end (optional)
-//   --horizons c1,c2    per-spec max_cycles fan-out over the checkpoint
-//                       (optional; forms identical-prefix groups)
+// Every subcommand answers --help with its flag table; unknown flags are
+// one-line errors, not silent no-ops.
 
 #include <cinttypes>
+#include <chrono>
 #include <cstdio>
 #include <exception>
 #include <filesystem>
 #include <fstream>
-#include <sstream>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
-#include "ecg/cohort.h"
 #include "scenario/batch.h"
+#include "scenario/cli.h"
 #include "scenario/record.h"
 #include "scenario/report.h"
 #include "scenario/resilience.h"
 #include "scenario/shard.h"
+#include "scenario/transport.h"
 #include "util/cli.h"
 
 namespace {
 
 using namespace ulpsync;
 using namespace ulpsync::scenario;
+using cli::Flag;
+using cli::FlagTable;
 
-std::vector<std::string> split_list(const std::string& text) {
-  std::vector<std::string> out;
-  std::string item;
-  std::istringstream in(text);
-  while (std::getline(in, item, ',')) {
-    if (!item.empty()) out.push_back(item);
+/// Appends `more` to `table.flags`, skipping names already present (the
+/// matrix and campaign vocabularies overlap on --samples/--max-cycles/
+/// --energy-mhz).
+FlagTable with_flags(FlagTable table, const std::vector<Flag>& more) {
+  for (const Flag& flag : more) {
+    bool present = false;
+    for (const Flag& existing : table.flags) {
+      if (existing.name == flag.name) present = true;
+    }
+    if (!present) table.flags.push_back(flag);
   }
-  return out;
+  return table;
 }
 
-std::vector<RunSpec> specs_from_flags(const util::CliArgs& args) {
-  Matrix matrix;
-  matrix.workloads(split_list(args.get("workloads", "mrpfltr,sqrt32")));
-  std::vector<unsigned> samples;
-  for (const std::string& value : split_list(args.get("samples", "48"))) {
-    samples.push_back(static_cast<unsigned>(std::stoul(value)));
-  }
-  matrix.samples(samples);
-  const std::string designs = args.get("designs", "both");
-  if (designs == "synchronized") {
-    matrix.design(DesignVariant::synchronized());
-  } else if (designs == "baseline") {
-    matrix.design(DesignVariant::baseline());
-  } else if (designs != "both") {
-    throw std::runtime_error("unknown --designs value '" + designs + "'");
-  }
-  matrix.max_cycles(
-      static_cast<std::uint64_t>(args.get_int("max-cycles", 500'000'000)));
-  if (args.has("energy") || args.has("energy-mhz") || args.has("energy-volt")) {
-    EnergyRequest request;
-    const std::string mode = args.get("energy", "auto");
-    if (mode == "auto") {
-      request.params = EnergyRequest::Params::kAuto;
-    } else if (mode == "baseline") {
-      request.params = EnergyRequest::Params::kBaseline;
-    } else if (mode == "synchronized") {
-      request.params = EnergyRequest::Params::kSynchronized;
-    } else {
-      throw std::runtime_error("unknown --energy value '" + mode + "'");
-    }
-    request.f_mhz = std::stod(args.get("energy-mhz", "0"));
-    request.voltage = std::stod(args.get("energy-volt", "0"));
-    matrix.energy({request});
-  }
-  const auto patients = static_cast<unsigned>(args.get_int("cohort", 0));
-  if (patients != 0) {
-    ecg::CohortParams cohort;
-    cohort.seed = static_cast<std::uint64_t>(
-        args.get_int("cohort-seed", static_cast<long>(cohort.seed)));
-    matrix.cohort(patients, cohort);
-  }
-
-  std::vector<RunSpec> specs = matrix.expand();
-  if (args.has("horizons")) {
-    // Fan each spec out over the horizon budgets, sharing one warm-up
-    // prefix per group — the shape `plan` ships WarmStates for.
-    const auto checkpoint =
-        static_cast<std::uint64_t>(args.get_int("checkpoint-at", 0));
-    std::vector<RunSpec> fanned;
-    for (const RunSpec& spec : specs) {
-      for (const std::string& value : split_list(args.get("horizons", ""))) {
-        RunSpec horizon = spec;
-        horizon.max_cycles = std::stoull(value);
-        if (checkpoint != 0) horizon.checkpoint_at = checkpoint;
-        fanned.push_back(std::move(horizon));
-      }
-    }
-    specs = std::move(fanned);
-  } else if (args.has("checkpoint-at")) {
-    const auto checkpoint =
-        static_cast<std::uint64_t>(args.get_int("checkpoint-at", 0));
-    for (RunSpec& spec : specs) spec.checkpoint_at = checkpoint;
-  }
-  return specs;
+std::vector<Flag> transport_flags() {
+  return {
+      {"spool", "DIR", "the on-disk spool directory"},
+      {"connect", "HOST:PORT", "reach the spool through `sweep_shard serve`"},
+  };
 }
 
-std::string require_flag(const util::CliArgs& args, const std::string& name) {
-  const std::string value = args.get(name, "");
-  if (value.empty()) {
-    throw std::runtime_error("missing required --" + name + " flag");
+/// The transport the command drives: exactly one of --spool / --connect.
+std::unique_ptr<SpoolTransport> transport_from_flags(
+    const util::CliArgs& args) {
+  const std::string spool = args.get("spool", "");
+  const std::string connect = args.get("connect", "");
+  if (!spool.empty() && !connect.empty()) {
+    throw std::runtime_error(
+        "pass --spool DIR or --connect HOST:PORT, not both");
   }
-  return value;
+  if (!connect.empty()) {
+    const TcpEndpoint endpoint = parse_endpoint(connect);
+    return std::make_unique<TcpTransport>(endpoint.host, endpoint.port);
+  }
+  if (spool.empty()) {
+    throw std::runtime_error(
+        "missing required --spool flag (or --connect HOST:PORT)");
+  }
+  return std::make_unique<FsTransport>(spool);
+}
+
+/// Renders --help (returning true) when asked; otherwise rejects unknown
+/// flags so a typo can never silently change a plan.
+bool handle_help(const FlagTable& table, const util::CliArgs& args) {
+  if (args.has("help")) {
+    std::fputs(table.render().c_str(), stdout);
+    return true;
+  }
+  table.require_known(args);
+  return false;
 }
 
 int cmd_plan(const util::CliArgs& args) {
-  const std::string spool = require_flag(args, "spool");
+  FlagTable table{
+      "sweep_shard plan",
+      "expand the matrix (or a fault campaign) into a shard spool",
+      {
+          {"spool", "DIR", "spool directory to create (required)"},
+          {"shards", "K", "shard count (default 4)"},
+          {"no-warm", "", "do not ship per-group WarmStates"},
+          {"costs", "a,b", "cost feedback: cost files or earlier spools"},
+          {"campaign", "", "plan a fault-campaign spool instead"},
+          {"require-localized", "", "campaign: --mode localize shorthand"},
+      }};
+  table = with_flags(std::move(table), cli::matrix_flags());
+  table = with_flags(std::move(table), cli::campaign_flags());
+  if (handle_help(table, args)) return 0;
+
+  const std::string spool = cli::require_flag(args, "spool");
   if (args.has("campaign")) {
     const Registry& registry = Registry::builtins();
     const RecordedRun run = acquire_campaign_run(args, registry);
@@ -179,30 +153,52 @@ int cmd_plan(const util::CliArgs& args) {
                 plan.faults, plan.shards, spool.c_str(), plan.fingerprint);
     return 0;
   }
-  const std::vector<RunSpec> specs = specs_from_flags(args);
+  const std::vector<RunSpec> specs = cli::matrix_specs_from_flags(args);
   SpoolOptions options;
   options.shards = static_cast<unsigned>(args.get_int("shards", 4));
   options.ship_warm_states = !args.has("no-warm");
+  options.costs = load_cost_model(cli::split_list(args.get("costs", "")));
   const PlanResult plan =
       plan_spool(spool, specs, Registry::builtins(), options);
   std::printf("planned %zu specs into %u shards at %s "
               "(%zu warm state(s) shipped, fingerprint %016" PRIx64 ")\n",
               plan.specs, plan.shards, spool.c_str(), plan.warm_states,
               plan.fingerprint);
+  if (!options.costs.empty()) {
+    std::printf("cost-model schedule: %zu spec identit(ies), "
+                "%zu workload rate(s)\n",
+                options.costs.by_spec.size(),
+                options.costs.by_workload.size());
+  }
   return 0;
 }
 
 int cmd_work(const util::CliArgs& args) {
-  const std::string spool = require_flag(args, "spool");
-  if (is_campaign_spool(spool)) {
+  FlagTable table{
+      "sweep_shard work",
+      "claim and execute shards until the queue drains",
+      {
+          {"worker-id", "X", "recorded as the claim owner (default: pid)"},
+          {"resume", "", "re-queue orphaned claims of dead workers first"},
+          {"ring-stride", "N", "checkpoint-ring stride in cycles (0 = off)"},
+          {"ring-keep", "K", "checkpoints kept per ring (default 4)"},
+          {"max-shards", "M", "stop after M shards (0 = drain)"},
+          {"record-events", "DIR", "record every run's event schedule to DIR"},
+          {"jobs", "N", "campaign spools: trial threads per shard"},
+      }};
+  table = with_flags(std::move(table), transport_flags());
+  if (handle_help(table, args)) return 0;
+
+  const std::unique_ptr<SpoolTransport> transport = transport_from_flags(args);
+  if (is_campaign_manifest(transport->manifest_text())) {
     CampaignWorkOptions options;
     options.worker_id = args.get("worker-id", "");
     options.resume = args.has("resume");
-    options.jobs = static_cast<unsigned>(args.get_int("jobs", 1));
+    options.jobs = cli::jobs_from_flags(args, 1);
     options.max_shards =
         static_cast<std::size_t>(args.get_int("max-shards", 0));
     const CampaignWorkReport report =
-        work_campaign_spool(spool, Registry::builtins(), options);
+        work_campaign_transport(*transport, Registry::builtins(), options);
     std::printf("worker done: %zu shard(s), %zu trial(s) executed, "
                 "%zu row(s) reused\n",
                 report.shards_completed, report.trials_executed,
@@ -219,7 +215,7 @@ int cmd_work(const util::CliArgs& args) {
       static_cast<std::size_t>(args.get_int("max-shards", 0));
   options.record_dir = args.get("record-events", "");
   const WorkReport report =
-      work_spool(spool, Registry::builtins(), options);
+      work_spool_transport(*transport, Registry::builtins(), options);
   std::printf("worker done: %zu shard(s), %zu run(s) executed, "
               "%zu row(s) reused, %zu warm-resumed\n",
               report.shards_completed, report.runs_executed,
@@ -228,32 +224,54 @@ int cmd_work(const util::CliArgs& args) {
 }
 
 int cmd_merge(const util::CliArgs& args) {
-  const std::string spool = require_flag(args, "spool");
-  const std::string out_path = require_flag(args, "out");
-  const std::string csv =
-      is_campaign_spool(spool) ? merge_campaign_spool(spool)
-                               : merge_spool(spool);
+  FlagTable table{
+      "sweep_shard merge",
+      "assemble the finished parts into the sweep's CSV",
+      {
+          {"out", "FILE", "merged CSV destination (required)"},
+      }};
+  table = with_flags(std::move(table), transport_flags());
+  if (handle_help(table, args)) return 0;
+
+  const std::string out_path = cli::require_flag(args, "out");
+  const std::unique_ptr<SpoolTransport> transport = transport_from_flags(args);
+  const std::string csv = is_campaign_manifest(transport->manifest_text())
+                              ? merge_campaign_transport(*transport)
+                              : merge_spool_transport(*transport);
   std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
   out << csv;
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
     return 1;
   }
-  std::printf("merged %s -> %s\n", spool.c_str(), out_path.c_str());
+  std::printf("merged %s -> %s\n", transport->describe().c_str(),
+              out_path.c_str());
   return 0;
 }
 
 int cmd_status(const util::CliArgs& args) {
-  const std::string spool = require_flag(args, "spool");
-  const bool campaign = is_campaign_spool(spool);
-  const SpoolStatus status =
-      campaign ? campaign_spool_status(spool) : spool_status(spool);
+  FlagTable table{
+      "sweep_shard status",
+      "per-shard progress; exits 2 while the spool is incomplete",
+      {
+          {"json", "", "machine-readable status (one schema, both transports)"},
+      }};
+  table = with_flags(std::move(table), transport_flags());
+  if (handle_help(table, args)) return 0;
+
+  const std::unique_ptr<SpoolTransport> transport = transport_from_flags(args);
+  const TransportStatus status = transport->status();
+  if (args.has("json")) {
+    std::fputs(status_json(status).c_str(), stdout);
+    return status.spool.complete() ? 0 : 2;
+  }
   std::printf("%s %s: %zu %s, %zu shards, fingerprint %016" PRIx64 "%s\n",
-              campaign ? "campaign spool" : "spool", spool.c_str(),
-              status.specs, campaign ? "faults" : "specs",
-              status.shards.size(), status.fingerprint,
-              status.complete() ? " (complete)" : "");
-  for (const ShardState& shard : status.shards) {
+              status.campaign ? "campaign spool" : "spool",
+              transport->describe().c_str(), status.spool.specs,
+              status.campaign ? "faults" : "specs",
+              status.spool.shards.size(), status.spool.fingerprint,
+              status.spool.complete() ? " (complete)" : "");
+  for (const ShardState& shard : status.spool.shards) {
     std::printf("  shard %04u: %-7s %zu spec(s), part %s",
                 shard.id, shard.state.c_str(), shard.specs,
                 shard.part_final
@@ -263,12 +281,69 @@ int cmd_status(const util::CliArgs& args) {
     if (!shard.owner.empty()) std::printf(", owner %s", shard.owner.c_str());
     std::printf("\n");
   }
-  return status.complete() ? 0 : 2;
+  std::printf("  rows done %zu/%zu, queue depth %zu\n", status.rows_done,
+              status.spool.specs, status.queue_depth);
+  for (const WorkerRate& worker : status.workers) {
+    std::printf("  worker %s: %zu row(s), %.3f rows/s\n",
+                worker.worker.c_str(), worker.rows, worker.rows_per_second);
+  }
+  if (status.eta_seconds >= 0.0) {
+    std::printf("  eta %.1fs\n", status.eta_seconds);
+  }
+  return status.spool.complete() ? 0 : 2;
+}
+
+int cmd_serve(const util::CliArgs& args) {
+  FlagTable table{
+      "sweep_shard serve",
+      "TCP coordinator: lease this spool's shards to --connect workers",
+      {
+          {"spool", "DIR", "the planned spool to serve (required)"},
+          {"port", "P", "listen port (default 0 = ephemeral, see DIR/PORT)"},
+          {"lease", "S", "seconds of silence before a claim re-queues "
+                         "(default 300)"},
+      }};
+  if (handle_help(table, args)) return 0;
+
+  const std::string spool = cli::require_flag(args, "spool");
+  {
+    FsTransport probe(spool);
+    (void)probe.manifest_text();  // fail fast on an unplanned spool
+  }
+  SpoolServer::Options options;
+  options.port = static_cast<int>(args.get_int("port", 0));
+  options.lease_seconds = args.get_double("lease", 300.0);
+  SpoolServer server(spool, options);
+  server.start();
+  {
+    // Ephemeral ports are the CI-friendly default; the PORT file is how
+    // sibling processes discover what was actually bound.
+    std::ofstream port_file(spool + "/PORT", std::ios::trunc);
+    port_file << server.port() << '\n';
+  }
+  std::printf("serving %s on port %d (lease %.0fs)\n", spool.c_str(),
+              server.port(), options.lease_seconds);
+  std::fflush(stdout);
+  for (;;) {
+    std::this_thread::sleep_for(std::chrono::seconds(1));
+  }
 }
 
 int cmd_run(const util::CliArgs& args) {
-  const std::string out_path = require_flag(args, "out");
-  std::vector<RunSpec> specs = specs_from_flags(args);
+  FlagTable table{
+      "sweep_shard run",
+      "single-process reference sweep (what merge must reproduce)",
+      {
+          {"out", "FILE", "CSV destination (required)"},
+          {"jobs", "N", "worker threads (0 = all host cores)"},
+          {"batch", "", "run on the batched many-platform engine"},
+          {"record-events", "DIR", "record every run's event schedule to DIR"},
+      }};
+  table = with_flags(std::move(table), cli::matrix_flags());
+  if (handle_help(table, args)) return 0;
+
+  const std::string out_path = cli::require_flag(args, "out");
+  std::vector<RunSpec> specs = cli::matrix_specs_from_flags(args);
   const EngineOptions options = engine_options_from(args);
   const std::string record_dir = args.get("record-events", "");
   if (!record_dir.empty()) {
@@ -310,18 +385,26 @@ int cmd_run(const util::CliArgs& args) {
   return 0;
 }
 
+constexpr const char* kUsage =
+    "usage: sweep_shard <plan|serve|work|merge|status|run> [flags]\n"
+    "run `sweep_shard <command> --help` for the command's flag table\n";
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const util::CliArgs args(argc, argv);
   if (args.positional().empty()) {
-    std::fprintf(stderr,
-                 "usage: sweep_shard <plan|work|merge|status|run> ...\n");
+    if (args.has("help")) {
+      std::fputs(kUsage, stdout);
+      return 0;
+    }
+    std::fputs(kUsage, stderr);
     return 1;
   }
   const std::string& command = args.positional().front();
   try {
     if (command == "plan") return cmd_plan(args);
+    if (command == "serve") return cmd_serve(args);
     if (command == "work") return cmd_work(args);
     if (command == "merge") return cmd_merge(args);
     if (command == "status") return cmd_status(args);
@@ -330,6 +413,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "sweep_shard: %s\n", error.what());
     return 1;
   }
-  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+  std::fprintf(stderr, "unknown command '%s' (see `sweep_shard --help`)\n",
+               command.c_str());
   return 1;
 }
